@@ -1,0 +1,14 @@
+//! Regenerates the paper's §6.2 xv Blur experiment on the full 640x480
+//! image.
+//!
+//! Run with: `cargo bench -p tcc-bench --bench blur`
+
+use tcc_suite::{benchmarks, measure, ns_per_cycle, report, BLUR_FULL};
+
+fn main() {
+    let nspc = ns_per_cycle();
+    let b = benchmarks(BLUR_FULL).into_iter().find(|b| b.name == "blur").expect("blur");
+    eprintln!("measuring blur 640x480 (five compilation paths; takes a minute)...");
+    let m = measure(&b);
+    print!("{}", report::blur_report(&m, nspc));
+}

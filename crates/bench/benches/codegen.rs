@@ -1,0 +1,109 @@
+//! Criterion benches over the dynamic compilation path itself: wall
+//! clock per `compile` for representative cspec shapes, VCODE vs ICODE
+//! (the host-time ground truth behind Table 1 and Figures 6/7).
+//!
+//! Run with: `cargo bench -p tcc-bench --bench codegen`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tcc::{Backend, Config, Session, Strategy};
+use tcc_bench::iter_chunked;
+
+const SHAPES: &[(&str, &str)] = &[
+    (
+        "small_expr",
+        r#"
+        long go(int a) {
+            int vspec x = param(int, 0);
+            int cspec c = `(x * $a + 3);
+            return (long)compile(c, int);
+        }
+        "#,
+    ),
+    (
+        "loop_body",
+        r#"
+        int buf[256];
+        long go(int a) {
+            int vspec i = local(int);
+            int vspec s = local(int);
+            void cspec c = `{
+                s = 0;
+                for (i = 0; i < 256; i++) s = s + buf[i] * $a;
+                return s;
+            };
+            return (long)compile(c, int);
+        }
+        "#,
+    ),
+    (
+        "composed_chain",
+        r#"
+        long go(int a) {
+            int vspec x = local(int);
+            int cspec c = `(x + 1);
+            int i;
+            for (i = 0; i < 50; i++) c = `(c + x);
+            void cspec f = `{ x = $a; return c; };
+            return (long)compile(f, int);
+        }
+        "#,
+    ),
+    (
+        "unrolled",
+        r#"
+        int tab[64];
+        int n = 64;
+        long go(int a) {
+            void cspec c = `{
+                int k;
+                int s;
+                s = 0;
+                for (k = 0; k < $n; k++) s = s + $tab[k] * k;
+                return s;
+            };
+            return (long)compile(c, int);
+        }
+        "#,
+    ),
+];
+
+fn backends() -> Vec<(&'static str, Backend)> {
+    vec![
+        ("vcode", Backend::Vcode { unchecked: false }),
+        ("icode_ls", Backend::Icode { strategy: Strategy::LinearScan }),
+        ("icode_gc", Backend::Icode { strategy: Strategy::GraphColor }),
+    ]
+}
+
+fn bench_codegen(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dynamic_compile");
+    for (shape, src) in SHAPES {
+        for (bname, backend) in backends() {
+            let config = Config { backend, ..Config::default() };
+            g.bench_with_input(BenchmarkId::new(*shape, bname), &(), |b, ()| {
+                iter_chunked(
+                    b,
+                    2048,
+                    || Session::new(src, config.clone()).expect("compiles"),
+                    |s| {
+                        s.call("go", &[7]).expect("dynamic compile");
+                    },
+                );
+            });
+            let mut s = Session::new(src, config).expect("compiles");
+            for _ in 0..5 {
+                s.call("go", &[7]).expect("dynamic compile");
+            }
+            let st = s.dyn_stats();
+            eprintln!(
+                "  {shape}/{bname}: {:.0} ns per generated instruction ({} instrs/compile)",
+                st.total_ns as f64 / st.generated_insns.max(1) as f64,
+                st.generated_insns / st.compiles.max(1),
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_codegen);
+criterion_main!(benches);

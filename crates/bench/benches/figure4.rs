@@ -1,0 +1,20 @@
+//! Regenerates the paper's Figure 4 (ratio of static to dynamic run
+//! time for all benchmarks, four compiler pairings).
+//!
+//! Run with: `cargo bench -p tcc-bench --bench figure4`
+//! Pass `--small` (after `--`) for a reduced blur image.
+
+use tcc_suite::{benchmarks, measure, report, BLUR_FULL, BLUR_SMALL};
+
+fn main() {
+    let small = std::env::args().any(|a| a == "--small");
+    let dims = if small { BLUR_SMALL } else { BLUR_FULL };
+    let ms: Vec<_> = benchmarks(dims)
+        .iter()
+        .map(|b| {
+            eprintln!("measuring {}...", b.name);
+            measure(b)
+        })
+        .collect();
+    print!("{}", report::figure4(&ms));
+}

@@ -1,0 +1,20 @@
+//! Regenerates the paper's Figure 5 (cross-over points: number of runs
+//! of the dynamic code needed to amortize its compilation).
+//!
+//! Run with: `cargo bench -p tcc-bench --bench figure5`
+
+use tcc_suite::{benchmarks, measure, ns_per_cycle, report, BLUR_FULL, BLUR_SMALL};
+
+fn main() {
+    let small = std::env::args().any(|a| a == "--small");
+    let dims = if small { BLUR_SMALL } else { BLUR_FULL };
+    let nspc = ns_per_cycle();
+    let ms: Vec<_> = benchmarks(dims)
+        .iter()
+        .map(|b| {
+            eprintln!("measuring {}...", b.name);
+            measure(b)
+        })
+        .collect();
+    print!("{}", report::figure5(&ms, nspc));
+}

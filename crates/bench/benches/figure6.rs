@@ -1,0 +1,20 @@
+//! Regenerates the paper's Figure 6 (VCODE dynamic compilation cost per
+//! generated instruction, per benchmark).
+//!
+//! Run with: `cargo bench -p tcc-bench --bench figure6`
+
+use tcc_suite::{benchmarks, measure, ns_per_cycle, report, BLUR_FULL, BLUR_SMALL};
+
+fn main() {
+    let small = std::env::args().any(|a| a == "--small");
+    let dims = if small { BLUR_SMALL } else { BLUR_FULL };
+    let nspc = ns_per_cycle();
+    let ms: Vec<_> = benchmarks(dims)
+        .iter()
+        .map(|b| {
+            eprintln!("measuring {}...", b.name);
+            measure(b)
+        })
+        .collect();
+    print!("{}", report::figure6(&ms, nspc));
+}

@@ -1,0 +1,21 @@
+//! Regenerates the paper's Figure 7 (ICODE dynamic compilation cost
+//! breakdown: closures/IR, flow graph, liveness, register allocation and
+//! emission — linear scan vs graph coloring side by side).
+//!
+//! Run with: `cargo bench -p tcc-bench --bench figure7`
+
+use tcc_suite::{benchmarks, measure, ns_per_cycle, report, BLUR_FULL, BLUR_SMALL};
+
+fn main() {
+    let small = std::env::args().any(|a| a == "--small");
+    let dims = if small { BLUR_SMALL } else { BLUR_FULL };
+    let nspc = ns_per_cycle();
+    let ms: Vec<_> = benchmarks(dims)
+        .iter()
+        .map(|b| {
+            eprintln!("measuring {}...", b.name);
+            measure(b)
+        })
+        .collect();
+    print!("{}", report::figure7(&ms, nspc));
+}

@@ -1,0 +1,9 @@
+//! Regenerates the paper's Table 1 (code generation overhead per
+//! generated instruction for the four extreme cspec shapes).
+//!
+//! Run with: `cargo bench -p tcc-bench --bench table1`
+
+fn main() {
+    let nspc = tcc_suite::ns_per_cycle();
+    print!("{}", tcc_suite::report::table1(nspc, 250, 100));
+}

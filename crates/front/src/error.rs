@@ -1,0 +1,41 @@
+//! Front-end diagnostics.
+
+use std::fmt;
+
+/// A lexing, parsing, or semantic error with its source line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FrontError {
+    /// Lexical error.
+    Lex {
+        /// 1-based source line.
+        line: u32,
+        /// Diagnostic.
+        msg: String,
+    },
+    /// Syntax error.
+    Parse {
+        /// 1-based source line.
+        line: u32,
+        /// Diagnostic.
+        msg: String,
+    },
+    /// Type or scope error.
+    Sema {
+        /// 1-based source line.
+        line: u32,
+        /// Diagnostic.
+        msg: String,
+    },
+}
+
+impl fmt::Display for FrontError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrontError::Lex { line, msg } => write!(f, "lex error at line {line}: {msg}"),
+            FrontError::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
+            FrontError::Sema { line, msg } => write!(f, "semantic error at line {line}: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FrontError {}

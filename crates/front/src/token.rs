@@ -1,0 +1,111 @@
+//! Tokens of the `C language (ANSI C subset + the tick extensions).
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Tok {
+    /// Identifier.
+    Ident(String),
+    /// Integer literal (value, and whether it was suffixed `L`).
+    Int(i64, bool),
+    /// Floating literal.
+    Float(f64),
+    /// String literal (unescaped bytes).
+    Str(Vec<u8>),
+    /// Character literal.
+    Char(u8),
+    /// Keyword.
+    Kw(Kw),
+    /// Punctuation / operator.
+    P(P),
+    /// End of input.
+    Eof,
+}
+
+/// Keywords, including the `C extensions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum Kw {
+    Void, Char, Short, Int, Long, Unsigned, Signed, Float, Double,
+    Struct, Return, If, Else, While, Do, For, Break, Continue,
+    Switch, Case, Default, Goto, Sizeof,
+    // `C extensions
+    Cspec, Vspec, Compile, Local, Param,
+}
+
+/// Punctuation and operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum P {
+    LBrace, RBrace, LParen, RParen, LBracket, RBracket,
+    Semi, Comma, Dot, Arrow, Question, Colon,
+    Inc, Dec,
+    Plus, Minus, Star, Slash, Percent,
+    Amp, Pipe, Caret, Tilde, Bang,
+    Shl, Shr,
+    Lt, Gt, Le, Ge, EqEq, Ne,
+    AmpAmp, PipePipe,
+    Assign, PlusEq, MinusEq, StarEq, SlashEq, PercentEq,
+    ShlEq, ShrEq, AmpEq, PipeEq, CaretEq,
+    Backquote, Dollar, At,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "{s}"),
+            Tok::Int(v, _) => write!(f, "{v}"),
+            Tok::Float(v) => write!(f, "{v}"),
+            Tok::Str(_) => write!(f, "string literal"),
+            Tok::Char(c) => write!(f, "'{}'", *c as char),
+            Tok::Kw(k) => write!(f, "{k:?}"),
+            Tok::P(p) => write!(f, "{p:?}"),
+            Tok::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token plus its source line (for diagnostics).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// Looks up a keyword by spelling.
+pub fn keyword(s: &str) -> Option<Kw> {
+    Some(match s {
+        "void" => Kw::Void,
+        "char" => Kw::Char,
+        "short" => Kw::Short,
+        "int" => Kw::Int,
+        "long" => Kw::Long,
+        "unsigned" => Kw::Unsigned,
+        "signed" => Kw::Signed,
+        "float" => Kw::Float,
+        "double" => Kw::Double,
+        "struct" => Kw::Struct,
+        "return" => Kw::Return,
+        "if" => Kw::If,
+        "else" => Kw::Else,
+        "while" => Kw::While,
+        "do" => Kw::Do,
+        "for" => Kw::For,
+        "break" => Kw::Break,
+        "continue" => Kw::Continue,
+        "switch" => Kw::Switch,
+        "case" => Kw::Case,
+        "default" => Kw::Default,
+        "goto" => Kw::Goto,
+        "sizeof" => Kw::Sizeof,
+        "cspec" => Kw::Cspec,
+        "vspec" => Kw::Vspec,
+        "compile" => Kw::Compile,
+        "local" => Kw::Local,
+        "param" => Kw::Param,
+        _ => return None,
+    })
+}

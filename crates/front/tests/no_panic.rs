@@ -1,0 +1,45 @@
+//! The front end must never panic: any byte soup yields `Ok` or a typed
+//! [`tcc_front::FrontError`].
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn random_ascii_never_panics(src in "[ -~\\n\\t]{0,200}") {
+        let _ = tcc_front::compile_unit(&src);
+    }
+
+    #[test]
+    fn random_token_soup_never_panics(
+        toks in prop::collection::vec(
+            prop::sample::select(vec![
+                "int", "void", "cspec", "vspec", "`", "$", "compile", "local",
+                "param", "label", "jump", "push", "apply", "push_init",
+                "(", ")", "{", "}", "[", "]", ";", ",", "=", "+", "*", "x",
+                "f", "1", "42", "\"s\"", "for", "if", "return", "struct",
+            ]),
+            0..60,
+        )
+    ) {
+        let src = toks.join(" ");
+        let _ = tcc_front::compile_unit(&src);
+    }
+
+    #[test]
+    fn truncations_of_valid_programs_never_panic(cut in 0usize..400) {
+        let src = r#"
+            struct s { int a; int b; };
+            int g(int x) { return x * 2; }
+            int f(int n) {
+                int cspec c = `($n + g(n));
+                int (*fp)(void) = compile(c, int);
+                return (*fp)();
+            }
+        "#;
+        let cut = cut.min(src.len());
+        // only cut at char boundaries (ASCII source, always true)
+        let _ = tcc_front::compile_unit(&src[..cut]);
+    }
+}

@@ -1,0 +1,242 @@
+//! Chaitin-style graph-coloring register allocation — the paper's
+//! baseline comparator for linear scan (§5.2: "In addition to this
+//! register allocator, we also provide a Chaitin-style graph-coloring
+//! register allocator … it is a good means of evaluating our simpler and
+//! faster register allocation algorithm").
+//!
+//! The implementation builds a precise interference graph from
+//! per-instruction liveness (more exact than live intervals — that
+//! precision is exactly what costs time, which is the Figure 7 story),
+//! then simplifies with Briggs-style optimistic coloring and spills by
+//! lowest weight/degree.
+
+use crate::alloc::{AllocLoc, Assignment, Pools};
+use crate::flow::FlowGraph;
+use crate::intervals::Interval;
+use crate::ir::{IcodeBuf, VReg};
+use crate::liveness::{BitSet, Liveness};
+use tcc_rt::ValKind;
+
+/// Runs the graph-coloring allocator.
+pub fn graph_color(
+    buf: &IcodeBuf,
+    fg: &FlowGraph,
+    lv: &Liveness,
+    intervals: &[Interval],
+    pools: &Pools,
+) -> Assignment {
+    let nv = buf.num_vregs();
+    let mut adj: Vec<BitSet> = (0..nv).map(|_| BitSet::new(nv)).collect();
+    let mut degree = vec![0u32; nv];
+    let mut present = vec![false; nv];
+
+    let add_edge = |adj: &mut Vec<BitSet>, degree: &mut Vec<u32>, a: usize, b: usize| {
+        if a != b && !adj[a].contains(b) {
+            adj[a].insert(b);
+            adj[b].insert(a);
+            degree[a] += 1;
+            degree[b] += 1;
+        }
+    };
+
+    // Build interference: walk blocks backward from live-out.
+    for (bi, blk) in fg.blocks.iter().enumerate() {
+        let mut live = lv.live_out[bi].clone();
+        for insn in buf.insns[blk.start..blk.end].iter().rev() {
+            if let Some(d) = insn.def() {
+                present[d.0 as usize] = true;
+                let di = d.0 as usize;
+                let live_now: Vec<usize> = live.iter().collect();
+                let d_float = buf.vreg_kinds[di] == ValKind::F;
+                for l in live_now {
+                    // Interference only matters within a register bank.
+                    if (buf.vreg_kinds[l] == ValKind::F) == d_float {
+                        add_edge(&mut adj, &mut degree, di, l);
+                    }
+                }
+                live.remove(di);
+            }
+            for u in insn.uses().into_iter().flatten() {
+                present[u.0 as usize] = true;
+                live.insert(u.0 as usize);
+            }
+        }
+    }
+
+    let crosses: Vec<bool> = {
+        let mut c = vec![false; nv];
+        for iv in intervals {
+            c[iv.vreg.0 as usize] = iv.crosses_call;
+        }
+        c
+    };
+    let weight: Vec<u64> = {
+        let mut w = vec![1u64; nv];
+        for iv in intervals {
+            w[iv.vreg.0 as usize] = iv.weight.max(1);
+        }
+        w
+    };
+
+    let k_of = |v: usize| -> usize {
+        let float = buf.vreg_kinds[v] == ValKind::F;
+        match (float, crosses[v]) {
+            (false, false) => pools.int_total(),
+            (false, true) => pools.int_callee.len(),
+            (true, false) => pools.float_total(),
+            (true, true) => pools.f_callee.len(),
+        }
+    };
+
+    // Simplify: push removable nodes; when stuck, pick a spill candidate
+    // optimistically.
+    let mut stack: Vec<usize> = Vec::new();
+    let mut removed = vec![false; nv];
+    let mut remaining: Vec<usize> = (0..nv).filter(|&v| present[v]).collect();
+    let mut deg = degree.clone();
+    while !remaining.is_empty() {
+        let pos = remaining.iter().position(|&v| (deg[v] as usize) < k_of(v));
+        let v = match pos {
+            Some(p) => remaining.remove(p),
+            None => {
+                // Spill heuristic: lowest weight / (degree + 1).
+                let (p, _) = remaining
+                    .iter()
+                    .enumerate()
+                    .min_by(|(_, &a), (_, &b)| {
+                        let fa = weight[a] as f64 / (deg[a] as f64 + 1.0);
+                        let fb = weight[b] as f64 / (deg[b] as f64 + 1.0);
+                        fa.partial_cmp(&fb).expect("weights are finite")
+                    })
+                    .expect("remaining nonempty");
+                remaining.remove(p)
+            }
+        };
+        removed[v] = true;
+        for n in adj[v].iter() {
+            if !removed[n] {
+                deg[n] = deg[n].saturating_sub(1);
+            }
+        }
+        stack.push(v);
+    }
+
+    // Select: pop and color.
+    let mut asn = Assignment::new(nv);
+    while let Some(v) = stack.pop() {
+        let float = buf.vreg_kinds[v] == ValKind::F;
+        // Build the candidate register order: callee-saved first when the
+        // node crosses calls (mandatory), otherwise caller-saved first.
+        let candidates: Vec<AllocLoc> = if float {
+            let mut c: Vec<AllocLoc> = Vec::new();
+            if !crosses[v] {
+                c.extend(pools.f_caller.iter().map(|&f| AllocLoc::F(f)));
+            }
+            c.extend(pools.f_callee.iter().map(|&f| AllocLoc::F(f)));
+            c
+        } else {
+            let mut c: Vec<AllocLoc> = Vec::new();
+            if !crosses[v] {
+                c.extend(pools.int_caller.iter().map(|&r| AllocLoc::R(r)));
+            }
+            c.extend(pools.int_callee.iter().map(|&r| AllocLoc::R(r)));
+            c
+        };
+        let taken: Vec<AllocLoc> = adj[v]
+            .iter()
+            .filter_map(|n| asn.locs[n])
+            .collect();
+        match candidates.into_iter().find(|c| !taken.contains(c)) {
+            Some(reg) => asn.set(VReg(v as u32), reg),
+            None => {
+                let slot = if float { asn.new_fslot() } else { asn.new_slot() };
+                asn.set(VReg(v as u32), slot);
+            }
+        }
+    }
+    asn
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::intervals::build_intervals;
+    use crate::linear_scan::check_no_overlap_conflicts;
+    use tcc_vcode::ops::BinOp;
+    use tcc_vcode::CodeSink;
+
+    fn allocate(buf: &IcodeBuf, pools: &Pools) -> (Assignment, Vec<Interval>) {
+        let fg = FlowGraph::build(buf);
+        let lv = Liveness::solve(buf, &fg);
+        let ivs = build_intervals(buf, &fg, &lv);
+        (graph_color(buf, &fg, &lv, &ivs, pools), ivs)
+    }
+
+    #[test]
+    fn simple_program_colors_without_spills() {
+        let mut b = IcodeBuf::new();
+        let x = b.param(0, ValKind::W);
+        let y = b.temp(ValKind::W);
+        b.li(y, 3);
+        b.bin(BinOp::Mul, ValKind::W, y, y, x);
+        b.ret_val(ValKind::W, y);
+        let (asn, ivs) = allocate(&b, &Pools::full());
+        assert_eq!(asn.spilled, 0);
+        assert!(check_no_overlap_conflicts(&ivs, &asn).is_none());
+    }
+
+    #[test]
+    fn high_pressure_spills_low_weight_nodes() {
+        let mut b = IcodeBuf::new();
+        // 25 simultaneously live values with only 8 registers.
+        let vals: Vec<_> = (0..25).map(|_| b.temp(ValKind::W)).collect();
+        for (i, &v) in vals.iter().enumerate() {
+            b.li(v, i as i64);
+        }
+        let acc = b.temp(ValKind::W);
+        b.li(acc, 0);
+        for &v in &vals {
+            b.bin(BinOp::Add, ValKind::W, acc, acc, v);
+        }
+        b.ret_val(ValKind::W, acc);
+        let (asn, _ivs) = allocate(&b, &Pools::with_int_limit(8));
+        assert!(asn.spilled > 0, "must spill under pressure");
+        assert!(asn.spilled <= 20, "should keep several in registers");
+    }
+
+    #[test]
+    fn interference_edges_respected() {
+        let mut b = IcodeBuf::new();
+        let x = b.temp(ValKind::W);
+        let y = b.temp(ValKind::W);
+        let z = b.temp(ValKind::W);
+        b.li(x, 1);
+        b.li(y, 2);
+        b.li(z, 3);
+        b.bin(BinOp::Add, ValKind::W, x, x, y);
+        b.bin(BinOp::Add, ValKind::W, x, x, z);
+        b.ret_val(ValKind::W, x);
+        let (asn, ivs) = allocate(&b, &Pools::full());
+        assert!(check_no_overlap_conflicts(&ivs, &asn).is_none());
+        // x, y, z all overlap pairwise: three distinct registers.
+        let locs = [asn.loc(x), asn.loc(y), asn.loc(z)];
+        assert_ne!(locs[0], locs[1]);
+        assert_ne!(locs[0], locs[2]);
+        assert_ne!(locs[1], locs[2]);
+    }
+
+    #[test]
+    fn call_crossing_nodes_take_callee_saved() {
+        let mut b = IcodeBuf::new();
+        let x = b.temp(ValKind::W);
+        b.li(x, 7);
+        b.call_addr(0x8000_0000, &[], None);
+        b.ret_val(ValKind::W, x);
+        let (asn, _) = allocate(&b, &Pools::full());
+        match asn.loc(x) {
+            AllocLoc::R(r) => assert!(tcc_vm::regs::SAVED_REGS.contains(&r)),
+            AllocLoc::Slot(_) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,266 @@
+//! The ICODE dynamic compilation pipeline (paper §5.2).
+//!
+//! "When compile is invoked in ICODE mode, ICODE builds a flow graph,
+//! identifies live ranges, employs a linear-time algorithm to perform
+//! register allocation, and performs some peephole optimizations.
+//! Finally, it translates the intermediate representation to the target
+//! machine's binary format. We have attempted to minimize the cost of
+//! each of these operations."
+//!
+//! Each phase is timed individually — that per-phase breakdown is Figure
+//! 7 of the paper (where register allocation and liveness account for
+//! 70-80% of ICODE's code generation cost).
+
+use crate::alloc::{Assignment, Pools};
+use crate::color::graph_color;
+use crate::emit::emit;
+use crate::flow::FlowGraph;
+use crate::intervals::build_intervals;
+use crate::ir::IcodeBuf;
+use crate::linear_scan::linear_scan;
+use crate::liveness::Liveness;
+use crate::peephole::{dead_code, thread_jumps};
+use crate::prune::TranslatorTable;
+use std::time::Instant;
+use tcc_vcode::FinishedFunc;
+use tcc_vm::CodeSpace;
+
+/// Register allocation strategy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Strategy {
+    /// The paper's fast linear scan (Figure 3).
+    #[default]
+    LinearScan,
+    /// The Chaitin-style graph-coloring baseline.
+    GraphColor,
+}
+
+/// Per-phase wall-clock nanoseconds (the Figure 7 breakdown).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Phases {
+    /// IR cleanup (DCE, jump threading).
+    pub peephole_ns: u64,
+    /// Flow graph construction.
+    pub flow_ns: u64,
+    /// Live-variable relaxation.
+    pub liveness_ns: u64,
+    /// Live interval construction.
+    pub intervals_ns: u64,
+    /// Register allocation proper.
+    pub alloc_ns: u64,
+    /// Translation to binary.
+    pub emit_ns: u64,
+}
+
+impl Phases {
+    /// Total nanoseconds across phases.
+    pub fn total_ns(&self) -> u64 {
+        self.peephole_ns
+            + self.flow_ns
+            + self.liveness_ns
+            + self.intervals_ns
+            + self.alloc_ns
+            + self.emit_ns
+    }
+
+    /// Fraction of time in liveness + intervals + allocation ("register
+    /// allocation and related operations", the paper's 70-80% claim).
+    pub fn alloc_fraction(&self) -> f64 {
+        let a = self.liveness_ns + self.intervals_ns + self.alloc_ns;
+        a as f64 / self.total_ns().max(1) as f64
+    }
+}
+
+/// Result of one ICODE compilation.
+#[derive(Clone, Debug)]
+pub struct IcodeResult {
+    /// The generated function.
+    pub func: FinishedFunc,
+    /// Per-phase timing.
+    pub phases: Phases,
+    /// Number of spilled live intervals.
+    pub spills: u32,
+    /// IR instructions after cleanup.
+    pub ir_len: usize,
+    /// Basic block count.
+    pub blocks: usize,
+    /// Live interval count.
+    pub intervals: usize,
+}
+
+/// The ICODE back-end compiler: configuration + the `compile`
+/// entry point.
+#[derive(Clone, Debug)]
+pub struct IcodeCompiler {
+    /// Allocation strategy (linear scan vs graph coloring).
+    pub strategy: Strategy,
+    /// Whether to run the IR cleanup passes.
+    pub run_peephole: bool,
+    /// Allocatable register pools.
+    pub pools: Pools,
+    /// Translator table (full by default; prune for the ablation).
+    pub table: TranslatorTable,
+}
+
+impl Default for IcodeCompiler {
+    fn default() -> Self {
+        IcodeCompiler::new(Strategy::LinearScan)
+    }
+}
+
+impl IcodeCompiler {
+    /// A compiler with the given strategy, full pools and full table.
+    pub fn new(strategy: Strategy) -> IcodeCompiler {
+        IcodeCompiler {
+            strategy,
+            run_peephole: true,
+            pools: Pools::full(),
+            table: TranslatorTable::full(),
+        }
+    }
+
+    /// Compiles an ICODE buffer into executable code.
+    pub fn compile(&self, code: &mut CodeSpace, name: &str, mut buf: IcodeBuf) -> IcodeResult {
+        let mut phases = Phases::default();
+
+        let t = Instant::now();
+        if self.run_peephole {
+            dead_code(&mut buf);
+            thread_jumps(&mut buf);
+        }
+        phases.peephole_ns = t.elapsed().as_nanos() as u64;
+
+        let t = Instant::now();
+        let fg = FlowGraph::build(&buf);
+        phases.flow_ns = t.elapsed().as_nanos() as u64;
+
+        let t = Instant::now();
+        let lv = Liveness::solve(&buf, &fg);
+        phases.liveness_ns = t.elapsed().as_nanos() as u64;
+
+        let t = Instant::now();
+        let ivs = build_intervals(&buf, &fg, &lv);
+        phases.intervals_ns = t.elapsed().as_nanos() as u64;
+
+        let t = Instant::now();
+        let asn: Assignment = match self.strategy {
+            Strategy::LinearScan => linear_scan(&ivs, buf.num_vregs(), &self.pools),
+            Strategy::GraphColor => graph_color(&buf, &fg, &lv, &ivs, &self.pools),
+        };
+        phases.alloc_ns = t.elapsed().as_nanos() as u64;
+
+        let t = Instant::now();
+        let func = emit(code, name, &buf, &asn, &self.table);
+        phases.emit_ns = t.elapsed().as_nanos() as u64;
+
+        IcodeResult {
+            func,
+            phases,
+            spills: asn.spilled,
+            ir_len: buf.insns.len(),
+            blocks: fg.len(),
+            intervals: ivs.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcc_rt::ValKind;
+    use tcc_vcode::ops::BinOp;
+    use tcc_vcode::CodeSink;
+    use tcc_vm::Vm;
+
+    fn sum_to_n_buf() -> IcodeBuf {
+        // f(n) = sum 1..=n
+        let mut b = IcodeBuf::new();
+        let n = b.param(0, ValKind::W);
+        let s = b.temp(ValKind::W);
+        let i = b.temp(ValKind::W);
+        b.li(s, 0);
+        b.li(i, 1);
+        let top = b.label();
+        let done = b.label();
+        b.loop_begin();
+        b.bind(top);
+        b.br_cmp(BinOp::Gt, ValKind::W, i, n, done);
+        b.bin(BinOp::Add, ValKind::W, s, s, i);
+        b.bin_imm(BinOp::Add, ValKind::W, i, i, 1);
+        b.jmp(top);
+        b.loop_end();
+        b.bind(done);
+        b.ret_val(ValKind::W, s);
+        b
+    }
+
+    #[test]
+    fn both_strategies_compile_and_agree() {
+        for strategy in [Strategy::LinearScan, Strategy::GraphColor] {
+            let mut code = CodeSpace::new();
+            let c = IcodeCompiler::new(strategy);
+            let r = c.compile(&mut code, "sum", sum_to_n_buf());
+            let mut vm = Vm::new(code, 1 << 20);
+            assert_eq!(vm.call(r.func.addr, &[100]).unwrap(), 5050, "{strategy:?}");
+            assert_eq!(r.spills, 0);
+            assert!(r.blocks >= 3);
+        }
+    }
+
+    #[test]
+    fn high_pressure_program_spills_but_stays_correct() {
+        // 30 simultaneously live values.
+        let mut b = IcodeBuf::new();
+        let vals: Vec<_> = (0..30).map(|_| b.temp(ValKind::W)).collect();
+        for (i, &v) in vals.iter().enumerate() {
+            b.li(v, (i * i) as i64);
+        }
+        let acc = b.temp(ValKind::W);
+        b.li(acc, 0);
+        for &v in &vals {
+            b.bin(BinOp::Add, ValKind::W, acc, acc, v);
+        }
+        b.ret_val(ValKind::W, acc);
+
+        let expect: u64 = (0..30).map(|i| (i * i) as u64).sum();
+        for strategy in [Strategy::LinearScan, Strategy::GraphColor] {
+            let mut code = CodeSpace::new();
+            let c = IcodeCompiler::new(strategy);
+            let r = c.compile(&mut code, "pressure", b.clone());
+            assert!(r.spills > 0, "{strategy:?} should spill");
+            let mut vm = Vm::new(code, 1 << 20);
+            assert_eq!(vm.call(r.func.addr, &[]).unwrap(), expect, "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn phase_breakdown_is_populated() {
+        let mut code = CodeSpace::new();
+        let c = IcodeCompiler::default();
+        let r = c.compile(&mut code, "sum", sum_to_n_buf());
+        assert!(r.phases.total_ns() > 0);
+        assert!(r.ir_len > 0);
+        assert!(r.intervals >= 3);
+    }
+
+    #[test]
+    fn peephole_shrinks_ir() {
+        let mut b = sum_to_n_buf();
+        let dead = b.temp(ValKind::W);
+        b.li(dead, 42); // appended after ret; dead
+        let mut code = CodeSpace::new();
+        let c = IcodeCompiler::default();
+        let r = c.compile(&mut code, "sum", b);
+        let mut code2 = CodeSpace::new();
+        let mut c2 = IcodeCompiler::default();
+        c2.run_peephole = false;
+        let b2 = {
+            let mut b = sum_to_n_buf();
+            let dead = b.temp(ValKind::W);
+            b.li(dead, 42);
+            b
+        };
+        let r2 = c2.compile(&mut code2, "sum", b2);
+        assert!(r.ir_len < r2.ir_len);
+    }
+}

@@ -1,0 +1,144 @@
+//! The ICODE code emitter (paper §5.2, "Emitting code").
+//!
+//! "The code emitter simply makes one pass through the buffer of ICODE
+//! instructions. For each ICODE instruction, it invokes the VCODE macro
+//! corresponding to the given instruction, prepending and appending spill
+//! code as necessary, and performing some peephole optimizations and
+//! strength reduction."
+//!
+//! Exactly that: the register-allocated virtual registers are mapped to
+//! [`Loc`]s and the VCODE layer's typed macros do the binary emission —
+//! including the transparent reload/store bracketing for spilled
+//! locations and the immediate-value strength reduction.
+
+use crate::alloc::{AllocLoc, Assignment};
+use crate::ir::{IInsn, IOp, IcodeBuf, VReg};
+use crate::prune::TranslatorTable;
+use tcc_rt::ValKind;
+use tcc_vcode::ops::UnOp;
+use tcc_vcode::{CodeSink, FinishedFunc, Loc, Vcode};
+use tcc_vm::regs::{ARG_REGS, FARG_REGS};
+use tcc_vm::CodeSpace;
+
+/// Translates a register-allocated ICODE buffer to binary.
+///
+/// # Panics
+///
+/// Panics if `table` does not support an instruction in `buf` (the
+/// pruned-translator contract) or if the buffer references unassigned
+/// virtual registers.
+pub fn emit(
+    code: &mut CodeSpace,
+    name: &str,
+    buf: &IcodeBuf,
+    asn: &Assignment,
+    table: &TranslatorTable,
+) -> FinishedFunc {
+    let mut vc = Vcode::new(code, name);
+
+    // Save callee-saved registers the allocator handed out.
+    for &r in &asn.used_callee_saved {
+        vc.fb.use_callee_saved(r);
+    }
+    for &f in &asn.used_callee_saved_f {
+        vc.fb.use_callee_saved_f(f);
+    }
+    // Materialize frame blocks (addressable locals) and spill slots.
+    let block_off: Vec<i32> =
+        buf.frame_blocks.iter().map(|&size| vc.fb.alloc_block(size)).collect();
+    let slot_off: Vec<i32> = (0..asn.num_slots).map(|_| vc.fb.alloc_slot()).collect();
+    let fslot_off: Vec<i32> = (0..asn.num_fslots).map(|_| vc.fb.alloc_slot()).collect();
+    let loc_of = |v: VReg| -> Loc {
+        match asn.loc(v) {
+            AllocLoc::R(r) => Loc::R(r),
+            AllocLoc::F(f) => Loc::F(f),
+            AllocLoc::Slot(i) => Loc::Spill(slot_off[i as usize]),
+            AllocLoc::FSlot(i) => Loc::FSpill(fslot_off[i as usize]),
+        }
+    };
+
+    let labels: Vec<_> = (0..buf.nlabels).map(|_| vc.new_label()).collect();
+    let mut pending_args: Vec<(ValKind, Loc)> = Vec::new();
+
+    for insn in &buf.insns {
+        assert!(
+            table.supports(insn),
+            "pruned translator table lacks an entry for {insn:?}"
+        );
+        translate_one(&mut vc, insn, &loc_of, &labels, &block_off, &mut pending_args);
+    }
+    vc.finish()
+}
+
+fn translate_one(
+    vc: &mut Vcode<'_>,
+    insn: &IInsn,
+    loc_of: &dyn Fn(VReg) -> Loc,
+    labels: &[tcc_vcode::Label],
+    block_off: &[i32],
+    pending_args: &mut Vec<(ValKind, Loc)>,
+) {
+    let lbl = |imm: i64| labels[imm as usize];
+    match insn.op {
+        IOp::Li => vc.li(loc_of(insn.dst), insn.imm),
+        IOp::Lif => vc.lif(loc_of(insn.dst), f64::from_bits(insn.imm as u64)),
+        IOp::Bin(op) => vc.bin(op, insn.k, loc_of(insn.dst), loc_of(insn.a), loc_of(insn.b)),
+        IOp::BinImm(op) => {
+            CodeSink::bin_imm(vc, op, insn.k, loc_of(insn.dst), loc_of(insn.a), insn.imm)
+        }
+        IOp::Un(op) => {
+            let (d, a) = (loc_of(insn.dst), loc_of(insn.a));
+            // Peephole: a move between identical locations is a no-op.
+            if op == UnOp::Mov && d == a {
+                return;
+            }
+            vc.un(op, insn.k, d, a);
+        }
+        IOp::Load(lk) => vc.load(lk, loc_of(insn.dst), loc_of(insn.a), insn.imm),
+        IOp::Store(sk) => vc.store(sk, loc_of(insn.b), loc_of(insn.a), insn.imm),
+        IOp::Label => vc.bind(lbl(insn.imm)),
+        IOp::Jmp => vc.jmp(lbl(insn.imm)),
+        IOp::BrCmp(op) => vc.br_cmp(op, insn.k, loc_of(insn.a), loc_of(insn.b), lbl(insn.imm)),
+        IOp::BrTrue => vc.br_true(loc_of(insn.a), lbl(insn.imm)),
+        IOp::BrFalse => vc.br_false(loc_of(insn.a), lbl(insn.imm)),
+        IOp::Arg(_) => pending_args.push((insn.k, loc_of(insn.a))),
+        IOp::CallAddr => {
+            let args = std::mem::take(pending_args);
+            let ret = insn.def().map(|d| (insn.k, loc_of(d)));
+            vc.call(tcc_vcode::CallTarget::Addr(insn.imm as u64), &args, ret);
+        }
+        IOp::CallInd => {
+            let args = std::mem::take(pending_args);
+            let ret = insn.def().map(|d| (insn.k, loc_of(d)));
+            vc.call(tcc_vcode::CallTarget::Ind(loc_of(insn.a)), &args, ret);
+        }
+        IOp::Hcall => {
+            let args = std::mem::take(pending_args);
+            let ret = insn.def().map(|d| (insn.k, loc_of(d)));
+            vc.hcall_with(insn.imm as u32, &args, ret);
+        }
+        IOp::Ret => {
+            if insn.a.is_some() {
+                vc.ret_val(insn.k, loc_of(insn.a));
+            } else {
+                vc.ret();
+            }
+        }
+        IOp::GetParam(i) => {
+            let src = if insn.k == ValKind::F {
+                Loc::F(FARG_REGS[i as usize])
+            } else {
+                Loc::R(ARG_REGS[i as usize])
+            };
+            let d = loc_of(insn.dst);
+            if d != src {
+                vc.un(UnOp::Mov, insn.k, d, src);
+            }
+        }
+        IOp::FrameAddr => {
+            let off = block_off[insn.imm as usize];
+            vc.addi(ValKind::P, loc_of(insn.dst), Loc::R(tcc_vm::regs::FP), off as i64);
+        }
+        IOp::LoopBegin | IOp::LoopEnd => {}
+    }
+}

@@ -1,0 +1,196 @@
+//! Flow graph construction (paper §5.2, "Building a flow graph").
+//!
+//! "ICODE builds a flow graph in one pass after all CGFs have been
+//! invoked … The flow graph is a single array … it traverses the buffer
+//! of ICODE instructions and adds basic blocks to the array in the same
+//! order in which they exist in the list of instructions." Same here:
+//! one linear pass finds block boundaries, a second resolves label
+//! targets to successor edges.
+
+use crate::ir::{IInsn, IOp, IcodeBuf};
+
+/// A basic block: a half-open range of instruction indices plus
+/// successor block indices (at most two).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Block {
+    /// First instruction index.
+    pub start: usize,
+    /// One past the last instruction index.
+    pub end: usize,
+    /// Successor block indices.
+    pub succs: Vec<usize>,
+}
+
+/// The flow graph: blocks in instruction order.
+#[derive(Clone, Debug, Default)]
+pub struct FlowGraph {
+    /// Basic blocks in program order.
+    pub blocks: Vec<Block>,
+    /// Maps instruction index to its block.
+    pub block_of: Vec<usize>,
+}
+
+impl FlowGraph {
+    /// Builds the flow graph for `buf`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a branch references an unbound label.
+    pub fn build(buf: &IcodeBuf) -> FlowGraph {
+        let insns = &buf.insns;
+        let n = insns.len();
+        // Pass 1: find leaders.
+        let mut leader = vec![false; n + 1];
+        leader[0] = true;
+        let mut label_pos = vec![usize::MAX; buf.nlabels as usize];
+        for (i, insn) in insns.iter().enumerate() {
+            match insn.op {
+                IOp::Label => {
+                    leader[i] = true;
+                    label_pos[insn.imm as usize] = i;
+                }
+                IOp::Jmp | IOp::BrCmp(_) | IOp::BrTrue | IOp::BrFalse | IOp::Ret => {
+                    leader[i + 1] = true;
+                }
+                _ => {}
+            }
+        }
+        // Pass 2: materialize blocks.
+        let mut blocks = Vec::new();
+        let mut block_of = vec![0usize; n];
+        let mut start = 0usize;
+        for i in 0..=n {
+            if i == n || (i > start && leader[i]) {
+                blocks.push(Block { start, end: i, succs: Vec::new() });
+                for s in start..i {
+                    block_of[s] = blocks.len() - 1;
+                }
+                start = i;
+                if i == n {
+                    break;
+                }
+            }
+        }
+        if n == 0 {
+            blocks.push(Block { start: 0, end: 0, succs: Vec::new() });
+        }
+        // Pass 3: successor edges.
+        let block_of_label = |l: i64| -> usize {
+            let pos = label_pos[l as usize];
+            assert!(pos != usize::MAX, "branch to unbound label {l}");
+            block_of[pos]
+        };
+        let nblocks = blocks.len();
+        for bi in 0..nblocks {
+            let (bstart, bend) = (blocks[bi].start, blocks[bi].end);
+            if bstart == bend {
+                if bi + 1 < nblocks {
+                    blocks[bi].succs.push(bi + 1);
+                }
+                continue;
+            }
+            let last: &IInsn = &insns[bend - 1];
+            let mut succs = Vec::new();
+            match last.op {
+                IOp::Jmp => succs.push(block_of_label(last.imm)),
+                IOp::BrCmp(_) | IOp::BrTrue | IOp::BrFalse => {
+                    succs.push(block_of_label(last.imm));
+                    if bi + 1 < nblocks {
+                        succs.push(bi + 1);
+                    }
+                }
+                IOp::Ret => {}
+                _ => {
+                    if bi + 1 < nblocks {
+                        succs.push(bi + 1);
+                    }
+                }
+            }
+            blocks[bi].succs = succs;
+        }
+        FlowGraph { blocks, block_of }
+    }
+
+    /// Number of blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// True when the graph has no blocks (empty function).
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcc_rt::ValKind;
+    use tcc_vcode::ops::BinOp;
+    use tcc_vcode::CodeSink;
+
+    #[test]
+    fn straight_line_is_one_block() {
+        let mut b = IcodeBuf::new();
+        let x = b.temp(ValKind::W);
+        b.li(x, 1);
+        b.bin(BinOp::Add, ValKind::W, x, x, x);
+        b.ret_val(ValKind::W, x);
+        let fg = FlowGraph::build(&b);
+        assert_eq!(fg.len(), 1);
+        assert!(fg.blocks[0].succs.is_empty());
+    }
+
+    #[test]
+    fn diamond_has_four_blocks() {
+        let mut b = IcodeBuf::new();
+        let x = b.temp(ValKind::W);
+        let els = b.label();
+        let join = b.label();
+        b.li(x, 1);
+        b.br_false(x, els); // B0 -> B1, B2(els)
+        b.li(x, 2); // B1
+        b.jmp(join);
+        b.bind(els); // B2
+        b.li(x, 3);
+        b.bind(join); // B3
+        b.ret_val(ValKind::W, x);
+        let fg = FlowGraph::build(&b);
+        assert_eq!(fg.len(), 4);
+        assert_eq!(fg.blocks[0].succs, vec![2, 1]);
+        assert_eq!(fg.blocks[1].succs, vec![3]);
+        assert_eq!(fg.blocks[2].succs, vec![3]);
+        assert!(fg.blocks[3].succs.is_empty());
+    }
+
+    #[test]
+    fn loop_back_edge() {
+        let mut b = IcodeBuf::new();
+        let x = b.temp(ValKind::W);
+        b.li(x, 10);
+        let top = b.label();
+        b.bind(top); // starts B1
+        b.bin_imm(BinOp::Sub, ValKind::W, x, x, 1);
+        b.br_true(x, top); // B1 -> B1, B2
+        b.ret_val(ValKind::W, x);
+        let fg = FlowGraph::build(&b);
+        assert_eq!(fg.len(), 3);
+        assert_eq!(fg.blocks[1].succs, vec![1, 2]);
+    }
+
+    #[test]
+    fn block_of_maps_instructions() {
+        let mut b = IcodeBuf::new();
+        let x = b.temp(ValKind::W);
+        b.li(x, 1);
+        let l = b.label();
+        b.bind(l);
+        b.br_true(x, l);
+        b.ret_val(ValKind::W, x);
+        let fg = FlowGraph::build(&b);
+        assert_eq!(fg.block_of[0], 0);
+        assert_eq!(fg.block_of[1], 1);
+        assert_eq!(fg.block_of[2], 1);
+        assert_eq!(fg.block_of[3], 2);
+    }
+}

@@ -1,0 +1,223 @@
+//! Live intervals (paper §5.2, "Finding live intervals").
+//!
+//! "An interval `[i, j]` … is simply all the instructions between the
+//! i-th and j-th instructions in the instruction stream, inclusive. Then
+//! a live interval of a variable is the interval `[m, n]` where m is the
+//! first instruction at which v is ever live and n is the last … This
+//! interval information is only an approximation of the real live range
+//! information (in which ranges may be split): there may be large
+//! portions of `[m, n]` in which v is not live, but we simply ignore
+//! them."
+//!
+//! Intervals also record two pieces of information the allocators need on
+//! this machine: whether the interval crosses a call (such intervals must
+//! live in callee-saved registers) and a spill weight accumulated from
+//! the ICODE usage-frequency hints (`LoopBegin`/`LoopEnd`).
+
+use crate::flow::FlowGraph;
+use crate::ir::{IOp, IcodeBuf, VReg};
+use crate::liveness::Liveness;
+use tcc_rt::ValKind;
+
+/// A live interval for one virtual register.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Interval {
+    /// The virtual register.
+    pub vreg: VReg,
+    /// Kind (selects the register class).
+    pub kind: ValKind,
+    /// First instruction index at which the register is live.
+    pub start: usize,
+    /// Last instruction index at which the register is live (inclusive).
+    pub end: usize,
+    /// True if a call instruction lies strictly inside the interval; the
+    /// register must then survive the call.
+    pub crosses_call: bool,
+    /// Estimated dynamic use count (scaled by loop-nesting hints).
+    pub weight: u64,
+}
+
+/// Builds the sorted-by-endpoint interval list.
+pub fn build_intervals(buf: &IcodeBuf, fg: &FlowGraph, lv: &Liveness) -> Vec<Interval> {
+    let nv = buf.num_vregs();
+    let mut start = vec![usize::MAX; nv];
+    let mut end = vec![0usize; nv];
+    let mut weight = vec![0u64; nv];
+    let mut touch = |v: VReg, pos: usize| {
+        let i = v.0 as usize;
+        if start[i] == usize::MAX {
+            start[i] = pos;
+        }
+        start[i] = start[i].min(pos);
+        end[i] = end[i].max(pos);
+    };
+
+    let mut depth: u32 = 0;
+    for (pos, insn) in buf.insns.iter().enumerate() {
+        match insn.op {
+            IOp::LoopBegin => depth += 1,
+            IOp::LoopEnd => depth = depth.saturating_sub(1),
+            _ => {}
+        }
+        let w = 8u64.saturating_pow(depth.min(6));
+        if let Some(d) = insn.def() {
+            touch(d, pos);
+            weight[d.0 as usize] = weight[d.0 as usize].saturating_add(w);
+        }
+        for u in insn.uses().into_iter().flatten() {
+            touch(u, pos);
+            weight[u.0 as usize] = weight[u.0 as usize].saturating_add(w);
+        }
+    }
+    // Extend through block boundaries where the register is live (this is
+    // what makes the approximation safe around loops: a register live-out
+    // of a block covers that whole block span).
+    for (bi, blk) in fg.blocks.iter().enumerate() {
+        if blk.start == blk.end {
+            continue;
+        }
+        for v in lv.live_in[bi].iter() {
+            if start[v] != usize::MAX {
+                start[v] = start[v].min(blk.start);
+                end[v] = end[v].max(blk.start);
+            }
+        }
+        for v in lv.live_out[bi].iter() {
+            if start[v] != usize::MAX {
+                end[v] = end[v].max(blk.end - 1);
+            }
+        }
+    }
+    // Call positions for crosses_call.
+    let call_positions: Vec<usize> = buf
+        .insns
+        .iter()
+        .enumerate()
+        .filter(|(_, i)| matches!(i.op, IOp::CallAddr | IOp::CallInd | IOp::Hcall))
+        .map(|(p, _)| p)
+        .collect();
+
+    let mut out = Vec::new();
+    for v in 0..nv {
+        if start[v] == usize::MAX {
+            continue;
+        }
+        let crosses = call_positions.iter().any(|&p| start[v] < p && p < end[v]);
+        out.push(Interval {
+            vreg: VReg(v as u32),
+            kind: buf.vreg_kinds[v],
+            start: start[v],
+            end: end[v],
+            crosses_call: crosses,
+            weight: weight[v],
+        });
+    }
+    // "given live variable information, creating a list of live intervals
+    // sorted by start or end point is accomplished in one pass over the
+    // code" — here sorted by increasing end point for the reverse scan.
+    out.sort_by_key(|iv| (iv.end, iv.start));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcc_vcode::ops::BinOp;
+    use tcc_vcode::CodeSink;
+
+    fn intervals_of(buf: &IcodeBuf) -> Vec<Interval> {
+        let fg = FlowGraph::build(buf);
+        let lv = Liveness::solve(buf, &fg);
+        build_intervals(buf, &fg, &lv)
+    }
+
+    #[test]
+    fn straight_line_intervals() {
+        let mut b = IcodeBuf::new();
+        let x = b.temp(ValKind::W); // insn 0: li x
+        let y = b.temp(ValKind::W); // insn 1: li y
+        b.li(x, 1);
+        b.li(y, 2);
+        b.bin(BinOp::Add, ValKind::W, y, y, x); // insn 2
+        b.ret_val(ValKind::W, y); // insn 3
+        let ivs = intervals_of(&b);
+        let ix = ivs.iter().find(|i| i.vreg == x).unwrap();
+        let iy = ivs.iter().find(|i| i.vreg == y).unwrap();
+        assert_eq!((ix.start, ix.end), (0, 2));
+        assert_eq!((iy.start, iy.end), (1, 3));
+        assert!(!ix.crosses_call);
+    }
+
+    #[test]
+    fn loop_extends_interval_over_back_edge() {
+        let mut b = IcodeBuf::new();
+        let s = b.temp(ValKind::W);
+        let x = b.temp(ValKind::W);
+        b.li(s, 0); // 0
+        b.li(x, 5); // 1
+        let top = b.label();
+        b.bind(top); // 2
+        b.bin(BinOp::Add, ValKind::W, s, s, x); // 3
+        b.bin_imm(BinOp::Sub, ValKind::W, x, x, 1); // 4
+        b.br_true(x, top); // 5
+        b.ret_val(ValKind::W, s); // 6
+        let ivs = intervals_of(&b);
+        let is_ = ivs.iter().find(|i| i.vreg == s).unwrap();
+        // s must be live across the whole loop body.
+        assert!(is_.start <= 0 + 0); // defined at 0
+        assert!(is_.end >= 6);
+    }
+
+    #[test]
+    fn call_inside_interval_marks_crossing() {
+        let mut b = IcodeBuf::new();
+        let x = b.temp(ValKind::W);
+        let r = b.temp(ValKind::W);
+        b.li(x, 7); // 0
+        b.call_addr(0x8000_0000, &[], Some((ValKind::W, r))); // 1
+        b.bin(BinOp::Add, ValKind::W, r, r, x); // 2
+        b.ret_val(ValKind::W, r); // 3
+        let ivs = intervals_of(&b);
+        let ix = ivs.iter().find(|i| i.vreg == x).unwrap();
+        let ir = ivs.iter().find(|i| i.vreg == r).unwrap();
+        assert!(ix.crosses_call, "x lives across the call");
+        assert!(!ir.crosses_call, "r is defined by the call");
+    }
+
+    #[test]
+    fn loop_hints_scale_weights() {
+        let mut b = IcodeBuf::new();
+        let cold = b.temp(ValKind::W);
+        let hot = b.temp(ValKind::W);
+        b.li(cold, 1);
+        b.loop_begin();
+        b.li(hot, 2);
+        b.bin(BinOp::Add, ValKind::W, hot, hot, hot);
+        b.loop_end();
+        b.bin(BinOp::Add, ValKind::W, cold, cold, hot);
+        b.ret_val(ValKind::W, cold);
+        let ivs = intervals_of(&b);
+        let wc = ivs.iter().find(|i| i.vreg == cold).unwrap().weight;
+        let wh = ivs.iter().find(|i| i.vreg == hot).unwrap().weight;
+        assert!(wh > wc, "loop-resident register should weigh more: {wh} vs {wc}");
+    }
+
+    #[test]
+    fn sorted_by_end_point() {
+        let mut b = IcodeBuf::new();
+        let xs: Vec<_> = (0..5).map(|_| b.temp(ValKind::W)).collect();
+        for &x in &xs {
+            b.li(x, 1);
+        }
+        let acc = b.temp(ValKind::W);
+        b.li(acc, 0);
+        for &x in &xs {
+            b.bin(BinOp::Add, ValKind::W, acc, acc, x);
+        }
+        b.ret_val(ValKind::W, acc);
+        let ivs = intervals_of(&b);
+        for w in ivs.windows(2) {
+            assert!(w[0].end <= w[1].end);
+        }
+    }
+}

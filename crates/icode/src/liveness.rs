@@ -1,0 +1,186 @@
+//! Live-variable analysis.
+//!
+//! "In addition to constructing control flow information, ICODE collects
+//! a minimal amount of local data flow information (def and use sets for
+//! each basic block)" and then runs "a traditional relaxation algorithm
+//! for computing exact live variable information" (§5.2). This is that
+//! algorithm: per-block def/use sets and an iterative backward dataflow
+//! solve to a fixed point.
+
+use crate::flow::FlowGraph;
+use crate::ir::IcodeBuf;
+
+/// A dense bitset over virtual register numbers.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct BitSet {
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    /// An empty set able to hold `n` elements.
+    pub fn new(n: usize) -> BitSet {
+        BitSet { words: vec![0; n.div_ceil(64)] }
+    }
+
+    /// Inserts `i`; returns true if it was newly inserted.
+    pub fn insert(&mut self, i: usize) -> bool {
+        let (w, b) = (i / 64, i % 64);
+        let old = self.words[w];
+        self.words[w] |= 1 << b;
+        old & (1 << b) == 0
+    }
+
+    /// Removes `i`.
+    pub fn remove(&mut self, i: usize) {
+        self.words[i / 64] &= !(1 << (i % 64));
+    }
+
+    /// Membership test.
+    pub fn contains(&self, i: usize) -> bool {
+        self.words[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    /// `self |= other`; returns true if `self` changed.
+    pub fn union_with(&mut self, other: &BitSet) -> bool {
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let old = *a;
+            *a |= b;
+            changed |= *a != old;
+        }
+        changed
+    }
+
+    /// `self = (self - kill) | gen`; standard transfer step.
+    pub fn transfer(&mut self, gen: &BitSet, kill: &BitSet) {
+        for ((a, g), k) in self.words.iter_mut().zip(&gen.words).zip(&kill.words) {
+            *a = (*a & !k) | g;
+        }
+    }
+
+    /// Iterates over members.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            (0..64).filter(move |b| w & (1 << b) != 0).map(move |b| wi * 64 + b)
+        })
+    }
+
+    /// Number of members.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+}
+
+/// Result of live-variable analysis: live-in/live-out per block.
+#[derive(Clone, Debug)]
+pub struct Liveness {
+    /// Live-in set per block.
+    pub live_in: Vec<BitSet>,
+    /// Live-out set per block.
+    pub live_out: Vec<BitSet>,
+    /// Upward-exposed uses per block.
+    pub use_set: Vec<BitSet>,
+    /// Defined-before-used per block.
+    pub def_set: Vec<BitSet>,
+}
+
+impl Liveness {
+    /// Runs the analysis.
+    pub fn solve(buf: &IcodeBuf, fg: &FlowGraph) -> Liveness {
+        let nv = buf.num_vregs();
+        let nb = fg.len();
+        let mut use_set = vec![BitSet::new(nv); nb];
+        let mut def_set = vec![BitSet::new(nv); nb];
+        for (bi, blk) in fg.blocks.iter().enumerate() {
+            for insn in &buf.insns[blk.start..blk.end] {
+                for u in insn.uses().into_iter().flatten() {
+                    if !def_set[bi].contains(u.0 as usize) {
+                        use_set[bi].insert(u.0 as usize);
+                    }
+                }
+                if let Some(d) = insn.def() {
+                    def_set[bi].insert(d.0 as usize);
+                }
+            }
+        }
+        let mut live_in = vec![BitSet::new(nv); nb];
+        let mut live_out = vec![BitSet::new(nv); nb];
+        // Backward iteration; reverse program order converges fast on
+        // reducible graphs.
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for bi in (0..nb).rev() {
+                let mut out = BitSet::new(nv);
+                for &s in &fg.blocks[bi].succs {
+                    out.union_with(&live_in[s]);
+                }
+                let mut inn = out.clone();
+                inn.transfer(&use_set[bi], &def_set[bi]);
+                if inn != live_in[bi] {
+                    live_in[bi] = inn;
+                    changed = true;
+                }
+                live_out[bi] = out;
+            }
+        }
+        Liveness { live_in, live_out, use_set, def_set }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcc_rt::ValKind;
+    use tcc_vcode::ops::BinOp;
+    use tcc_vcode::CodeSink;
+
+    #[test]
+    fn bitset_basics() {
+        let mut s = BitSet::new(130);
+        assert!(s.insert(0));
+        assert!(s.insert(129));
+        assert!(!s.insert(0));
+        assert!(s.contains(129));
+        s.remove(0);
+        assert!(!s.contains(0));
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![129]);
+    }
+
+    #[test]
+    fn loop_keeps_accumulator_live() {
+        // x = p; s = 0; do { s += x; x -= 1 } while (x); ret s
+        let mut b = IcodeBuf::new();
+        let x = b.param(0, ValKind::W);
+        let s = b.temp(ValKind::W);
+        b.li(s, 0);
+        let top = b.label();
+        b.bind(top);
+        b.bin(BinOp::Add, ValKind::W, s, s, x);
+        b.bin_imm(BinOp::Sub, ValKind::W, x, x, 1);
+        b.br_true(x, top);
+        b.ret_val(ValKind::W, s);
+        let fg = FlowGraph::build(&b);
+        let lv = Liveness::solve(&b, &fg);
+        // Find the loop block (the one with a self edge).
+        let loop_bi = (0..fg.len()).find(|&bi| fg.blocks[bi].succs.contains(&bi)).unwrap();
+        assert!(lv.live_in[loop_bi].contains(s.0 as usize), "s live into loop");
+        assert!(lv.live_in[loop_bi].contains(x.0 as usize), "x live into loop");
+        assert!(lv.live_out[loop_bi].contains(s.0 as usize), "s live out of loop");
+    }
+
+    #[test]
+    fn dead_def_is_not_live() {
+        let mut b = IcodeBuf::new();
+        let x = b.temp(ValKind::W);
+        let d = b.temp(ValKind::W);
+        b.li(x, 1);
+        b.li(d, 9); // dead
+        b.ret_val(ValKind::W, x);
+        let fg = FlowGraph::build(&b);
+        let lv = Liveness::solve(&b, &fg);
+        assert!(!lv.live_in[0].contains(d.0 as usize));
+        assert!(!lv.live_out[0].contains(x.0 as usize)); // no successor
+    }
+}

@@ -1,0 +1,135 @@
+//! IR-level cleanup passes run before register allocation.
+//!
+//! The paper's ICODE run-time "performs some peephole optimizations"
+//! besides register allocation (§5.2). Two cheap, linear passes live
+//! here: dead-code elimination of unused side-effect-free definitions
+//! (composition of cspecs regularly produces values nobody consumes) and
+//! removal of jumps to the immediately following label.
+
+use crate::ir::{IOp, IcodeBuf};
+
+/// Removes side-effect-free instructions whose results are never used.
+/// Iterates to a fixed point (a removed use can kill its operands'
+/// definitions too). Returns the number of instructions removed.
+pub fn dead_code(buf: &mut IcodeBuf) -> usize {
+    let mut removed_total = 0;
+    loop {
+        let nv = buf.num_vregs();
+        let mut used = vec![false; nv];
+        for insn in &buf.insns {
+            for u in insn.uses().into_iter().flatten() {
+                used[u.0 as usize] = true;
+            }
+        }
+        let before = buf.insns.len();
+        buf.insns.retain(|insn| {
+            let removable = matches!(
+                insn.op,
+                IOp::Li | IOp::Lif | IOp::Bin(_) | IOp::BinImm(_) | IOp::Un(_) | IOp::Load(_)
+            );
+            if !removable {
+                return true;
+            }
+            match insn.def() {
+                Some(d) => used[d.0 as usize],
+                None => true,
+            }
+        });
+        let removed = before - buf.insns.len();
+        removed_total += removed;
+        if removed == 0 {
+            return removed_total;
+        }
+    }
+}
+
+/// Deletes `jmp L` instructions where `L` is bound immediately after
+/// (modulo other labels). Returns the number removed.
+pub fn thread_jumps(buf: &mut IcodeBuf) -> usize {
+    let insns = &buf.insns;
+    let mut drop = vec![false; insns.len()];
+    for (i, insn) in insns.iter().enumerate() {
+        if insn.op != IOp::Jmp {
+            continue;
+        }
+        let target = insn.imm;
+        let mut j = i + 1;
+        while j < insns.len() && insns[j].op == IOp::Label {
+            if insns[j].imm == target {
+                drop[i] = true;
+                break;
+            }
+            j += 1;
+        }
+    }
+    let before = buf.insns.len();
+    let mut idx = 0;
+    buf.insns.retain(|_| {
+        let keep = !drop[idx];
+        idx += 1;
+        keep
+    });
+    before - buf.insns.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcc_rt::ValKind;
+    use tcc_vcode::ops::BinOp;
+    use tcc_vcode::CodeSink;
+
+    #[test]
+    fn dce_removes_unused_chains() {
+        let mut b = IcodeBuf::new();
+        let x = b.temp(ValKind::W);
+        let dead1 = b.temp(ValKind::W);
+        let dead2 = b.temp(ValKind::W);
+        b.li(x, 1);
+        b.li(dead1, 2);
+        b.bin(BinOp::Add, ValKind::W, dead2, dead1, dead1); // uses dead1
+        b.ret_val(ValKind::W, x);
+        let removed = dead_code(&mut b);
+        assert_eq!(removed, 2, "dead2 then dead1");
+        assert_eq!(b.insns.len(), 2);
+    }
+
+    #[test]
+    fn dce_keeps_stores_and_calls() {
+        let mut b = IcodeBuf::new();
+        let x = b.temp(ValKind::W);
+        let p = b.temp(ValKind::P);
+        b.li(x, 1);
+        b.li(p, 0x2000);
+        b.store(tcc_vcode::ops::StoreKind::I32, x, p, 0);
+        b.call_addr(0x8000_0000, &[], None);
+        b.ret_void();
+        assert_eq!(dead_code(&mut b), 0);
+    }
+
+    #[test]
+    fn jump_to_next_label_removed() {
+        let mut b = IcodeBuf::new();
+        let l = b.label();
+        let x = b.temp(ValKind::W);
+        b.li(x, 1);
+        b.jmp(l);
+        b.bind(l);
+        b.ret_val(ValKind::W, x);
+        assert_eq!(thread_jumps(&mut b), 1);
+        assert!(!b.insns.iter().any(|i| i.op == IOp::Jmp));
+    }
+
+    #[test]
+    fn jump_over_code_kept() {
+        let mut b = IcodeBuf::new();
+        let l = b.label();
+        let x = b.temp(ValKind::W);
+        b.li(x, 1);
+        b.jmp(l);
+        b.li(x, 2);
+        b.bind(l);
+        b.ret_val(ValKind::W, x);
+        assert_eq!(thread_jumps(&mut b), 0);
+    }
+}

@@ -1,0 +1,213 @@
+//! The link-time translator-pruning analysis.
+//!
+//! Paper §5.2: "ICODE has several hundred instructions (the cross product
+//! of operation kinds and operand types), and the code to translate and
+//! peephole-optimize each instruction is on the order of 100
+//! instructions … tcc therefore keeps track of the ICODE instructions
+//! used by an application, and automatically creates a customized ICODE
+//! back end containing code to only translate the required instructions
+//! … This simple trick cuts the size of the ICODE library by up to an
+//! order of magnitude for most programs."
+//!
+//! Here the translator is a keyed dispatch table; the *full* table holds
+//! one entry per (operation, value-kind) combination, and
+//! [`TranslatorTable::pruned_for`] retains only the combinations a
+//! program actually emits. The emitter refuses to translate instructions
+//! missing from its table, so the pruning analysis is load-bearing, and
+//! the ablation bench reports the size reduction.
+
+use crate::ir::{IInsn, IOp, IcodeBuf};
+use std::collections::BTreeSet;
+use tcc_rt::ValKind;
+use tcc_vcode::ops::{BinOp, LoadKind, StoreKind, UnOp};
+
+/// A translator key: one per (operation, kind) combination.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct OpKey {
+    cat: u8,
+    sub: u8,
+    kind: u8,
+}
+
+/// Nominal instruction count of one translator entry (paper: "on the
+/// order of 100 instructions").
+pub const ENTRY_NOMINAL_INSNS: usize = 100;
+
+/// Derives the translator key of an instruction.
+pub fn key_of(insn: &IInsn) -> OpKey {
+    let (cat, sub): (u8, u8) = match insn.op {
+        IOp::Li => (0, 0),
+        IOp::Lif => (1, 0),
+        IOp::Bin(b) => (2, bin_idx(b)),
+        IOp::BinImm(b) => (3, bin_idx(b)),
+        IOp::Un(u) => (4, un_idx(u)),
+        IOp::Load(l) => (5, load_idx(l)),
+        IOp::Store(s) => (6, store_idx(s)),
+        IOp::Label => (7, 0),
+        IOp::Jmp => (8, 0),
+        IOp::BrCmp(b) => (9, bin_idx(b)),
+        IOp::BrTrue => (10, 0),
+        IOp::BrFalse => (11, 0),
+        IOp::Arg(_) => (12, 0),
+        IOp::CallAddr => (13, 0),
+        IOp::CallInd => (14, 0),
+        IOp::Hcall => (15, 0),
+        IOp::Ret => (16, 0),
+        IOp::GetParam(_) => (17, 0),
+        IOp::LoopBegin | IOp::LoopEnd => (18, 0),
+        IOp::FrameAddr => (19, 0),
+    };
+    OpKey { cat, sub, kind: insn.k.code() }
+}
+
+fn bin_idx(b: BinOp) -> u8 {
+    use BinOp::*;
+    [
+        Add, Sub, Mul, Div, DivU, Rem, RemU, And, Or, Xor, Shl, Shr, ShrU, Eq, Ne, Lt, LtU,
+        Le, LeU, Gt, GtU, Ge, GeU,
+    ]
+    .iter()
+    .position(|&x| x == b)
+    .expect("all binops enumerated") as u8
+}
+
+fn un_idx(u: UnOp) -> u8 {
+    use UnOp::*;
+    [Neg, Not, Mov, CvtWtoF, CvtFtoW, CvtLtoF, CvtFtoL]
+        .iter()
+        .position(|&x| x == u)
+        .expect("all unops enumerated") as u8
+}
+
+fn load_idx(l: LoadKind) -> u8 {
+    use LoadKind::*;
+    [I8, U8, I16, U16, I32, U32, I64, F64]
+        .iter()
+        .position(|&x| x == l)
+        .expect("all load kinds enumerated") as u8
+}
+
+fn store_idx(s: StoreKind) -> u8 {
+    use StoreKind::*;
+    [I8, I16, I32, I64, F64].iter().position(|&x| x == s).expect("enumerated") as u8
+}
+
+/// A translator dispatch table (full or pruned).
+#[derive(Clone, Debug)]
+pub struct TranslatorTable {
+    keys: BTreeSet<OpKey>,
+}
+
+impl TranslatorTable {
+    /// The full cross product: every operation at every kind it supports.
+    pub fn full() -> TranslatorTable {
+        let mut keys = BTreeSet::new();
+        let kinds = [ValKind::W, ValKind::D, ValKind::P, ValKind::F];
+        for kind in kinds {
+            for cat in 0u8..20 {
+                let subs: u8 = match cat {
+                    2 | 3 | 9 => 23,
+                    4 => 7,
+                    5 => 8,
+                    6 => 5,
+                    _ => 1,
+                };
+                for sub in 0..subs {
+                    keys.insert(OpKey { cat, sub, kind: kind.code() });
+                }
+            }
+        }
+        TranslatorTable { keys }
+    }
+
+    /// The pruned table for a set of ICODE buffers (the "link-time"
+    /// analysis runs over every dynamic code site in the program).
+    pub fn pruned_for<'a>(bufs: impl IntoIterator<Item = &'a IcodeBuf>) -> TranslatorTable {
+        TranslatorTable::from_keys(
+            bufs.into_iter().flat_map(|b| b.insns.iter().map(key_of)),
+        )
+    }
+
+    /// A table containing exactly `keys`.
+    pub fn from_keys(keys: impl IntoIterator<Item = OpKey>) -> TranslatorTable {
+        TranslatorTable { keys: keys.into_iter().collect() }
+    }
+
+    /// Number of translator entries.
+    pub fn entries(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Nominal code size (instructions) of the translator.
+    pub fn nominal_size(&self) -> usize {
+        self.entries() * ENTRY_NOMINAL_INSNS
+    }
+
+    /// True if the table can translate `insn`.
+    pub fn supports(&self, insn: &IInsn) -> bool {
+        self.keys.contains(&key_of(insn))
+    }
+}
+
+impl Default for TranslatorTable {
+    fn default() -> Self {
+        TranslatorTable::full()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcc_vcode::CodeSink;
+
+    #[test]
+    fn full_table_has_several_hundred_entries() {
+        let t = TranslatorTable::full();
+        assert!(t.entries() > 300, "got {}", t.entries());
+        assert!(t.nominal_size() > 30_000);
+    }
+
+    #[test]
+    fn pruned_table_is_an_order_of_magnitude_smaller_for_small_programs() {
+        let mut b = IcodeBuf::new();
+        let x = b.param(0, ValKind::W);
+        let y = b.temp(ValKind::W);
+        b.li(y, 3);
+        b.bin(BinOp::Mul, ValKind::W, y, y, x);
+        b.ret_val(ValKind::W, y);
+        let full = TranslatorTable::full();
+        let pruned = TranslatorTable::pruned_for([&b]);
+        assert!(pruned.entries() * 10 <= full.entries());
+        for insn in &b.insns {
+            assert!(pruned.supports(insn));
+        }
+    }
+
+    #[test]
+    fn pruned_table_rejects_unused_ops() {
+        let mut b = IcodeBuf::new();
+        let x = b.temp(ValKind::W);
+        b.li(x, 1);
+        b.ret_val(ValKind::W, x);
+        let pruned = TranslatorTable::pruned_for([&b]);
+        let mut other = IcodeBuf::new();
+        let f = other.temp(ValKind::F);
+        other.lif(f, 1.0);
+        assert!(!pruned.supports(&other.insns[0]));
+    }
+
+    #[test]
+    fn keys_are_stable_per_op_and_kind() {
+        let mut b = IcodeBuf::new();
+        let x = b.temp(ValKind::W);
+        let y = b.temp(ValKind::D);
+        b.bin(BinOp::Add, ValKind::W, x, x, x);
+        b.bin(BinOp::Add, ValKind::D, y, y, y);
+        b.bin(BinOp::Add, ValKind::W, x, x, x);
+        let k0 = key_of(&b.insns[0]);
+        let k1 = key_of(&b.insns[1]);
+        let k2 = key_of(&b.insns[2]);
+        assert_eq!(k0, k2);
+        assert_ne!(k0, k1);
+    }
+}

@@ -1,0 +1,198 @@
+//! Closure and vspec object layout in VM memory.
+//!
+//! The paper (§4.2) lowers each tick-expression to a statically generated
+//! code-generating function (CGF) plus inline code that allocates and
+//! fills a *closure*. The closure captures everything the CGF needs at
+//! dynamic compile time:
+//!
+//! 1. the CGF itself (here: an index into the compiled module's CGF
+//!    table),
+//! 2. values of `$`-bound run-time constants,
+//! 3. addresses of free variables,
+//! 4. pointers to nested cspec/vspec objects composed inside the body.
+//!
+//! The layout is a header word (CGF id) followed by one 8-byte word per
+//! captured field, in the order the static compiler assigned. The static
+//! compiler and the dynamic compiler share that order through the CGF's
+//! field table, so this module only needs untyped word accessors.
+//!
+//! Vspec objects represent dynamically created lvalues (`local` and
+//! `param` special forms). They carry a tag, a [`ValKind`] code, and an
+//! identifying index; the dynamic compiler maps each distinct object to a
+//! register or stack slot at instantiation time.
+
+use crate::kind::ValKind;
+use tcc_vm::{Memory, VmError};
+
+/// Header value marking a *dynamic label object* rather than a real
+/// closure: label objects are `void cspec`s created by the `label()`
+/// special form; splicing one binds a position, `jump(l)` targets it.
+pub const LABEL_MARKER: u64 = u64::MAX - 1;
+
+/// Header value marking a *dynamic argument list* built by the
+/// `push_init`/`push` special forms; `apply(f, args)` in a tick body
+/// emits a call whose arguments are the list's composed cspecs.
+pub const ARGLIST_MARKER: u64 = u64::MAX - 2;
+
+/// Maximum arguments in a dynamic argument list (the machine ABI).
+pub const ARGLIST_MAX: u64 = 6;
+
+/// A view of a closure at a VM address.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ClosureRef {
+    /// VM address of the closure header.
+    pub addr: u64,
+}
+
+impl ClosureRef {
+    /// Bytes needed for a closure with `nfields` captured words.
+    pub fn size_for(nfields: usize) -> u64 {
+        8 * (1 + nfields as u64)
+    }
+
+    /// Reads the CGF id from the header word.
+    ///
+    /// # Errors
+    ///
+    /// Faults if the address is unmapped.
+    pub fn cgf_id(&self, mem: &Memory) -> Result<u64, VmError> {
+        mem.load_u64(self.addr)
+    }
+
+    /// Writes the CGF id header word.
+    ///
+    /// # Errors
+    ///
+    /// Faults if the address is unmapped.
+    pub fn set_cgf_id(&self, mem: &mut Memory, id: u64) -> Result<(), VmError> {
+        mem.store_u64(self.addr, id)
+    }
+
+    /// Reads captured field `i`.
+    ///
+    /// # Errors
+    ///
+    /// Faults if the address is unmapped.
+    pub fn field(&self, mem: &Memory, i: usize) -> Result<u64, VmError> {
+        mem.load_u64(self.addr + 8 * (1 + i as u64))
+    }
+
+    /// Writes captured field `i`.
+    ///
+    /// # Errors
+    ///
+    /// Faults if the address is unmapped.
+    pub fn set_field(&self, mem: &mut Memory, i: usize, v: u64) -> Result<(), VmError> {
+        mem.store_u64(self.addr + 8 * (1 + i as u64), v)
+    }
+
+    /// VM address of captured field `i` (what the static code's store
+    /// instructions target).
+    pub fn field_addr(&self, i: usize) -> u64 {
+        self.addr + 8 * (1 + i as u64)
+    }
+}
+
+/// What a vspec object denotes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum VspecTag {
+    /// A dynamic local created by the `local` special form.
+    Local,
+    /// A parameter of the dynamic function, created by `param`.
+    Param,
+}
+
+impl VspecTag {
+    fn code(self) -> u64 {
+        match self {
+            VspecTag::Local => 0,
+            VspecTag::Param => 1,
+        }
+    }
+
+    fn from_code(c: u64) -> Option<VspecTag> {
+        match c {
+            0 => Some(VspecTag::Local),
+            1 => Some(VspecTag::Param),
+            _ => None,
+        }
+    }
+}
+
+/// A decoded vspec object (three words in VM memory).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct VspecObj {
+    /// Local or parameter.
+    pub tag: VspecTag,
+    /// Machine kind of the lvalue.
+    pub kind: ValKind,
+    /// Unique id for locals; argument position for parameters.
+    pub index: u64,
+}
+
+impl VspecObj {
+    /// Size of a vspec object in VM memory.
+    pub const SIZE: u64 = 24;
+
+    /// Writes the object at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Faults if the range is unmapped.
+    pub fn write(&self, mem: &mut Memory, addr: u64) -> Result<(), VmError> {
+        mem.store_u64(addr, self.tag.code())?;
+        mem.store_u64(addr + 8, self.kind.code() as u64)?;
+        mem.store_u64(addr + 16, self.index)
+    }
+
+    /// Reads the object at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Faults if the range is unmapped, or returns [`VmError::Host`] if
+    /// the bytes are not a valid vspec object.
+    pub fn read(mem: &Memory, addr: u64) -> Result<VspecObj, VmError> {
+        let tag = VspecTag::from_code(mem.load_u64(addr)?)
+            .ok_or_else(|| VmError::Host(format!("bad vspec tag at {addr:#x}")))?;
+        let kind = ValKind::from_code(mem.load_u64(addr + 8)? as u8)
+            .ok_or_else(|| VmError::Host(format!("bad vspec kind at {addr:#x}")))?;
+        let index = mem.load_u64(addr + 16)?;
+        Ok(VspecObj { tag, kind, index })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closure_fields_round_trip() {
+        let mut mem = Memory::new(1 << 20);
+        let addr = mem.alloc(ClosureRef::size_for(3), 8).unwrap();
+        let c = ClosureRef { addr };
+        c.set_cgf_id(&mut mem, 42).unwrap();
+        c.set_field(&mut mem, 0, 7).unwrap();
+        c.set_field(&mut mem, 2, 0xdead).unwrap();
+        assert_eq!(c.cgf_id(&mem).unwrap(), 42);
+        assert_eq!(c.field(&mem, 0).unwrap(), 7);
+        assert_eq!(c.field(&mem, 2).unwrap(), 0xdead);
+        assert_eq!(c.field_addr(0), addr + 8);
+    }
+
+    #[test]
+    fn vspec_round_trip() {
+        let mut mem = Memory::new(1 << 20);
+        let addr = mem.alloc(VspecObj::SIZE, 8).unwrap();
+        let v = VspecObj { tag: VspecTag::Param, kind: ValKind::F, index: 3 };
+        v.write(&mut mem, addr).unwrap();
+        assert_eq!(VspecObj::read(&mem, addr).unwrap(), v);
+    }
+
+    #[test]
+    fn vspec_rejects_garbage() {
+        let mut mem = Memory::new(1 << 20);
+        let addr = mem.alloc(VspecObj::SIZE, 8).unwrap();
+        mem.store_u64(addr, 99).unwrap();
+        assert!(matches!(VspecObj::read(&mem, addr), Err(VmError::Host(_))));
+    }
+}

@@ -1,0 +1,68 @@
+//! Host call numbers shared between code generators and the runtime.
+//!
+//! The static back ends emit `hcall n` instructions for these services;
+//! the `tcc` crate installs the handler that implements them. Keeping the
+//! numbering here means the emitting and handling sides cannot drift.
+
+/// Terminate the program (`exit(a0)`).
+pub const HC_EXIT: u32 = 0;
+/// Print the integer in `a0` followed by a newline.
+pub const HC_PUTINT: u32 = 1;
+/// Print the NUL-terminated string at address `a0`.
+pub const HC_PUTS: u32 = 2;
+/// Print the double in `fa0` followed by a newline.
+pub const HC_PUTF: u32 = 3;
+/// `a0 = malloc(a0)` — bump allocation from VM memory.
+pub const HC_MALLOC: u32 = 4;
+/// `a0 = alloc_closure(a0 = bytes)` — arena allocation for a closure.
+pub const HC_ALLOC_CLOSURE: u32 = 5;
+/// `a0 = compile(a0 = closure ptr)` — run the CGF machinery; returns the
+/// address of the generated function.
+pub const HC_COMPILE: u32 = 6;
+/// `a0 = local(a0 = ValKind code)` — create a vspec object for a dynamic
+/// local.
+pub const HC_LOCAL: u32 = 7;
+/// `a0 = param(a0 = ValKind code, a1 = index)` — create a vspec object
+/// for a dynamic parameter.
+pub const HC_PARAM: u32 = 8;
+/// Abort with the diagnostic string at address `a0`.
+pub const HC_ABORT: u32 = 9;
+/// Print the character in `a0`.
+pub const HC_PUTCHAR: u32 = 10;
+/// `printf(a0 = fmt, a1..a5 = args)` — `%d %ld %u %x %c %s` conversions.
+pub const HC_PRINTF: u32 = 11;
+/// `a0 = label()` — create a dynamic label object.
+pub const HC_LABEL_OBJ: u32 = 12;
+/// `a0 = push_init()` — create a dynamic argument list.
+pub const HC_ARGLIST_NEW: u32 = 13;
+/// `push(a0 = list, a1 = cspec)` — append an argument cspec.
+pub const HC_ARGLIST_PUSH: u32 = 14;
+/// First number available to embedding applications.
+pub const HC_USER_BASE: u32 = 64;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn numbers_are_distinct() {
+        let all = [
+            super::HC_EXIT,
+            super::HC_PUTINT,
+            super::HC_PUTS,
+            super::HC_PUTF,
+            super::HC_MALLOC,
+            super::HC_ALLOC_CLOSURE,
+            super::HC_COMPILE,
+            super::HC_LOCAL,
+            super::HC_PARAM,
+            super::HC_ABORT,
+            super::HC_PUTCHAR,
+            super::HC_PRINTF,
+            super::HC_LABEL_OBJ,
+            super::HC_ARGLIST_NEW,
+            super::HC_ARGLIST_PUSH,
+        ];
+        let set: std::collections::HashSet<_> = all.iter().collect();
+        assert_eq!(set.len(), all.len());
+        assert!(all.iter().all(|&n| n < super::HC_USER_BASE));
+    }
+}

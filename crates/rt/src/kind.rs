@@ -1,0 +1,91 @@
+//! Machine-level value kinds.
+
+use std::fmt;
+
+/// The four value kinds the machine distinguishes. Front-end types (signed
+/// and unsigned chars, shorts, ints, longs, pointers, doubles) all lower
+/// to one of these; signedness is encoded in the *operations* chosen, not
+/// the locations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ValKind {
+    /// 32-bit integer (C `char`/`short`/`int`, kept sign-extended).
+    W,
+    /// 64-bit integer (C `long`).
+    D,
+    /// Pointer (64-bit, but all valid addresses fit in 32 bits).
+    P,
+    /// Double-precision float (C `float` and `double`).
+    F,
+}
+
+impl ValKind {
+    /// Size in bytes of a value of this kind in memory.
+    pub fn size(self) -> u64 {
+        match self {
+            ValKind::W => 4,
+            ValKind::D | ValKind::P | ValKind::F => 8,
+        }
+    }
+
+    /// True for [`ValKind::F`].
+    pub fn is_float(self) -> bool {
+        self == ValKind::F
+    }
+
+    /// Stable small integer code, used in vspec objects and closure
+    /// metadata stored in VM memory.
+    pub fn code(self) -> u8 {
+        match self {
+            ValKind::W => 0,
+            ValKind::D => 1,
+            ValKind::P => 2,
+            ValKind::F => 3,
+        }
+    }
+
+    /// Inverse of [`ValKind::code`]. Returns `None` for invalid codes.
+    pub fn from_code(c: u8) -> Option<ValKind> {
+        match c {
+            0 => Some(ValKind::W),
+            1 => Some(ValKind::D),
+            2 => Some(ValKind::P),
+            3 => Some(ValKind::F),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ValKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ValKind::W => "w",
+            ValKind::D => "d",
+            ValKind::P => "p",
+            ValKind::F => "f",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_round_trip() {
+        for k in [ValKind::W, ValKind::D, ValKind::P, ValKind::F] {
+            assert_eq!(ValKind::from_code(k.code()), Some(k));
+        }
+        assert_eq!(ValKind::from_code(9), None);
+    }
+
+    #[test]
+    fn sizes() {
+        assert_eq!(ValKind::W.size(), 4);
+        assert_eq!(ValKind::D.size(), 8);
+        assert_eq!(ValKind::P.size(), 8);
+        assert_eq!(ValKind::F.size(), 8);
+        assert!(ValKind::F.is_float());
+        assert!(!ValKind::P.is_float());
+    }
+}

@@ -1,0 +1,62 @@
+//! Command-line harness: regenerates every table and figure.
+//!
+//! Usage: `suite [all|table1|figure4|figure5|figure6|figure7|blur] [--small]`
+
+use tcc_suite::{benchmarks, measure, ns_per_cycle, report, Measurement, BLUR_FULL, BLUR_SMALL};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let what = args.first().map(String::as_str).unwrap_or("all");
+    let small = args.iter().any(|a| a == "--small");
+    let blur_dims = if small { BLUR_SMALL } else { BLUR_FULL };
+
+    eprintln!("calibrating interpreter...");
+    let nspc = ns_per_cycle();
+    eprintln!("calibration: {nspc:.2} ns per VM cycle");
+
+    let need_bench = matches!(what, "all" | "figure4" | "figure5" | "figure6" | "figure7");
+    let ms: Vec<Measurement> = if need_bench {
+        benchmarks(blur_dims)
+            .iter()
+            .map(|b| {
+                eprintln!("measuring {} ({})...", b.name, b.style);
+                measure(b)
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+
+    match what {
+        "table1" => print!("{}", report::table1(nspc, 250, 100)),
+        "figure4" => print!("{}", report::figure4(&ms)),
+        "figure5" => print!("{}", report::figure5(&ms, nspc)),
+        "figure6" => print!("{}", report::figure6(&ms, nspc)),
+        "figure7" => print!("{}", report::figure7(&ms, nspc)),
+        "sensitivity" => {
+            print!("{}", report::sensitivity(&benchmarks(blur_dims)));
+        }
+        "blur" => {
+            let b = benchmarks(blur_dims).into_iter().find(|b| b.name == "blur").expect("blur");
+            eprintln!("measuring blur...");
+            let m = measure(&b);
+            print!("{}", report::blur_report(&m, nspc));
+        }
+        "all" => {
+            println!("{}", report::table1(nspc, 250, 100));
+            println!("{}", report::figure4(&ms));
+            println!("{}", report::figure5(&ms, nspc));
+            println!("{}", report::figure6(&ms, nspc));
+            println!("{}", report::figure7(&ms, nspc));
+            if let Some(m) = ms.iter().find(|m| m.name == "blur") {
+                println!("{}", report::blur_report(m, nspc));
+            }
+            println!();
+            println!("{}", report::sensitivity(&benchmarks(blur_dims)));
+        }
+        other => {
+            eprintln!("unknown experiment {other}; try all|table1|figure4|figure5|figure6|figure7|blur|sensitivity");
+            std::process::exit(2);
+        }
+    }
+}

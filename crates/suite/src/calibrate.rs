@@ -1,0 +1,47 @@
+//! Interpreter calibration: host nanoseconds per VM cycle.
+//!
+//! Run time is measured in deterministic VM cycles; code generation runs
+//! natively on the host and is measured in nanoseconds. The paper's
+//! cross-over points (Figure 5) need both on one axis, so the harness
+//! measures how many nanoseconds the interpreter takes per modeled cycle
+//! and converts codegen time into "equivalent cycles" — i.e. it answers
+//! the paper's question: how many runs of the generated code amortize
+//! the generation cost *on the same machine*.
+
+use std::time::Instant;
+use tcc::Session;
+
+const CALIB_SRC: &str = r#"
+int calib(int n) {
+    int s = 0;
+    int i;
+    for (i = 0; i < n; i++) s = s + (i ^ (s << 1)) + s / 3;
+    return s;
+}
+"#;
+
+/// Measures host nanoseconds per VM cycle (median of several trials).
+pub fn ns_per_cycle() -> f64 {
+    let mut s = Session::with_defaults(CALIB_SRC).expect("calibration source compiles");
+    // Warm up.
+    s.call("calib", &[10_000]).expect("calibration runs");
+    let mut samples = Vec::new();
+    for _ in 0..5 {
+        s.reset_counters();
+        let t = Instant::now();
+        s.call("calib", &[200_000]).expect("calibration runs");
+        let ns = t.elapsed().as_nanos() as f64;
+        samples.push(ns / s.cycles().max(1) as f64);
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    samples[samples.len() / 2]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn calibration_is_positive_and_sane() {
+        let c = super::ns_per_cycle();
+        assert!(c > 0.001 && c < 10_000.0, "ns/cycle = {c}");
+    }
+}

@@ -1,0 +1,952 @@
+//! The benchmark programs (paper §6.2), each written twice: in `C
+//! (dynamic code generation) and in static C, inside one translation
+//! unit. The static versions follow the paper's descriptions — e.g.
+//! `heap` and `cmp` parameterize with *function pointers* where the `C
+//! versions compose cspecs; `query` interprets with switch statements
+//! where the `C version compiles the query; `mshl` interprets its format
+//! string per call where the `C version compiles it once.
+
+use tcc::Session;
+
+/// A benchmark: source plus drivers.
+pub struct BenchDef {
+    /// Short name (paper's).
+    pub name: &'static str,
+    /// What the benchmark demonstrates.
+    pub style: &'static str,
+    /// The `C translation unit.
+    pub src: &'static str,
+    /// One-time workload setup.
+    pub setup: fn(&mut Session),
+    /// Runs the static version once; returns its result value.
+    pub run_static: fn(&mut Session) -> u64,
+    /// Runs the `C compile path once; returns the function pointer.
+    pub compile_dyn: fn(&mut Session) -> u64,
+    /// Runs the dynamic version once; returns its result value.
+    pub run_dyn: fn(&mut Session, u64) -> u64,
+    /// Post-run checksum over side effects (0 when the result value is
+    /// the whole story).
+    pub check: fn(&mut Session) -> u64,
+}
+
+fn no_setup(_s: &mut Session) {}
+
+fn no_check(_s: &mut Session) -> u64 {
+    0
+}
+
+fn call(s: &mut Session, name: &str, args: &[u64]) -> u64 {
+    s.call(name, args).unwrap_or_else(|e| panic!("{name} failed: {e}"))
+}
+
+// ---------------------------------------------------------------------------
+// hash — run-time constant table size and multiplier
+// ---------------------------------------------------------------------------
+
+const HASH_SRC: &str = r#"
+int htab[1024];
+int hsize = 1024;
+int hmult = 40503;
+
+void hash_insert(int key) {
+    unsigned h = ((unsigned)(key * hmult)) % (unsigned)hsize;
+    while (htab[h] != 0) h = (h + 1) % (unsigned)hsize;
+    htab[h] = key;
+}
+
+void hash_setup(void) {
+    int i;
+    for (i = 0; i < hsize; i++) htab[i] = 0;
+    for (i = 1; i <= 512; i++) hash_insert(i * 7 + 1);
+}
+
+int hash_lookup_static(int key) {
+    unsigned h = ((unsigned)(key * hmult)) % (unsigned)hsize;
+    int probes = 0;
+    while (htab[h] != 0) {
+        if (htab[h] == key) return 1;
+        h = (h + 1) % (unsigned)hsize;
+        probes = probes + 1;
+        if (probes > hsize) return 0;
+    }
+    return 0;
+}
+
+int hash_static(int k1, int k2) {
+    return hash_lookup_static(k1) * 10 + hash_lookup_static(k2);
+}
+
+long hash_compile(void) {
+    int vspec key = param(int, 0);
+    void cspec c = `{
+        unsigned h;
+        int probes;
+        h = ((unsigned)(key * $hmult)) % (unsigned)$hsize;
+        probes = 0;
+        while (htab[h] != 0) {
+            if (htab[h] == key) return 1;
+            h = (h + 1) % (unsigned)$hsize;
+            probes = probes + 1;
+            if (probes > $hsize) return 0;
+        }
+        return 0;
+    };
+    return (long)compile(c, int);
+}
+
+int hash_dyn(long fp, int k1, int k2) {
+    int (*f)(void) = (int (*)(void))fp;
+    return (*f)(k1) * 10 + (*f)(k2);
+}
+"#;
+
+/// Present and absent keys: 8 (=1*7+1) is in the table; 6 is not.
+const HASH_HIT: u64 = 7 + 1;
+const HASH_MISS: u64 = 6;
+
+// ---------------------------------------------------------------------------
+// ms — matrix scale by a run-time constant
+// ---------------------------------------------------------------------------
+
+const MS_SRC: &str = r#"
+int msmat[10000];
+int msn = 10000;
+
+void ms_setup(void) {
+    int i;
+    for (i = 0; i < msn; i++) msmat[i] = i & 1023;
+}
+
+void ms_static(int s) {
+    int i;
+    for (i = 0; i < msn; i++) msmat[i] = msmat[i] * s;
+}
+
+long ms_compile(int s) {
+    int vspec i = local(int);
+    void cspec c = `{
+        for (i = 0; i < $msn; i++) msmat[i] = msmat[i] * $s;
+    };
+    return (long)compile(c, void);
+}
+
+long ms_check(void) {
+    long sum = 0;
+    int i;
+    for (i = 0; i < msn; i++) sum += msmat[i];
+    return sum;
+}
+"#;
+
+const MS_SCALE: u64 = 3;
+
+// ---------------------------------------------------------------------------
+// heap — heapsort parameterized by a swap code fragment
+// ---------------------------------------------------------------------------
+
+const HEAP_SRC: &str = r#"
+struct hrec { int key; int v1; int v2; };
+struct hrec harr[501];
+int hn = 500;
+void (*hswap)(char *, char *, int);
+
+void heap_setup(void) {
+    int i;
+    int seed = 12345;
+    for (i = 1; i <= hn; i++) {
+        seed = seed * 1103515245 + 12345;
+        harr[i].key = (seed >> 16) & 32767;
+        harr[i].v1 = i;
+        harr[i].v2 = i + i;
+    }
+}
+
+void swap_generic(char *x, char *y, int size) {
+    int i;
+    for (i = 0; i < size; i++) {
+        char t = x[i];
+        x[i] = y[i];
+        y[i] = t;
+    }
+}
+
+void heap_sift_static(int n, int i) {
+    while (1) {
+        int l = 2 * i;
+        int m = i;
+        if (l <= n && harr[l].key > harr[m].key) m = l;
+        if (l + 1 <= n && harr[l + 1].key > harr[m].key) m = l + 1;
+        if (m == i) break;
+        hswap((char *)&harr[i], (char *)&harr[m], sizeof(struct hrec));
+        i = m;
+    }
+}
+
+void heap_static(void) {
+    int i;
+    hswap = swap_generic;
+    for (i = hn / 2; i >= 1; i--) heap_sift_static(hn, i);
+    for (i = hn; i > 1; i--) {
+        hswap((char *)&harr[1], (char *)&harr[i], sizeof(struct hrec));
+        heap_sift_static(i - 1, 1);
+    }
+}
+
+long heap_compile(void) {
+    long vspec px = local(long);
+    long vspec py = local(long);
+    void cspec swp = `{
+        int t;
+        t = *(int *)px; *(int *)px = *(int *)py; *(int *)py = t;
+        t = *(int *)(px + 4); *(int *)(px + 4) = *(int *)(py + 4); *(int *)(py + 4) = t;
+        t = *(int *)(px + 8); *(int *)(px + 8) = *(int *)(py + 8); *(int *)(py + 8) = t;
+    };
+    int vspec n = local(int);
+    int vspec i = local(int);
+    int vspec l = local(int);
+    int vspec m = local(int);
+    void cspec sift = `{
+        while (1) {
+            l = 2 * i; m = i;
+            if (l <= n && harr[l].key > harr[m].key) m = l;
+            if (l + 1 <= n && harr[l + 1].key > harr[m].key) m = l + 1;
+            if (m == i) break;
+            px = (long)&harr[i]; py = (long)&harr[m];
+            swp;
+            i = m;
+        }
+    };
+    int vspec j = local(int);
+    void cspec c = `{
+        j = $hn / 2;
+        while (j >= 1) { n = $hn; i = j; sift; j = j - 1; }
+        j = $hn;
+        while (j > 1) {
+            px = (long)&harr[1]; py = (long)&harr[j];
+            swp;
+            n = j - 1; i = 1; sift;
+            j = j - 1;
+        }
+    };
+    return (long)compile(c, void);
+}
+
+long heap_check(void) {
+    long sum = 0;
+    int i;
+    int sorted = 1;
+    for (i = 1; i <= hn; i++) {
+        sum += (long)i * harr[i].key;
+        if (i > 1 && harr[i - 1].key > harr[i].key) sorted = 0;
+    }
+    return sum * 10 + sorted;
+}
+"#;
+
+// ---------------------------------------------------------------------------
+// ntn — Newton's method with composed f and f'
+// ---------------------------------------------------------------------------
+
+const NTN_SRC: &str = r#"
+double ntn_tol = 0.000000000001;
+double (*ntn_f)(double);
+double (*ntn_fp)(double);
+
+double f_static(double x) { return (x + 1.0) * (x + 1.0) * (x + 1.0) - 2.0; }
+double fp_static(double x) { return 3.0 * (x + 1.0) * (x + 1.0); }
+
+double ntn_static(double x0) {
+    double x = x0;
+    double fx;
+    int it = 0;
+    ntn_f = f_static;
+    ntn_fp = fp_static;
+    fx = ntn_f(x);
+    while (fx * fx > ntn_tol && it < 100) {
+        x = x - fx / ntn_fp(x);
+        fx = ntn_f(x);
+        it = it + 1;
+    }
+    return x;
+}
+
+long ntn_compile(void) {
+    double vspec x = local(double);
+    double cspec fc = `((x + 1.0) * (x + 1.0) * (x + 1.0) - 2.0);
+    double cspec fd = `(3.0 * (x + 1.0) * (x + 1.0));
+    double vspec x0 = param(double, 0);
+    double vspec fx = local(double);
+    int vspec it = local(int);
+    void cspec c = `{
+        x = x0;
+        it = 0;
+        fx = fc;
+        while (fx * fx > $ntn_tol && it < 100) {
+            x = x - fx / fd;
+            fx = fc;
+            it = it + 1;
+        }
+        return x;
+    };
+    return (long)compile(c, double);
+}
+
+double ntn_dyn(long fp, double x0) {
+    double (*g)(double) = (double (*)(double))fp;
+    return g(x0);
+}
+"#;
+
+// ---------------------------------------------------------------------------
+// cmp — composed message pipeline: copy + byteswap + checksum
+// ---------------------------------------------------------------------------
+
+const CMP_SRC: &str = r#"
+int cmp_in[1024];
+int cmp_out[1024];
+int cmp_n = 1024;
+int cmp_sum;
+int (*cmp_bswap)(int);
+int (*cmp_csum)(int, int);
+
+int bswap_fn(int w) {
+    return ((w & 255) << 24) | (((w >> 8) & 255) << 16)
+         | (((w >> 16) & 255) << 8) | ((w >> 24) & 255);
+}
+int csum_fn(int s, int w) { return s + (w ^ (s << 1)); }
+
+void cmp_setup(void) {
+    int i;
+    for (i = 0; i < cmp_n; i++) cmp_in[i] = i * 2654435 + 7;
+}
+
+int cmp_static(void) {
+    int i;
+    int s = 0;
+    int w;
+    cmp_bswap = bswap_fn;
+    cmp_csum = csum_fn;
+    for (i = 0; i < cmp_n; i++) {
+        w = cmp_bswap(cmp_in[i]);
+        s = cmp_csum(s, w);
+        cmp_out[i] = w;
+    }
+    cmp_sum = s;
+    return s;
+}
+
+long cmp_compile(void) {
+    int vspec w = local(int);
+    int vspec s = local(int);
+    int cspec bsw = `(((w & 255) << 24) | (((w >> 8) & 255) << 16)
+                    | (((w >> 16) & 255) << 8) | ((w >> 24) & 255));
+    int cspec csm = `(s + (w ^ (s << 1)));
+    int vspec i = local(int);
+    void cspec c = `{
+        s = 0;
+        for (i = 0; i < $cmp_n; i++) {
+            w = cmp_in[i];
+            w = bsw;
+            s = csm;
+            cmp_out[i] = w;
+        }
+        cmp_sum = s;
+        return s;
+    };
+    return (long)compile(c, int);
+}
+
+long cmp_check(void) {
+    long sum = 0;
+    int i;
+    for (i = 0; i < cmp_n; i++) sum += cmp_out[i];
+    return sum + cmp_sum;
+}
+"#;
+
+// ---------------------------------------------------------------------------
+// query — small query language: interpreter vs dynamic compiler
+// ---------------------------------------------------------------------------
+
+const QUERY_SRC: &str = r#"
+struct qrec { int f0; int f1; int f2; int f3; int f4; int f5; };
+struct qrec qdb[2000];
+int qn = 2000;
+int qfield[5] = {0, 2, 4, 1, 3};
+int qop[5] = {0, 1, 3, 3, 4};
+int qconst[5] = {4000, 30000, 777, 5, 250};
+
+void query_setup(void) {
+    int i;
+    int seed = 999;
+    for (i = 0; i < qn; i++) {
+        seed = seed * 1103515245 + 12345; qdb[i].f0 = (seed >> 16) & 32767;
+        seed = seed * 1103515245 + 12345; qdb[i].f1 = (seed >> 16) & 32767;
+        seed = seed * 1103515245 + 12345; qdb[i].f2 = (seed >> 16) & 32767;
+        seed = seed * 1103515245 + 12345; qdb[i].f3 = (seed >> 16) & 32767;
+        seed = seed * 1103515245 + 12345; qdb[i].f4 = (seed >> 16) & 32767;
+        seed = seed * 1103515245 + 12345; qdb[i].f5 = (seed >> 16) & 32767;
+    }
+}
+
+int qfetch(struct qrec *r, int f) {
+    switch (f) {
+        case 0: return r->f0;
+        case 1: return r->f1;
+        case 2: return r->f2;
+        case 3: return r->f3;
+        case 4: return r->f4;
+        default: return r->f5;
+    }
+}
+
+int query_static(void) {
+    int i;
+    int count = 0;
+    for (i = 0; i < qn; i++) {
+        int ok = 1;
+        int p;
+        for (p = 0; p < 5; p++) {
+            int v = qfetch(&qdb[i], qfield[p]);
+            int cst = qconst[p];
+            int r;
+            switch (qop[p]) {
+                case 0: r = v > cst; break;
+                case 1: r = v < cst; break;
+                case 2: r = v == cst; break;
+                case 3: r = v != cst; break;
+                default: r = v >= cst;
+            }
+            if (!r) { ok = 0; break; }
+        }
+        count = count + ok;
+    }
+    return count;
+}
+
+long query_compile(void) {
+    long vspec rec = local(long);
+    int cspec pred = `1;
+    int p;
+    for (p = 0; p < 5; p++) {
+        int f = qfield[p];
+        int cst = qconst[p];
+        int op = qop[p];
+        int cspec fld = `(*(int *)(rec + $f * 4));
+        if (op == 0) pred = `(pred && fld > $cst);
+        else if (op == 1) pred = `(pred && fld < $cst);
+        else if (op == 2) pred = `(pred && fld == $cst);
+        else if (op == 3) pred = `(pred && fld != $cst);
+        else pred = `(pred && fld >= $cst);
+    }
+    int vspec i = local(int);
+    int vspec count = local(int);
+    void cspec c = `{
+        count = 0;
+        for (i = 0; i < $qn; i++) {
+            rec = (long)&qdb[i];
+            if (pred) count = count + 1;
+        }
+        return count;
+    };
+    return (long)compile(c, int);
+}
+"#;
+
+// ---------------------------------------------------------------------------
+// mshl — marshal five arguments driven by a format string
+// ---------------------------------------------------------------------------
+
+const MSHL_SRC: &str = r#"
+int msh_out[8];
+char msh_fmt[6] = "iiiii";
+
+int marshal_interp(char *fmt, int a0, int a1, int a2, int a3, int a4) {
+    int args[5];
+    int i;
+    int n = 0;
+    args[0] = a0; args[1] = a1; args[2] = a2; args[3] = a3; args[4] = a4;
+    for (i = 0; fmt[i] != 0; i++) {
+        if (fmt[i] == 'i') {
+            msh_out[n] = args[n];
+            n = n + 1;
+        }
+    }
+    return n;
+}
+
+int mshl_static(void) { return marshal_interp(msh_fmt, 11, 22, 33, 44, 55); }
+
+long mshl_compile(void) {
+    void cspec body = `{};
+    int i;
+    int n = 0;
+    for (i = 0; msh_fmt[i] != 0; i++) {
+        if (msh_fmt[i] == 'i') {
+            int vspec p = param(int, n);
+            body = `{ @body; msh_out[$n] = p; };
+            n = n + 1;
+        }
+    }
+    void cspec all = `{ body; return $n; };
+    return (long)compile(all, int);
+}
+
+int mshl_dyn(long fp) {
+    int (*g)(void) = (int (*)(void))fp;
+    return (*g)(11, 22, 33, 44, 55);
+}
+
+long mshl_check(void) {
+    long s = 0;
+    int i;
+    for (i = 0; i < 5; i++) s = s * 131 + msh_out[i];
+    return s;
+}
+"#;
+
+// ---------------------------------------------------------------------------
+// umshl — unmarshal a byte vector and call a five-argument function
+// ---------------------------------------------------------------------------
+
+const UMSHL_SRC: &str = r#"
+int umsh_buf[5];
+int usink(int a, int b, int c, int d, int e) {
+    return a + b * 2 + c * 3 + d * 4 + e * 5;
+}
+
+void umshl_setup(void) {
+    int i;
+    for (i = 0; i < 5; i++) umsh_buf[i] = (i + 1) * 9;
+}
+
+/* The paper's static comparator is hand-tuned for exactly five args. */
+int umshl_static(void) {
+    return usink(umsh_buf[0], umsh_buf[1], umsh_buf[2], umsh_buf[3], umsh_buf[4]);
+}
+
+char umsh_fmt[6] = "iiiii";
+
+/* True dynamic call construction: the argument count comes from the
+   format string at run time (impossible in ANSI C). */
+long umshl_compile(void) {
+    void cspec args = push_init();
+    int i;
+    for (i = 0; umsh_fmt[i] != 0; i++)
+        if (umsh_fmt[i] == 'i')
+            push(args, `umsh_buf[$i]);
+    void cspec c = `{ return apply(usink, args); };
+    return (long)compile(c, int);
+}
+
+int umshl_dyn(long fp) {
+    int (*g)(void) = (int (*)(void))fp;
+    return (*g)();
+}
+"#;
+
+// ---------------------------------------------------------------------------
+// pow — exponentiation specialized to a run-time exponent
+// ---------------------------------------------------------------------------
+
+const POW_SRC: &str = r#"
+int pow_exp = 13;
+
+int pow_static(int x, int n) {
+    int r = 1;
+    while (n) {
+        if (n & 1) r = r * x;
+        x = x * x;
+        n = n >> 1;
+    }
+    return r;
+}
+
+int pow_run_static(int x) { return pow_static(x, pow_exp); }
+
+long pow_compile(void) {
+    int vspec x = param(int, 0);
+    int vspec t = local(int);
+    int vspec r = local(int);
+    void cspec body = `{ t = x; r = 1; };
+    int e = pow_exp;
+    while (e) {
+        if (e & 1) body = `{ @body; r = r * t; };
+        e = e >> 1;
+        if (e) body = `{ @body; t = t * t; };
+    }
+    void cspec all = `{ body; return r; };
+    return (long)compile(all, int);
+}
+
+int pow_dyn(long fp, int x) {
+    int (*g)(void) = (int (*)(void))fp;
+    return (*g)(x);
+}
+"#;
+
+// ---------------------------------------------------------------------------
+// binary — executable data structure: binary search as nested ifs
+// ---------------------------------------------------------------------------
+
+const BINARY_SRC: &str = r#"
+int barr[16];
+int vspec bkey;
+
+void binary_setup(void) {
+    int i;
+    for (i = 0; i < 16; i++) barr[i] = i * 10 + 3;
+}
+
+int binary_static(int key) {
+    int lo = 0;
+    int hi = 15;
+    while (lo <= hi) {
+        int mid = (lo + hi) / 2;
+        if (barr[mid] == key) return mid;
+        if (barr[mid] < key) lo = mid + 1;
+        else hi = mid - 1;
+    }
+    return -1;
+}
+
+int cspec binary_build(int lo, int hi) {
+    int mid;
+    int v;
+    int cspec l;
+    int cspec r;
+    if (lo > hi) return `(-1);
+    mid = (lo + hi) / 2;
+    v = barr[mid];
+    l = binary_build(lo, mid - 1);
+    r = binary_build(mid + 1, hi);
+    return `(bkey == $v ? $mid : (bkey < $v ? l : r));
+}
+
+long binary_compile(void) {
+    bkey = param(int, 0);
+    int cspec t = binary_build(0, 15);
+    void cspec c = `{ return t; };
+    return (long)compile(c, int);
+}
+
+int binary_static2(int k1, int k2) {
+    return binary_static(k1) * 100 + binary_static(k2) + 10;
+}
+
+int binary_dyn(long fp, int k1, int k2) {
+    int (*g)(void) = (int (*)(void))fp;
+    return (*g)(k1) * 100 + (*g)(k2) + 10;
+}
+"#;
+
+// ---------------------------------------------------------------------------
+// dp — dot product against a run-time constant sparse vector (§4.4)
+// ---------------------------------------------------------------------------
+
+const DP_SRC: &str = r#"
+int dp_row[40];
+int dp_col[40];
+int dp_n = 40;
+
+void dp_setup(void) {
+    int i;
+    int seed = 4242;
+    for (i = 0; i < dp_n; i++) {
+        seed = seed * 1103515245 + 12345;
+        if ((seed >> 16) & 1) dp_row[i] = ((seed >> 18) & 31) + 1;
+        else dp_row[i] = 0;
+        dp_col[i] = i * 3 + 1;
+    }
+}
+
+int dp_static(void) {
+    int k;
+    int s = 0;
+    for (k = 0; k < dp_n; k++)
+        if (dp_row[k]) s = s + dp_col[k] * dp_row[k];
+    return s;
+}
+
+long dp_compile(void) {
+    void cspec c = `{
+        int k;
+        int sum;
+        sum = 0;
+        for (k = 0; k < $dp_n; k++)
+            if ($dp_row[k])
+                sum = sum + dp_col[k] * $dp_row[k];
+        return sum;
+    };
+    return (long)compile(c, int);
+}
+"#;
+
+// ---------------------------------------------------------------------------
+// blur — the xv Blur experiment (convolution by an all-ones kernel)
+// ---------------------------------------------------------------------------
+
+const BLUR_SRC: &str = r#"
+unsigned char bimg_in[307200];
+unsigned char bimg_out[307200];
+int blur_w = 640;
+int blur_h = 480;
+
+void blur_setup(int w, int h) {
+    int i;
+    int seed = 77;
+    blur_w = w;
+    blur_h = h;
+    for (i = 0; i < w * h; i++) {
+        seed = seed * 1103515245 + 12345;
+        bimg_in[i] = (seed >> 16) & 255;
+    }
+}
+
+void blur_static(void) {
+    int x;
+    int y;
+    int dx;
+    int dy;
+    for (y = 0; y < blur_h; y++) {
+        for (x = 0; x < blur_w; x++) {
+            int sum = 0;
+            int cnt = 0;
+            for (dy = -1; dy <= 1; dy++) {
+                for (dx = -1; dx <= 1; dx++) {
+                    if (x + dx >= 0 && x + dx < blur_w && y + dy >= 0 && y + dy < blur_h) {
+                        sum = sum + bimg_in[(y + dy) * blur_w + (x + dx)];
+                        cnt = cnt + 1;
+                    }
+                }
+            }
+            bimg_out[y * blur_w + x] = sum / cnt;
+        }
+    }
+}
+
+long blur_compile(void) {
+    int vspec x = local(int);
+    int vspec y = local(int);
+    int vspec sum = local(int);
+    int vspec cnt = local(int);
+    void cspec c = `{
+        for (y = 0; y < $blur_h; y++) {
+            for (x = 0; x < $blur_w; x++) {
+                int dy;
+                int dx;
+                sum = 0;
+                cnt = 0;
+                for (dy = -1; dy <= 1; dy++) {
+                    for (dx = -1; dx <= 1; dx++) {
+                        if (x + dx >= 0 && x + dx < $blur_w && y + dy >= 0 && y + dy < $blur_h) {
+                            sum = sum + bimg_in[(y + dy) * $blur_w + (x + dx)];
+                            cnt = cnt + 1;
+                        }
+                    }
+                }
+                bimg_out[y * $blur_w + x] = sum / cnt;
+            }
+        }
+    };
+    return (long)compile(c, void);
+}
+
+long blur_check(void) {
+    long s = 0;
+    int i;
+    for (i = 0; i < blur_w * blur_h; i++) s += bimg_out[i];
+    return s;
+}
+"#;
+
+/// Blur dimensions used by the full benchmark (the paper's 640×480).
+pub const BLUR_FULL: (u64, u64) = (640, 480);
+/// Reduced dimensions for fast test runs.
+pub const BLUR_SMALL: (u64, u64) = (64, 48);
+
+/// Builds the registry of benchmarks (blur at `blur_dims`).
+pub fn benchmarks(blur_dims: (u64, u64)) -> Vec<BenchDef> {
+    vec![
+        BenchDef {
+            name: "hash",
+            style: "run-time constants",
+            src: HASH_SRC,
+            setup: |s| {
+                call(s, "hash_setup", &[]);
+            },
+            run_static: |s| call(s, "hash_static", &[HASH_HIT, HASH_MISS]),
+            compile_dyn: |s| call(s, "hash_compile", &[]),
+            run_dyn: |s, fp| call(s, "hash_dyn", &[fp, HASH_HIT, HASH_MISS]),
+            check: no_check,
+        },
+        BenchDef {
+            name: "ms",
+            style: "run-time constants",
+            src: MS_SRC,
+            setup: |s| {
+                call(s, "ms_setup", &[]);
+            },
+            run_static: |s| {
+                call(s, "ms_static", &[MS_SCALE]);
+                0
+            },
+            compile_dyn: |s| call(s, "ms_compile", &[MS_SCALE]),
+            run_dyn: |s, fp| {
+                s.call_addr(fp, &[]).expect("dyn ms runs");
+                0
+            },
+            check: |s| call(s, "ms_check", &[]),
+        },
+        BenchDef {
+            name: "heap",
+            style: "parameterized functions",
+            src: HEAP_SRC,
+            setup: |s| {
+                call(s, "heap_setup", &[]);
+            },
+            run_static: |s| {
+                call(s, "heap_static", &[]);
+                0
+            },
+            compile_dyn: |s| call(s, "heap_compile", &[]),
+            run_dyn: |s, fp| {
+                s.call_addr(fp, &[]).expect("dyn heap runs");
+                0
+            },
+            check: |s| call(s, "heap_check", &[]),
+        },
+        BenchDef {
+            name: "ntn",
+            style: "function composition",
+            src: NTN_SRC,
+            setup: no_setup,
+            run_static: |s| {
+                let x = s.call_f("ntn_static", &[], &[5.0]).expect("static ntn");
+                (x * 1e9).round() as i64 as u64
+            },
+            compile_dyn: |s| call(s, "ntn_compile", &[]),
+            run_dyn: |s, fp| {
+                let x = s.call_f("ntn_dyn", &[fp], &[5.0]).expect("dyn ntn");
+                (x * 1e9).round() as i64 as u64
+            },
+            check: no_check,
+        },
+        BenchDef {
+            name: "cmp",
+            style: "function composition",
+            src: CMP_SRC,
+            setup: |s| {
+                call(s, "cmp_setup", &[]);
+            },
+            run_static: |s| call(s, "cmp_static", &[]),
+            compile_dyn: |s| call(s, "cmp_compile", &[]),
+            run_dyn: |s, fp| s.call_addr(fp, &[]).expect("dyn cmp runs"),
+            check: |s| call(s, "cmp_check", &[]),
+        },
+        BenchDef {
+            name: "query",
+            style: "small language compilation",
+            src: QUERY_SRC,
+            setup: |s| {
+                call(s, "query_setup", &[]);
+            },
+            run_static: |s| call(s, "query_static", &[]),
+            compile_dyn: |s| call(s, "query_compile", &[]),
+            run_dyn: |s, fp| s.call_addr(fp, &[]).expect("dyn query runs"),
+            check: no_check,
+        },
+        BenchDef {
+            name: "mshl",
+            style: "dynamic call construction",
+            src: MSHL_SRC,
+            setup: no_setup,
+            run_static: |s| call(s, "mshl_static", &[]),
+            compile_dyn: |s| call(s, "mshl_compile", &[]),
+            run_dyn: |s, fp| call(s, "mshl_dyn", &[fp]),
+            check: |s| call(s, "mshl_check", &[]),
+        },
+        BenchDef {
+            name: "umshl",
+            style: "dynamic call construction",
+            src: UMSHL_SRC,
+            setup: |s| {
+                call(s, "umshl_setup", &[]);
+            },
+            run_static: |s| call(s, "umshl_static", &[]),
+            compile_dyn: |s| call(s, "umshl_compile", &[]),
+            run_dyn: |s, fp| call(s, "umshl_dyn", &[fp]),
+            check: no_check,
+        },
+        BenchDef {
+            name: "pow",
+            style: "dynamic partial evaluation",
+            src: POW_SRC,
+            setup: no_setup,
+            run_static: |s| call(s, "pow_run_static", &[3]),
+            compile_dyn: |s| call(s, "pow_compile", &[]),
+            run_dyn: |s, fp| call(s, "pow_dyn", &[fp, 3]),
+            check: no_check,
+        },
+        BenchDef {
+            name: "binary",
+            style: "executable data structures",
+            src: BINARY_SRC,
+            setup: |s| {
+                call(s, "binary_setup", &[]);
+            },
+            run_static: |s| call(s, "binary_static2", &[73, 74]),
+            compile_dyn: |s| call(s, "binary_compile", &[]),
+            run_dyn: |s, fp| call(s, "binary_dyn", &[fp, 73, 74]),
+            check: no_check,
+        },
+        BenchDef {
+            name: "dp",
+            style: "dynamic loop unrolling (§4.4)",
+            src: DP_SRC,
+            setup: |s| {
+                call(s, "dp_setup", &[]);
+            },
+            run_static: |s| call(s, "dp_static", &[]),
+            compile_dyn: |s| call(s, "dp_compile", &[]),
+            run_dyn: |s, fp| s.call_addr(fp, &[]).expect("dyn dp runs"),
+            check: no_check,
+        },
+        BenchDef {
+            name: "blur",
+            style: "xv Blur (§6.2)",
+            src: BLUR_SRC,
+            setup: move |s| {
+                // dims smuggled through globals set by the measurement
+                // driver before setup; default full size
+                let _ = s;
+            },
+            run_static: |s| {
+                call(s, "blur_static", &[]);
+                0
+            },
+            compile_dyn: |s| call(s, "blur_compile", &[]),
+            run_dyn: |s, fp| {
+                s.call_addr(fp, &[]).expect("dyn blur runs");
+                0
+            },
+            check: |s| call(s, "blur_check", &[]),
+        },
+    ]
+    .into_iter()
+    .map(move |mut b| {
+        if b.name == "blur" {
+            b.setup = if blur_dims == BLUR_FULL { blur_setup_full } else { blur_setup_small };
+        }
+        b
+    })
+    .collect()
+}
+
+fn blur_setup_full(s: &mut Session) {
+    call(s, "blur_setup", &[BLUR_FULL.0, BLUR_FULL.1]);
+}
+
+fn blur_setup_small(s: &mut Session) {
+    call(s, "blur_setup", &[BLUR_SMALL.0, BLUR_SMALL.1]);
+}

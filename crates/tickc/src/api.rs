@@ -1,0 +1,205 @@
+//! The public face of the system: compile a `C source string, pick your
+//! back ends, run functions, measure.
+
+use crate::runtime::{Backend, DynStats, TccRuntime};
+use std::fmt;
+use std::sync::Arc;
+use tcc_front::{FrontError, Program};
+use tcc_mir::{build_image, Image, OptLevel};
+use tcc_vm::{CostModel, Vm, VmError};
+
+/// Any error from source to execution.
+#[derive(Debug)]
+pub enum Error {
+    /// Lex/parse/sema error.
+    Front(FrontError),
+    /// Machine fault (also carries run-time diagnostics).
+    Vm(VmError),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Front(e) => write!(f, "{e}"),
+            Error::Vm(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<FrontError> for Error {
+    fn from(e: FrontError) -> Self {
+        Error::Front(e)
+    }
+}
+
+impl From<VmError> for Error {
+    fn from(e: VmError) -> Self {
+        Error::Vm(e)
+    }
+}
+
+/// Configuration for a [`Session`].
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Static back end (lcc-like vs gcc-like).
+    pub static_opt: OptLevel,
+    /// Dynamic back end (VCODE vs ICODE×allocator).
+    pub backend: Backend,
+    /// Data memory size in bytes.
+    pub mem_size: usize,
+    /// Cycle cost model.
+    pub cost: CostModel,
+    /// Echo program output to stdout.
+    pub echo: bool,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            static_opt: OptLevel::Optimizing,
+            backend: Backend::default(),
+            mem_size: 64 << 20,
+            cost: CostModel::default(),
+            echo: false,
+        }
+    }
+}
+
+/// A compiled, loaded, runnable `C program.
+///
+/// ```rust
+/// use tcc::Session;
+///
+/// let mut s = Session::with_defaults(r#"
+///     int make(int n) {
+///         int cspec c = `($n + 4);
+///         int (*f)(void) = compile(c, int);
+///         return (*f)();
+///     }
+/// "#).expect("compiles");
+/// assert_eq!(s.call("make", &[38]).unwrap(), 42);
+/// ```
+pub struct Session {
+    /// The virtual machine (host = the `C runtime).
+    pub vm: Vm<TccRuntime>,
+    /// The loaded image (symbols, addresses).
+    pub image: Image,
+    /// The analyzed program.
+    pub prog: Arc<Program>,
+}
+
+impl Session {
+    /// Compiles and loads `src` with explicit configuration.
+    ///
+    /// # Errors
+    ///
+    /// Front-end or layout errors.
+    pub fn new(src: &str, config: Config) -> Result<Session, Error> {
+        let prog = Arc::new(tcc_front::compile_unit(src)?);
+        let image = build_image(&prog, config.static_opt, config.mem_size)?;
+        let mut rt = TccRuntime::new(
+            prog.clone(),
+            image.func_addrs.clone(),
+            image.global_addrs.clone(),
+            config.backend,
+        );
+        rt.echo = config.echo;
+        let mut vm = Vm::from_parts(image.code.clone(), image.mem.clone(), rt);
+        vm.set_cost_model(config.cost);
+        Ok(Session { vm, image, prog })
+    }
+
+    /// Compiles and loads with default configuration (optimizing static
+    /// back end, VCODE dynamic back end).
+    ///
+    /// # Errors
+    ///
+    /// Front-end or layout errors.
+    pub fn with_defaults(src: &str) -> Result<Session, Error> {
+        Session::new(src, Config::default())
+    }
+
+    /// Calls function `name` with integer arguments.
+    ///
+    /// # Errors
+    ///
+    /// Unknown function or machine fault.
+    pub fn call(&mut self, name: &str, args: &[u64]) -> Result<u64, Error> {
+        let addr = self
+            .image
+            .addr_of(name)
+            .ok_or_else(|| Error::Vm(VmError::Host(format!("no function {name}"))))?;
+        Ok(self.vm.call(addr, args)?)
+    }
+
+    /// Calls function `name`, returning the floating point result.
+    ///
+    /// # Errors
+    ///
+    /// Unknown function or machine fault.
+    pub fn call_f(&mut self, name: &str, args: &[u64], fargs: &[f64]) -> Result<f64, Error> {
+        let addr = self
+            .image
+            .addr_of(name)
+            .ok_or_else(|| Error::Vm(VmError::Host(format!("no function {name}"))))?;
+        Ok(self.vm.call_f(addr, args, fargs)?)
+    }
+
+    /// Calls a function by address (e.g. a pointer returned from `C
+    /// code).
+    ///
+    /// # Errors
+    ///
+    /// Machine fault.
+    pub fn call_addr(&mut self, addr: u64, args: &[u64]) -> Result<u64, Error> {
+        Ok(self.vm.call(addr, args)?)
+    }
+
+    /// Cycles consumed since the last [`Session::reset_counters`].
+    pub fn cycles(&self) -> u64 {
+        self.vm.cycles()
+    }
+
+    /// Instructions executed since the last reset.
+    pub fn insns(&self) -> u64 {
+        self.vm.insns()
+    }
+
+    /// Zeroes the cycle/instruction counters.
+    pub fn reset_counters(&mut self) {
+        self.vm.reset_counters();
+    }
+
+    /// Dynamic compilation statistics.
+    pub fn dyn_stats(&self) -> &DynStats {
+        &self.vm.host().stats
+    }
+
+    /// Program output captured so far.
+    pub fn output(&self) -> String {
+        self.vm.host().output()
+    }
+
+    /// Clears captured program output.
+    pub fn clear_output(&mut self) {
+        self.vm.host_mut().out.clear();
+    }
+
+    /// VM address of global `name`.
+    pub fn global_addr(&self, name: &str) -> Option<u64> {
+        self.image.global_addr_of(&self.prog, name)
+    }
+
+    /// Disassembles the function at `addr` — static or dynamically
+    /// generated (handy for inspecting what `compile` produced).
+    pub fn disassemble_addr(&self, addr: u64) -> Option<String> {
+        self.vm.state().code.disassemble_at(addr)
+    }
+
+    /// Disassembles the static function `name`.
+    pub fn disassemble(&self, name: &str) -> Option<String> {
+        self.disassemble_addr(self.image.addr_of(name)?)
+    }
+}

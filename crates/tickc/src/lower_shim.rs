@@ -1,0 +1,4 @@
+//! Small re-exports from the static lowering shared by the dynamic
+//! compiler (operator selection must agree between the two halves).
+
+pub use tcc_mir::lower::machine_binop;

@@ -1,0 +1,375 @@
+//! The `C run-time system: the host-call handler behind generated code.
+//!
+//! Everything the paper's run-time library does surfaces here: closure
+//! arena allocation (§4.2), vspec creation (`local`/`param` special
+//! forms), and — centrally — `compile` (§4.4), which runs the CGF
+//! machinery against the selected dynamic back end, links the resulting
+//! code into the code space, resets per-compilation vspec state, and
+//! returns the function pointer. Output and `malloc` host calls round
+//! out the tiny libc.
+
+use crate::dyncomp::{DynCompiler, DynInput};
+use std::sync::Arc;
+use std::time::Instant;
+use tcc_front::Program;
+use tcc_icode::prune::{key_of, OpKey};
+use tcc_icode::{IcodeBuf, IcodeCompiler, Phases, Strategy, TranslatorTable};
+use tcc_rt::{hcalls, ValKind, VmArena, VspecObj, VspecTag, ARGLIST_MARKER, ARGLIST_MAX, LABEL_MARKER};
+use tcc_vcode::{CodeSink, Vcode};
+use tcc_vm::interp::MachineState;
+use tcc_vm::{HostCall, VmError};
+
+/// Dynamic back-end selection — the paper's central knob: "tcc allows
+/// the user to select the dynamic back end".
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Backend {
+    /// One-pass VCODE emission (fast codegen, locally good code).
+    Vcode {
+        /// Disable per-operand spill checks (§5.1's faster, riskier mode).
+        unchecked: bool,
+    },
+    /// ICODE: IR + flow graph + liveness + register allocation.
+    Icode {
+        /// Linear scan (Figure 3) or the Chaitin-style baseline.
+        strategy: Strategy,
+    },
+}
+
+impl Default for Backend {
+    fn default() -> Self {
+        Backend::Vcode { unchecked: false }
+    }
+}
+
+/// Accumulated dynamic-compilation statistics (the raw material for the
+/// paper's Table 1 and Figures 5-7).
+#[derive(Clone, Debug, Default)]
+pub struct DynStats {
+    /// Number of `compile` invocations.
+    pub compiles: u64,
+    /// Total wall-clock nanoseconds in `compile`.
+    pub total_ns: u64,
+    /// Nanoseconds spent walking CGFs (closure reads, partial
+    /// evaluation, and — for ICODE — building the IR).
+    pub walk_ns: u64,
+    /// ICODE per-phase breakdown, accumulated.
+    pub phases: Phases,
+    /// Machine instructions generated.
+    pub generated_insns: u64,
+    /// ICODE IR instructions recorded.
+    pub ir_insns: u64,
+    /// Spilled live intervals (ICODE).
+    pub spills: u64,
+    /// Closures traversed.
+    pub closures: u64,
+    /// Loop iterations unrolled at dynamic compile time.
+    pub unrolled_iters: u64,
+}
+
+/// The runtime: implements [`HostCall`] for a loaded `C program.
+pub struct TccRuntime {
+    /// The analyzed program (tick table for CGFs).
+    pub prog: Arc<Program>,
+    /// Static function addresses (by function index).
+    pub func_addrs: Vec<u64>,
+    /// Global addresses (by global index).
+    pub global_addrs: Vec<u64>,
+    /// Selected dynamic back end.
+    pub backend: Backend,
+    /// Use the closure arena (`false` = ablation baseline using the
+    /// general allocator).
+    pub use_arena: bool,
+    /// Optional pruned translator table for the ICODE back end.
+    pub table: Option<TranslatorTable>,
+    /// Statistics.
+    pub stats: DynStats,
+    /// Captured program output.
+    pub out: Vec<u8>,
+    /// Also echo output to stdout.
+    pub echo: bool,
+    /// Evaluate cspec operands first (§5.1 heuristic; ablation knob).
+    pub cspec_first: bool,
+    /// Dynamic loop unrolling (§4.4; ablation knob).
+    pub enable_unroll: bool,
+    /// Translator keys observed across ICODE compiles — feed to
+    /// [`TranslatorTable::from_keys`] to build the pruned back end
+    /// (the §5.2 "link-time" analysis, observed at run time here).
+    pub observed_keys: std::collections::BTreeSet<OpKey>,
+    arena: Option<VmArena>,
+    vspec_seq: u64,
+    dyn_seq: u64,
+}
+
+impl TccRuntime {
+    /// Creates a runtime for a compiled program.
+    pub fn new(
+        prog: Arc<Program>,
+        func_addrs: Vec<u64>,
+        global_addrs: Vec<u64>,
+        backend: Backend,
+    ) -> TccRuntime {
+        TccRuntime {
+            prog,
+            func_addrs,
+            global_addrs,
+            backend,
+            use_arena: true,
+            table: None,
+            stats: DynStats::default(),
+            out: Vec::new(),
+            echo: false,
+            cspec_first: true,
+            enable_unroll: true,
+            observed_keys: std::collections::BTreeSet::new(),
+            arena: None,
+            vspec_seq: 0,
+            dyn_seq: 0,
+        }
+    }
+
+    /// The captured output as UTF-8 (lossy).
+    pub fn output(&self) -> String {
+        String::from_utf8_lossy(&self.out).into_owned()
+    }
+
+    fn compile(&mut self, st: &mut MachineState) -> Result<(), VmError> {
+        let closure = st.arg(0);
+        let ret_kind = match st.arg(1) as u8 {
+            255 => None,
+            c => Some(
+                ValKind::from_code(c)
+                    .ok_or_else(|| VmError::Host(format!("bad return kind code {c}")))?,
+            ),
+        };
+        let t0 = Instant::now();
+        let input = DynInput {
+            prog: &self.prog,
+            func_addrs: &self.func_addrs,
+            global_addrs: &self.global_addrs,
+        };
+        self.dyn_seq += 1;
+        let name = format!("dyn{}", self.dyn_seq);
+        let MachineState { code, mem, .. } = st;
+        let (addr, insns) = match &self.backend {
+            Backend::Vcode { unchecked } => {
+                let mut vc = Vcode::new(code, &name);
+                vc.set_unchecked(*unchecked);
+                let mut dc = DynCompiler::new(input, mem, &mut vc, ret_kind);
+                dc.cspec_first = self.cspec_first;
+                dc.enable_unroll = self.enable_unroll;
+                dc.compile_entry(closure)?;
+                self.stats.closures += dc.stats.closures;
+                self.stats.unrolled_iters += dc.stats.unrolled_iters;
+                let f = vc.finish();
+                self.stats.walk_ns += t0.elapsed().as_nanos() as u64;
+                (f.addr, f.insns)
+            }
+            Backend::Icode { strategy } => {
+                let mut buf = IcodeBuf::new();
+                let mut dc = DynCompiler::new(input, mem, &mut buf, ret_kind);
+                dc.cspec_first = self.cspec_first;
+                dc.enable_unroll = self.enable_unroll;
+                dc.compile_entry(closure)?;
+                self.stats.closures += dc.stats.closures;
+                self.stats.unrolled_iters += dc.stats.unrolled_iters;
+                self.stats.walk_ns += t0.elapsed().as_nanos() as u64;
+                self.stats.ir_insns += buf.emitted();
+                self.observed_keys.extend(buf.insns.iter().map(key_of));
+                let mut compiler = IcodeCompiler::new(*strategy);
+                if let Some(table) = &self.table {
+                    compiler.table = table.clone();
+                }
+                let r = compiler.compile(code, &name, buf);
+                self.stats.phases.peephole_ns += r.phases.peephole_ns;
+                self.stats.phases.flow_ns += r.phases.flow_ns;
+                self.stats.phases.liveness_ns += r.phases.liveness_ns;
+                self.stats.phases.intervals_ns += r.phases.intervals_ns;
+                self.stats.phases.alloc_ns += r.phases.alloc_ns;
+                self.stats.phases.emit_ns += r.phases.emit_ns;
+                self.stats.spills += r.spills as u64;
+                (r.func.addr, r.func.insns)
+            }
+        };
+        self.stats.compiles += 1;
+        self.stats.total_ns += t0.elapsed().as_nanos() as u64;
+        self.stats.generated_insns += insns;
+        st.set_ret(addr);
+        Ok(())
+    }
+
+    fn emit_out(&mut self, bytes: &[u8]) {
+        self.out.extend_from_slice(bytes);
+        if self.echo {
+            use std::io::Write;
+            let _ = std::io::stdout().write_all(bytes);
+        }
+    }
+
+    fn printf(&mut self, st: &mut MachineState) -> Result<(), VmError> {
+        let fmt = st.mem.read_cstr(st.arg(0))?;
+        let mut int_arg = 1usize;
+        let mut f_arg = 0usize;
+        let mut out = String::new();
+        let mut chars = fmt.chars().peekable();
+        while let Some(c) = chars.next() {
+            if c != '%' {
+                out.push(c);
+                continue;
+            }
+            // parse (and ignore) simple width specs like %4d
+            let mut spec = String::new();
+            while let Some(&d) = chars.peek() {
+                if d.is_ascii_digit() {
+                    spec.push(d);
+                    chars.next();
+                } else {
+                    break;
+                }
+            }
+            match chars.next() {
+                Some('d') => {
+                    out.push_str(&format!("{}", st.arg(int_arg) as i64 as i32));
+                    int_arg += 1;
+                }
+                Some('l') => {
+                    if chars.peek() == Some(&'d') {
+                        chars.next();
+                    }
+                    out.push_str(&format!("{}", st.arg(int_arg) as i64));
+                    int_arg += 1;
+                }
+                Some('u') => {
+                    out.push_str(&format!("{}", st.arg(int_arg) as u32));
+                    int_arg += 1;
+                }
+                Some('x') => {
+                    out.push_str(&format!("{:x}", st.arg(int_arg) as u32));
+                    int_arg += 1;
+                }
+                Some('c') => {
+                    out.push(st.arg(int_arg) as u8 as char);
+                    int_arg += 1;
+                }
+                Some('s') => {
+                    let s = st.mem.read_cstr(st.arg(int_arg))?;
+                    out.push_str(&s);
+                    int_arg += 1;
+                }
+                Some('f') | Some('g') => {
+                    out.push_str(&format!("{}", st.farg(f_arg)));
+                    f_arg += 1;
+                }
+                Some('%') => out.push('%'),
+                other => {
+                    return Err(VmError::Host(format!("bad printf conversion {other:?}")))
+                }
+            }
+        }
+        self.emit_out(out.as_bytes());
+        Ok(())
+    }
+}
+
+impl HostCall for TccRuntime {
+    fn call(&mut self, num: u32, st: &mut MachineState) -> Result<(), VmError> {
+        match num {
+            hcalls::HC_EXIT => Err(VmError::Host(format!("exit({})", st.arg(0) as i64))),
+            hcalls::HC_PUTINT => {
+                let s = format!("{}\n", st.arg(0) as i64 as i32);
+                self.emit_out(s.as_bytes());
+                Ok(())
+            }
+            hcalls::HC_PUTS => {
+                let s = st.mem.read_cstr(st.arg(0))?;
+                self.emit_out(s.as_bytes());
+                self.emit_out(b"\n");
+                Ok(())
+            }
+            hcalls::HC_PUTF => {
+                let s = format!("{}\n", st.farg(0));
+                self.emit_out(s.as_bytes());
+                Ok(())
+            }
+            hcalls::HC_PUTCHAR => {
+                self.emit_out(&[st.arg(0) as u8]);
+                Ok(())
+            }
+            hcalls::HC_PRINTF => self.printf(st),
+            hcalls::HC_MALLOC => {
+                let size = st.arg(0).max(1);
+                let a = st.mem.alloc(size, 8)?;
+                st.set_ret(a);
+                Ok(())
+            }
+            hcalls::HC_ALLOC_CLOSURE => {
+                let size = st.arg(0);
+                let a = if self.use_arena {
+                    if self.arena.is_none() {
+                        self.arena = Some(VmArena::new(&mut st.mem, 1 << 16)?);
+                    }
+                    self.arena
+                        .as_mut()
+                        .expect("just initialized")
+                        .alloc(&mut st.mem, size)?
+                } else {
+                    st.mem.alloc(size, 8)?
+                };
+                st.set_ret(a);
+                Ok(())
+            }
+            hcalls::HC_COMPILE => self.compile(st),
+            hcalls::HC_LOCAL => {
+                let kind = ValKind::from_code(st.arg(0) as u8)
+                    .ok_or_else(|| VmError::Host("bad vspec kind".into()))?;
+                let addr = st.mem.alloc(VspecObj::SIZE, 8)?;
+                self.vspec_seq += 1;
+                VspecObj { tag: VspecTag::Local, kind, index: self.vspec_seq }
+                    .write(&mut st.mem, addr)?;
+                st.set_ret(addr);
+                Ok(())
+            }
+            hcalls::HC_PARAM => {
+                let kind = ValKind::from_code(st.arg(0) as u8)
+                    .ok_or_else(|| VmError::Host("bad vspec kind".into()))?;
+                let index = st.arg(1);
+                let addr = st.mem.alloc(VspecObj::SIZE, 8)?;
+                VspecObj { tag: VspecTag::Param, kind, index }.write(&mut st.mem, addr)?;
+                st.set_ret(addr);
+                Ok(())
+            }
+            hcalls::HC_LABEL_OBJ => {
+                let addr = st.mem.alloc(16, 8)?;
+                st.mem.store_u64(addr, LABEL_MARKER)?;
+                self.vspec_seq += 1;
+                st.mem.store_u64(addr + 8, self.vspec_seq)?;
+                st.set_ret(addr);
+                Ok(())
+            }
+            hcalls::HC_ARGLIST_NEW => {
+                let addr = st.mem.alloc(16 + 8 * ARGLIST_MAX, 8)?;
+                st.mem.store_u64(addr, ARGLIST_MARKER)?;
+                st.mem.store_u64(addr + 8, 0)?;
+                st.set_ret(addr);
+                Ok(())
+            }
+            hcalls::HC_ARGLIST_PUSH => {
+                let list = st.arg(0);
+                let cspec = st.arg(1);
+                if st.mem.load_u64(list)? != ARGLIST_MARKER {
+                    return Err(VmError::Host("push() on a non-argument-list".into()));
+                }
+                let n = st.mem.load_u64(list + 8)?;
+                if n >= ARGLIST_MAX {
+                    return Err(VmError::Host(format!(
+                        "argument list full ({ARGLIST_MAX} max)"
+                    )));
+                }
+                st.mem.store_u64(list + 16 + 8 * n, cspec)?;
+                st.mem.store_u64(list + 8, n + 1)?;
+                Ok(())
+            }
+            hcalls::HC_ABORT => Err(VmError::Host("abort() called".into())),
+            n => Err(VmError::BadHostCall(n)),
+        }
+    }
+}

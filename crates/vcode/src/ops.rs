@@ -1,0 +1,500 @@
+//! The typed operation vocabulary shared by VCODE and ICODE.
+//!
+//! VCODE's interface is a cross product of operation kinds and operand
+//! types; ICODE extends the same interface with unbounded registers
+//! (paper §5.2). Both layers in this repo speak the vocabulary defined
+//! here, parameterized by [`ValKind`].
+
+use tcc_rt::ValKind;
+use tcc_vm::Op;
+
+/// Binary operations. Comparison members materialize 0/1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BinOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Signed division (FP division for [`ValKind::F`]).
+    Div,
+    /// Unsigned division.
+    DivU,
+    /// Signed remainder.
+    Rem,
+    /// Unsigned remainder.
+    RemU,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Shift left.
+    Shl,
+    /// Arithmetic shift right.
+    Shr,
+    /// Logical shift right.
+    ShrU,
+    /// Equality.
+    Eq,
+    /// Inequality.
+    Ne,
+    /// Signed less-than.
+    Lt,
+    /// Unsigned less-than.
+    LtU,
+    /// Signed less-or-equal.
+    Le,
+    /// Unsigned less-or-equal.
+    LeU,
+    /// Signed greater-than.
+    Gt,
+    /// Unsigned greater-than.
+    GtU,
+    /// Signed greater-or-equal.
+    Ge,
+    /// Unsigned greater-or-equal.
+    GeU,
+}
+
+impl BinOp {
+    /// True for the ten comparison operations.
+    pub fn is_cmp(self) -> bool {
+        use BinOp::*;
+        matches!(self, Eq | Ne | Lt | LtU | Le | LeU | Gt | GtU | Ge | GeU)
+    }
+
+    /// True for operations that are commutative at every kind.
+    pub fn is_commutative(self) -> bool {
+        use BinOp::*;
+        matches!(self, Add | Mul | And | Or | Xor | Eq | Ne)
+    }
+
+    /// The comparison with swapped operands (`a < b` ⇔ `b > a`);
+    /// returns `self` for non-comparisons that are commutative, `None`
+    /// otherwise.
+    pub fn swapped(self) -> Option<BinOp> {
+        use BinOp::*;
+        Some(match self {
+            Lt => Gt,
+            Gt => Lt,
+            Le => Ge,
+            Ge => Le,
+            LtU => GtU,
+            GtU => LtU,
+            LeU => GeU,
+            GeU => LeU,
+            Eq => Eq,
+            Ne => Ne,
+            op if op.is_commutative() => op,
+            _ => return None,
+        })
+    }
+
+    /// The negated comparison (`a < b` ⇔ `!(a >= b)`); `None` for
+    /// non-comparisons.
+    pub fn negated(self) -> Option<BinOp> {
+        use BinOp::*;
+        Some(match self {
+            Eq => Ne,
+            Ne => Eq,
+            Lt => Ge,
+            Ge => Lt,
+            Le => Gt,
+            Gt => Le,
+            LtU => GeU,
+            GeU => LtU,
+            LeU => GtU,
+            GtU => LeU,
+            _ => return None,
+        })
+    }
+
+    /// Evaluates the operation on constant integers of kind `k`
+    /// (reference semantics, used by constant folding and by tests).
+    /// Returns `None` for division by zero.
+    pub fn eval_int(self, k: ValKind, a: i64, b: i64) -> Option<i64> {
+        use BinOp::*;
+        let w = k == ValKind::W;
+        let (aw, bw) = (a as i32, b as i32);
+        let r: i64 = match self {
+            Add => {
+                if w {
+                    aw.wrapping_add(bw) as i64
+                } else {
+                    a.wrapping_add(b)
+                }
+            }
+            Sub => {
+                if w {
+                    aw.wrapping_sub(bw) as i64
+                } else {
+                    a.wrapping_sub(b)
+                }
+            }
+            Mul => {
+                if w {
+                    aw.wrapping_mul(bw) as i64
+                } else {
+                    a.wrapping_mul(b)
+                }
+            }
+            Div => {
+                if b == 0 {
+                    return None;
+                }
+                if w {
+                    aw.wrapping_div(bw) as i64
+                } else {
+                    a.wrapping_div(b)
+                }
+            }
+            DivU => {
+                if b == 0 {
+                    return None;
+                }
+                if w {
+                    ((aw as u32) / (bw as u32)) as i32 as i64
+                } else {
+                    ((a as u64) / (b as u64)) as i64
+                }
+            }
+            Rem => {
+                if b == 0 {
+                    return None;
+                }
+                if w {
+                    aw.wrapping_rem(bw) as i64
+                } else {
+                    a.wrapping_rem(b)
+                }
+            }
+            RemU => {
+                if b == 0 {
+                    return None;
+                }
+                if w {
+                    ((aw as u32) % (bw as u32)) as i32 as i64
+                } else {
+                    ((a as u64) % (b as u64)) as i64
+                }
+            }
+            And => a & b,
+            Or => a | b,
+            Xor => a ^ b,
+            Shl => {
+                if w {
+                    aw.wrapping_shl(b as u32 & 31) as i64
+                } else {
+                    a.wrapping_shl(b as u32 & 63)
+                }
+            }
+            Shr => {
+                if w {
+                    (aw >> (b as u32 & 31)) as i64
+                } else {
+                    a >> (b & 63)
+                }
+            }
+            ShrU => {
+                if w {
+                    ((aw as u32) >> (b as u32 & 31)) as i32 as i64
+                } else {
+                    ((a as u64) >> (b as u64 & 63)) as i64
+                }
+            }
+            Eq => i64::from(a == b),
+            Ne => i64::from(a != b),
+            Lt => i64::from(if w { aw < bw } else { a < b }),
+            LtU => i64::from(if w { (aw as u32) < (bw as u32) } else { (a as u64) < (b as u64) }),
+            Le => i64::from(if w { aw <= bw } else { a <= b }),
+            LeU => i64::from(if w { (aw as u32) <= (bw as u32) } else { (a as u64) <= (b as u64) }),
+            Gt => i64::from(if w { aw > bw } else { a > b }),
+            GtU => i64::from(if w { (aw as u32) > (bw as u32) } else { (a as u64) > (b as u64) }),
+            Ge => i64::from(if w { aw >= bw } else { a >= b }),
+            GeU => i64::from(if w { (aw as u32) >= (bw as u32) } else { (a as u64) >= (b as u64) }),
+        };
+        Some(r)
+    }
+}
+
+/// Unary operations (including the conversions).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Bitwise complement.
+    Not,
+    /// Register move / kind reinterpretation between integer kinds.
+    Mov,
+    /// 32-bit int → double.
+    CvtWtoF,
+    /// double → 32-bit int (truncating).
+    CvtFtoW,
+    /// 64-bit int → double.
+    CvtLtoF,
+    /// double → 64-bit int (truncating).
+    CvtFtoL,
+}
+
+/// Memory load widths and extensions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum LoadKind {
+    /// Sign-extending byte load.
+    I8,
+    /// Zero-extending byte load.
+    U8,
+    /// Sign-extending halfword load.
+    I16,
+    /// Zero-extending halfword load.
+    U16,
+    /// Sign-extending word load (C `int`).
+    I32,
+    /// Zero-extending word load (C `unsigned`).
+    U32,
+    /// Doubleword load (`long`, pointers).
+    I64,
+    /// Double-precision float load.
+    F64,
+}
+
+impl LoadKind {
+    /// The machine opcode implementing this load.
+    pub fn op(self) -> Op {
+        match self {
+            LoadKind::I8 => Op::Lb,
+            LoadKind::U8 => Op::Lbu,
+            LoadKind::I16 => Op::Lh,
+            LoadKind::U16 => Op::Lhu,
+            LoadKind::I32 => Op::Lw,
+            LoadKind::U32 => Op::Lwu,
+            LoadKind::I64 => Op::Ld,
+            LoadKind::F64 => Op::Fld,
+        }
+    }
+
+    /// The [`ValKind`] of the loaded value.
+    pub fn result_kind(self) -> ValKind {
+        match self {
+            LoadKind::F64 => ValKind::F,
+            LoadKind::I64 => ValKind::D,
+            _ => ValKind::W,
+        }
+    }
+}
+
+/// Memory store widths.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum StoreKind {
+    /// Byte store.
+    I8,
+    /// Halfword store.
+    I16,
+    /// Word store.
+    I32,
+    /// Doubleword store.
+    I64,
+    /// Double-precision float store.
+    F64,
+}
+
+impl StoreKind {
+    /// The machine opcode implementing this store.
+    pub fn op(self) -> Op {
+        match self {
+            StoreKind::I8 => Op::Sb,
+            StoreKind::I16 => Op::Sh,
+            StoreKind::I32 => Op::Sw,
+            StoreKind::I64 => Op::Sd,
+            StoreKind::F64 => Op::Fsd,
+        }
+    }
+
+    /// The [`ValKind`] of the stored value's source.
+    pub fn value_kind(self) -> ValKind {
+        match self {
+            StoreKind::F64 => ValKind::F,
+            StoreKind::I64 => ValKind::D,
+            _ => ValKind::W,
+        }
+    }
+}
+
+/// Maps an integer binary op at kind `k` to its direct machine opcode, if
+/// one exists (`Le`/`Gt` style comparisons need multi-instruction
+/// sequences and return `None`).
+pub fn int_binop_op(op: BinOp, k: ValKind) -> Option<Op> {
+    use BinOp::*;
+    debug_assert!(k != ValKind::F);
+    let w = k == ValKind::W;
+    Some(match op {
+        Add => {
+            if w {
+                Op::Addw
+            } else {
+                Op::Addd
+            }
+        }
+        Sub => {
+            if w {
+                Op::Subw
+            } else {
+                Op::Subd
+            }
+        }
+        Mul => {
+            if w {
+                Op::Mulw
+            } else {
+                Op::Muld
+            }
+        }
+        Div => {
+            if w {
+                Op::Divw
+            } else {
+                Op::Divd
+            }
+        }
+        DivU => {
+            if w {
+                Op::Divuw
+            } else {
+                Op::Divud
+            }
+        }
+        Rem => {
+            if w {
+                Op::Remw
+            } else {
+                Op::Remd
+            }
+        }
+        RemU => {
+            if w {
+                Op::Remuw
+            } else {
+                Op::Remud
+            }
+        }
+        And => Op::And,
+        Or => Op::Or,
+        Xor => Op::Xor,
+        Shl => {
+            if w {
+                Op::Sllw
+            } else {
+                Op::Slld
+            }
+        }
+        Shr => {
+            if w {
+                Op::Sraw
+            } else {
+                Op::Srad
+            }
+        }
+        ShrU => {
+            if w {
+                Op::Srlw
+            } else {
+                Op::Srld
+            }
+        }
+        Eq => Op::Seq,
+        Ne => Op::Sne,
+        Lt => {
+            if w {
+                Op::Sltw
+            } else {
+                Op::Sltd
+            }
+        }
+        LtU => {
+            if w {
+                Op::Sltuw
+            } else {
+                Op::Sltud
+            }
+        }
+        _ => return None,
+    })
+}
+
+/// Maps a comparison to the machine *branch* opcode `branch-if-cmp(a,b)`,
+/// together with whether operands must be swapped. Works for all ten
+/// integer comparisons.
+pub fn int_branch_op(op: BinOp, k: ValKind) -> Option<(Op, bool)> {
+    use BinOp::*;
+    let w = k == ValKind::W;
+    Some(match op {
+        Eq => (Op::Beq, false),
+        Ne => (Op::Bne, false),
+        Lt => (if w { Op::Bltw } else { Op::Bltd }, false),
+        Ge => (if w { Op::Bgew } else { Op::Bged }, false),
+        LtU => (if w { Op::Bltuw } else { Op::Bltud }, false),
+        GeU => (if w { Op::Bgeuw } else { Op::Bgeud }, false),
+        // a > b  ==  b < a ; a <= b  ==  b >= a
+        Gt => (if w { Op::Bltw } else { Op::Bltd }, true),
+        Le => (if w { Op::Bgew } else { Op::Bged }, true),
+        GtU => (if w { Op::Bltuw } else { Op::Bltud }, true),
+        LeU => (if w { Op::Bgeuw } else { Op::Bgeud }, true),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn swapped_and_negated_are_involutions() {
+        use BinOp::*;
+        for op in [Eq, Ne, Lt, LtU, Le, LeU, Gt, GtU, Ge, GeU] {
+            assert_eq!(op.swapped().unwrap().swapped().unwrap(), op);
+            assert_eq!(op.negated().unwrap().negated().unwrap(), op);
+        }
+        assert_eq!(Sub.swapped(), None);
+        assert_eq!(Add.negated(), None);
+    }
+
+    #[test]
+    fn eval_int_matches_rust_semantics() {
+        assert_eq!(BinOp::Add.eval_int(ValKind::W, i32::MAX as i64, 1), Some(i32::MIN as i64));
+        assert_eq!(BinOp::Add.eval_int(ValKind::D, i32::MAX as i64, 1), Some(1 << 31));
+        assert_eq!(BinOp::Div.eval_int(ValKind::W, 7, 0), None);
+        assert_eq!(BinOp::Lt.eval_int(ValKind::W, -1, 0), Some(1));
+        assert_eq!(BinOp::LtU.eval_int(ValKind::W, -1, 0), Some(0));
+        assert_eq!(BinOp::Shl.eval_int(ValKind::W, 1, 33), Some(2)); // masked
+    }
+
+    #[test]
+    fn branch_mapping_covers_all_comparisons() {
+        use BinOp::*;
+        for op in [Eq, Ne, Lt, LtU, Le, LeU, Gt, GtU, Ge, GeU] {
+            assert!(int_branch_op(op, ValKind::W).is_some());
+            assert!(int_branch_op(op, ValKind::D).is_some());
+        }
+        assert!(int_branch_op(Add, ValKind::W).is_none());
+    }
+
+    #[test]
+    fn direct_op_mapping() {
+        assert_eq!(int_binop_op(BinOp::Add, ValKind::W), Some(Op::Addw));
+        assert_eq!(int_binop_op(BinOp::Add, ValKind::P), Some(Op::Addd));
+        assert_eq!(int_binop_op(BinOp::Gt, ValKind::W), None);
+        assert_eq!(int_binop_op(BinOp::Eq, ValKind::D), Some(Op::Seq));
+    }
+
+    #[test]
+    fn load_store_kinds_map_to_ops() {
+        assert_eq!(LoadKind::I8.op(), Op::Lb);
+        assert_eq!(LoadKind::U32.op(), Op::Lwu);
+        assert_eq!(LoadKind::F64.op(), Op::Fld);
+        assert_eq!(StoreKind::I16.op(), Op::Sh);
+        assert_eq!(LoadKind::I32.result_kind(), ValKind::W);
+        assert_eq!(StoreKind::F64.value_kind(), ValKind::F);
+    }
+}

@@ -1,0 +1,288 @@
+//! The code space: where generated binary code lives.
+//!
+//! Code addresses are distinguished from data addresses by bit 31
+//! ([`CODE_BASE`]), mirroring a separate text segment. All emitters
+//! (static back ends, VCODE, ICODE) append encoded instruction words here
+//! and hand out callable function addresses.
+//!
+//! Following the paper (§4.4: "we attempt to minimize poor cache behavior
+//! by choosing the address of the beginning of the dynamic code randomly
+//! modulo the cache size"), the space can pad each new function by a
+//! deterministic pseudo-random number of words when
+//! [`CodeSpace::set_placement_jitter`] is enabled.
+
+use crate::error::VmError;
+use crate::isa::Insn;
+
+/// Base address of the code space; all code addresses have this bit set.
+pub const CODE_BASE: u64 = 0x8000_0000;
+
+/// Handle to a function under construction, returned by
+/// [`CodeSpace::begin_function`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FuncHandle(usize);
+
+#[derive(Clone, Debug)]
+struct FuncInfo {
+    name: String,
+    start_word: usize,
+    end_word: usize,
+}
+
+/// A growable region of encoded instruction words plus a registry of the
+/// functions inside it.
+#[derive(Clone, Debug, Default)]
+pub struct CodeSpace {
+    words: Vec<u32>,
+    funcs: Vec<FuncInfo>,
+    jitter_state: Option<u64>,
+}
+
+impl CodeSpace {
+    /// Creates an empty code space.
+    pub fn new() -> CodeSpace {
+        CodeSpace::default()
+    }
+
+    /// Enables deterministic pseudo-random placement padding (0..64 words)
+    /// before each subsequently begun function, seeded with `seed`.
+    /// Reproduces the paper's cache-conscious random placement of dynamic
+    /// code; off by default so tests are layout-stable.
+    pub fn set_placement_jitter(&mut self, seed: u64) {
+        self.jitter_state = Some(seed | 1);
+    }
+
+    /// Starts a new function named `name` (for disassembly and
+    /// diagnostics) and returns its handle. Instructions pushed until the
+    /// matching [`CodeSpace::finish_function`] belong to it.
+    pub fn begin_function(&mut self, name: &str) -> FuncHandle {
+        if let Some(state) = self.jitter_state.as_mut() {
+            // xorshift64; pad by 0..64 words.
+            *state ^= *state << 13;
+            *state ^= *state >> 7;
+            *state ^= *state << 17;
+            let pad = (*state % 64) as usize;
+            self.words
+                .extend(std::iter::repeat(Insn::nop().encode()).take(pad));
+        }
+        let h = FuncHandle(self.funcs.len());
+        self.funcs.push(FuncInfo {
+            name: name.to_string(),
+            start_word: self.words.len(),
+            end_word: usize::MAX,
+        });
+        h
+    }
+
+    /// Seals the function begun with `handle` and returns its callable
+    /// address.
+    pub fn finish_function(&mut self, handle: FuncHandle) -> u64 {
+        let info = &mut self.funcs[handle.0];
+        info.end_word = self.words.len();
+        CODE_BASE + (info.start_word as u64) * 4
+    }
+
+    /// The callable address of a (possibly unfinished) function.
+    pub fn addr_of(&self, handle: FuncHandle) -> u64 {
+        CODE_BASE + (self.funcs[handle.0].start_word as u64) * 4
+    }
+
+    /// Appends one instruction; returns its word index (for patching).
+    #[inline]
+    pub fn push(&mut self, insn: Insn) -> usize {
+        let idx = self.words.len();
+        self.words.push(insn.encode());
+        idx
+    }
+
+    /// Appends a raw already-encoded word; returns its word index.
+    #[inline]
+    pub fn push_word(&mut self, word: u32) -> usize {
+        let idx = self.words.len();
+        self.words.push(word);
+        idx
+    }
+
+    /// Overwrites the word at `index` (used to resolve forward branch
+    /// references).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` has not been emitted yet.
+    #[inline]
+    pub fn patch(&mut self, index: usize, insn: Insn) {
+        self.words[index] = insn.encode();
+    }
+
+    /// Number of instruction words emitted so far (also the index the next
+    /// push will get).
+    #[inline]
+    pub fn next_index(&self) -> usize {
+        self.words.len()
+    }
+
+    /// The address the next pushed instruction will have.
+    #[inline]
+    pub fn next_addr(&self) -> u64 {
+        CODE_BASE + (self.words.len() as u64) * 4
+    }
+
+    /// Fetches the instruction word at a code address.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::BadPc`] for addresses outside the emitted range
+    /// or not word-aligned.
+    #[inline]
+    pub fn fetch(&self, pc: u64) -> Result<u32, VmError> {
+        if pc < CODE_BASE || pc % 4 != 0 {
+            return Err(VmError::BadPc(pc));
+        }
+        let idx = ((pc - CODE_BASE) / 4) as usize;
+        self.words.get(idx).copied().ok_or(VmError::BadPc(pc))
+    }
+
+    /// True if `addr` points into the code space's emitted range.
+    pub fn contains(&self, addr: u64) -> bool {
+        addr >= CODE_BASE && ((addr - CODE_BASE) / 4) < self.words.len() as u64
+    }
+
+    /// Name of the function containing `addr`, if any (diagnostics).
+    pub fn function_at(&self, addr: u64) -> Option<&str> {
+        if addr < CODE_BASE {
+            return None;
+        }
+        let w = ((addr - CODE_BASE) / 4) as usize;
+        self.funcs
+            .iter()
+            .find(|f| w >= f.start_word && w < f.end_word)
+            .map(|f| f.name.as_str())
+    }
+
+    /// Disassembles the function at `handle` into one line per
+    /// instruction, annotated with word offsets.
+    pub fn disassemble(&self, handle: FuncHandle) -> String {
+        let info = &self.funcs[handle.0];
+        let end = info.end_word.min(self.words.len());
+        let mut out = format!("{}:\n", info.name);
+        for (i, w) in self.words[info.start_word..end].iter().enumerate() {
+            match Insn::decode(*w) {
+                Ok(insn) => out.push_str(&format!("  {i:4}: {insn}\n")),
+                Err(_) => out.push_str(&format!("  {i:4}: .word {w:#010x}\n")),
+            }
+        }
+        out
+    }
+
+    /// Disassembles the function containing `addr`, if any.
+    pub fn disassemble_at(&self, addr: u64) -> Option<String> {
+        if addr < CODE_BASE {
+            return None;
+        }
+        let w = ((addr - CODE_BASE) / 4) as usize;
+        let idx = self.funcs.iter().position(|f| w >= f.start_word && w < f.end_word)?;
+        Some(self.disassemble(FuncHandle(idx)))
+    }
+
+    /// Decoded instructions of a finished function (testing/analysis).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::BadOpcode`] if a word does not decode.
+    pub fn instructions(&self, handle: FuncHandle) -> Result<Vec<Insn>, VmError> {
+        let info = &self.funcs[handle.0];
+        let end = info.end_word.min(self.words.len());
+        self.words[info.start_word..end]
+            .iter()
+            .map(|w| Insn::decode(*w))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::Op;
+    use crate::regs::{A0, A1};
+
+    #[test]
+    fn function_addresses_and_fetch() {
+        let mut cs = CodeSpace::new();
+        let f = cs.begin_function("f");
+        cs.push(Insn::i(Op::Addiw, A0, A0, 1));
+        cs.push(Insn::ret());
+        let addr = cs.finish_function(f);
+        assert_eq!(addr, CODE_BASE);
+        let w = cs.fetch(addr).unwrap();
+        assert_eq!(Insn::decode(w).unwrap().op, Op::Addiw);
+        assert_eq!(
+            Insn::decode(cs.fetch(addr + 4).unwrap()).unwrap(),
+            Insn::ret()
+        );
+    }
+
+    #[test]
+    fn fetch_rejects_bad_pcs() {
+        let mut cs = CodeSpace::new();
+        let f = cs.begin_function("f");
+        cs.push(Insn::ret());
+        cs.finish_function(f);
+        assert!(matches!(cs.fetch(CODE_BASE + 2), Err(VmError::BadPc(_))));
+        assert!(matches!(cs.fetch(CODE_BASE + 8), Err(VmError::BadPc(_))));
+        assert!(matches!(cs.fetch(0x1000), Err(VmError::BadPc(_))));
+    }
+
+    #[test]
+    fn patch_rewrites_word() {
+        let mut cs = CodeSpace::new();
+        let f = cs.begin_function("f");
+        let idx = cs.push(Insn::nop());
+        cs.push(Insn::ret());
+        cs.patch(idx, Insn::i(Op::Addiw, A0, A1, 7));
+        cs.finish_function(f);
+        let insns = cs.instructions(f).unwrap();
+        assert_eq!(insns[0], Insn::i(Op::Addiw, A0, A1, 7));
+    }
+
+    #[test]
+    fn placement_jitter_pads_functions_deterministically() {
+        let build = |seed| {
+            let mut cs = CodeSpace::new();
+            cs.set_placement_jitter(seed);
+            let f = cs.begin_function("f");
+            cs.push(Insn::ret());
+            cs.finish_function(f)
+        };
+        let a = build(42);
+        let b = build(42);
+        let c = build(43);
+        assert_eq!(a, b, "same seed, same placement");
+        assert!(a != c || a >= CODE_BASE, "jitter is seed-dependent");
+    }
+
+    #[test]
+    fn function_at_finds_names() {
+        let mut cs = CodeSpace::new();
+        let f = cs.begin_function("alpha");
+        cs.push(Insn::ret());
+        let fa = cs.finish_function(f);
+        let g = cs.begin_function("beta");
+        cs.push(Insn::ret());
+        let gb = cs.finish_function(g);
+        assert_eq!(cs.function_at(fa), Some("alpha"));
+        assert_eq!(cs.function_at(gb), Some("beta"));
+        assert_eq!(cs.function_at(0x10), None);
+    }
+
+    #[test]
+    fn disassembly_contains_mnemonics() {
+        let mut cs = CodeSpace::new();
+        let f = cs.begin_function("f");
+        cs.push(Insn::i(Op::Addiw, A0, A0, 1));
+        cs.push(Insn::ret());
+        cs.finish_function(f);
+        let d = cs.disassemble(f);
+        assert!(d.contains("addiw"));
+        assert!(d.contains("jalr"));
+    }
+}

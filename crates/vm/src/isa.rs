@@ -1,0 +1,574 @@
+//! Instruction set architecture: opcodes, instruction words, binary
+//! encoding and decoding.
+//!
+//! Every instruction encodes into one 32-bit word (the paper's targets were
+//! fixed-width RISCs; keeping that property means immediates larger than 14
+//! bits must be synthesized with `sethi`+`ori` sequences, exactly the cost
+//! structure tcc's VCODE macros dealt with).
+//!
+//! Encodings (bit 31 is the MSB):
+//!
+//! | format | 31..24 | 23..19 | 18..14 | 13..9 | rest |
+//! |--------|--------|--------|--------|-------|------|
+//! | R      | opcode | rd     | rs1    | rs2   | 0    |
+//! | I      | opcode | rd     | rs1    | imm14 (signed, bits 13..0) ||
+//! | J      | opcode | imm24 (signed, bits 23..0) |||
+//! | S      | opcode | rd     | imm19 (signed, bits 18..0) |||
+//!
+//! Branches are I-format with `rd`/`rs1` as the two compared registers and
+//! the immediate as a **word** offset relative to the *next* instruction.
+//! `J`/`Jal` use a signed 24-bit word offset. Floating-point registers are
+//! carried in the same 5-bit fields (only values 0..16 are valid).
+
+use crate::error::VmError;
+use std::fmt;
+
+/// An integer register name (`r0`..`r31`). `r0` reads as zero and ignores
+/// writes.
+///
+/// ```
+/// use tcc_vm::isa::Reg;
+/// assert_eq!(Reg(4).to_string(), "r4");
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Reg(pub u8);
+
+/// A double-precision floating point register name (`f0`..`f15`).
+///
+/// ```
+/// use tcc_vm::isa::FReg;
+/// assert_eq!(FReg(2).to_string(), "f2");
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct FReg(pub u8);
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl fmt::Display for FReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+/// Number of integer registers.
+pub const NUM_REGS: usize = 32;
+/// Number of floating point registers.
+pub const NUM_FREGS: usize = 16;
+
+/// Instruction word format. Determines which [`Insn`] fields are encoded.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Format {
+    /// Three-register: `rd`, `rs1`, `rs2`.
+    R,
+    /// Register-immediate (also loads, stores and branches): `rd`, `rs1`,
+    /// signed 14-bit immediate.
+    I,
+    /// Jump: signed 24-bit word offset.
+    J,
+    /// `sethi`: `rd`, signed 19-bit immediate shifted left by 14.
+    S,
+}
+
+/// Cycle-cost category of an opcode; the [`crate::CostModel`] maps each
+/// category to a cycle count.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CostClass {
+    /// Simple integer ALU operation (add, logic, shift, compare, `sethi`).
+    Alu,
+    /// Integer multiply.
+    Mul,
+    /// Integer divide / remainder.
+    Div,
+    /// Floating add/sub/neg/mov/compare/convert.
+    FAdd,
+    /// Floating multiply.
+    FMul,
+    /// Floating divide.
+    FDiv,
+    /// Memory load.
+    Load,
+    /// Memory store.
+    Store,
+    /// Conditional branch (taken branches cost one extra cycle).
+    Branch,
+    /// Unconditional jump.
+    Jump,
+    /// Call (`jal`/`jalr` with linkage).
+    Call,
+    /// Host call trap.
+    HCall,
+    /// No cost beyond issue.
+    Nop,
+}
+
+macro_rules! ops {
+    ($( $name:ident = $code:literal, $fmt:ident, $mnem:literal, $cost:ident; )*) => {
+        /// Machine opcodes. See the module docs for encoding formats.
+        #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+        #[repr(u8)]
+        pub enum Op {
+            $(
+                #[doc = concat!("`", $mnem, "`")]
+                $name = $code,
+            )*
+        }
+
+        impl Op {
+            /// Decodes an opcode byte.
+            ///
+            /// # Errors
+            ///
+            /// Returns [`VmError::BadOpcode`] for unassigned byte values.
+            pub fn from_u8(b: u8) -> Result<Op, VmError> {
+                match b {
+                    $( $code => Ok(Op::$name), )*
+                    _ => Err(VmError::BadOpcode(b)),
+                }
+            }
+
+            /// The instruction word format for this opcode.
+            pub fn format(self) -> Format {
+                match self {
+                    $( Op::$name => Format::$fmt, )*
+                }
+            }
+
+            /// Assembly mnemonic.
+            pub fn mnemonic(self) -> &'static str {
+                match self {
+                    $( Op::$name => $mnem, )*
+                }
+            }
+
+            /// Cycle-cost category.
+            pub fn cost_class(self) -> CostClass {
+                match self {
+                    $( Op::$name => CostClass::$cost, )*
+                }
+            }
+
+            /// All assigned opcodes, in encoding order.
+            pub const ALL: &'static [Op] = &[ $( Op::$name, )* ];
+        }
+    };
+}
+
+ops! {
+    // --- misc ---
+    Nop    = 0,  I, "nop",    Nop;
+    Halt   = 1,  I, "halt",   Nop;
+    Hcall  = 2,  I, "hcall",  HCall;
+
+    // --- 32-bit integer arithmetic (results sign-extended to 64 bits) ---
+    Addw   = 8,  R, "addw",   Alu;
+    Subw   = 9,  R, "subw",   Alu;
+    Mulw   = 10, R, "mulw",   Mul;
+    Divw   = 11, R, "divw",   Div;
+    Divuw  = 12, R, "divuw",  Div;
+    Remw   = 13, R, "remw",   Div;
+    Remuw  = 14, R, "remuw",  Div;
+
+    // --- 64-bit integer arithmetic ---
+    Addd   = 16, R, "addd",   Alu;
+    Subd   = 17, R, "subd",   Alu;
+    Muld   = 18, R, "muld",   Mul;
+    Divd   = 19, R, "divd",   Div;
+    Divud  = 20, R, "divud",  Div;
+    Remd   = 21, R, "remd",   Div;
+    Remud  = 22, R, "remud",  Div;
+
+    // --- bitwise logic (64-bit) ---
+    And    = 24, R, "and",    Alu;
+    Or     = 25, R, "or",     Alu;
+    Xor    = 26, R, "xor",    Alu;
+
+    // --- shifts ---
+    Sllw   = 28, R, "sllw",   Alu;
+    Srlw   = 29, R, "srlw",   Alu;
+    Sraw   = 30, R, "sraw",   Alu;
+    Slld   = 31, R, "slld",   Alu;
+    Srld   = 32, R, "srld",   Alu;
+    Srad   = 33, R, "srad",   Alu;
+
+    // --- set-compare (rd <- 0/1) ---
+    Seq    = 36, R, "seq",    Alu;
+    Sne    = 37, R, "sne",    Alu;
+    Sltw   = 38, R, "sltw",   Alu;
+    Sltuw  = 39, R, "sltuw",  Alu;
+    Sltd   = 40, R, "sltd",   Alu;
+    Sltud  = 41, R, "sltud",  Alu;
+
+    // --- register-immediate ---
+    Addiw  = 48, I, "addiw",  Alu;
+    Addid  = 49, I, "addid",  Alu;
+    Andi   = 50, I, "andi",   Alu;
+    Ori    = 51, I, "ori",    Alu;
+    Xori   = 52, I, "xori",   Alu;
+    Slliw  = 53, I, "slliw",  Alu;
+    Srliw  = 54, I, "srliw",  Alu;
+    Sraiw  = 55, I, "sraiw",  Alu;
+    Sllid  = 56, I, "sllid",  Alu;
+    Srlid  = 57, I, "srlid",  Alu;
+    Sraid  = 58, I, "sraid",  Alu;
+    Sethi  = 62, S, "sethi",  Alu;
+
+    // --- loads (rd <- mem[rs1 + imm]) ---
+    Lb     = 64, I, "lb",     Load;
+    Lbu    = 65, I, "lbu",    Load;
+    Lh     = 66, I, "lh",     Load;
+    Lhu    = 67, I, "lhu",    Load;
+    Lw     = 68, I, "lw",     Load;
+    Lwu    = 69, I, "lwu",    Load;
+    Ld     = 70, I, "ld",     Load;
+    Fld    = 71, I, "fld",    Load;
+
+    // --- stores (mem[rs1 + imm] <- rd) ---
+    Sb     = 72, I, "sb",     Store;
+    Sh     = 73, I, "sh",     Store;
+    Sw     = 74, I, "sw",     Store;
+    Sd     = 75, I, "sd",     Store;
+    Fsd    = 76, I, "fsd",    Store;
+
+    // --- branches (compare rd, rs1; imm = word offset from next insn) ---
+    Beq    = 80, I, "beq",    Branch;
+    Bne    = 81, I, "bne",    Branch;
+    Bltw   = 82, I, "bltw",   Branch;
+    Bgew   = 83, I, "bgew",   Branch;
+    Bltuw  = 84, I, "bltuw",  Branch;
+    Bgeuw  = 85, I, "bgeuw",  Branch;
+    Bltd   = 86, I, "bltd",   Branch;
+    Bged   = 87, I, "bged",   Branch;
+    Bltud  = 88, I, "bltud",  Branch;
+    Bgeud  = 89, I, "bgeud",  Branch;
+
+    // --- jumps ---
+    J      = 96, J, "j",      Jump;
+    Jal    = 97, J, "jal",    Call;
+    Jalr   = 98, R, "jalr",   Call;
+
+    // --- floating point (f64) ---
+    Fadd   = 104, R, "fadd",  FAdd;
+    Fsub   = 105, R, "fsub",  FAdd;
+    Fmul   = 106, R, "fmul",  FMul;
+    Fdiv   = 107, R, "fdiv",  FDiv;
+    Fneg   = 108, R, "fneg",  FAdd;
+    Fmov   = 109, R, "fmov",  FAdd;
+    Feq    = 112, R, "feq",   FAdd;
+    Flt    = 113, R, "flt",   FAdd;
+    Fle    = 114, R, "fle",   FAdd;
+    Cvtwd  = 116, R, "cvtwd", FAdd;
+    Cvtdw  = 117, R, "cvtdw", FAdd;
+    Cvtld  = 118, R, "cvtld", FAdd;
+    Cvtdl  = 119, R, "cvtdl", FAdd;
+    Fmvdx  = 120, R, "fmvdx", FAdd;
+    Fmvxd  = 121, R, "fmvxd", FAdd;
+}
+
+impl Op {
+    /// True for the conditional branch opcodes.
+    pub fn is_branch(self) -> bool {
+        matches!(self.cost_class(), CostClass::Branch)
+    }
+
+    /// True for opcodes whose `rd` field names a floating point register.
+    pub fn rd_is_float(self) -> bool {
+        matches!(
+            self,
+            Op::Fld | Op::Fsd | Op::Fadd | Op::Fsub | Op::Fmul | Op::Fdiv | Op::Fneg
+                | Op::Fmov | Op::Cvtwd | Op::Cvtld | Op::Fmvdx
+        )
+    }
+}
+
+/// Range of a signed 14-bit immediate: `-8192..=8191`.
+pub const IMM14_MIN: i32 = -(1 << 13);
+/// Maximum of a signed 14-bit immediate.
+pub const IMM14_MAX: i32 = (1 << 13) - 1;
+/// Range of a signed 19-bit `sethi` immediate.
+pub const IMM19_MIN: i32 = -(1 << 18);
+/// Maximum of a signed 19-bit `sethi` immediate.
+pub const IMM19_MAX: i32 = (1 << 18) - 1;
+/// Range of a signed 24-bit jump offset.
+pub const IMM24_MIN: i32 = -(1 << 23);
+/// Maximum of a signed 24-bit jump offset.
+pub const IMM24_MAX: i32 = (1 << 23) - 1;
+
+/// Returns true if `v` fits in a signed 14-bit immediate.
+pub fn fits_imm14(v: i64) -> bool {
+    (IMM14_MIN as i64..=IMM14_MAX as i64).contains(&v)
+}
+
+/// A decoded (or not-yet-encoded) instruction.
+///
+/// Register fields are raw 5-bit values so the same structure carries
+/// integer and floating point register names; use [`Insn::r`], [`Insn::i`],
+/// and friends to construct well-formed instructions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Insn {
+    /// Opcode.
+    pub op: Op,
+    /// Destination register field (source for stores).
+    pub rd: u8,
+    /// First source register field.
+    pub rs1: u8,
+    /// Second source register field (R-format only).
+    pub rs2: u8,
+    /// Immediate (I: 14-bit, J: 24-bit, S: 19-bit; sign-extended).
+    pub imm: i32,
+}
+
+impl Insn {
+    /// Builds an R-format instruction over integer registers.
+    pub fn r(op: Op, rd: Reg, rs1: Reg, rs2: Reg) -> Insn {
+        debug_assert_eq!(op.format(), Format::R);
+        Insn { op, rd: rd.0, rs1: rs1.0, rs2: rs2.0, imm: 0 }
+    }
+
+    /// Builds an I-format instruction (`rd <- op(rs1, imm)`, or a
+    /// load/store/branch).
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that `imm` fits in 14 signed bits.
+    pub fn i(op: Op, rd: Reg, rs1: Reg, imm: i32) -> Insn {
+        debug_assert_eq!(op.format(), Format::I);
+        let ok = match op {
+            // Logical immediates are unsigned 14-bit; shifts take 0..=63.
+            Op::Andi | Op::Ori | Op::Xori => (0..=0x3fff).contains(&imm),
+            Op::Slliw | Op::Srliw | Op::Sraiw => (0..32).contains(&imm),
+            Op::Sllid | Op::Srlid | Op::Sraid => (0..64).contains(&imm),
+            _ => (IMM14_MIN..=IMM14_MAX).contains(&imm),
+        };
+        debug_assert!(ok, "immediate out of range for {op:?}: {imm}");
+        Insn { op, rd: rd.0, rs1: rs1.0, rs2: 0, imm }
+    }
+
+    /// Builds a J-format instruction with a word offset.
+    pub fn j(op: Op, offset: i32) -> Insn {
+        debug_assert_eq!(op.format(), Format::J);
+        debug_assert!((IMM24_MIN..=IMM24_MAX).contains(&offset));
+        Insn { op, rd: 0, rs1: 0, rs2: 0, imm: offset }
+    }
+
+    /// Builds `sethi rd, imm` (`rd <- imm << 14`).
+    pub fn sethi(rd: Reg, imm: i32) -> Insn {
+        debug_assert!((IMM19_MIN..=IMM19_MAX).contains(&imm));
+        Insn { op: Op::Sethi, rd: rd.0, rs1: 0, rs2: 0, imm }
+    }
+
+    /// A floating point R-format instruction (`fd <- op(fs1, fs2)`).
+    pub fn fr(op: Op, fd: FReg, fs1: FReg, fs2: FReg) -> Insn {
+        debug_assert_eq!(op.format(), Format::R);
+        Insn { op, rd: fd.0, rs1: fs1.0, rs2: fs2.0, imm: 0 }
+    }
+
+    /// A floating point load/store: `fld fd, [rs1+imm]` / `fsd fd, [rs1+imm]`.
+    pub fn fmem(op: Op, fd: FReg, rs1: Reg, imm: i32) -> Insn {
+        debug_assert!(matches!(op, Op::Fld | Op::Fsd));
+        Insn { op, rd: fd.0, rs1: rs1.0, rs2: 0, imm }
+    }
+
+    /// `ret` — `jalr r0, ra` (jump to the link register without linking).
+    pub fn ret() -> Insn {
+        Insn { op: Op::Jalr, rd: 0, rs1: crate::regs::RA.0, rs2: 0, imm: 0 }
+    }
+
+    /// `nop`.
+    pub fn nop() -> Insn {
+        Insn { op: Op::Nop, rd: 0, rs1: 0, rs2: 0, imm: 0 }
+    }
+
+    /// Encodes into a 32-bit instruction word.
+    pub fn encode(&self) -> u32 {
+        let op = (self.op as u32) << 24;
+        match self.op.format() {
+            Format::R => {
+                op | ((self.rd as u32 & 0x1f) << 19)
+                    | ((self.rs1 as u32 & 0x1f) << 14)
+                    | ((self.rs2 as u32 & 0x1f) << 9)
+            }
+            Format::I => {
+                op | ((self.rd as u32 & 0x1f) << 19)
+                    | ((self.rs1 as u32 & 0x1f) << 14)
+                    | (self.imm as u32 & 0x3fff)
+            }
+            Format::J => op | (self.imm as u32 & 0xff_ffff),
+            Format::S => {
+                op | ((self.rd as u32 & 0x1f) << 19) | (self.imm as u32 & 0x7_ffff)
+            }
+        }
+    }
+
+    /// Decodes a 32-bit instruction word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::BadOpcode`] if the opcode byte is unassigned.
+    pub fn decode(word: u32) -> Result<Insn, VmError> {
+        let op = Op::from_u8((word >> 24) as u8)?;
+        let insn = match op.format() {
+            Format::R => Insn {
+                op,
+                rd: ((word >> 19) & 0x1f) as u8,
+                rs1: ((word >> 14) & 0x1f) as u8,
+                rs2: ((word >> 9) & 0x1f) as u8,
+                imm: 0,
+            },
+            Format::I => Insn {
+                op,
+                rd: ((word >> 19) & 0x1f) as u8,
+                rs1: ((word >> 14) & 0x1f) as u8,
+                rs2: 0,
+                imm: sign_extend(word & 0x3fff, 14),
+            },
+            Format::J => Insn {
+                op,
+                rd: 0,
+                rs1: 0,
+                rs2: 0,
+                imm: sign_extend(word & 0xff_ffff, 24),
+            },
+            Format::S => Insn {
+                op,
+                rd: ((word >> 19) & 0x1f) as u8,
+                rs1: 0,
+                rs2: 0,
+                imm: sign_extend(word & 0x7_ffff, 19),
+            },
+        };
+        Ok(insn)
+    }
+}
+
+fn sign_extend(v: u32, bits: u32) -> i32 {
+    let shift = 32 - bits;
+    ((v << shift) as i32) >> shift
+}
+
+impl fmt::Display for Insn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let m = self.op.mnemonic();
+        match self.op {
+            Op::Nop | Op::Halt => write!(f, "{m}"),
+            Op::Hcall => write!(f, "{m} {}", self.imm),
+            Op::Sethi => write!(f, "{m} r{}, {:#x}", self.rd, self.imm),
+            Op::J | Op::Jal => write!(f, "{m} {:+}", self.imm),
+            Op::Jalr => write!(f, "{m} r{}, r{}", self.rd, self.rs1),
+            Op::Lb | Op::Lbu | Op::Lh | Op::Lhu | Op::Lw | Op::Lwu | Op::Ld => {
+                write!(f, "{m} r{}, [r{}{:+}]", self.rd, self.rs1, self.imm)
+            }
+            Op::Fld => write!(f, "{m} f{}, [r{}{:+}]", self.rd, self.rs1, self.imm),
+            Op::Sb | Op::Sh | Op::Sw | Op::Sd => {
+                write!(f, "{m} r{}, [r{}{:+}]", self.rd, self.rs1, self.imm)
+            }
+            Op::Fsd => write!(f, "{m} f{}, [r{}{:+}]", self.rd, self.rs1, self.imm),
+            _ if self.op.is_branch() => {
+                write!(f, "{m} r{}, r{}, {:+}", self.rd, self.rs1, self.imm)
+            }
+            Op::Fadd | Op::Fsub | Op::Fmul | Op::Fdiv => {
+                write!(f, "{m} f{}, f{}, f{}", self.rd, self.rs1, self.rs2)
+            }
+            Op::Fneg | Op::Fmov => write!(f, "{m} f{}, f{}", self.rd, self.rs1),
+            Op::Feq | Op::Flt | Op::Fle => {
+                write!(f, "{m} r{}, f{}, f{}", self.rd, self.rs1, self.rs2)
+            }
+            Op::Cvtwd | Op::Cvtld => write!(f, "{m} f{}, r{}", self.rd, self.rs1),
+            Op::Cvtdw | Op::Cvtdl => write!(f, "{m} r{}, f{}", self.rd, self.rs1),
+            Op::Fmvdx => write!(f, "{m} f{}, r{}", self.rd, self.rs1),
+            Op::Fmvxd => write!(f, "{m} r{}, f{}", self.rd, self.rs1),
+            _ => match self.op.format() {
+                Format::R => {
+                    write!(f, "{m} r{}, r{}, r{}", self.rd, self.rs1, self.rs2)
+                }
+                _ => write!(f, "{m} r{}, r{}, {}", self.rd, self.rs1, self.imm),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regs::{A0, A1, A2, RA, ZERO};
+
+    #[test]
+    fn opcode_bytes_round_trip() {
+        for &op in Op::ALL {
+            assert_eq!(Op::from_u8(op as u8).unwrap(), op);
+        }
+    }
+
+    #[test]
+    fn unassigned_opcode_rejected() {
+        assert!(matches!(Op::from_u8(255), Err(VmError::BadOpcode(255))));
+        assert!(matches!(Op::from_u8(3), Err(VmError::BadOpcode(3))));
+    }
+
+    #[test]
+    fn r_format_round_trip() {
+        let i = Insn::r(Op::Addw, A0, A1, A2);
+        let d = Insn::decode(i.encode()).unwrap();
+        assert_eq!(i, d);
+    }
+
+    #[test]
+    fn i_format_round_trip_negative_imm() {
+        let i = Insn::i(Op::Addiw, A0, A1, -8192);
+        assert_eq!(Insn::decode(i.encode()).unwrap(), i);
+        let i = Insn::i(Op::Lw, A0, A1, 8191);
+        assert_eq!(Insn::decode(i.encode()).unwrap(), i);
+    }
+
+    #[test]
+    fn j_format_round_trip() {
+        for off in [-(1 << 23), -1, 0, 1, (1 << 23) - 1] {
+            let i = Insn::j(Op::Jal, off);
+            assert_eq!(Insn::decode(i.encode()).unwrap(), i);
+        }
+    }
+
+    #[test]
+    fn sethi_round_trip() {
+        for imm in [IMM19_MIN, -1, 0, 1, IMM19_MAX] {
+            let i = Insn::sethi(A0, imm);
+            assert_eq!(Insn::decode(i.encode()).unwrap(), i);
+        }
+    }
+
+    #[test]
+    fn ret_is_jalr_zero_ra() {
+        let r = Insn::ret();
+        assert_eq!(r.op, Op::Jalr);
+        assert_eq!(r.rd, ZERO.0);
+        assert_eq!(r.rs1, RA.0);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        assert_eq!(Insn::i(Op::Addiw, A0, A1, 5).to_string(), "addiw r4, r5, 5");
+        assert_eq!(Insn::i(Op::Lw, A0, A1, -8).to_string(), "lw r4, [r5-8]");
+        assert_eq!(Insn::i(Op::Beq, A0, A1, 3).to_string(), "beq r4, r5, +3");
+        assert_eq!(Insn::ret().to_string(), "jalr r0, r1");
+    }
+
+    #[test]
+    fn fits_imm14_bounds() {
+        assert!(fits_imm14(-8192));
+        assert!(fits_imm14(8191));
+        assert!(!fits_imm14(8192));
+        assert!(!fits_imm14(-8193));
+    }
+
+    #[test]
+    fn float_field_classification() {
+        assert!(Op::Fld.rd_is_float());
+        assert!(Op::Fsd.rd_is_float());
+        assert!(!Op::Fmvxd.rd_is_float());
+        assert!(Op::Fmvdx.rd_is_float());
+        assert!(!Op::Lw.rd_is_float());
+    }
+}

@@ -1,0 +1,132 @@
+//! Register conventions (the machine's ABI).
+//!
+//! | registers | role | saved by |
+//! |---|---|---|
+//! | `r0` | hardwired zero | — |
+//! | `r1` (`ra`) | return address | caller |
+//! | `r2` (`sp`) | stack pointer | callee |
+//! | `r3` (`fp`) | frame pointer | callee |
+//! | `r4`..`r9` (`a0`..`a5`) | arguments; `a0` is the return value | caller |
+//! | `r10`..`r19` (`t0`..`t9`) | temporaries | caller |
+//! | `r20`..`r29` (`s0`..`s9`) | saved | callee |
+//! | `r30`,`r31` (`at0`,`at1`) | emitter scratch (constant synthesis, spill reloads) | — |
+//!
+//! | fp registers | role | saved by |
+//! |---|---|---|
+//! | `f0`..`f3` (`fa0`..`fa3`) | arguments; `fa0` is the fp return value | caller |
+//! | `f4`..`f9` (`ft0`..`ft5`) | temporaries | caller |
+//! | `f10`..`f14` (`fs0`..`fs4`) | saved | callee |
+//! | `f15` (`fat`) | emitter scratch | — |
+
+use crate::isa::{FReg, Reg};
+
+/// Hardwired zero.
+pub const ZERO: Reg = Reg(0);
+/// Return address (link) register.
+pub const RA: Reg = Reg(1);
+/// Stack pointer.
+pub const SP: Reg = Reg(2);
+/// Frame pointer.
+pub const FP: Reg = Reg(3);
+/// First argument / return value.
+pub const A0: Reg = Reg(4);
+/// Second argument.
+pub const A1: Reg = Reg(5);
+/// Third argument.
+pub const A2: Reg = Reg(6);
+/// Fourth argument.
+pub const A3: Reg = Reg(7);
+/// Fifth argument.
+pub const A4: Reg = Reg(8);
+/// Sixth argument.
+pub const A5: Reg = Reg(9);
+/// First caller-saved temporary (`r10`).
+pub const T0: Reg = Reg(10);
+/// First callee-saved register (`r20`).
+pub const S0: Reg = Reg(20);
+/// First emitter scratch register.
+pub const AT0: Reg = Reg(30);
+/// Second emitter scratch register.
+pub const AT1: Reg = Reg(31);
+
+/// Argument registers in order.
+pub const ARG_REGS: [Reg; 6] = [A0, A1, A2, A3, A4, A5];
+/// Caller-saved temporaries `t0`..`t9`.
+pub const TEMP_REGS: [Reg; 10] = [
+    Reg(10), Reg(11), Reg(12), Reg(13), Reg(14),
+    Reg(15), Reg(16), Reg(17), Reg(18), Reg(19),
+];
+/// Callee-saved registers `s0`..`s9`.
+pub const SAVED_REGS: [Reg; 10] = [
+    Reg(20), Reg(21), Reg(22), Reg(23), Reg(24),
+    Reg(25), Reg(26), Reg(27), Reg(28), Reg(29),
+];
+
+/// First fp argument / fp return value.
+pub const FA0: FReg = FReg(0);
+/// Second fp argument.
+pub const FA1: FReg = FReg(1);
+/// Third fp argument.
+pub const FA2: FReg = FReg(2);
+/// Fourth fp argument.
+pub const FA3: FReg = FReg(3);
+/// Emitter fp scratch register.
+pub const FAT: FReg = FReg(15);
+
+/// Floating point argument registers in order.
+pub const FARG_REGS: [FReg; 4] = [FA0, FA1, FA2, FA3];
+/// Caller-saved fp temporaries `f4`..`f9`.
+pub const FTEMP_REGS: [FReg; 6] =
+    [FReg(4), FReg(5), FReg(6), FReg(7), FReg(8), FReg(9)];
+/// Callee-saved fp registers `f10`..`f14`.
+pub const FSAVED_REGS: [FReg; 5] =
+    [FReg(10), FReg(11), FReg(12), FReg(13), FReg(14)];
+
+/// ABI name of an integer register, e.g. `abi_name(Reg(4)) == "a0"`.
+pub fn abi_name(r: Reg) -> &'static str {
+    const NAMES: [&str; 32] = [
+        "zero", "ra", "sp", "fp", "a0", "a1", "a2", "a3", "a4", "a5", "t0",
+        "t1", "t2", "t3", "t4", "t5", "t6", "t7", "t8", "t9", "s0", "s1",
+        "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "at0", "at1",
+    ];
+    NAMES[r.0 as usize & 31]
+}
+
+/// ABI name of a floating point register.
+pub fn fabi_name(f: FReg) -> &'static str {
+    const NAMES: [&str; 16] = [
+        "fa0", "fa1", "fa2", "fa3", "ft0", "ft1", "ft2", "ft3", "ft4",
+        "ft5", "fs0", "fs1", "fs2", "fs3", "fs4", "fat",
+    ];
+    NAMES[f.0 as usize & 15]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_match_roles() {
+        assert_eq!(abi_name(ZERO), "zero");
+        assert_eq!(abi_name(A0), "a0");
+        assert_eq!(abi_name(T0), "t0");
+        assert_eq!(abi_name(S0), "s0");
+        assert_eq!(abi_name(AT1), "at1");
+        assert_eq!(fabi_name(FA0), "fa0");
+        assert_eq!(fabi_name(FAT), "fat");
+    }
+
+    #[test]
+    fn register_classes_are_disjoint() {
+        let mut seen = std::collections::HashSet::new();
+        for r in [ZERO, RA, SP, FP, AT0, AT1]
+            .into_iter()
+            .chain(ARG_REGS)
+            .chain(TEMP_REGS)
+            .chain(SAVED_REGS)
+        {
+            assert!(seen.insert(r.0), "register {r} assigned twice");
+        }
+        assert_eq!(seen.len(), 32);
+    }
+}

@@ -1,0 +1,87 @@
+//! A Brainfuck JIT written in `C — "small language compilation" (§6.2)
+//! pushed further: the compiler for the little language is itself a `C
+//! program, composing one cspec per source instruction and pairing
+//! `label()`/`jump()` objects for the bracket loops.
+//!
+//! Run with: `cargo run --release --example bf_jit`
+
+use tcc::Session;
+
+const SRC: &str = r#"
+unsigned char cells[30000];
+char prog[512];
+
+long bf_compile(void) {
+    int vspec dp = local(int);
+    void cspec c = `{ dp = 0; };
+    void cspec starts[64];
+    void cspec ends[64];
+    int sp = 0;
+    int i;
+    for (i = 0; prog[i] != 0; i++) {
+        int ch = prog[i];
+        if (ch == '>') c = `{ @c; dp = dp + 1; };
+        else if (ch == '<') c = `{ @c; dp = dp - 1; };
+        else if (ch == '+') c = `{ @c; cells[dp] = cells[dp] + 1; };
+        else if (ch == '-') c = `{ @c; cells[dp] = cells[dp] - 1; };
+        else if (ch == '.') c = `{ @c; putchar(cells[dp]); };
+        else if (ch == '[') {
+            void cspec ls = label();
+            void cspec le = label();
+            starts[sp] = ls;
+            ends[sp] = le;
+            sp = sp + 1;
+            c = `{ @c; ls; if (cells[dp] == 0) jump(le); };
+        }
+        else if (ch == ']') {
+            sp = sp - 1;
+            void cspec ls = starts[sp];
+            void cspec le = ends[sp];
+            c = `{ @c; if (cells[dp] != 0) jump(ls); le; };
+        }
+    }
+    if (sp != 0) return 0;
+    return (long)compile(c, void);
+}
+
+void bf_run(long fp) {
+    void (*g)(void) = (void (*)(void))fp;
+    (*g)();
+}
+
+int cell(int i) { return cells[i]; }
+"#;
+
+/// The classic: prints "Hello World!\n".
+const HELLO: &str = "++++++++[>++++[>++>+++>+++>+<<<<-]>+>+>->>+[<]<-]>>.>---.\
+                     +++++++..+++.>>.<-.<.+++.------.--------.>>+.>++.";
+
+fn main() {
+    let mut s = Session::with_defaults(SRC).expect("compiles");
+
+    // Ship the Brainfuck source into the `C program's `prog` array.
+    let prog_addr = s.global_addr("prog").expect("prog exists");
+    let mut bytes = HELLO.as_bytes().to_vec();
+    bytes.push(0);
+    s.vm.state_mut().mem.write_bytes(prog_addr, &bytes).expect("fits");
+
+    let fp = s.call("bf_compile", &[]).expect("jit compiles");
+    assert_ne!(fp, 0, "unbalanced brackets");
+    let st = s.dyn_stats();
+    println!(
+        "jitted {} brainfuck instructions into {} machine instructions \
+         ({} closures composed, {} ns)",
+        HELLO.len(),
+        st.generated_insns,
+        st.closures,
+        st.total_ns
+    );
+
+    s.call("bf_run", &[fp]).expect("jitted code runs");
+    print!("output: {}", s.output());
+    assert_eq!(s.output(), "Hello World!\n");
+
+    s.reset_counters();
+    s.call("bf_run", &[fp]).expect("runs again");
+    println!("second run: {} VM cycles", s.cycles());
+}

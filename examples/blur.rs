@@ -1,0 +1,19 @@
+//! The xv Blur experiment (§6.2): convolution with a run-time-sized
+//! all-ones kernel. Dynamic code generation unrolls the kernel loops and
+//! hardwires the image dimensions.
+//!
+//! Run with: `cargo run --release --example blur` (add `--small` for a
+//! 64×48 image instead of 640×480).
+
+use tcc_suite::{benchmarks, measure, ns_per_cycle, report, BLUR_FULL, BLUR_SMALL};
+
+fn main() {
+    let small = std::env::args().any(|a| a == "--small");
+    let dims = if small { BLUR_SMALL } else { BLUR_FULL };
+    println!("blur on a {}x{} image", dims.0, dims.1);
+
+    let nspc = ns_per_cycle();
+    let bench = benchmarks(dims).into_iter().find(|b| b.name == "blur").expect("blur exists");
+    let m = measure(&bench);
+    print!("{}", report::blur_report(&m, nspc));
+}

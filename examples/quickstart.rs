@@ -1,0 +1,75 @@
+//! Quickstart: the paper's §3 examples, end to end.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use tcc::{Backend, Config, Session, Strategy};
+
+fn main() {
+    // 1. Hello world: specify a void cspec, compile it, call it.
+    let mut s = Session::with_defaults(
+        r#"
+        void hello(void) {
+            void cspec c = `{ printf("hello world\n"); };
+            void (*fp)(void) = compile(c, void);
+            (*fp)();
+        }
+    "#,
+    )
+    .expect("compiles");
+    s.call("hello", &[]).expect("runs");
+    print!("{}", s.output());
+
+    // 2. The $ operator binds run-time constants at specification time.
+    let mut s = Session::with_defaults(
+        r#"
+        void demo(void) {
+            void (*fp)(void);
+            int x = 1;
+            fp = compile(`{ printf("$x = %d, x = %d\n", $x, x); }, void);
+            x = 14;
+            (*fp)();   /* prints "$x = 1, x = 14" */
+        }
+    "#,
+    )
+    .expect("compiles");
+    s.call("demo", &[]).expect("runs");
+    print!("{}", s.output());
+
+    // 3. Composition: cspecs splice into other cspecs.
+    let mut s = Session::with_defaults(
+        r#"
+        int nine(void) {
+            int cspec c1 = `4, cspec c2 = `5;
+            int cspec c = `(c1 + c2);
+            int (*f)(void) = compile(c, int);
+            return (*f)();
+        }
+    "#,
+    )
+    .expect("compiles");
+    println!("composed `(c1 + c2) evaluates to {}", s.call("nine", &[]).expect("runs"));
+
+    // 4. Pick your dynamic back end: VCODE (fast codegen) or ICODE
+    //    (better code). Same program, different trade-off.
+    let src = r#"
+        int spec_mul(int a) {
+            int vspec x = param(int, 0);
+            int cspec c = `(x * $a);      /* strength-reduced at compile */
+            int (*f)(void) = compile(c, int);
+            return (*f)(100);
+        }
+    "#;
+    for (name, backend) in [
+        ("vcode", Backend::Vcode { unchecked: false }),
+        ("icode/linear-scan", Backend::Icode { strategy: Strategy::LinearScan }),
+    ] {
+        let mut s =
+            Session::new(src, Config { backend, ..Config::default() }).expect("compiles");
+        let v = s.call("spec_mul", &[8]).expect("runs");
+        let st = s.dyn_stats();
+        println!(
+            "{name:>18}: 100*8 = {v}, generated {} instructions in {} ns",
+            st.generated_insns, st.total_ns
+        );
+    }
+}

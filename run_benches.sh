@@ -1,0 +1,12 @@
+#!/bin/sh
+# Regenerates every table/figure and runs the criterion benches,
+# appending everything to bench_output.txt. Invoked in chunks so each
+# stays within the sandbox command timeout.
+set -e
+cd /root/repo
+: > bench_output.txt
+for b in table1 figure4 figure5 figure6 figure7 blur codegen regalloc ablations; do
+  echo "=== bench: $b ===" >> bench_output.txt
+  cargo bench -p tcc-bench --bench "$b" >> bench_output.txt 2>&1
+done
+echo BENCHES_DONE

@@ -1,0 +1,8 @@
+#!/bin/sh
+set -e
+cd /root/repo
+for b in codegen regalloc ablations; do
+  echo "=== bench: $b ===" >> bench_output.txt
+  cargo bench -p tcc-bench --bench "$b" >> bench_output.txt 2>&1
+done
+echo BENCHES2_DONE

@@ -1,0 +1,169 @@
+//! System-level differential testing: random `C programs run through all
+//! five compilation paths — lcc-like static, gcc-like static, and
+//! dynamic code under VCODE, ICODE/linear-scan, ICODE/graph-coloring —
+//! must all compute the value the host-side reference computes.
+
+use proptest::prelude::*;
+use tickc::tickc_core::{Backend, Config, Session, Strategy as Alloc};
+use tickc::mir::OptLevel;
+
+/// A random arithmetic expression over: a parameter `p`, a run-time
+/// constant `$r` (bound to `rval`), and integer literals.
+#[derive(Clone, Debug)]
+enum E {
+    Param,
+    Rtc,
+    Lit(i32),
+    Add(Box<E>, Box<E>),
+    Sub(Box<E>, Box<E>),
+    Mul(Box<E>, Box<E>),
+    And(Box<E>, Box<E>),
+    Xor(Box<E>, Box<E>),
+    Shl(Box<E>, u8),
+    Cond(Box<E>, Box<E>, Box<E>),
+}
+
+fn expr_strategy() -> impl Strategy<Value = E> {
+    let leaf = prop_oneof![
+        Just(E::Param),
+        Just(E::Rtc),
+        (-50i32..50).prop_map(E::Lit),
+    ];
+    leaf.prop_recursive(4, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Mul(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Xor(Box::new(a), Box::new(b))),
+            (inner.clone(), 0u8..5).prop_map(|(a, s)| E::Shl(Box::new(a), s)),
+            (inner.clone(), inner.clone(), inner).prop_map(|(c, a, b)| E::Cond(
+                Box::new(c),
+                Box::new(a),
+                Box::new(b)
+            )),
+        ]
+    })
+}
+
+fn to_c(e: &E) -> String {
+    match e {
+        E::Param => "p".into(),
+        E::Rtc => "$r".into(),
+        E::Lit(v) => format!("({v})"),
+        E::Add(a, b) => format!("({} + {})", to_c(a), to_c(b)),
+        E::Sub(a, b) => format!("({} - {})", to_c(a), to_c(b)),
+        E::Mul(a, b) => format!("({} * {})", to_c(a), to_c(b)),
+        E::And(a, b) => format!("({} & {})", to_c(a), to_c(b)),
+        E::Xor(a, b) => format!("({} ^ {})", to_c(a), to_c(b)),
+        E::Shl(a, s) => format!("({} << {s})", to_c(a)),
+        E::Cond(c, a, b) => format!("({} ? {} : {})", to_c(c), to_c(a), to_c(b)),
+    }
+}
+
+fn eval(e: &E, p: i32, r: i32) -> i32 {
+    match e {
+        E::Param => p,
+        E::Rtc => r,
+        E::Lit(v) => *v,
+        E::Add(a, b) => eval(a, p, r).wrapping_add(eval(b, p, r)),
+        E::Sub(a, b) => eval(a, p, r).wrapping_sub(eval(b, p, r)),
+        E::Mul(a, b) => eval(a, p, r).wrapping_mul(eval(b, p, r)),
+        E::And(a, b) => eval(a, p, r) & eval(b, p, r),
+        E::Xor(a, b) => eval(a, p, r) ^ eval(b, p, r),
+        E::Shl(a, s) => eval(a, p, r).wrapping_shl(*s as u32),
+        E::Cond(c, a, b) => {
+            if eval(c, p, r) != 0 {
+                eval(a, p, r)
+            } else {
+                eval(b, p, r)
+            }
+        }
+    }
+}
+
+fn program_for(e: &E) -> String {
+    let c_expr = to_c(e);
+    // `p` is a real parameter in the static version and a dynamic vspec
+    // parameter in the `C version; `r` is a plain parameter statically
+    // and a $-bound run-time constant dynamically.
+    let static_expr = c_expr.replace("$r", "r");
+    format!(
+        r#"
+int static_f(int p, int r) {{ return {static_expr}; }}
+long dyn_compile(int r) {{
+    int vspec p = param(int, 0);
+    int cspec c = `({c_expr});
+    return (long)compile(c, int);
+}}
+int dyn_run(long fp, int p) {{
+    int (*g)(void) = (int (*)(void))fp;
+    return (*g)(p);
+}}
+"#
+    )
+}
+
+fn check_all_paths(e: &E, p: i32, r: i32) -> Result<(), TestCaseError> {
+    let expect = eval(e, p, r);
+    let src = program_for(e);
+    // Static paths.
+    for opt in [OptLevel::Naive, OptLevel::Optimizing] {
+        let mut s = Session::new(
+            &src,
+            Config { static_opt: opt, ..Config::default() },
+        )
+        .expect("front end accepts generated program");
+        let got = s.call("static_f", &[p as i64 as u64, r as i64 as u64]).expect("runs");
+        prop_assert_eq!(got as i64, expect as i64, "static {:?}", opt);
+    }
+    // Dynamic paths.
+    for backend in [
+        Backend::Vcode { unchecked: false },
+        Backend::Icode { strategy: Alloc::LinearScan },
+        Backend::Icode { strategy: Alloc::GraphColor },
+    ] {
+        let mut s = Session::new(
+            &src,
+            Config { backend: backend.clone(), ..Config::default() },
+        )
+        .expect("front end accepts generated program");
+        let fp = s.call("dyn_compile", &[r as i64 as u64]).expect("dynamic compile");
+        let got = s.call("dyn_run", &[fp, p as i64 as u64]).expect("dynamic run");
+        prop_assert_eq!(got as i64, expect as i64, "dynamic {:?}", backend);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn five_paths_agree_on_random_expressions(
+        e in expr_strategy(),
+        p in -1000i32..1000,
+        r in -1000i32..1000,
+    ) {
+        check_all_paths(&e, p, r)?;
+    }
+}
+
+#[test]
+fn fixed_regression_cases() {
+    use E::*;
+    // A deep multiply chain (register pressure), a $-heavy expression,
+    // and a conditional of constants (dead code elimination).
+    let cases = vec![
+        Mul(
+            Box::new(Mul(Box::new(Param), Box::new(Rtc))),
+            Box::new(Mul(Box::new(Param), Box::new(Lit(7)))),
+        ),
+        Add(Box::new(Rtc), Box::new(Mul(Box::new(Rtc), Box::new(Rtc)))),
+        Cond(Box::new(Lit(0)), Box::new(Param), Box::new(Rtc)),
+        Cond(Box::new(Rtc), Box::new(Lit(1)), Box::new(Lit(2))),
+    ];
+    for e in cases {
+        check_all_paths(&e, 13, -5).expect("paths agree");
+        check_all_paths(&e, -7, 0).expect("paths agree");
+    }
+}

@@ -1,0 +1,185 @@
+//! Dynamic call construction (`push_init`/`push`/`apply`): "the
+//! construction of code to marshal and unmarshal arguments stored in a
+//! byte vector" with argument counts determined at run time — "it is
+//! impossible to write code that performs an equivalent function in
+//! ANSI C" (§6.2).
+
+use tickc::tickc_core::{Backend, Config, Session, Strategy};
+
+fn backends() -> Vec<Backend> {
+    vec![
+        Backend::Vcode { unchecked: false },
+        Backend::Icode { strategy: Strategy::LinearScan },
+        Backend::Icode { strategy: Strategy::GraphColor },
+    ]
+}
+
+#[test]
+fn apply_builds_calls_with_runtime_determined_arity() {
+    // One generator handles 2-, 3- and 5-argument targets, deciding the
+    // arity from a run-time count.
+    let src = r#"
+        int buf[6];
+        int sum2(int a, int b) { return a + b; }
+        int sum3(int a, int b, int c) { return a + b + c; }
+        int sum5(int a, int b, int c, int d, int e) {
+            return a + b * 2 + c * 3 + d * 4 + e * 5;
+        }
+        long mk(long target, int n) {
+            void cspec args = push_init();
+            int i;
+            for (i = 0; i < n; i++) push(args, `buf[$i]);
+            int (*f)(void) = (int (*)(void))target;
+            void cspec c = `{ return apply(f, args); };
+            return (long)compile(c, int);
+        }
+        long addr2(void) { return (long)sum2; }
+        long addr3(void) { return (long)sum3; }
+        long addr5(void) { return (long)sum5; }
+        void setbuf(int i, int v) { buf[i] = v; }
+    "#;
+    for b in backends() {
+        let mut s = Session::new(src, Config { backend: b.clone(), ..Config::default() })
+            .expect("compiles");
+        for i in 0..6u64 {
+            s.call("setbuf", &[i, 10 * (i + 1)]).unwrap();
+        }
+        let a2 = s.call("addr2", &[]).unwrap();
+        let a3 = s.call("addr3", &[]).unwrap();
+        let a5 = s.call("addr5", &[]).unwrap();
+
+        let f2 = s.call("mk", &[a2, 2]).unwrap();
+        assert_eq!(s.call_addr(f2, &[]).unwrap(), 10 + 20, "{b:?}");
+        let f3 = s.call("mk", &[a3, 3]).unwrap();
+        assert_eq!(s.call_addr(f3, &[]).unwrap(), 10 + 20 + 30, "{b:?}");
+        let f5 = s.call("mk", &[a5, 5]).unwrap();
+        assert_eq!(
+            s.call_addr(f5, &[]).unwrap(),
+            10 + 20 * 2 + 30 * 3 + 40 * 4 + 50 * 5,
+            "{b:?}"
+        );
+    }
+}
+
+#[test]
+fn apply_with_direct_function_reference() {
+    let src = r#"
+        int target(int a, int b, int c) { return a * 100 + b * 10 + c; }
+        long mk(void) {
+            void cspec args = push_init();
+            push(args, `1);
+            push(args, `2);
+            push(args, `3);
+            void cspec c = `{ return apply(target, args); };
+            return (long)compile(c, int);
+        }
+    "#;
+    for b in backends() {
+        let mut s = Session::new(src, Config { backend: b.clone(), ..Config::default() })
+            .expect("compiles");
+        let fp = s.call("mk", &[]).unwrap();
+        assert_eq!(s.call_addr(fp, &[]).unwrap(), 123, "{b:?}");
+    }
+}
+
+#[test]
+fn argument_cspecs_compose_arbitrary_code() {
+    // Each argument is itself composed dynamic code, not just a load.
+    let src = r#"
+        int g(int a, int b) { return a - b; }
+        long mk(int x) {
+            int cspec big = `($x * 10 + 1);
+            int cspec small = `($x - 1);
+            void cspec args = push_init();
+            push(args, `(big + small));
+            push(args, small);
+            void cspec c = `{ return apply(g, args); };
+            return (long)compile(c, int);
+        }
+    "#;
+    let mut s = Session::with_defaults(src).expect("compiles");
+    let fp = s.call("mk", &[7]).unwrap();
+    // big = 71, small = 6; g(71+6, 6) = 71
+    assert_eq!(s.call_addr(fp, &[]).unwrap(), 71);
+}
+
+#[test]
+fn umshl_style_unmarshal_and_call() {
+    // The paper's umshl: unmarshal a vector and call a five-argument
+    // function, with the format driving the construction.
+    let src = r#"
+        int vec[5];
+        int usink(int a, int b, int c, int d, int e) {
+            return a + b * 2 + c * 3 + d * 4 + e * 5;
+        }
+        void fill(void) {
+            int i;
+            for (i = 0; i < 5; i++) vec[i] = (i + 1) * 9;
+        }
+        long mk(char *fmt) {
+            void cspec args = push_init();
+            int i;
+            for (i = 0; fmt[i] != 0; i++)
+                if (fmt[i] == 'i') push(args, `vec[$i]);
+            void cspec c = `{ return apply(usink, args); };
+            return (long)compile(c, int);
+        }
+        char fmt[6] = "iiiii";
+        long mk5(void) { return mk(fmt); }
+    "#;
+    let mut s = Session::with_defaults(src).expect("compiles");
+    s.call("fill", &[]).unwrap();
+    let fp = s.call("mk5", &[]).unwrap();
+    let expect = 9 + 18 * 2 + 27 * 3 + 36 * 4 + 45 * 5;
+    assert_eq!(s.call_addr(fp, &[]).unwrap() as i64, expect);
+}
+
+#[test]
+fn misuse_is_rejected() {
+    // apply outside dynamic code
+    assert!(tickc::front::compile_unit(
+        r#"int f(int (*g)(void)) { void cspec a = push_init(); return apply(g, a); }"#
+    )
+    .is_err());
+    // push inside dynamic code
+    assert!(tickc::front::compile_unit(
+        r#"void f(void) { void cspec a = push_init(); void cspec c = `{ push(a, `1); }; }"#
+    )
+    .is_err());
+    // pushing a void cspec
+    assert!(tickc::front::compile_unit(
+        r#"void f(void) { void cspec a = push_init(); push(a, `{ return; }); }"#
+    )
+    .is_err());
+    // splicing an argument list as code is a dynamic-compile-time error
+    let mut s = Session::with_defaults(
+        r#"
+        long f(void) {
+            void cspec a = push_init();
+            void cspec c = `{ a; return 0; };
+            return (long)compile(c, int);
+        }
+        "#,
+    )
+    .expect("front end accepts");
+    let err = s.call("f", &[]).unwrap_err().to_string();
+    assert!(err.contains("apply"), "{err}");
+}
+
+#[test]
+fn overfull_argument_list_errors() {
+    let mut s = Session::with_defaults(
+        r#"
+        void f(int n) {
+            void cspec a = push_init();
+            int i;
+            for (i = 0; i < n; i++) push(args_alias(a), `1);
+        }
+        void cspec args_alias(void cspec a) { return a; }
+        "#,
+    )
+    .expect("front end accepts");
+    s.call("f", &[6]).expect("six arguments fit");
+    let err = s.call("f", &[7]).unwrap_err().to_string();
+    assert!(err.contains("full"), "{err}");
+}

@@ -1,0 +1,162 @@
+//! Dynamic labels and jumps (§3: "`C has many other features, including
+//! facilities to … dynamically create labels and jumps") — control flow
+//! composed across cspec boundaries, which plain C `goto` cannot do.
+
+use tickc::tickc_core::{Backend, Config, Session, Strategy};
+
+fn backends() -> Vec<Backend> {
+    vec![
+        Backend::Vcode { unchecked: false },
+        Backend::Icode { strategy: Strategy::LinearScan },
+        Backend::Icode { strategy: Strategy::GraphColor },
+    ]
+}
+
+#[test]
+fn backward_jump_builds_a_loop_across_cspecs() {
+    // The loop head lives in one cspec, the back edge in another.
+    for b in backends() {
+        let mut s = Session::new(
+            r#"
+            int f(int n) {
+                void cspec top = label();
+                int vspec i = local(int);
+                int vspec acc = local(int);
+                void cspec body = `{ acc = acc + i; i = i - 1; };
+                void cspec back = `{ if (i > 0) jump(top); };
+                void cspec all = `{
+                    i = $n; acc = 0;
+                    top;
+                    body;
+                    back;
+                    return acc;
+                };
+                int (*g)(void) = compile(all, int);
+                return (*g)();
+            }
+            "#,
+            Config { backend: b.clone(), ..Config::default() },
+        )
+        .expect("compiles");
+        assert_eq!(s.call("f", &[10]).unwrap(), 55, "{b:?}");
+    }
+}
+
+#[test]
+fn forward_jump_skips_code() {
+    for b in backends() {
+        let mut s = Session::new(
+            r#"
+            int f(int x) {
+                void cspec out = label();
+                int vspec r = local(int);
+                void cspec all = `{
+                    r = 1;
+                    if ($x) jump(out);
+                    r = 2;
+                    out;
+                    return r;
+                };
+                int (*g)(void) = compile(all, int);
+                return (*g)();
+            }
+            "#,
+            Config { backend: b.clone(), ..Config::default() },
+        )
+        .expect("compiles");
+        assert_eq!(s.call("f", &[1]).unwrap(), 1, "{b:?}");
+        assert_eq!(s.call("f", &[0]).unwrap(), 2, "{b:?}");
+    }
+}
+
+#[test]
+fn state_machine_threaded_through_labels() {
+    // A little dispatch structure: states jump to each other directly.
+    let mut s = Session::with_defaults(
+        r#"
+        int f(int n) {
+            void cspec s0 = label();
+            void cspec s1 = label();
+            void cspec done = label();
+            int vspec x = local(int);
+            int vspec steps = local(int);
+            void cspec all = `{
+                x = $n; steps = 0;
+                s0;
+                steps = steps + 1;
+                if (x <= 1) jump(done);
+                if (x % 2) { x = 3 * x + 1; jump(s1); }
+                x = x / 2;
+                jump(s0);
+                s1;
+                steps = steps + 1;
+                jump(s0);
+                done;
+                return steps;
+            };
+            int (*g)(void) = compile(all, int);
+            return (*g)();
+        }
+        "#,
+    )
+    .expect("compiles");
+    // Collatz from 6: 6→3→10→5→16→8→4→2→1; count of s0 visits plus s1
+    // visits along the way — just check determinism and termination.
+    let a = s.call("f", &[6]).unwrap();
+    let b = s.call("f", &[6]).unwrap();
+    assert_eq!(a, b);
+    assert!(a > 5);
+}
+
+#[test]
+fn jump_to_unspliced_label_is_an_error() {
+    let mut s = Session::with_defaults(
+        r#"
+        int f(void) {
+            void cspec l = label();
+            void cspec all = `{ jump(l); return 0; };
+            int (*g)(void) = compile(all, int);
+            return (*g)();
+        }
+        "#,
+    )
+    .expect("front end accepts");
+    let err = s.call("f", &[]).unwrap_err().to_string();
+    assert!(err.contains("never spliced"), "{err}");
+}
+
+#[test]
+fn label_spliced_twice_is_an_error() {
+    let mut s = Session::with_defaults(
+        r#"
+        int f(void) {
+            void cspec l = label();
+            void cspec all = `{ l; l; return 0; };
+            int (*g)(void) = compile(all, int);
+            return (*g)();
+        }
+        "#,
+    )
+    .expect("front end accepts");
+    let err = s.call("f", &[]).unwrap_err().to_string();
+    assert!(err.contains("twice"), "{err}");
+}
+
+#[test]
+fn sema_rejects_misuse() {
+    // jump outside dynamic code
+    assert!(tickc::front::compile_unit(
+        "void f(void) { void cspec l = label(); jump(l); }"
+    )
+    .is_err());
+    // label() inside dynamic code
+    assert!(tickc::front::compile_unit(
+        "void f(void) { void cspec c = `{ void cspec l = label(); }; }"
+    )
+    .is_err());
+    // jump to a non-label value
+    assert!(tickc::front::compile_unit(
+        "void f(int x) { void cspec c = `{ jump(x); }; }"
+    )
+    .is_err());
+}

@@ -1,0 +1,240 @@
+//! Integration tests: every concrete `C example from the paper text,
+//! run end to end through the facade crate.
+
+use tickc::tickc_core::{Backend, Config, Session, Strategy};
+
+fn backends() -> Vec<Backend> {
+    vec![
+        Backend::Vcode { unchecked: false },
+        Backend::Icode { strategy: Strategy::LinearScan },
+        Backend::Icode { strategy: Strategy::GraphColor },
+    ]
+}
+
+fn run(src: &str, func: &str, args: &[u64], backend: Backend) -> (u64, String) {
+    let mut s = Session::new(src, Config { backend, ..Config::default() })
+        .unwrap_or_else(|e| panic!("compile failed: {e}"));
+    let v = s.call(func, args).unwrap_or_else(|e| panic!("run failed: {e}"));
+    (v, s.output())
+}
+
+#[test]
+fn section3_hello_world() {
+    for b in backends() {
+        let (_, out) = run(
+            r#"
+            void f(void) {
+                void cspec hello = `{ printf("hello world\n"); };
+                (*compile(hello, void))();
+            }
+            "#,
+            "f",
+            &[],
+            b,
+        );
+        assert_eq!(out, "hello world\n");
+    }
+}
+
+#[test]
+fn section3_compose_c1_c2() {
+    for b in backends() {
+        let (v, _) = run(
+            r#"
+            int f(void) {
+                int cspec c1 = `4, cspec c2 = `5;
+                int cspec c = `(c1 + c2);
+                return (*compile(c, int))();
+            }
+            "#,
+            "f",
+            &[],
+            b,
+        );
+        assert_eq!(v, 9);
+    }
+}
+
+#[test]
+fn section3_dollar_example_verbatim_semantics() {
+    for b in backends() {
+        let (_, out) = run(
+            r#"
+            void f(void) {
+                void (*fp)(void);
+                int x = 1;
+                fp = compile(`{ printf("$x = %d, x = %d\n", $x, x); }, void);
+                x = 14;
+                (*fp)();
+            }
+            "#,
+            "f",
+            &[],
+            b,
+        );
+        assert_eq!(out, "$x = 1, x = 14\n");
+    }
+}
+
+#[test]
+fn section42_closure_example() {
+    // int j, k; int cspec i = `5; void cspec c = `{ return i + $j * k; };
+    for b in backends() {
+        let (v, _) = run(
+            r#"
+            int f(void) {
+                int j;
+                int k;
+                j = 6;
+                k = 7;
+                int cspec i = `5;
+                void cspec c = `{ return i + $j * k; };
+                int (*g)(void) = compile(c, int);
+                j = 1000;  /* $j already bound */
+                k = 8;     /* free variable: current value read at run time */
+                return (*g)();
+            }
+            "#,
+            "f",
+            &[],
+            b,
+        );
+        assert_eq!(v, 5 + 6 * 8);
+    }
+}
+
+#[test]
+fn section44_dot_product_both_formulations() {
+    // Formulation 1: explicit composition at specification time.
+    let compose = r#"
+        int row[6] = {2, 0, 3, 0, 0, 4};
+        int col[6] = {1, 2, 3, 4, 5, 6};
+        int n = 6;
+        int f(void) {
+            int k;
+            int cspec sum = `0;
+            for (k = 0; k < n; k++)
+                if (row[k])
+                    sum = `(sum + col[$k] * $row[k]);
+            void cspec code = `{ return sum; };
+            return (*compile(code, int))();
+        }
+    "#;
+    // Formulation 2: dynamic loop unrolling inside the tick body.
+    let unroll = r#"
+        int row[6] = {2, 0, 3, 0, 0, 4};
+        int col[6] = {1, 2, 3, 4, 5, 6};
+        int n = 6;
+        int f(void) {
+            void cspec code = `{
+                int k;
+                int sum;
+                sum = 0;
+                for (k = 0; k < $n; k++)
+                    if ($row[k])
+                        sum = sum + col[k] * $row[k];
+                return sum;
+            };
+            return (*compile(code, int))();
+        }
+    "#;
+    let expect = 2 * 1 + 3 * 3 + 4 * 6;
+    for b in backends() {
+        let (v1, _) = run(compose, "f", &[], b.clone());
+        let (v2, _) = run(unroll, "f", &[], b);
+        assert_eq!(v1 as i64, expect);
+        assert_eq!(v2 as i64, expect);
+    }
+}
+
+#[test]
+fn figure2_register_pressure_scenario() {
+    // { s = `1; } then s = `(x + s) iterated n times — the paper's
+    // Figure 2 expression-tree chain. Both back ends must stay correct
+    // even when the chain exceeds the register file.
+    for b in backends() {
+        let (v, _) = run(
+            r#"
+            int f(int x) {
+                int cspec s = `1;
+                int i;
+                for (i = 0; i < 40; i++) s = `(x + s);
+                return (*compile(`(s), int))();
+            }
+            "#,
+            "f",
+            &[3],
+            b,
+        );
+        assert_eq!(v, 1 + 40 * 3);
+    }
+}
+
+#[test]
+fn run_time_constant_folding_collapses_mixed_expressions() {
+    // "code generating functions contain code to evaluate any parts of an
+    // expression consisting of static and run-time constants" (§4.4)
+    for b in backends() {
+        let mut s = Session::new(
+            r#"
+            int f(int a) {
+                int cspec c = `(1 + 2 * $a + 3);
+                return (*compile(c, int))();
+            }
+            "#,
+            Config { backend: b, ..Config::default() },
+        )
+        .expect("compiles");
+        assert_eq!(s.call("f", &[10]).unwrap(), 24);
+        // 1 + 2*10 + 3 folds to a single constant: generated code is a
+        // handful of instructions (li + ret + prologue), far fewer than
+        // an evaluation chain.
+        assert!(
+            s.dyn_stats().generated_insns <= 16,
+            "expected folded code, got {} instructions",
+            s.dyn_stats().generated_insns
+        );
+    }
+}
+
+#[test]
+fn dynamic_code_with_many_compiles_is_isolated() {
+    // Each compile produces an independent function; earlier ones keep
+    // working (the code space only grows).
+    let mut s = Session::with_defaults(
+        r#"
+        long make(int k) {
+            int cspec c = `($k * 100 + 7);
+            return (long)compile(c, int);
+        }
+        int call_it(long fp) {
+            int (*g)(void) = (int (*)(void))fp;
+            return (*g)();
+        }
+        "#,
+    )
+    .expect("compiles");
+    let fps: Vec<u64> = (0..10).map(|k| s.call("make", &[k]).expect("make")).collect();
+    for (k, fp) in fps.iter().enumerate() {
+        assert_eq!(s.call("call_it", &[*fp]).unwrap(), k as u64 * 100 + 7);
+    }
+}
+
+#[test]
+fn vm_cost_model_is_deterministic() {
+    let src = r#"
+        int f(int n) {
+            int s = 0;
+            int i;
+            for (i = 0; i < n; i++) s += i * i;
+            return s;
+        }
+    "#;
+    let cycles = |_: ()| {
+        let mut s = Session::with_defaults(src).expect("compiles");
+        s.reset_counters();
+        s.call("f", &[1000]).expect("runs");
+        s.cycles()
+    };
+    assert_eq!(cycles(()), cycles(()), "cycle counts must be exactly reproducible");
+}

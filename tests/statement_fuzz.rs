@@ -1,0 +1,285 @@
+//! Statement-level differential fuzzing: random `C programs with locals,
+//! assignments, bounded loops and branches, executed through the five
+//! compilation paths and compared against a host-side reference
+//! interpreter.
+
+use proptest::prelude::*;
+use tickc::mir::OptLevel;
+use tickc::tickc_core::{Backend, Config, Session, Strategy as Alloc};
+
+/// Variables: v0..v3 (locals), p (parameter), r (run-time constant).
+const NVARS: usize = 4;
+
+#[derive(Clone, Debug)]
+enum Val {
+    Var(usize),
+    Param,
+    Rtc,
+    Lit(i32),
+}
+
+#[derive(Clone, Debug)]
+enum Op2 {
+    Add,
+    Sub,
+    Mul,
+    Xor,
+    And,
+}
+
+#[derive(Clone, Debug)]
+enum St {
+    /// `vK = a op b;`
+    Assign(usize, Op2, Val, Val),
+    /// `if (a < b) { .. } else { .. }`
+    If(Val, Val, Vec<St>, Vec<St>),
+    /// `for (i = 0; i < n; i++) { body }` over a dedicated counter; `n`
+    /// is a small literal so unrolling and real loops both trigger
+    /// depending on context.
+    Loop(u8, Vec<St>),
+}
+
+fn val_strategy() -> impl Strategy<Value = Val> {
+    prop_oneof![
+        (0..NVARS).prop_map(Val::Var),
+        Just(Val::Param),
+        Just(Val::Rtc),
+        (-20i32..20).prop_map(Val::Lit),
+    ]
+}
+
+fn op_strategy() -> impl Strategy<Value = Op2> {
+    prop::sample::select(vec![Op2::Add, Op2::Sub, Op2::Mul, Op2::Xor, Op2::And])
+}
+
+fn st_strategy() -> impl Strategy<Value = St> {
+    let assign = (0..NVARS, op_strategy(), val_strategy(), val_strategy())
+        .prop_map(|(d, op, a, b)| St::Assign(d, op, a, b));
+    assign.prop_recursive(3, 16, 4, |inner| {
+        prop_oneof![
+            3 => (0..NVARS, op_strategy(), val_strategy(), val_strategy())
+                .prop_map(|(d, op, a, b)| St::Assign(d, op, a, b)),
+            1 => (
+                val_strategy(),
+                val_strategy(),
+                prop::collection::vec(inner.clone(), 0..3),
+                prop::collection::vec(inner.clone(), 0..3)
+            )
+                .prop_map(|(a, b, t, e)| St::If(a, b, t, e)),
+            1 => (1u8..6, prop::collection::vec(inner, 1..3))
+                .prop_map(|(n, body)| St::Loop(n, body)),
+        ]
+    })
+}
+
+fn val_c(v: &Val, dollar: bool) -> String {
+    match v {
+        Val::Var(i) => format!("v{i}"),
+        Val::Param => "p".into(),
+        Val::Rtc => {
+            if dollar {
+                "$r".into()
+            } else {
+                "r".into()
+            }
+        }
+        Val::Lit(c) => format!("({c})"),
+    }
+}
+
+fn op_c(op: &Op2) -> &'static str {
+    match op {
+        Op2::Add => "+",
+        Op2::Sub => "-",
+        Op2::Mul => "*",
+        Op2::Xor => "^",
+        Op2::And => "&",
+    }
+}
+
+fn st_c(s: &St, dollar: bool, depth: usize, counter: &mut usize) -> String {
+    let pad = "    ".repeat(depth + 1);
+    match s {
+        St::Assign(d, op, a, b) => format!(
+            "{pad}v{d} = {} {} {};\n",
+            val_c(a, dollar),
+            op_c(op),
+            val_c(b, dollar)
+        ),
+        St::If(a, b, t, e) => {
+            let mut out = format!(
+                "{pad}if ({} < {}) {{\n",
+                val_c(a, dollar),
+                val_c(b, dollar)
+            );
+            for s in t {
+                out.push_str(&st_c(s, dollar, depth + 1, counter));
+            }
+            out.push_str(&format!("{pad}}} else {{\n"));
+            for s in e {
+                out.push_str(&st_c(s, dollar, depth + 1, counter));
+            }
+            out.push_str(&format!("{pad}}}\n"));
+            out
+        }
+        St::Loop(n, body) => {
+            let k = *counter;
+            *counter += 1;
+            let mut out = format!("{pad}for (k{k} = 0; k{k} < {n}; k{k}++) {{\n");
+            for s in body {
+                out.push_str(&st_c(s, dollar, depth + 1, counter));
+            }
+            out.push_str(&format!("{pad}}}\n"));
+            out
+        }
+    }
+}
+
+fn count_loops(sts: &[St]) -> usize {
+    sts.iter()
+        .map(|s| match s {
+            St::Assign(..) => 0,
+            St::If(_, _, t, e) => count_loops(t) + count_loops(e),
+            St::Loop(_, b) => 1 + count_loops(b),
+        })
+        .sum()
+}
+
+fn eval_val(v: &Val, vars: &[i32], p: i32, r: i32) -> i32 {
+    match v {
+        Val::Var(i) => vars[*i],
+        Val::Param => p,
+        Val::Rtc => r,
+        Val::Lit(c) => *c,
+    }
+}
+
+fn eval_sts(sts: &[St], vars: &mut [i32], p: i32, r: i32) {
+    for s in sts {
+        match s {
+            St::Assign(d, op, a, b) => {
+                let (x, y) = (eval_val(a, vars, p, r), eval_val(b, vars, p, r));
+                vars[*d] = match op {
+                    Op2::Add => x.wrapping_add(y),
+                    Op2::Sub => x.wrapping_sub(y),
+                    Op2::Mul => x.wrapping_mul(y),
+                    Op2::Xor => x ^ y,
+                    Op2::And => x & y,
+                };
+            }
+            St::If(a, b, t, e) => {
+                if eval_val(a, vars, p, r) < eval_val(b, vars, p, r) {
+                    eval_sts(t, vars, p, r);
+                } else {
+                    eval_sts(e, vars, p, r);
+                }
+            }
+            St::Loop(n, body) => {
+                for _ in 0..*n {
+                    eval_sts(body, vars, p, r);
+                }
+            }
+        }
+    }
+}
+
+fn program_for(sts: &[St]) -> String {
+    let nloops = count_loops(sts);
+    let decl_ks = |prefix: &str| -> String {
+        (0..nloops).map(|k| format!("{prefix}int k{k};\n")).collect()
+    };
+    let decl_vs = |prefix: &str| -> String {
+        (0..NVARS).map(|i| format!("{prefix}int v{i};\n")).collect()
+    };
+    let init_vs: String = (0..NVARS).map(|i| format!("    v{i} = {};\n", i as i32 + 1)).collect();
+    let mut c0 = 0usize;
+    let static_body: String = sts.iter().map(|s| st_c(s, false, 0, &mut c0)).collect();
+    let mut c1 = 0usize;
+    let dyn_body: String = sts.iter().map(|s| st_c(s, true, 0, &mut c1)).collect();
+    let sum: String = (0..NVARS)
+        .map(|i| format!(" + v{i}"))
+        .collect::<String>()
+        .trim_start_matches(" + ")
+        .to_string();
+    format!(
+        r#"
+int static_f(int p, int r) {{
+{}{}
+{init_vs}{static_body}    return {sum};
+}}
+long dyn_compile(int r) {{
+    int vspec p = param(int, 0);
+    void cspec c = `{{
+{}{}
+{init_vs}{dyn_body}        return {sum};
+    }};
+    return (long)compile(c, int);
+}}
+int dyn_run(long fp, int p) {{
+    int (*g)(void) = (int (*)(void))fp;
+    return (*g)(p);
+}}
+"#,
+        decl_vs("    "),
+        decl_ks("    "),
+        decl_vs("        "),
+        decl_ks("        "),
+    )
+}
+
+fn check(sts: &[St], p: i32, r: i32) -> Result<(), TestCaseError> {
+    let mut vars: Vec<i32> = (1..=NVARS as i32).collect();
+    eval_sts(sts, &mut vars, p, r);
+    let expect: i32 = vars.iter().fold(0i32, |a, &v| a.wrapping_add(v));
+    let src = program_for(sts);
+
+    for opt in [OptLevel::Naive, OptLevel::Optimizing] {
+        let mut s = Session::new(&src, Config { static_opt: opt, ..Config::default() })
+            .unwrap_or_else(|e| panic!("generated program rejected: {e}\n{src}"));
+        let got = s.call("static_f", &[p as i64 as u64, r as i64 as u64]).expect("runs");
+        prop_assert_eq!(got as i64, expect as i64, "static {:?}\n{}", opt, src);
+    }
+    for backend in [
+        Backend::Vcode { unchecked: false },
+        Backend::Icode { strategy: Alloc::LinearScan },
+        Backend::Icode { strategy: Alloc::GraphColor },
+    ] {
+        let mut s = Session::new(&src, Config { backend: backend.clone(), ..Config::default() })
+            .unwrap_or_else(|e| panic!("generated program rejected: {e}\n{src}"));
+        let fp = s.call("dyn_compile", &[r as i64 as u64]).expect("dynamic compile");
+        let got = s.call("dyn_run", &[fp, p as i64 as u64]).expect("dynamic run");
+        prop_assert_eq!(got as i64, expect as i64, "dynamic {:?}\n{}", backend, src);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn five_paths_agree_on_random_statement_programs(
+        sts in prop::collection::vec(st_strategy(), 1..6),
+        p in -100i32..100,
+        r in -100i32..100,
+    ) {
+        check(&sts, p, r)?;
+    }
+}
+
+#[test]
+fn fixed_statement_regressions() {
+    use St::*;
+    use Val::*;
+    // Loop whose body uses $r (run-time constant propagation under
+    // unrolling), nested loops, if inside loop.
+    let cases: Vec<Vec<St>> = vec![
+        vec![Loop(4, vec![Assign(0, Op2::Add, Var(0), Rtc)])],
+        vec![Loop(3, vec![Loop(2, vec![Assign(1, Op2::Mul, Var(1), Lit(2))])])],
+        vec![Loop(5, vec![If(Var(0), Rtc, vec![Assign(0, Op2::Add, Var(0), Lit(3))], vec![])])],
+        vec![If(Param, Lit(0), vec![Assign(2, Op2::Sub, Lit(0), Param)], vec![Assign(2, Op2::Add, Var(2), Param)])],
+    ];
+    for sts in cases {
+        check(&sts, 7, -3).expect("agrees");
+        check(&sts, -50, 13).expect("agrees");
+    }
+}
