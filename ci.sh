@@ -1,0 +1,30 @@
+#!/bin/sh
+# The repo's CI gate, runnable locally:
+#
+#   1. formatting        (cargo fmt --check)
+#   2. lints             (cargo clippy, warnings are errors)
+#   3. tier-1 tests      (release build + full test suite)
+#   4. suite smoke run   (one small benchmark through every compilation
+#                         path — two static back ends and all three
+#                         dynamic back ends must agree on the answer)
+#
+# Fails fast: the first failing step aborts with its exit code.
+set -eu
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== tier-1: cargo build --release =="
+cargo build --release
+
+echo "== tier-1: cargo test =="
+cargo test -q --workspace
+
+echo "== suite smoke (all back ends must agree) =="
+cargo run -p tcc-suite --bin suite --release -- smoke
+
+echo "CI_OK"

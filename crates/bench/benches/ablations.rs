@@ -74,7 +74,9 @@ fn bench_pruned_translator(c: &mut Criterion) {
     // Run the "link-time" analysis: observe the ICODE instructions this
     // program's CGFs emit, then build the customized back end.
     let config = Config {
-        backend: Backend::Icode { strategy: Strategy::LinearScan },
+        backend: Backend::Icode {
+            strategy: Strategy::LinearScan,
+        },
         ..Config::default()
     };
     let mut probe = Session::new(ICODE_WORK, config.clone()).expect("compiles");
@@ -113,8 +115,10 @@ fn bench_pruned_translator(c: &mut Criterion) {
 fn bench_unchecked_vcode(c: &mut Criterion) {
     let mut g = c.benchmark_group("vcode_spill_checks");
     for (name, unchecked) in [("checked", false), ("unchecked", true)] {
-        let config =
-            Config { backend: Backend::Vcode { unchecked }, ..Config::default() };
+        let config = Config {
+            backend: Backend::Vcode { unchecked },
+            ..Config::default()
+        };
         g.bench_function(name, |b| {
             iter_chunked(
                 b,

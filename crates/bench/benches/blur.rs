@@ -7,7 +7,10 @@ use tcc_suite::{benchmarks, measure, ns_per_cycle, report, BLUR_FULL};
 
 fn main() {
     let nspc = ns_per_cycle();
-    let b = benchmarks(BLUR_FULL).into_iter().find(|b| b.name == "blur").expect("blur");
+    let b = benchmarks(BLUR_FULL)
+        .into_iter()
+        .find(|b| b.name == "blur")
+        .expect("blur");
     eprintln!("measuring blur 640x480 (five compilation paths; takes a minute)...");
     let m = measure(&b);
     print!("{}", report::blur_report(&m, nspc));

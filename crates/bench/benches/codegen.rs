@@ -70,8 +70,18 @@ const SHAPES: &[(&str, &str)] = &[
 fn backends() -> Vec<(&'static str, Backend)> {
     vec![
         ("vcode", Backend::Vcode { unchecked: false }),
-        ("icode_ls", Backend::Icode { strategy: Strategy::LinearScan }),
-        ("icode_gc", Backend::Icode { strategy: Strategy::GraphColor }),
+        (
+            "icode_ls",
+            Backend::Icode {
+                strategy: Strategy::LinearScan,
+            },
+        ),
+        (
+            "icode_gc",
+            Backend::Icode {
+                strategy: Strategy::GraphColor,
+            },
+        ),
     ]
 }
 
@@ -79,7 +89,10 @@ fn bench_codegen(c: &mut Criterion) {
     let mut g = c.benchmark_group("dynamic_compile");
     for (shape, src) in SHAPES {
         for (bname, backend) in backends() {
-            let config = Config { backend, ..Config::default() };
+            let config = Config {
+                backend,
+                ..Config::default()
+            };
             g.bench_with_input(BenchmarkId::new(*shape, bname), &(), |b, ()| {
                 iter_chunked(
                     b,

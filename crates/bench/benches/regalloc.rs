@@ -25,7 +25,7 @@ fn random_program(n: usize, window: usize, seed: u64) -> IcodeBuf {
         let d = b.temp(ValKind::W);
         let i = vals.len() - rng.gen_range(1..=window.min(vals.len()));
         let j = vals.len() - rng.gen_range(1..=window.min(vals.len()));
-        let op = [BinOp::Add, BinOp::Sub, BinOp::Xor, BinOp::Mul][rng.gen_range(0..4)];
+        let op = [BinOp::Add, BinOp::Sub, BinOp::Xor, BinOp::Mul][rng.gen_range(0..4usize)];
         b.bin(op, ValKind::W, d, vals[i], vals[j]);
         vals.push(d);
     }
@@ -43,9 +43,10 @@ fn bench_allocators(c: &mut Criterion) {
     let mut g = c.benchmark_group("register_allocation");
     for &n in &[50usize, 200, 800] {
         for &window in &[6usize, 24] {
-            for (name, strategy) in
-                [("linear_scan", Strategy::LinearScan), ("graph_color", Strategy::GraphColor)]
-            {
+            for (name, strategy) in [
+                ("linear_scan", Strategy::LinearScan),
+                ("graph_color", Strategy::GraphColor),
+            ] {
                 let id = BenchmarkId::new(name, format!("n{n}_w{window}"));
                 g.bench_with_input(id, &(), |bch, ()| {
                     bch.iter_with_large_drop(|| {
@@ -62,9 +63,10 @@ fn bench_allocators(c: &mut Criterion) {
     g.finish();
 
     // Print the per-phase story once for the record.
-    for (name, strategy) in
-        [("linear_scan", Strategy::LinearScan), ("graph_color", Strategy::GraphColor)]
-    {
+    for (name, strategy) in [
+        ("linear_scan", Strategy::LinearScan),
+        ("graph_color", Strategy::GraphColor),
+    ] {
         let buf = random_program(800, 24, 42);
         let mut code = CodeSpace::new();
         let mut comp = IcodeCompiler::new(strategy);

@@ -5,12 +5,8 @@
 /// runs `iters` calls in chunks, recreating the state with `fresh`
 /// between chunks **outside** the timed region, so unbounded iteration
 /// counts never exhaust the machine's data memory.
-pub fn iter_chunked<S, F, R>(
-    b: &mut criterion::Bencher<'_>,
-    chunk: u64,
-    mut fresh: F,
-    mut run: R,
-) where
+pub fn iter_chunked<S, F, R>(b: &mut criterion::Bencher<'_>, chunk: u64, mut fresh: F, mut run: R)
+where
     F: FnMut() -> S,
     R: FnMut(&mut S),
 {

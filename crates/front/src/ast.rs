@@ -83,11 +83,24 @@ pub enum UnaryOp {
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 #[allow(missing_docs)]
 pub enum BinaryOp {
-    Add, Sub, Mul, Div, Rem,
-    Shl, Shr,
-    BitAnd, BitOr, BitXor,
-    Lt, Gt, Le, Ge, Eq, Ne,
-    LogAnd, LogOr,
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Shl,
+    Shr,
+    BitAnd,
+    BitOr,
+    BitXor,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    Eq,
+    Ne,
+    LogAnd,
+    LogOr,
 }
 
 /// An expression: kind, type annotation (filled by sema), source line.
@@ -104,7 +117,11 @@ pub struct Expr {
 impl Expr {
     /// A fresh expression with placeholder type.
     pub fn new(kind: ExprKind, line: u32) -> Expr {
-        Expr { kind, ty: Type::Void, line }
+        Expr {
+            kind,
+            ty: Type::Void,
+            line,
+        }
     }
 }
 

@@ -9,7 +9,12 @@ use crate::token::{keyword, Spanned, Tok, P};
 ///
 /// Returns [`FrontError`] on malformed literals or stray characters.
 pub fn lex(src: &str) -> Result<Vec<Spanned>, FrontError> {
-    Lexer { b: src.as_bytes(), pos: 0, line: 1 }.run()
+    Lexer {
+        b: src.as_bytes(),
+        pos: 0,
+        line: 1,
+    }
+    .run()
 }
 
 struct Lexer<'a> {
@@ -25,7 +30,10 @@ impl<'a> Lexer<'a> {
             self.skip_ws_and_comments()?;
             let line = self.line;
             if self.pos >= self.b.len() {
-                out.push(Spanned { tok: Tok::Eof, line });
+                out.push(Spanned {
+                    tok: Tok::Eof,
+                    line,
+                });
                 return Ok(out);
             }
             let tok = self.next_token()?;
@@ -34,7 +42,10 @@ impl<'a> Lexer<'a> {
     }
 
     fn err(&self, msg: impl Into<String>) -> FrontError {
-        FrontError::Lex { line: self.line, msg: msg.into() }
+        FrontError::Lex {
+            line: self.line,
+            msg: msg.into(),
+        }
     }
 
     fn peek(&self) -> u8 {
@@ -215,17 +226,14 @@ impl<'a> Lexer<'a> {
                 self.bump();
             }
             let s = std::str::from_utf8(&self.b[hs..self.pos]).expect("ascii");
-            let v = i64::from_str_radix(s, 16)
-                .map_err(|_| self.err("hex literal out of range"))?;
+            let v = i64::from_str_radix(s, 16).map_err(|_| self.err("hex literal out of range"))?;
             let long = self.eat_long_suffix();
             return Ok(Tok::Int(v, long));
         }
         while self.peek().is_ascii_digit() {
             self.bump();
         }
-        let is_float = self.peek() == b'.'
-            || self.peek() == b'e'
-            || self.peek() == b'E';
+        let is_float = self.peek() == b'.' || self.peek() == b'e' || self.peek() == b'E';
         if is_float {
             if self.peek() == b'.' {
                 self.bump();
@@ -251,7 +259,8 @@ impl<'a> Lexer<'a> {
         let v = if s.len() > 1 && s.starts_with('0') {
             i64::from_str_radix(&s[1..], 8).map_err(|_| self.err("bad octal literal"))?
         } else {
-            s.parse().map_err(|_| self.err("integer literal out of range"))?
+            s.parse()
+                .map_err(|_| self.err("integer literal out of range"))?
         };
         let long = self.eat_long_suffix();
         Ok(Tok::Int(v, long))
@@ -388,15 +397,18 @@ mod tests {
 
     #[test]
     fn literals() {
-        assert_eq!(toks("0x10 010 1L 3.5 1e3 'a' '\\n'")[..7].to_vec(), vec![
-            Tok::Int(16, false),
-            Tok::Int(8, false),
-            Tok::Int(1, true),
-            Tok::Float(3.5),
-            Tok::Float(1000.0),
-            Tok::Char(b'a'),
-            Tok::Char(b'\n'),
-        ]);
+        assert_eq!(
+            toks("0x10 010 1L 3.5 1e3 'a' '\\n'")[..7].to_vec(),
+            vec![
+                Tok::Int(16, false),
+                Tok::Int(8, false),
+                Tok::Int(1, true),
+                Tok::Float(3.5),
+                Tok::Float(1000.0),
+                Tok::Char(b'a'),
+                Tok::Char(b'\n'),
+            ]
+        );
         assert_eq!(toks(r#""hi\n""#)[0], Tok::Str(b"hi\n".to_vec()));
     }
 
@@ -404,7 +416,11 @@ mod tests {
     fn comments_and_lines() {
         let ts = lex("int /* c */ x; // tail\nint y;").unwrap();
         assert_eq!(ts[0].line, 1);
-        let y_decl_line = ts.iter().find(|s| s.tok == Tok::Ident("y".into())).unwrap().line;
+        let y_decl_line = ts
+            .iter()
+            .find(|s| s.tok == Tok::Ident("y".into()))
+            .unwrap()
+            .line;
         assert_eq!(y_decl_line, 2);
     }
 

@@ -106,7 +106,10 @@ mod tests {
         assert!(matches!(t.captures[0].kind, CaptureKind::Dollar(_)));
         assert!(matches!(t.captures[1].kind, CaptureKind::FreeVar(_)));
         // The free variable forces x into memory.
-        assert!(p.funcs[0].locals.iter().any(|l| l.name == "x" && l.addr_taken));
+        assert!(p.funcs[0]
+            .locals
+            .iter()
+            .any(|l| l.name == "x" && l.addr_taken));
     }
 
     #[test]
@@ -181,7 +184,9 @@ mod tests {
 
     #[test]
     fn dollar_outside_tick_rejected() {
-        let err = compile_unit("void f(int x) { int y = $x; }").unwrap_err().to_string();
+        let err = compile_unit("void f(int x) { int y = $x; }")
+            .unwrap_err()
+            .to_string();
         assert!(err.contains("outside"), "{err}");
     }
 
@@ -195,18 +200,15 @@ mod tests {
 
     #[test]
     fn cspec_type_mismatch_rejected() {
-        let err = compile_unit(
-            "void f(void) { int cspec c = `1; double cspec d; d = c; }",
-        )
-        .unwrap_err()
-        .to_string();
+        let err = compile_unit("void f(void) { int cspec c = `1; double cspec d; d = c; }")
+            .unwrap_err()
+            .to_string();
         assert!(err.contains("cannot assign"), "{err}");
     }
 
     #[test]
     fn compile_requires_cspec() {
-        let err =
-            compile_unit("void f(int x) { int (*g)(void) = compile(x, int); }").unwrap_err();
+        let err = compile_unit("void f(int x) { int (*g)(void) = compile(x, int); }").unwrap_err();
         assert!(err.to_string().contains("requires a cspec"));
     }
 
@@ -227,8 +229,12 @@ mod tests {
         "#;
         let p = compile_unit(src).unwrap();
         let body = &p.funcs[0].body;
-        let Stmt::Return(Some(e)) = &body[0] else { panic!("expected return") };
-        let ExprKind::Member(_, _, true, off) = &e.kind else { panic!("expected member") };
+        let Stmt::Return(Some(e)) = &body[0] else {
+            panic!("expected return")
+        };
+        let ExprKind::Member(_, _, true, off) = &e.kind else {
+            panic!("expected member")
+        };
         assert_eq!(*off, 8);
         assert_eq!(e.ty, Type::Long);
     }
@@ -256,7 +262,9 @@ mod tests {
     fn sizeof_folds() {
         let src = "struct s { int a; int b; }; int f(void) { return sizeof(struct s); }";
         let p = compile_unit(src).unwrap();
-        let Stmt::Return(Some(e)) = &p.funcs[0].body[0] else { panic!() };
+        let Stmt::Return(Some(e)) = &p.funcs[0].body[0] else {
+            panic!()
+        };
         assert_eq!(e.kind, ExprKind::IntLit(8));
     }
 
@@ -274,11 +282,9 @@ mod tests {
 
     #[test]
     fn dollar_of_cspec_rejected() {
-        let err = compile_unit(
-            "void f(void) { int cspec a = `1; int cspec b = `(1 + $a); }",
-        )
-        .unwrap_err()
-        .to_string();
+        let err = compile_unit("void f(void) { int cspec a = `1; int cspec b = `(1 + $a); }")
+            .unwrap_err()
+            .to_string();
         assert!(err.contains("cspec"), "{err}");
     }
 }

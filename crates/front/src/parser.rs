@@ -44,7 +44,11 @@ pub struct RawFunc {
 /// Returns the first lexical or syntax error.
 pub fn parse(src: &str) -> Result<ParsedUnit, FrontError> {
     let toks = lex(src)?;
-    let mut p = Parser { toks, pos: 0, unit: ParsedUnit::default() };
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        unit: ParsedUnit::default(),
+    };
     p.unit()?;
     Ok(p.unit)
 }
@@ -77,7 +81,10 @@ impl Parser {
     }
 
     fn err(&self, msg: impl Into<String>) -> FrontError {
-        FrontError::Parse { line: self.line(), msg: msg.into() }
+        FrontError::Parse {
+            line: self.line(),
+            msg: msg.into(),
+        }
     }
 
     fn expect_p(&mut self, p: P) -> Result<(), FrontError> {
@@ -374,17 +381,41 @@ impl Parser {
                     continue; // prototype: ignored (defs carry the truth)
                 }
                 let body = self.block()?;
-                self.unit.funcs.push(RawFunc { name, ret: ty, params, body, line });
+                self.unit.funcs.push(RawFunc {
+                    name,
+                    ret: ty,
+                    params,
+                    body,
+                    line,
+                });
                 continue;
             }
             // Global declaration list.
             let mut items = Vec::new();
-            let init = if self.eat_p(P::Assign) { Some(self.initializer()?) } else { None };
-            items.push(DeclItem { name, ty, init, local_id: usize::MAX });
+            let init = if self.eat_p(P::Assign) {
+                Some(self.initializer()?)
+            } else {
+                None
+            };
+            items.push(DeclItem {
+                name,
+                ty,
+                init,
+                local_id: usize::MAX,
+            });
             while self.eat_p(P::Comma) {
                 let (n, t) = self.declarator(base.clone())?;
-                let init = if self.eat_p(P::Assign) { Some(self.initializer()?) } else { None };
-                items.push(DeclItem { name: n, ty: t, init, local_id: usize::MAX });
+                let init = if self.eat_p(P::Assign) {
+                    Some(self.initializer()?)
+                } else {
+                    None
+                };
+                items.push(DeclItem {
+                    name: n,
+                    ty: t,
+                    init,
+                    local_id: usize::MAX,
+                });
             }
             self.expect_p(P::Semi)?;
             self.unit.globals.extend(items);
@@ -429,8 +460,17 @@ impl Parser {
         let mut items = Vec::new();
         loop {
             let (name, ty) = self.declarator(base.clone())?;
-            let init = if self.eat_p(P::Assign) { Some(self.initializer()?) } else { None };
-            items.push(DeclItem { name, ty, init, local_id: usize::MAX });
+            let init = if self.eat_p(P::Assign) {
+                Some(self.initializer()?)
+            } else {
+                None
+            };
+            items.push(DeclItem {
+                name,
+                ty,
+                init,
+                local_id: usize::MAX,
+            });
             if !self.eat_p(P::Comma) {
                 break;
             }
@@ -455,7 +495,11 @@ impl Parser {
                 let c = self.expr()?;
                 self.expect_p(P::RParen)?;
                 let t = Box::new(self.stmt()?);
-                let e = if self.eat_kw(Kw::Else) { Some(Box::new(self.stmt()?)) } else { None };
+                let e = if self.eat_kw(Kw::Else) {
+                    Some(Box::new(self.stmt()?))
+                } else {
+                    None
+                };
                 Ok(Stmt::If(c, t, e))
             }
             Tok::Kw(Kw::While) => {
@@ -489,10 +533,17 @@ impl Parser {
                     self.expect_p(P::Semi)?;
                     Some(Box::new(Stmt::Expr(e)))
                 };
-                let cond = if self.peek() == &Tok::P(P::Semi) { None } else { Some(self.expr()?) };
+                let cond = if self.peek() == &Tok::P(P::Semi) {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
                 self.expect_p(P::Semi)?;
-                let step =
-                    if self.peek() == &Tok::P(P::RParen) { None } else { Some(self.expr()?) };
+                let step = if self.peek() == &Tok::P(P::RParen) {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
                 self.expect_p(P::RParen)?;
                 Ok(Stmt::For(init, cond, step, Box::new(self.stmt()?)))
             }
@@ -595,7 +646,10 @@ impl Parser {
         };
         self.bump();
         let rhs = self.assign_expr()?;
-        Ok(Expr::new(ExprKind::Assign(op, Box::new(lhs), Box::new(rhs)), line))
+        Ok(Expr::new(
+            ExprKind::Assign(op, Box::new(lhs), Box::new(rhs)),
+            line,
+        ))
     }
 
     fn cond_expr(&mut self) -> Result<Expr, FrontError> {
@@ -605,7 +659,10 @@ impl Parser {
             let t = self.expr()?;
             self.expect_p(P::Colon)?;
             let e = self.cond_expr()?;
-            return Ok(Expr::new(ExprKind::Cond(Box::new(c), Box::new(t), Box::new(e)), line));
+            return Ok(Expr::new(
+                ExprKind::Cond(Box::new(c), Box::new(t), Box::new(e)),
+                line,
+            ));
         }
         Ok(c)
     }
@@ -694,10 +751,16 @@ impl Parser {
                 self.bump();
                 if self.peek() == &Tok::P(P::LBrace) {
                     let b = self.block()?;
-                    Ok(Expr::new(ExprKind::TickRaw(Box::new(TickBody::Block(b))), line))
+                    Ok(Expr::new(
+                        ExprKind::TickRaw(Box::new(TickBody::Block(b))),
+                        line,
+                    ))
                 } else {
                     let e = self.unary_expr()?;
-                    Ok(Expr::new(ExprKind::TickRaw(Box::new(TickBody::Expr(e))), line))
+                    Ok(Expr::new(
+                        ExprKind::TickRaw(Box::new(TickBody::Expr(e))),
+                        line,
+                    ))
                 }
             }
             Tok::P(P::Dollar) => {
@@ -713,17 +776,14 @@ impl Parser {
             }
             Tok::Kw(Kw::Sizeof) => {
                 self.bump();
-                if self.peek() == &Tok::P(P::LParen)
-                    && matches!(self.peek2(), Tok::Kw(_))
-                    && {
-                        // sizeof(type)
-                        let save = self.pos;
-                        self.bump();
-                        let is_ty = self.starts_type();
-                        self.pos = save;
-                        is_ty
-                    }
-                {
+                if self.peek() == &Tok::P(P::LParen) && matches!(self.peek2(), Tok::Kw(_)) && {
+                    // sizeof(type)
+                    let save = self.pos;
+                    self.bump();
+                    let is_ty = self.starts_type();
+                    self.pos = save;
+                    is_ty
+                } {
                     self.bump();
                     let ty = self.type_name()?;
                     self.expect_p(P::RParen)?;

@@ -66,7 +66,10 @@ pub fn analyze(unit: ParsedUnit) -> Result<Program, FrontError> {
 }
 
 fn serr(line: u32, msg: impl Into<String>) -> FrontError {
-    FrontError::Sema { line, msg: msg.into() }
+    FrontError::Sema {
+        line,
+        msg: msg.into(),
+    }
 }
 
 #[derive(Clone, Debug)]
@@ -133,7 +136,11 @@ impl Sema {
         let nparams = f.params.len();
         for (name, ty) in &f.params {
             let id = ctx.locals.len();
-            ctx.locals.push(LocalDef { name: name.clone(), ty: ty.clone(), addr_taken: false });
+            ctx.locals.push(LocalDef {
+                name: name.clone(),
+                ty: ty.clone(),
+                addr_taken: false,
+            });
             ctx.scopes[0].insert(name.clone(), Binding::Local(id));
         }
         self.ctx = Some(ctx);
@@ -147,8 +154,17 @@ impl Sema {
                 return Err(serr(*line, format!("goto to undefined label {label}")));
             }
         }
-        let sig = FuncSig { ret: f.ret, params: f.params.into_iter().map(|(_, t)| t).collect() };
-        Ok(FuncDef { name: f.name, sig, nparams, locals: ctx.locals, body })
+        let sig = FuncSig {
+            ret: f.ret,
+            params: f.params.into_iter().map(|(_, t)| t).collect(),
+        };
+        Ok(FuncDef {
+            name: f.name,
+            sig,
+            nparams,
+            locals: ctx.locals,
+            body,
+        })
     }
 
     // ---- scoping ---------------------------------------------------------
@@ -179,19 +195,36 @@ impl Sema {
         match &mut c.tick {
             Some(t) => {
                 if ty.is_spec() {
-                    return Err(serr(line, "cspec/vspec variables cannot be declared in dynamic code"));
+                    return Err(serr(
+                        line,
+                        "cspec/vspec variables cannot be declared in dynamic code",
+                    ));
                 }
                 let id = t.dyn_locals.len();
-                t.dyn_locals.push(LocalDef { name: name.into(), ty, addr_taken: addressy });
+                t.dyn_locals.push(LocalDef {
+                    name: name.into(),
+                    ty,
+                    addr_taken: addressy,
+                });
                 let b = Binding::TickLocal(id);
-                t.scopes.last_mut().expect("scope").insert(name.into(), b.clone());
+                t.scopes
+                    .last_mut()
+                    .expect("scope")
+                    .insert(name.into(), b.clone());
                 Ok(b)
             }
             None => {
                 let id = c.locals.len();
-                c.locals.push(LocalDef { name: name.into(), ty, addr_taken: addressy });
+                c.locals.push(LocalDef {
+                    name: name.into(),
+                    ty,
+                    addr_taken: addressy,
+                });
                 let b = Binding::Local(id);
-                c.scopes.last_mut().expect("scope").insert(name.into(), b.clone());
+                c.scopes
+                    .last_mut()
+                    .expect("scope")
+                    .insert(name.into(), b.clone());
                 Ok(b)
             }
         }
@@ -217,10 +250,7 @@ impl Sema {
                         // Inside a `$` operand: capture the *value* at
                         // specification time (not the address).
                         if ty.is_spec() {
-                            return Err(serr(
-                                line,
-                                "$ cannot be applied to cspec/vspec values",
-                            ));
+                            return Err(serr(line, "$ cannot be applied to cspec/vspec values"));
                         }
                         let t = c.tick.as_mut().expect("in tick");
                         let idx = *t.dollar_map.entry(DollarKey::Local(i)).or_insert_with(|| {
@@ -298,8 +328,7 @@ impl Sema {
             let c = self.ctx();
             // Global cspec/vspec variables referenced in a tick body are
             // compositions, exactly like local ones.
-            if c.tick.is_some() && ty.is_spec() && !c.in_dollar {
-                let t = c.tick.as_mut().expect("checked");
+            if let (Some(t), true) = (c.tick.as_mut(), ty.is_spec() && !c.in_dollar) {
                 let ev = ty.eval_ty().clone();
                 let is_cspec = matches!(ty, Type::Cspec(_));
                 let idx = *t.spec_global_map.entry(gi).or_insert_with(|| {
@@ -319,7 +348,11 @@ impl Sema {
                     t.captures.len() - 1
                 });
                 return Ok((
-                    if is_cspec { VarRef::TickCspec(idx) } else { VarRef::TickVspec(idx) },
+                    if is_cspec {
+                        VarRef::TickCspec(idx)
+                    } else {
+                        VarRef::TickVspec(idx)
+                    },
                     ev,
                 ));
             }
@@ -327,17 +360,20 @@ impl Sema {
             // the specification-time value is what gets hardwired.
             if c.in_dollar && !matches!(ty, Type::Array(..) | Type::Struct(_)) {
                 if let Some(t) = c.tick.as_mut() {
-                    let idx = *t.dollar_map.entry(DollarKey::Global(gi)).or_insert_with(|| {
-                        t.captures.push(Capture {
-                            kind: CaptureKind::Dollar(Expr {
-                                kind: ExprKind::Var(VarRef::Global(gi)),
+                    let idx = *t
+                        .dollar_map
+                        .entry(DollarKey::Global(gi))
+                        .or_insert_with(|| {
+                            t.captures.push(Capture {
+                                kind: CaptureKind::Dollar(Expr {
+                                    kind: ExprKind::Var(VarRef::Global(gi)),
+                                    ty: ty.clone(),
+                                    line,
+                                }),
                                 ty: ty.clone(),
-                                line,
-                            }),
-                            ty: ty.clone(),
+                            });
+                            t.captures.len() - 1
                         });
-                        t.captures.len() - 1
-                    });
                     return Ok((VarRef::TickRtc(idx), ty));
                 }
             }
@@ -374,10 +410,7 @@ impl Sema {
                         self.check_expr(e)?;
                         self.require_assignable(&item.ty, &e.ty, e.line)?;
                     } else if let Some(Init::List(_)) = &item.init {
-                        return Err(serr(
-                            0,
-                            "brace initializers are only supported on globals",
-                        ));
+                        return Err(serr(0, "brace initializers are only supported on globals"));
                     }
                 }
                 Ok(())
@@ -510,7 +543,10 @@ impl Sema {
     fn check_cond(&mut self, e: &mut Expr) -> Result<(), FrontError> {
         self.check_expr(e)?;
         if !is_scalar(&e.ty) {
-            return Err(serr(e.line, format!("condition has non-scalar type {}", e.ty)));
+            return Err(serr(
+                e.line,
+                format!("condition has non-scalar type {}", e.ty),
+            ));
         }
         Ok(())
     }
@@ -543,7 +579,11 @@ impl Sema {
         }
         match &mut e.kind {
             ExprKind::IntLit(v) => {
-                e.ty = if *v > i32::MAX as i64 || *v < i32::MIN as i64 { Type::Long } else { Type::Int };
+                e.ty = if *v > i32::MAX as i64 || *v < i32::MIN as i64 {
+                    Type::Long
+                } else {
+                    Type::Int
+                };
             }
             ExprKind::FloatLit(_) => e.ty = Type::Double,
             ExprKind::StrLit(_) => e.ty = Type::Ptr(Box::new(Type::Char)),
@@ -672,7 +712,10 @@ impl Sema {
                     || *ty == Type::Void
                     || (ty.is_ptr() && inner.ty.decay().is_ptr());
                 if !ok {
-                    return Err(serr(line, format!("invalid cast from {} to {ty}", inner.ty)));
+                    return Err(serr(
+                        line,
+                        format!("invalid cast from {} to {ty}", inner.ty),
+                    ));
                 }
                 e.ty = ty.clone();
             }
@@ -685,9 +728,9 @@ impl Sema {
                 self.check_expr(f)?;
                 e.ty = if t.ty.is_arith() && f.ty.is_arith() {
                     t.ty.usual_arith(&f.ty)
-                } else if t.ty.decay() == f.ty.decay() {
-                    t.ty.decay()
-                } else if t.ty.decay().is_ptr() && f.ty.decay().is_ptr() {
+                } else if t.ty.decay() == f.ty.decay()
+                    || (t.ty.decay().is_ptr() && f.ty.decay().is_ptr())
+                {
                     t.ty.decay()
                 } else {
                     return Err(serr(line, "incompatible ?: arms"));
@@ -748,10 +791,16 @@ impl Sema {
                 match &c.ty {
                     Type::Cspec(_) => {}
                     other => {
-                        return Err(serr(line, format!("compile() requires a cspec, got {other}")))
+                        return Err(serr(
+                            line,
+                            format!("compile() requires a cspec, got {other}"),
+                        ))
                     }
                 }
-                let sig = FuncSig { ret: ty.clone(), params: vec![] };
+                let sig = FuncSig {
+                    ret: ty.clone(),
+                    params: vec![],
+                };
                 e.ty = Type::Ptr(Box::new(Type::Func(Box::new(sig))));
             }
             ExprKind::LocalForm(ty) => {
@@ -882,7 +931,12 @@ impl Sema {
         Ok((self.prog.ticks.len() - 1, eval_ty))
     }
 
-    fn check_unary(&mut self, op: UnaryOp, inner: &mut Expr, line: u32) -> Result<Type, FrontError> {
+    fn check_unary(
+        &mut self,
+        op: UnaryOp,
+        inner: &mut Expr,
+        line: u32,
+    ) -> Result<Type, FrontError> {
         match op {
             UnaryOp::Neg => {
                 if !inner.ty.is_arith() {
@@ -1017,7 +1071,11 @@ impl Sema {
             if sig.params.len() != args.len() {
                 return Err(serr(
                     line,
-                    format!("expected {} arguments, got {}", sig.params.len(), args.len()),
+                    format!(
+                        "expected {} arguments, got {}",
+                        sig.params.len(),
+                        args.len()
+                    ),
                 ));
             }
             for (p, a) in sig.params.iter().zip(args.iter()) {
@@ -1025,7 +1083,10 @@ impl Sema {
             }
         }
         if args.len() > 6 {
-            return Err(serr(line, "more than 6 arguments are not supported by this ABI"));
+            return Err(serr(
+                line,
+                "more than 6 arguments are not supported by this ABI",
+            ));
         }
         Ok(sig.ret)
     }
@@ -1173,12 +1234,16 @@ fn const_fold(e: &Expr) -> Option<Expr> {
     match &e.kind {
         ExprKind::IntLit(_) | ExprKind::FloatLit(_) => Some(e.clone()),
         ExprKind::Un(UnaryOp::Neg, inner) => match const_fold(inner)?.kind {
-            ExprKind::IntLit(v) => {
-                Some(Expr { kind: ExprKind::IntLit(-v), ty: e.ty.clone(), line: e.line })
-            }
-            ExprKind::FloatLit(v) => {
-                Some(Expr { kind: ExprKind::FloatLit(-v), ty: e.ty.clone(), line: e.line })
-            }
+            ExprKind::IntLit(v) => Some(Expr {
+                kind: ExprKind::IntLit(-v),
+                ty: e.ty.clone(),
+                line: e.line,
+            }),
+            ExprKind::FloatLit(v) => Some(Expr {
+                kind: ExprKind::FloatLit(-v),
+                ty: e.ty.clone(),
+                line: e.line,
+            }),
             _ => None,
         },
         ExprKind::Cast(_, inner) => const_fold(inner),
@@ -1192,15 +1257,34 @@ fn is_scalar(t: &Type) -> bool {
 
 fn builtin_ty(b: Builtin) -> Type {
     let sig = match b {
-        Builtin::Puts => FuncSig { ret: Type::Void, params: vec![Type::Ptr(Box::new(Type::Char))] },
-        Builtin::Puti => FuncSig { ret: Type::Void, params: vec![Type::Int] },
-        Builtin::Putd => FuncSig { ret: Type::Void, params: vec![Type::Double] },
-        Builtin::Putchar => FuncSig { ret: Type::Void, params: vec![Type::Int] },
-        Builtin::Printf => FuncSig { ret: Type::Void, params: vec![] },
-        Builtin::Malloc => {
-            FuncSig { ret: Type::Ptr(Box::new(Type::Void)), params: vec![Type::Long] }
-        }
-        Builtin::Abort => FuncSig { ret: Type::Void, params: vec![] },
+        Builtin::Puts => FuncSig {
+            ret: Type::Void,
+            params: vec![Type::Ptr(Box::new(Type::Char))],
+        },
+        Builtin::Puti => FuncSig {
+            ret: Type::Void,
+            params: vec![Type::Int],
+        },
+        Builtin::Putd => FuncSig {
+            ret: Type::Void,
+            params: vec![Type::Double],
+        },
+        Builtin::Putchar => FuncSig {
+            ret: Type::Void,
+            params: vec![Type::Int],
+        },
+        Builtin::Printf => FuncSig {
+            ret: Type::Void,
+            params: vec![],
+        },
+        Builtin::Malloc => FuncSig {
+            ret: Type::Ptr(Box::new(Type::Void)),
+            params: vec![Type::Long],
+        },
+        Builtin::Abort => FuncSig {
+            ret: Type::Void,
+            params: vec![],
+        },
     };
     Type::Func(Box::new(sig))
 }

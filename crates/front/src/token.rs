@@ -27,28 +27,89 @@ pub enum Tok {
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 #[allow(missing_docs)]
 pub enum Kw {
-    Void, Char, Short, Int, Long, Unsigned, Signed, Float, Double,
-    Struct, Return, If, Else, While, Do, For, Break, Continue,
-    Switch, Case, Default, Goto, Sizeof,
+    Void,
+    Char,
+    Short,
+    Int,
+    Long,
+    Unsigned,
+    Signed,
+    Float,
+    Double,
+    Struct,
+    Return,
+    If,
+    Else,
+    While,
+    Do,
+    For,
+    Break,
+    Continue,
+    Switch,
+    Case,
+    Default,
+    Goto,
+    Sizeof,
     // `C extensions
-    Cspec, Vspec, Compile, Local, Param,
+    Cspec,
+    Vspec,
+    Compile,
+    Local,
+    Param,
 }
 
 /// Punctuation and operators.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 #[allow(missing_docs)]
 pub enum P {
-    LBrace, RBrace, LParen, RParen, LBracket, RBracket,
-    Semi, Comma, Dot, Arrow, Question, Colon,
-    Inc, Dec,
-    Plus, Minus, Star, Slash, Percent,
-    Amp, Pipe, Caret, Tilde, Bang,
-    Shl, Shr,
-    Lt, Gt, Le, Ge, EqEq, Ne,
-    AmpAmp, PipePipe,
-    Assign, PlusEq, MinusEq, StarEq, SlashEq, PercentEq,
-    ShlEq, ShrEq, AmpEq, PipeEq, CaretEq,
-    Backquote, Dollar, At,
+    LBrace,
+    RBrace,
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Semi,
+    Comma,
+    Dot,
+    Arrow,
+    Question,
+    Colon,
+    Inc,
+    Dec,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Amp,
+    Pipe,
+    Caret,
+    Tilde,
+    Bang,
+    Shl,
+    Shr,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    EqEq,
+    Ne,
+    AmpAmp,
+    PipePipe,
+    Assign,
+    PlusEq,
+    MinusEq,
+    StarEq,
+    SlashEq,
+    PercentEq,
+    ShlEq,
+    ShrEq,
+    AmpEq,
+    PipeEq,
+    CaretEq,
+    Backquote,
+    Dollar,
+    At,
 }
 
 impl fmt::Display for Tok {

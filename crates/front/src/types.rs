@@ -87,12 +87,21 @@ impl StructDef {
             let a = ty.align(structs);
             let s = ty.size(structs);
             off = (off + a - 1) & !(a - 1);
-            out.push(Field { name: fname, ty, offset: off });
+            out.push(Field {
+                name: fname,
+                ty,
+                offset: off,
+            });
             off += s;
             align = align.max(a);
         }
         let size = (off + align - 1) & !(align - 1);
-        StructDef { name, fields: out, size: size.max(1), align }
+        StructDef {
+            name,
+            fields: out,
+            size: size.max(1),
+            align,
+        }
     }
 
     /// Finds a field by name.

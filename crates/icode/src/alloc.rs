@@ -45,22 +45,23 @@ pub struct Assignment {
 impl Assignment {
     /// Creates an empty assignment for `nv` virtual registers.
     pub fn new(nv: usize) -> Assignment {
-        Assignment { locs: vec![None; nv], ..Assignment::default() }
+        Assignment {
+            locs: vec![None; nv],
+            ..Assignment::default()
+        }
     }
 
     /// Records `loc` for `v`.
     pub fn set(&mut self, v: VReg, loc: AllocLoc) {
         self.locs[v.0 as usize] = Some(loc);
         match loc {
-            AllocLoc::R(r) if SAVED_REGS.contains(&r) => {
-                if !self.used_callee_saved.contains(&r) {
-                    self.used_callee_saved.push(r);
-                }
+            AllocLoc::R(r) if SAVED_REGS.contains(&r) && !self.used_callee_saved.contains(&r) => {
+                self.used_callee_saved.push(r);
             }
-            AllocLoc::F(f) if FSAVED_REGS.contains(&f) => {
-                if !self.used_callee_saved_f.contains(&f) {
-                    self.used_callee_saved_f.push(f);
-                }
+            AllocLoc::F(f)
+                if FSAVED_REGS.contains(&f) && !self.used_callee_saved_f.contains(&f) =>
+            {
+                self.used_callee_saved_f.push(f);
             }
             AllocLoc::Slot(_) | AllocLoc::FSlot(_) => self.spilled += 1,
             _ => {}

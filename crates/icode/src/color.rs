@@ -142,14 +142,15 @@ pub fn graph_color(
             c.extend(pools.int_callee.iter().map(|&r| AllocLoc::R(r)));
             c
         };
-        let taken: Vec<AllocLoc> = adj[v]
-            .iter()
-            .filter_map(|n| asn.locs[n])
-            .collect();
+        let taken: Vec<AllocLoc> = adj[v].iter().filter_map(|n| asn.locs[n]).collect();
         match candidates.into_iter().find(|c| !taken.contains(c)) {
             Some(reg) => asn.set(VReg(v as u32), reg),
             None => {
-                let slot = if float { asn.new_fslot() } else { asn.new_slot() };
+                let slot = if float {
+                    asn.new_fslot()
+                } else {
+                    asn.new_slot()
+                };
                 asn.set(VReg(v as u32), slot);
             }
         }

@@ -36,40 +36,11 @@ pub enum Strategy {
 }
 
 /// Per-phase wall-clock nanoseconds (the Figure 7 breakdown).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct Phases {
-    /// IR cleanup (DCE, jump threading).
-    pub peephole_ns: u64,
-    /// Flow graph construction.
-    pub flow_ns: u64,
-    /// Live-variable relaxation.
-    pub liveness_ns: u64,
-    /// Live interval construction.
-    pub intervals_ns: u64,
-    /// Register allocation proper.
-    pub alloc_ns: u64,
-    /// Translation to binary.
-    pub emit_ns: u64,
-}
-
-impl Phases {
-    /// Total nanoseconds across phases.
-    pub fn total_ns(&self) -> u64 {
-        self.peephole_ns
-            + self.flow_ns
-            + self.liveness_ns
-            + self.intervals_ns
-            + self.alloc_ns
-            + self.emit_ns
-    }
-
-    /// Fraction of time in liveness + intervals + allocation ("register
-    /// allocation and related operations", the paper's 70-80% claim).
-    pub fn alloc_fraction(&self) -> f64 {
-        let a = self.liveness_ns + self.intervals_ns + self.alloc_ns;
-        a as f64 / self.total_ns().max(1) as f64
-    }
-}
+///
+/// The definition lives in the observability crate so the runtime and
+/// the suite can accumulate it without depending on ICODE internals;
+/// this alias keeps the historical `tcc_icode::Phases` name working.
+pub use tcc_obs::CodegenPhases as Phases;
 
 /// Result of one ICODE compilation.
 #[derive(Clone, Debug)]
@@ -252,8 +223,10 @@ mod tests {
         let c = IcodeCompiler::default();
         let r = c.compile(&mut code, "sum", b);
         let mut code2 = CodeSpace::new();
-        let mut c2 = IcodeCompiler::default();
-        c2.run_peephole = false;
+        let c2 = IcodeCompiler {
+            run_peephole: false,
+            ..IcodeCompiler::default()
+        };
         let b2 = {
             let mut b = sum_to_n_buf();
             let dead = b.temp(ValKind::W);

@@ -44,8 +44,11 @@ pub fn emit(
         vc.fb.use_callee_saved_f(f);
     }
     // Materialize frame blocks (addressable locals) and spill slots.
-    let block_off: Vec<i32> =
-        buf.frame_blocks.iter().map(|&size| vc.fb.alloc_block(size)).collect();
+    let block_off: Vec<i32> = buf
+        .frame_blocks
+        .iter()
+        .map(|&size| vc.fb.alloc_block(size))
+        .collect();
     let slot_off: Vec<i32> = (0..asn.num_slots).map(|_| vc.fb.alloc_slot()).collect();
     let fslot_off: Vec<i32> = (0..asn.num_fslots).map(|_| vc.fb.alloc_slot()).collect();
     let loc_of = |v: VReg| -> Loc {
@@ -65,7 +68,14 @@ pub fn emit(
             table.supports(insn),
             "pruned translator table lacks an entry for {insn:?}"
         );
-        translate_one(&mut vc, insn, &loc_of, &labels, &block_off, &mut pending_args);
+        translate_one(
+            &mut vc,
+            insn,
+            &loc_of,
+            &labels,
+            &block_off,
+            &mut pending_args,
+        );
     }
     vc.finish()
 }
@@ -137,7 +147,12 @@ fn translate_one(
         }
         IOp::FrameAddr => {
             let off = block_off[insn.imm as usize];
-            vc.addi(ValKind::P, loc_of(insn.dst), Loc::R(tcc_vm::regs::FP), off as i64);
+            vc.addi(
+                ValKind::P,
+                loc_of(insn.dst),
+                Loc::R(tcc_vm::regs::FP),
+                off as i64,
+            );
         }
         IOp::LoopBegin | IOp::LoopEnd => {}
     }

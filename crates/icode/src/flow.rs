@@ -59,12 +59,17 @@ impl FlowGraph {
         let mut blocks = Vec::new();
         let mut block_of = vec![0usize; n];
         let mut start = 0usize;
+        // The sentinel iteration (i == n) closes the final block, so this
+        // cannot simply iterate over `leader`.
+        #[allow(clippy::needless_range_loop)]
         for i in 0..=n {
             if i == n || (i > start && leader[i]) {
-                blocks.push(Block { start, end: i, succs: Vec::new() });
-                for s in start..i {
-                    block_of[s] = blocks.len() - 1;
-                }
+                blocks.push(Block {
+                    start,
+                    end: i,
+                    succs: Vec::new(),
+                });
+                block_of[start..i].fill(blocks.len() - 1);
                 start = i;
                 if i == n {
                     break;
@@ -72,7 +77,11 @@ impl FlowGraph {
             }
         }
         if n == 0 {
-            blocks.push(Block { start: 0, end: 0, succs: Vec::new() });
+            blocks.push(Block {
+                start: 0,
+                end: 0,
+                succs: Vec::new(),
+            });
         }
         // Pass 3: successor edges.
         let block_of_label = |l: i64| -> usize {
@@ -81,11 +90,11 @@ impl FlowGraph {
             block_of[pos]
         };
         let nblocks = blocks.len();
-        for bi in 0..nblocks {
-            let (bstart, bend) = (blocks[bi].start, blocks[bi].end);
+        for (bi, block) in blocks.iter_mut().enumerate() {
+            let (bstart, bend) = (block.start, block.end);
             if bstart == bend {
                 if bi + 1 < nblocks {
-                    blocks[bi].succs.push(bi + 1);
+                    block.succs.push(bi + 1);
                 }
                 continue;
             }
@@ -106,7 +115,7 @@ impl FlowGraph {
                     }
                 }
             }
-            blocks[bi].succs = succs;
+            block.succs = succs;
         }
         FlowGraph { blocks, block_of }
     }

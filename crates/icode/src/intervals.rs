@@ -164,7 +164,7 @@ mod tests {
         let ivs = intervals_of(&b);
         let is_ = ivs.iter().find(|i| i.vreg == s).unwrap();
         // s must be live across the whole loop body.
-        assert!(is_.start <= 0 + 0); // defined at 0
+        assert_eq!(is_.start, 0); // defined at 0
         assert!(is_.end >= 6);
     }
 
@@ -199,7 +199,10 @@ mod tests {
         let ivs = intervals_of(&b);
         let wc = ivs.iter().find(|i| i.vreg == cold).unwrap().weight;
         let wh = ivs.iter().find(|i| i.vreg == hot).unwrap().weight;
-        assert!(wh > wc, "loop-resident register should weigh more: {wh} vs {wc}");
+        assert!(
+            wh > wc,
+            "loop-resident register should weigh more: {wh} vs {wc}"
+        );
     }
 
     #[test]

@@ -223,7 +223,14 @@ impl CodeSink for IcodeBuf {
 
     fn li(&mut self, dst: VReg, v: i64) {
         let k = self.kind_of(dst);
-        self.push(IInsn { op: IOp::Li, k, dst, a: VReg::NONE, b: VReg::NONE, imm: v });
+        self.push(IInsn {
+            op: IOp::Li,
+            k,
+            dst,
+            a: VReg::NONE,
+            b: VReg::NONE,
+            imm: v,
+        });
     }
 
     fn lif(&mut self, dst: VReg, v: f64) {
@@ -238,15 +245,36 @@ impl CodeSink for IcodeBuf {
     }
 
     fn bin(&mut self, op: BinOp, k: ValKind, dst: VReg, a: VReg, b: VReg) {
-        self.push(IInsn { op: IOp::Bin(op), k, dst, a, b, imm: 0 });
+        self.push(IInsn {
+            op: IOp::Bin(op),
+            k,
+            dst,
+            a,
+            b,
+            imm: 0,
+        });
     }
 
     fn bin_imm(&mut self, op: BinOp, k: ValKind, dst: VReg, a: VReg, imm: i64) {
-        self.push(IInsn { op: IOp::BinImm(op), k, dst, a, b: VReg::NONE, imm });
+        self.push(IInsn {
+            op: IOp::BinImm(op),
+            k,
+            dst,
+            a,
+            b: VReg::NONE,
+            imm,
+        });
     }
 
     fn un(&mut self, op: UnOp, k: ValKind, dst: VReg, a: VReg) {
-        self.push(IInsn { op: IOp::Un(op), k, dst, a, b: VReg::NONE, imm: 0 });
+        self.push(IInsn {
+            op: IOp::Un(op),
+            k,
+            dst,
+            a,
+            b: VReg::NONE,
+            imm: 0,
+        });
     }
 
     fn load(&mut self, lk: LoadKind, dst: VReg, base: VReg, off: i64) {
@@ -299,12 +327,26 @@ impl CodeSink for IcodeBuf {
     }
 
     fn br_cmp(&mut self, op: BinOp, k: ValKind, a: VReg, b: VReg, l: LblId) {
-        self.push(IInsn { op: IOp::BrCmp(op), k, dst: VReg::NONE, a, b, imm: l.0 as i64 });
+        self.push(IInsn {
+            op: IOp::BrCmp(op),
+            k,
+            dst: VReg::NONE,
+            a,
+            b,
+            imm: l.0 as i64,
+        });
     }
 
     fn br_true(&mut self, a: VReg, l: LblId) {
         let k = self.kind_of(a);
-        self.push(IInsn { op: IOp::BrTrue, k, dst: VReg::NONE, a, b: VReg::NONE, imm: l.0 as i64 });
+        self.push(IInsn {
+            op: IOp::BrTrue,
+            k,
+            dst: VReg::NONE,
+            a,
+            b: VReg::NONE,
+            imm: l.0 as i64,
+        });
     }
 
     fn br_false(&mut self, a: VReg, l: LblId) {
@@ -322,23 +364,51 @@ impl CodeSink for IcodeBuf {
     fn call_addr(&mut self, addr: u64, args: &[(ValKind, VReg)], ret: Option<(ValKind, VReg)>) {
         self.push_args(args);
         let (k, dst) = ret.map_or((ValKind::W, VReg::NONE), |(k, v)| (k, v));
-        self.push(IInsn { op: IOp::CallAddr, k, dst, a: VReg::NONE, b: VReg::NONE, imm: addr as i64 });
+        self.push(IInsn {
+            op: IOp::CallAddr,
+            k,
+            dst,
+            a: VReg::NONE,
+            b: VReg::NONE,
+            imm: addr as i64,
+        });
     }
 
     fn call_ind(&mut self, target: VReg, args: &[(ValKind, VReg)], ret: Option<(ValKind, VReg)>) {
         self.push_args(args);
         let (k, dst) = ret.map_or((ValKind::W, VReg::NONE), |(k, v)| (k, v));
-        self.push(IInsn { op: IOp::CallInd, k, dst, a: target, b: VReg::NONE, imm: 0 });
+        self.push(IInsn {
+            op: IOp::CallInd,
+            k,
+            dst,
+            a: target,
+            b: VReg::NONE,
+            imm: 0,
+        });
     }
 
     fn hcall(&mut self, num: u32, args: &[(ValKind, VReg)], ret: Option<(ValKind, VReg)>) {
         self.push_args(args);
         let (k, dst) = ret.map_or((ValKind::W, VReg::NONE), |(k, v)| (k, v));
-        self.push(IInsn { op: IOp::Hcall, k, dst, a: VReg::NONE, b: VReg::NONE, imm: num as i64 });
+        self.push(IInsn {
+            op: IOp::Hcall,
+            k,
+            dst,
+            a: VReg::NONE,
+            b: VReg::NONE,
+            imm: num as i64,
+        });
     }
 
     fn ret_val(&mut self, k: ValKind, v: VReg) {
-        self.push(IInsn { op: IOp::Ret, k, dst: VReg::NONE, a: v, b: VReg::NONE, imm: 0 });
+        self.push(IInsn {
+            op: IOp::Ret,
+            k,
+            dst: VReg::NONE,
+            a: v,
+            b: VReg::NONE,
+            imm: 0,
+        });
     }
 
     fn ret_void(&mut self) {
@@ -390,7 +460,14 @@ impl IcodeBuf {
                 ni += 1;
                 ni - 1
             };
-            self.push(IInsn { op: IOp::Arg(pos), k, dst: VReg::NONE, a: v, b: VReg::NONE, imm: 0 });
+            self.push(IInsn {
+                op: IOp::Arg(pos),
+                k,
+                dst: VReg::NONE,
+                a: v,
+                b: VReg::NONE,
+                imm: 0,
+            });
         }
     }
 }
@@ -460,6 +537,9 @@ mod tests {
                 _ => None,
             })
             .collect();
-        assert_eq!(args, vec![(0, ValKind::W), (0, ValKind::F), (1, ValKind::W)]);
+        assert_eq!(
+            args,
+            vec![(0, ValKind::W), (0, ValKind::F), (1, ValKind::W)]
+        );
     }
 }

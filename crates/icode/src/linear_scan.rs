@@ -111,7 +111,11 @@ fn run_bank(intervals: &[Interval], asn: &mut Assignment, pools: &Pools, float: 
             }
             None => {
                 // "location[i] <- new stack location"
-                let slot = if float { asn.new_fslot() } else { asn.new_slot() };
+                let slot = if float {
+                    asn.new_fslot()
+                } else {
+                    asn.new_slot()
+                };
                 asn.set(iv.vreg, slot);
             }
         }
@@ -129,15 +133,20 @@ fn spill_longest(
     iv: &Interval,
     is_callee: impl Fn(Phys) -> bool,
 ) -> Option<Phys> {
+    // A victim's register is acceptable if it is callee-saved, or if
+    // neither interval crosses a call (never hand a caller-saved register
+    // taken from a non-crossing interval to one that crosses calls).
     let pos = active.iter().position(|&(j, reg)| {
-        intervals[j].start < iv.start && (!iv.crosses_call || is_callee(reg))
-            // Never hand a caller-saved register taken from a non-crossing
-            // interval to one that crosses calls; the converse is fine.
-            && !(intervals[j].crosses_call && !is_callee(reg))
+        intervals[j].start < iv.start
+            && (is_callee(reg) || (!iv.crosses_call && !intervals[j].crosses_call))
     })?;
     let (j, reg) = active.remove(pos);
     let victim = &intervals[j];
-    let slot = if victim.kind == ValKind::F { asn.new_fslot() } else { asn.new_slot() };
+    let slot = if victim.kind == ValKind::F {
+        asn.new_fslot()
+    } else {
+        asn.new_slot()
+    };
     asn.set(victim.vreg, slot);
     Some(reg)
 }
@@ -178,7 +187,14 @@ mod tests {
     use crate::ir::VReg;
 
     fn iv(v: u32, start: usize, end: usize) -> Interval {
-        Interval { vreg: VReg(v), kind: ValKind::W, start, end, crosses_call: false, weight: 1 }
+        Interval {
+            vreg: VReg(v),
+            kind: ValKind::W,
+            start,
+            end,
+            crosses_call: false,
+            weight: 1,
+        }
     }
 
     fn pools(n: usize) -> Pools {
@@ -238,7 +254,9 @@ mod tests {
         let mut ivs = Vec::new();
         let mut x: u64 = 0x12345;
         for v in 0..60u32 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let s = (x >> 33) as usize % 100;
             let e = s + 1 + (x >> 17) as usize % 40;
             let mut i = iv(v, s, e);

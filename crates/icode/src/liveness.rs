@@ -19,7 +19,9 @@ pub struct BitSet {
 impl BitSet {
     /// An empty set able to hold `n` elements.
     pub fn new(n: usize) -> BitSet {
-        BitSet { words: vec![0; n.div_ceil(64)] }
+        BitSet {
+            words: vec![0; n.div_ceil(64)],
+        }
     }
 
     /// Inserts `i`; returns true if it was newly inserted.
@@ -61,7 +63,9 @@ impl BitSet {
     /// Iterates over members.
     pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
         self.words.iter().enumerate().flat_map(|(wi, &w)| {
-            (0..64).filter(move |b| w & (1 << b) != 0).map(move |b| wi * 64 + b)
+            (0..64)
+                .filter(move |b| w & (1 << b) != 0)
+                .map(move |b| wi * 64 + b)
         })
     }
 
@@ -124,7 +128,12 @@ impl Liveness {
                 live_out[bi] = out;
             }
         }
-        Liveness { live_in, live_out, use_set, def_set }
+        Liveness {
+            live_in,
+            live_out,
+            use_set,
+            def_set,
+        }
     }
 }
 
@@ -164,10 +173,21 @@ mod tests {
         let fg = FlowGraph::build(&b);
         let lv = Liveness::solve(&b, &fg);
         // Find the loop block (the one with a self edge).
-        let loop_bi = (0..fg.len()).find(|&bi| fg.blocks[bi].succs.contains(&bi)).unwrap();
-        assert!(lv.live_in[loop_bi].contains(s.0 as usize), "s live into loop");
-        assert!(lv.live_in[loop_bi].contains(x.0 as usize), "x live into loop");
-        assert!(lv.live_out[loop_bi].contains(s.0 as usize), "s live out of loop");
+        let loop_bi = (0..fg.len())
+            .find(|&bi| fg.blocks[bi].succs.contains(&bi))
+            .unwrap();
+        assert!(
+            lv.live_in[loop_bi].contains(s.0 as usize),
+            "s live into loop"
+        );
+        assert!(
+            lv.live_in[loop_bi].contains(x.0 as usize),
+            "x live into loop"
+        );
+        assert!(
+            lv.live_out[loop_bi].contains(s.0 as usize),
+            "s live out of loop"
+        );
     }
 
     #[test]

@@ -57,14 +57,18 @@ pub fn key_of(insn: &IInsn) -> OpKey {
         IOp::LoopBegin | IOp::LoopEnd => (18, 0),
         IOp::FrameAddr => (19, 0),
     };
-    OpKey { cat, sub, kind: insn.k.code() }
+    OpKey {
+        cat,
+        sub,
+        kind: insn.k.code(),
+    }
 }
 
 fn bin_idx(b: BinOp) -> u8 {
     use BinOp::*;
     [
-        Add, Sub, Mul, Div, DivU, Rem, RemU, And, Or, Xor, Shl, Shr, ShrU, Eq, Ne, Lt, LtU,
-        Le, LeU, Gt, GtU, Ge, GeU,
+        Add, Sub, Mul, Div, DivU, Rem, RemU, And, Or, Xor, Shl, Shr, ShrU, Eq, Ne, Lt, LtU, Le,
+        LeU, Gt, GtU, Ge, GeU,
     ]
     .iter()
     .position(|&x| x == b)
@@ -89,7 +93,10 @@ fn load_idx(l: LoadKind) -> u8 {
 
 fn store_idx(s: StoreKind) -> u8 {
     use StoreKind::*;
-    [I8, I16, I32, I64, F64].iter().position(|&x| x == s).expect("enumerated") as u8
+    [I8, I16, I32, I64, F64]
+        .iter()
+        .position(|&x| x == s)
+        .expect("enumerated") as u8
 }
 
 /// A translator dispatch table (full or pruned).
@@ -113,7 +120,11 @@ impl TranslatorTable {
                     _ => 1,
                 };
                 for sub in 0..subs {
-                    keys.insert(OpKey { cat, sub, kind: kind.code() });
+                    keys.insert(OpKey {
+                        cat,
+                        sub,
+                        kind: kind.code(),
+                    });
                 }
             }
         }
@@ -123,14 +134,14 @@ impl TranslatorTable {
     /// The pruned table for a set of ICODE buffers (the "link-time"
     /// analysis runs over every dynamic code site in the program).
     pub fn pruned_for<'a>(bufs: impl IntoIterator<Item = &'a IcodeBuf>) -> TranslatorTable {
-        TranslatorTable::from_keys(
-            bufs.into_iter().flat_map(|b| b.insns.iter().map(key_of)),
-        )
+        TranslatorTable::from_keys(bufs.into_iter().flat_map(|b| b.insns.iter().map(key_of)))
     }
 
     /// A table containing exactly `keys`.
     pub fn from_keys(keys: impl IntoIterator<Item = OpKey>) -> TranslatorTable {
-        TranslatorTable { keys: keys.into_iter().collect() }
+        TranslatorTable {
+            keys: keys.into_iter().collect(),
+        }
     }
 
     /// Number of translator entries.

@@ -64,7 +64,9 @@ fn reference(steps: &[Step], p0: i32, p1: i32) -> Option<i32> {
     // pressure, forcing spills in every back end).
     let mut acc: i64 = 0;
     for v in &vals {
-        acc = BinOp::Add.eval_int(ValKind::W, acc, *v).expect("add never fails");
+        acc = BinOp::Add
+            .eval_int(ValKind::W, acc, *v)
+            .expect("add never fails");
     }
     Some(acc as i32)
 }
@@ -114,7 +116,8 @@ fn run_icode(steps: &[Step], strategy: Alloc, pools: Pools, p0: i32, p1: i32) ->
     c.run_peephole = false;
     let r = c.compile(&mut code, "prog", buf);
     let mut vm = Vm::new(code, 1 << 20);
-    vm.call(r.func.addr, &[p0 as i64 as u64, p1 as i64 as u64]).expect("runs") as i32
+    vm.call(r.func.addr, &[p0 as i64 as u64, p1 as i64 as u64])
+        .expect("runs") as i32
 }
 
 fn run_vcode(steps: &[Step], p0: i32, p1: i32) -> i32 {
@@ -123,7 +126,8 @@ fn run_vcode(steps: &[Step], p0: i32, p1: i32) -> i32 {
     build(&mut vc, steps);
     let f = vc.finish();
     let mut vm = Vm::new(code, 1 << 20);
-    vm.call(f.addr, &[p0 as i64 as u64, p1 as i64 as u64]).expect("runs") as i32
+    vm.call(f.addr, &[p0 as i64 as u64, p1 as i64 as u64])
+        .expect("runs") as i32
 }
 
 /// Shift amounts in reference already normalized; division by zero steps
@@ -218,7 +222,11 @@ fn loop_program_agrees_across_backends() {
         let mut code = CodeSpace::new();
         let r = IcodeCompiler::new(strategy).compile(&mut code, "loop", buf);
         let mut vm = Vm::new(code, 1 << 20);
-        assert_eq!(vm.call(r.func.addr, &[250, 3]).unwrap() as i64, expect, "{strategy:?}");
+        assert_eq!(
+            vm.call(r.func.addr, &[250, 3]).unwrap() as i64,
+            expect,
+            "{strategy:?}"
+        );
     }
 }
 

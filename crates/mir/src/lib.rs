@@ -52,7 +52,8 @@ mod tests {
         let prog = tcc_front::compile_unit(src).expect("compiles");
         let img = build_image(&prog, opt, 1 << 22).expect("links");
         let mut vm = Vm::from_parts(img.code.clone(), img.mem.clone(), NoHost);
-        vm.call(img.addr_of(func).expect("function exists"), args).expect("runs")
+        vm.call(img.addr_of(func).expect("function exists"), args)
+            .expect("runs")
     }
 
     fn run_both(src: &str, func: &str, args: &[u64]) -> u64 {
@@ -283,7 +284,7 @@ mod tests {
             }
         "#;
         assert_eq!(run_both(src, "f", &[3, 9]), 9 * 1000 + 100 + 10 + 1);
-        assert_eq!(run_both(src, "f", &[0, 9]), 9 * 1000 + 0 + 10 + 1);
+        assert_eq!(run_both(src, "f", &[0, 9]), (9 * 1000) + 10 + 1);
     }
 
     #[test]

@@ -69,7 +69,9 @@ impl LinkEnv for Env {
             .alloc(bytes.len() as u64 + 1, 1)
             .expect("string space");
         self.mem.write_bytes(a, bytes).expect("in range");
-        self.mem.store_u8(a + bytes.len() as u64, 0).expect("in range");
+        self.mem
+            .store_u8(a + bytes.len() as u64, 0)
+            .expect("in range");
         self.strings.insert(bytes.to_vec(), a);
         a
     }
@@ -100,7 +102,12 @@ pub fn build_image(prog: &Program, opt: OptLevel, mem_size: usize) -> Result<Ima
     // Function table.
     let fn_table = mem.alloc(8 * prog.funcs.len().max(1) as u64, 8)?;
 
-    let mut env = Env { global_addrs, fn_table, strings: HashMap::new(), mem };
+    let mut env = Env {
+        global_addrs,
+        fn_table,
+        strings: HashMap::new(),
+        mem,
+    };
 
     // Write global initializers (after env so strings can intern).
     for (g, addr) in prog.globals.iter().zip(env.global_addrs.clone()) {
@@ -157,7 +164,9 @@ fn write_init(
             Ok(())
         }
         (Type::Array(elem, _), Init::Expr(e)) if matches!(e.kind, ExprKind::StrLit(_)) => {
-            let ExprKind::StrLit(bytes) = &e.kind else { unreachable!() };
+            let ExprKind::StrLit(bytes) = &e.kind else {
+                unreachable!()
+            };
             debug_assert_eq!(**elem, Type::Char);
             env.mem.write_bytes(addr, bytes)?;
             env.mem.store_u8(addr + bytes.len() as u64, 0)

@@ -51,12 +51,7 @@ enum Place {
 }
 
 /// Lowers `func` (by index) of `prog` into an [`IcodeBuf`].
-pub fn lower_function(
-    prog: &Program,
-    fi: usize,
-    opt: OptLevel,
-    env: &mut dyn LinkEnv,
-) -> IcodeBuf {
+pub fn lower_function(prog: &Program, fi: usize, opt: OptLevel, env: &mut dyn LinkEnv) -> IcodeBuf {
     let func = &prog.funcs[fi];
     let mut lw = Lower {
         prog,
@@ -426,7 +421,11 @@ impl<'a> Lower<'a> {
                 ) =>
             {
                 let common = a.ty.decay().is_arith() && b.ty.decay().is_arith();
-                let ty = if common { a.ty.usual_arith(&b.ty) } else { a.ty.decay() };
+                let ty = if common {
+                    a.ty.usual_arith(&b.ty)
+                } else {
+                    a.ty.decay()
+                };
                 let va = self.rvalue(a);
                 let va = self.coerce(va, &a.ty, &ty);
                 let vb = self.rvalue(b);
@@ -483,7 +482,11 @@ impl<'a> Lower<'a> {
                 let b = *b;
                 let addr = self.buf.vreg(ValKind::P);
                 self.buf.frame_addr(addr, b);
-                Place::Mem { addr, off: 0, ty: ty.clone() }
+                Place::Mem {
+                    addr,
+                    off: 0,
+                    ty: ty.clone(),
+                }
             }
         }
     }
@@ -495,11 +498,19 @@ impl<'a> Lower<'a> {
                 let addr = self.buf.vreg(ValKind::P);
                 let a = self.env.global_addr(*g);
                 self.buf.li(addr, a as i64);
-                Place::Mem { addr, off: 0, ty: e.ty.clone() }
+                Place::Mem {
+                    addr,
+                    off: 0,
+                    ty: e.ty.clone(),
+                }
             }
             ExprKind::Un(UnaryOp::Deref, inner) => {
                 let addr = self.rvalue(inner);
-                Place::Mem { addr, off: 0, ty: e.ty.clone() }
+                Place::Mem {
+                    addr,
+                    off: 0,
+                    ty: e.ty.clone(),
+                }
             }
             ExprKind::Index(base, idx) => {
                 let bt = base.ty.decay();
@@ -510,7 +521,11 @@ impl<'a> Lower<'a> {
                 let size = elem.size(self.structs()) as i64;
                 let bv = self.rvalue(base);
                 if let ExprKind::IntLit(c) = idx.kind {
-                    return Place::Mem { addr: bv, off: c * size, ty: e.ty.clone() };
+                    return Place::Mem {
+                        addr: bv,
+                        off: c * size,
+                        ty: e.ty.clone(),
+                    };
                 }
                 let iv = self.rvalue(idx);
                 let iv = self.coerce(iv, &idx.ty, &Type::Long);
@@ -518,12 +533,20 @@ impl<'a> Lower<'a> {
                 self.buf.bin_imm(BinOp::Mul, ValKind::D, scaled, iv, size);
                 let addr = self.buf.vreg(ValKind::P);
                 self.buf.bin(BinOp::Add, ValKind::P, addr, bv, scaled);
-                Place::Mem { addr, off: 0, ty: e.ty.clone() }
+                Place::Mem {
+                    addr,
+                    off: 0,
+                    ty: e.ty.clone(),
+                }
             }
             ExprKind::Member(base, _, arrow, offset) => {
                 if *arrow {
                     let bv = self.rvalue(base);
-                    Place::Mem { addr: bv, off: *offset as i64, ty: e.ty.clone() }
+                    Place::Mem {
+                        addr: bv,
+                        off: *offset as i64,
+                        ty: e.ty.clone(),
+                    }
                 } else {
                     match self.place(base) {
                         Place::Mem { addr, off, .. } => Place::Mem {
@@ -704,7 +727,9 @@ impl<'a> Lower<'a> {
             ExprKind::Un(UnaryOp::Deref, _) => {
                 if matches!(e.ty, Type::Func(_)) {
                     // *fp where fp is a function pointer: the value is fp.
-                    let ExprKind::Un(_, inner) = &e.kind else { unreachable!() };
+                    let ExprKind::Un(_, inner) = &e.kind else {
+                        unreachable!()
+                    };
                     return self.rvalue(inner);
                 }
                 let p = self.place(e);
@@ -725,7 +750,11 @@ impl<'a> Lower<'a> {
                 self.coerce(v, &inner.ty, ty)
             }
             ExprKind::Cond(c, t, f) => {
-                let k = if e.ty == Type::Void { ValKind::W } else { e.ty.kind() };
+                let k = if e.ty == Type::Void {
+                    ValKind::W
+                } else {
+                    e.ty.kind()
+                };
                 let d = self.buf.vreg(k);
                 let lf = self.buf.label();
                 let lend = self.buf.label();
@@ -751,7 +780,11 @@ impl<'a> Lower<'a> {
                 // Second argument: the declared return kind (255 = void),
                 // so the dynamic compiler knows what `return` must produce.
                 let kc = self.buf.vreg(ValKind::W);
-                let code = if *ty == Type::Void { 255 } else { ty.kind().code() as i64 };
+                let code = if *ty == Type::Void {
+                    255
+                } else {
+                    ty.kind().code() as i64
+                };
                 self.buf.li(kc, code);
                 let d = self.buf.vreg(ValKind::P);
                 self.buf.hcall(
@@ -765,7 +798,8 @@ impl<'a> Lower<'a> {
                 let kc = self.buf.vreg(ValKind::W);
                 self.buf.li(kc, ty.kind().code() as i64);
                 let d = self.buf.vreg(ValKind::P);
-                self.buf.hcall(hcalls::HC_LOCAL, &[(ValKind::W, kc)], Some((ValKind::P, d)));
+                self.buf
+                    .hcall(hcalls::HC_LOCAL, &[(ValKind::W, kc)], Some((ValKind::P, d)));
                 d
             }
             ExprKind::ParamForm(ty, idx) => {
@@ -782,13 +816,15 @@ impl<'a> Lower<'a> {
             }
             ExprKind::LabelForm => {
                 let d = self.buf.vreg(ValKind::P);
-                self.buf.hcall(hcalls::HC_LABEL_OBJ, &[], Some((ValKind::P, d)));
+                self.buf
+                    .hcall(hcalls::HC_LABEL_OBJ, &[], Some((ValKind::P, d)));
                 d
             }
             ExprKind::JumpForm(_) => panic!("sema restricts jump() to tick bodies"),
             ExprKind::ArglistNew => {
                 let d = self.buf.vreg(ValKind::P);
-                self.buf.hcall(hcalls::HC_ARGLIST_NEW, &[], Some((ValKind::P, d)));
+                self.buf
+                    .hcall(hcalls::HC_ARGLIST_NEW, &[], Some((ValKind::P, d)));
                 d
             }
             ExprKind::ArglistPush(l, c) => {
@@ -831,7 +867,13 @@ impl<'a> Lower<'a> {
                 let z = self.buf.vreg(k);
                 self.buf.li(z, 0);
                 let d = self.buf.vreg(ValKind::W);
-                self.buf.bin(BinOp::Eq, if k == ValKind::F { ValKind::F } else { k }, d, v, z);
+                self.buf.bin(
+                    BinOp::Eq,
+                    if k == ValKind::F { ValKind::F } else { k },
+                    d,
+                    v,
+                    z,
+                );
                 d
             }
             UnaryOp::Addr => {
@@ -965,7 +1007,8 @@ impl<'a> Lower<'a> {
         if !cmp && common.kind() != ValKind::F {
             if let ExprKind::IntLit(c) = b.kind {
                 let d = self.buf.vreg(common.kind());
-                self.buf.bin_imm(machine_binop(op, &common), common.kind(), d, va, c);
+                self.buf
+                    .bin_imm(machine_binop(op, &common), common.kind(), d, va, c);
                 return d;
             }
         }
@@ -1034,17 +1077,25 @@ impl<'a> Lower<'a> {
                     let scaled = self.buf.vreg(ValKind::D);
                     self.buf.bin_imm(BinOp::Mul, ValKind::D, scaled, iv, elem);
                     let d = self.buf.vreg(ValKind::P);
-                    let mop = if *op == BinaryOp::Add { BinOp::Add } else { BinOp::Sub };
+                    let mop = if *op == BinaryOp::Add {
+                        BinOp::Add
+                    } else {
+                        BinOp::Sub
+                    };
                     self.buf.bin(mop, ValKind::P, d, cur, scaled);
                     d
                 } else {
-                    let common =
-                        if ta.is_arith() && tb.is_arith() { ta.usual_arith(&tb) } else { ta.clone() };
+                    let common = if ta.is_arith() && tb.is_arith() {
+                        ta.usual_arith(&tb)
+                    } else {
+                        ta.clone()
+                    };
                     let cv = self.coerce(cur, &ta, &common);
                     let d = self.buf.vreg(common.kind());
                     if common.kind() != ValKind::F {
                         if let ExprKind::IntLit(c) = rhs.kind {
-                            self.buf.bin_imm(machine_binop(*op, &common), common.kind(), d, cv, c);
+                            self.buf
+                                .bin_imm(machine_binop(*op, &common), common.kind(), d, cv, c);
                             let out = self.coerce(d, &common, &lhs.ty);
                             self.store_place(&p, out);
                             return self.load_place(&p);
@@ -1052,7 +1103,8 @@ impl<'a> Lower<'a> {
                     }
                     let rv = self.rvalue(rhs);
                     let rv = self.coerce(rv, &tb, &common);
-                    self.buf.bin(machine_binop(*op, &common), common.kind(), d, cv, rv);
+                    self.buf
+                        .bin(machine_binop(*op, &common), common.kind(), d, cv, rv);
                     self.coerce(d, &common, &lhs.ty)
                 }
             }
@@ -1123,7 +1175,11 @@ impl<'a> Lower<'a> {
                 let d = self.buf.vreg(ValKind::P);
                 let (_, v) = lowered[0];
                 let v2 = self.coerce(v, &args[0].ty, &Type::Long);
-                self.buf.hcall(hcalls::HC_MALLOC, &[(ValKind::D, v2)], Some((ValKind::P, d)));
+                self.buf.hcall(
+                    hcalls::HC_MALLOC,
+                    &[(ValKind::D, v2)],
+                    Some((ValKind::P, d)),
+                );
                 return d;
             }
         }
@@ -1138,8 +1194,11 @@ impl<'a> Lower<'a> {
         let sz = self.buf.vreg(ValKind::D);
         self.buf.li(sz, size);
         let clo = self.buf.vreg(ValKind::P);
-        self.buf
-            .hcall(hcalls::HC_ALLOC_CLOSURE, &[(ValKind::D, sz)], Some((ValKind::P, clo)));
+        self.buf.hcall(
+            hcalls::HC_ALLOC_CLOSURE,
+            &[(ValKind::D, sz)],
+            Some((ValKind::P, clo)),
+        );
         // Header word: the CGF index.
         let id = self.buf.vreg(ValKind::D);
         self.buf.li(id, tid as i64);

@@ -127,7 +127,10 @@ fn const_and_copy_prop(buf: &mut IcodeBuf) -> bool {
 
 fn imm_form_ok(op: BinOp) -> bool {
     use BinOp::*;
-    matches!(op, Add | Sub | Mul | Div | DivU | Rem | RemU | And | Or | Xor | Shl | Shr | ShrU)
+    matches!(
+        op,
+        Add | Sub | Mul | Div | DivU | Rem | RemU | And | Or | Xor | Shl | Shr | ShrU
+    )
 }
 
 /// Folds operations whose operands are all constants, and algebraic
@@ -148,7 +151,14 @@ fn fold(buf: &mut IcodeBuf) -> bool {
             IOp::BinImm(op) => {
                 if let Some(&a) = const_of.get(&i.a) {
                     if let Some(v) = op.eval_int(i.k, a, i.imm) {
-                        *i = IInsn { op: IOp::Li, k: i.k, dst: i.dst, a: VReg::NONE, b: VReg::NONE, imm: v };
+                        *i = IInsn {
+                            op: IOp::Li,
+                            k: i.k,
+                            dst: i.dst,
+                            a: VReg::NONE,
+                            b: VReg::NONE,
+                            imm: v,
+                        };
                         changed = true;
                         continue;
                     }
@@ -178,7 +188,14 @@ fn fold(buf: &mut IcodeBuf) -> bool {
             IOp::Bin(op) => {
                 if let (Some(&a), Some(&b)) = (const_of.get(&i.a), const_of.get(&i.b)) {
                     if let Some(v) = op.eval_int(i.k, a, b) {
-                        *i = IInsn { op: IOp::Li, k: i.k, dst: i.dst, a: VReg::NONE, b: VReg::NONE, imm: v };
+                        *i = IInsn {
+                            op: IOp::Li,
+                            k: i.k,
+                            dst: i.dst,
+                            a: VReg::NONE,
+                            b: VReg::NONE,
+                            imm: v,
+                        };
                         changed = true;
                     }
                 }
@@ -205,14 +222,25 @@ fn cse_local(buf: &mut IcodeBuf) -> bool {
     for idx in 0..n {
         let i = buf.insns[idx];
         // Block boundaries invalidate everything (labels are join points).
-        if matches!(i.op, IOp::Label | IOp::Jmp | IOp::BrCmp(_) | IOp::BrTrue | IOp::BrFalse | IOp::Ret)
-            || matches!(i.op, IOp::CallAddr | IOp::CallInd | IOp::Hcall)
+        if matches!(
+            i.op,
+            IOp::Label | IOp::Jmp | IOp::BrCmp(_) | IOp::BrTrue | IOp::BrFalse | IOp::Ret
+        ) || matches!(i.op, IOp::CallAddr | IOp::CallInd | IOp::Hcall)
         {
             avail.clear();
             continue;
         }
-        let pure = matches!(i.op, IOp::Bin(_) | IOp::BinImm(_) | IOp::Un(_) | IOp::FrameAddr);
-        let key = Key { op: i.op, k: i.k, a: i.a, b: i.b, imm: i.imm };
+        let pure = matches!(
+            i.op,
+            IOp::Bin(_) | IOp::BinImm(_) | IOp::Un(_) | IOp::FrameAddr
+        );
+        let key = Key {
+            op: i.op,
+            k: i.k,
+            a: i.a,
+            b: i.b,
+            imm: i.imm,
+        };
         let hit = pure.then(|| avail.get(&key).copied()).flatten();
         if let Some(prev) = hit {
             // Replace with a move from the earlier value.
@@ -274,7 +302,11 @@ mod tests {
         b.bin(BinOp::Add, ValKind::W, d, c2, c2);
         b.ret_val(ValKind::W, d);
         optimize(&mut b);
-        let add = b.insns.iter().find(|i| matches!(i.op, IOp::Bin(BinOp::Add))).unwrap();
+        let add = b
+            .insns
+            .iter()
+            .find(|i| matches!(i.op, IOp::Bin(BinOp::Add)))
+            .unwrap();
         assert_eq!(add.a, p);
         assert_eq!(add.b, p);
         assert_eq!(b.insns.len(), 3); // getparam, add, ret
@@ -292,7 +324,11 @@ mod tests {
         b.bin(BinOp::Add, ValKind::W, s, t1, t2);
         b.ret_val(ValKind::W, s);
         optimize(&mut b);
-        let muls = b.insns.iter().filter(|i| matches!(i.op, IOp::Bin(BinOp::Mul))).count();
+        let muls = b
+            .insns
+            .iter()
+            .filter(|i| matches!(i.op, IOp::Bin(BinOp::Mul)))
+            .count();
         assert_eq!(muls, 1, "{:?}", b.insns);
     }
 
@@ -313,7 +349,11 @@ mod tests {
         let before = b.clone();
         optimize(&mut b);
         // Both adds must survive.
-        let adds = b.insns.iter().filter(|i| matches!(i.op, IOp::Bin(BinOp::Add))).count();
+        let adds = b
+            .insns
+            .iter()
+            .filter(|i| matches!(i.op, IOp::Bin(BinOp::Add)))
+            .count();
         assert_eq!(adds, 2, "before: {:?}\nafter: {:?}", before.insns, b.insns);
     }
 
@@ -328,7 +368,9 @@ mod tests {
         b.ret_val(ValKind::W, d);
         optimize(&mut b);
         assert!(
-            b.insns.iter().any(|i| matches!(i.op, IOp::BinImm(BinOp::Mul)) && i.imm == 8),
+            b.insns
+                .iter()
+                .any(|i| matches!(i.op, IOp::BinImm(BinOp::Mul)) && i.imm == 8),
             "{:?}",
             b.insns
         );

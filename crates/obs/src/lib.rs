@@ -1,0 +1,325 @@
+//! Unified observability for the tcc reproduction.
+//!
+//! Every layer of the pipeline reports into the types defined here:
+//!
+//! * the front end ([`FrontendMetrics`]: parse + semantic analysis),
+//! * static MIR lowering and linking ([`StaticMetrics`]),
+//! * dynamic compilation ([`DynMetrics`]: CGF walking, per-backend
+//!   codegen phases in [`CodegenPhases`], instruction/spill counters),
+//! * and the VM itself ([`VmMetrics`]: instructions retired, modeled
+//!   cycles, host-call traps).
+//!
+//! `Session::metrics()` in the facade crate assembles them into a
+//! [`SessionMetrics`], which renders to JSON via [`json::Json`] — the
+//! machine-readable substrate behind the suite's `BENCH_*.json` files
+//! (Table 1 and Figures 4-7 of the paper).
+//!
+//! This crate is a leaf: no dependencies, so every other crate in the
+//! workspace can report into it.
+
+pub mod json;
+
+use json::Json;
+
+/// Per-phase codegen time, in nanoseconds.
+///
+/// For the ICODE back end every field is meaningful (the paper's
+/// Figure 7 breakdown); the one-pass VCODE back end only populates
+/// `emit_ns` (walk time is tracked separately in [`DynMetrics`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CodegenPhases {
+    /// IR cleanup (DCE, jump threading).
+    pub peephole_ns: u64,
+    /// Flow graph construction.
+    pub flow_ns: u64,
+    /// Live-variable relaxation.
+    pub liveness_ns: u64,
+    /// Live interval construction.
+    pub intervals_ns: u64,
+    /// Register allocation proper.
+    pub alloc_ns: u64,
+    /// Translation to binary.
+    pub emit_ns: u64,
+}
+
+impl CodegenPhases {
+    /// Total nanoseconds across phases.
+    pub fn total_ns(&self) -> u64 {
+        self.peephole_ns
+            + self.flow_ns
+            + self.liveness_ns
+            + self.intervals_ns
+            + self.alloc_ns
+            + self.emit_ns
+    }
+
+    /// Fraction of time in liveness + intervals + allocation ("register
+    /// allocation and related operations", the paper's 70-80% claim).
+    pub fn alloc_fraction(&self) -> f64 {
+        let a = self.liveness_ns + self.intervals_ns + self.alloc_ns;
+        a as f64 / self.total_ns().max(1) as f64
+    }
+
+    /// Adds another breakdown into this one, phase by phase.
+    pub fn accumulate(&mut self, other: &CodegenPhases) {
+        self.peephole_ns += other.peephole_ns;
+        self.flow_ns += other.flow_ns;
+        self.liveness_ns += other.liveness_ns;
+        self.intervals_ns += other.intervals_ns;
+        self.alloc_ns += other.alloc_ns;
+        self.emit_ns += other.emit_ns;
+    }
+
+    /// `(phase name, nanoseconds)` pairs, in pipeline order.
+    pub fn entries(&self) -> [(&'static str, u64); 6] {
+        [
+            ("peephole_ns", self.peephole_ns),
+            ("flow_ns", self.flow_ns),
+            ("liveness_ns", self.liveness_ns),
+            ("intervals_ns", self.intervals_ns),
+            ("alloc_ns", self.alloc_ns),
+            ("emit_ns", self.emit_ns),
+        ]
+    }
+
+    /// JSON object with one field per phase plus the total.
+    pub fn to_json(&self) -> Json {
+        let mut fields: Vec<(String, Json)> = self
+            .entries()
+            .iter()
+            .map(|&(k, v)| (k.to_string(), Json::from(v)))
+            .collect();
+        fields.push(("total_ns".to_string(), Json::from(self.total_ns())));
+        Json::Obj(fields)
+    }
+}
+
+/// Accumulated dynamic-compilation statistics (the raw material for the
+/// paper's Table 1 and Figures 5-7).
+#[derive(Clone, Debug, Default)]
+pub struct DynMetrics {
+    /// Number of `compile` invocations.
+    pub compiles: u64,
+    /// Total wall-clock nanoseconds in `compile`.
+    pub total_ns: u64,
+    /// Nanoseconds spent walking CGFs (closure reads, partial
+    /// evaluation, and — for ICODE — building the IR).
+    pub walk_ns: u64,
+    /// Per-phase breakdown, accumulated (ICODE back end).
+    pub phases: CodegenPhases,
+    /// Machine instructions generated.
+    pub generated_insns: u64,
+    /// ICODE IR instructions recorded.
+    pub ir_insns: u64,
+    /// Spilled live intervals (ICODE).
+    pub spills: u64,
+    /// Closures traversed.
+    pub closures: u64,
+    /// Loop iterations unrolled at dynamic compile time.
+    pub unrolled_iters: u64,
+}
+
+impl DynMetrics {
+    /// Codegen nanoseconds per generated machine instruction — the
+    /// paper's central cost metric (Table 1 reports it in cycles; see
+    /// [`DynMetrics::cycles_per_generated_insn`]).
+    pub fn ns_per_generated_insn(&self) -> f64 {
+        self.total_ns as f64 / self.generated_insns.max(1) as f64
+    }
+
+    /// Codegen cost in cycles per generated instruction, given a
+    /// calibrated cycle time. The paper reports roughly 100 cycles per
+    /// instruction for VCODE and 300-800 for ICODE.
+    pub fn cycles_per_generated_insn(&self, ns_per_cycle: f64) -> f64 {
+        self.ns_per_generated_insn() / ns_per_cycle.max(f64::MIN_POSITIVE)
+    }
+
+    /// JSON object with raw counters plus the derived per-instruction
+    /// cost (in ns; callers with a calibrated clock add cycles).
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("compiles", Json::from(self.compiles)),
+            ("total_ns", Json::from(self.total_ns)),
+            ("walk_ns", Json::from(self.walk_ns)),
+            ("phases", self.phases.to_json()),
+            ("generated_insns", Json::from(self.generated_insns)),
+            ("ir_insns", Json::from(self.ir_insns)),
+            ("spills", Json::from(self.spills)),
+            ("closures", Json::from(self.closures)),
+            ("unrolled_iters", Json::from(self.unrolled_iters)),
+            (
+                "ns_per_generated_insn",
+                Json::from(self.ns_per_generated_insn()),
+            ),
+        ])
+    }
+}
+
+/// Front-end cost: parsing plus semantic analysis ("compile time" in
+/// the paper's static-compiler sense, minus code generation).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FrontendMetrics {
+    /// Nanoseconds in parse + semantic analysis of the `C unit.
+    pub parse_sema_ns: u64,
+    /// Source length, for normalization.
+    pub source_bytes: u64,
+}
+
+impl FrontendMetrics {
+    /// JSON object form.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("parse_sema_ns", Json::from(self.parse_sema_ns)),
+            ("source_bytes", Json::from(self.source_bytes)),
+        ])
+    }
+}
+
+/// Static compilation cost: MIR lowering, optimization, and linking
+/// into the executable image.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StaticMetrics {
+    /// Nanoseconds lowering MIR and linking the image.
+    pub lower_ns: u64,
+    /// Machine instructions in the static image.
+    pub static_insns: u64,
+}
+
+impl StaticMetrics {
+    /// JSON object form.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("lower_ns", Json::from(self.lower_ns)),
+            ("static_insns", Json::from(self.static_insns)),
+        ])
+    }
+}
+
+/// Execution counters from the VM.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct VmMetrics {
+    /// Instructions retired.
+    pub insns: u64,
+    /// Modeled cycles (per-opcode cost model).
+    pub cycles: u64,
+    /// Host-call traps taken (`compile`, output, allocation, ...).
+    pub hcalls: u64,
+}
+
+impl VmMetrics {
+    /// Modeled CPI — sanity signal for the cost model.
+    pub fn cycles_per_insn(&self) -> f64 {
+        self.cycles as f64 / self.insns.max(1) as f64
+    }
+
+    /// JSON object form.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("insns", Json::from(self.insns)),
+            ("cycles", Json::from(self.cycles)),
+            ("hcalls", Json::from(self.hcalls)),
+        ])
+    }
+}
+
+/// The unified per-phase breakdown for one session: everything from
+/// source text to retired instructions.
+#[derive(Clone, Debug, Default)]
+pub struct SessionMetrics {
+    /// Parse + semantic analysis.
+    pub frontend: FrontendMetrics,
+    /// Static MIR lowering and image linking.
+    pub static_compile: StaticMetrics,
+    /// Dynamic (run-time) compilation, accumulated over all `compile`
+    /// host calls.
+    pub dynamic: DynMetrics,
+    /// Execution counters.
+    pub vm: VmMetrics,
+}
+
+impl SessionMetrics {
+    /// Full JSON form — the per-session unit of the `BENCH_*.json`
+    /// reports.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("frontend", self.frontend.to_json()),
+            ("static", self.static_compile.to_json()),
+            ("dynamic", self.dynamic.to_json()),
+            ("vm", self.vm.to_json()),
+        ])
+    }
+}
+
+/// Break-even run count: after how many uses does paying `overhead`
+/// once beat losing `per_run_gain` every run? (The paper's Figure 5
+/// crossover.) `None` when the dynamic code is not actually faster.
+pub fn crossover_runs(overhead: f64, per_run_gain: f64) -> Option<f64> {
+    if per_run_gain > 0.0 {
+        Some(overhead / per_run_gain)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phases_total_and_accumulate() {
+        let mut a = CodegenPhases {
+            peephole_ns: 1,
+            flow_ns: 2,
+            liveness_ns: 3,
+            intervals_ns: 4,
+            alloc_ns: 5,
+            emit_ns: 6,
+        };
+        assert_eq!(a.total_ns(), 21);
+        let b = a;
+        a.accumulate(&b);
+        assert_eq!(a.total_ns(), 42);
+        assert_eq!(a.alloc_ns, 10);
+        // alloc_fraction = (liveness + intervals + alloc) / total.
+        let frac = a.alloc_fraction();
+        assert!((frac - 24.0 / 42.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dyn_metrics_per_insn_guards_zero() {
+        let m = DynMetrics {
+            total_ns: 1000,
+            generated_insns: 0,
+            ..Default::default()
+        };
+        // max(1) guard: no division by zero.
+        assert_eq!(m.ns_per_generated_insn(), 1000.0);
+        let m = DynMetrics {
+            total_ns: 1000,
+            generated_insns: 10,
+            ..Default::default()
+        };
+        assert_eq!(m.ns_per_generated_insn(), 100.0);
+        assert_eq!(m.cycles_per_generated_insn(2.0), 50.0);
+    }
+
+    #[test]
+    fn crossover_math() {
+        assert_eq!(crossover_runs(1000.0, 10.0), Some(100.0));
+        assert_eq!(crossover_runs(1000.0, 0.0), None);
+        assert_eq!(crossover_runs(1000.0, -5.0), None);
+    }
+
+    #[test]
+    fn session_metrics_json_shape() {
+        let s = SessionMetrics::default();
+        let j = s.to_json();
+        let text = j.to_string();
+        for key in ["frontend", "static", "dynamic", "vm", "hcalls", "phases"] {
+            assert!(
+                text.contains(&format!("\"{key}\"")),
+                "missing {key} in {text}"
+            );
+        }
+    }
+}

@@ -33,7 +33,13 @@ impl VmArena {
     /// Fails if the reservation does not fit in `mem`.
     pub fn new(mem: &mut Memory, size: u64) -> Result<VmArena, VmError> {
         let base = mem.alloc(size, 16)?;
-        Ok(VmArena { base, size, cursor: base, fast_allocs: 0, slow_allocs: 0 })
+        Ok(VmArena {
+            base,
+            size,
+            cursor: base,
+            fast_allocs: 0,
+            slow_allocs: 0,
+        })
     }
 
     /// Allocates `size` bytes, 8-byte aligned, by bumping the cursor.

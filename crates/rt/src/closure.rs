@@ -183,7 +183,11 @@ mod tests {
     fn vspec_round_trip() {
         let mut mem = Memory::new(1 << 20);
         let addr = mem.alloc(VspecObj::SIZE, 8).unwrap();
-        let v = VspecObj { tag: VspecTag::Param, kind: ValKind::F, index: 3 };
+        let v = VspecObj {
+            tag: VspecTag::Param,
+            kind: ValKind::F,
+            index: 3,
+        };
         v.write(&mut mem, addr).unwrap();
         assert_eq!(VspecObj::read(&mem, addr).unwrap(), v);
     }

@@ -1,14 +1,74 @@
 //! Command-line harness: regenerates every table and figure.
 //!
-//! Usage: `suite [all|table1|figure4|figure5|figure6|figure7|blur] [--small]`
+//! Usage:
+//!
+//! ```text
+//! suite [all|table1|figure4|figure5|figure6|figure7|blur|sensitivity|smoke] [--small] [--json]
+//! ```
+//!
+//! With `--json`, each measured experiment also writes a machine-readable
+//! `BENCH_<experiment>.json` file into the current directory (see
+//! DESIGN.md for the schema). `smoke` runs one small benchmark through
+//! all five compilation paths (two static, three dynamic) and exits
+//! non-zero if any path disagrees — the CI gate.
 
-use tcc_suite::{benchmarks, measure, ns_per_cycle, report, Measurement, BLUR_FULL, BLUR_SMALL};
+use tcc_obs::json::Json;
+use tcc_suite::{
+    benchmarks, json_report, measure, ns_per_cycle, report, DynBackend, Measurement, BLUR_FULL,
+    BLUR_SMALL,
+};
+
+fn write_json(name: &str, j: &Json) {
+    let path = format!("BENCH_{name}.json");
+    std::fs::write(&path, j.pretty()).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    eprintln!("wrote {path}");
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let what = args.first().map(String::as_str).unwrap_or("all");
+    let what = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .unwrap_or("all");
     let small = args.iter().any(|a| a == "--small");
+    let json = args.iter().any(|a| a == "--json");
+    let known = [
+        "all",
+        "table1",
+        "figure4",
+        "figure5",
+        "figure6",
+        "figure7",
+        "blur",
+        "sensitivity",
+        "smoke",
+    ];
+    if !known.contains(&what) {
+        eprintln!("unknown experiment {what}; try {}", known.join("|"));
+        std::process::exit(2);
+    }
     let blur_dims = if small { BLUR_SMALL } else { BLUR_FULL };
+
+    if what == "smoke" {
+        // One small benchmark, every compilation path; measure() panics
+        // if the two static and three dynamic paths disagree.
+        let b = benchmarks(BLUR_SMALL)
+            .into_iter()
+            .find(|b| b.name == "pow")
+            .expect("pow bench");
+        let m = measure(&b);
+        println!(
+            "smoke ok: {} — static(lcc)={}cyc static(gcc)={}cyc vcode={}cyc icode-ls={}cyc icode-gc={}cyc",
+            m.name,
+            m.static_naive_cycles,
+            m.static_opt_cycles,
+            m.dynamic[DynBackend::Vcode as usize].run_cycles,
+            m.dynamic[DynBackend::IcodeLinear as usize].run_cycles,
+            m.dynamic[DynBackend::IcodeColor as usize].run_cycles,
+        );
+        return;
+    }
 
     eprintln!("calibrating interpreter...");
     let nspc = ns_per_cycle();
@@ -28,21 +88,56 @@ fn main() {
     };
 
     match what {
-        "table1" => print!("{}", report::table1(nspc, 250, 100)),
-        "figure4" => print!("{}", report::figure4(&ms)),
-        "figure5" => print!("{}", report::figure5(&ms, nspc)),
-        "figure6" => print!("{}", report::figure6(&ms, nspc)),
-        "figure7" => print!("{}", report::figure7(&ms, nspc)),
+        "table1" => {
+            if json {
+                write_json("table1", &json_report::table1_json(nspc, 250, 100));
+            }
+            print!("{}", report::table1(nspc, 250, 100));
+        }
+        "figure4" => {
+            if json {
+                write_json("figure4", &json_report::figure4_json(&ms));
+            }
+            print!("{}", report::figure4(&ms));
+        }
+        "figure5" => {
+            if json {
+                write_json("figure5", &json_report::figure5_json(&ms, nspc));
+            }
+            print!("{}", report::figure5(&ms, nspc));
+        }
+        "figure6" => {
+            if json {
+                write_json("figure6", &json_report::figure6_json(&ms, nspc));
+            }
+            print!("{}", report::figure6(&ms, nspc));
+        }
+        "figure7" => {
+            if json {
+                write_json("figure7", &json_report::figure7_json(&ms, nspc));
+            }
+            print!("{}", report::figure7(&ms, nspc));
+        }
         "sensitivity" => {
             print!("{}", report::sensitivity(&benchmarks(blur_dims)));
         }
         "blur" => {
-            let b = benchmarks(blur_dims).into_iter().find(|b| b.name == "blur").expect("blur");
+            let b = benchmarks(blur_dims)
+                .into_iter()
+                .find(|b| b.name == "blur")
+                .expect("blur");
             eprintln!("measuring blur...");
             let m = measure(&b);
             print!("{}", report::blur_report(&m, nspc));
         }
         "all" => {
+            if json {
+                write_json("table1", &json_report::table1_json(nspc, 250, 100));
+                write_json("figure4", &json_report::figure4_json(&ms));
+                write_json("figure5", &json_report::figure5_json(&ms, nspc));
+                write_json("figure6", &json_report::figure6_json(&ms, nspc));
+                write_json("figure7", &json_report::figure7_json(&ms, nspc));
+            }
             println!("{}", report::table1(nspc, 250, 100));
             println!("{}", report::figure4(&ms));
             println!("{}", report::figure5(&ms, nspc));
@@ -54,9 +149,6 @@ fn main() {
             println!();
             println!("{}", report::sensitivity(&benchmarks(blur_dims)));
         }
-        other => {
-            eprintln!("unknown experiment {other}; try all|table1|figure4|figure5|figure6|figure7|blur|sensitivity");
-            std::process::exit(2);
-        }
+        _ => unreachable!("validated above"),
     }
 }

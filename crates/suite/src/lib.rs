@@ -17,6 +17,7 @@
 //! `figure7`, `blur`.
 
 pub mod calibrate;
+pub mod json_report;
 pub mod measure;
 pub mod micro;
 pub mod programs;
@@ -62,8 +63,10 @@ mod tests {
 
     #[test]
     fn headline_speedups_have_the_papers_shape() {
-        let by_name: std::collections::HashMap<_, _> =
-            benchmarks(BLUR_SMALL).into_iter().map(|b| (b.name, b)).collect();
+        let by_name: std::collections::HashMap<_, _> = benchmarks(BLUR_SMALL)
+            .into_iter()
+            .map(|b| (b.name, b))
+            .collect();
         // binary: executable data structure should crush the static
         // search (paper: "an order of magnitude").
         let m = measure(&by_name["binary"]);
@@ -98,8 +101,10 @@ mod tests {
 
     #[test]
     fn icode_codegen_costs_more_than_vcode() {
-        let by_name: std::collections::HashMap<_, _> =
-            benchmarks(BLUR_SMALL).into_iter().map(|b| (b.name, b)).collect();
+        let by_name: std::collections::HashMap<_, _> = benchmarks(BLUR_SMALL)
+            .into_iter()
+            .map(|b| (b.name, b))
+            .collect();
         for name in ["query", "cmp", "pow"] {
             let m = measure(&by_name[name]);
             let v = &m.dynamic[DynBackend::Vcode as usize];

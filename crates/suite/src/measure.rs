@@ -29,15 +29,22 @@ pub enum DynBackend {
 
 impl DynBackend {
     /// All measured back ends.
-    pub const ALL: [DynBackend; 3] =
-        [DynBackend::Vcode, DynBackend::IcodeLinear, DynBackend::IcodeColor];
+    pub const ALL: [DynBackend; 3] = [
+        DynBackend::Vcode,
+        DynBackend::IcodeLinear,
+        DynBackend::IcodeColor,
+    ];
 
     /// The runtime configuration for this back end.
     pub fn backend(self) -> Backend {
         match self {
             DynBackend::Vcode => Backend::Vcode { unchecked: false },
-            DynBackend::IcodeLinear => Backend::Icode { strategy: Strategy::LinearScan },
-            DynBackend::IcodeColor => Backend::Icode { strategy: Strategy::GraphColor },
+            DynBackend::IcodeLinear => Backend::Icode {
+                strategy: Strategy::LinearScan,
+            },
+            DynBackend::IcodeColor => Backend::Icode {
+                strategy: Strategy::GraphColor,
+            },
         }
     }
 
@@ -103,7 +110,11 @@ impl Measurement {
     /// Figure 5 cross-over point vs the chosen static baseline; `None`
     /// when dynamic code never pays off.
     pub fn crossover(&self, b: DynBackend, vs_opt: bool, ns_per_cycle: f64) -> Option<f64> {
-        let stat = if vs_opt { self.static_opt_cycles } else { self.static_naive_cycles };
+        let stat = if vs_opt {
+            self.static_opt_cycles
+        } else {
+            self.static_naive_cycles
+        };
         let dynm = &self.dynamic[b as usize];
         if dynm.run_cycles >= stat {
             return None;
@@ -183,7 +194,11 @@ pub fn measure_with(bench: &BenchDef, cost: &CostModel) -> Measurement {
     let (static_naive_cycles, r1, c1) = run_static(bench, OptLevel::Naive, cost);
     let (static_opt_cycles, r2, c2) = run_static(bench, OptLevel::Optimizing, cost);
     assert_eq!(r1, r2, "{}: static back ends disagree", bench.name);
-    assert_eq!(c1, c2, "{}: static back ends disagree on checksum", bench.name);
+    assert_eq!(
+        c1, c2,
+        "{}: static back ends disagree on checksum",
+        bench.name
+    );
     let dynamic = [
         run_dynamic(bench, DynBackend::Vcode, cost),
         run_dynamic(bench, DynBackend::IcodeLinear, cost),

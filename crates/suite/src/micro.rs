@@ -2,7 +2,7 @@
 //! instruction in the paper's four extreme cases — {one large cspec,
 //! many small cspecs} × {dynamic locals, free variables}.
 
-use tcc::{Config, Session};
+use tcc::{Backend, Config, Session};
 use tcc_mir::OptLevel;
 
 use crate::measure::DynBackend;
@@ -123,8 +123,19 @@ pub struct MicroResult {
 
 /// Measures codegen cost per generated instruction for a case.
 pub fn measure_micro(case: &MicroCase, b: DynBackend, ns_per_cycle: f64) -> MicroResult {
-    let config =
-        Config { static_opt: OptLevel::Optimizing, backend: b.backend(), ..Config::default() };
+    measure_micro_backend(case, b.backend(), ns_per_cycle)
+}
+
+/// Like [`measure_micro`], for an arbitrary runtime [`Backend`]
+/// configuration — the JSON Table 1 also reports VCODE's unchecked
+/// mode, which [`DynBackend`] (the three standard measurement paths)
+/// does not cover.
+pub fn measure_micro_backend(case: &MicroCase, backend: Backend, ns_per_cycle: f64) -> MicroResult {
+    let config = Config {
+        static_opt: OptLevel::Optimizing,
+        backend,
+        ..Config::default()
+    };
     let mut s = Session::new(&case.src, config)
         .unwrap_or_else(|e| panic!("micro case failed to compile: {e}"));
     let reps = 10;
@@ -165,7 +176,10 @@ mod tests {
         };
         for (ci, case) in cases.iter().enumerate() {
             for b in [DynBackend::Vcode, DynBackend::IcodeLinear] {
-                let config = Config { backend: b.backend(), ..Config::default() };
+                let config = Config {
+                    backend: b.backend(),
+                    ..Config::default()
+                };
                 let mut s = Session::new(&case.src, config).expect("compiles");
                 let fp = s.call("micro_compile", &[]).expect("runs");
                 let v = s.call_addr(fp, &[]).expect("generated code runs");

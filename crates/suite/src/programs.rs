@@ -36,7 +36,8 @@ fn no_check(_s: &mut Session) -> u64 {
 }
 
 fn call(s: &mut Session, name: &str, args: &[u64]) -> u64 {
-    s.call(name, args).unwrap_or_else(|e| panic!("{name} failed: {e}"))
+    s.call(name, args)
+        .unwrap_or_else(|e| panic!("{name} failed: {e}"))
 }
 
 // ---------------------------------------------------------------------------
@@ -936,7 +937,11 @@ pub fn benchmarks(blur_dims: (u64, u64)) -> Vec<BenchDef> {
     .into_iter()
     .map(move |mut b| {
         if b.name == "blur" {
-            b.setup = if blur_dims == BLUR_FULL { blur_setup_full } else { blur_setup_small };
+            b.setup = if blur_dims == BLUR_FULL {
+                blur_setup_full
+            } else {
+                blur_setup_small
+            };
         }
         b
     })

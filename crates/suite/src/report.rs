@@ -107,7 +107,10 @@ pub fn figure7(ms: &[Measurement], ns_per_cycle: f64) -> String {
         "benchmark", "walk+IR", "flow", "liveness", "alloc", "emit", "total", "alloc%"
     ));
     for m in ms {
-        for (b, tag) in [(DynBackend::IcodeLinear, "ls"), (DynBackend::IcodeColor, "gc")] {
+        for (b, tag) in [
+            (DynBackend::IcodeLinear, "ls"),
+            (DynBackend::IcodeColor, "gc"),
+        ] {
             let d = &m.dynamic[b as usize];
             let per = |ns: f64| ns / d.insns.max(1.0) / ns_per_cycle;
             let compiles = crate::measure::COMPILE_REPS as f64;

@@ -4,8 +4,10 @@
 use crate::runtime::{Backend, DynStats, TccRuntime};
 use std::fmt;
 use std::sync::Arc;
+use std::time::Instant;
 use tcc_front::{FrontError, Program};
 use tcc_mir::{build_image, Image, OptLevel};
+use tcc_obs::{FrontendMetrics, SessionMetrics, StaticMetrics, VmMetrics};
 use tcc_vm::{CostModel, Vm, VmError};
 
 /// Any error from source to execution.
@@ -88,6 +90,10 @@ pub struct Session {
     pub image: Image,
     /// The analyzed program.
     pub prog: Arc<Program>,
+    /// Front-end timing, captured at construction.
+    frontend: FrontendMetrics,
+    /// Static lowering/linking timing, captured at construction.
+    static_compile: StaticMetrics,
 }
 
 impl Session {
@@ -97,8 +103,18 @@ impl Session {
     ///
     /// Front-end or layout errors.
     pub fn new(src: &str, config: Config) -> Result<Session, Error> {
+        let t0 = Instant::now();
         let prog = Arc::new(tcc_front::compile_unit(src)?);
+        let frontend = FrontendMetrics {
+            parse_sema_ns: t0.elapsed().as_nanos() as u64,
+            source_bytes: src.len() as u64,
+        };
+        let t1 = Instant::now();
         let image = build_image(&prog, config.static_opt, config.mem_size)?;
+        let static_compile = StaticMetrics {
+            lower_ns: t1.elapsed().as_nanos() as u64,
+            static_insns: image.code.next_index() as u64,
+        };
         let mut rt = TccRuntime::new(
             prog.clone(),
             image.func_addrs.clone(),
@@ -108,7 +124,13 @@ impl Session {
         rt.echo = config.echo;
         let mut vm = Vm::from_parts(image.code.clone(), image.mem.clone(), rt);
         vm.set_cost_model(config.cost);
-        Ok(Session { vm, image, prog })
+        Ok(Session {
+            vm,
+            image,
+            prog,
+            frontend,
+            static_compile,
+        })
     }
 
     /// Compiles and loads with default configuration (optimizing static
@@ -175,6 +197,28 @@ impl Session {
     /// Dynamic compilation statistics.
     pub fn dyn_stats(&self) -> &DynStats {
         &self.vm.host().stats
+    }
+
+    /// Host-call traps taken since the last reset.
+    pub fn hcalls(&self) -> u64 {
+        self.vm.hcalls()
+    }
+
+    /// The unified per-phase metrics breakdown for this session:
+    /// front-end parse/sema time, static lowering, accumulated dynamic
+    /// compilation (walk time, per-phase codegen, instruction counts),
+    /// and VM execution counters since the last reset.
+    pub fn metrics(&self) -> SessionMetrics {
+        SessionMetrics {
+            frontend: self.frontend,
+            static_compile: self.static_compile,
+            dynamic: self.vm.host().stats.clone(),
+            vm: VmMetrics {
+                insns: self.vm.insns(),
+                cycles: self.vm.cycles(),
+                hcalls: self.vm.hcalls(),
+            },
+        }
     }
 
     /// Program output captured so far.

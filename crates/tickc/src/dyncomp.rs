@@ -56,6 +56,111 @@ enum StepKind {
 /// composition while staying comfortably within a 2 MiB test stack.
 const COMPOSE_DEPTH_LIMIT: u32 = 300;
 
+/// Computes the closure-composition nesting depth reachable from
+/// `entry` — iteratively, so arbitrarily deep (or cyclic) compositions
+/// cannot overflow the host stack before [`COMPOSE_DEPTH_LIMIT`] is
+/// enforced. The runtime probes before compiling and moves deep (but
+/// legal) compilations onto a thread with a proportionally sized stack.
+///
+/// Mirrors the traversal of `prebind_params`: a node is a closure;
+/// its children are the closures reachable through cspec captures
+/// (directly, or via argument lists — label objects are leaves).
+///
+/// # Errors
+///
+/// `"closure composition too deep"` when the nesting exceeds
+/// [`COMPOSE_DEPTH_LIMIT`] or the graph is cyclic (which the recursive
+/// walk would also reject, by running into the same limit), and
+/// `"bad cgf id ..."` on malformed closures, matching the errors the
+/// compile walk itself raises.
+pub fn probe_compose_depth(mem: &Memory, prog: &Program, entry: u64) -> Result<u32, VmError> {
+    fn too_deep() -> VmError {
+        VmError::Host("closure composition too deep".into())
+    }
+    // Closure children reachable from `addr`, per prebind_params.
+    fn kids(mem: &Memory, prog: &Program, addr: u64) -> Result<Vec<u64>, VmError> {
+        let c = ClosureRef { addr };
+        let id = c.cgf_id(mem)? as usize;
+        let tick = prog
+            .ticks
+            .get(id)
+            .ok_or_else(|| VmError::Host(format!("bad cgf id {id}")))?;
+        let mut out = Vec::new();
+        for (i, cap) in tick.captures.iter().enumerate() {
+            if let CaptureKind::Cspec(_) = &cap.kind {
+                let field = c.field(mem, i)?;
+                match mem.load_u64(field)? {
+                    LABEL_MARKER => {}
+                    ARGLIST_MARKER => {
+                        let n = mem.load_u64(field + 8)?;
+                        for j in 0..n {
+                            out.push(mem.load_u64(field + 16 + 8 * j)?);
+                        }
+                    }
+                    _ => out.push(field),
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    struct Node {
+        addr: u64,
+        kids: Vec<u64>,
+        next: usize,
+        /// Tallest subtree seen among visited children.
+        best: u32,
+    }
+    // addr → height of its subtree (≥ 1), for DAG-shaped sharing.
+    let mut memo: HashMap<u64, u32> = HashMap::new();
+    let mut on_path: std::collections::HashSet<u64> = std::collections::HashSet::new();
+    let mut stack = vec![Node {
+        addr: entry,
+        kids: kids(mem, prog, entry)?,
+        next: 0,
+        best: 0,
+    }];
+    on_path.insert(entry);
+    let mut height = 0u32;
+    while let Some(top) = stack.last_mut() {
+        if top.next < top.kids.len() {
+            let k = top.kids[top.next];
+            top.next += 1;
+            if let Some(&h) = memo.get(&k) {
+                top.best = top.best.max(h);
+            } else if on_path.contains(&k) {
+                return Err(too_deep());
+            } else {
+                let grandkids = kids(mem, prog, k)?;
+                on_path.insert(k);
+                stack.push(Node {
+                    addr: k,
+                    kids: grandkids,
+                    next: 0,
+                    best: 0,
+                });
+                // prebind_params errors at depth > LIMIT with the entry
+                // at depth 0; the path length here is depth + 1.
+                if stack.len() as u32 > COMPOSE_DEPTH_LIMIT + 1 {
+                    return Err(too_deep());
+                }
+            }
+        } else {
+            let h = top.best + 1;
+            memo.insert(top.addr, h);
+            on_path.remove(&top.addr);
+            height = h;
+            let done = top.addr;
+            stack.pop();
+            if let Some(parent) = stack.last_mut() {
+                debug_assert_ne!(parent.addr, done);
+                parent.best = parent.best.max(h);
+            }
+        }
+    }
+    Ok(height.saturating_sub(1))
+}
+
 /// Static-program facts the dynamic compiler needs.
 #[derive(Clone, Copy)]
 pub struct DynInput<'p> {
@@ -347,8 +452,6 @@ impl<'a, 'p, S: CodeSink> DynCompiler<'a, 'p, S> {
                 let ty = &frame.tick.captures[*i].ty;
                 Some(if ty.kind() == ValKind::F {
                     Cv::F(f64::from_bits(raw))
-                } else if ty.kind() == ValKind::W {
-                    Cv::I(raw as i64)
                 } else {
                     Cv::I(raw as i64)
                 })
@@ -436,7 +539,7 @@ impl<'a, 'p, S: CodeSink> DynCompiler<'a, 'p, S> {
             LoadKind::I16 => Cv::I(self.mem.load_u16(addr)? as i16 as i64),
             LoadKind::U16 => Cv::I(self.mem.load_u16(addr)? as i64),
             LoadKind::I32 => Cv::I(self.mem.load_u32(addr)? as i32 as i64),
-            LoadKind::U32 => Cv::I(self.mem.load_u32(addr)? as u32 as i64),
+            LoadKind::U32 => Cv::I(self.mem.load_u32(addr)? as i64),
             LoadKind::I64 => Cv::I(self.mem.load_u64(addr)? as i64),
             LoadKind::F64 => Cv::F(self.mem.load_f64(addr)?),
         })
@@ -495,7 +598,10 @@ impl<'a, 'p, S: CodeSink> DynCompiler<'a, 'p, S> {
             (_, Cv::I(v)) => self.sink.li(t, v),
             (_, Cv::F(v)) => self.sink.li(t, v as i64),
         }
-        V { val: t, owned: true }
+        V {
+            val: t,
+            owned: true,
+        }
     }
 
     fn release(&mut self, v: V<S>) {
@@ -565,16 +671,34 @@ impl<'a, 'p, S: CodeSink> DynCompiler<'a, 'p, S> {
                 let addr = frame.fields[*i];
                 let t = self.sink.temp(ValKind::P);
                 self.sink.li(t, addr as i64);
-                Ok(DynPlace::Mem { addr: V { val: t, owned: true }, off: 0, ty: e.ty.clone() })
+                Ok(DynPlace::Mem {
+                    addr: V {
+                        val: t,
+                        owned: true,
+                    },
+                    off: 0,
+                    ty: e.ty.clone(),
+                })
             }
             ExprKind::Var(VarRef::Global(g)) => {
                 let t = self.sink.temp(ValKind::P);
                 self.sink.li(t, self.input.global_addrs[*g] as i64);
-                Ok(DynPlace::Mem { addr: V { val: t, owned: true }, off: 0, ty: e.ty.clone() })
+                Ok(DynPlace::Mem {
+                    addr: V {
+                        val: t,
+                        owned: true,
+                    },
+                    off: 0,
+                    ty: e.ty.clone(),
+                })
             }
             ExprKind::Un(UnaryOp::Deref, inner) => {
                 let a = self.expr(inner, frame)?;
-                Ok(DynPlace::Mem { addr: a, off: 0, ty: e.ty.clone() })
+                Ok(DynPlace::Mem {
+                    addr: a,
+                    off: 0,
+                    ty: e.ty.clone(),
+                })
             }
             ExprKind::Index(base, idx) => {
                 let elem_size = e.ty.size(&self.input.prog.structs) as i64;
@@ -589,14 +713,18 @@ impl<'a, 'p, S: CodeSink> DynCompiler<'a, 'p, S> {
                 let iv = self.expr(idx, frame)?;
                 let ivc = self.coerce(iv, &idx.ty, &Type::Long);
                 let scaled = self.sink.temp(ValKind::D);
-                self.sink.bin_imm(BinOp::Mul, ValKind::D, scaled, ivc.val, elem_size);
+                self.sink
+                    .bin_imm(BinOp::Mul, ValKind::D, scaled, ivc.val, elem_size);
                 self.release(ivc);
                 let addr = self.sink.temp(ValKind::P);
                 self.sink.bin(BinOp::Add, ValKind::P, addr, bv.val, scaled);
                 self.sink.release(scaled);
                 self.release(bv);
                 Ok(DynPlace::Mem {
-                    addr: V { val: addr, owned: true },
+                    addr: V {
+                        val: addr,
+                        owned: true,
+                    },
                     off: 0,
                     ty: e.ty.clone(),
                 })
@@ -604,7 +732,11 @@ impl<'a, 'p, S: CodeSink> DynCompiler<'a, 'p, S> {
             ExprKind::Member(base, _, arrow, offset) => {
                 if *arrow {
                     let bv = self.expr(base, frame)?;
-                    Ok(DynPlace::Mem { addr: bv, off: *offset as i64, ty: e.ty.clone() })
+                    Ok(DynPlace::Mem {
+                        addr: bv,
+                        off: *offset as i64,
+                        ty: e.ty.clone(),
+                    })
                 } else {
                     match self.place(base, frame)? {
                         DynPlace::Mem { addr, off, .. } => Ok(DynPlace::Mem {
@@ -622,19 +754,31 @@ impl<'a, 'p, S: CodeSink> DynCompiler<'a, 'p, S> {
 
     fn load_dyn_place(&mut self, p: &DynPlace<S>) -> V<S> {
         match p {
-            DynPlace::Val(v, _) => V { val: *v, owned: false },
+            DynPlace::Val(v, _) => V {
+                val: *v,
+                owned: false,
+            },
             DynPlace::Mem { addr, off, ty } => {
                 if matches!(ty, Type::Array(..) | Type::Struct(_)) {
                     if *off == 0 {
-                        return V { val: addr.val, owned: false };
+                        return V {
+                            val: addr.val,
+                            owned: false,
+                        };
                     }
                     let t = self.sink.temp(ValKind::P);
                     self.sink.bin_imm(BinOp::Add, ValKind::P, t, addr.val, *off);
-                    return V { val: t, owned: true };
+                    return V {
+                        val: t,
+                        owned: true,
+                    };
                 }
                 let t = self.sink.temp(ty.kind());
                 self.sink.load(load_kind(ty), t, addr.val, *off);
-                V { val: t, owned: true }
+                V {
+                    val: t,
+                    owned: true,
+                }
             }
         }
     }
@@ -687,39 +831,56 @@ impl<'a, 'p, S: CodeSink> DynCompiler<'a, 'p, S> {
                 let d = self.sink.temp(ValKind::W);
                 self.sink.un(UnOp::CvtFtoW, ValKind::W, d, v.val);
                 self.release(v);
-                V { val: d, owned: true }
+                V {
+                    val: d,
+                    owned: true,
+                }
             }
             (ValKind::F, _) => {
                 let d = self.sink.temp(tk);
                 self.sink.un(UnOp::CvtFtoL, tk, d, v.val);
                 self.release(v);
-                V { val: d, owned: true }
+                V {
+                    val: d,
+                    owned: true,
+                }
             }
             (ValKind::W, ValKind::F) => {
                 let d = self.sink.temp(ValKind::F);
                 if from.is_unsigned() {
                     let z = self.sink.temp(ValKind::D);
-                    self.sink.bin_imm(BinOp::And, ValKind::D, z, v.val, 0xffff_ffff);
+                    self.sink
+                        .bin_imm(BinOp::And, ValKind::D, z, v.val, 0xffff_ffff);
                     self.sink.un(UnOp::CvtLtoF, ValKind::F, d, z);
                     self.sink.release(z);
                 } else {
                     self.sink.un(UnOp::CvtWtoF, ValKind::F, d, v.val);
                 }
                 self.release(v);
-                V { val: d, owned: true }
+                V {
+                    val: d,
+                    owned: true,
+                }
             }
             (_, ValKind::F) => {
                 let d = self.sink.temp(ValKind::F);
                 self.sink.un(UnOp::CvtLtoF, ValKind::F, d, v.val);
                 self.release(v);
-                V { val: d, owned: true }
+                V {
+                    val: d,
+                    owned: true,
+                }
             }
             (ValKind::W, ValKind::D | ValKind::P) => {
                 if from.is_unsigned() {
                     let d = self.sink.temp(tk);
-                    self.sink.bin_imm(BinOp::And, ValKind::D, d, v.val, 0xffff_ffff);
+                    self.sink
+                        .bin_imm(BinOp::And, ValKind::D, d, v.val, 0xffff_ffff);
                     self.release(v);
-                    V { val: d, owned: true }
+                    V {
+                        val: d,
+                        owned: true,
+                    }
                 } else {
                     v
                 }
@@ -729,7 +890,10 @@ impl<'a, 'p, S: CodeSink> DynCompiler<'a, 'p, S> {
                 self.sink.un(UnOp::Mov, ValKind::W, d, v.val);
                 self.narrow(d, &to);
                 self.release(v);
-                V { val: d, owned: true }
+                V {
+                    val: d,
+                    owned: true,
+                }
             }
             (ValKind::W, ValKind::W) => {
                 let shrink = to.size(structs) < from.size(structs)
@@ -741,7 +905,10 @@ impl<'a, 'p, S: CodeSink> DynCompiler<'a, 'p, S> {
                     self.sink.un(UnOp::Mov, ValKind::W, d, v.val);
                     self.narrow(d, &to);
                     self.release(v);
-                    V { val: d, owned: true }
+                    V {
+                        val: d,
+                        owned: true,
+                    }
                 } else {
                     v
                 }
@@ -763,7 +930,10 @@ impl<'a, 'p, S: CodeSink> DynCompiler<'a, 'p, S> {
                 let addr = self.intern(bytes)?;
                 let t = self.sink.temp(ValKind::P);
                 self.sink.li(t, addr as i64);
-                Ok(V { val: t, owned: true })
+                Ok(V {
+                    val: t,
+                    owned: true,
+                })
             }
             ExprKind::Var(VarRef::TickCspec(i)) => {
                 let closure = frame.fields[*i];
@@ -781,7 +951,10 @@ impl<'a, 'p, S: CodeSink> DynCompiler<'a, 'p, S> {
                 let p = self.place(e, frame)?;
                 let v = self.load_dyn_place(&p);
                 // keep ownership of the loaded temp, release the address
-                let out = V { val: v.val, owned: v.owned };
+                let out = V {
+                    val: v.val,
+                    owned: v.owned,
+                };
                 if let DynPlace::Mem { addr, .. } = p {
                     if addr.val != out.val {
                         self.release(addr);
@@ -791,12 +964,17 @@ impl<'a, 'p, S: CodeSink> DynCompiler<'a, 'p, S> {
             }
             ExprKind::Un(UnaryOp::Deref, _) => {
                 if matches!(e.ty, Type::Func(_)) {
-                    let ExprKind::Un(_, inner) = &e.kind else { unreachable!() };
+                    let ExprKind::Un(_, inner) = &e.kind else {
+                        unreachable!()
+                    };
                     return self.expr(inner, frame);
                 }
                 let p = self.place(e, frame)?;
                 let v = self.load_dyn_place(&p);
-                let out = V { val: v.val, owned: v.owned };
+                let out = V {
+                    val: v.val,
+                    owned: v.owned,
+                };
                 if let DynPlace::Mem { addr, .. } = p {
                     if addr.val != out.val {
                         self.release(addr);
@@ -812,7 +990,10 @@ impl<'a, 'p, S: CodeSink> DynCompiler<'a, 'p, S> {
                         let t = self.sink.temp(ValKind::P);
                         self.sink.bin_imm(BinOp::Add, ValKind::P, t, addr.val, off);
                         self.release(addr);
-                        Ok(V { val: t, owned: true })
+                        Ok(V {
+                            val: t,
+                            owned: true,
+                        })
                     }
                     DynPlace::Val(..) => Err(self.err("cannot take the address of a register")),
                 }
@@ -829,13 +1010,19 @@ impl<'a, 'p, S: CodeSink> DynCompiler<'a, 'p, S> {
                         let k = inner.ty.decay().kind();
                         self.sink.bin_imm(BinOp::Eq, k, d, v.val, 0);
                         self.release(v);
-                        return Ok(V { val: d, owned: true });
+                        return Ok(V {
+                            val: d,
+                            owned: true,
+                        });
                     }
                     _ => unreachable!("deref/addr handled above"),
                 };
                 self.sink.un(uop, e.ty.kind(), d, v.val);
                 self.release(v);
-                Ok(V { val: d, owned: true })
+                Ok(V {
+                    val: d,
+                    owned: true,
+                })
             }
             ExprKind::PreIncDec(inner, inc) => self.incdec(inner, *inc, false, frame),
             ExprKind::PostIncDec(inner, inc) => self.incdec(inner, *inc, true, frame),
@@ -864,7 +1051,10 @@ impl<'a, 'p, S: CodeSink> DynCompiler<'a, 'p, S> {
                 self.sink.un(UnOp::Mov, k, d, fv.val);
                 self.release(fv);
                 self.sink.bind(lend);
-                Ok(V { val: d, owned: true })
+                Ok(V {
+                    val: d,
+                    owned: true,
+                })
             }
             ExprKind::Comma(a, b) => {
                 let v = self.expr(a, frame)?;
@@ -924,9 +1114,15 @@ impl<'a, 'p, S: CodeSink> DynCompiler<'a, 'p, S> {
         self.store_dyn_place(&p, newv);
         let result = if post {
             self.sink.release(newv);
-            V { val: keep.expect("post"), owned: true }
+            V {
+                val: keep.expect("post"),
+                owned: true,
+            }
         } else {
-            V { val: newv, owned: true }
+            V {
+                val: newv,
+                owned: true,
+            }
         };
         self.release_place(p);
         Ok(result)
@@ -953,7 +1149,10 @@ impl<'a, 'p, S: CodeSink> DynCompiler<'a, 'p, S> {
             self.sink.bind(lfalse);
             self.sink.li(d, 0);
             self.sink.bind(lend);
-            return Ok(V { val: d, owned: true });
+            return Ok(V {
+                val: d,
+                owned: true,
+            });
         }
         let ta = a.ty.decay();
         let tb = b.ty.decay();
@@ -969,19 +1168,26 @@ impl<'a, 'p, S: CodeSink> DynCompiler<'a, 'p, S> {
                 let off = ci.as_i() * elem * if op == Add { 1 } else { -1 };
                 self.sink.bin_imm(BinOp::Add, ValKind::P, d, pv.val, off);
                 self.release(pv);
-                return Ok(V { val: d, owned: true });
+                return Ok(V {
+                    val: d,
+                    owned: true,
+                });
             }
             let iv = self.expr(b, frame)?;
             let iv = self.coerce(iv, &tb, &Type::Long);
             let scaled = self.sink.temp(ValKind::D);
-            self.sink.bin_imm(BinOp::Mul, ValKind::D, scaled, iv.val, elem);
+            self.sink
+                .bin_imm(BinOp::Mul, ValKind::D, scaled, iv.val, elem);
             self.release(iv);
             let d = self.sink.temp(ValKind::P);
             let mop = if op == Add { BinOp::Add } else { BinOp::Sub };
             self.sink.bin(mop, ValKind::P, d, pv.val, scaled);
             self.sink.release(scaled);
             self.release(pv);
-            return Ok(V { val: d, owned: true });
+            return Ok(V {
+                val: d,
+                owned: true,
+            });
         }
         if op == Add && ta.is_integer() && tb.is_ptr() {
             return self.binary(Add, b, a, e, frame);
@@ -1000,7 +1206,10 @@ impl<'a, 'p, S: CodeSink> DynCompiler<'a, 'p, S> {
             let d = self.sink.temp(ValKind::D);
             self.sink.bin_imm(BinOp::Div, ValKind::D, d, diff, elem);
             self.sink.release(diff);
-            return Ok(V { val: d, owned: true });
+            return Ok(V {
+                val: d,
+                owned: true,
+            });
         }
         let cmp = matches!(op, Lt | Gt | Le | Ge | Eq | Ne);
         let common = if cmp {
@@ -1020,7 +1229,11 @@ impl<'a, 'p, S: CodeSink> DynCompiler<'a, 'p, S> {
         let a_has = contains_cspec(a);
         let b_has = contains_cspec(b);
         // Run-time-constant operands select strength-reduced immediates.
-        let static_b = if k == ValKind::F { None } else { self.eval_static(b, frame, false)? };
+        let static_b = if k == ValKind::F {
+            None
+        } else {
+            self.eval_static(b, frame, false)?
+        };
         if let Some(cb) = static_b {
             if !cmp {
                 let va = self.expr(a, frame)?;
@@ -1028,10 +1241,17 @@ impl<'a, 'p, S: CodeSink> DynCompiler<'a, 'p, S> {
                 let d = self.sink.temp(k);
                 self.sink.bin_imm(mop, k, d, va.val, cb.as_i());
                 self.release(va);
-                return Ok(V { val: d, owned: true });
+                return Ok(V {
+                    val: d,
+                    owned: true,
+                });
             }
         }
-        let static_a = if k == ValKind::F { None } else { self.eval_static(a, frame, false)? };
+        let static_a = if k == ValKind::F {
+            None
+        } else {
+            self.eval_static(a, frame, false)?
+        };
         if let (Some(ca), Some(sw)) = (static_a, mop.swapped()) {
             if !cmp {
                 let vb = self.expr(b, frame)?;
@@ -1039,7 +1259,10 @@ impl<'a, 'p, S: CodeSink> DynCompiler<'a, 'p, S> {
                 let d = self.sink.temp(k);
                 self.sink.bin_imm(sw, k, d, vb.val, ca.as_i());
                 self.release(vb);
-                return Ok(V { val: d, owned: true });
+                return Ok(V {
+                    val: d,
+                    owned: true,
+                });
             }
         }
         let (va, vb) = if self.cspec_first && b_has && !a_has {
@@ -1054,10 +1277,23 @@ impl<'a, 'p, S: CodeSink> DynCompiler<'a, 'p, S> {
         let va = self.coerce(va, &ta, &common);
         let vb = self.coerce(vb, &tb, &common);
         let d = self.sink.temp(if cmp { ValKind::W } else { k });
-        self.sink.bin(mop, if cmp && k == ValKind::F { ValKind::F } else { k }, d, va.val, vb.val);
+        self.sink.bin(
+            mop,
+            if cmp && k == ValKind::F {
+                ValKind::F
+            } else {
+                k
+            },
+            d,
+            va.val,
+            vb.val,
+        );
         self.release(va);
         self.release(vb);
-        Ok(V { val: d, owned: true })
+        Ok(V {
+            val: d,
+            owned: true,
+        })
     }
 
     fn assign(
@@ -1085,14 +1321,22 @@ impl<'a, 'p, S: CodeSink> DynCompiler<'a, 'p, S> {
                     let iv = self.expr(rhs, frame)?;
                     let iv = self.coerce(iv, &tb, &Type::Long);
                     let scaled = self.sink.temp(ValKind::D);
-                    self.sink.bin_imm(BinOp::Mul, ValKind::D, scaled, iv.val, elem);
+                    self.sink
+                        .bin_imm(BinOp::Mul, ValKind::D, scaled, iv.val, elem);
                     self.release(iv);
                     let d = self.sink.temp(ValKind::P);
-                    let mop = if *op == BinaryOp::Add { BinOp::Add } else { BinOp::Sub };
+                    let mop = if *op == BinaryOp::Add {
+                        BinOp::Add
+                    } else {
+                        BinOp::Sub
+                    };
                     self.sink.bin(mop, ValKind::P, d, cur.val, scaled);
                     self.sink.release(scaled);
                     self.release(cur);
-                    V { val: d, owned: true }
+                    V {
+                        val: d,
+                        owned: true,
+                    }
                 } else {
                     let common = if ta.is_arith() && tb.is_arith() {
                         ta.usual_arith(&tb)
@@ -1103,8 +1347,11 @@ impl<'a, 'p, S: CodeSink> DynCompiler<'a, 'p, S> {
                     let mop = crate::lower_shim::machine_binop(*op, &common);
                     let cv = self.coerce(cur, &ta, &common);
                     let d = self.sink.temp(k);
-                    let static_rhs =
-                        if k == ValKind::F { None } else { self.eval_static(rhs, frame, false)? };
+                    let static_rhs = if k == ValKind::F {
+                        None
+                    } else {
+                        self.eval_static(rhs, frame, false)?
+                    };
                     if let Some(cb) = static_rhs {
                         self.sink.bin_imm(mop, k, d, cv.val, cb.as_i());
                     } else {
@@ -1114,8 +1361,15 @@ impl<'a, 'p, S: CodeSink> DynCompiler<'a, 'p, S> {
                         self.release(rv);
                     }
                     self.release(cv);
-                    let out = self.coerce(V { val: d, owned: true }, &common, &lhs.ty);
-                    out
+
+                    self.coerce(
+                        V {
+                            val: d,
+                            owned: true,
+                        },
+                        &common,
+                        &lhs.ty,
+                    )
                 }
             }
         };
@@ -1178,7 +1432,8 @@ impl<'a, 'p, S: CodeSink> DynCompiler<'a, 'p, S> {
         } else if let ExprKind::Var(VarRef::Func(fi)) = &callee.kind {
             // Dynamic code calls static functions *directly* — the
             // address is a run-time constant at instantiation time.
-            self.sink.call_addr(self.input.func_addrs[*fi], &arg_list, ret);
+            self.sink
+                .call_addr(self.input.func_addrs[*fi], &arg_list, ret);
         } else {
             let target = self.expr(callee, frame)?;
             // An argument-register-resident target would be clobbered by
@@ -1190,11 +1445,17 @@ impl<'a, 'p, S: CodeSink> DynCompiler<'a, 'p, S> {
             self.release(v);
         }
         Ok(match ret {
-            Some((_, d)) => V { val: d, owned: true },
+            Some((_, d)) => V {
+                val: d,
+                owned: true,
+            },
             None => {
                 // A void value; give callers a dummy.
                 let d = self.sink.temp(ValKind::W);
-                V { val: d, owned: true }
+                V {
+                    val: d,
+                    owned: true,
+                }
             }
         })
     }
@@ -1202,12 +1463,7 @@ impl<'a, 'p, S: CodeSink> DynCompiler<'a, 'p, S> {
     /// `apply(f, args)` — dynamic call construction (§6.2 mshl/umshl):
     /// the argument count and the code computing each argument are
     /// determined at specification time.
-    fn apply(
-        &mut self,
-        f: &Expr,
-        l: &Expr,
-        frame: &mut Frame<'p, S>,
-    ) -> Result<V<S>, VmError> {
+    fn apply(&mut self, f: &Expr, l: &Expr, frame: &mut Frame<'p, S>) -> Result<V<S>, VmError> {
         let ExprKind::Var(VarRef::TickCspec(i)) = &l.kind else {
             return Err(self.err("apply() argument list must be captured"));
         };
@@ -1241,17 +1497,24 @@ impl<'a, 'p, S: CodeSink> DynCompiler<'a, 'p, S> {
             kinds.iter().zip(&vals).map(|(k, v)| (*k, v.val)).collect();
         let ret = self.sink.temp_saved(ValKind::W);
         if let ExprKind::Var(VarRef::Func(fi)) = &f.kind {
-            self.sink
-                .call_addr(self.input.func_addrs[*fi], &arg_list, Some((ValKind::W, ret)));
+            self.sink.call_addr(
+                self.input.func_addrs[*fi],
+                &arg_list,
+                Some((ValKind::W, ret)),
+            );
         } else {
             let target = self.expr(f, frame)?;
-            self.sink.call_ind(target.val, &arg_list, Some((ValKind::W, ret)));
+            self.sink
+                .call_ind(target.val, &arg_list, Some((ValKind::W, ret)));
             self.release(target);
         }
         for v in vals {
             self.release(v);
         }
-        Ok(V { val: ret, owned: true })
+        Ok(V {
+            val: ret,
+            owned: true,
+        })
     }
 
     fn cond_branch(
@@ -1570,7 +1833,9 @@ impl<'a, 'p, S: CodeSink> DynCompiler<'a, 'p, S> {
     ) -> Result<(), VmError> {
         let lend = self.sink.label();
         // Find the entry point: matching case, else default.
-        let mut start = items.iter().position(|i| matches!(i, SwitchItem::Case(c) if *c == v));
+        let mut start = items
+            .iter()
+            .position(|i| matches!(i, SwitchItem::Case(c) if *c == v));
         if start.is_none() {
             start = items.iter().position(|i| matches!(i, SwitchItem::Default));
         }
@@ -1649,12 +1914,13 @@ impl<'a, 'p, S: CodeSink> DynCompiler<'a, 'p, S> {
         };
         // init must bind a tick local to a static value.
         let (k, init_expr) = match &**init {
-            Stmt::Expr(Expr { kind: ExprKind::Assign(None, lhs, rhs), .. }) => {
-                match &lhs.kind {
-                    ExprKind::Var(VarRef::TickLocal(i)) => (*i, (**rhs).clone()),
-                    _ => return Ok(None),
-                }
-            }
+            Stmt::Expr(Expr {
+                kind: ExprKind::Assign(None, lhs, rhs),
+                ..
+            }) => match &lhs.kind {
+                ExprKind::Var(VarRef::TickLocal(i)) => (*i, (**rhs).clone()),
+                _ => return Ok(None),
+            },
             Stmt::Decl(items) if items.len() == 1 => match &items[0].init {
                 Some(Init::Expr(e)) => (items[0].local_id, e.clone()),
                 _ => return Ok(None),
@@ -1670,19 +1936,13 @@ impl<'a, 'p, S: CodeSink> DynCompiler<'a, 'p, S> {
         };
         // step must be an update of k by a static amount.
         let step_kind = match &step.kind {
-            ExprKind::PreIncDec(t, inc) | ExprKind::PostIncDec(t, inc)
-                if matches!(t.kind, ExprKind::Var(VarRef::TickLocal(i)) if i == k) =>
-            {
+            ExprKind::PreIncDec(t, inc) | ExprKind::PostIncDec(t, inc) if matches!(t.kind, ExprKind::Var(VarRef::TickLocal(i)) if i == k) => {
                 StepKind::IncDec(*inc)
             }
-            ExprKind::Assign(Some(op), lhs, rhs)
-                if matches!(lhs.kind, ExprKind::Var(VarRef::TickLocal(i)) if i == k) =>
-            {
+            ExprKind::Assign(Some(op), lhs, rhs) if matches!(lhs.kind, ExprKind::Var(VarRef::TickLocal(i)) if i == k) => {
                 StepKind::AssignOp(*op, (**rhs).clone())
             }
-            ExprKind::Assign(None, lhs, rhs)
-                if matches!(lhs.kind, ExprKind::Var(VarRef::TickLocal(i)) if i == k) =>
-            {
+            ExprKind::Assign(None, lhs, rhs) if matches!(lhs.kind, ExprKind::Var(VarRef::TickLocal(i)) if i == k) => {
                 StepKind::Reassign((**rhs).clone())
             }
             _ => return Ok(None),
@@ -1746,9 +2006,9 @@ impl<'a, 'p, S: CodeSink> DynCompiler<'a, 'p, S> {
             }
             self.stmt(body, frame)?;
             let cur = *frame.rtc.get(&k).expect("induction var is static");
-            let next = self.apply_step(&step_kind, cur, &ty, frame)?.ok_or_else(|| {
-                self.err("loop step became dynamic during unrolling")
-            })?;
+            let next = self
+                .apply_step(&step_kind, cur, &ty, frame)?
+                .ok_or_else(|| self.err("loop step became dynamic during unrolling"))?;
             frame.rtc.insert(k, next);
             iters += 1;
             self.stats.unrolled_iters += 1;
@@ -1886,9 +2146,9 @@ fn assigns_local(s: &Stmt, k: usize) -> bool {
     }
     match s {
         Stmt::Expr(e) => expr_assigns(e, k),
-        Stmt::Decl(items) => items.iter().any(|i| {
-            matches!(&i.init, Some(Init::Expr(e)) if expr_assigns(e, k))
-        }),
+        Stmt::Decl(items) => items
+            .iter()
+            .any(|i| matches!(&i.init, Some(Init::Expr(e)) if expr_assigns(e, k))),
         Stmt::If(c, t, e) => {
             expr_assigns(c, k)
                 || assigns_local(t, k)
@@ -1905,7 +2165,9 @@ fn assigns_local(s: &Stmt, k: usize) -> bool {
         Stmt::Block(ss) => ss.iter().any(|s| assigns_local(s, k)),
         Stmt::Switch(c, items) => {
             expr_assigns(c, k)
-                || items.iter().any(|i| matches!(i, SwitchItem::Stmt(s) if assigns_local(s, k)))
+                || items
+                    .iter()
+                    .any(|i| matches!(i, SwitchItem::Stmt(s) if assigns_local(s, k)))
         }
         Stmt::Labeled(_, s) => assigns_local(s, k),
         _ => false,
@@ -1919,9 +2181,9 @@ fn has_labels(s: &Stmt) -> bool {
         Stmt::While(_, b) | Stmt::DoWhile(b, _) => has_labels(b),
         Stmt::For(i, _, _, b) => i.as_ref().is_some_and(|i| has_labels(i)) || has_labels(b),
         Stmt::Block(ss) => ss.iter().any(has_labels),
-        Stmt::Switch(_, items) => {
-            items.iter().any(|i| matches!(i, SwitchItem::Stmt(s) if has_labels(s)))
-        }
+        Stmt::Switch(_, items) => items
+            .iter()
+            .any(|i| matches!(i, SwitchItem::Stmt(s) if has_labels(s))),
         _ => false,
     }
 }

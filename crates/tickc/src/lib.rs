@@ -46,21 +46,31 @@ pub use dyncomp::{DynCompiler, DynInput, WalkStats};
 pub use runtime::{Backend, DynStats, TccRuntime};
 pub use tcc_icode::Strategy;
 pub use tcc_mir::OptLevel;
+pub use tcc_obs::{
+    CodegenPhases, DynMetrics, FrontendMetrics, SessionMetrics, StaticMetrics, VmMetrics,
+};
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn session(src: &str, backend: &Backend) -> Session {
-        let config = Config { backend: backend.clone(), ..Config::default() };
+        let config = Config {
+            backend: backend.clone(),
+            ..Config::default()
+        };
         Session::new(src, config).expect("compiles")
     }
 
     fn all_backends() -> Vec<Backend> {
         vec![
             Backend::Vcode { unchecked: false },
-            Backend::Icode { strategy: Strategy::LinearScan },
-            Backend::Icode { strategy: Strategy::GraphColor },
+            Backend::Icode {
+                strategy: Strategy::LinearScan,
+            },
+            Backend::Icode {
+                strategy: Strategy::GraphColor,
+            },
         ]
     }
 
@@ -225,7 +235,7 @@ mod tests {
             "#,
                 b,
             );
-            let expect = 1 * 10 + 2 * 30 + 3 * 50 + 4 * 70 + 5 * 80;
+            let expect = 10 + 2 * 30 + 3 * 50 + 4 * 70 + 5 * 80;
             assert_eq!(s.call("f", &[]).unwrap() as i64, expect as i64, "{b:?}");
             // The generated code must contain no branches (fully
             // unrolled, dead entries eliminated).
@@ -258,7 +268,8 @@ mod tests {
 
     #[test]
     fn strength_reduction_on_runtime_constants() {
-        for b in &[Backend::Vcode { unchecked: false }] {
+        {
+            let b = &Backend::Vcode { unchecked: false };
             let mut s = session(
                 r#"
                 int f(int m, int x) {
@@ -410,7 +421,9 @@ mod tests {
                 return (*g)();
             }
         "#,
-            &Backend::Icode { strategy: Strategy::LinearScan },
+            &Backend::Icode {
+                strategy: Strategy::LinearScan,
+            },
         );
         assert_eq!(s.call("f", &[5]).unwrap(), 15);
         let st = s.dyn_stats();

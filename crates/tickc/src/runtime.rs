@@ -8,16 +8,18 @@
 //! returns the function pointer. Output and `malloc` host calls round
 //! out the tiny libc.
 
-use crate::dyncomp::{DynCompiler, DynInput};
+use crate::dyncomp::{probe_compose_depth, DynCompiler, DynInput, WalkStats};
 use std::sync::Arc;
 use std::time::Instant;
 use tcc_front::Program;
 use tcc_icode::prune::{key_of, OpKey};
-use tcc_icode::{IcodeBuf, IcodeCompiler, Phases, Strategy, TranslatorTable};
-use tcc_rt::{hcalls, ValKind, VmArena, VspecObj, VspecTag, ARGLIST_MARKER, ARGLIST_MAX, LABEL_MARKER};
+use tcc_icode::{IcodeBuf, IcodeCompiler, Strategy, TranslatorTable};
+use tcc_rt::{
+    hcalls, ValKind, VmArena, VspecObj, VspecTag, ARGLIST_MARKER, ARGLIST_MAX, LABEL_MARKER,
+};
 use tcc_vcode::{CodeSink, Vcode};
 use tcc_vm::interp::MachineState;
-use tcc_vm::{HostCall, VmError};
+use tcc_vm::{CodeSpace, HostCall, Memory, VmError};
 
 /// Dynamic back-end selection — the paper's central knob: "tcc allows
 /// the user to select the dynamic back end".
@@ -43,27 +45,111 @@ impl Default for Backend {
 
 /// Accumulated dynamic-compilation statistics (the raw material for the
 /// paper's Table 1 and Figures 5-7).
-#[derive(Clone, Debug, Default)]
-pub struct DynStats {
-    /// Number of `compile` invocations.
-    pub compiles: u64,
-    /// Total wall-clock nanoseconds in `compile`.
-    pub total_ns: u64,
-    /// Nanoseconds spent walking CGFs (closure reads, partial
-    /// evaluation, and — for ICODE — building the IR).
-    pub walk_ns: u64,
-    /// ICODE per-phase breakdown, accumulated.
-    pub phases: Phases,
+///
+/// The definition lives in the observability crate (`tcc_obs`) so the
+/// suite can consume it without a runtime dependency; this alias keeps
+/// the historical name.
+pub use tcc_obs::DynMetrics as DynStats;
+
+/// Compositions at or below this depth compile on the caller's stack.
+/// Deeper (but still legal — see `COMPOSE_DEPTH_LIMIT` in `dyncomp`)
+/// nests move to a dedicated thread whose stack is sized to the probed
+/// depth: the recursive CGF walk burns several KiB per level in debug
+/// builds, which overflows a 2 MiB test-thread stack near depth 200.
+const INLINE_COMPOSE_DEPTH: u32 = 64;
+/// Base stack size for deep-compile threads.
+const DEEP_STACK_BASE: usize = 4 << 20;
+/// Additional stack per probed composition level (generous for debug
+/// builds, where walker frames are fattest).
+const DEEP_STACK_PER_LEVEL: usize = 32 << 10;
+
+/// What one dynamic compilation produced, before it is folded into the
+/// runtime's accumulated [`DynStats`]. Returned by [`run_backend`] so
+/// the backend walk can run on another thread and report back whole.
+struct CompileOutcome {
+    /// Entry address of the generated function.
+    addr: u64,
     /// Machine instructions generated.
-    pub generated_insns: u64,
-    /// ICODE IR instructions recorded.
-    pub ir_insns: u64,
-    /// Spilled live intervals (ICODE).
-    pub spills: u64,
-    /// Closures traversed.
-    pub closures: u64,
-    /// Loop iterations unrolled at dynamic compile time.
-    pub unrolled_iters: u64,
+    insns: u64,
+    /// Walk statistics (closures, unrolled iterations).
+    walk: WalkStats,
+    /// Nanoseconds in the CGF walk (for ICODE: walk + IR build).
+    walk_ns: u64,
+    /// ICODE per-phase breakdown (zero for VCODE).
+    phases: tcc_obs::CodegenPhases,
+    /// ICODE IR instructions recorded (zero for VCODE).
+    ir_insns: u64,
+    /// Spilled live intervals (zero for VCODE).
+    spills: u64,
+    /// Translator keys observed (ICODE pruning input).
+    keys: Vec<OpKey>,
+}
+
+/// Runs the selected dynamic back end on one closure. Free-standing so
+/// the caller can choose where it runs: inline for shallow compositions,
+/// on a depth-sized stack for deep ones.
+#[allow(clippy::too_many_arguments)]
+fn run_backend(
+    backend: &Backend,
+    table: Option<&TranslatorTable>,
+    cspec_first: bool,
+    enable_unroll: bool,
+    input: DynInput<'_>,
+    mem: &mut Memory,
+    code: &mut CodeSpace,
+    name: &str,
+    closure: u64,
+    ret_kind: Option<ValKind>,
+) -> Result<CompileOutcome, VmError> {
+    let t0 = Instant::now();
+    match backend {
+        Backend::Vcode { unchecked } => {
+            let mut vc = Vcode::new(code, name);
+            vc.set_unchecked(*unchecked);
+            let mut dc = DynCompiler::new(input, mem, &mut vc, ret_kind);
+            dc.cspec_first = cspec_first;
+            dc.enable_unroll = enable_unroll;
+            dc.compile_entry(closure)?;
+            let walk = dc.stats;
+            let f = vc.finish();
+            Ok(CompileOutcome {
+                addr: f.addr,
+                insns: f.insns,
+                walk,
+                walk_ns: t0.elapsed().as_nanos() as u64,
+                phases: tcc_obs::CodegenPhases::default(),
+                ir_insns: 0,
+                spills: 0,
+                keys: Vec::new(),
+            })
+        }
+        Backend::Icode { strategy } => {
+            let mut buf = IcodeBuf::new();
+            let mut dc = DynCompiler::new(input, mem, &mut buf, ret_kind);
+            dc.cspec_first = cspec_first;
+            dc.enable_unroll = enable_unroll;
+            dc.compile_entry(closure)?;
+            let walk = dc.stats;
+            let walk_ns = t0.elapsed().as_nanos() as u64;
+            let ir_insns = buf.emitted();
+            let keys: Vec<OpKey> = buf.insns.iter().map(key_of).collect();
+            let mut compiler = IcodeCompiler::new(*strategy);
+            if let Some(table) = table {
+                compiler.table = table.clone();
+            }
+            let r = compiler.compile(code, name, buf);
+            Ok(CompileOutcome {
+                addr: r.func.addr,
+                insns: r.func.insns,
+                walk,
+                walk_ns,
+                phases: r.phases,
+                ir_insns,
+                spills: r.spills as u64,
+                keys,
+            })
+        }
+    }
 }
 
 /// The runtime: implements [`HostCall`] for a loaded `C program.
@@ -150,50 +236,62 @@ impl TccRuntime {
         self.dyn_seq += 1;
         let name = format!("dyn{}", self.dyn_seq);
         let MachineState { code, mem, .. } = st;
-        let (addr, insns) = match &self.backend {
-            Backend::Vcode { unchecked } => {
-                let mut vc = Vcode::new(code, &name);
-                vc.set_unchecked(*unchecked);
-                let mut dc = DynCompiler::new(input, mem, &mut vc, ret_kind);
-                dc.cspec_first = self.cspec_first;
-                dc.enable_unroll = self.enable_unroll;
-                dc.compile_entry(closure)?;
-                self.stats.closures += dc.stats.closures;
-                self.stats.unrolled_iters += dc.stats.unrolled_iters;
-                let f = vc.finish();
-                self.stats.walk_ns += t0.elapsed().as_nanos() as u64;
-                (f.addr, f.insns)
-            }
-            Backend::Icode { strategy } => {
-                let mut buf = IcodeBuf::new();
-                let mut dc = DynCompiler::new(input, mem, &mut buf, ret_kind);
-                dc.cspec_first = self.cspec_first;
-                dc.enable_unroll = self.enable_unroll;
-                dc.compile_entry(closure)?;
-                self.stats.closures += dc.stats.closures;
-                self.stats.unrolled_iters += dc.stats.unrolled_iters;
-                self.stats.walk_ns += t0.elapsed().as_nanos() as u64;
-                self.stats.ir_insns += buf.emitted();
-                self.observed_keys.extend(buf.insns.iter().map(key_of));
-                let mut compiler = IcodeCompiler::new(*strategy);
-                if let Some(table) = &self.table {
-                    compiler.table = table.clone();
-                }
-                let r = compiler.compile(code, &name, buf);
-                self.stats.phases.peephole_ns += r.phases.peephole_ns;
-                self.stats.phases.flow_ns += r.phases.flow_ns;
-                self.stats.phases.liveness_ns += r.phases.liveness_ns;
-                self.stats.phases.intervals_ns += r.phases.intervals_ns;
-                self.stats.phases.alloc_ns += r.phases.alloc_ns;
-                self.stats.phases.emit_ns += r.phases.emit_ns;
-                self.stats.spills += r.spills as u64;
-                (r.func.addr, r.func.insns)
-            }
+        // Probe the composition depth first (iteratively, so a runaway
+        // nest cannot overflow the host stack before the limit check in
+        // the recursive walk fires), then pick where the walk runs.
+        let depth = probe_compose_depth(mem, &self.prog, closure)?;
+        let backend = &self.backend;
+        let table = self.table.as_ref();
+        let (cspec_first, enable_unroll) = (self.cspec_first, self.enable_unroll);
+        let outcome = if depth <= INLINE_COMPOSE_DEPTH {
+            run_backend(
+                backend,
+                table,
+                cspec_first,
+                enable_unroll,
+                input,
+                mem,
+                code,
+                &name,
+                closure,
+                ret_kind,
+            )?
+        } else {
+            let stack_size = DEEP_STACK_BASE + depth as usize * DEEP_STACK_PER_LEVEL;
+            std::thread::scope(|scope| {
+                std::thread::Builder::new()
+                    .name("tcc-deep-compile".into())
+                    .stack_size(stack_size)
+                    .spawn_scoped(scope, || {
+                        run_backend(
+                            backend,
+                            table,
+                            cspec_first,
+                            enable_unroll,
+                            input,
+                            mem,
+                            code,
+                            &name,
+                            closure,
+                            ret_kind,
+                        )
+                    })
+                    .map_err(|e| VmError::Host(format!("cannot spawn compile thread: {e}")))?
+                    .join()
+                    .unwrap_or_else(|panic| std::panic::resume_unwind(panic))
+            })?
         };
+        self.stats.closures += outcome.walk.closures;
+        self.stats.unrolled_iters += outcome.walk.unrolled_iters;
+        self.stats.walk_ns += outcome.walk_ns;
+        self.stats.phases.accumulate(&outcome.phases);
+        self.stats.ir_insns += outcome.ir_insns;
+        self.stats.spills += outcome.spills;
+        self.observed_keys.extend(outcome.keys);
         self.stats.compiles += 1;
         self.stats.total_ns += t0.elapsed().as_nanos() as u64;
-        self.stats.generated_insns += insns;
-        st.set_ret(addr);
+        self.stats.generated_insns += outcome.insns;
+        st.set_ret(outcome.addr);
         Ok(())
     }
 
@@ -260,9 +358,7 @@ impl TccRuntime {
                     f_arg += 1;
                 }
                 Some('%') => out.push('%'),
-                other => {
-                    return Err(VmError::Host(format!("bad printf conversion {other:?}")))
-                }
+                other => return Err(VmError::Host(format!("bad printf conversion {other:?}"))),
             }
         }
         self.emit_out(out.as_bytes());
@@ -323,8 +419,12 @@ impl HostCall for TccRuntime {
                     .ok_or_else(|| VmError::Host("bad vspec kind".into()))?;
                 let addr = st.mem.alloc(VspecObj::SIZE, 8)?;
                 self.vspec_seq += 1;
-                VspecObj { tag: VspecTag::Local, kind, index: self.vspec_seq }
-                    .write(&mut st.mem, addr)?;
+                VspecObj {
+                    tag: VspecTag::Local,
+                    kind,
+                    index: self.vspec_seq,
+                }
+                .write(&mut st.mem, addr)?;
                 st.set_ret(addr);
                 Ok(())
             }
@@ -333,7 +433,12 @@ impl HostCall for TccRuntime {
                     .ok_or_else(|| VmError::Host("bad vspec kind".into()))?;
                 let index = st.arg(1);
                 let addr = st.mem.alloc(VspecObj::SIZE, 8)?;
-                VspecObj { tag: VspecTag::Param, kind, index }.write(&mut st.mem, addr)?;
+                VspecObj {
+                    tag: VspecTag::Param,
+                    kind,
+                    index,
+                }
+                .write(&mut st.mem, addr)?;
                 st.set_ret(addr);
                 Ok(())
             }

@@ -4,7 +4,14 @@
 use tcc::{Backend, Config, Session, Strategy};
 
 fn session(src: &str, backend: Backend) -> Session {
-    Session::new(src, Config { backend, ..Config::default() }).expect("compiles")
+    Session::new(
+        src,
+        Config {
+            backend,
+            ..Config::default()
+        },
+    )
+    .expect("compiles")
 }
 
 fn vcode() -> Backend {
@@ -50,12 +57,20 @@ fn unrolling_direction_and_step_variants() {
             return (long)compile(c, int);
         }
     "#;
-    for b in [vcode(), Backend::Icode { strategy: Strategy::LinearScan }] {
+    for b in [
+        vcode(),
+        Backend::Icode {
+            strategy: Strategy::LinearScan,
+        },
+    ] {
         let mut s = session(src, b);
         let fp = s.call("down", &[]).unwrap();
         assert_eq!(s.call_addr(fp, &[]).unwrap(), (1..=10).sum::<u64>());
         let fp = s.call("by2", &[]).unwrap();
-        assert_eq!(s.call_addr(fp, &[]).unwrap(), (0..10).step_by(2).sum::<u64>());
+        assert_eq!(
+            s.call_addr(fp, &[]).unwrap(),
+            (0..10).step_by(2).sum::<u64>()
+        );
         let fp = s.call("reassign", &[]).unwrap();
         assert_eq!(s.call_addr(fp, &[]).unwrap(), 1 + 2 + 4 + 8);
         assert!(s.dyn_stats().unrolled_iters >= 5 + 5 + 4);
@@ -161,7 +176,10 @@ fn strength_reduction_eliminates_mul_and_div_for_powers_of_two() {
     );
     let d = s.disassemble_addr(fp).expect("disassembles");
     assert!(!d.contains("mulw"), "power-of-two multiply survived:\n{d}");
-    assert!(!d.contains("divw") && !d.contains("divuw"), "divide survived:\n{d}");
+    assert!(
+        !d.contains("divw") && !d.contains("divuw"),
+        "divide survived:\n{d}"
+    );
     assert!(!d.contains("remuw"), "remainder survived:\n{d}");
 
     // Non-power-of-two keeps the real operations (checked for honesty).
@@ -209,7 +227,12 @@ fn rtc_local_demotion_is_sound() {
             return (long)compile(c, int);
         }
     "#;
-    for b in [vcode(), Backend::Icode { strategy: Strategy::GraphColor }] {
+    for b in [
+        vcode(),
+        Backend::Icode {
+            strategy: Strategy::GraphColor,
+        },
+    ] {
         let mut s = session(src, b);
         let fp = s.call("mk", &[20]).unwrap();
         assert_eq!(s.call_addr(fp, &[5]).unwrap(), 40 + 10 + 5 + 1);
@@ -233,7 +256,10 @@ fn unroll_bails_to_a_loop_past_the_limit() {
     let (insns, mut s) = gen_insns(src, "mk", &[]);
     let fp = s.call("mk", &[]).unwrap();
     assert_eq!(s.call_addr(fp, &[]).unwrap(), 10_000);
-    assert!(insns < 60, "expected a loop, got {insns} instructions (unrolled?)");
+    assert!(
+        insns < 60,
+        "expected a loop, got {insns} instructions (unrolled?)"
+    );
     assert_eq!(s.dyn_stats().unrolled_iters, 0);
 }
 

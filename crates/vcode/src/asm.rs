@@ -37,7 +37,12 @@ impl<'a> Asm<'a> {
     pub fn new(code: &'a mut CodeSpace, name: &str) -> Asm<'a> {
         let func = code.begin_function(name);
         let start_index = code.next_index();
-        Asm { code, func, labels: Vec::new(), start_index }
+        Asm {
+            code,
+            func,
+            labels: Vec::new(),
+            start_index,
+        }
     }
 
     /// The function handle being emitted into.
@@ -101,7 +106,10 @@ impl<'a> Asm<'a> {
         info.bound = Some(at);
         let refs = std::mem::take(&mut info.refs);
         for r in refs {
-            let word = self.code.fetch(CODE_BASE + (r as u64) * 4).expect("own code");
+            let word = self
+                .code
+                .fetch(CODE_BASE + (r as u64) * 4)
+                .expect("own code");
             let mut insn = Insn::decode(word).expect("own code decodes");
             let off = at as i64 - (r as i64 + 1);
             if insn.op == Op::J || insn.op == Op::Jal {
@@ -136,14 +144,26 @@ impl<'a> Asm<'a> {
         debug_assert!(op.is_branch());
         let at = self.here();
         let imm = self.label_ref(label, at);
-        self.emit(Insn { op, rd: a.0, rs1: b.0, rs2: 0, imm });
+        self.emit(Insn {
+            op,
+            rd: a.0,
+            rs1: b.0,
+            rs2: 0,
+            imm,
+        });
     }
 
     /// Unconditional jump to `label`.
     pub fn jmp(&mut self, label: Label) {
         let at = self.here();
         let imm = self.label_ref(label, at);
-        self.emit(Insn { op: Op::J, rd: 0, rs1: 0, rs2: 0, imm });
+        self.emit(Insn {
+            op: Op::J,
+            rd: 0,
+            rs1: 0,
+            rs2: 0,
+            imm,
+        });
     }
 
     /// Direct call to an absolute code address (`jal` with a relative
@@ -153,7 +173,7 @@ impl<'a> Asm<'a> {
     ///
     /// Panics if the displacement overflows the 24-bit jump field.
     pub fn call_addr(&mut self, target: u64) {
-        debug_assert!(target >= CODE_BASE && target % 4 == 0);
+        debug_assert!(target >= CODE_BASE && target.is_multiple_of(4));
         let at = self.here() as i64;
         let target_word = ((target - CODE_BASE) / 4) as i64;
         let off = target_word - (at + 1);
@@ -163,7 +183,13 @@ impl<'a> Asm<'a> {
 
     /// Indirect call through a register.
     pub fn call_reg(&mut self, target: Reg) {
-        self.emit(Insn { op: Op::Jalr, rd: RA.0, rs1: target.0, rs2: 0, imm: 0 });
+        self.emit(Insn {
+            op: Op::Jalr,
+            rd: RA.0,
+            rs1: target.0,
+            rs2: 0,
+            imm: 0,
+        });
     }
 
     /// Host call trap.
@@ -210,7 +236,7 @@ impl<'a> Asm<'a> {
         // Full 64-bit: high 32 into rd, shift, build low 32 in scratch,
         // zero-extend it, or together.
         let scratch = if rd == AT1 { AT0 } else { AT1 };
-        let hi32 = (v >> 32) as i64;
+        let hi32 = v >> 32;
         let lo32 = v & 0xffff_ffff;
         self.li(rd, hi32);
         self.emit(Insn::i(Op::Sllid, rd, rd, 32));
@@ -222,12 +248,22 @@ impl<'a> Asm<'a> {
     /// `at0` and moving them across.
     pub fn lif(&mut self, fd: FReg, v: f64) {
         self.li(AT0, v.to_bits() as i64);
-        self.emit(Insn { op: Op::Fmvdx, rd: fd.0, rs1: AT0.0, rs2: 0, imm: 0 });
+        self.emit(Insn {
+            op: Op::Fmvdx,
+            rd: fd.0,
+            rs1: AT0.0,
+            rs2: 0,
+            imm: 0,
+        });
     }
 
     /// `rd <- rs + imm` at kind `k`, synthesizing large immediates.
     pub fn add_ri(&mut self, k: ValKind, rd: Reg, rs: Reg, imm: i64) {
-        let op = if k == ValKind::W { Op::Addiw } else { Op::Addid };
+        let op = if k == ValKind::W {
+            Op::Addiw
+        } else {
+            Op::Addid
+        };
         if fits_imm14(imm) {
             self.emit(Insn::i(op, rd, rs, imm as i32));
         } else {
@@ -525,7 +561,9 @@ mod tests {
 
     #[test]
     fn mul_imm_strength_reduction_is_correct() {
-        for imm in [0i64, 1, -1, 2, -2, 8, 3, 5, 9, 7, 15, -7, 6, 10, 100, -100, 12345] {
+        for imm in [
+            0i64, 1, -1, 2, -2, 8, 3, 5, 9, 7, 15, -7, 6, 10, 100, -100, 12345,
+        ] {
             for x in [0i64, 1, -1, 7, -13, 1 << 20, i32::MAX as i64] {
                 let got = exec(|a| a.mul_imm(ValKind::W, A0, A0, imm), &[x as u64]);
                 assert_eq!(
@@ -554,7 +592,15 @@ mod tests {
     #[test]
     fn div_rem_imm_match_reference() {
         for imm in [1i64, 2, 4, 1024, 3, 10] {
-            for x in [0i64, 5, -5, 1023, -1024, i32::MAX as i64, i32::MIN as i64 + 1] {
+            for x in [
+                0i64,
+                5,
+                -5,
+                1023,
+                -1024,
+                i32::MAX as i64,
+                i32::MIN as i64 + 1,
+            ] {
                 let got = exec(|a| a.divs_imm(ValKind::W, A0, A0, imm), &[x as u64]);
                 assert_eq!(got as i64, ((x as i32) / (imm as i32)) as i64, "{x}/{imm}");
             }

@@ -55,7 +55,14 @@ impl<'a> FuncBuilder<'a> {
         asm.emit(Insn::i(Op::Addid, FP, SP, 16));
         let sp_patch = asm.emit(Insn::i(Op::Addid, SP, SP, 0));
         let epilogue = asm.new_label();
-        FuncBuilder { asm, nslots: 0, sp_patch, epilogue, saved: Vec::new(), fsaved: Vec::new() }
+        FuncBuilder {
+            asm,
+            nslots: 0,
+            sp_patch,
+            epilogue,
+            saved: Vec::new(),
+            fsaved: Vec::new(),
+        }
     }
 
     /// Allocates a fresh 8-byte stack slot; returns its `fp`-relative
@@ -164,11 +171,16 @@ impl<'a> FuncBuilder<'a> {
         self.asm.emit(Insn::ret());
         // Patch the slot-area sp adjustment (16-byte aligned).
         let area = (8 * self.nslots as i32 + 15) & !15;
-        self.asm.patch(self.sp_patch, Insn::i(Op::Addid, SP, SP, -area));
+        self.asm
+            .patch(self.sp_patch, Insn::i(Op::Addid, SP, SP, -area));
         let insns = self.asm.emitted();
         let handle = self.asm.func();
         let addr = self.asm.finish();
-        FinishedFunc { addr, handle, insns }
+        FinishedFunc {
+            addr,
+            handle,
+            insns,
+        }
     }
 
     /// Moves a floating point return value into `fa0` and returns.

@@ -208,13 +208,29 @@ impl BinOp {
             Eq => i64::from(a == b),
             Ne => i64::from(a != b),
             Lt => i64::from(if w { aw < bw } else { a < b }),
-            LtU => i64::from(if w { (aw as u32) < (bw as u32) } else { (a as u64) < (b as u64) }),
+            LtU => i64::from(if w {
+                (aw as u32) < (bw as u32)
+            } else {
+                (a as u64) < (b as u64)
+            }),
             Le => i64::from(if w { aw <= bw } else { a <= b }),
-            LeU => i64::from(if w { (aw as u32) <= (bw as u32) } else { (a as u64) <= (b as u64) }),
+            LeU => i64::from(if w {
+                (aw as u32) <= (bw as u32)
+            } else {
+                (a as u64) <= (b as u64)
+            }),
             Gt => i64::from(if w { aw > bw } else { a > b }),
-            GtU => i64::from(if w { (aw as u32) > (bw as u32) } else { (a as u64) > (b as u64) }),
+            GtU => i64::from(if w {
+                (aw as u32) > (bw as u32)
+            } else {
+                (a as u64) > (b as u64)
+            }),
             Ge => i64::from(if w { aw >= bw } else { a >= b }),
-            GeU => i64::from(if w { (aw as u32) >= (bw as u32) } else { (a as u64) >= (b as u64) }),
+            GeU => i64::from(if w {
+                (aw as u32) >= (bw as u32)
+            } else {
+                (a as u64) >= (b as u64)
+            }),
         };
         Some(r)
     }
@@ -462,8 +478,14 @@ mod tests {
 
     #[test]
     fn eval_int_matches_rust_semantics() {
-        assert_eq!(BinOp::Add.eval_int(ValKind::W, i32::MAX as i64, 1), Some(i32::MIN as i64));
-        assert_eq!(BinOp::Add.eval_int(ValKind::D, i32::MAX as i64, 1), Some(1 << 31));
+        assert_eq!(
+            BinOp::Add.eval_int(ValKind::W, i32::MAX as i64, 1),
+            Some(i32::MIN as i64)
+        );
+        assert_eq!(
+            BinOp::Add.eval_int(ValKind::D, i32::MAX as i64, 1),
+            Some(1 << 31)
+        );
         assert_eq!(BinOp::Div.eval_int(ValKind::W, 7, 0), None);
         assert_eq!(BinOp::Lt.eval_int(ValKind::W, -1, 0), Some(1));
         assert_eq!(BinOp::LtU.eval_int(ValKind::W, -1, 0), Some(0));

@@ -77,12 +77,7 @@ pub trait CodeSink {
         ret: Option<(ValKind, Self::Val)>,
     );
     /// Host call with the same argument convention as calls.
-    fn hcall(
-        &mut self,
-        num: u32,
-        args: &[(ValKind, Self::Val)],
-        ret: Option<(ValKind, Self::Val)>,
-    );
+    fn hcall(&mut self, num: u32, args: &[(ValKind, Self::Val)], ret: Option<(ValKind, Self::Val)>);
 
     /// Return a value.
     fn ret_val(&mut self, k: ValKind, v: Self::Val);

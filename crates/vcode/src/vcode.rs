@@ -119,9 +119,15 @@ impl<'a> Vcode<'a> {
                 }
                 return Loc::F(f);
             }
-            assert!(!self.unchecked, "fp register pool exhausted in unchecked mode");
+            assert!(
+                !self.unchecked,
+                "fp register pool exhausted in unchecked mode"
+            );
             self.spill_getregs += 1;
-            let off = self.free_fslots.pop().unwrap_or_else(|| self.fb.alloc_slot());
+            let off = self
+                .free_fslots
+                .pop()
+                .unwrap_or_else(|| self.fb.alloc_slot());
             return Loc::FSpill(off);
         }
         if let Some((r, callee_saved)) = self.regs.get_int(prefer_saved) {
@@ -132,7 +138,10 @@ impl<'a> Vcode<'a> {
         }
         assert!(!self.unchecked, "register pool exhausted in unchecked mode");
         self.spill_getregs += 1;
-        let off = self.free_slots.pop().unwrap_or_else(|| self.fb.alloc_slot());
+        let off = self
+            .free_slots
+            .pop()
+            .unwrap_or_else(|| self.fb.alloc_slot());
         Loc::Spill(off)
     }
 
@@ -333,7 +342,13 @@ impl<'a> Vcode<'a> {
             _ => panic!("fp comparison {op:?} unsupported"),
         };
         let (x, y) = if swap { (fb_reg, fa) } else { (fa, fb_reg) };
-        self.fb.asm.emit(Insn { op: mop, rd: d.0, rs1: x.0, rs2: y.0, imm: 0 });
+        self.fb.asm.emit(Insn {
+            op: mop,
+            rd: d.0,
+            rs1: x.0,
+            rs2: y.0,
+            imm: 0,
+        });
         if negate {
             self.fb.asm.emit(Insn::i(Op::Xori, d, d, 1));
         }
@@ -427,15 +442,35 @@ impl<'a> Vcode<'a> {
             UnOp::CvtWtoF | UnOp::CvtLtoF => {
                 let ra = self.use_int(a, AT0);
                 let d = self.def_f(dst);
-                let mop = if op == UnOp::CvtWtoF { Op::Cvtwd } else { Op::Cvtld };
-                self.fb.asm.emit(Insn { op: mop, rd: d.0, rs1: ra.0, rs2: 0, imm: 0 });
+                let mop = if op == UnOp::CvtWtoF {
+                    Op::Cvtwd
+                } else {
+                    Op::Cvtld
+                };
+                self.fb.asm.emit(Insn {
+                    op: mop,
+                    rd: d.0,
+                    rs1: ra.0,
+                    rs2: 0,
+                    imm: 0,
+                });
                 self.commit_f(dst, d);
             }
             UnOp::CvtFtoW | UnOp::CvtFtoL => {
                 let fa = self.use_f(a, FAT);
                 let d = self.def_int(dst);
-                let mop = if op == UnOp::CvtFtoW { Op::Cvtdw } else { Op::Cvtdl };
-                self.fb.asm.emit(Insn { op: mop, rd: d.0, rs1: fa.0, rs2: 0, imm: 0 });
+                let mop = if op == UnOp::CvtFtoW {
+                    Op::Cvtdw
+                } else {
+                    Op::Cvtdl
+                };
+                self.fb.asm.emit(Insn {
+                    op: mop,
+                    rd: d.0,
+                    rs1: fa.0,
+                    rs2: 0,
+                    imm: 0,
+                });
                 self.commit_int(dst, d);
             }
         }
@@ -579,7 +614,9 @@ impl<'a> Vcode<'a> {
             .collect();
         while !pending.is_empty() {
             let ready = pending.iter().position(|&(_, dst)| {
-                !pending.iter().any(|&(s, _)| matches!(s, Loc::R(r) if r == dst))
+                !pending
+                    .iter()
+                    .any(|&(s, _)| matches!(s, Loc::R(r) if r == dst))
             });
             match ready {
                 Some(i) => {
@@ -616,12 +653,7 @@ impl<'a> Vcode<'a> {
     }
 
     /// Host call with call-style argument passing.
-    pub fn hcall_with(
-        &mut self,
-        num: u32,
-        args: &[(ValKind, Loc)],
-        ret: Option<(ValKind, Loc)>,
-    ) {
+    pub fn hcall_with(&mut self, num: u32, args: &[(ValKind, Loc)], ret: Option<(ValKind, Loc)>) {
         let mut int_moves: Vec<(Loc, Reg)> = Vec::new();
         let (mut ni, mut nf) = (0, 0);
         for &(k, loc) in args {
@@ -703,8 +735,8 @@ mod tests {
             (-1, 1),
         ];
         for op in [
-            Add, Sub, Mul, Div, DivU, Rem, RemU, And, Or, Xor, Shl, Shr, ShrU, Eq, Ne, Lt,
-            LtU, Le, LeU, Gt, GtU, Ge, GeU,
+            Add, Sub, Mul, Div, DivU, Rem, RemU, And, Or, Xor, Shl, Shr, ShrU, Eq, Ne, Lt, LtU, Le,
+            LeU, Gt, GtU, Ge, GeU,
         ] {
             for k in [ValKind::W, ValKind::D] {
                 for (a, b) in cases {
@@ -743,7 +775,10 @@ mod tests {
                 vc.li(l, i as i64 + 1);
                 locs.push(l);
             }
-            assert!(locs.iter().any(|l| l.is_spill()), "expected spills after 20 getregs");
+            assert!(
+                locs.iter().any(|l| l.is_spill()),
+                "expected spills after 20 getregs"
+            );
             let acc = vc.getreg(ValKind::W);
             assert!(acc.is_spill());
             vc.li(acc, 0);
@@ -886,7 +921,11 @@ mod tests {
                 vc.un(op, ValKind::W, d, a);
                 vc.ret_val(ValKind::W, d);
             });
-            assert_eq!(vm.call(addr, &[x as u64]).unwrap() as i64, expect, "{op:?} {x}");
+            assert_eq!(
+                vm.call(addr, &[x as u64]).unwrap() as i64,
+                expect,
+                "{op:?} {x}"
+            );
         }
     }
 }

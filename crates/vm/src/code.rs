@@ -63,7 +63,7 @@ impl CodeSpace {
             *state ^= *state << 17;
             let pad = (*state % 64) as usize;
             self.words
-                .extend(std::iter::repeat(Insn::nop().encode()).take(pad));
+                .extend(std::iter::repeat_n(Insn::nop().encode(), pad));
         }
         let h = FuncHandle(self.funcs.len());
         self.funcs.push(FuncInfo {
@@ -135,7 +135,7 @@ impl CodeSpace {
     /// or not word-aligned.
     #[inline]
     pub fn fetch(&self, pc: u64) -> Result<u32, VmError> {
-        if pc < CODE_BASE || pc % 4 != 0 {
+        if pc < CODE_BASE || !pc.is_multiple_of(4) {
             return Err(VmError::BadPc(pc));
         }
         let idx = ((pc - CODE_BASE) / 4) as usize;
@@ -180,7 +180,10 @@ impl CodeSpace {
             return None;
         }
         let w = ((addr - CODE_BASE) / 4) as usize;
-        let idx = self.funcs.iter().position(|f| w >= f.start_word && w < f.end_word)?;
+        let idx = self
+            .funcs
+            .iter()
+            .position(|f| w >= f.start_word && w < f.end_word)?;
         Some(self.disassemble(FuncHandle(idx)))
     }
 

@@ -41,6 +41,8 @@ pub struct MachineState {
     pub cycles: u64,
     /// Instructions executed since the last counter reset.
     pub insns: u64,
+    /// Host-call traps taken since the last counter reset.
+    pub hcalls: u64,
 }
 
 impl MachineState {
@@ -115,6 +117,7 @@ impl<H: HostCall> Vm<H> {
                 code,
                 cycles: 0,
                 insns: 0,
+                hcalls: 0,
             },
             host,
             cost: CostModel::default(),
@@ -158,10 +161,11 @@ impl<H: HostCall> Vm<H> {
         &mut self.host
     }
 
-    /// Zeroes the cycle and instruction counters.
+    /// Zeroes the cycle, instruction, and host-call counters.
     pub fn reset_counters(&mut self) {
         self.state.cycles = 0;
         self.state.insns = 0;
+        self.state.hcalls = 0;
     }
 
     /// Cycles consumed since the last reset.
@@ -172,6 +176,11 @@ impl<H: HostCall> Vm<H> {
     /// Instructions executed since the last reset.
     pub fn insns(&self) -> u64 {
         self.state.insns
+    }
+
+    /// Host-call traps taken since the last reset.
+    pub fn hcalls(&self) -> u64 {
+        self.state.hcalls
     }
 
     /// Calls the function at `addr` with integer arguments, returning
@@ -285,6 +294,7 @@ impl<H: HostCall> Vm<H> {
             Nop => {}
             Halt => return Ok(Flow::Halt),
             Hcall => {
+                self.state.hcalls += 1;
                 self.host.call(insn.imm as u32, &mut self.state)?;
             }
 
@@ -412,7 +422,9 @@ impl<H: HostCall> Vm<H> {
             Sh => st.mem.store_u16(ea(a, insn.imm), st.reg(rd) as u16)?,
             Sw => st.mem.store_u32(ea(a, insn.imm), st.reg(rd) as u32)?,
             Sd => st.mem.store_u64(ea(a, insn.imm), st.reg(rd))?,
-            Fsd => st.mem.store_f64(ea(a, insn.imm), st.fregs[rd as usize & 15])?,
+            Fsd => st
+                .mem
+                .store_f64(ea(a, insn.imm), st.fregs[rd as usize & 15])?,
 
             Beq | Bne | Bltw | Bgew | Bltuw | Bgeuw | Bltd | Bged | Bltud | Bgeud => {
                 let x = st.reg(rd);
@@ -505,7 +517,7 @@ enum Flow {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::regs::{A0, A1, A2, AT0, ZERO};
+    use crate::regs::{A0, A1, AT0, ZERO};
 
     fn run1(insns: &[Insn], args: &[u64]) -> Result<u64, VmError> {
         let mut cs = CodeSpace::new();
@@ -542,7 +554,11 @@ mod tests {
             -1
         );
         assert_eq!(
-            run1(&[Insn::r(Op::Divuw, A0, A0, A1)], &[(-2i32) as u32 as u64, 2]).unwrap(),
+            run1(
+                &[Insn::r(Op::Divuw, A0, A0, A1)],
+                &[(-2i32) as u32 as u64, 2]
+            )
+            .unwrap(),
             (((-2i32) as u32) / 2) as i32 as i64 as u64
         );
         assert_eq!(
@@ -569,11 +585,7 @@ mod tests {
         for v in [0x1234_5678i32, -1, i32::MIN, i32::MAX, 0x4000] {
             let hi = v >> 14;
             let lo = v & 0x3fff;
-            let got = run1(
-                &[Insn::sethi(A0, hi), Insn::i(Op::Ori, A0, A0, lo)],
-                &[0],
-            )
-            .unwrap();
+            let got = run1(&[Insn::sethi(A0, hi), Insn::i(Op::Ori, A0, A0, lo)], &[0]).unwrap();
             assert_eq!(got as i64, v as i64, "value {v:#x}");
         }
     }
@@ -581,11 +593,7 @@ mod tests {
     #[test]
     fn unsigned_compare_uses_low_32_bits() {
         // -1 (sign-extended) as u32 is u32::MAX, so 1 <u -1 in 32-bit.
-        let got = run1(
-            &[Insn::r(Op::Sltuw, A0, A0, A1)],
-            &[1, (-1i64) as u64],
-        )
-        .unwrap();
+        let got = run1(&[Insn::r(Op::Sltuw, A0, A0, A1)], &[1, (-1i64) as u64]).unwrap();
         assert_eq!(got, 1);
         // but NOT as a 64-bit unsigned compare of the sign-extended forms.
         let got = run1(&[Insn::r(Op::Sltud, A0, A0, A1)], &[1, (-1i64) as u64]).unwrap();
@@ -663,9 +671,21 @@ mod tests {
         let mut cs = CodeSpace::new();
         let f = cs.begin_function("f");
         use crate::regs::FA0;
-        cs.push(Insn { op: Op::Cvtwd, rd: FA0.0, rs1: A0.0, rs2: 0, imm: 0 });
+        cs.push(Insn {
+            op: Op::Cvtwd,
+            rd: FA0.0,
+            rs1: A0.0,
+            rs2: 0,
+            imm: 0,
+        });
         cs.push(Insn::fr(Op::Fadd, FA0, FA0, FA0));
-        cs.push(Insn { op: Op::Cvtdw, rd: A0.0, rs1: FA0.0, rs2: 0, imm: 0 });
+        cs.push(Insn {
+            op: Op::Cvtdw,
+            rd: A0.0,
+            rs1: FA0.0,
+            rs2: 0,
+            imm: 0,
+        });
         cs.push(Insn::ret());
         let addr = cs.finish_function(f);
         let mut vm = Vm::new(cs, 1 << 20);
@@ -701,7 +721,13 @@ mod tests {
     fn halt_exits() {
         let mut cs = CodeSpace::new();
         let f = cs.begin_function("f");
-        cs.push(Insn { op: Op::Halt, rd: 0, rs1: 0, rs2: 0, imm: 0 });
+        cs.push(Insn {
+            op: Op::Halt,
+            rd: 0,
+            rs1: 0,
+            rs2: 0,
+            imm: 0,
+        });
         cs.finish_function(f);
         let mut vm = Vm::new(cs, 1 << 20);
         assert_eq!(vm.run(CODE_BASE).unwrap(), ExitStatus::Halted);

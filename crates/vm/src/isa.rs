@@ -278,8 +278,17 @@ impl Op {
     pub fn rd_is_float(self) -> bool {
         matches!(
             self,
-            Op::Fld | Op::Fsd | Op::Fadd | Op::Fsub | Op::Fmul | Op::Fdiv | Op::Fneg
-                | Op::Fmov | Op::Cvtwd | Op::Cvtld | Op::Fmvdx
+            Op::Fld
+                | Op::Fsd
+                | Op::Fadd
+                | Op::Fsub
+                | Op::Fmul
+                | Op::Fdiv
+                | Op::Fneg
+                | Op::Fmov
+                | Op::Cvtwd
+                | Op::Cvtld
+                | Op::Fmvdx
         )
     }
 }
@@ -325,7 +334,13 @@ impl Insn {
     /// Builds an R-format instruction over integer registers.
     pub fn r(op: Op, rd: Reg, rs1: Reg, rs2: Reg) -> Insn {
         debug_assert_eq!(op.format(), Format::R);
-        Insn { op, rd: rd.0, rs1: rs1.0, rs2: rs2.0, imm: 0 }
+        Insn {
+            op,
+            rd: rd.0,
+            rs1: rs1.0,
+            rs2: rs2.0,
+            imm: 0,
+        }
     }
 
     /// Builds an I-format instruction (`rd <- op(rs1, imm)`, or a
@@ -344,42 +359,84 @@ impl Insn {
             _ => (IMM14_MIN..=IMM14_MAX).contains(&imm),
         };
         debug_assert!(ok, "immediate out of range for {op:?}: {imm}");
-        Insn { op, rd: rd.0, rs1: rs1.0, rs2: 0, imm }
+        Insn {
+            op,
+            rd: rd.0,
+            rs1: rs1.0,
+            rs2: 0,
+            imm,
+        }
     }
 
     /// Builds a J-format instruction with a word offset.
     pub fn j(op: Op, offset: i32) -> Insn {
         debug_assert_eq!(op.format(), Format::J);
         debug_assert!((IMM24_MIN..=IMM24_MAX).contains(&offset));
-        Insn { op, rd: 0, rs1: 0, rs2: 0, imm: offset }
+        Insn {
+            op,
+            rd: 0,
+            rs1: 0,
+            rs2: 0,
+            imm: offset,
+        }
     }
 
     /// Builds `sethi rd, imm` (`rd <- imm << 14`).
     pub fn sethi(rd: Reg, imm: i32) -> Insn {
         debug_assert!((IMM19_MIN..=IMM19_MAX).contains(&imm));
-        Insn { op: Op::Sethi, rd: rd.0, rs1: 0, rs2: 0, imm }
+        Insn {
+            op: Op::Sethi,
+            rd: rd.0,
+            rs1: 0,
+            rs2: 0,
+            imm,
+        }
     }
 
     /// A floating point R-format instruction (`fd <- op(fs1, fs2)`).
     pub fn fr(op: Op, fd: FReg, fs1: FReg, fs2: FReg) -> Insn {
         debug_assert_eq!(op.format(), Format::R);
-        Insn { op, rd: fd.0, rs1: fs1.0, rs2: fs2.0, imm: 0 }
+        Insn {
+            op,
+            rd: fd.0,
+            rs1: fs1.0,
+            rs2: fs2.0,
+            imm: 0,
+        }
     }
 
     /// A floating point load/store: `fld fd, [rs1+imm]` / `fsd fd, [rs1+imm]`.
     pub fn fmem(op: Op, fd: FReg, rs1: Reg, imm: i32) -> Insn {
         debug_assert!(matches!(op, Op::Fld | Op::Fsd));
-        Insn { op, rd: fd.0, rs1: rs1.0, rs2: 0, imm }
+        Insn {
+            op,
+            rd: fd.0,
+            rs1: rs1.0,
+            rs2: 0,
+            imm,
+        }
     }
 
     /// `ret` — `jalr r0, ra` (jump to the link register without linking).
     pub fn ret() -> Insn {
-        Insn { op: Op::Jalr, rd: 0, rs1: crate::regs::RA.0, rs2: 0, imm: 0 }
+        Insn {
+            op: Op::Jalr,
+            rd: 0,
+            rs1: crate::regs::RA.0,
+            rs2: 0,
+            imm: 0,
+        }
     }
 
     /// `nop`.
     pub fn nop() -> Insn {
-        Insn { op: Op::Nop, rd: 0, rs1: 0, rs2: 0, imm: 0 }
+        Insn {
+            op: Op::Nop,
+            rd: 0,
+            rs1: 0,
+            rs2: 0,
+            imm: 0,
+        }
     }
 
     /// Encodes into a 32-bit instruction word.
@@ -397,9 +454,7 @@ impl Insn {
                     | (self.imm as u32 & 0x3fff)
             }
             Format::J => op | (self.imm as u32 & 0xff_ffff),
-            Format::S => {
-                op | ((self.rd as u32 & 0x1f) << 19) | (self.imm as u32 & 0x7_ffff)
-            }
+            Format::S => op | ((self.rd as u32 & 0x1f) << 19) | (self.imm as u32 & 0x7_ffff),
         }
     }
 

@@ -68,7 +68,9 @@ impl Memory {
     pub fn alloc(&mut self, size: u64, align: u64) -> Result<u64, VmError> {
         debug_assert!(align.is_power_of_two());
         let base = (self.brk + align - 1) & !(align - 1);
-        let end = base.checked_add(size).ok_or(VmError::BadAddress(u64::MAX))?;
+        let end = base
+            .checked_add(size)
+            .ok_or(VmError::BadAddress(u64::MAX))?;
         // Reserve the top of memory for the stack: 1 MiB, or a quarter of
         // a smaller memory.
         let reserve = (self.stack_floor / 4).min(1 << 20);
@@ -83,11 +85,13 @@ impl Memory {
     #[inline]
     fn check(&self, addr: u64, len: u64) -> Result<usize, VmError> {
         if addr < Memory::FIRST_VALID
-            || addr.checked_add(len).map_or(true, |e| e > self.bytes.len() as u64)
+            || addr
+                .checked_add(len)
+                .is_none_or(|e| e > self.bytes.len() as u64)
         {
             return Err(VmError::BadAddress(addr));
         }
-        if addr % len != 0 {
+        if !addr.is_multiple_of(len) {
             return Err(VmError::Misaligned(addr));
         }
         Ok(addr as usize)
@@ -212,9 +216,7 @@ impl Memory {
     ///
     /// Faults if the destination range is not mapped.
     pub fn write_bytes(&mut self, addr: u64, bytes: &[u8]) -> Result<(), VmError> {
-        if addr < Memory::FIRST_VALID
-            || addr as usize + bytes.len() > self.bytes.len()
-        {
+        if addr < Memory::FIRST_VALID || addr as usize + bytes.len() > self.bytes.len() {
             return Err(VmError::BadAddress(addr));
         }
         let a = addr as usize;

@@ -53,13 +53,29 @@ pub const AT1: Reg = Reg(31);
 pub const ARG_REGS: [Reg; 6] = [A0, A1, A2, A3, A4, A5];
 /// Caller-saved temporaries `t0`..`t9`.
 pub const TEMP_REGS: [Reg; 10] = [
-    Reg(10), Reg(11), Reg(12), Reg(13), Reg(14),
-    Reg(15), Reg(16), Reg(17), Reg(18), Reg(19),
+    Reg(10),
+    Reg(11),
+    Reg(12),
+    Reg(13),
+    Reg(14),
+    Reg(15),
+    Reg(16),
+    Reg(17),
+    Reg(18),
+    Reg(19),
 ];
 /// Callee-saved registers `s0`..`s9`.
 pub const SAVED_REGS: [Reg; 10] = [
-    Reg(20), Reg(21), Reg(22), Reg(23), Reg(24),
-    Reg(25), Reg(26), Reg(27), Reg(28), Reg(29),
+    Reg(20),
+    Reg(21),
+    Reg(22),
+    Reg(23),
+    Reg(24),
+    Reg(25),
+    Reg(26),
+    Reg(27),
+    Reg(28),
+    Reg(29),
 ];
 
 /// First fp argument / fp return value.
@@ -76,18 +92,16 @@ pub const FAT: FReg = FReg(15);
 /// Floating point argument registers in order.
 pub const FARG_REGS: [FReg; 4] = [FA0, FA1, FA2, FA3];
 /// Caller-saved fp temporaries `f4`..`f9`.
-pub const FTEMP_REGS: [FReg; 6] =
-    [FReg(4), FReg(5), FReg(6), FReg(7), FReg(8), FReg(9)];
+pub const FTEMP_REGS: [FReg; 6] = [FReg(4), FReg(5), FReg(6), FReg(7), FReg(8), FReg(9)];
 /// Callee-saved fp registers `f10`..`f14`.
-pub const FSAVED_REGS: [FReg; 5] =
-    [FReg(10), FReg(11), FReg(12), FReg(13), FReg(14)];
+pub const FSAVED_REGS: [FReg; 5] = [FReg(10), FReg(11), FReg(12), FReg(13), FReg(14)];
 
 /// ABI name of an integer register, e.g. `abi_name(Reg(4)) == "a0"`.
 pub fn abi_name(r: Reg) -> &'static str {
     const NAMES: [&str; 32] = [
-        "zero", "ra", "sp", "fp", "a0", "a1", "a2", "a3", "a4", "a5", "t0",
-        "t1", "t2", "t3", "t4", "t5", "t6", "t7", "t8", "t9", "s0", "s1",
-        "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "at0", "at1",
+        "zero", "ra", "sp", "fp", "a0", "a1", "a2", "a3", "a4", "a5", "t0", "t1", "t2", "t3", "t4",
+        "t5", "t6", "t7", "t8", "t9", "s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9",
+        "at0", "at1",
     ];
     NAMES[r.0 as usize & 31]
 }
@@ -95,8 +109,8 @@ pub fn abi_name(r: Reg) -> &'static str {
 /// ABI name of a floating point register.
 pub fn fabi_name(f: FReg) -> &'static str {
     const NAMES: [&str; 16] = [
-        "fa0", "fa1", "fa2", "fa3", "ft0", "ft1", "ft2", "ft3", "ft4",
-        "ft5", "fs0", "fs1", "fs2", "fs3", "fs4", "fat",
+        "fa0", "fa1", "fa2", "fa3", "ft0", "ft1", "ft2", "ft3", "ft4", "ft5", "fs0", "fs1", "fs2",
+        "fs3", "fs4", "fat",
     ];
     NAMES[f.0 as usize & 15]
 }

@@ -63,7 +63,10 @@ fn main() {
     let prog_addr = s.global_addr("prog").expect("prog exists");
     let mut bytes = HELLO.as_bytes().to_vec();
     bytes.push(0);
-    s.vm.state_mut().mem.write_bytes(prog_addr, &bytes).expect("fits");
+    s.vm.state_mut()
+        .mem
+        .write_bytes(prog_addr, &bytes)
+        .expect("fits");
 
     let fp = s.call("bf_compile", &[]).expect("jit compiles");
     assert_ne!(fp, 0, "unbalanced brackets");

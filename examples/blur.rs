@@ -13,7 +13,10 @@ fn main() {
     println!("blur on a {}x{} image", dims.0, dims.1);
 
     let nspc = ns_per_cycle();
-    let bench = benchmarks(dims).into_iter().find(|b| b.name == "blur").expect("blur exists");
+    let bench = benchmarks(dims)
+        .into_iter()
+        .find(|b| b.name == "blur")
+        .expect("blur exists");
     let m = measure(&bench);
     print!("{}", report::blur_report(&m, nspc));
 }

@@ -47,14 +47,16 @@ fn main() {
     // generator — the signatures differ at run time.
     let m3 = s.call("make3", &[]).expect("compiles dynamically");
     let n = s.call("run3", &[m3]).expect("runs");
-    let vals: Vec<u64> =
-        (0..n).map(|i| s.call("get_out", &[i]).expect("reads out")).collect();
+    let vals: Vec<u64> = (0..n)
+        .map(|i| s.call("get_out", &[i]).expect("reads out"))
+        .collect();
     println!("marshal \"iii\"  ({n} words): {vals:?}");
 
     let m5 = s.call("make5", &[]).expect("compiles dynamically");
     let n = s.call("run5", &[m5]).expect("runs");
-    let vals: Vec<u64> =
-        (0..n).map(|i| s.call("get_out", &[i]).expect("reads out")).collect();
+    let vals: Vec<u64> = (0..n)
+        .map(|i| s.call("get_out", &[i]).expect("reads out"))
+        .collect();
     println!("marshal \"iiiii\" ({n} words): {vals:?}");
 
     let st = s.dyn_stats();

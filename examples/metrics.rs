@@ -1,0 +1,47 @@
+//! The observability layer from the outside: compile and run a `C
+//! program, then dump `Session::metrics()` as JSON.
+//!
+//! ```text
+//! cargo run --release --example metrics [composition-depth]
+//! ```
+//!
+//! The optional depth (default 200) stresses closure composition: the
+//! runtime compiles arbitrarily deep chains up to the composition
+//! limit and reports a clean error past it.
+
+use tcc::{Backend, Config, Session, Strategy};
+
+fn main() {
+    let depth: u64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("depth must be a number"))
+        .unwrap_or(200);
+
+    let mut s = Session::new(
+        r#"
+        long mk(int n) {
+            int cspec c = `1;
+            int i;
+            for (i = 0; i < n; i++) c = `(c + 1);
+            return (long)compile(c, int);
+        }
+        "#,
+        Config {
+            backend: Backend::Icode {
+                strategy: Strategy::LinearScan,
+            },
+            ..Config::default()
+        },
+    )
+    .expect("compiles");
+
+    match s.call("mk", &[depth]) {
+        Ok(fp) => {
+            let v = s.call_addr(fp, &[]).expect("generated code runs");
+            println!("depth {depth}: compiled, f() = {v}");
+        }
+        Err(e) => println!("depth {depth}: error: {e}"),
+    }
+
+    println!("{}", s.metrics().to_json().pretty());
+}

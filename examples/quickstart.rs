@@ -47,7 +47,10 @@ fn main() {
     "#,
     )
     .expect("compiles");
-    println!("composed `(c1 + c2) evaluates to {}", s.call("nine", &[]).expect("runs"));
+    println!(
+        "composed `(c1 + c2) evaluates to {}",
+        s.call("nine", &[]).expect("runs")
+    );
 
     // 4. Pick your dynamic back end: VCODE (fast codegen) or ICODE
     //    (better code). Same program, different trade-off.
@@ -61,10 +64,21 @@ fn main() {
     "#;
     for (name, backend) in [
         ("vcode", Backend::Vcode { unchecked: false }),
-        ("icode/linear-scan", Backend::Icode { strategy: Strategy::LinearScan }),
+        (
+            "icode/linear-scan",
+            Backend::Icode {
+                strategy: Strategy::LinearScan,
+            },
+        ),
     ] {
-        let mut s =
-            Session::new(src, Config { backend, ..Config::default() }).expect("compiles");
+        let mut s = Session::new(
+            src,
+            Config {
+                backend,
+                ..Config::default()
+            },
+        )
+        .expect("compiles");
         let v = s.call("spec_mul", &[8]).expect("runs");
         let st = s.dyn_stats();
         println!(

@@ -1,12 +1,32 @@
 #!/bin/sh
 # Regenerates every table/figure and runs the criterion benches,
-# appending everything to bench_output.txt. Invoked in chunks so each
-# stays within the sandbox command timeout.
-set -e
+# appending everything to bench_output.txt. Each bench is isolated: a
+# failure is reported loudly (both to stderr and in the log) and the
+# remaining benches still run; the script exits non-zero if any failed.
+# Afterwards the suite binary emits the machine-readable BENCH_*.json
+# reports next to bench_output.txt.
+set -u
 cd /root/repo
 : > bench_output.txt
+failed=""
 for b in table1 figure4 figure5 figure6 figure7 blur codegen regalloc ablations; do
   echo "=== bench: $b ===" >> bench_output.txt
-  cargo bench -p tcc-bench --bench "$b" >> bench_output.txt 2>&1
+  if ! cargo bench -p tcc-bench --bench "$b" >> bench_output.txt 2>&1; then
+    echo "BENCH FAILED: $b (see bench_output.txt)" >&2
+    echo "=== bench FAILED: $b ===" >> bench_output.txt
+    failed="$failed $b"
+  fi
 done
+
+echo "=== suite --json ===" >> bench_output.txt
+if ! cargo run -p tcc-suite --bin suite --release -- all --small --json \
+    >> bench_output.txt 2>&1; then
+  echo "BENCH FAILED: suite --json (see bench_output.txt)" >&2
+  failed="$failed suite-json"
+fi
+
+if [ -n "$failed" ]; then
+  echo "BENCHES_FAILED:$failed" >&2
+  exit 1
+fi
 echo BENCHES_DONE

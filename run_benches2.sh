@@ -1,8 +1,20 @@
 #!/bin/sh
-set -e
+# Second chunk of the bench run (see run_benches.sh): the compiler-side
+# criterion benches, isolated per bench so one failure doesn't silence
+# the rest.
+set -u
 cd /root/repo
+failed=""
 for b in codegen regalloc ablations; do
   echo "=== bench: $b ===" >> bench_output.txt
-  cargo bench -p tcc-bench --bench "$b" >> bench_output.txt 2>&1
+  if ! cargo bench -p tcc-bench --bench "$b" >> bench_output.txt 2>&1; then
+    echo "BENCH FAILED: $b (see bench_output.txt)" >&2
+    echo "=== bench FAILED: $b ===" >> bench_output.txt
+    failed="$failed $b"
+  fi
 done
+if [ -n "$failed" ]; then
+  echo "BENCHES2_FAILED:$failed" >&2
+  exit 1
+fi
 echo BENCHES2_DONE

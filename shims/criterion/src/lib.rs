@@ -1,0 +1,252 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The sandbox cannot fetch crates-io, so this shim reimplements the
+//! subset of the criterion API the workspace's benches use: groups,
+//! `bench_function` / `bench_with_input`, and the `iter*` family on
+//! [`Bencher`]. Measurement is deliberately simple — warm up, then run
+//! a time-budgeted batch and report the mean — which is plenty for the
+//! relative comparisons the bench suite prints. No plots, no state
+//! directory, no statistics beyond the mean.
+
+use std::time::{Duration, Instant};
+
+/// Target wall-clock spent measuring one benchmark.
+const MEASURE_BUDGET: Duration = Duration::from_millis(200);
+/// Iteration cap, so instant routines don't spin forever.
+const MAX_ITERS: u64 = 1_000_000;
+
+/// Prevents the optimizer from discarding a value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Batch sizing hints (accepted, ignored — setup always runs untimed).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Fresh setup for every routine call.
+    PerIteration,
+    /// Criterion's small-input heuristic.
+    SmallInput,
+    /// Criterion's large-input heuristic.
+    LargeInput,
+}
+
+/// A `group/function/parameter` label.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Joins a function name and a parameter display.
+    pub fn new<S: std::fmt::Display, P: std::fmt::Display>(function: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// A parameter-only id.
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Times one routine; constructed by the group methods.
+pub struct Bencher<'a> {
+    iters: u64,
+    elapsed: Duration,
+    _marker: std::marker::PhantomData<&'a ()>,
+}
+
+impl Bencher<'_> {
+    fn new() -> Self {
+        Bencher {
+            iters: 0,
+            elapsed: Duration::ZERO,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    fn record(&mut self, iters: u64, elapsed: Duration) {
+        self.iters += iters;
+        self.elapsed += elapsed;
+    }
+
+    /// Picks an iteration count that fills the measurement budget based
+    /// on a one-shot probe of `probe_ns` nanoseconds per iteration.
+    fn budget_iters(probe_ns: u128) -> u64 {
+        let per = probe_ns.max(1);
+        ((MEASURE_BUDGET.as_nanos() / per) as u64).clamp(1, MAX_ITERS)
+    }
+
+    /// Times `routine` in a loop.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let t = Instant::now();
+        black_box(routine());
+        let n = Self::budget_iters(t.elapsed().as_nanos());
+        let t = Instant::now();
+        for _ in 0..n {
+            black_box(routine());
+        }
+        self.record(n, t.elapsed());
+    }
+
+    /// Times `routine`, dropping its (possibly expensive) output outside
+    /// the measurement.
+    pub fn iter_with_large_drop<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let t = Instant::now();
+        let first = routine();
+        let probe = t.elapsed();
+        drop(first);
+        let n = Self::budget_iters(probe.as_nanos());
+        let mut keep = Vec::with_capacity(n.min(4096) as usize);
+        let t = Instant::now();
+        for _ in 0..n {
+            keep.push(routine());
+            if keep.len() == keep.capacity() {
+                // pause the clock conceptually: dropping is unavoidable,
+                // but bounded batches keep memory flat
+                keep.clear();
+            }
+        }
+        self.record(n, t.elapsed());
+        drop(keep);
+    }
+
+    /// Runs `setup` untimed before each timed `routine` call.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let input = setup();
+        let t = Instant::now();
+        black_box(routine(input));
+        let n = Self::budget_iters(t.elapsed().as_nanos()).min(10_000);
+        let mut total = Duration::ZERO;
+        for _ in 0..n {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            total += t.elapsed();
+        }
+        self.record(n, total);
+    }
+
+    /// Full control: the closure receives an iteration count and returns
+    /// the time those iterations took.
+    pub fn iter_custom<R: FnMut(u64) -> Duration>(&mut self, mut routine: R) {
+        let probe = routine(1);
+        let n = Self::budget_iters(probe.as_nanos());
+        let elapsed = routine(n);
+        self.record(n, elapsed);
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    fn run<F: FnOnce(&mut Bencher<'_>)>(&mut self, label: String, f: F) {
+        let mut b = Bencher::new();
+        f(&mut b);
+        let mean = b.elapsed.as_nanos() as f64 / b.iters.max(1) as f64;
+        println!(
+            "{}/{label}: {mean:.1} ns/iter ({} iters)",
+            self.name, b.iters
+        );
+    }
+
+    /// Benchmarks a routine under `id`.
+    pub fn bench_function<I: std::fmt::Display, F: FnMut(&mut Bencher<'_>)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        self.run(id.to_string(), &mut f);
+        self
+    }
+
+    /// Benchmarks a routine that borrows an input value.
+    pub fn bench_with_input<I, D, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        D: Sized,
+        F: FnMut(&mut Bencher<'_>, &I) -> D,
+    {
+        self.run(id.to_string(), |b| {
+            f(b, input);
+        });
+        self
+    }
+
+    /// Accepted for API compatibility; the shim has no sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the budget is fixed.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Ends the group (no-op beyond the name scope).
+    pub fn finish(self) {}
+}
+
+/// The top-level driver handed to each bench target function.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks a routine outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(&mut self, id: &str, f: F) -> &mut Self {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+/// Declares a group function that runs each target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

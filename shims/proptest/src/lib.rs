@@ -1,0 +1,182 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The sandbox has no crates-io access, so this shim reimplements the
+//! slice of the proptest API that the workspace's tests use:
+//!
+//! * the [`Strategy`] trait with `prop_map`, `prop_recursive`, `boxed`;
+//! * range / tuple / `Just` / string-pattern strategies and `any::<T>()`;
+//! * `prop::collection::vec`, `prop::sample::select`;
+//! * the `proptest!`, `prop_oneof!`, `prop_assert*!`, `prop_assume!`
+//!   macros, and `ProptestConfig::with_cases`.
+//!
+//! Semantics deliberately differ from real proptest in two ways: the
+//! RNG is **deterministic** (seeded from the test name, so failures
+//! reproduce across runs without a persisted regression file), and
+//! there is **no shrinking** — a failing case reports its assertion
+//! message as-is. Neither difference weakens what the tests assert.
+
+pub mod test_runner;
+
+pub mod strategy;
+
+pub mod arbitrary;
+
+pub mod collection;
+
+pub mod sample;
+
+pub mod string;
+
+/// The `prop::` namespace re-exported by the prelude.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::sample;
+    pub use crate::strategy;
+}
+
+/// Everything a test file needs.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// The core test-loop macro: runs each `fn name(arg in strategy, ...)`
+/// body against `ProptestConfig::cases` sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!{ config = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!{ config = ($crate::test_runner::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (config = ($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::TestRng::from_name(stringify!($name));
+            let mut accepted: u32 = 0;
+            let mut rejected: u32 = 0;
+            while accepted < config.cases {
+                $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut rng);)+
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        let _: () = $body;
+                        ::std::result::Result::Ok(())
+                    })();
+                match outcome {
+                    ::std::result::Result::Ok(()) => accepted += 1,
+                    ::std::result::Result::Err(e) if e.is_reject() => {
+                        rejected += 1;
+                        if rejected > config.max_global_rejects {
+                            panic!(
+                                "proptest: too many rejected cases ({} accepted, {} rejected): {}",
+                                accepted, rejected, e
+                            );
+                        }
+                    }
+                    ::std::result::Result::Err(e) => {
+                        panic!("proptest case {} failed: {}", accepted + 1, e);
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+/// Weighted or unweighted union of same-valued strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Fails the current case (returns `Err(TestCaseError::Fail)`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Equality assertion with value diagnostics.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{:?}` != `{:?}`",
+            l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{:?}` != `{:?}`: {}",
+            l, r, format!($($fmt)+)
+        );
+    }};
+}
+
+/// Inequality assertion with value diagnostics.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{:?}` == `{:?}`",
+            l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{:?}` == `{:?}`: {}",
+            l, r, format!($($fmt)+)
+        );
+    }};
+}
+
+/// Rejects the current case (it is re-drawn, not counted as a pass).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}

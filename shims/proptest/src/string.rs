@@ -1,0 +1,191 @@
+//! String generation from a small regex subset.
+//!
+//! Supports exactly what the workspace's tests use, plus a little
+//! headroom: literal characters, `\n`/`\t`/`\r`/`\\` escapes, character
+//! classes with ranges (`[ -~\n\t]`), and the repetition operators
+//! `{m}`, `{m,n}`, `*`, `+`, `?` (starred forms cap at 8 repeats).
+
+use crate::test_runner::TestRng;
+
+#[derive(Clone, Debug)]
+enum Atom {
+    Lit(char),
+    /// Inclusive character ranges; single chars are `(c, c)`.
+    Class(Vec<(char, char)>),
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Rep {
+    min: u32,
+    max: u32,
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        '0' => '\0',
+        other => other,
+    }
+}
+
+fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Vec<(char, char)> {
+    let mut ranges = Vec::new();
+    let mut pending: Option<char> = None;
+    while let Some(c) = chars.next() {
+        let lit = match c {
+            ']' => {
+                if let Some(p) = pending {
+                    ranges.push((p, p));
+                }
+                return ranges;
+            }
+            '\\' => unescape(chars.next().unwrap_or('\\')),
+            other => other,
+        };
+        if lit == '-' && pending.is_some() && chars.peek().is_some_and(|&n| n != ']') {
+            let lo = pending.take().expect("checked above");
+            let hi = match chars.next() {
+                Some('\\') => unescape(chars.next().unwrap_or('\\')),
+                Some(other) => other,
+                None => break,
+            };
+            ranges.push((lo.min(hi), lo.max(hi)));
+        } else {
+            if let Some(p) = pending.replace(lit) {
+                ranges.push((p, p));
+            }
+        }
+    }
+    if let Some(p) = pending {
+        ranges.push((p, p));
+    }
+    ranges
+}
+
+fn parse_rep(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Rep {
+    match chars.peek() {
+        Some('*') => {
+            chars.next();
+            Rep { min: 0, max: 8 }
+        }
+        Some('+') => {
+            chars.next();
+            Rep { min: 1, max: 8 }
+        }
+        Some('?') => {
+            chars.next();
+            Rep { min: 0, max: 1 }
+        }
+        Some('{') => {
+            chars.next();
+            let mut digits = String::new();
+            let mut min = 0u32;
+            let mut saw_comma = false;
+            let mut max = None;
+            for c in chars.by_ref() {
+                match c {
+                    '}' => {
+                        if saw_comma {
+                            max = digits.parse().ok();
+                        } else {
+                            min = digits.parse().unwrap_or(0);
+                            max = Some(min);
+                        }
+                        break;
+                    }
+                    ',' => {
+                        min = digits.parse().unwrap_or(0);
+                        digits.clear();
+                        saw_comma = true;
+                    }
+                    d => digits.push(d),
+                }
+            }
+            let max = max.unwrap_or(min.saturating_add(8));
+            Rep {
+                min,
+                max: max.max(min),
+            }
+        }
+        _ => Rep { min: 1, max: 1 },
+    }
+}
+
+fn parse(pattern: &str) -> Vec<(Atom, Rep)> {
+    let mut chars = pattern.chars().peekable();
+    let mut atoms = Vec::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '[' => Atom::Class(parse_class(&mut chars)),
+            '\\' => Atom::Lit(unescape(chars.next().unwrap_or('\\'))),
+            '.' => Atom::Class(vec![(' ', '~')]),
+            other => Atom::Lit(other),
+        };
+        let rep = parse_rep(&mut chars);
+        atoms.push((atom, rep));
+    }
+    atoms
+}
+
+fn sample_class(ranges: &[(char, char)], rng: &mut TestRng) -> char {
+    let total: u64 = ranges
+        .iter()
+        .map(|&(lo, hi)| (hi as u64 - lo as u64) + 1)
+        .sum();
+    let mut pick = rng.below(total.max(1));
+    for &(lo, hi) in ranges {
+        let size = (hi as u64 - lo as u64) + 1;
+        if pick < size {
+            return char::from_u32(lo as u32 + pick as u32).unwrap_or(lo);
+        }
+        pick -= size;
+    }
+    ' '
+}
+
+/// Generates one string matching `pattern`.
+pub fn sample_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for (atom, rep) in parse(pattern) {
+        let n = rep.min + rng.below((rep.max - rep.min + 1) as u64) as u32;
+        for _ in 0..n {
+            match &atom {
+                Atom::Lit(c) => out.push(*c),
+                Atom::Class(ranges) if ranges.is_empty() => {}
+                Atom::Class(ranges) => out.push(sample_class(ranges, rng)),
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ascii_class_with_escapes() {
+        let mut rng = TestRng::from_seed(7);
+        for _ in 0..200 {
+            let s = sample_pattern("[ -~\n\t]{0,200}", &mut rng);
+            assert!(s.len() <= 200);
+            assert!(s
+                .chars()
+                .all(|c| (' '..='~').contains(&c) || c == '\n' || c == '\t'));
+        }
+    }
+
+    #[test]
+    fn literals_and_repeats() {
+        let mut rng = TestRng::from_seed(7);
+        assert_eq!(sample_pattern("abc", &mut rng), "abc");
+        let s = sample_pattern("a{3}b", &mut rng);
+        assert_eq!(s, "aaab");
+        for _ in 0..50 {
+            let s = sample_pattern("x{2,4}", &mut rng);
+            assert!((2..=4).contains(&s.len()));
+        }
+    }
+}

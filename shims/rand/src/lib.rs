@@ -1,0 +1,108 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The sandbox has no network access, so the real crates-io `rand`
+//! cannot be fetched. This shim provides the (tiny) subset the
+//! workspace actually uses — `StdRng::seed_from_u64` + `gen_range` —
+//! with a deterministic splitmix64 generator. It is **not** a general
+//! purpose RNG and must never be used for anything security-adjacent.
+
+pub mod rngs {
+    /// Deterministic 64-bit generator (splitmix64 core).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        pub(crate) state: u64,
+    }
+}
+
+use rngs::StdRng;
+
+/// Seedable construction (the only constructor the workspace uses).
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(state: u64) -> Self {
+        StdRng { state }
+    }
+}
+
+/// Ranges that can be sampled uniformly.
+pub trait SampleRange<T> {
+    /// Draws one value, given a source of raw 64-bit words.
+    fn sample_from(self, next: &mut dyn FnMut() -> u64) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_from(self, next: &mut dyn FnMut() -> u64) -> $t {
+                assert!(self.start < self.end, "gen_range on empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + (next() % span) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_from(self, next: &mut dyn FnMut() -> u64) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range on empty range");
+                let span = (hi as i128 - lo as i128) as u64;
+                match span.checked_add(1) {
+                    Some(n) => (lo as i128 + (next() % n) as i128) as $t,
+                    None => next() as $t,
+                }
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+/// The user-facing sampling interface.
+pub trait Rng {
+    /// One raw 64-bit word.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform draw from `range`.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        let mut next = || self.next_u64();
+        range.sample_from(&mut next)
+    }
+}
+
+impl Rng for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_in_range() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            let x: usize = a.gen_range(1..=7);
+            let y: usize = b.gen_range(1..=7);
+            assert_eq!(x, y);
+            assert!((1..=7).contains(&x));
+        }
+        let mut c = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let v: i32 = c.gen_range(-5..5);
+            assert!((-5..5).contains(&v));
+        }
+    }
+}

@@ -4,8 +4,8 @@
 //! must all compute the value the host-side reference computes.
 
 use proptest::prelude::*;
-use tickc::tickc_core::{Backend, Config, Session, Strategy as Alloc};
 use tickc::mir::OptLevel;
+use tickc::tickc_core::{Backend, Config, Session, Strategy as Alloc};
 
 /// A random arithmetic expression over: a parameter `p`, a run-time
 /// constant `$r` (bound to `rval`), and integer literals.
@@ -24,11 +24,7 @@ enum E {
 }
 
 fn expr_strategy() -> impl Strategy<Value = E> {
-    let leaf = prop_oneof![
-        Just(E::Param),
-        Just(E::Rtc),
-        (-50i32..50).prop_map(E::Lit),
-    ];
+    let leaf = prop_oneof![Just(E::Param), Just(E::Rtc), (-50i32..50).prop_map(E::Lit),];
     leaf.prop_recursive(4, 24, 3, |inner| {
         prop_oneof![
             (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Add(Box::new(a), Box::new(b))),
@@ -111,25 +107,41 @@ fn check_all_paths(e: &E, p: i32, r: i32) -> Result<(), TestCaseError> {
     for opt in [OptLevel::Naive, OptLevel::Optimizing] {
         let mut s = Session::new(
             &src,
-            Config { static_opt: opt, ..Config::default() },
+            Config {
+                static_opt: opt,
+                ..Config::default()
+            },
         )
         .expect("front end accepts generated program");
-        let got = s.call("static_f", &[p as i64 as u64, r as i64 as u64]).expect("runs");
+        let got = s
+            .call("static_f", &[p as i64 as u64, r as i64 as u64])
+            .expect("runs");
         prop_assert_eq!(got as i64, expect as i64, "static {:?}", opt);
     }
     // Dynamic paths.
     for backend in [
         Backend::Vcode { unchecked: false },
-        Backend::Icode { strategy: Alloc::LinearScan },
-        Backend::Icode { strategy: Alloc::GraphColor },
+        Backend::Icode {
+            strategy: Alloc::LinearScan,
+        },
+        Backend::Icode {
+            strategy: Alloc::GraphColor,
+        },
     ] {
         let mut s = Session::new(
             &src,
-            Config { backend: backend.clone(), ..Config::default() },
+            Config {
+                backend: backend.clone(),
+                ..Config::default()
+            },
         )
         .expect("front end accepts generated program");
-        let fp = s.call("dyn_compile", &[r as i64 as u64]).expect("dynamic compile");
-        let got = s.call("dyn_run", &[fp, p as i64 as u64]).expect("dynamic run");
+        let fp = s
+            .call("dyn_compile", &[r as i64 as u64])
+            .expect("dynamic compile");
+        let got = s
+            .call("dyn_run", &[fp, p as i64 as u64])
+            .expect("dynamic run");
         prop_assert_eq!(got as i64, expect as i64, "dynamic {:?}", backend);
     }
     Ok(())

@@ -9,8 +9,12 @@ use tickc::tickc_core::{Backend, Config, Session, Strategy};
 fn backends() -> Vec<Backend> {
     vec![
         Backend::Vcode { unchecked: false },
-        Backend::Icode { strategy: Strategy::LinearScan },
-        Backend::Icode { strategy: Strategy::GraphColor },
+        Backend::Icode {
+            strategy: Strategy::LinearScan,
+        },
+        Backend::Icode {
+            strategy: Strategy::GraphColor,
+        },
     ]
 }
 
@@ -39,8 +43,14 @@ fn apply_builds_calls_with_runtime_determined_arity() {
         void setbuf(int i, int v) { buf[i] = v; }
     "#;
     for b in backends() {
-        let mut s = Session::new(src, Config { backend: b.clone(), ..Config::default() })
-            .expect("compiles");
+        let mut s = Session::new(
+            src,
+            Config {
+                backend: b.clone(),
+                ..Config::default()
+            },
+        )
+        .expect("compiles");
         for i in 0..6u64 {
             s.call("setbuf", &[i, 10 * (i + 1)]).unwrap();
         }
@@ -75,8 +85,14 @@ fn apply_with_direct_function_reference() {
         }
     "#;
     for b in backends() {
-        let mut s = Session::new(src, Config { backend: b.clone(), ..Config::default() })
-            .expect("compiles");
+        let mut s = Session::new(
+            src,
+            Config {
+                backend: b.clone(),
+                ..Config::default()
+            },
+        )
+        .expect("compiles");
         let fp = s.call("mk", &[]).unwrap();
         assert_eq!(s.call_addr(fp, &[]).unwrap(), 123, "{b:?}");
     }

@@ -7,8 +7,12 @@ use tickc::tickc_core::{Backend, Config, Session, Strategy};
 fn backends() -> Vec<Backend> {
     vec![
         Backend::Vcode { unchecked: false },
-        Backend::Icode { strategy: Strategy::LinearScan },
-        Backend::Icode { strategy: Strategy::GraphColor },
+        Backend::Icode {
+            strategy: Strategy::LinearScan,
+        },
+        Backend::Icode {
+            strategy: Strategy::GraphColor,
+        },
     ]
 }
 
@@ -35,7 +39,10 @@ fn backward_jump_builds_a_loop_across_cspecs() {
                 return (*g)();
             }
             "#,
-            Config { backend: b.clone(), ..Config::default() },
+            Config {
+                backend: b.clone(),
+                ..Config::default()
+            },
         )
         .expect("compiles");
         assert_eq!(s.call("f", &[10]).unwrap(), 55, "{b:?}");
@@ -61,7 +68,10 @@ fn forward_jump_skips_code() {
                 return (*g)();
             }
             "#,
-            Config { backend: b.clone(), ..Config::default() },
+            Config {
+                backend: b.clone(),
+                ..Config::default()
+            },
         )
         .expect("compiles");
         assert_eq!(s.call("f", &[1]).unwrap(), 1, "{b:?}");
@@ -145,18 +155,14 @@ fn label_spliced_twice_is_an_error() {
 #[test]
 fn sema_rejects_misuse() {
     // jump outside dynamic code
-    assert!(tickc::front::compile_unit(
-        "void f(void) { void cspec l = label(); jump(l); }"
-    )
-    .is_err());
+    assert!(
+        tickc::front::compile_unit("void f(void) { void cspec l = label(); jump(l); }").is_err()
+    );
     // label() inside dynamic code
     assert!(tickc::front::compile_unit(
         "void f(void) { void cspec c = `{ void cspec l = label(); }; }"
     )
     .is_err());
     // jump to a non-label value
-    assert!(tickc::front::compile_unit(
-        "void f(int x) { void cspec c = `{ jump(x); }; }"
-    )
-    .is_err());
+    assert!(tickc::front::compile_unit("void f(int x) { void cspec c = `{ jump(x); }; }").is_err());
 }

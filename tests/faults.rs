@@ -7,18 +7,15 @@ use tickc::vm::VmError;
 
 #[test]
 fn null_pointer_dereference_faults() {
-    let mut s = Session::with_defaults(
-        "int f(void) { int *p = (int*)0; return *p; }",
-    )
-    .expect("compiles");
+    let mut s =
+        Session::with_defaults("int f(void) { int *p = (int*)0; return *p; }").expect("compiles");
     let err = s.call("f", &[]).unwrap_err().to_string();
     assert!(err.contains("out of bounds"), "{err}");
 }
 
 #[test]
 fn division_by_zero_faults() {
-    let mut s =
-        Session::with_defaults("int f(int a, int b) { return a / b; }").expect("compiles");
+    let mut s = Session::with_defaults("int f(int a, int b) { return a / b; }").expect("compiles");
     assert_eq!(s.call("f", &[10, 2]).unwrap(), 5);
     let err = s.call("f", &[10, 0]).unwrap_err().to_string();
     assert!(err.contains("division by zero"), "{err}");
@@ -93,16 +90,17 @@ fn huge_static_loop_stays_a_loop() {
     )
     .expect("compiles");
     let fp = s.call("mk", &[]).expect("bails to a loop");
-    assert_eq!(s.dyn_stats().unrolled_iters, 0, "must not unroll 3M iterations");
+    assert_eq!(
+        s.dyn_stats().unrolled_iters,
+        0,
+        "must not unroll 3M iterations"
+    );
     assert_eq!(s.call("run_it", &[fp]).unwrap(), 6000);
 }
 
 #[test]
 fn abort_builtin_aborts() {
-    let mut s = Session::with_defaults(
-        "void f(int x) { if (x) abort(); }",
-    )
-    .expect("compiles");
+    let mut s = Session::with_defaults("void f(int x) { if (x) abort(); }").expect("compiles");
     s.call("f", &[0]).expect("no abort");
     let err = s.call("f", &[1]).unwrap_err().to_string();
     assert!(err.contains("abort"), "{err}");
@@ -122,7 +120,10 @@ fn compile_of_garbage_closure_pointer_is_detected() {
     )
     .expect("compiles");
     let err = s.call("f", &[]).unwrap_err().to_string();
-    assert!(err.contains("bad cgf id") || err.contains("out of bounds"), "{err}");
+    assert!(
+        err.contains("bad cgf id") || err.contains("out of bounds"),
+        "{err}"
+    );
 }
 
 #[test]
@@ -151,7 +152,10 @@ fn stack_smashing_dynamic_recursion_is_bounded() {
 fn memory_exhaustion_is_an_error_not_a_panic() {
     let mut s = Session::new(
         "long f(long n) { return (long)malloc(n); }",
-        Config { mem_size: 1 << 20, ..Config::default() },
+        Config {
+            mem_size: 1 << 20,
+            ..Config::default()
+        },
     )
     .expect("compiles");
     assert!(s.call("f", &[1024]).is_ok());

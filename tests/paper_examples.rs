@@ -6,15 +6,27 @@ use tickc::tickc_core::{Backend, Config, Session, Strategy};
 fn backends() -> Vec<Backend> {
     vec![
         Backend::Vcode { unchecked: false },
-        Backend::Icode { strategy: Strategy::LinearScan },
-        Backend::Icode { strategy: Strategy::GraphColor },
+        Backend::Icode {
+            strategy: Strategy::LinearScan,
+        },
+        Backend::Icode {
+            strategy: Strategy::GraphColor,
+        },
     ]
 }
 
 fn run(src: &str, func: &str, args: &[u64], backend: Backend) -> (u64, String) {
-    let mut s = Session::new(src, Config { backend, ..Config::default() })
-        .unwrap_or_else(|e| panic!("compile failed: {e}"));
-    let v = s.call(func, args).unwrap_or_else(|e| panic!("run failed: {e}"));
+    let mut s = Session::new(
+        src,
+        Config {
+            backend,
+            ..Config::default()
+        },
+    )
+    .unwrap_or_else(|e| panic!("compile failed: {e}"));
+    let v = s
+        .call(func, args)
+        .unwrap_or_else(|e| panic!("run failed: {e}"));
     (v, s.output())
 }
 
@@ -138,7 +150,7 @@ fn section44_dot_product_both_formulations() {
             return (*compile(code, int))();
         }
     "#;
-    let expect = 2 * 1 + 3 * 3 + 4 * 6;
+    let expect = 2 + 3 * 3 + 4 * 6;
     for b in backends() {
         let (v1, _) = run(compose, "f", &[], b.clone());
         let (v2, _) = run(unroll, "f", &[], b);
@@ -182,7 +194,10 @@ fn run_time_constant_folding_collapses_mixed_expressions() {
                 return (*compile(c, int))();
             }
             "#,
-            Config { backend: b, ..Config::default() },
+            Config {
+                backend: b,
+                ..Config::default()
+            },
         )
         .expect("compiles");
         assert_eq!(s.call("f", &[10]).unwrap(), 24);
@@ -214,7 +229,9 @@ fn dynamic_code_with_many_compiles_is_isolated() {
         "#,
     )
     .expect("compiles");
-    let fps: Vec<u64> = (0..10).map(|k| s.call("make", &[k]).expect("make")).collect();
+    let fps: Vec<u64> = (0..10)
+        .map(|k| s.call("make", &[k]).expect("make"))
+        .collect();
     for (k, fp) in fps.iter().enumerate() {
         assert_eq!(s.call("call_it", &[*fp]).unwrap(), k as u64 * 100 + 7);
     }
@@ -236,5 +253,9 @@ fn vm_cost_model_is_deterministic() {
         s.call("f", &[1000]).expect("runs");
         s.cycles()
     };
-    assert_eq!(cycles(()), cycles(()), "cycle counts must be exactly reproducible");
+    assert_eq!(
+        cycles(()),
+        cycles(()),
+        "cycle counts must be exactly reproducible"
+    );
 }

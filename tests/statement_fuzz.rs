@@ -107,11 +107,7 @@ fn st_c(s: &St, dollar: bool, depth: usize, counter: &mut usize) -> String {
             val_c(b, dollar)
         ),
         St::If(a, b, t, e) => {
-            let mut out = format!(
-                "{pad}if ({} < {}) {{\n",
-                val_c(a, dollar),
-                val_c(b, dollar)
-            );
+            let mut out = format!("{pad}if ({} < {}) {{\n", val_c(a, dollar), val_c(b, dollar));
             for s in t {
                 out.push_str(&st_c(s, dollar, depth + 1, counter));
             }
@@ -186,12 +182,15 @@ fn eval_sts(sts: &[St], vars: &mut [i32], p: i32, r: i32) {
 fn program_for(sts: &[St]) -> String {
     let nloops = count_loops(sts);
     let decl_ks = |prefix: &str| -> String {
-        (0..nloops).map(|k| format!("{prefix}int k{k};\n")).collect()
+        (0..nloops)
+            .map(|k| format!("{prefix}int k{k};\n"))
+            .collect()
     };
-    let decl_vs = |prefix: &str| -> String {
-        (0..NVARS).map(|i| format!("{prefix}int v{i};\n")).collect()
-    };
-    let init_vs: String = (0..NVARS).map(|i| format!("    v{i} = {};\n", i as i32 + 1)).collect();
+    let decl_vs =
+        |prefix: &str| -> String { (0..NVARS).map(|i| format!("{prefix}int v{i};\n")).collect() };
+    let init_vs: String = (0..NVARS)
+        .map(|i| format!("    v{i} = {};\n", i as i32 + 1))
+        .collect();
     let mut c0 = 0usize;
     let static_body: String = sts.iter().map(|s| st_c(s, false, 0, &mut c0)).collect();
     let mut c1 = 0usize;
@@ -234,20 +233,42 @@ fn check(sts: &[St], p: i32, r: i32) -> Result<(), TestCaseError> {
     let src = program_for(sts);
 
     for opt in [OptLevel::Naive, OptLevel::Optimizing] {
-        let mut s = Session::new(&src, Config { static_opt: opt, ..Config::default() })
-            .unwrap_or_else(|e| panic!("generated program rejected: {e}\n{src}"));
-        let got = s.call("static_f", &[p as i64 as u64, r as i64 as u64]).expect("runs");
+        let mut s = Session::new(
+            &src,
+            Config {
+                static_opt: opt,
+                ..Config::default()
+            },
+        )
+        .unwrap_or_else(|e| panic!("generated program rejected: {e}\n{src}"));
+        let got = s
+            .call("static_f", &[p as i64 as u64, r as i64 as u64])
+            .expect("runs");
         prop_assert_eq!(got as i64, expect as i64, "static {:?}\n{}", opt, src);
     }
     for backend in [
         Backend::Vcode { unchecked: false },
-        Backend::Icode { strategy: Alloc::LinearScan },
-        Backend::Icode { strategy: Alloc::GraphColor },
+        Backend::Icode {
+            strategy: Alloc::LinearScan,
+        },
+        Backend::Icode {
+            strategy: Alloc::GraphColor,
+        },
     ] {
-        let mut s = Session::new(&src, Config { backend: backend.clone(), ..Config::default() })
-            .unwrap_or_else(|e| panic!("generated program rejected: {e}\n{src}"));
-        let fp = s.call("dyn_compile", &[r as i64 as u64]).expect("dynamic compile");
-        let got = s.call("dyn_run", &[fp, p as i64 as u64]).expect("dynamic run");
+        let mut s = Session::new(
+            &src,
+            Config {
+                backend: backend.clone(),
+                ..Config::default()
+            },
+        )
+        .unwrap_or_else(|e| panic!("generated program rejected: {e}\n{src}"));
+        let fp = s
+            .call("dyn_compile", &[r as i64 as u64])
+            .expect("dynamic compile");
+        let got = s
+            .call("dyn_run", &[fp, p as i64 as u64])
+            .expect("dynamic run");
         prop_assert_eq!(got as i64, expect as i64, "dynamic {:?}\n{}", backend, src);
     }
     Ok(())
@@ -274,9 +295,25 @@ fn fixed_statement_regressions() {
     // unrolling), nested loops, if inside loop.
     let cases: Vec<Vec<St>> = vec![
         vec![Loop(4, vec![Assign(0, Op2::Add, Var(0), Rtc)])],
-        vec![Loop(3, vec![Loop(2, vec![Assign(1, Op2::Mul, Var(1), Lit(2))])])],
-        vec![Loop(5, vec![If(Var(0), Rtc, vec![Assign(0, Op2::Add, Var(0), Lit(3))], vec![])])],
-        vec![If(Param, Lit(0), vec![Assign(2, Op2::Sub, Lit(0), Param)], vec![Assign(2, Op2::Add, Var(2), Param)])],
+        vec![Loop(
+            3,
+            vec![Loop(2, vec![Assign(1, Op2::Mul, Var(1), Lit(2))])],
+        )],
+        vec![Loop(
+            5,
+            vec![If(
+                Var(0),
+                Rtc,
+                vec![Assign(0, Op2::Add, Var(0), Lit(3))],
+                vec![],
+            )],
+        )],
+        vec![If(
+            Param,
+            Lit(0),
+            vec![Assign(2, Op2::Sub, Lit(0), Param)],
+            vec![Assign(2, Op2::Add, Var(2), Param)],
+        )],
     ];
     for sts in cases {
         check(&sts, 7, -3).expect("agrees");
