@@ -4,9 +4,12 @@
 #   1. formatting        (cargo fmt --check)
 #   2. lints             (cargo clippy, warnings are errors)
 #   3. tier-1 tests      (release build + full test suite)
-#   4. suite smoke run   (one small benchmark through every compilation
+#   4. docs              (cargo doc, warnings are errors)
+#   5. suite smoke run   (one small benchmark through every compilation
 #                         path — two static back ends and all three
 #                         dynamic back ends must agree on the answer)
+#   6. cache smoke run   (the repeat-compile sweep with memoization on:
+#                         hit economics + pointer stability end-to-end)
 #
 # Fails fast: the first failing step aborts with its exit code.
 set -eu
@@ -24,7 +27,13 @@ cargo build --release
 echo "== tier-1: cargo test =="
 cargo test -q --workspace
 
+echo "== cargo doc (deny warnings) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
 echo "== suite smoke (all back ends must agree) =="
 cargo run -p tcc-suite --bin suite --release -- smoke
+
+echo "== suite cache (memoized compiles stay correct) =="
+cargo run -p tcc-suite --bin suite --release -- cache
 
 echo "CI_OK"

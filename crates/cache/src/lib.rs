@@ -1,0 +1,477 @@
+//! # tcc-cache — the dynamic-code lifecycle manager
+//!
+//! The paper's economics are amortization: dynamic code pays for itself
+//! after its codegen cost is spread over enough runs (Figures 6-7). A
+//! long-lived session serving many requests, however, keeps *re-paying*
+//! that cost for identical closures and leaks code space for abandoned
+//! ones. This crate closes the loop:
+//!
+//! * **Compile memoization** — the `compile` host call consults a
+//!   [`CodeCache`] keyed on a structural [`Fingerprint`] of the closure
+//!   (CGF identity, `$`-bound runtime-constant values, backend and
+//!   options, and recursively the fingerprints of composed cspec/vspec
+//!   closures). A hit returns the previously generated function address
+//!   without walking the CGF at all.
+//! * **Reclamation** — evicted entries return their words to the
+//!   `CodeSpace` free list (`free_function`), so the arena is recycled,
+//!   not just abandoned; stale addresses fault with
+//!   `VmError::StaleCode` instead of silently running reused bytes.
+//! * **LRU eviction under a budget** — an optional byte budget bounds
+//!   total live cached code. Inserting past the budget evicts
+//!   least-recently-used unpinned entries. Pinned entries (addresses
+//!   handed out and not released) are never evicted; if nothing can be
+//!   evicted the insert proceeds over-budget rather than invalidating
+//!   live code.
+//!
+//! Fingerprints are *injective encodings*, not hashes: two closures
+//! receive equal fingerprints only if their encodings are equal
+//! byte-for-byte, so differing `$`-constants can never collide (a
+//! property test in `tests/faults.rs` leans on this).
+//!
+//! Everything observable is reported through
+//! [`tcc_obs::CacheMetrics`] — hits, misses, uncacheable compiles,
+//! evictions, live/reclaimed bytes, fragmentation, and nanoseconds
+//! saved versus spent answering hits.
+
+use std::collections::HashMap;
+
+use tcc_obs::CacheMetrics;
+use tcc_vm::{CodeSpace, FuncHandle, VmError};
+
+/// A structural, injective key for a dynamic closure.
+///
+/// Built with [`FingerprintBuilder`]; equality of fingerprints implies
+/// byte-equality of the underlying length-delimited encodings, so
+/// distinct closure structures or `$`-constant values cannot collide.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Fingerprint(Vec<u8>);
+
+impl Fingerprint {
+    /// Length of the encoding in bytes (diagnostics).
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when the encoding is empty (never for built fingerprints).
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+/// Incrementally encodes a closure's identity into a [`Fingerprint`].
+///
+/// Every atom is tagged and length-delimited, so the final byte string
+/// is an unambiguous (prefix-free) serialization of the sequence of
+/// `push_*` calls: the encoding of `["ab", "c"]` differs from
+/// `["a", "bc"]` and from `["abc"]`.
+#[derive(Clone, Debug, Default)]
+pub struct FingerprintBuilder {
+    bytes: Vec<u8>,
+}
+
+impl FingerprintBuilder {
+    /// Starts an empty fingerprint.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a small structural tag (node kind, backend id, ...).
+    pub fn push_tag(&mut self, tag: u8) {
+        self.bytes.push(0x01);
+        self.bytes.push(tag);
+    }
+
+    /// Appends a 64-bit value (a `$`-constant, CGF id, arity, ...).
+    pub fn push_u64(&mut self, v: u64) {
+        self.bytes.push(0x02);
+        self.bytes.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a byte string, length-delimited.
+    pub fn push_bytes(&mut self, b: &[u8]) {
+        self.bytes.push(0x03);
+        self.bytes
+            .extend_from_slice(&(b.len() as u64).to_le_bytes());
+        self.bytes.extend_from_slice(b);
+    }
+
+    /// Opens a child scope (e.g. a nested cspec argument). Must be
+    /// balanced by [`FingerprintBuilder::close`].
+    pub fn open(&mut self, tag: u8) {
+        self.bytes.push(0x04);
+        self.bytes.push(tag);
+    }
+
+    /// Closes the innermost open scope.
+    pub fn close(&mut self) {
+        self.bytes.push(0x05);
+    }
+
+    /// Finishes the encoding.
+    pub fn build(self) -> Fingerprint {
+        Fingerprint(self.bytes)
+    }
+}
+
+/// One cached compilation.
+#[derive(Clone, Debug)]
+struct Entry {
+    addr: u64,
+    handle: FuncHandle,
+    bytes: u64,
+    /// LRU clock value of the most recent touch.
+    last_use: u64,
+    /// Pin count; pinned entries are never evicted.
+    pins: u32,
+    /// What the original compilation cost, credited to `ns_saved` on
+    /// every subsequent hit.
+    compile_ns: u64,
+}
+
+/// Memoization table for compiled closures with LRU eviction under an
+/// optional code budget (bytes).
+///
+/// The cache does not own the `CodeSpace`; eviction borrows it to call
+/// `free_function`. All counters live in a [`CacheMetrics`] that the
+/// session merges into its `SessionMetrics`.
+#[derive(Clone, Debug, Default)]
+pub struct CodeCache {
+    entries: HashMap<Fingerprint, Entry>,
+    /// Reverse index for pinning by handed-out address.
+    by_addr: HashMap<u64, Fingerprint>,
+    /// Monotonic LRU clock, bumped on every touch.
+    clock: u64,
+    /// Budget in bytes for live cached code; `None` = unbounded.
+    budget: Option<u64>,
+    bytes_live: u64,
+    metrics: CacheMetrics,
+}
+
+/// Outcome of [`CodeCache::insert`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InsertOutcome {
+    /// Entry stored (possibly after evictions).
+    Cached,
+    /// Entry larger than the whole budget: stored nowhere, compile
+    /// counted as uncacheable. The caller keeps the address it already
+    /// has; the function simply will not be reused or evicted.
+    TooLarge,
+}
+
+impl CodeCache {
+    /// An unbounded cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A cache that evicts LRU entries to keep live cached code within
+    /// `budget` bytes.
+    pub fn with_budget(budget: Option<u64>) -> Self {
+        CodeCache {
+            budget,
+            ..Self::default()
+        }
+    }
+
+    /// The configured budget in bytes, if any.
+    pub fn budget(&self) -> Option<u64> {
+        self.budget
+    }
+
+    /// Bytes of code currently held live by cache entries.
+    pub fn bytes_live(&self) -> u64 {
+        self.bytes_live
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up a fingerprint; on a hit, touches the entry's LRU clock,
+    /// credits `ns_saved` with the entry's original compile time, and
+    /// returns the cached function address.
+    pub fn lookup(&mut self, fp: &Fingerprint) -> Option<u64> {
+        self.clock += 1;
+        let clock = self.clock;
+        if let Some(e) = self.entries.get_mut(fp) {
+            e.last_use = clock;
+            self.metrics.hits += 1;
+            self.metrics.ns_saved += e.compile_ns;
+            Some(e.addr)
+        } else {
+            None
+        }
+    }
+
+    /// Records nanoseconds spent on the *hit path* (fingerprinting +
+    /// lookup) so reports can compare saved vs. spent time.
+    pub fn note_hit_ns(&mut self, ns: u64) {
+        self.metrics.hit_ns += ns;
+    }
+
+    /// Records a compile that bypassed the cache entirely (memory-reading
+    /// `$`-expression, external relocation table, ...).
+    pub fn note_uncacheable(&mut self) {
+        self.metrics.uncacheable += 1;
+    }
+
+    /// Inserts a freshly compiled function, evicting LRU unpinned
+    /// entries (freeing their code in `code`) as needed to respect the
+    /// budget. Counts the compile as a miss.
+    ///
+    /// If the function alone exceeds the budget it is not cached
+    /// ([`InsertOutcome::TooLarge`], counted `uncacheable`); if
+    /// everything evictable is pinned, the insert proceeds over-budget —
+    /// handed-out code is never invalidated to make room.
+    pub fn insert(
+        &mut self,
+        code: &mut CodeSpace,
+        fp: Fingerprint,
+        addr: u64,
+        handle: FuncHandle,
+        bytes: u64,
+        compile_ns: u64,
+    ) -> Result<InsertOutcome, VmError> {
+        self.metrics.misses += 1;
+        if let Some(budget) = self.budget {
+            if bytes > budget {
+                self.metrics.uncacheable += 1;
+                return Ok(InsertOutcome::TooLarge);
+            }
+            while self.bytes_live + bytes > budget {
+                if !self.evict_lru(code)? {
+                    break; // everything left is pinned: go over budget
+                }
+            }
+        }
+        self.clock += 1;
+        self.bytes_live += bytes;
+        self.by_addr.insert(addr, fp.clone());
+        self.entries.insert(
+            fp,
+            Entry {
+                addr,
+                handle,
+                bytes,
+                last_use: self.clock,
+                pins: 0,
+                compile_ns,
+            },
+        );
+        Ok(InsertOutcome::Cached)
+    }
+
+    /// Evicts the least-recently-used unpinned entry, freeing its code.
+    /// Returns false when no entry is evictable.
+    fn evict_lru(&mut self, code: &mut CodeSpace) -> Result<bool, VmError> {
+        let victim = self
+            .entries
+            .iter()
+            .filter(|(_, e)| e.pins == 0)
+            .min_by_key(|(_, e)| e.last_use)
+            .map(|(fp, _)| fp.clone());
+        let Some(fp) = victim else {
+            return Ok(false);
+        };
+        let e = self.entries.remove(&fp).expect("victim exists");
+        self.by_addr.remove(&e.addr);
+        let freed = code.free_function(e.handle)?;
+        debug_assert_eq!(freed, e.bytes);
+        self.bytes_live -= e.bytes;
+        self.metrics.evictions += 1;
+        self.metrics.bytes_reclaimed += freed;
+        Ok(true)
+    }
+
+    /// Pins the entry owning `addr` so it cannot be evicted. Returns
+    /// false if no cache entry owns that address.
+    pub fn pin(&mut self, addr: u64) -> bool {
+        let Some(fp) = self.by_addr.get(&addr) else {
+            return false;
+        };
+        self.entries.get_mut(fp).expect("index consistent").pins += 1;
+        true
+    }
+
+    /// Releases one pin on the entry owning `addr`. Returns false if no
+    /// entry owns the address or it was not pinned.
+    pub fn unpin(&mut self, addr: u64) -> bool {
+        let Some(fp) = self.by_addr.get(&addr) else {
+            return false;
+        };
+        let e = self.entries.get_mut(fp).expect("index consistent");
+        if e.pins == 0 {
+            return false;
+        }
+        e.pins -= 1;
+        true
+    }
+
+    /// Current counters, with live bytes and code-space occupancy
+    /// (fragmentation, reclaimed bytes) folded in from `code`.
+    pub fn metrics(&self, code: &CodeSpace) -> CacheMetrics {
+        let stats = code.stats();
+        CacheMetrics {
+            bytes_live: self.bytes_live,
+            fragmentation: stats.fragmentation(),
+            ..self.metrics
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcc_vm::isa::Insn;
+
+    fn fp(n: u64) -> Fingerprint {
+        let mut b = FingerprintBuilder::new();
+        b.push_tag(1);
+        b.push_u64(n);
+        b.build()
+    }
+
+    /// Emits a sealed `words`-word function and returns (addr, handle).
+    fn emit(code: &mut CodeSpace, words: usize) -> (u64, FuncHandle) {
+        let f = code.begin_function("f");
+        for _ in 0..words.saturating_sub(1) {
+            code.push(Insn::nop());
+        }
+        code.push(Insn::ret());
+        let addr = code.finish_function(f).expect("seals");
+        (addr, f)
+    }
+
+    #[test]
+    fn fingerprints_are_injective_over_structure() {
+        // ["ab","c"] vs ["a","bc"] vs ["abc"]: length delimiting keeps
+        // them distinct even though the concatenated payloads agree.
+        let enc = |parts: &[&str]| {
+            let mut b = FingerprintBuilder::new();
+            for p in parts {
+                b.push_bytes(p.as_bytes());
+            }
+            b.build()
+        };
+        assert_ne!(enc(&["ab", "c"]), enc(&["a", "bc"]));
+        assert_ne!(enc(&["ab", "c"]), enc(&["abc"]));
+        // Scoping distinguishes nesting shapes.
+        let nested = |split| {
+            let mut b = FingerprintBuilder::new();
+            b.open(7);
+            b.push_u64(1);
+            if split {
+                b.close();
+                b.open(7);
+            }
+            b.push_u64(2);
+            b.close();
+            b.build()
+        };
+        assert_ne!(nested(true), nested(false));
+        // And u64 atoms cannot masquerade as tags or bytes.
+        let mut a = FingerprintBuilder::new();
+        a.push_u64(0x01_02);
+        let mut b = FingerprintBuilder::new();
+        b.push_tag(0x02);
+        assert_ne!(a.build(), b.build());
+    }
+
+    #[test]
+    fn hit_returns_cached_addr_and_counts() {
+        let mut code = CodeSpace::new();
+        let mut cache = CodeCache::new();
+        assert_eq!(cache.lookup(&fp(1)), None);
+        let (addr, h) = emit(&mut code, 4);
+        cache
+            .insert(&mut code, fp(1), addr, h, 16, 1000)
+            .expect("inserts");
+        assert_eq!(cache.lookup(&fp(1)), Some(addr));
+        assert_eq!(cache.lookup(&fp(2)), None);
+        let m = cache.metrics(&code);
+        assert_eq!(m.hits, 1);
+        assert_eq!(m.misses, 1);
+        assert_eq!(m.ns_saved, 1000);
+        assert_eq!(m.bytes_live, 16);
+    }
+
+    #[test]
+    fn budget_evicts_lru_and_frees_code() {
+        let mut code = CodeSpace::new();
+        // Budget of 2 four-word functions.
+        let mut cache = CodeCache::with_budget(Some(32));
+        let (a_addr, a_h) = emit(&mut code, 4);
+        cache.insert(&mut code, fp(1), a_addr, a_h, 16, 0).unwrap();
+        let (b_addr, b_h) = emit(&mut code, 4);
+        cache.insert(&mut code, fp(2), b_addr, b_h, 16, 0).unwrap();
+        // Touch a so b becomes LRU.
+        assert_eq!(cache.lookup(&fp(1)), Some(a_addr));
+        let (c_addr, c_h) = emit(&mut code, 4);
+        cache.insert(&mut code, fp(3), c_addr, c_h, 16, 0).unwrap();
+        let m = cache.metrics(&code);
+        assert_eq!(m.evictions, 1);
+        assert_eq!(m.bytes_reclaimed, 16);
+        assert_eq!(m.bytes_live, 32);
+        // b was evicted; its code now faults, a and c survive.
+        assert_eq!(cache.lookup(&fp(2)), None);
+        assert!(matches!(
+            code.fetch_exec(b_addr),
+            Err(VmError::StaleCode(_))
+        ));
+        assert!(code.fetch_exec(a_addr).is_ok());
+        // Cache accounting agrees with the code space's own books.
+        assert_eq!(code.stats().reclaimed_words as u64 * 4, m.bytes_reclaimed);
+    }
+
+    #[test]
+    fn pinned_entries_survive_eviction_pressure() {
+        let mut code = CodeSpace::new();
+        let mut cache = CodeCache::with_budget(Some(16));
+        let (a_addr, a_h) = emit(&mut code, 4);
+        cache.insert(&mut code, fp(1), a_addr, a_h, 16, 0).unwrap();
+        assert!(cache.pin(a_addr));
+        // Inserting b would need to evict a, but a is pinned: the cache
+        // goes over budget instead of invalidating handed-out code.
+        let (b_addr, b_h) = emit(&mut code, 4);
+        cache.insert(&mut code, fp(2), b_addr, b_h, 16, 0).unwrap();
+        let m = cache.metrics(&code);
+        assert_eq!(m.evictions, 0);
+        assert_eq!(m.bytes_live, 32);
+        assert!(code.fetch_exec(a_addr).is_ok());
+        // After unpinning, the next insert can evict a.
+        assert!(cache.unpin(a_addr));
+        let (c_addr, c_h) = emit(&mut code, 4);
+        cache.insert(&mut code, fp(3), c_addr, c_h, 16, 0).unwrap();
+        assert!(cache.metrics(&code).evictions >= 1);
+        assert_eq!(cache.lookup(&fp(1)), None);
+        let _ = c_addr;
+    }
+
+    #[test]
+    fn oversized_function_bypasses_cache() {
+        let mut code = CodeSpace::new();
+        let mut cache = CodeCache::with_budget(Some(8));
+        let (addr, h) = emit(&mut code, 4);
+        let out = cache.insert(&mut code, fp(1), addr, h, 16, 0).unwrap();
+        assert_eq!(out, InsertOutcome::TooLarge);
+        assert_eq!(cache.lookup(&fp(1)), None);
+        let m = cache.metrics(&code);
+        assert_eq!(m.uncacheable, 1);
+        assert_eq!(m.bytes_live, 0);
+        // The function itself is untouched — still callable.
+        assert!(code.fetch_exec(addr).is_ok());
+    }
+
+    #[test]
+    fn pin_unknown_address_is_refused() {
+        let mut cache = CodeCache::new();
+        assert!(!cache.pin(0x8000_0000));
+        assert!(!cache.unpin(0x8000_0000));
+    }
+}

@@ -222,6 +222,64 @@ impl VmMetrics {
     }
 }
 
+/// Compile-memoization and code-lifecycle counters reported by the
+/// `tcc-cache` subsystem: how often a `compile` host call was answered
+/// from cache, what eviction under the code budget cost, and how
+/// healthy the underlying code space is.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct CacheMetrics {
+    /// `compile` calls answered with an existing function address.
+    pub hits: u64,
+    /// `compile` calls that ran the CGF and inserted the result.
+    pub misses: u64,
+    /// Closures that cannot be memoized (e.g. `$`-expressions that read
+    /// memory at compile time) or that exceed the whole code budget.
+    pub uncacheable: u64,
+    /// Entries evicted (LRU) to stay under the code budget.
+    pub evictions: u64,
+    /// Bytes of code currently live in cached functions.
+    pub bytes_live: u64,
+    /// Cumulative bytes of code freed by eviction.
+    pub bytes_reclaimed: u64,
+    /// Free-space fragmentation of the code space, `0.0..=1.0`
+    /// (`1 - largest_free_range / total_free`).
+    pub fragmentation: f64,
+    /// Compile nanoseconds avoided by hits (the sum of each hit
+    /// entry's original compile time).
+    pub ns_saved: u64,
+    /// Nanoseconds actually spent answering hits (fingerprint walk +
+    /// lookup) — compare against [`CacheMetrics::ns_saved`].
+    pub hit_ns: u64,
+}
+
+impl CacheMetrics {
+    /// Hit rate over all memoizable `compile` calls (0.0 when none).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// JSON object form.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("hits", Json::from(self.hits)),
+            ("misses", Json::from(self.misses)),
+            ("uncacheable", Json::from(self.uncacheable)),
+            ("evictions", Json::from(self.evictions)),
+            ("bytes_live", Json::from(self.bytes_live)),
+            ("bytes_reclaimed", Json::from(self.bytes_reclaimed)),
+            ("fragmentation", Json::from(self.fragmentation)),
+            ("ns_saved", Json::from(self.ns_saved)),
+            ("hit_ns", Json::from(self.hit_ns)),
+            ("hit_rate", Json::from(self.hit_rate())),
+        ])
+    }
+}
+
 /// The unified per-phase breakdown for one session: everything from
 /// source text to retired instructions.
 #[derive(Clone, Debug, Default)]
@@ -235,6 +293,8 @@ pub struct SessionMetrics {
     pub dynamic: DynMetrics,
     /// Execution counters.
     pub vm: VmMetrics,
+    /// Compile memoization and code lifecycle (`tcc-cache`).
+    pub cache: CacheMetrics,
 }
 
 impl SessionMetrics {
@@ -246,6 +306,7 @@ impl SessionMetrics {
             ("static", self.static_compile.to_json()),
             ("dynamic", self.dynamic.to_json()),
             ("vm", self.vm.to_json()),
+            ("cache", self.cache.to_json()),
         ])
     }
 }
@@ -304,6 +365,22 @@ mod tests {
     }
 
     #[test]
+    fn cache_hit_rate_guards_zero() {
+        let m = CacheMetrics::default();
+        assert_eq!(m.hit_rate(), 0.0);
+        let m = CacheMetrics {
+            hits: 3,
+            misses: 1,
+            ..Default::default()
+        };
+        assert_eq!(m.hit_rate(), 0.75);
+        let text = m.to_json().to_string();
+        for key in ["hits", "evictions", "bytes_live", "ns_saved", "hit_ns"] {
+            assert!(text.contains(&format!("\"{key}\"")), "missing {key}");
+        }
+    }
+
+    #[test]
     fn crossover_math() {
         assert_eq!(crossover_runs(1000.0, 10.0), Some(100.0));
         assert_eq!(crossover_runs(1000.0, 0.0), None);
@@ -315,7 +392,9 @@ mod tests {
         let s = SessionMetrics::default();
         let j = s.to_json();
         let text = j.to_string();
-        for key in ["frontend", "static", "dynamic", "vm", "hcalls", "phases"] {
+        for key in [
+            "frontend", "static", "dynamic", "vm", "hcalls", "phases", "cache", "hit_rate",
+        ] {
             assert!(
                 text.contains(&format!("\"{key}\"")),
                 "missing {key} in {text}"

@@ -3,7 +3,7 @@
 //! Usage:
 //!
 //! ```text
-//! suite [all|table1|figure4|figure5|figure6|figure7|blur|sensitivity|smoke] [--small] [--json]
+//! suite [all|table1|figure4|figure5|figure6|figure7|blur|sensitivity|smoke|cache] [--small] [--json]
 //! ```
 //!
 //! With `--json`, each measured experiment also writes a machine-readable
@@ -14,8 +14,8 @@
 
 use tcc_obs::json::Json;
 use tcc_suite::{
-    benchmarks, json_report, measure, ns_per_cycle, report, DynBackend, Measurement, BLUR_FULL,
-    BLUR_SMALL,
+    benchmarks, cache_bench, cache_json, cache_report, json_report, measure, ns_per_cycle, report,
+    DynBackend, Measurement, BLUR_FULL, BLUR_SMALL,
 };
 
 fn write_json(name: &str, j: &Json) {
@@ -43,6 +43,7 @@ fn main() {
         "blur",
         "sensitivity",
         "smoke",
+        "cache",
     ];
     if !known.contains(&what) {
         eprintln!("unknown experiment {what}; try {}", known.join("|"));
@@ -120,6 +121,13 @@ fn main() {
         }
         "sensitivity" => {
             print!("{}", report::sensitivity(&benchmarks(blur_dims)));
+        }
+        "cache" => {
+            let rows = cache_bench();
+            if json {
+                write_json("cache", &cache_json(&rows));
+            }
+            print!("{}", cache_report(&rows));
         }
         "blur" => {
             let b = benchmarks(blur_dims)

@@ -1,0 +1,213 @@
+//! Repeat-compile benchmark for the `tcc-cache` memoization layer.
+//!
+//! The paper's Figures 6-7 express dynamic compilation as an investment
+//! amortized over N runs of the generated code. Memoizing `compile`
+//! changes that economics for workloads that *re-specialize to the same
+//! values*: the CGF cost is paid once and every further `compile` is a
+//! fingerprint walk plus a table lookup. This benchmark sweeps the
+//! reuse count — how many times an identical closure is compiled — and
+//! reports total codegen cost with the cache off versus on, from which
+//! the shifted break-even points follow. Emitted as `BENCH_cache.json`
+//! by the suite binary.
+
+use tcc::{Config, Session};
+use tcc_obs::json::Json;
+
+/// Reuse counts swept (compiles of the same closure per session).
+pub const REUSE_SWEEP: [u64; 6] = [1, 2, 5, 10, 25, 50];
+
+/// Statement count for the benchmark closure body (big enough that a
+/// real compile dwarfs a fingerprint walk).
+const BODY_STMTS: usize = 120;
+
+/// One row of the sweep.
+#[derive(Clone, Copy, Debug)]
+pub struct CacheBenchRow {
+    /// Compiles of the identical closure in one session.
+    pub reuse: u64,
+    /// Total dynamic-compilation nanoseconds with the cache disabled
+    /// (every `compile` re-runs the CGF).
+    pub cold_ns: u64,
+    /// Total dynamic-compilation nanoseconds with the cache enabled
+    /// (one real compile + `reuse − 1` hits), *including* the hit-path
+    /// fingerprinting cost.
+    pub cached_ns: u64,
+    /// Cache hits observed (should be `reuse − 1`).
+    pub hits: u64,
+    /// Compile nanoseconds avoided by hits.
+    pub ns_saved: u64,
+    /// Nanoseconds spent answering hits (fingerprint + lookup).
+    pub hit_ns: u64,
+}
+
+impl CacheBenchRow {
+    /// Codegen-cost speedup from memoization at this reuse count.
+    pub fn speedup(&self) -> f64 {
+        self.cold_ns as f64 / self.cached_ns.max(1) as f64
+    }
+
+    /// Mean cost of one cache hit, in nanoseconds.
+    pub fn ns_per_hit(&self) -> f64 {
+        self.hit_ns as f64 / self.hits.max(1) as f64
+    }
+}
+
+/// The benchmark program: `mk()` builds and compiles a closure whose
+/// body is a long statement chain seeded by a `$`-bound run-time
+/// constant — structurally identical on every call, so every compile
+/// after the first is answerable from cache.
+fn src() -> String {
+    let mut body = String::new();
+    for i in 0..BODY_STMTS {
+        let (d, s) = if i % 2 == 0 { ("a", "b") } else { ("b", "a") };
+        body.push_str(&format!("        {d} = {d} * 3 + {s} + {};\n", i % 7 + 1));
+    }
+    format!(
+        r#"
+int seed = 5;
+long mk(void) {{
+    void cspec c = `{{
+        int a;
+        int b;
+        a = $seed;
+        b = 2;
+{body}        return a + b;
+    }};
+    return (long)compile(c, int);
+}}
+"#
+    )
+}
+
+/// Drives `reuse` compiles of the identical closure in one session and
+/// returns (total codegen ns incl. hit path, hits, ns_saved, hit_ns).
+fn drive(reuse: u64, cache: bool) -> (u64, u64, u64, u64) {
+    let mut s = Session::new(
+        &src(),
+        Config {
+            cache,
+            ..Config::default()
+        },
+    )
+    .expect("benchmark source compiles");
+    let mut addr = None;
+    for _ in 0..reuse {
+        let fp = s.call("mk", &[]).expect("dynamic compile succeeds");
+        // All compiles of the identical closure must agree on the code.
+        if let Some(prev) = addr {
+            if cache {
+                assert_eq!(prev, fp, "cache hit must return the same pointer");
+            }
+        }
+        addr = Some(fp);
+    }
+    let m = s.metrics();
+    (
+        m.dynamic.total_ns + m.cache.hit_ns,
+        m.cache.hits,
+        m.cache.ns_saved,
+        m.cache.hit_ns,
+    )
+}
+
+/// Runs the sweep.
+pub fn cache_bench() -> Vec<CacheBenchRow> {
+    REUSE_SWEEP
+        .iter()
+        .map(|&reuse| {
+            let (cold_ns, ..) = drive(reuse, false);
+            let (cached_ns, hits, ns_saved, hit_ns) = drive(reuse, true);
+            CacheBenchRow {
+                reuse,
+                cold_ns,
+                cached_ns,
+                hits,
+                ns_saved,
+                hit_ns,
+            }
+        })
+        .collect()
+}
+
+/// The sweep as JSON (`BENCH_cache.json`).
+pub fn cache_json(rows: &[CacheBenchRow]) -> Json {
+    let rows: Vec<Json> = rows
+        .iter()
+        .map(|r| {
+            Json::obj(vec![
+                ("reuse", Json::from(r.reuse)),
+                ("cold_ns", Json::from(r.cold_ns)),
+                ("cached_ns", Json::from(r.cached_ns)),
+                ("hits", Json::from(r.hits)),
+                ("ns_saved", Json::from(r.ns_saved)),
+                ("hit_ns", Json::from(r.hit_ns)),
+                ("ns_per_hit", Json::from(r.ns_per_hit())),
+                ("speedup", Json::from(r.speedup())),
+            ])
+        })
+        .collect();
+    Json::obj(vec![
+        ("experiment", Json::from("cache")),
+        (
+            "description",
+            Json::from("total codegen cost vs reuse count, compile memoization off/on"),
+        ),
+        ("body_stmts", Json::from(BODY_STMTS as u64)),
+        ("rows", Json::Arr(rows)),
+    ])
+}
+
+/// Human-readable sweep table.
+pub fn cache_report(rows: &[CacheBenchRow]) -> String {
+    let mut out = String::new();
+    out.push_str("Compile memoization: total codegen cost vs reuse count\n");
+    out.push_str("(identical closure recompiled N times per session)\n\n");
+    out.push_str("  reuse   cache-off (ns)   cache-on (ns)   speedup   ns/hit\n");
+    for r in rows {
+        out.push_str(&format!(
+            "  {:5}   {:14}   {:13}   {:6.1}x   {:6.0}\n",
+            r.reuse,
+            r.cold_ns,
+            r.cached_ns,
+            r.speedup(),
+            r.ns_per_hit(),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_shows_memoization_wins_at_high_reuse() {
+        // One small point, full pipeline: at reuse 8 the cache answers 7
+        // compiles for (roughly) the price of 1.
+        let (cold_ns, ..) = drive(8, false);
+        let (cached_ns, hits, ns_saved, hit_ns) = drive(8, true);
+        assert_eq!(hits, 7);
+        assert!(ns_saved > 0);
+        assert!(
+            cached_ns < cold_ns,
+            "memoized sweep must be cheaper: {cached_ns} vs {cold_ns}"
+        );
+        let _ = hit_ns;
+    }
+
+    #[test]
+    fn json_has_rows_and_speedup() {
+        let rows = vec![CacheBenchRow {
+            reuse: 4,
+            cold_ns: 4000,
+            cached_ns: 1100,
+            hits: 3,
+            ns_saved: 3000,
+            hit_ns: 90,
+        }];
+        let text = cache_json(&rows).to_string();
+        for key in ["experiment", "reuse", "speedup", "ns_per_hit"] {
+            assert!(text.contains(&format!("\"{key}\"")), "missing {key}");
+        }
+    }
+}

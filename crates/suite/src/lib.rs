@@ -16,6 +16,7 @@
 //! or per experiment: `table1`, `figure4`, `figure5`, `figure6`,
 //! `figure7`, `blur`.
 
+pub mod cache_bench;
 pub mod calibrate;
 pub mod json_report;
 pub mod measure;
@@ -23,6 +24,7 @@ pub mod micro;
 pub mod programs;
 pub mod report;
 
+pub use cache_bench::{cache_bench, cache_json, cache_report};
 pub use calibrate::ns_per_cycle;
 pub use measure::{measure, measure_with, DynBackend, Measurement};
 pub use programs::{benchmarks, BenchDef, BLUR_FULL, BLUR_SMALL};

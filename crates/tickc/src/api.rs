@@ -55,6 +55,15 @@ pub struct Config {
     pub cost: CostModel,
     /// Echo program output to stdout.
     pub echo: bool,
+    /// Memoize `compile` calls on closure fingerprints (`tcc-cache`).
+    pub cache: bool,
+    /// Byte budget for live cached dynamic code; exceeding it evicts
+    /// least-recently-used unpinned entries and reclaims their code
+    /// space. `None` = unbounded. Only meaningful with `cache`.
+    pub code_budget: Option<u64>,
+    /// Seed for random placement of dynamic code (the paper's §4.4
+    /// cache-conscious jitter). `None` = deterministic layout.
+    pub placement_jitter: Option<u64>,
 }
 
 impl Default for Config {
@@ -65,6 +74,9 @@ impl Default for Config {
             mem_size: 64 << 20,
             cost: CostModel::default(),
             echo: false,
+            cache: true,
+            code_budget: None,
+            placement_jitter: None,
         }
     }
 }
@@ -122,7 +134,14 @@ impl Session {
             config.backend,
         );
         rt.echo = config.echo;
-        let mut vm = Vm::from_parts(image.code.clone(), image.mem.clone(), rt);
+        rt.cache = config
+            .cache
+            .then(|| tcc_cache::CodeCache::with_budget(config.code_budget));
+        let mut code = image.code.clone();
+        if let Some(seed) = config.placement_jitter {
+            code.set_placement_jitter(seed);
+        }
+        let mut vm = Vm::from_parts(code, image.mem.clone(), rt);
         vm.set_cost_model(config.cost);
         Ok(Session {
             vm,
@@ -218,7 +237,37 @@ impl Session {
                 cycles: self.vm.cycles(),
                 hcalls: self.vm.hcalls(),
             },
+            cache: self
+                .vm
+                .host()
+                .cache
+                .as_ref()
+                .map(|c| c.metrics(&self.vm.state().code))
+                .unwrap_or_default(),
         }
+    }
+
+    /// Pins the cached dynamic function at `addr` so the code budget can
+    /// never evict (and so invalidate) it. Returns false when `addr` is
+    /// not a cached function. Addresses handed out by `compile` are
+    /// otherwise evictable once the budget tightens; calling a
+    /// subsequently evicted address faults with `VmError::StaleCode`.
+    pub fn pin_code(&mut self, addr: u64) -> bool {
+        self.vm
+            .host_mut()
+            .cache
+            .as_mut()
+            .is_some_and(|c| c.pin(addr))
+    }
+
+    /// Releases one pin taken by [`Session::pin_code`]. Returns false
+    /// when `addr` is not a cached function or was not pinned.
+    pub fn unpin_code(&mut self, addr: u64) -> bool {
+        self.vm
+            .host_mut()
+            .cache
+            .as_mut()
+            .is_some_and(|c| c.unpin(addr))
     }
 
     /// Program output captured so far.

@@ -58,7 +58,7 @@ const COMPOSE_DEPTH_LIMIT: u32 = 300;
 
 /// Computes the closure-composition nesting depth reachable from
 /// `entry` — iteratively, so arbitrarily deep (or cyclic) compositions
-/// cannot overflow the host stack before [`COMPOSE_DEPTH_LIMIT`] is
+/// cannot overflow the host stack before `COMPOSE_DEPTH_LIMIT` is
 /// enforced. The runtime probes before compiling and moves deep (but
 /// legal) compilations onto a thread with a proportionally sized stack.
 ///
@@ -69,7 +69,7 @@ const COMPOSE_DEPTH_LIMIT: u32 = 300;
 /// # Errors
 ///
 /// `"closure composition too deep"` when the nesting exceeds
-/// [`COMPOSE_DEPTH_LIMIT`] or the graph is cyclic (which the recursive
+/// `COMPOSE_DEPTH_LIMIT` or the graph is cyclic (which the recursive
 /// walk would also reject, by running into the same limit), and
 /// `"bad cgf id ..."` on malformed closures, matching the errors the
 /// compile walk itself raises.

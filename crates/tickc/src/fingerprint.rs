@@ -1,0 +1,289 @@
+//! Closure fingerprinting for compile memoization (`tcc-cache`).
+//!
+//! A dynamic compilation is a pure function of (a) the selected back end
+//! and its options, (b) the closure tree — CGF identities, `$`-bound
+//! run-time constant values, free-variable addresses, vspec objects, and
+//! composed cspec structure — and (c) the static program, which is fixed
+//! for a session. [`fingerprint_closure`] encodes (b) into an injective
+//! [`Fingerprint`](tcc_cache::Fingerprint) so the runtime can answer a
+//! repeated `compile` with the previously generated function address.
+//!
+//! Two subtleties:
+//!
+//! * **Memory-reading `$`-expressions are uncacheable.** Sema captures
+//!   scalar `$x` by value (rewriting the operand to a `TickRtc`
+//!   reference but leaving the `$` wrapper in the body), so most
+//!   surviving `$` nodes are pure. An operand like `$arr[i]`, however,
+//!   is evaluated against VM memory *at dynamic compile time*
+//!   (`eval_static` with `in_dollar`), so the generated code depends on
+//!   state the closure does not carry. [`tick_reads_memory`] detects
+//!   these bodies; the runtime counts such compiles `uncacheable` and
+//!   bypasses the cache.
+//! * **Vspec and label identity is α-normalized.** `local()` vspecs and
+//!   `label()` objects carry globally unique sequence numbers, but
+//!   codegen only distinguishes *which* object is *where* in the tree.
+//!   Numbering objects by first occurrence in the capture walk makes two
+//!   structurally identical trees (built from different `local()` calls)
+//!   fingerprint equal — sound because the compile walk allocates
+//!   temporaries in exactly this traversal order.
+
+use std::collections::HashMap;
+
+use tcc_cache::FingerprintBuilder;
+use tcc_front::ast::{CaptureKind, Expr, ExprKind, Stmt, SwitchItem, TickBody, VarRef};
+use tcc_front::types::Type;
+use tcc_front::Program;
+use tcc_rt::{ClosureRef, VspecObj, VspecTag, ARGLIST_MARKER, LABEL_MARKER};
+use tcc_vm::{Memory, VmError};
+
+/// Structural tags for the fingerprint encoding (arbitrary but fixed).
+mod tag {
+    pub const CLOSURE: u8 = 1;
+    pub const ARGLIST: u8 = 2;
+    pub const DOLLAR: u8 = 3;
+    pub const FREEVAR: u8 = 4;
+    pub const LABEL: u8 = 5;
+    pub const VSPEC_PARAM: u8 = 6;
+    pub const VSPEC_LOCAL: u8 = 7;
+}
+
+/// True if this expression — already inside a `$` operand — loads from
+/// VM memory when evaluated at dynamic compile time. Mirrors
+/// `eval_static` (`in_dollar` mode): array indexing and scalar globals
+/// load; value captures (`TickRtc`), derived constants (`TickLocal`),
+/// array/struct globals (address only), and arithmetic are pure.
+fn dollar_reads_memory(e: &Expr) -> bool {
+    match &e.kind {
+        ExprKind::Index(..) => true,
+        ExprKind::Var(VarRef::Global(_)) => !matches!(e.ty, Type::Array(..) | Type::Struct(_)),
+        ExprKind::Var(_) | ExprKind::IntLit(_) | ExprKind::FloatLit(_) => false,
+        ExprKind::Un(_, a) | ExprKind::Cast(_, a) | ExprKind::Dollar(a) => dollar_reads_memory(a),
+        ExprKind::Bin(_, a, b) | ExprKind::Comma(a, b) => {
+            dollar_reads_memory(a) || dollar_reads_memory(b)
+        }
+        ExprKind::Cond(a, b, c) => {
+            dollar_reads_memory(a) || dollar_reads_memory(b) || dollar_reads_memory(c)
+        }
+        // Anything else under `$` is "not a run-time constant" and the
+        // compile itself errors; treat it as impure so such bodies are
+        // never memoized in the first place.
+        _ => true,
+    }
+}
+
+/// True if `e` contains a `$`-expression whose evaluation reads VM
+/// memory at dynamic compile time (sema rewrites value captures to
+/// `TickRtc` but leaves the `$` wrapper in the body, so most `$` nodes
+/// are pure — only memory-loading operands poison cacheability).
+fn expr_has_dollar(e: &Expr) -> bool {
+    match &e.kind {
+        ExprKind::Dollar(inner) => dollar_reads_memory(inner),
+        ExprKind::IntLit(_)
+        | ExprKind::FloatLit(_)
+        | ExprKind::StrLit(_)
+        | ExprKind::Ident(_)
+        | ExprKind::Var(_)
+        | ExprKind::SizeofT(_)
+        | ExprKind::LocalForm(_)
+        | ExprKind::LabelForm
+        | ExprKind::ArglistNew
+        | ExprKind::Tick(_) => false,
+        ExprKind::Un(_, a)
+        | ExprKind::Cast(_, a)
+        | ExprKind::SizeofE(a)
+        | ExprKind::PreIncDec(a, _)
+        | ExprKind::PostIncDec(a, _)
+        | ExprKind::Member(a, ..)
+        | ExprKind::ParamForm(_, a)
+        | ExprKind::JumpForm(a)
+        | ExprKind::CompileExpr(a, _) => expr_has_dollar(a),
+        ExprKind::Bin(_, a, b)
+        | ExprKind::Assign(_, a, b)
+        | ExprKind::Index(a, b)
+        | ExprKind::Comma(a, b)
+        | ExprKind::ArglistPush(a, b)
+        | ExprKind::Apply(a, b) => expr_has_dollar(a) || expr_has_dollar(b),
+        ExprKind::Cond(a, b, c) => expr_has_dollar(a) || expr_has_dollar(b) || expr_has_dollar(c),
+        ExprKind::Call(f, args) => expr_has_dollar(f) || args.iter().any(expr_has_dollar),
+        ExprKind::TickRaw(_) => true, // parser-only; be conservative
+    }
+}
+
+fn init_has_dollar(i: &tcc_front::ast::Init) -> bool {
+    match i {
+        tcc_front::ast::Init::Expr(e) => expr_has_dollar(e),
+        tcc_front::ast::Init::List(is) => is.iter().any(init_has_dollar),
+    }
+}
+
+fn stmt_has_dollar(s: &Stmt) -> bool {
+    match s {
+        Stmt::Expr(e) => expr_has_dollar(e),
+        Stmt::Decl(items) => items
+            .iter()
+            .any(|i| i.init.as_ref().is_some_and(init_has_dollar)),
+        Stmt::If(c, t, e) => {
+            expr_has_dollar(c)
+                || stmt_has_dollar(t)
+                || e.as_ref().is_some_and(|e| stmt_has_dollar(e))
+        }
+        Stmt::While(c, b) | Stmt::DoWhile(b, c) => expr_has_dollar(c) || stmt_has_dollar(b),
+        Stmt::For(init, cond, step, body) => {
+            init.as_ref().is_some_and(|i| stmt_has_dollar(i))
+                || cond.as_ref().is_some_and(expr_has_dollar)
+                || step.as_ref().is_some_and(expr_has_dollar)
+                || stmt_has_dollar(body)
+        }
+        Stmt::Return(e) => e.as_ref().is_some_and(expr_has_dollar),
+        Stmt::Block(ss) => ss.iter().any(stmt_has_dollar),
+        Stmt::Switch(e, items) => {
+            expr_has_dollar(e)
+                || items.iter().any(|i| match i {
+                    SwitchItem::Stmt(s) => stmt_has_dollar(s),
+                    SwitchItem::Case(_) | SwitchItem::Default => false,
+                })
+        }
+        Stmt::Labeled(_, s) => stmt_has_dollar(s),
+        Stmt::Goto(_) | Stmt::Break | Stmt::Continue | Stmt::Empty => false,
+    }
+}
+
+/// True if the tick's body evaluates any `$`-expression against VM
+/// memory at dynamic compile time — such a compilation is not a pure
+/// function of the closure and must bypass the cache.
+pub fn tick_reads_memory(prog: &Program, tick_id: usize) -> bool {
+    let Some(tick) = prog.ticks.get(tick_id) else {
+        return true; // malformed: never cache
+    };
+    match &tick.body {
+        TickBody::Expr(e) => expr_has_dollar(e),
+        TickBody::Block(ss) => ss.iter().any(stmt_has_dollar),
+    }
+}
+
+/// Per-compilation fingerprinting state: α-normalization maps for vspec
+/// and label objects (object address → first-occurrence ordinal).
+#[derive(Default)]
+struct Norm {
+    vspecs: HashMap<u64, u64>,
+    labels: HashMap<u64, u64>,
+}
+
+impl Norm {
+    fn vspec_id(&mut self, addr: u64) -> u64 {
+        let next = self.vspecs.len() as u64;
+        *self.vspecs.entry(addr).or_insert(next)
+    }
+    fn label_id(&mut self, addr: u64) -> u64 {
+        let next = self.labels.len() as u64;
+        *self.labels.entry(addr).or_insert(next)
+    }
+}
+
+/// Encodes the closure tree rooted at `entry` into `fp`. Returns
+/// `Ok(false)` — without finishing the encoding — when any reachable
+/// tick is uncacheable per `cacheable` (the runtime memoizes
+/// [`tick_reads_memory`] behind that callback).
+///
+/// Call only after `probe_compose_depth` has validated the tree: the
+/// walk recurses and relies on the probe's depth/cycle limits.
+///
+/// # Errors
+///
+/// Propagates [`VmError`] from closure reads, and reports malformed
+/// closures (bad CGF ids) like the compile walk does.
+pub fn fingerprint_closure(
+    mem: &Memory,
+    prog: &Program,
+    entry: u64,
+    cacheable: &mut dyn FnMut(usize) -> bool,
+    fp: &mut FingerprintBuilder,
+) -> Result<bool, VmError> {
+    let mut norm = Norm::default();
+    walk(mem, prog, entry, cacheable, fp, &mut norm)
+}
+
+fn walk(
+    mem: &Memory,
+    prog: &Program,
+    addr: u64,
+    cacheable: &mut dyn FnMut(usize) -> bool,
+    fp: &mut FingerprintBuilder,
+    norm: &mut Norm,
+) -> Result<bool, VmError> {
+    let c = ClosureRef { addr };
+    let marker = c.cgf_id(mem)?;
+    // A label object spliced directly as a cspec is a leaf.
+    if marker == LABEL_MARKER {
+        fp.push_tag(tag::LABEL);
+        fp.push_u64(norm.label_id(addr));
+        return Ok(true);
+    }
+    let id = marker as usize;
+    let tick = prog
+        .ticks
+        .get(id)
+        .ok_or_else(|| VmError::Host(format!("bad cgf id {id}")))?;
+    if !cacheable(id) {
+        return Ok(false);
+    }
+    fp.open(tag::CLOSURE);
+    fp.push_u64(id as u64);
+    for (i, cap) in tick.captures.iter().enumerate() {
+        let field = c.field(mem, i)?;
+        match &cap.kind {
+            CaptureKind::Dollar(_) => {
+                // Captured by value at specification time: the raw bits
+                // (int or float) are the run-time constant itself.
+                fp.push_tag(tag::DOLLAR);
+                fp.push_u64(field);
+            }
+            CaptureKind::FreeVar(_) => {
+                // The *address* is the captured datum; generated code
+                // loads through it at run time.
+                fp.push_tag(tag::FREEVAR);
+                fp.push_u64(field);
+            }
+            CaptureKind::Vspec(_) => {
+                let obj = VspecObj::read(mem, field)?;
+                match obj.tag {
+                    VspecTag::Param => {
+                        fp.push_tag(tag::VSPEC_PARAM);
+                        fp.push_u64(obj.kind.code() as u64);
+                        fp.push_u64(obj.index);
+                    }
+                    VspecTag::Local => {
+                        fp.push_tag(tag::VSPEC_LOCAL);
+                        fp.push_u64(obj.kind.code() as u64);
+                        fp.push_u64(norm.vspec_id(field));
+                    }
+                }
+            }
+            CaptureKind::Cspec(_) => match mem.load_u64(field)? {
+                LABEL_MARKER => {
+                    fp.push_tag(tag::LABEL);
+                    fp.push_u64(norm.label_id(field));
+                }
+                ARGLIST_MARKER => {
+                    fp.open(tag::ARGLIST);
+                    let n = mem.load_u64(field + 8)?;
+                    fp.push_u64(n);
+                    for j in 0..n {
+                        let entry = mem.load_u64(field + 16 + 8 * j)?;
+                        if !walk(mem, prog, entry, cacheable, fp, norm)? {
+                            return Ok(false);
+                        }
+                    }
+                    fp.close();
+                }
+                _ => {
+                    if !walk(mem, prog, field, cacheable, fp, norm)? {
+                        return Ok(false);
+                    }
+                }
+            },
+        }
+    }
+    fp.close();
+    Ok(true)
+}

@@ -38,6 +38,7 @@
 
 pub mod api;
 pub mod dyncomp;
+pub mod fingerprint;
 pub mod lower_shim;
 pub mod runtime;
 

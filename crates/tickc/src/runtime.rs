@@ -9,8 +9,11 @@
 //! out the tiny libc.
 
 use crate::dyncomp::{probe_compose_depth, DynCompiler, DynInput, WalkStats};
+use crate::fingerprint::{fingerprint_closure, tick_reads_memory};
+use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
+use tcc_cache::{CodeCache, FingerprintBuilder};
 use tcc_front::Program;
 use tcc_icode::prune::{key_of, OpKey};
 use tcc_icode::{IcodeBuf, IcodeCompiler, Strategy, TranslatorTable};
@@ -69,6 +72,8 @@ const DEEP_STACK_PER_LEVEL: usize = 32 << 10;
 struct CompileOutcome {
     /// Entry address of the generated function.
     addr: u64,
+    /// Code-space handle of the generated function (cache lifecycle).
+    handle: tcc_vm::FuncHandle,
     /// Machine instructions generated.
     insns: u64,
     /// Walk statistics (closures, unrolled iterations).
@@ -114,6 +119,7 @@ fn run_backend(
             let f = vc.finish();
             Ok(CompileOutcome {
                 addr: f.addr,
+                handle: f.handle,
                 insns: f.insns,
                 walk,
                 walk_ns: t0.elapsed().as_nanos() as u64,
@@ -140,6 +146,7 @@ fn run_backend(
             let r = compiler.compile(code, name, buf);
             Ok(CompileOutcome {
                 addr: r.func.addr,
+                handle: r.func.handle,
                 insns: r.func.insns,
                 walk,
                 walk_ns,
@@ -181,6 +188,10 @@ pub struct TccRuntime {
     /// [`TranslatorTable::from_keys`] to build the pruned back end
     /// (the §5.2 "link-time" analysis, observed at run time here).
     pub observed_keys: std::collections::BTreeSet<OpKey>,
+    /// Compile memoization + code lifecycle (`None` = caching disabled).
+    pub cache: Option<CodeCache>,
+    /// Per-tick cacheability memo (tick id → body is memory-free).
+    tick_cacheable: HashMap<usize, bool>,
     arena: Option<VmArena>,
     vspec_seq: u64,
     dyn_seq: u64,
@@ -207,6 +218,8 @@ impl TccRuntime {
             cspec_first: true,
             enable_unroll: true,
             observed_keys: std::collections::BTreeSet::new(),
+            cache: Some(CodeCache::new()),
+            tick_cacheable: HashMap::new(),
             arena: None,
             vspec_seq: 0,
             dyn_seq: 0,
@@ -240,6 +253,55 @@ impl TccRuntime {
         // nest cannot overflow the host stack before the limit check in
         // the recursive walk fires), then pick where the walk runs.
         let depth = probe_compose_depth(mem, &self.prog, closure)?;
+        // Consult the memoization cache: if this exact closure — CGF
+        // identities, `$`-constant values, composed structure, same
+        // backend options — was compiled before, reuse the generated
+        // function instead of walking the CGF again. A pruned translator
+        // table changes codegen behind the fingerprint's back, so its
+        // (ablation-only) presence bypasses the cache.
+        let fp = match &mut self.cache {
+            Some(cache) if self.table.is_none() => {
+                let t_fp = Instant::now();
+                let mut b = FingerprintBuilder::new();
+                match &self.backend {
+                    Backend::Vcode { unchecked } => {
+                        b.push_tag(0);
+                        b.push_tag(*unchecked as u8);
+                    }
+                    Backend::Icode { strategy } => {
+                        b.push_tag(1);
+                        b.push_tag(matches!(strategy, Strategy::GraphColor) as u8);
+                    }
+                }
+                b.push_tag(self.cspec_first as u8);
+                b.push_tag(self.enable_unroll as u8);
+                b.push_tag(ret_kind.map_or(255, ValKind::code));
+                let prog = &self.prog;
+                let memo = &mut self.tick_cacheable;
+                let mut cacheable = |id: usize| {
+                    *memo
+                        .entry(id)
+                        .or_insert_with(|| !tick_reads_memory(prog, id))
+                };
+                if fingerprint_closure(mem, prog, closure, &mut cacheable, &mut b)? {
+                    let fp = b.build();
+                    if let Some(addr) = cache.lookup(&fp) {
+                        cache.note_hit_ns(t_fp.elapsed().as_nanos() as u64);
+                        st.set_ret(addr);
+                        return Ok(());
+                    }
+                    Some(fp)
+                } else {
+                    cache.note_uncacheable();
+                    None
+                }
+            }
+            Some(cache) => {
+                cache.note_uncacheable();
+                None
+            }
+            None => None,
+        };
         let backend = &self.backend;
         let table = self.table.as_ref();
         let (cspec_first, enable_unroll) = (self.cspec_first, self.enable_unroll);
@@ -291,6 +353,14 @@ impl TccRuntime {
         self.stats.compiles += 1;
         self.stats.total_ns += t0.elapsed().as_nanos() as u64;
         self.stats.generated_insns += outcome.insns;
+        if let Some(fp) = fp {
+            let compile_ns = t0.elapsed().as_nanos() as u64;
+            let bytes = code.size_of(outcome.handle)?;
+            self.cache
+                .as_mut()
+                .expect("fingerprint implies cache")
+                .insert(code, fp, outcome.addr, outcome.handle, bytes, compile_ns)?;
+        }
         st.set_ret(outcome.addr);
         Ok(())
     }

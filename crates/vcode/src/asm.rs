@@ -84,7 +84,9 @@ impl<'a> Asm<'a> {
                 "label {i} referenced but never bound"
             );
         }
-        self.code.finish_function(self.func)
+        self.code
+            .finish_function(self.func)
+            .expect("asm seals its function exactly once")
     }
 
     /// Creates a fresh unbound label.

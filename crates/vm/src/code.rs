@@ -5,28 +5,99 @@
 //! (static back ends, VCODE, ICODE) append encoded instruction words here
 //! and hand out callable function addresses.
 //!
+//! Beyond the grow-only arena of the original system, the space manages
+//! the full *lifecycle* of dynamic code (the substrate of the `tcc-cache`
+//! subsystem):
+//!
+//! * every function is `Building` → `Sealed` → (optionally) `Freed`;
+//!   sealing twice, taking the address of an unsealed or freed function,
+//!   and freeing an unsealed function are [`VmError::CodeLifecycle`]
+//!   faults instead of silent stale-pointer sources;
+//! * [`CodeSpace::free_function`] returns a sealed function's words to a
+//!   sorted, coalescing free list; a later [`CodeSpace::finish_function`]
+//!   relocates the just-emitted function into the first fitting hole
+//!   (branches are PC-relative, so only `j`/`jal` words that target
+//!   other functions need their displacement adjusted);
+//! * executing a word that is not part of a live sealed function — a
+//!   freed range, jitter padding, or a function still being emitted —
+//!   faults with [`VmError::StaleCode`] rather than running whatever
+//!   bytes occupy the range;
+//! * [`CodeSpace::stats`] reports live/free/reclaimed words and a
+//!   fragmentation ratio, which the cache layer mirrors into
+//!   `SessionMetrics`.
+//!
 //! Following the paper (§4.4: "we attempt to minimize poor cache behavior
 //! by choosing the address of the beginning of the dynamic code randomly
 //! modulo the cache size"), the space can pad each new function by a
 //! deterministic pseudo-random number of words when
-//! [`CodeSpace::set_placement_jitter`] is enabled.
+//! [`CodeSpace::set_placement_jitter`] is enabled. Padding applies only
+//! to fresh tail placements: a function relocated into a reused range
+//! lands at the range's exact start (re-padding would defeat reuse).
 
 use crate::error::VmError;
-use crate::isa::Insn;
+use crate::isa::{Insn, Op};
 
 /// Base address of the code space; all code addresses have this bit set.
 pub const CODE_BASE: u64 = 0x8000_0000;
+
+/// Signed 24-bit jump displacement range (word offsets), the reach of a
+/// relocated `j`/`jal`.
+const IMM24_MIN: i64 = -(1 << 23);
+const IMM24_MAX: i64 = (1 << 23) - 1;
 
 /// Handle to a function under construction, returned by
 /// [`CodeSpace::begin_function`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct FuncHandle(usize);
 
+/// Where a function is in its lifecycle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum FuncState {
+    /// Between `begin_function` and `finish_function`.
+    Building,
+    /// Sealed: callable, words are live.
+    Sealed,
+    /// Freed: words returned to the free list; the handle is dead.
+    Freed,
+}
+
 #[derive(Clone, Debug)]
 struct FuncInfo {
     name: String,
+    /// Tail length before any jitter padding was emitted (what the tail
+    /// rolls back to when the function relocates into a reused range).
+    alloc_start: usize,
     start_word: usize,
     end_word: usize,
+    state: FuncState,
+}
+
+/// Occupancy accounting for a [`CodeSpace`] (the raw material of the
+/// cache layer's fragmentation and reclamation metrics).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct CodeStats {
+    /// Total words ever emitted (the arena's high-water mark).
+    pub total_words: usize,
+    /// Words inside live (sealed, not freed) functions.
+    pub live_words: usize,
+    /// Words currently sitting in the free list.
+    pub free_words: usize,
+    /// Cumulative words ever freed (monotonic; reuse does not subtract).
+    pub reclaimed_words: usize,
+    /// Largest single free-list range, in words.
+    pub largest_free: usize,
+}
+
+impl CodeStats {
+    /// Free-space fragmentation: `1 - largest_free / free_words`
+    /// (0.0 when the free list is empty or a single range).
+    pub fn fragmentation(&self) -> f64 {
+        if self.free_words == 0 {
+            0.0
+        } else {
+            1.0 - self.largest_free as f64 / self.free_words as f64
+        }
+    }
 }
 
 /// A growable region of encoded instruction words plus a registry of the
@@ -34,7 +105,14 @@ struct FuncInfo {
 #[derive(Clone, Debug, Default)]
 pub struct CodeSpace {
     words: Vec<u32>,
+    /// Parallel to `words`: true iff the word belongs to a live sealed
+    /// function. Checked on every executed fetch ([`CodeSpace::fetch_exec`]).
+    live: Vec<bool>,
     funcs: Vec<FuncInfo>,
+    /// Sorted, coalesced `(start_word, len)` ranges available for reuse.
+    free: Vec<(usize, usize)>,
+    live_words: usize,
+    reclaimed_words: usize,
     jitter_state: Option<u64>,
 }
 
@@ -47,15 +125,22 @@ impl CodeSpace {
     /// Enables deterministic pseudo-random placement padding (0..64 words)
     /// before each subsequently begun function, seeded with `seed`.
     /// Reproduces the paper's cache-conscious random placement of dynamic
-    /// code; off by default so tests are layout-stable.
+    /// code; off by default so tests are layout-stable. Functions that
+    /// relocate into a reused free range are not padded.
     pub fn set_placement_jitter(&mut self, seed: u64) {
-        self.jitter_state = Some(seed | 1);
+        // splitmix64 finalizer: adjacent seeds must yield unrelated
+        // streams, and the xorshift state must be nonzero.
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        self.jitter_state = Some((z ^ (z >> 31)) | 1);
     }
 
     /// Starts a new function named `name` (for disassembly and
     /// diagnostics) and returns its handle. Instructions pushed until the
     /// matching [`CodeSpace::finish_function`] belong to it.
     pub fn begin_function(&mut self, name: &str) -> FuncHandle {
+        let alloc_start = self.words.len();
         if let Some(state) = self.jitter_state.as_mut() {
             // xorshift64; pad by 0..64 words.
             *state ^= *state << 13;
@@ -64,27 +149,221 @@ impl CodeSpace {
             let pad = (*state % 64) as usize;
             self.words
                 .extend(std::iter::repeat_n(Insn::nop().encode(), pad));
+            self.live.extend(std::iter::repeat_n(false, pad));
         }
         let h = FuncHandle(self.funcs.len());
         self.funcs.push(FuncInfo {
             name: name.to_string(),
+            alloc_start,
             start_word: self.words.len(),
             end_word: usize::MAX,
+            state: FuncState::Building,
         });
         h
     }
 
     /// Seals the function begun with `handle` and returns its callable
-    /// address.
-    pub fn finish_function(&mut self, handle: FuncHandle) -> u64 {
+    /// address. If a free-list range fits, the function is relocated into
+    /// it (first fit) and the emission tail rolls back, so freed code
+    /// space is actually recycled.
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::CodeLifecycle`] if the function was already sealed (or
+    /// freed): a double-finish would silently re-seal a stale range.
+    pub fn finish_function(&mut self, handle: FuncHandle) -> Result<u64, VmError> {
+        let info = &self.funcs[handle.0];
+        if info.state != FuncState::Building {
+            return Err(VmError::CodeLifecycle(format!(
+                "function {} sealed twice",
+                info.name
+            )));
+        }
+        let (alloc_start, start) = (info.alloc_start, info.start_word);
+        let len = self.words.len() - start;
+        if let Some(new_start) = self.try_relocate(start, len) {
+            // Tail rolls back past the function and its jitter padding:
+            // reused ranges are placed exactly, never re-padded.
+            self.words.truncate(alloc_start);
+            self.live.truncate(alloc_start);
+            for w in &mut self.live[new_start..new_start + len] {
+                *w = true;
+            }
+            let info = &mut self.funcs[handle.0];
+            info.start_word = new_start;
+            info.end_word = new_start + len;
+            info.state = FuncState::Sealed;
+            self.live_words += len;
+            return Ok(CODE_BASE + (new_start as u64) * 4);
+        }
+        self.live.resize(self.words.len(), false);
+        for w in &mut self.live[start..start + len] {
+            *w = true;
+        }
         let info = &mut self.funcs[handle.0];
-        info.end_word = self.words.len();
-        CODE_BASE + (info.start_word as u64) * 4
+        info.end_word = start + len;
+        info.state = FuncState::Sealed;
+        self.live_words += len;
+        Ok(CODE_BASE + (start as u64) * 4)
     }
 
-    /// The callable address of a (possibly unfinished) function.
-    pub fn addr_of(&self, handle: FuncHandle) -> u64 {
-        CODE_BASE + (self.funcs[handle.0].start_word as u64) * 4
+    /// Returns a sealed function's words to the free list (coalescing
+    /// with adjacent free ranges) and kills its address: subsequent
+    /// execution in the range faults with [`VmError::StaleCode`] until
+    /// a later function reuses it.
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::CodeLifecycle`] if the function is still being built,
+    /// or was already freed.
+    pub fn free_function(&mut self, handle: FuncHandle) -> Result<u64, VmError> {
+        let info = &self.funcs[handle.0];
+        if info.state != FuncState::Sealed {
+            return Err(VmError::CodeLifecycle(format!(
+                "cannot free function {} (not sealed)",
+                info.name
+            )));
+        }
+        let (start, end) = (info.start_word, info.end_word);
+        let len = end - start;
+        self.funcs[handle.0].state = FuncState::Freed;
+        for w in &mut self.live[start..end] {
+            *w = false;
+        }
+        self.live_words -= len;
+        self.reclaimed_words += len;
+        self.insert_free(start, len);
+        Ok((len as u64) * 4)
+    }
+
+    /// Inserts `(start, len)` into the sorted free list, merging with
+    /// adjacent ranges.
+    fn insert_free(&mut self, start: usize, len: usize) {
+        if len == 0 {
+            return;
+        }
+        let i = self.free.partition_point(|&(s, _)| s < start);
+        let merges_prev = i > 0 && self.free[i - 1].0 + self.free[i - 1].1 == start;
+        let merges_next = i < self.free.len() && start + len == self.free[i].0;
+        match (merges_prev, merges_next) {
+            (true, true) => {
+                self.free[i - 1].1 += len + self.free[i].1;
+                self.free.remove(i);
+            }
+            (true, false) => self.free[i - 1].1 += len,
+            (false, true) => {
+                self.free[i].0 = start;
+                self.free[i].1 += len;
+            }
+            (false, false) => self.free.insert(i, (start, len)),
+        }
+    }
+
+    /// Attempts to move the just-emitted (still unsealed) function at
+    /// `[start, start+len)` — always the emission tail — into the first
+    /// fitting free range. Returns the new start word on success.
+    ///
+    /// Branches and in-function jumps are PC-relative word offsets, so
+    /// the words move verbatim; `j`/`jal` words whose target lies outside
+    /// the function (direct calls to other functions) get their
+    /// displacement adjusted by the move distance. Bails out (`None`) on
+    /// any word it cannot prove safe to move.
+    fn try_relocate(&mut self, start: usize, len: usize) -> Option<usize> {
+        let fit = self
+            .free
+            .iter()
+            .position(|&(s, l)| l >= len && s + len <= start)?;
+        let new_start = self.free[fit].0;
+        let delta = (start - new_start) as i64;
+        let mut moved = Vec::with_capacity(len);
+        for i in 0..len {
+            let word = self.words[start + i];
+            let Ok(mut insn) = Insn::decode(word) else {
+                return None; // raw data word: cannot prove relocatable
+            };
+            let target = (start + i) as i64 + 1 + insn.imm as i64;
+            let internal = target >= start as i64 && target < (start + len) as i64;
+            match insn.op {
+                Op::J | Op::Jal => {
+                    if !internal {
+                        let imm = insn.imm as i64 + delta;
+                        if !(IMM24_MIN..=IMM24_MAX).contains(&imm) {
+                            return None;
+                        }
+                        insn.imm = imm as i32;
+                        moved.push(insn.encode());
+                        continue;
+                    }
+                    moved.push(word);
+                }
+                op if op.is_branch() => {
+                    if !internal {
+                        return None; // cross-function branch: never emitted
+                    }
+                    moved.push(word);
+                }
+                _ => moved.push(word),
+            }
+        }
+        self.words[new_start..new_start + len].copy_from_slice(&moved);
+        // Consume the fitted prefix of the free range.
+        let (s, l) = self.free[fit];
+        if l == len {
+            self.free.remove(fit);
+        } else {
+            self.free[fit] = (s + len, l - len);
+        }
+        Some(new_start)
+    }
+
+    /// The callable address of a sealed function.
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::CodeLifecycle`] if the function is unfinished (its
+    /// final placement is not yet known) or freed (the address would be
+    /// stale).
+    pub fn addr_of(&self, handle: FuncHandle) -> Result<u64, VmError> {
+        let info = &self.funcs[handle.0];
+        match info.state {
+            FuncState::Sealed => Ok(CODE_BASE + (info.start_word as u64) * 4),
+            FuncState::Building => Err(VmError::CodeLifecycle(format!(
+                "address of unfinished function {}",
+                info.name
+            ))),
+            FuncState::Freed => Err(VmError::CodeLifecycle(format!(
+                "address of freed function {}",
+                info.name
+            ))),
+        }
+    }
+
+    /// Size in bytes of a sealed function's words.
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::CodeLifecycle`] unless the function is sealed.
+    pub fn size_of(&self, handle: FuncHandle) -> Result<u64, VmError> {
+        let info = &self.funcs[handle.0];
+        if info.state != FuncState::Sealed {
+            return Err(VmError::CodeLifecycle(format!(
+                "size of non-sealed function {}",
+                info.name
+            )));
+        }
+        Ok(((info.end_word - info.start_word) as u64) * 4)
+    }
+
+    /// Occupancy accounting: live/free/reclaimed words and the largest
+    /// free range.
+    pub fn stats(&self) -> CodeStats {
+        CodeStats {
+            total_words: self.words.len(),
+            live_words: self.live_words,
+            free_words: self.free.iter().map(|&(_, l)| l).sum(),
+            reclaimed_words: self.reclaimed_words,
+            largest_free: self.free.iter().map(|&(_, l)| l).max().unwrap_or(0),
+        }
     }
 
     /// Appends one instruction; returns its word index (for patching).
@@ -92,6 +371,7 @@ impl CodeSpace {
     pub fn push(&mut self, insn: Insn) -> usize {
         let idx = self.words.len();
         self.words.push(insn.encode());
+        self.live.push(false);
         idx
     }
 
@@ -100,6 +380,7 @@ impl CodeSpace {
     pub fn push_word(&mut self, word: u32) -> usize {
         let idx = self.words.len();
         self.words.push(word);
+        self.live.push(false);
         idx
     }
 
@@ -127,7 +408,9 @@ impl CodeSpace {
         CODE_BASE + (self.words.len() as u64) * 4
     }
 
-    /// Fetches the instruction word at a code address.
+    /// Fetches the instruction word at a code address, without a
+    /// liveness check — for patching and inspection. Execution goes
+    /// through [`CodeSpace::fetch_exec`].
     ///
     /// # Errors
     ///
@@ -142,12 +425,33 @@ impl CodeSpace {
         self.words.get(idx).copied().ok_or(VmError::BadPc(pc))
     }
 
+    /// Fetches the instruction word at `pc` for *execution*: the word
+    /// must belong to a live sealed function.
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::BadPc`] outside the emitted range or misaligned;
+    /// [`VmError::StaleCode`] inside a freed range, jitter padding, or a
+    /// function that was never sealed.
+    #[inline]
+    pub fn fetch_exec(&self, pc: u64) -> Result<u32, VmError> {
+        if pc < CODE_BASE || !pc.is_multiple_of(4) {
+            return Err(VmError::BadPc(pc));
+        }
+        let idx = ((pc - CODE_BASE) / 4) as usize;
+        match self.words.get(idx) {
+            None => Err(VmError::BadPc(pc)),
+            Some(_) if !self.live[idx] => Err(VmError::StaleCode(pc)),
+            Some(&w) => Ok(w),
+        }
+    }
+
     /// True if `addr` points into the code space's emitted range.
     pub fn contains(&self, addr: u64) -> bool {
         addr >= CODE_BASE && ((addr - CODE_BASE) / 4) < self.words.len() as u64
     }
 
-    /// Name of the function containing `addr`, if any (diagnostics).
+    /// Name of the live function containing `addr`, if any (diagnostics).
     pub fn function_at(&self, addr: u64) -> Option<&str> {
         if addr < CODE_BASE {
             return None;
@@ -155,7 +459,7 @@ impl CodeSpace {
         let w = ((addr - CODE_BASE) / 4) as usize;
         self.funcs
             .iter()
-            .find(|f| w >= f.start_word && w < f.end_word)
+            .find(|f| f.state == FuncState::Sealed && w >= f.start_word && w < f.end_word)
             .map(|f| f.name.as_str())
     }
 
@@ -174,7 +478,7 @@ impl CodeSpace {
         out
     }
 
-    /// Disassembles the function containing `addr`, if any.
+    /// Disassembles the live function containing `addr`, if any.
     pub fn disassemble_at(&self, addr: u64) -> Option<String> {
         if addr < CODE_BASE {
             return None;
@@ -183,7 +487,7 @@ impl CodeSpace {
         let idx = self
             .funcs
             .iter()
-            .position(|f| w >= f.start_word && w < f.end_word)?;
+            .position(|f| f.state == FuncState::Sealed && w >= f.start_word && w < f.end_word)?;
         Some(self.disassemble(FuncHandle(idx)))
     }
 
@@ -208,13 +512,17 @@ mod tests {
     use crate::isa::Op;
     use crate::regs::{A0, A1};
 
+    fn seal(cs: &mut CodeSpace, f: FuncHandle) -> u64 {
+        cs.finish_function(f).expect("seals")
+    }
+
     #[test]
     fn function_addresses_and_fetch() {
         let mut cs = CodeSpace::new();
         let f = cs.begin_function("f");
         cs.push(Insn::i(Op::Addiw, A0, A0, 1));
         cs.push(Insn::ret());
-        let addr = cs.finish_function(f);
+        let addr = seal(&mut cs, f);
         assert_eq!(addr, CODE_BASE);
         let w = cs.fetch(addr).unwrap();
         assert_eq!(Insn::decode(w).unwrap().op, Op::Addiw);
@@ -222,6 +530,7 @@ mod tests {
             Insn::decode(cs.fetch(addr + 4).unwrap()).unwrap(),
             Insn::ret()
         );
+        assert_eq!(cs.fetch_exec(addr).unwrap(), w);
     }
 
     #[test]
@@ -229,7 +538,7 @@ mod tests {
         let mut cs = CodeSpace::new();
         let f = cs.begin_function("f");
         cs.push(Insn::ret());
-        cs.finish_function(f);
+        seal(&mut cs, f);
         assert!(matches!(cs.fetch(CODE_BASE + 2), Err(VmError::BadPc(_))));
         assert!(matches!(cs.fetch(CODE_BASE + 8), Err(VmError::BadPc(_))));
         assert!(matches!(cs.fetch(0x1000), Err(VmError::BadPc(_))));
@@ -242,25 +551,220 @@ mod tests {
         let idx = cs.push(Insn::nop());
         cs.push(Insn::ret());
         cs.patch(idx, Insn::i(Op::Addiw, A0, A1, 7));
-        cs.finish_function(f);
+        seal(&mut cs, f);
         let insns = cs.instructions(f).unwrap();
         assert_eq!(insns[0], Insn::i(Op::Addiw, A0, A1, 7));
     }
 
     #[test]
+    fn double_finish_is_a_lifecycle_error() {
+        let mut cs = CodeSpace::new();
+        let f = cs.begin_function("f");
+        cs.push(Insn::ret());
+        seal(&mut cs, f);
+        assert!(matches!(
+            cs.finish_function(f),
+            Err(VmError::CodeLifecycle(_))
+        ));
+    }
+
+    #[test]
+    fn addr_of_unfinished_and_freed_functions_is_refused() {
+        let mut cs = CodeSpace::new();
+        let f = cs.begin_function("f");
+        cs.push(Insn::ret());
+        assert!(matches!(cs.addr_of(f), Err(VmError::CodeLifecycle(_))));
+        let addr = seal(&mut cs, f);
+        assert_eq!(cs.addr_of(f).unwrap(), addr);
+        cs.free_function(f).unwrap();
+        assert!(matches!(cs.addr_of(f), Err(VmError::CodeLifecycle(_))));
+    }
+
+    #[test]
+    fn freed_code_faults_on_execution_fetch() {
+        let mut cs = CodeSpace::new();
+        let f = cs.begin_function("f");
+        cs.push(Insn::ret());
+        let addr = seal(&mut cs, f);
+        assert!(cs.fetch_exec(addr).is_ok());
+        cs.free_function(f).unwrap();
+        assert!(matches!(cs.fetch_exec(addr), Err(VmError::StaleCode(_))));
+        // Raw fetch (inspection) still sees the word.
+        assert!(cs.fetch(addr).is_ok());
+    }
+
+    #[test]
+    fn unsealed_code_faults_on_execution_fetch() {
+        let mut cs = CodeSpace::new();
+        let _f = cs.begin_function("f");
+        cs.push(Insn::ret());
+        assert!(matches!(
+            cs.fetch_exec(CODE_BASE),
+            Err(VmError::StaleCode(_))
+        ));
+    }
+
+    #[test]
+    fn free_function_requires_sealed() {
+        let mut cs = CodeSpace::new();
+        let f = cs.begin_function("f");
+        cs.push(Insn::ret());
+        assert!(matches!(
+            cs.free_function(f),
+            Err(VmError::CodeLifecycle(_))
+        ));
+        seal(&mut cs, f);
+        assert!(cs.free_function(f).is_ok());
+        assert!(matches!(
+            cs.free_function(f),
+            Err(VmError::CodeLifecycle(_))
+        ));
+    }
+
+    #[test]
+    fn freed_ranges_are_reused_first_fit() {
+        let mut cs = CodeSpace::new();
+        let mk = |cs: &mut CodeSpace, name: &str, n: usize| {
+            let f = cs.begin_function(name);
+            for _ in 0..n - 1 {
+                cs.push(Insn::nop());
+            }
+            cs.push(Insn::ret());
+            (f, cs.finish_function(f).unwrap())
+        };
+        let (a, addr_a) = mk(&mut cs, "a", 8);
+        let (_b, _) = mk(&mut cs, "b", 4);
+        let freed = cs.free_function(a).unwrap();
+        assert_eq!(freed, 8 * 4);
+        // Same-size replacement lands exactly in a's old range.
+        let (_c, addr_c) = mk(&mut cs, "c", 8);
+        assert_eq!(addr_c, addr_a);
+        assert_eq!(cs.function_at(addr_c), Some("c"));
+        // Tail did not grow: c reused the hole.
+        assert_eq!(cs.stats().total_words, 12);
+        assert_eq!(cs.stats().reclaimed_words, 8);
+    }
+
+    #[test]
+    fn smaller_function_splits_the_hole_and_coalescing_merges() {
+        let mut cs = CodeSpace::new();
+        let mk = |cs: &mut CodeSpace, name: &str, n: usize| {
+            let f = cs.begin_function(name);
+            for _ in 0..n - 1 {
+                cs.push(Insn::nop());
+            }
+            cs.push(Insn::ret());
+            (f, cs.finish_function(f).unwrap())
+        };
+        let (a, addr_a) = mk(&mut cs, "a", 10);
+        let (b, _) = mk(&mut cs, "b", 6);
+        let (_guard, _) = mk(&mut cs, "guard", 2);
+        cs.free_function(a).unwrap();
+        // A 4-word function reuses the front of a's 10-word hole.
+        let (_c, addr_c) = mk(&mut cs, "c", 4);
+        assert_eq!(addr_c, addr_a);
+        assert_eq!(cs.stats().free_words, 6);
+        // Freeing b coalesces with the remaining 6-word hole.
+        cs.free_function(b).unwrap();
+        let st = cs.stats();
+        assert_eq!(st.free_words, 12);
+        assert_eq!(st.largest_free, 12, "adjacent holes must coalesce");
+        assert_eq!(st.fragmentation(), 0.0);
+    }
+
+    #[test]
+    fn relocation_fixes_cross_function_calls() {
+        // callee at 0, filler, caller emitted after a hole opens: the
+        // caller's jal must still reach callee after relocating.
+        let mut cs = CodeSpace::new();
+        let callee = cs.begin_function("callee");
+        cs.push(Insn::i(Op::Addiw, A0, A0, 5));
+        cs.push(Insn::ret());
+        let callee_addr = cs.finish_function(callee).unwrap();
+        let filler = cs.begin_function("filler");
+        for _ in 0..6 {
+            cs.push(Insn::nop());
+        }
+        cs.push(Insn::ret());
+        cs.finish_function(filler).unwrap();
+        cs.free_function(filler).unwrap();
+        // Emit a caller at the tail; it will relocate into filler's hole.
+        let caller = cs.begin_function("caller");
+        let at = cs.next_index() as i64;
+        let callee_word = ((callee_addr - CODE_BASE) / 4) as i64;
+        cs.push(Insn::j(Op::Jal, (callee_word - (at + 1)) as i32));
+        cs.push(Insn::ret());
+        let caller_addr = cs.finish_function(caller).unwrap();
+        assert_eq!(
+            caller_addr,
+            callee_addr + 2 * 4,
+            "caller reuses filler's hole"
+        );
+        // The relocated jal still targets callee's first word.
+        let jal = Insn::decode(cs.fetch_exec(caller_addr).unwrap()).unwrap();
+        let target = ((caller_addr - CODE_BASE) / 4) as i64 + 1 + jal.imm as i64;
+        assert_eq!(target, callee_word);
+    }
+
+    #[test]
+    fn stats_track_live_and_free_words() {
+        let mut cs = CodeSpace::new();
+        let f = cs.begin_function("f");
+        for _ in 0..7 {
+            cs.push(Insn::nop());
+        }
+        cs.push(Insn::ret());
+        seal(&mut cs, f);
+        assert_eq!(cs.stats().live_words, 8);
+        assert_eq!(cs.stats().free_words, 0);
+        cs.free_function(f).unwrap();
+        let st = cs.stats();
+        assert_eq!(st.live_words, 0);
+        assert_eq!(st.free_words, 8);
+        assert_eq!(st.reclaimed_words, 8);
+    }
+
+    #[test]
     fn placement_jitter_pads_functions_deterministically() {
-        let build = |seed| {
+        let layout = |seed| {
             let mut cs = CodeSpace::new();
             cs.set_placement_jitter(seed);
-            let f = cs.begin_function("f");
-            cs.push(Insn::ret());
-            cs.finish_function(f)
+            let mut addrs = Vec::new();
+            for i in 0..8 {
+                let f = cs.begin_function(&format!("f{i}"));
+                cs.push(Insn::ret());
+                addrs.push(cs.finish_function(f).unwrap());
+            }
+            addrs
         };
-        let a = build(42);
-        let b = build(42);
-        let c = build(43);
+        let a = layout(42);
+        let b = layout(42);
+        let c = layout(43);
         assert_eq!(a, b, "same seed, same placement");
-        assert!(a != c || a >= CODE_BASE, "jitter is seed-dependent");
+        assert_ne!(a, c, "different seeds pick different padding");
+    }
+
+    #[test]
+    fn jitter_does_not_repad_reused_ranges() {
+        let mut cs = CodeSpace::new();
+        cs.set_placement_jitter(7);
+        let mk = |cs: &mut CodeSpace, name: &str, n: usize| {
+            let f = cs.begin_function(name);
+            for _ in 0..n - 1 {
+                cs.push(Insn::nop());
+            }
+            cs.push(Insn::ret());
+            (f, cs.finish_function(f).unwrap())
+        };
+        let (a, addr_a) = mk(&mut cs, "a", 8);
+        let (_b, _) = mk(&mut cs, "b", 8);
+        cs.free_function(a).unwrap();
+        let before = cs.stats().total_words;
+        // The replacement relocates into a's hole at the exact freed
+        // address — no fresh padding — and the tail rolls back.
+        let (_c, addr_c) = mk(&mut cs, "c", 8);
+        assert_eq!(addr_c, addr_a, "reused range is not re-padded");
+        assert_eq!(cs.stats().total_words, before, "tail must not grow");
     }
 
     #[test]
@@ -268,13 +772,15 @@ mod tests {
         let mut cs = CodeSpace::new();
         let f = cs.begin_function("alpha");
         cs.push(Insn::ret());
-        let fa = cs.finish_function(f);
+        let fa = seal(&mut cs, f);
         let g = cs.begin_function("beta");
         cs.push(Insn::ret());
-        let gb = cs.finish_function(g);
+        let gb = seal(&mut cs, g);
         assert_eq!(cs.function_at(fa), Some("alpha"));
         assert_eq!(cs.function_at(gb), Some("beta"));
         assert_eq!(cs.function_at(0x10), None);
+        cs.free_function(f).unwrap();
+        assert_eq!(cs.function_at(fa), None, "freed functions are unnamed");
     }
 
     #[test]
@@ -283,7 +789,7 @@ mod tests {
         let f = cs.begin_function("f");
         cs.push(Insn::i(Op::Addiw, A0, A0, 1));
         cs.push(Insn::ret());
-        cs.finish_function(f);
+        seal(&mut cs, f);
         let d = cs.disassemble(f);
         assert!(d.contains("addiw"));
         assert!(d.contains("jalr"));

@@ -24,6 +24,13 @@ pub enum VmError {
     Host(String),
     /// The stack pointer crossed into the heap.
     StackOverflow,
+    /// Execution entered a word range that was freed (or never sealed):
+    /// the address was once handed out but its code no longer exists.
+    StaleCode(u64),
+    /// A code-space lifecycle violation: sealing a function twice,
+    /// taking the address of an unfinished or freed function, or
+    /// freeing a function that is not sealed.
+    CodeLifecycle(String),
 }
 
 impl fmt::Display for VmError {
@@ -38,6 +45,10 @@ impl fmt::Display for VmError {
             VmError::BadHostCall(n) => write!(f, "unregistered host call {n}"),
             VmError::Host(msg) => write!(f, "host call failed: {msg}"),
             VmError::StackOverflow => write!(f, "stack overflow"),
+            VmError::StaleCode(a) => {
+                write!(f, "call into freed or unsealed code at {a:#x}")
+            }
+            VmError::CodeLifecycle(msg) => write!(f, "code lifecycle violation: {msg}"),
         }
     }
 }
@@ -60,6 +71,8 @@ mod tests {
             VmError::BadHostCall(9),
             VmError::Host("x".into()),
             VmError::StackOverflow,
+            VmError::StaleCode(0x8000_0000),
+            VmError::CodeLifecycle("y".into()),
         ];
         for e in errors {
             let s = e.to_string();

@@ -244,7 +244,7 @@ impl<H: HostCall> Vm<H> {
             if pc == RETURN_SENTINEL {
                 return Ok(ExitStatus::Returned);
             }
-            let word = self.state.code.fetch(pc)?;
+            let word = self.state.code.fetch_exec(pc)?;
             let insn = Insn::decode(word)?;
             let mut cost = self.cost.cost(insn.op);
             let mut next = pc + 4;
@@ -526,7 +526,7 @@ mod tests {
             cs.push(i);
         }
         cs.push(Insn::ret());
-        let addr = cs.finish_function(f);
+        let addr = cs.finish_function(f).unwrap();
         let mut vm = Vm::new(cs, 1 << 20);
         vm.call(addr, args)
     }
@@ -620,7 +620,7 @@ mod tests {
         let callee = cs.begin_function("callee");
         cs.push(Insn::i(Op::Addiw, A0, A0, 1));
         cs.push(Insn::ret());
-        let callee_addr = cs.finish_function(callee);
+        let callee_addr = cs.finish_function(callee).unwrap();
         // caller: save ra on stack, jal callee, restore, a0 += 10, ret
         let caller = cs.begin_function("caller");
         cs.push(Insn::i(Op::Addid, SP, SP, -16));
@@ -632,7 +632,7 @@ mod tests {
         cs.push(Insn::i(Op::Addid, SP, SP, 16));
         cs.push(Insn::i(Op::Addiw, A0, A0, 10));
         cs.push(Insn::ret());
-        let caller_addr = cs.finish_function(caller);
+        let caller_addr = cs.finish_function(caller).unwrap();
 
         let mut vm = Vm::new(cs, 1 << 20);
         assert_eq!(vm.call(caller_addr, &[100]).unwrap(), 111);
@@ -646,7 +646,7 @@ mod tests {
         cs.push(Insn::i(Op::Sw, A0, A1, 0));
         cs.push(Insn::i(Op::Lw, A0, A1, 0));
         cs.push(Insn::ret());
-        let addr = cs.finish_function(f);
+        let addr = cs.finish_function(f).unwrap();
         let mut vm = Vm::new(cs, 1 << 20);
         let buf = vm.state_mut().mem.alloc(8, 8).unwrap();
         let got = vm.call(addr, &[(-5i64) as u64, buf]).unwrap();
@@ -660,7 +660,7 @@ mod tests {
         use crate::regs::{FA0, FA1};
         cs.push(Insn::fr(Op::Fmul, FA0, FA0, FA1));
         cs.push(Insn::ret());
-        let addr = cs.finish_function(f);
+        let addr = cs.finish_function(f).unwrap();
         let mut vm = Vm::new(cs, 1 << 20);
         let got = vm.call_f(addr, &[], &[1.5, 4.0]).unwrap();
         assert_eq!(got, 6.0);
@@ -687,7 +687,7 @@ mod tests {
             imm: 0,
         });
         cs.push(Insn::ret());
-        let addr = cs.finish_function(f);
+        let addr = cs.finish_function(f).unwrap();
         let mut vm = Vm::new(cs, 1 << 20);
         assert_eq!(vm.call(addr, &[21]).unwrap(), 42);
     }
@@ -697,10 +697,22 @@ mod tests {
         let mut cs = CodeSpace::new();
         let f = cs.begin_function("spin");
         cs.push(Insn::j(Op::J, -1));
-        cs.finish_function(f);
+        cs.finish_function(f).unwrap();
         let mut vm = Vm::new(cs, 1 << 20);
         vm.set_fuel(1000);
         assert_eq!(vm.call(CODE_BASE, &[]), Err(VmError::OutOfFuel));
+    }
+
+    #[test]
+    fn calling_freed_code_faults_stale() {
+        let mut cs = CodeSpace::new();
+        let f = cs.begin_function("f");
+        cs.push(Insn::i(Op::Addiw, A0, A0, 1));
+        cs.push(Insn::ret());
+        let addr = cs.finish_function(f).unwrap();
+        cs.free_function(f).unwrap();
+        let mut vm = Vm::new(cs, 1 << 20);
+        assert_eq!(vm.call(addr, &[1]), Err(VmError::StaleCode(addr)));
     }
 
     #[test]
@@ -709,7 +721,7 @@ mod tests {
         let f = cs.begin_function("f");
         cs.push(Insn::r(Op::Mulw, A0, A0, A1));
         cs.push(Insn::ret());
-        let addr = cs.finish_function(f);
+        let addr = cs.finish_function(f).unwrap();
         let mut vm = Vm::new(cs, 1 << 20);
         vm.call(addr, &[6, 7]).unwrap();
         let m = CostModel::default();
@@ -728,7 +740,7 @@ mod tests {
             rs2: 0,
             imm: 0,
         });
-        cs.finish_function(f);
+        cs.finish_function(f).unwrap();
         let mut vm = Vm::new(cs, 1 << 20);
         assert_eq!(vm.run(CODE_BASE).unwrap(), ExitStatus::Halted);
     }
@@ -739,7 +751,7 @@ mod tests {
         let f = cs.begin_function("f");
         cs.push(Insn::i(Op::Hcall, ZERO, ZERO, 7));
         cs.push(Insn::ret());
-        let addr = cs.finish_function(f);
+        let addr = cs.finish_function(f).unwrap();
         let host = |num: u32, st: &mut MachineState| {
             st.set_ret(num as u64 * 6);
             Ok(())
@@ -754,7 +766,7 @@ mod tests {
         let f = cs.begin_function("f");
         cs.push(Insn::i(Op::Hcall, ZERO, ZERO, 3));
         cs.push(Insn::ret());
-        let addr = cs.finish_function(f);
+        let addr = cs.finish_function(f).unwrap();
         let mut vm = Vm::new(cs, 1 << 20);
         assert_eq!(vm.call(addr, &[]), Err(VmError::BadHostCall(3)));
     }

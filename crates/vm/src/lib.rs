@@ -41,7 +41,7 @@
 //! let f = code.begin_function("add1");
 //! code.push(Insn::i(Op::Addiw, A0, A0, 1));
 //! code.push(Insn::ret());
-//! let addr = code.finish_function(f);
+//! let addr = code.finish_function(f)?;
 //!
 //! let mut vm = Vm::new(code, 1 << 20);
 //! let got = vm.call(addr, &[41])?;
@@ -59,7 +59,7 @@ pub mod isa;
 pub mod mem;
 pub mod regs;
 
-pub use code::{CodeSpace, FuncHandle, CODE_BASE};
+pub use code::{CodeSpace, CodeStats, FuncHandle, CODE_BASE};
 pub use cost::CostModel;
 pub use error::VmError;
 pub use host::{HostCall, NoHost};

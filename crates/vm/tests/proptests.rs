@@ -66,7 +66,7 @@ proptest! {
             let f = cs.begin_function("t");
             cs.push(Insn::r(op, A0, A0, A1));
             cs.push(Insn::ret());
-            let addr = cs.finish_function(f);
+            let addr = cs.finish_function(f).expect("seals");
             let mut vm = Vm::new(cs, 1 << 20);
             let got = vm
                 .call(addr, &[a as i64 as u64, b as i64 as u64])

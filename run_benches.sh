@@ -25,6 +25,13 @@ if ! cargo run -p tcc-suite --bin suite --release -- all --small --json \
   failed="$failed suite-json"
 fi
 
+echo "=== suite cache --json ===" >> bench_output.txt
+if ! cargo run -p tcc-suite --bin suite --release -- cache --json \
+    >> bench_output.txt 2>&1; then
+  echo "BENCH FAILED: suite cache --json (see bench_output.txt)" >&2
+  failed="$failed suite-cache-json"
+fi
+
 if [ -n "$failed" ]; then
   echo "BENCHES_FAILED:$failed" >&2
   exit 1

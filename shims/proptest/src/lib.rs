@@ -3,7 +3,7 @@
 //! The sandbox has no crates-io access, so this shim reimplements the
 //! slice of the proptest API that the workspace's tests use:
 //!
-//! * the [`Strategy`] trait with `prop_map`, `prop_recursive`, `boxed`;
+//! * the [`Strategy`](strategy::Strategy) trait with `prop_map`, `prop_recursive`, `boxed`;
 //! * range / tuple / `Just` / string-pattern strategies and `any::<T>()`;
 //! * `prop::collection::vec`, `prop::sample::select`;
 //! * the `proptest!`, `prop_oneof!`, `prop_assert*!`, `prop_assume!`

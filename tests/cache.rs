@@ -1,0 +1,184 @@
+//! End-to-end semantics of the dynamic-code lifecycle manager
+//! (`tcc-cache`): compile memoization, code-space reclamation under a
+//! byte budget, stale-code faulting, pinning, and placement jitter —
+//! all driven through the public `Session` API.
+
+use tickc::tickc_core::{Config, Error, Session};
+use tickc::vm::VmError;
+
+/// One dynamic-compilation site specializing on `$n`: every distinct
+/// argument is a distinct closure, every repeat an identical one.
+const MAKE: &str = r#"
+long make(int n) {
+    int cspec c = `($n * 3 + 4);
+    int (*f)(void) = compile(c, int);
+    return (long)f;
+}
+"#;
+
+fn session(config: Config) -> Session {
+    Session::new(MAKE, config).expect("compiles")
+}
+
+/// A `mk()` whose closure body is long enough that a real compile
+/// dwarfs a fingerprint walk (for the hit-economics test).
+fn big_src() -> String {
+    let mut body = String::new();
+    for i in 0..120 {
+        let (d, s) = if i % 2 == 0 { ("a", "b") } else { ("b", "a") };
+        body.push_str(&format!("        {d} = {d} * 3 + {s} + {};\n", i % 7 + 1));
+    }
+    format!(
+        r#"
+int seed = 5;
+long mk(void) {{
+    void cspec c = `{{
+        int a;
+        int b;
+        a = $seed;
+        b = 2;
+{body}        return a + b;
+    }};
+    return (long)compile(c, int);
+}}
+"#
+    )
+}
+
+#[test]
+fn repeated_compile_returns_the_same_pointer() {
+    let mut s = session(Config::default());
+    let first = s.call("make", &[7]).unwrap();
+    for _ in 0..4 {
+        assert_eq!(s.call("make", &[7]).unwrap(), first, "hit changed pointer");
+    }
+    // A different `$`-constant is a different closure.
+    let other = s.call("make", &[8]).unwrap();
+    assert_ne!(first, other);
+    let m = s.metrics().cache;
+    assert_eq!(m.hits, 4);
+    assert_eq!(m.misses, 2);
+    assert_eq!(m.uncacheable, 0);
+    // Cached code still runs (and was compiled from the right constant).
+    assert_eq!(s.call_addr(first, &[]).unwrap(), 25);
+    assert_eq!(s.call_addr(other, &[]).unwrap(), 28);
+}
+
+#[test]
+fn disabling_the_cache_recompiles_every_time() {
+    let mut s = session(Config {
+        cache: false,
+        ..Config::default()
+    });
+    let a = s.call("make", &[7]).unwrap();
+    let b = s.call("make", &[7]).unwrap();
+    assert_ne!(a, b, "uncached compiles emit fresh code");
+    let m = s.metrics();
+    assert_eq!(m.dynamic.compiles, 2);
+    assert_eq!(m.cache.hits, 0);
+    assert_eq!(m.cache.misses, 0);
+}
+
+#[test]
+fn cache_hits_are_an_order_of_magnitude_cheaper_than_recompiles() {
+    // The acceptance bar: answering a compile from cache costs at least
+    // 10x less than re-running the CGF. `ns_saved` accumulates the
+    // original compile time per hit; `hit_ns` the fingerprint + lookup
+    // time actually spent answering hits.
+    let mut s = Session::new(&big_src(), Config::default()).expect("compiles");
+    for _ in 0..20 {
+        s.call("mk", &[]).unwrap();
+    }
+    let m = s.metrics().cache;
+    assert_eq!(m.hits, 19);
+    assert!(
+        m.ns_saved >= 10 * m.hit_ns,
+        "hits not 10x cheaper: saved {} ns vs spent {} ns",
+        m.ns_saved,
+        m.hit_ns
+    );
+}
+
+#[test]
+fn budget_bounds_live_code_and_books_balance() {
+    let budget = 2048u64;
+    let mut s = session(Config {
+        code_budget: Some(budget),
+        ..Config::default()
+    });
+    // Drive well past the budget with distinct closures.
+    for n in 0..200u64 {
+        s.call("make", &[n]).unwrap();
+    }
+    let m = s.metrics().cache;
+    assert!(m.evictions > 0, "budget never forced an eviction");
+    assert!(
+        m.bytes_live <= budget,
+        "live cached code {} exceeds budget {budget}",
+        m.bytes_live
+    );
+    // The cache's books agree with the code space's own accounting:
+    // everything the cache reclaimed is words the arena marked free.
+    let stats = s.vm.state().code.stats();
+    assert_eq!(
+        m.bytes_reclaimed,
+        stats.reclaimed_words as u64 * 4,
+        "cache and code space disagree on reclaimed bytes"
+    );
+    assert!(stats.free_words > 0, "reclaimed space not in the free list");
+
+    // Steady state: freed ranges are reused, so another round of churn
+    // barely grows the arena (identical-size functions fit old holes).
+    let before = s.vm.state().code.stats().total_words;
+    for n in 200..400u64 {
+        s.call("make", &[n]).unwrap();
+    }
+    let after = s.vm.state().code.stats().total_words;
+    assert!(
+        after <= before + before / 4,
+        "code space not bounded under churn: {before} -> {after} words"
+    );
+}
+
+#[test]
+fn evicted_code_faults_stale_when_called() {
+    let mut s = session(Config {
+        code_budget: Some(256),
+        ..Config::default()
+    });
+    let first = s.call("make", &[0]).unwrap();
+    assert_eq!(s.call_addr(first, &[]).unwrap(), 4);
+    // Distinct closures until budget pressure evicts the LRU entry —
+    // which is `first`: it was inserted earliest and never looked up
+    // again. Probe immediately, while its range is still on the free
+    // list (a later compile may legitimately recycle the range, after
+    // which the address aliases fresh code — pin to prevent that).
+    let mut n = 1u64;
+    while s.metrics().cache.evictions == 0 {
+        s.call("make", &[n]).unwrap();
+        n += 1;
+        assert!(n < 1000, "budget never forced an eviction");
+    }
+    let err = s.call_addr(first, &[]).unwrap_err();
+    assert!(
+        matches!(err, Error::Vm(VmError::StaleCode(_))),
+        "stale pointer should fault cleanly, got: {err}"
+    );
+}
+
+#[test]
+fn placement_jitter_is_deterministic_per_seed() {
+    let drive = |seed: Option<u64>| -> Vec<u64> {
+        let mut s = session(Config {
+            placement_jitter: seed,
+            ..Config::default()
+        });
+        (0..4u64).map(|n| s.call("make", &[n]).unwrap()).collect()
+    };
+    // Same seed, same session history: identical layout.
+    assert_eq!(drive(Some(42)), drive(Some(42)));
+    // Different seeds: different padding, so the layouts diverge.
+    assert_ne!(drive(Some(42)), drive(Some(43)));
+    // And jitter shifts code away from the unjittered layout.
+    assert_ne!(drive(Some(42)), drive(None));
+}

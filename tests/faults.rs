@@ -148,6 +148,91 @@ fn stack_smashing_dynamic_recursion_is_bounded() {
     assert!(err.contains("too deep"), "{err}");
 }
 
+/// A compile site parameterized on `$n` for the lifecycle fault tests.
+const MAKE: &str = r#"
+long make(int n) {
+    int cspec c = `($n * 3 + 4);
+    int (*f)(void) = compile(c, int);
+    return (long)f;
+}
+"#;
+
+#[test]
+fn pinned_code_is_never_evicted() {
+    // Budget fits roughly one generated function, so every further
+    // distinct compile wants to evict the LRU entry — which is pinned.
+    let mut s = Session::new(
+        MAKE,
+        Config {
+            code_budget: Some(256),
+            ..Config::default()
+        },
+    )
+    .expect("compiles");
+    let keep = s.call("make", &[1]).unwrap();
+    assert!(s.pin_code(keep), "freshly cached entry must be pinnable");
+    for n in 2..40u64 {
+        s.call("make", &[n]).unwrap();
+    }
+    // Pressure evicted others, never the pinned entry.
+    assert!(s.metrics().cache.evictions > 0, "no eviction pressure");
+    assert_eq!(s.call_addr(keep, &[]).unwrap(), 7, "pinned code died");
+    // Releasing the pin puts it back on the menu: it is the
+    // least-recently-used entry, so the very next insert reclaims it.
+    // (Probe before a further compile reuses the freed range — after
+    // that, the address may alias fresh code; that is exactly why
+    // handed-out pointers are pinned.)
+    assert!(s.unpin_code(keep));
+    let evictions = s.metrics().cache.evictions;
+    s.call("make", &[1000]).unwrap();
+    assert_eq!(s.metrics().cache.evictions, evictions + 1);
+    let err = s.call_addr(keep, &[]).unwrap_err();
+    assert!(
+        matches!(err, tickc::tickc_core::Error::Vm(VmError::StaleCode(_))),
+        "{err}"
+    );
+}
+
+#[test]
+fn budget_smaller_than_one_function_still_compiles() {
+    // A budget no function fits into cannot cache anything — but it
+    // must never refuse the compile itself.
+    let mut s = Session::new(
+        MAKE,
+        Config {
+            code_budget: Some(8),
+            ..Config::default()
+        },
+    )
+    .expect("compiles");
+    let a = s.call("make", &[5]).unwrap();
+    let b = s.call("make", &[5]).unwrap();
+    assert_eq!(s.call_addr(a, &[]).unwrap(), 19);
+    assert_eq!(s.call_addr(b, &[]).unwrap(), 19);
+    let m = s.metrics().cache;
+    assert_eq!(m.hits, 0, "nothing fits, nothing can hit");
+    assert!(m.uncacheable >= 2, "oversized compiles must be counted");
+    assert_eq!(m.bytes_live, 0);
+}
+
+proptest::proptest! {
+    #![proptest_config(proptest::test_runner::ProptestConfig::with_cases(16))]
+
+    /// Fingerprints are injective over `$`-constant values: two
+    /// specializations on different run-time constants can never alias
+    /// to one cached function.
+    #[test]
+    fn distinct_dollar_values_never_share_code(a in 0u64..100_000, b in 0u64..100_000) {
+        proptest::prop_assume!(a != b);
+        let mut s = Session::new(MAKE, Config::default()).expect("compiles");
+        let fa = s.call("make", &[a]).unwrap();
+        let fb = s.call("make", &[b]).unwrap();
+        proptest::prop_assert_ne!(fa, fb, "distinct constants collided in cache");
+        proptest::prop_assert_eq!(s.call_addr(fa, &[]).unwrap(), a * 3 + 4);
+        proptest::prop_assert_eq!(s.call_addr(fb, &[]).unwrap(), b * 3 + 4);
+    }
+}
+
 #[test]
 fn memory_exhaustion_is_an_error_not_a_panic() {
     let mut s = Session::new(

@@ -58,7 +58,19 @@ fn static_phases_are_populated_at_construction() {
 #[test]
 fn dynamic_counters_accumulate_monotonically() {
     for backend in all_backends() {
-        let mut s = session(backend.clone());
+        // Disable memoization: this test characterizes what one *real*
+        // compile adds to the counters, and all three rounds specialize
+        // to the same `$n` (with the cache on, rounds 2-3 would be hits
+        // and add nothing — see tests/cache.rs for those semantics).
+        let mut s = Session::new(
+            SRC,
+            Config {
+                backend: backend.clone(),
+                cache: false,
+                ..Config::default()
+            },
+        )
+        .expect("compiles");
         let mut prev_compiles = 0;
         let mut prev_total = 0;
         let mut prev_insns = 0;
