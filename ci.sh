@@ -10,6 +10,10 @@
 #                         dynamic back ends must agree on the answer)
 #   6. cache smoke run   (the repeat-compile sweep with memoization on:
 #                         hit economics + pointer stability end-to-end)
+#   7. exec smoke run    (the three execution engines — decode-per-step,
+#                         predecoded, predecoded+fused — over the
+#                         loop-heavy kernels with the observational-
+#                         equivalence asserts live, release mode)
 #
 # Fails fast: the first failing step aborts with its exit code.
 set -eu
@@ -35,5 +39,8 @@ cargo run -p tcc-suite --bin suite --release -- smoke
 
 echo "== suite cache (memoized compiles stay correct) =="
 cargo run -p tcc-suite --bin suite --release -- cache
+
+echo "== suite exec --smoke (engines observationally identical) =="
+cargo run -p tcc-suite --bin suite --release -- exec --smoke
 
 echo "CI_OK"

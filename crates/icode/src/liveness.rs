@@ -60,6 +60,18 @@ impl BitSet {
         }
     }
 
+    /// Empties the set, keeping capacity.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// `self = other`, allocation-free. Both sets must have the same
+    /// capacity.
+    pub fn copy_from(&mut self, other: &BitSet) {
+        debug_assert_eq!(self.words.len(), other.words.len());
+        self.words.copy_from_slice(&other.words);
+    }
+
     /// Iterates over members.
     pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
         self.words.iter().enumerate().flat_map(|(wi, &w)| {
@@ -110,22 +122,25 @@ impl Liveness {
         let mut live_in = vec![BitSet::new(nv); nb];
         let mut live_out = vec![BitSet::new(nv); nb];
         // Backward iteration; reverse program order converges fast on
-        // reducible graphs.
+        // reducible graphs. The scratch sets are reused across every
+        // iteration — the inner loop allocates nothing.
+        let mut out = BitSet::new(nv);
+        let mut inn = BitSet::new(nv);
         let mut changed = true;
         while changed {
             changed = false;
             for bi in (0..nb).rev() {
-                let mut out = BitSet::new(nv);
+                out.clear();
                 for &s in &fg.blocks[bi].succs {
                     out.union_with(&live_in[s]);
                 }
-                let mut inn = out.clone();
+                inn.copy_from(&out);
                 inn.transfer(&use_set[bi], &def_set[bi]);
                 if inn != live_in[bi] {
-                    live_in[bi] = inn;
+                    live_in[bi].copy_from(&inn);
                     changed = true;
                 }
-                live_out[bi] = out;
+                live_out[bi].copy_from(&out);
             }
         }
         Liveness {
@@ -155,6 +170,21 @@ mod tests {
         assert!(!s.contains(0));
         assert_eq!(s.count(), 1);
         assert_eq!(s.iter().collect::<Vec<_>>(), vec![129]);
+    }
+
+    #[test]
+    fn bitset_copy_from_and_clear() {
+        let mut a = BitSet::new(130);
+        a.insert(5);
+        a.insert(129);
+        let mut b = BitSet::new(130);
+        b.insert(70);
+        b.copy_from(&a);
+        assert_eq!(b, a);
+        assert!(!b.contains(70));
+        b.clear();
+        assert_eq!(b.count(), 0);
+        assert_eq!(a.count(), 2);
     }
 
     #[test]

@@ -280,6 +280,51 @@ impl CacheMetrics {
     }
 }
 
+/// Execution-engine counters reported by the VM's predecoded engine:
+/// how much code was translated into decoded buffers, how much fusion
+/// found, and which dispatch path retired instructions.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExecMetrics {
+    /// Functions translated into decoded buffers.
+    pub translations: u64,
+    /// Code words covered by those translations.
+    pub translated_words: u64,
+    /// Instruction pairs fused into superinstructions.
+    pub fused_pairs: u64,
+    /// Instructions retired from decoded buffers.
+    pub fast_insns: u64,
+    /// Instructions retired by the decode-per-step path.
+    pub slow_insns: u64,
+    /// Whole-cache invalidations (free / live patch / eviction).
+    pub invalidations: u64,
+}
+
+impl ExecMetrics {
+    /// Fraction of retired instructions dispatched from decoded
+    /// buffers (1.0 when nothing has executed).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.fast_insns + self.slow_insns;
+        if total == 0 {
+            1.0
+        } else {
+            self.fast_insns as f64 / total as f64
+        }
+    }
+
+    /// JSON object form.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("translations", Json::from(self.translations)),
+            ("translated_words", Json::from(self.translated_words)),
+            ("fused_pairs", Json::from(self.fused_pairs)),
+            ("fast_insns", Json::from(self.fast_insns)),
+            ("slow_insns", Json::from(self.slow_insns)),
+            ("invalidations", Json::from(self.invalidations)),
+            ("dispatch_hit_rate", Json::from(self.hit_rate())),
+        ])
+    }
+}
+
 /// The unified per-phase breakdown for one session: everything from
 /// source text to retired instructions.
 #[derive(Clone, Debug, Default)]
@@ -293,6 +338,8 @@ pub struct SessionMetrics {
     pub dynamic: DynMetrics,
     /// Execution counters.
     pub vm: VmMetrics,
+    /// Execution-engine translation/dispatch counters.
+    pub exec: ExecMetrics,
     /// Compile memoization and code lifecycle (`tcc-cache`).
     pub cache: CacheMetrics,
 }
@@ -306,6 +353,7 @@ impl SessionMetrics {
             ("static", self.static_compile.to_json()),
             ("dynamic", self.dynamic.to_json()),
             ("vm", self.vm.to_json()),
+            ("exec", self.exec.to_json()),
             ("cache", self.cache.to_json()),
         ])
     }
@@ -381,6 +429,18 @@ mod tests {
     }
 
     #[test]
+    fn exec_hit_rate_guards_zero() {
+        let m = ExecMetrics::default();
+        assert_eq!(m.hit_rate(), 1.0);
+        let m = ExecMetrics {
+            fast_insns: 3,
+            slow_insns: 1,
+            ..Default::default()
+        };
+        assert_eq!(m.hit_rate(), 0.75);
+    }
+
+    #[test]
     fn crossover_math() {
         assert_eq!(crossover_runs(1000.0, 10.0), Some(100.0));
         assert_eq!(crossover_runs(1000.0, 0.0), None);
@@ -393,7 +453,16 @@ mod tests {
         let j = s.to_json();
         let text = j.to_string();
         for key in [
-            "frontend", "static", "dynamic", "vm", "hcalls", "phases", "cache", "hit_rate",
+            "frontend",
+            "static",
+            "dynamic",
+            "vm",
+            "hcalls",
+            "phases",
+            "exec",
+            "dispatch_hit_rate",
+            "cache",
+            "hit_rate",
         ] {
             assert!(
                 text.contains(&format!("\"{key}\"")),

@@ -3,19 +3,23 @@
 //! Usage:
 //!
 //! ```text
-//! suite [all|table1|figure4|figure5|figure6|figure7|blur|sensitivity|smoke|cache] [--small] [--json]
+//! suite [all|table1|figure4|figure5|figure6|figure7|blur|sensitivity|smoke|cache|exec] [--small] [--smoke] [--json]
 //! ```
 //!
 //! With `--json`, each measured experiment also writes a machine-readable
 //! `BENCH_<experiment>.json` file into the current directory (see
 //! DESIGN.md for the schema). `smoke` runs one small benchmark through
 //! all five compilation paths (two static, three dynamic) and exits
-//! non-zero if any path disagrees — the CI gate.
+//! non-zero if any path disagrees — the CI gate. `exec` compares the
+//! three execution engines (decode-per-step, predecoded, predecoded +
+//! fused) on the loop-heavy kernels; `exec --smoke` runs the same
+//! comparison at a few reps with the equivalence asserts live.
 
 use tcc_obs::json::Json;
 use tcc_suite::{
-    benchmarks, cache_bench, cache_json, cache_report, json_report, measure, ns_per_cycle, report,
-    DynBackend, Measurement, BLUR_FULL, BLUR_SMALL,
+    benchmarks, cache_bench, cache_json, cache_report, exec_bench, exec_bench_smoke, exec_json,
+    exec_report, json_report, measure, ns_per_cycle, report, DynBackend, Measurement, BLUR_FULL,
+    BLUR_SMALL,
 };
 
 fn write_json(name: &str, j: &Json) {
@@ -33,6 +37,7 @@ fn main() {
         .unwrap_or("all");
     let small = args.iter().any(|a| a == "--small");
     let json = args.iter().any(|a| a == "--json");
+    let smoke = args.iter().any(|a| a == "--smoke");
     let known = [
         "all",
         "table1",
@@ -44,6 +49,7 @@ fn main() {
         "sensitivity",
         "smoke",
         "cache",
+        "exec",
     ];
     if !known.contains(&what) {
         eprintln!("unknown experiment {what}; try {}", known.join("|"));
@@ -68,6 +74,22 @@ fn main() {
             m.dynamic[DynBackend::IcodeLinear as usize].run_cycles,
             m.dynamic[DynBackend::IcodeColor as usize].run_cycles,
         );
+        return;
+    }
+
+    if what == "exec" {
+        // Engine differential + wall-clock comparison. The equivalence
+        // asserts (checksum/cycles/insns across engines) are always
+        // live; --smoke keeps rep counts tiny for CI.
+        let rows = if smoke {
+            exec_bench_smoke()
+        } else {
+            exec_bench()
+        };
+        if json {
+            write_json("exec", &exec_json(&rows));
+        }
+        print!("{}", exec_report(&rows));
         return;
     }
 

@@ -18,6 +18,7 @@
 
 pub mod cache_bench;
 pub mod calibrate;
+pub mod exec_bench;
 pub mod json_report;
 pub mod measure;
 pub mod micro;
@@ -26,6 +27,7 @@ pub mod report;
 
 pub use cache_bench::{cache_bench, cache_json, cache_report};
 pub use calibrate::ns_per_cycle;
+pub use exec_bench::{exec_bench, exec_bench_smoke, exec_json, exec_report, ExecBenchRow};
 pub use measure::{measure, measure_with, DynBackend, Measurement};
 pub use programs::{benchmarks, BenchDef, BLUR_FULL, BLUR_SMALL};
 

@@ -9,6 +9,7 @@
 use tcc::Session;
 
 /// A benchmark: source plus drivers.
+#[derive(Clone)]
 pub struct BenchDef {
     /// Short name (paper's).
     pub name: &'static str,

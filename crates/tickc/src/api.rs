@@ -7,8 +7,8 @@ use std::sync::Arc;
 use std::time::Instant;
 use tcc_front::{FrontError, Program};
 use tcc_mir::{build_image, Image, OptLevel};
-use tcc_obs::{FrontendMetrics, SessionMetrics, StaticMetrics, VmMetrics};
-use tcc_vm::{CostModel, Vm, VmError};
+use tcc_obs::{ExecMetrics, FrontendMetrics, SessionMetrics, StaticMetrics, VmMetrics};
+use tcc_vm::{CostModel, ExecEngine, Vm, VmError};
 
 /// Any error from source to execution.
 #[derive(Debug)]
@@ -64,6 +64,10 @@ pub struct Config {
     /// Seed for random placement of dynamic code (the paper's §4.4
     /// cache-conscious jitter). `None` = deterministic layout.
     pub placement_jitter: Option<u64>,
+    /// Execute through the predecoded engine (per-function translation
+    /// cache with superinstruction fusion). Observationally identical
+    /// to decode-per-step; off = the reference interpreter.
+    pub predecode: bool,
 }
 
 impl Default for Config {
@@ -77,6 +81,7 @@ impl Default for Config {
             cache: true,
             code_budget: None,
             placement_jitter: None,
+            predecode: true,
         }
     }
 }
@@ -143,6 +148,11 @@ impl Session {
         }
         let mut vm = Vm::from_parts(code, image.mem.clone(), rt);
         vm.set_cost_model(config.cost);
+        vm.set_engine(if config.predecode {
+            ExecEngine::Predecoded { fuse: true }
+        } else {
+            ExecEngine::DecodePerStep
+        });
         Ok(Session {
             vm,
             image,
@@ -236,6 +246,17 @@ impl Session {
                 insns: self.vm.insns(),
                 cycles: self.vm.cycles(),
                 hcalls: self.vm.hcalls(),
+            },
+            exec: {
+                let s = self.vm.exec_stats();
+                ExecMetrics {
+                    translations: s.translations,
+                    translated_words: s.translated_words,
+                    fused_pairs: s.fused_pairs,
+                    fast_insns: s.fast_insns,
+                    slow_insns: s.slow_insns,
+                    invalidations: s.invalidations,
+                }
             },
             cache: self
                 .vm

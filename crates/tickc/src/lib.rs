@@ -48,8 +48,10 @@ pub use runtime::{Backend, DynStats, TccRuntime};
 pub use tcc_icode::Strategy;
 pub use tcc_mir::OptLevel;
 pub use tcc_obs::{
-    CodegenPhases, DynMetrics, FrontendMetrics, SessionMetrics, StaticMetrics, VmMetrics,
+    CodegenPhases, DynMetrics, ExecMetrics, FrontendMetrics, SessionMetrics, StaticMetrics,
+    VmMetrics,
 };
+pub use tcc_vm::{ExecEngine, ExecStats};
 
 #[cfg(test)]
 mod tests {

@@ -114,6 +114,11 @@ pub struct CodeSpace {
     live_words: usize,
     reclaimed_words: usize,
     jitter_state: Option<u64>,
+    /// Bumped whenever previously-live code stops meaning what it did:
+    /// a function is freed, or a live word is patched. Consumers that
+    /// cache decoded forms of live code (the predecoded execution
+    /// engine) revalidate against this before trusting their caches.
+    live_epoch: u64,
 }
 
 impl CodeSpace {
@@ -227,6 +232,7 @@ impl CodeSpace {
         let (start, end) = (info.start_word, info.end_word);
         let len = end - start;
         self.funcs[handle.0].state = FuncState::Freed;
+        self.live_epoch += 1;
         for w in &mut self.live[start..end] {
             *w = false;
         }
@@ -392,6 +398,12 @@ impl CodeSpace {
     /// Panics if `index` has not been emitted yet.
     #[inline]
     pub fn patch(&mut self, index: usize, insn: Insn) {
+        // Patching a *live* word rewrites sealed code under any decoded
+        // cache; building-phase patches (forward branch resolution) hit
+        // not-yet-live words and stay epoch-neutral.
+        if self.live.get(index).copied().unwrap_or(false) {
+            self.live_epoch += 1;
+        }
         self.words[index] = insn.encode();
     }
 
@@ -444,6 +456,31 @@ impl CodeSpace {
             Some(_) if !self.live[idx] => Err(VmError::StaleCode(pc)),
             Some(&w) => Ok(w),
         }
+    }
+
+    /// Monotonic invalidation counter: bumped when a function is freed
+    /// or a live (sealed) word is patched. Sealing a new function never
+    /// bumps it — fresh code only turns dead words live, so decoded
+    /// caches of other functions stay valid across `compile` calls.
+    #[inline]
+    pub fn live_epoch(&self) -> u64 {
+        self.live_epoch
+    }
+
+    /// The `[start_word, end_word)` range of the live sealed function
+    /// containing word index `idx`, if any. Jitter padding and freed or
+    /// still-building ranges have no containing function.
+    pub fn live_range_containing(&self, idx: usize) -> Option<(usize, usize)> {
+        self.funcs
+            .iter()
+            .find(|f| f.state == FuncState::Sealed && idx >= f.start_word && idx < f.end_word)
+            .map(|f| (f.start_word, f.end_word))
+    }
+
+    /// Raw encoded words of `[start, end)` (translation input).
+    #[inline]
+    pub(crate) fn word_slice(&self, start: usize, end: usize) -> &[u32] {
+        &self.words[start..end]
     }
 
     /// True if `addr` points into the code space's emitted range.
@@ -781,6 +818,38 @@ mod tests {
         assert_eq!(cs.function_at(0x10), None);
         cs.free_function(f).unwrap();
         assert_eq!(cs.function_at(fa), None, "freed functions are unnamed");
+    }
+
+    #[test]
+    fn live_epoch_bumps_only_on_invalidation() {
+        let mut cs = CodeSpace::new();
+        assert_eq!(cs.live_epoch(), 0);
+        let f = cs.begin_function("f");
+        let idx = cs.push(Insn::nop());
+        cs.push(Insn::ret());
+        // Building-phase patches touch dead words: no bump.
+        cs.patch(idx, Insn::i(Op::Addiw, A0, A0, 1));
+        seal(&mut cs, f);
+        assert_eq!(cs.live_epoch(), 0, "sealing must not invalidate");
+        cs.patch(idx, Insn::nop());
+        assert_eq!(cs.live_epoch(), 1, "patching sealed code invalidates");
+        cs.free_function(f).unwrap();
+        assert_eq!(cs.live_epoch(), 2, "freeing invalidates");
+    }
+
+    #[test]
+    fn live_range_containing_tracks_lifecycle() {
+        let mut cs = CodeSpace::new();
+        let f = cs.begin_function("f");
+        cs.push(Insn::nop());
+        cs.push(Insn::ret());
+        assert_eq!(cs.live_range_containing(0), None, "still building");
+        seal(&mut cs, f);
+        assert_eq!(cs.live_range_containing(0), Some((0, 2)));
+        assert_eq!(cs.live_range_containing(1), Some((0, 2)));
+        assert_eq!(cs.live_range_containing(2), None, "past the end");
+        cs.free_function(f).unwrap();
+        assert_eq!(cs.live_range_containing(0), None, "freed");
     }
 
     #[test]

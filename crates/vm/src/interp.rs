@@ -10,6 +10,7 @@ use crate::error::VmError;
 use crate::host::{HostCall, NoHost};
 use crate::isa::{Insn, Op};
 use crate::mem::Memory;
+use crate::predecode::{ExecEngine, ExecStats, TransCache};
 use crate::regs::{ARG_REGS, FARG_REGS, RA, SP};
 
 /// Program-counter value that terminates execution when returned to; the
@@ -86,10 +87,12 @@ impl MachineState {
 /// See the [crate docs](crate) for an end-to-end example.
 #[derive(Debug)]
 pub struct Vm<H = NoHost> {
-    state: MachineState,
-    host: H,
-    cost: CostModel,
-    fuel: u64,
+    pub(crate) state: MachineState,
+    pub(crate) host: H,
+    pub(crate) cost: CostModel,
+    pub(crate) fuel: u64,
+    pub(crate) engine: ExecEngine,
+    pub(crate) trans: TransCache,
 }
 
 impl Vm<NoHost> {
@@ -109,6 +112,7 @@ impl<H: HostCall> Vm<H> {
     /// Creates a machine over an existing memory image (used by loaders
     /// that have already placed globals).
     pub fn from_parts(code: CodeSpace, mem: Memory, host: H) -> Vm<H> {
+        let trans = TransCache::with_epoch(code.live_epoch());
         Vm {
             state: MachineState {
                 regs: [0; 32],
@@ -122,12 +126,35 @@ impl<H: HostCall> Vm<H> {
             host,
             cost: CostModel::default(),
             fuel: u64::MAX,
+            engine: ExecEngine::default(),
+            trans,
         }
     }
 
-    /// Replaces the cycle cost model.
+    /// Replaces the cycle cost model. Drops the translation cache:
+    /// decoded buffers bake per-instruction costs in.
     pub fn set_cost_model(&mut self, cost: CostModel) {
         self.cost = cost;
+        self.trans.clear();
+    }
+
+    /// Selects the execution engine (decode-per-step vs predecoded).
+    /// Drops the translation cache: decoded buffers depend on the
+    /// engine's fusion setting.
+    pub fn set_engine(&mut self, engine: ExecEngine) {
+        self.engine = engine;
+        self.trans.clear();
+    }
+
+    /// The active execution engine.
+    pub fn engine(&self) -> ExecEngine {
+        self.engine
+    }
+
+    /// Execution-engine counters: translations performed, fused pairs,
+    /// and how instructions were dispatched.
+    pub fn exec_stats(&self) -> ExecStats {
+        self.trans.stats
     }
 
     /// The active cost model.
@@ -234,266 +261,319 @@ impl<H: HostCall> Vm<H> {
         Ok((self.state.arg(0), self.state.farg(0)))
     }
 
-    /// Runs from `pc` until the sentinel return address or `halt`.
+    /// Runs from `pc` until the sentinel return address or `halt`,
+    /// dispatching through the configured [`ExecEngine`].
     ///
     /// # Errors
     ///
     /// Any [`VmError`] raised during execution.
-    pub fn run(&mut self, mut pc: u64) -> Result<ExitStatus, VmError> {
+    pub fn run(&mut self, pc: u64) -> Result<ExitStatus, VmError> {
+        match self.engine {
+            ExecEngine::DecodePerStep => self.run_decode_per_step(pc),
+            ExecEngine::Predecoded { fuse } => self.run_predecoded(pc, fuse),
+        }
+    }
+
+    /// The reference engine: fetch, bounds+liveness check, decode, cost
+    /// lookup, execute — on every single instruction.
+    fn run_decode_per_step(&mut self, mut pc: u64) -> Result<ExitStatus, VmError> {
         loop {
             if pc == RETURN_SENTINEL {
                 return Ok(ExitStatus::Returned);
             }
-            let word = self.state.code.fetch_exec(pc)?;
-            let insn = Insn::decode(word)?;
-            let mut cost = self.cost.cost(insn.op);
-            let mut next = pc + 4;
-            match self.exec(&insn, pc)? {
-                Flow::Next => {}
-                Flow::Jump(target) => next = target,
-                Flow::Taken(target) => {
-                    next = target;
-                    cost += self.cost.branch_taken_extra;
-                }
-                Flow::Halt => {
-                    self.state.cycles += cost;
-                    self.state.insns += 1;
-                    return Ok(ExitStatus::Halted);
-                }
+            let step = self.step_slow(pc)?;
+            self.trans.stats.slow_insns += 1;
+            match step {
+                Step::At(next) => pc = next,
+                Step::Done(status) => return Ok(status),
             }
-            self.state.cycles += cost;
-            self.state.insns += 1;
-            if self.state.cycles > self.fuel {
-                return Err(VmError::OutOfFuel);
-            }
-            pc = next;
         }
+    }
+
+    /// One instruction of the reference engine. The predecoded engine
+    /// falls back to this at region boundaries so every fault
+    /// (`BadPc`, `StaleCode`, `BadOpcode`, ...) is raised by the exact
+    /// same code on both paths.
+    #[inline]
+    pub(crate) fn step_slow(&mut self, pc: u64) -> Result<Step, VmError> {
+        let word = self.state.code.fetch_exec(pc)?;
+        let insn = Insn::decode(word)?;
+        let mut cost = self.cost.cost(insn.op);
+        let mut next = pc + 4;
+        match self.exec(&insn, pc)? {
+            Flow::Next => {}
+            Flow::Jump(target) => next = target,
+            Flow::Taken(target) => {
+                next = target;
+                cost += self.cost.branch_taken_extra;
+            }
+            Flow::Halt => {
+                self.state.cycles += cost;
+                self.state.insns += 1;
+                return Ok(Step::Done(ExitStatus::Halted));
+            }
+        }
+        self.state.cycles += cost;
+        self.state.insns += 1;
+        if self.state.cycles > self.fuel {
+            return Err(VmError::OutOfFuel);
+        }
+        Ok(Step::At(next))
     }
 
     #[inline]
     fn exec(&mut self, insn: &Insn, pc: u64) -> Result<Flow, VmError> {
         use Op::*;
-        let st = &mut self.state;
-        let rd = insn.rd;
-        let a = st.reg(insn.rs1);
-        let b = st.reg(insn.rs2);
-        let aw = a as i32;
-        let bw = b as i32;
-        macro_rules! setw {
-            ($v:expr) => {{
-                let v: i32 = $v;
-                st.set_reg(rd, v as i64 as u64);
-            }};
-        }
-        macro_rules! setd {
-            ($v:expr) => {
-                st.set_reg(rd, $v as u64)
-            };
-        }
         match insn.op {
-            Nop => {}
-            Halt => return Ok(Flow::Halt),
+            Halt => Ok(Flow::Halt),
             Hcall => {
                 self.state.hcalls += 1;
                 self.host.call(insn.imm as u32, &mut self.state)?;
+                Ok(Flow::Next)
             }
-
-            Addw => setw!(aw.wrapping_add(bw)),
-            Subw => setw!(aw.wrapping_sub(bw)),
-            Mulw => setw!(aw.wrapping_mul(bw)),
-            Divw => {
-                if bw == 0 {
-                    return Err(VmError::DivideByZero);
-                }
-                setw!(aw.wrapping_div(bw));
-            }
-            Divuw => {
-                if bw == 0 {
-                    return Err(VmError::DivideByZero);
-                }
-                setw!(((aw as u32) / (bw as u32)) as i32);
-            }
-            Remw => {
-                if bw == 0 {
-                    return Err(VmError::DivideByZero);
-                }
-                setw!(aw.wrapping_rem(bw));
-            }
-            Remuw => {
-                if bw == 0 {
-                    return Err(VmError::DivideByZero);
-                }
-                setw!(((aw as u32) % (bw as u32)) as i32);
-            }
-
-            Addd => setd!(a.wrapping_add(b)),
-            Subd => setd!(a.wrapping_sub(b)),
-            Muld => setd!(a.wrapping_mul(b)),
-            Divd => {
-                if b == 0 {
-                    return Err(VmError::DivideByZero);
-                }
-                setd!((a as i64).wrapping_div(b as i64));
-            }
-            Divud => {
-                if b == 0 {
-                    return Err(VmError::DivideByZero);
-                }
-                setd!(a / b);
-            }
-            Remd => {
-                if b == 0 {
-                    return Err(VmError::DivideByZero);
-                }
-                setd!((a as i64).wrapping_rem(b as i64));
-            }
-            Remud => {
-                if b == 0 {
-                    return Err(VmError::DivideByZero);
-                }
-                setd!(a % b);
-            }
-
-            And => setd!(a & b),
-            Or => setd!(a | b),
-            Xor => setd!(a ^ b),
-
-            Sllw => setw!(aw.wrapping_shl(b as u32 & 31)),
-            Srlw => setw!(((aw as u32) >> (b as u32 & 31)) as i32),
-            Sraw => setw!(aw >> (b as u32 & 31)),
-            Slld => setd!(a.wrapping_shl(b as u32 & 63)),
-            Srld => setd!(a >> (b & 63)),
-            Srad => setd!(((a as i64) >> (b & 63)) as u64),
-
-            Seq => setd!(u64::from(a == b)),
-            Sne => setd!(u64::from(a != b)),
-            Sltw => setd!(u64::from(aw < bw)),
-            Sltuw => setd!(u64::from((aw as u32) < (bw as u32))),
-            Sltd => setd!(u64::from((a as i64) < (b as i64))),
-            Sltud => setd!(u64::from(a < b)),
-
-            Addiw => setw!(aw.wrapping_add(insn.imm)),
-            Addid => setd!(a.wrapping_add(insn.imm as i64 as u64)),
-            Andi => setd!(a & (insn.imm as u32 as u64 & 0x3fff)),
-            Ori => setd!(a | (insn.imm as u32 as u64 & 0x3fff)),
-            Xori => setd!(a ^ (insn.imm as u32 as u64 & 0x3fff)),
-            Slliw => setw!(aw.wrapping_shl(insn.imm as u32 & 31)),
-            Srliw => setw!(((aw as u32) >> (insn.imm as u32 & 31)) as i32),
-            Sraiw => setw!(aw >> (insn.imm as u32 & 31)),
-            Sllid => setd!(a.wrapping_shl(insn.imm as u32 & 63)),
-            Srlid => setd!(a >> (insn.imm as u64 & 63)),
-            Sraid => setd!(((a as i64) >> (insn.imm as u64 & 63)) as u64),
-            Sethi => setd!(((insn.imm as i64) << 14) as u64),
-
-            Lb => {
-                let v = st.mem.load_u8(ea(a, insn.imm))? as i8;
-                setd!(v as i64 as u64);
-            }
-            Lbu => {
-                let v = st.mem.load_u8(ea(a, insn.imm))?;
-                setd!(v as u64);
-            }
-            Lh => {
-                let v = st.mem.load_u16(ea(a, insn.imm))? as i16;
-                setd!(v as i64 as u64);
-            }
-            Lhu => {
-                let v = st.mem.load_u16(ea(a, insn.imm))?;
-                setd!(v as u64);
-            }
-            Lw => {
-                let v = st.mem.load_u32(ea(a, insn.imm))? as i32;
-                setd!(v as i64 as u64);
-            }
-            Lwu => {
-                let v = st.mem.load_u32(ea(a, insn.imm))?;
-                setd!(v as u64);
-            }
-            Ld => {
-                let v = st.mem.load_u64(ea(a, insn.imm))?;
-                setd!(v);
-            }
-            Fld => {
-                let v = st.mem.load_f64(ea(a, insn.imm))?;
-                st.fregs[rd as usize & 15] = v;
-            }
-
-            Sb => st.mem.store_u8(ea(a, insn.imm), st.reg(rd) as u8)?,
-            Sh => st.mem.store_u16(ea(a, insn.imm), st.reg(rd) as u16)?,
-            Sw => st.mem.store_u32(ea(a, insn.imm), st.reg(rd) as u32)?,
-            Sd => st.mem.store_u64(ea(a, insn.imm), st.reg(rd))?,
-            Fsd => st
-                .mem
-                .store_f64(ea(a, insn.imm), st.fregs[rd as usize & 15])?,
-
             Beq | Bne | Bltw | Bgew | Bltuw | Bgeuw | Bltd | Bged | Bltud | Bgeud => {
-                let x = st.reg(rd);
-                let y = a; // rs1
-                let taken = match insn.op {
-                    Beq => x == y,
-                    Bne => x != y,
-                    Bltw => (x as i32) < (y as i32),
-                    Bgew => (x as i32) >= (y as i32),
-                    Bltuw => (x as u32) < (y as u32),
-                    Bgeuw => (x as u32) >= (y as u32),
-                    Bltd => (x as i64) < (y as i64),
-                    Bged => (x as i64) >= (y as i64),
-                    Bltud => x < y,
-                    Bgeud => x >= y,
-                    _ => unreachable!(),
-                };
-                if taken {
-                    let target = branch_target(pc, insn.imm);
-                    return Ok(Flow::Taken(target));
+                let x = self.state.reg(insn.rd);
+                let y = self.state.reg(insn.rs1);
+                if branch_taken(insn.op, x, y) {
+                    Ok(Flow::Taken(branch_target(pc, insn.imm)))
+                } else {
+                    Ok(Flow::Next)
                 }
             }
-
-            J => return Ok(Flow::Jump(branch_target(pc, insn.imm))),
+            J => Ok(Flow::Jump(branch_target(pc, insn.imm))),
             Jal => {
-                st.set_reg(RA.0, pc + 4);
-                return Ok(Flow::Jump(branch_target(pc, insn.imm)));
+                self.state.set_reg(RA.0, pc + 4);
+                Ok(Flow::Jump(branch_target(pc, insn.imm)))
             }
             Jalr => {
-                let target = a;
-                st.set_reg(rd, pc + 4);
-                return Ok(Flow::Jump(target));
+                let target = self.state.reg(insn.rs1);
+                self.state.set_reg(insn.rd, pc + 4);
+                Ok(Flow::Jump(target))
             }
-
-            Fadd => {
-                st.fregs[rd as usize & 15] =
-                    st.fregs[insn.rs1 as usize & 15] + st.fregs[insn.rs2 as usize & 15];
+            _ => {
+                exec_scalar(
+                    &mut self.state,
+                    insn.op,
+                    insn.rd,
+                    insn.rs1,
+                    insn.rs2,
+                    insn.imm,
+                )?;
+                Ok(Flow::Next)
             }
-            Fsub => {
-                st.fregs[rd as usize & 15] =
-                    st.fregs[insn.rs1 as usize & 15] - st.fregs[insn.rs2 as usize & 15];
-            }
-            Fmul => {
-                st.fregs[rd as usize & 15] =
-                    st.fregs[insn.rs1 as usize & 15] * st.fregs[insn.rs2 as usize & 15];
-            }
-            Fdiv => {
-                st.fregs[rd as usize & 15] =
-                    st.fregs[insn.rs1 as usize & 15] / st.fregs[insn.rs2 as usize & 15];
-            }
-            Fneg => st.fregs[rd as usize & 15] = -st.fregs[insn.rs1 as usize & 15],
-            Fmov => st.fregs[rd as usize & 15] = st.fregs[insn.rs1 as usize & 15],
-            Feq => setd!(u64::from(
-                st.fregs[insn.rs1 as usize & 15] == st.fregs[insn.rs2 as usize & 15]
-            )),
-            Flt => setd!(u64::from(
-                st.fregs[insn.rs1 as usize & 15] < st.fregs[insn.rs2 as usize & 15]
-            )),
-            Fle => setd!(u64::from(
-                st.fregs[insn.rs1 as usize & 15] <= st.fregs[insn.rs2 as usize & 15]
-            )),
-            Cvtwd => st.fregs[rd as usize & 15] = aw as f64,
-            Cvtdw => setw!(st.fregs[insn.rs1 as usize & 15] as i32),
-            Cvtld => st.fregs[rd as usize & 15] = (a as i64) as f64,
-            Cvtdl => setd!((st.fregs[insn.rs1 as usize & 15] as i64) as u64),
-            Fmvdx => st.fregs[rd as usize & 15] = f64::from_bits(a),
-            Fmvxd => setd!(st.fregs[insn.rs1 as usize & 15].to_bits()),
         }
-        Ok(Flow::Next)
+    }
+}
+
+/// Executes one straight-line (non-control, non-trapping-to-host)
+/// instruction against the machine state. Both engines funnel through
+/// this function, so operational semantics exist in exactly one place.
+#[inline]
+pub(crate) fn exec_scalar(
+    st: &mut MachineState,
+    op: Op,
+    rd: u8,
+    rs1: u8,
+    rs2: u8,
+    imm: i32,
+) -> Result<(), VmError> {
+    use Op::*;
+    let a = st.reg(rs1);
+    let b = st.reg(rs2);
+    let aw = a as i32;
+    let bw = b as i32;
+    macro_rules! setw {
+        ($v:expr) => {{
+            let v: i32 = $v;
+            st.set_reg(rd, v as i64 as u64);
+        }};
+    }
+    macro_rules! setd {
+        ($v:expr) => {
+            st.set_reg(rd, $v as u64)
+        };
+    }
+    match op {
+        Nop => {}
+
+        Addw => setw!(aw.wrapping_add(bw)),
+        Subw => setw!(aw.wrapping_sub(bw)),
+        Mulw => setw!(aw.wrapping_mul(bw)),
+        Divw => {
+            if bw == 0 {
+                return Err(VmError::DivideByZero);
+            }
+            setw!(aw.wrapping_div(bw));
+        }
+        Divuw => {
+            if bw == 0 {
+                return Err(VmError::DivideByZero);
+            }
+            setw!(((aw as u32) / (bw as u32)) as i32);
+        }
+        Remw => {
+            if bw == 0 {
+                return Err(VmError::DivideByZero);
+            }
+            setw!(aw.wrapping_rem(bw));
+        }
+        Remuw => {
+            if bw == 0 {
+                return Err(VmError::DivideByZero);
+            }
+            setw!(((aw as u32) % (bw as u32)) as i32);
+        }
+
+        Addd => setd!(a.wrapping_add(b)),
+        Subd => setd!(a.wrapping_sub(b)),
+        Muld => setd!(a.wrapping_mul(b)),
+        Divd => {
+            if b == 0 {
+                return Err(VmError::DivideByZero);
+            }
+            setd!((a as i64).wrapping_div(b as i64));
+        }
+        Divud => {
+            if b == 0 {
+                return Err(VmError::DivideByZero);
+            }
+            setd!(a / b);
+        }
+        Remd => {
+            if b == 0 {
+                return Err(VmError::DivideByZero);
+            }
+            setd!((a as i64).wrapping_rem(b as i64));
+        }
+        Remud => {
+            if b == 0 {
+                return Err(VmError::DivideByZero);
+            }
+            setd!(a % b);
+        }
+
+        And => setd!(a & b),
+        Or => setd!(a | b),
+        Xor => setd!(a ^ b),
+
+        Sllw => setw!(aw.wrapping_shl(b as u32 & 31)),
+        Srlw => setw!(((aw as u32) >> (b as u32 & 31)) as i32),
+        Sraw => setw!(aw >> (b as u32 & 31)),
+        Slld => setd!(a.wrapping_shl(b as u32 & 63)),
+        Srld => setd!(a >> (b & 63)),
+        Srad => setd!(((a as i64) >> (b & 63)) as u64),
+
+        Seq => setd!(u64::from(a == b)),
+        Sne => setd!(u64::from(a != b)),
+        Sltw => setd!(u64::from(aw < bw)),
+        Sltuw => setd!(u64::from((aw as u32) < (bw as u32))),
+        Sltd => setd!(u64::from((a as i64) < (b as i64))),
+        Sltud => setd!(u64::from(a < b)),
+
+        Addiw => setw!(aw.wrapping_add(imm)),
+        Addid => setd!(a.wrapping_add(imm as i64 as u64)),
+        Andi => setd!(a & (imm as u32 as u64 & 0x3fff)),
+        Ori => setd!(a | (imm as u32 as u64 & 0x3fff)),
+        Xori => setd!(a ^ (imm as u32 as u64 & 0x3fff)),
+        Slliw => setw!(aw.wrapping_shl(imm as u32 & 31)),
+        Srliw => setw!(((aw as u32) >> (imm as u32 & 31)) as i32),
+        Sraiw => setw!(aw >> (imm as u32 & 31)),
+        Sllid => setd!(a.wrapping_shl(imm as u32 & 63)),
+        Srlid => setd!(a >> (imm as u64 & 63)),
+        Sraid => setd!(((a as i64) >> (imm as u64 & 63)) as u64),
+        Sethi => setd!(((imm as i64) << 14) as u64),
+
+        Lb => {
+            let v = st.mem.load_u8(ea(a, imm))? as i8;
+            setd!(v as i64 as u64);
+        }
+        Lbu => {
+            let v = st.mem.load_u8(ea(a, imm))?;
+            setd!(v as u64);
+        }
+        Lh => {
+            let v = st.mem.load_u16(ea(a, imm))? as i16;
+            setd!(v as i64 as u64);
+        }
+        Lhu => {
+            let v = st.mem.load_u16(ea(a, imm))?;
+            setd!(v as u64);
+        }
+        Lw => {
+            let v = st.mem.load_u32(ea(a, imm))? as i32;
+            setd!(v as i64 as u64);
+        }
+        Lwu => {
+            let v = st.mem.load_u32(ea(a, imm))?;
+            setd!(v as u64);
+        }
+        Ld => {
+            let v = st.mem.load_u64(ea(a, imm))?;
+            setd!(v);
+        }
+        Fld => {
+            let v = st.mem.load_f64(ea(a, imm))?;
+            st.fregs[rd as usize & 15] = v;
+        }
+
+        Sb => st.mem.store_u8(ea(a, imm), st.reg(rd) as u8)?,
+        Sh => st.mem.store_u16(ea(a, imm), st.reg(rd) as u16)?,
+        Sw => st.mem.store_u32(ea(a, imm), st.reg(rd) as u32)?,
+        Sd => st.mem.store_u64(ea(a, imm), st.reg(rd))?,
+        Fsd => st.mem.store_f64(ea(a, imm), st.fregs[rd as usize & 15])?,
+
+        Fadd => {
+            st.fregs[rd as usize & 15] = st.fregs[rs1 as usize & 15] + st.fregs[rs2 as usize & 15];
+        }
+        Fsub => {
+            st.fregs[rd as usize & 15] = st.fregs[rs1 as usize & 15] - st.fregs[rs2 as usize & 15];
+        }
+        Fmul => {
+            st.fregs[rd as usize & 15] = st.fregs[rs1 as usize & 15] * st.fregs[rs2 as usize & 15];
+        }
+        Fdiv => {
+            st.fregs[rd as usize & 15] = st.fregs[rs1 as usize & 15] / st.fregs[rs2 as usize & 15];
+        }
+        Fneg => st.fregs[rd as usize & 15] = -st.fregs[rs1 as usize & 15],
+        Fmov => st.fregs[rd as usize & 15] = st.fregs[rs1 as usize & 15],
+        Feq => setd!(u64::from(
+            st.fregs[rs1 as usize & 15] == st.fregs[rs2 as usize & 15]
+        )),
+        Flt => setd!(u64::from(
+            st.fregs[rs1 as usize & 15] < st.fregs[rs2 as usize & 15]
+        )),
+        Fle => setd!(u64::from(
+            st.fregs[rs1 as usize & 15] <= st.fregs[rs2 as usize & 15]
+        )),
+        Cvtwd => st.fregs[rd as usize & 15] = aw as f64,
+        Cvtdw => setw!(st.fregs[rs1 as usize & 15] as i32),
+        Cvtld => st.fregs[rd as usize & 15] = (a as i64) as f64,
+        Cvtdl => setd!((st.fregs[rs1 as usize & 15] as i64) as u64),
+        Fmvdx => st.fregs[rd as usize & 15] = f64::from_bits(a),
+        Fmvxd => setd!(st.fregs[rs1 as usize & 15].to_bits()),
+
+        Halt | Hcall | Beq | Bne | Bltw | Bgew | Bltuw | Bgeuw | Bltd | Bged | Bltud | Bgeud
+        | J | Jal | Jalr => unreachable!("control instruction {op:?} in exec_scalar"),
+    }
+    Ok(())
+}
+
+/// Evaluates a conditional branch's comparison: `x` is the `rd` field's
+/// register value, `y` the `rs1` field's.
+#[inline]
+pub(crate) fn branch_taken(op: Op, x: u64, y: u64) -> bool {
+    match op {
+        Op::Beq => x == y,
+        Op::Bne => x != y,
+        Op::Bltw => (x as i32) < (y as i32),
+        Op::Bgew => (x as i32) >= (y as i32),
+        Op::Bltuw => (x as u32) < (y as u32),
+        Op::Bgeuw => (x as u32) >= (y as u32),
+        Op::Bltd => (x as i64) < (y as i64),
+        Op::Bged => (x as i64) >= (y as i64),
+        Op::Bltud => x < y,
+        Op::Bgeud => x >= y,
+        _ => unreachable!("not a branch: {op:?}"),
     }
 }
 
@@ -503,7 +583,7 @@ fn ea(base: u64, offset: i32) -> u64 {
 }
 
 #[inline]
-fn branch_target(pc: u64, word_offset: i32) -> u64 {
+pub(crate) fn branch_target(pc: u64, word_offset: i32) -> u64 {
     (pc + 4).wrapping_add((word_offset as i64 * 4) as u64)
 }
 
@@ -512,6 +592,12 @@ enum Flow {
     Jump(u64),
     Taken(u64),
     Halt,
+}
+
+/// Where a (partial) run left off: continue at a pc, or finished.
+pub(crate) enum Step {
+    At(u64),
+    Done(ExitStatus),
 }
 
 #[cfg(test)]

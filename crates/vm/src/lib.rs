@@ -57,6 +57,7 @@ pub mod host;
 pub mod interp;
 pub mod isa;
 pub mod mem;
+pub mod predecode;
 pub mod regs;
 
 pub use code::{CodeSpace, CodeStats, FuncHandle, CODE_BASE};
@@ -66,3 +67,4 @@ pub use host::{HostCall, NoHost};
 pub use interp::{ExitStatus, Vm};
 pub use isa::{FReg, Insn, Op, Reg};
 pub use mem::Memory;
+pub use predecode::{ExecEngine, ExecStats};

@@ -1,0 +1,768 @@
+//! The predecoded execution engine: a per-function translation cache
+//! with superinstruction fusion.
+//!
+//! The reference engine ([`ExecEngine::DecodePerStep`]) pays a bounds +
+//! liveness check, `Insn::decode` bit-twiddling, and two cost-model
+//! matches on **every executed instruction**. Following the paper's
+//! premise — pay translation cost once per code body, not per execution
+//! — this module translates a sealed function's word range once into a
+//! dense `DecodedFn` buffer: operands unpacked, [`Op`] resolved,
+//! branch targets pre-resolved to buffer indices, and per-instruction
+//! cycle costs pre-looked-up. [`Vm::run`] then dispatches over that
+//! buffer in a tight loop with the liveness check hoisted to
+//! cache-entry time.
+//!
+//! # Equivalence contract
+//!
+//! The predecoded engine (with or without fusion) is *observationally
+//! identical* to decode-per-step: same result values, same `cycles`,
+//! same `insns`, same exit status, and same error at the same
+//! instruction (including [`VmError::OutOfFuel`]). Fused
+//! superinstructions charge the exact sum of their constituents and run
+//! each constituent as a separate micro-step (execute, charge, fuel
+//! check — in slow-path order), so even mid-pair faults are identical.
+//! `tests/exec_differential.rs` enforces this on randomized programs.
+//!
+//! # Invalidation
+//!
+//! Decoded buffers are keyed by [`CodeSpace::live_epoch`], which bumps
+//! whenever previously-live code stops meaning what it did: a function
+//! is freed (directly or by `tcc-cache` eviction) or a live word is
+//! patched. On any epoch change the whole cache is dropped and stale
+//! pcs fall back to the reference engine's single-step path, which
+//! raises [`VmError::StaleCode`] / [`VmError::BadPc`] exactly as today.
+//! Host calls can free or patch code mid-run (the compile runtime
+//! does), so the epoch is re-checked after every host call before
+//! execution re-enters a decoded buffer.
+
+use std::sync::Arc;
+
+use crate::code::{CodeSpace, CODE_BASE};
+use crate::cost::CostModel;
+use crate::error::VmError;
+use crate::host::HostCall;
+use crate::interp::{branch_taken, exec_scalar, ExitStatus, Step, Vm, RETURN_SENTINEL};
+use crate::isa::{Insn, Op};
+
+/// Which execution engine [`Vm::run`] dispatches through.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExecEngine {
+    /// Fetch + bounds/liveness check + decode + cost lookup on every
+    /// instruction. The reference semantics.
+    DecodePerStep,
+    /// Translate each sealed function once, execute from the decoded
+    /// buffer. `fuse` additionally merges adjacent instruction pairs
+    /// into superinstructions.
+    Predecoded {
+        /// Enable superinstruction fusion over the decoded buffer.
+        fuse: bool,
+    },
+}
+
+impl Default for ExecEngine {
+    fn default() -> Self {
+        ExecEngine::Predecoded { fuse: true }
+    }
+}
+
+/// Counters for the execution engine: how much was translated and how
+/// instructions were dispatched.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Functions translated into decoded buffers.
+    pub translations: u64,
+    /// Total code words covered by those translations.
+    pub translated_words: u64,
+    /// Instruction pairs fused into superinstructions (cumulative over
+    /// translations).
+    pub fused_pairs: u64,
+    /// Instructions retired from decoded buffers.
+    pub fast_insns: u64,
+    /// Instructions retired by the decode-per-step path (the whole run
+    /// for that engine; fallback steps for the predecoded engine).
+    pub slow_insns: u64,
+    /// Whole-cache invalidations triggered by a live-epoch change.
+    pub invalidations: u64,
+}
+
+impl ExecStats {
+    /// Fraction of retired instructions dispatched from decoded
+    /// buffers. `1.0` when nothing has executed yet (vacuously all
+    /// fast).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.fast_insns + self.slow_insns;
+        if total == 0 {
+            1.0
+        } else {
+            self.fast_insns as f64 / total as f64
+        }
+    }
+}
+
+/// Per-VM translation cache: decoded buffers indexed by code word,
+/// valid for a single [`CodeSpace::live_epoch`].
+#[derive(Debug, Default)]
+pub(crate) struct TransCache {
+    /// The `live_epoch` the cached translations were made under.
+    epoch: u64,
+    /// Word index → translation covering that word (shared across the
+    /// function's whole range).
+    map: Vec<Option<Arc<DecodedFn>>>,
+    pub(crate) stats: ExecStats,
+}
+
+impl TransCache {
+    pub(crate) fn with_epoch(epoch: u64) -> TransCache {
+        TransCache {
+            epoch,
+            ..TransCache::default()
+        }
+    }
+
+    /// Drops every cached translation (counters are kept).
+    pub(crate) fn clear(&mut self) {
+        for slot in &mut self.map {
+            *slot = None;
+        }
+    }
+}
+
+/// One function's decoded form: a dense buffer with one entry per code
+/// word, addressed by `(pc - base) / 4`.
+#[derive(Debug)]
+struct DecodedFn {
+    /// Absolute address of buffer index 0.
+    base: u64,
+    insns: Vec<DInsn>,
+}
+
+/// An unpacked scalar (straight-line, non-control) instruction with its
+/// cycle cost baked in; also one constituent of a fused pair.
+#[derive(Clone, Copy, Debug)]
+struct ScalarHalf {
+    op: Op,
+    rd: u8,
+    rs1: u8,
+    rs2: u8,
+    imm: i32,
+    cost: u32,
+}
+
+/// A decoded-buffer entry. Branch/jump targets are pre-resolved to
+/// *buffer indices* (`i64`, may fall outside `0..len` for cross-function
+/// control transfers — those exit the buffer).
+///
+/// Fused entries occupy the slot of their first constituent and advance
+/// the buffer index by 2; the second constituent's slot keeps its own
+/// unfused entry, so control transfers *into* the middle of a pair
+/// (branch targets, return addresses) execute correctly.
+#[derive(Clone, Copy, Debug)]
+enum DInsn {
+    Scalar(ScalarHalf),
+    Branch {
+        op: Op,
+        rd: u8,
+        rs1: u8,
+        cost: u32,
+        taken_cost: u32,
+        target: i64,
+    },
+    Jump {
+        cost: u32,
+        target: i64,
+    },
+    Jal {
+        cost: u32,
+        target: i64,
+    },
+    Jalr {
+        rd: u8,
+        rs1: u8,
+        cost: u32,
+    },
+    Halt {
+        cost: u32,
+    },
+    Hcall {
+        num: u32,
+        cost: u32,
+    },
+    /// A word that does not decode. Raises [`VmError::BadOpcode`] only
+    /// if actually executed, like the reference engine.
+    Trap {
+        opcode: u8,
+    },
+    /// Two scalars executed as consecutive micro-steps.
+    Fused2 {
+        a: ScalarHalf,
+        b: ScalarHalf,
+    },
+    /// A scalar micro-step followed by a conditional branch
+    /// (compare+branch, `li`+branch, load+branch...).
+    FusedBr {
+        a: ScalarHalf,
+        op: Op,
+        rd: u8,
+        rs1: u8,
+        cost: u32,
+        taken_cost: u32,
+        target: i64,
+    },
+}
+
+fn icost(c: u64) -> u32 {
+    u32::try_from(c).expect("per-insn cost fits u32")
+}
+
+/// Buffer index a control transfer at buffer index `i` with word
+/// offset `imm` lands on: `(pc + 4) + imm * 4` in index space.
+fn rel_target(i: usize, imm: i32) -> i64 {
+    i as i64 + 1 + imm as i64
+}
+
+/// Translates the sealed word range `[start, end)` into a decoded
+/// buffer, baking in the cost model and (optionally) fusing pairs.
+fn translate(
+    code: &CodeSpace,
+    start: usize,
+    end: usize,
+    cost: &CostModel,
+    fuse: bool,
+    stats: &mut ExecStats,
+) -> DecodedFn {
+    let words = code.word_slice(start, end);
+    let mut raw: Vec<DInsn> = Vec::with_capacity(words.len());
+    for (i, &word) in words.iter().enumerate() {
+        let insn = match Insn::decode(word) {
+            Ok(insn) => insn,
+            Err(_) => {
+                raw.push(DInsn::Trap {
+                    opcode: (word >> 24) as u8,
+                });
+                continue;
+            }
+        };
+        let c = icost(cost.cost(insn.op));
+        raw.push(match insn.op {
+            Op::Halt => DInsn::Halt { cost: c },
+            Op::Hcall => DInsn::Hcall {
+                num: insn.imm as u32,
+                cost: c,
+            },
+            Op::J => DInsn::Jump {
+                cost: c,
+                target: rel_target(i, insn.imm),
+            },
+            Op::Jal => DInsn::Jal {
+                cost: c,
+                target: rel_target(i, insn.imm),
+            },
+            Op::Jalr => DInsn::Jalr {
+                rd: insn.rd,
+                rs1: insn.rs1,
+                cost: c,
+            },
+            op if op.is_branch() => DInsn::Branch {
+                op,
+                rd: insn.rd,
+                rs1: insn.rs1,
+                cost: c,
+                taken_cost: icost(cost.cost(op) + cost.branch_taken_extra),
+                target: rel_target(i, insn.imm),
+            },
+            op => DInsn::Scalar(ScalarHalf {
+                op,
+                rd: insn.rd,
+                rs1: insn.rs1,
+                rs2: insn.rs2,
+                imm: insn.imm,
+                cost: c,
+            }),
+        });
+    }
+    let insns = if fuse { fuse_pairs(&raw, stats) } else { raw };
+    DecodedFn {
+        base: CODE_BASE + (start as u64) * 4,
+        insns,
+    }
+}
+
+/// Overlays superinstructions on the raw buffer: each slot whose entry
+/// and successor are fusable gets the fused form. Slots are never
+/// consumed — entry `i+1` stays valid for control transfers into it —
+/// so fused pairs may overlap; execution simply skips the middle slot.
+fn fuse_pairs(raw: &[DInsn], stats: &mut ExecStats) -> Vec<DInsn> {
+    let mut out = Vec::with_capacity(raw.len());
+    for i in 0..raw.len() {
+        let fused = match (&raw[i], raw.get(i + 1)) {
+            (DInsn::Scalar(a), Some(DInsn::Scalar(b))) => Some(DInsn::Fused2 { a: *a, b: *b }),
+            (
+                DInsn::Scalar(a),
+                Some(&DInsn::Branch {
+                    op,
+                    rd,
+                    rs1,
+                    cost,
+                    taken_cost,
+                    target,
+                }),
+            ) => Some(DInsn::FusedBr {
+                a: *a,
+                op,
+                rd,
+                rs1,
+                cost,
+                taken_cost,
+                target,
+            }),
+            _ => None,
+        };
+        match fused {
+            Some(f) => {
+                stats.fused_pairs += 1;
+                out.push(f);
+            }
+            None => out.push(raw[i]),
+        }
+    }
+    out
+}
+
+impl<H: HostCall> Vm<H> {
+    /// The predecoded engine's run loop: execute from decoded buffers
+    /// where a translation exists, fall back to single reference-engine
+    /// steps where one doesn't (stale, unaligned, or out-of-range pcs),
+    /// so every fault is raised by the exact same code on both paths.
+    pub(crate) fn run_predecoded(
+        &mut self,
+        mut pc: u64,
+        fuse: bool,
+    ) -> Result<ExitStatus, VmError> {
+        loop {
+            if pc == RETURN_SENTINEL {
+                return Ok(ExitStatus::Returned);
+            }
+            let step = match self.translation_at(pc, fuse) {
+                Some(tr) => self.dispatch(&tr, pc)?,
+                None => {
+                    let step = self.step_slow(pc)?;
+                    self.trans.stats.slow_insns += 1;
+                    step
+                }
+            };
+            match step {
+                Step::At(next) => pc = next,
+                Step::Done(status) => return Ok(status),
+            }
+        }
+    }
+
+    /// Looks up (or lazily builds) the decoded buffer covering `pc`.
+    /// Validates the cache against the code space's live epoch first —
+    /// this is where the per-instruction liveness check is hoisted to.
+    fn translation_at(&mut self, pc: u64, fuse: bool) -> Option<Arc<DecodedFn>> {
+        let epoch = self.state.code.live_epoch();
+        if epoch != self.trans.epoch {
+            self.trans.clear();
+            self.trans.epoch = epoch;
+            self.trans.stats.invalidations += 1;
+        }
+        if pc < CODE_BASE || !pc.is_multiple_of(4) {
+            return None;
+        }
+        let idx = ((pc - CODE_BASE) / 4) as usize;
+        if let Some(Some(tr)) = self.trans.map.get(idx) {
+            return Some(Arc::clone(tr));
+        }
+        let (start, end) = self.state.code.live_range_containing(idx)?;
+        let tr = Arc::new(translate(
+            &self.state.code,
+            start,
+            end,
+            &self.cost,
+            fuse,
+            &mut self.trans.stats,
+        ));
+        let need = self.state.code.next_index();
+        if self.trans.map.len() < need {
+            self.trans.map.resize(need, None);
+        }
+        for slot in self.trans.map[start..end].iter_mut() {
+            *slot = Some(Arc::clone(&tr));
+        }
+        self.trans.stats.translations += 1;
+        self.trans.stats.translated_words += (end - start) as u64;
+        Some(tr)
+    }
+
+    /// Executes from the decoded buffer until control leaves it, a run
+    /// terminates, or an error is raised. Cycle/instruction counters
+    /// live in locals and are flushed to machine state on every exit
+    /// and around host calls, so observable state always matches the
+    /// reference engine exactly.
+    fn dispatch(&mut self, tr: &DecodedFn, pc: u64) -> Result<Step, VmError> {
+        let base = tr.base;
+        let buf = &tr.insns[..];
+        let len = buf.len();
+        let fuel = self.fuel;
+        let mut i = ((pc - base) / 4) as usize;
+        let mut cycles = self.state.cycles;
+        let mut insns = self.state.insns;
+        let mut entry_insns = insns;
+
+        // Write the local counters back and account the retired
+        // instructions as fast-path. Idempotent: safe to invoke on
+        // every exit edge.
+        macro_rules! flush {
+            () => {{
+                self.state.cycles = cycles;
+                self.state.insns = insns;
+                self.trans.stats.fast_insns += insns - entry_insns;
+                #[allow(unused_assignments)]
+                {
+                    entry_insns = insns;
+                }
+            }};
+        }
+        // One scalar micro-step: execute, charge, fuel-check — in
+        // exactly the reference engine's order.
+        macro_rules! scalar_step {
+            ($s:expr) => {{
+                let s = $s;
+                if let Err(e) = exec_scalar(&mut self.state, s.op, s.rd, s.rs1, s.rs2, s.imm) {
+                    flush!();
+                    return Err(e);
+                }
+                cycles += s.cost as u64;
+                insns += 1;
+                if cycles > fuel {
+                    flush!();
+                    return Err(VmError::OutOfFuel);
+                }
+            }};
+        }
+        // Advance the buffer index by $n slots, exiting at the pc past
+        // the end if the buffer is exhausted.
+        macro_rules! advance {
+            ($n:expr) => {{
+                i += $n;
+                if i >= len {
+                    flush!();
+                    return Ok(Step::At(base.wrapping_add((i as u64) * 4)));
+                }
+            }};
+        }
+        // Transfer control to buffer index $t (an i64): stay in the
+        // buffer when it lands inside, exit to the equivalent pc
+        // otherwise (negative indices wrap exactly like the reference
+        // engine's pc arithmetic).
+        macro_rules! goto {
+            ($t:expr) => {{
+                let t = $t;
+                if (t as u64) < len as u64 {
+                    i = t as usize;
+                } else {
+                    flush!();
+                    return Ok(Step::At(base.wrapping_add((t as u64).wrapping_mul(4))));
+                }
+            }};
+        }
+
+        loop {
+            match buf[i] {
+                DInsn::Scalar(s) => {
+                    scalar_step!(s);
+                    advance!(1);
+                }
+                DInsn::Fused2 { a, b } => {
+                    scalar_step!(a);
+                    scalar_step!(b);
+                    advance!(2);
+                }
+                DInsn::Branch {
+                    op,
+                    rd,
+                    rs1,
+                    cost,
+                    taken_cost,
+                    target,
+                } => {
+                    let x = self.state.reg(rd);
+                    let y = self.state.reg(rs1);
+                    let taken = branch_taken(op, x, y);
+                    cycles += u64::from(if taken { taken_cost } else { cost });
+                    insns += 1;
+                    if cycles > fuel {
+                        flush!();
+                        return Err(VmError::OutOfFuel);
+                    }
+                    if taken {
+                        goto!(target);
+                    } else {
+                        advance!(1);
+                    }
+                }
+                DInsn::FusedBr {
+                    a,
+                    op,
+                    rd,
+                    rs1,
+                    cost,
+                    taken_cost,
+                    target,
+                } => {
+                    scalar_step!(a);
+                    let x = self.state.reg(rd);
+                    let y = self.state.reg(rs1);
+                    let taken = branch_taken(op, x, y);
+                    cycles += u64::from(if taken { taken_cost } else { cost });
+                    insns += 1;
+                    if cycles > fuel {
+                        flush!();
+                        return Err(VmError::OutOfFuel);
+                    }
+                    if taken {
+                        goto!(target);
+                    } else {
+                        advance!(2);
+                    }
+                }
+                DInsn::Jump { cost, target } => {
+                    cycles += cost as u64;
+                    insns += 1;
+                    if cycles > fuel {
+                        flush!();
+                        return Err(VmError::OutOfFuel);
+                    }
+                    goto!(target);
+                }
+                DInsn::Jal { cost, target } => {
+                    self.state
+                        .set_reg(crate::regs::RA.0, base + (i as u64 + 1) * 4);
+                    cycles += cost as u64;
+                    insns += 1;
+                    if cycles > fuel {
+                        flush!();
+                        return Err(VmError::OutOfFuel);
+                    }
+                    goto!(target);
+                }
+                DInsn::Jalr { rd, rs1, cost } => {
+                    let target = self.state.reg(rs1);
+                    self.state.set_reg(rd, base + (i as u64 + 1) * 4);
+                    cycles += cost as u64;
+                    insns += 1;
+                    if cycles > fuel {
+                        flush!();
+                        return Err(VmError::OutOfFuel);
+                    }
+                    // Continue internally for in-buffer targets
+                    // (indirect loops); liveness can only change via a
+                    // host call, which revalidates below.
+                    if target >= base
+                        && target < base + (len as u64) * 4
+                        && (target - base).is_multiple_of(4)
+                    {
+                        i = ((target - base) / 4) as usize;
+                    } else {
+                        flush!();
+                        return Ok(Step::At(target));
+                    }
+                }
+                DInsn::Halt { cost } => {
+                    // The reference engine charges halt but never
+                    // fuel-checks it (the run is over).
+                    cycles += cost as u64;
+                    insns += 1;
+                    flush!();
+                    return Ok(Step::Done(ExitStatus::Halted));
+                }
+                DInsn::Hcall { num, cost } => {
+                    // The host observes counters as of *before* this
+                    // instruction retires, and may mutate them (or the
+                    // code space) arbitrarily.
+                    flush!();
+                    self.state.hcalls += 1;
+                    self.host.call(num, &mut self.state)?;
+                    cycles = self.state.cycles;
+                    insns = self.state.insns;
+                    entry_insns = insns;
+                    cycles += cost as u64;
+                    insns += 1;
+                    if cycles > fuel {
+                        flush!();
+                        return Err(VmError::OutOfFuel);
+                    }
+                    // The host may have compiled, freed, or patched
+                    // code (tcc-cache eviction frees live functions).
+                    // Leave the buffer so the outer loop revalidates.
+                    if self.state.code.live_epoch() != self.trans.epoch {
+                        i += 1;
+                        flush!();
+                        return Ok(Step::At(base.wrapping_add((i as u64) * 4)));
+                    }
+                    advance!(1);
+                }
+                DInsn::Trap { opcode } => {
+                    flush!();
+                    return Err(VmError::BadOpcode(opcode));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::MachineState;
+    use crate::regs::{A0, AT0, ZERO};
+
+    const ENGINES: [ExecEngine; 3] = [
+        ExecEngine::DecodePerStep,
+        ExecEngine::Predecoded { fuse: false },
+        ExecEngine::Predecoded { fuse: true },
+    ];
+
+    /// sum(1..=n) by counted loop; exercises branch, ALU, and jump.
+    fn loop_code() -> (CodeSpace, u64) {
+        let mut cs = CodeSpace::new();
+        let f = cs.begin_function("sum");
+        cs.push(Insn::i(Op::Addiw, AT0, ZERO, 0)); // acc = 0
+        cs.push(Insn::i(Op::Beq, A0, ZERO, 3)); // while n != 0
+        cs.push(Insn::r(Op::Addw, AT0, AT0, A0)); //   acc += n
+        cs.push(Insn::i(Op::Addiw, A0, A0, -1)); //   n -= 1
+        cs.push(Insn::j(Op::J, -4));
+        cs.push(Insn::r(Op::Addw, A0, AT0, ZERO)); // return acc
+        cs.push(Insn::ret());
+        let addr = cs.finish_function(f).unwrap();
+        (cs, addr)
+    }
+
+    fn observe(
+        engine: ExecEngine,
+        cs: &CodeSpace,
+        addr: u64,
+        args: &[u64],
+        fuel: u64,
+    ) -> (Result<u64, VmError>, u64, u64) {
+        let mut vm = Vm::new(cs.clone(), 1 << 20);
+        vm.set_engine(engine);
+        vm.set_fuel(fuel);
+        let r = vm.call(addr, args);
+        (r, vm.cycles(), vm.insns())
+    }
+
+    #[test]
+    fn engines_agree_on_loops() {
+        let (cs, addr) = loop_code();
+        for n in [0u64, 1, 10, 1000] {
+            let reference = observe(ENGINES[0], &cs, addr, &[n], u64::MAX);
+            assert_eq!(reference.0, Ok((1..=n).sum::<u64>() as u32 as u64));
+            for e in &ENGINES[1..] {
+                assert_eq!(observe(*e, &cs, addr, &[n], u64::MAX), reference, "{e:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn fuel_exhaustion_is_identical_at_every_budget() {
+        let (cs, addr) = loop_code();
+        let (_, full_cycles, _) = observe(ENGINES[0], &cs, addr, &[25], u64::MAX);
+        for fuel in 0..full_cycles {
+            let reference = observe(ENGINES[0], &cs, addr, &[25], fuel);
+            assert_eq!(reference.0, Err(VmError::OutOfFuel));
+            for e in &ENGINES[1..] {
+                assert_eq!(
+                    observe(*e, &cs, addr, &[25], fuel),
+                    reference,
+                    "fuel {fuel}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fusion_actually_fuses_and_caches_are_reused() {
+        let (cs, addr) = loop_code();
+        let mut vm = Vm::new(cs, 1 << 20);
+        vm.call(addr, &[10]).unwrap();
+        let s1 = vm.exec_stats();
+        assert_eq!(s1.translations, 1);
+        assert_eq!(s1.translated_words, 7);
+        assert!(s1.fused_pairs > 0, "{s1:?}");
+        assert_eq!(s1.slow_insns, 0);
+        assert!(s1.fast_insns > 0);
+        vm.call(addr, &[10]).unwrap();
+        let s2 = vm.exec_stats();
+        assert_eq!(s2.translations, 1, "second call reuses the translation");
+        assert!((s2.hit_rate() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn freed_code_faults_stale_with_warm_cache() {
+        let mut cs = CodeSpace::new();
+        let f = cs.begin_function("f");
+        cs.push(Insn::i(Op::Addiw, A0, A0, 1));
+        cs.push(Insn::ret());
+        let addr = cs.finish_function(f).unwrap();
+        let mut vm = Vm::new(cs, 1 << 20);
+        assert_eq!(vm.call(addr, &[1]).unwrap(), 2);
+        vm.state_mut().code.free_function(f).unwrap();
+        assert_eq!(vm.call(addr, &[1]), Err(VmError::StaleCode(addr)));
+        assert!(vm.exec_stats().invalidations >= 1);
+    }
+
+    #[test]
+    fn patching_live_code_invalidates_translation() {
+        let mut cs = CodeSpace::new();
+        let f = cs.begin_function("f");
+        cs.push(Insn::i(Op::Addiw, A0, ZERO, 1));
+        cs.push(Insn::ret());
+        let addr = cs.finish_function(f).unwrap();
+        let idx = ((addr - CODE_BASE) / 4) as usize;
+        let mut vm = Vm::new(cs, 1 << 20);
+        assert_eq!(vm.call(addr, &[]).unwrap(), 1);
+        vm.state_mut()
+            .code
+            .patch(idx, Insn::i(Op::Addiw, A0, ZERO, 2));
+        assert_eq!(vm.call(addr, &[]).unwrap(), 2, "stale decoded result");
+    }
+
+    #[test]
+    fn host_call_freeing_running_function_faults_stale() {
+        let mut cs = CodeSpace::new();
+        let f = cs.begin_function("f");
+        cs.push(Insn::i(Op::Hcall, ZERO, ZERO, 1));
+        cs.push(Insn::i(Op::Addiw, A0, ZERO, 7));
+        cs.push(Insn::ret());
+        let addr = cs.finish_function(f).unwrap();
+        let host = move |_num: u32, st: &mut MachineState| {
+            st.code.free_function(f).unwrap();
+            Ok(())
+        };
+        let mut vm = Vm::with_host(cs, 1 << 20, host);
+        assert_eq!(vm.call(addr, &[]), Err(VmError::StaleCode(addr + 4)));
+    }
+
+    #[test]
+    fn unfused_buffer_has_no_pairs() {
+        let (cs, addr) = loop_code();
+        let mut vm = Vm::new(cs, 1 << 20);
+        vm.set_engine(ExecEngine::Predecoded { fuse: false });
+        vm.call(addr, &[3]).unwrap();
+        assert_eq!(vm.exec_stats().fused_pairs, 0);
+    }
+
+    #[test]
+    fn decode_per_step_counts_slow_insns() {
+        let (cs, addr) = loop_code();
+        let mut vm = Vm::new(cs, 1 << 20);
+        vm.set_engine(ExecEngine::DecodePerStep);
+        vm.call(addr, &[3]).unwrap();
+        let s = vm.exec_stats();
+        assert_eq!(s.fast_insns, 0);
+        assert_eq!(s.slow_insns, vm.insns());
+        assert_eq!(s.hit_rate(), 0.0);
+    }
+}

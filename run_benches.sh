@@ -1,35 +1,58 @@
 #!/bin/sh
-# Regenerates every table/figure and runs the criterion benches,
-# appending everything to bench_output.txt. Each bench is isolated: a
-# failure is reported loudly (both to stderr and in the log) and the
-# remaining benches still run; the script exits non-zero if any failed.
-# Afterwards the suite binary emits the machine-readable BENCH_*.json
-# reports next to bench_output.txt.
+# Regenerates every table/figure, runs the criterion benches, and emits
+# the machine-readable BENCH_*.json reports, appending everything to
+# bench_output.txt. Each bench is isolated: a failure is reported loudly
+# (both to stderr and in the log) and the remaining benches still run;
+# the script exits non-zero if any failed.
+#
+#   ./run_benches.sh            full run (criterion + calibrated suite)
+#   ./run_benches.sh --quick    skip criterion; suite JSON emissions
+#                               only, with the exec experiment at smoke
+#                               rep counts (equivalence asserts live,
+#                               timings not meaningful)
 set -u
 cd /root/repo
-: > bench_output.txt
-failed=""
-for b in table1 figure4 figure5 figure6 figure7 blur codegen regalloc ablations; do
-  echo "=== bench: $b ===" >> bench_output.txt
-  if ! cargo bench -p tcc-bench --bench "$b" >> bench_output.txt 2>&1; then
-    echo "BENCH FAILED: $b (see bench_output.txt)" >&2
-    echo "=== bench FAILED: $b ===" >> bench_output.txt
-    failed="$failed $b"
-  fi
+
+quick=0
+for a in "$@"; do
+  case "$a" in
+    --quick) quick=1 ;;
+    *) echo "usage: $0 [--quick]" >&2; exit 2 ;;
+  esac
 done
 
-echo "=== suite --json ===" >> bench_output.txt
-if ! cargo run -p tcc-suite --bin suite --release -- all --small --json \
-    >> bench_output.txt 2>&1; then
-  echo "BENCH FAILED: suite --json (see bench_output.txt)" >&2
-  failed="$failed suite-json"
+: > bench_output.txt
+failed=""
+
+if [ "$quick" -eq 0 ]; then
+  for b in table1 figure4 figure5 figure6 figure7 blur codegen regalloc ablations; do
+    echo "=== bench: $b ===" >> bench_output.txt
+    if ! cargo bench -p tcc-bench --bench "$b" >> bench_output.txt 2>&1; then
+      echo "BENCH FAILED: $b (see bench_output.txt)" >&2
+      echo "=== bench FAILED: $b ===" >> bench_output.txt
+      failed="$failed $b"
+    fi
+  done
 fi
 
-echo "=== suite cache --json ===" >> bench_output.txt
-if ! cargo run -p tcc-suite --bin suite --release -- cache --json \
-    >> bench_output.txt 2>&1; then
-  echo "BENCH FAILED: suite cache --json (see bench_output.txt)" >&2
-  failed="$failed suite-cache-json"
+# suite <experiment> [extra flags...] — appends to the log and writes
+# BENCH_<experiment>.json into the repo root.
+run_suite() {
+  label="$1"; shift
+  echo "=== suite $label ===" >> bench_output.txt
+  if ! cargo run -p tcc-suite --bin suite --release -- "$@" --json \
+      >> bench_output.txt 2>&1; then
+    echo "BENCH FAILED: suite $label (see bench_output.txt)" >&2
+    failed="$failed suite-$label"
+  fi
+}
+
+run_suite all all --small
+run_suite cache cache
+if [ "$quick" -eq 0 ]; then
+  run_suite exec exec
+else
+  run_suite exec exec --smoke
 fi
 
 if [ -n "$failed" ]; then

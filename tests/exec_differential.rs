@@ -1,0 +1,417 @@
+//! Engine-differential fuzzing: randomized `C programs executed through
+//! the decode-per-step reference interpreter and the predecoded engine
+//! (with and without superinstruction fusion), asserting bit-identical
+//! observable behavior — result value, modeled `cycles`, retired
+//! `insns`, exit status, and error, including `OutOfFuel` raised at the
+//! same instruction under swept fuel budgets. Also pins down the
+//! stale-code interactions: freed and cache-evicted functions must
+//! fault with `StaleCode` even when the translation cache is warm.
+
+use proptest::prelude::*;
+use tickc::tickc_core::{Backend, Config, Error, Session, Strategy as Alloc};
+use tickc::vm::{ExecEngine, VmError};
+
+const ENGINES: [ExecEngine; 3] = [
+    ExecEngine::DecodePerStep,
+    ExecEngine::Predecoded { fuse: false },
+    ExecEngine::Predecoded { fuse: true },
+];
+
+fn engine_label(e: ExecEngine) -> &'static str {
+    match e {
+        ExecEngine::DecodePerStep => "decode-per-step",
+        ExecEngine::Predecoded { fuse: false } => "predecoded",
+        ExecEngine::Predecoded { fuse: true } => "predecoded+fused",
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Random program generation: assignments, bounded loops, branches, and
+// a division that can trap, over four locals + a parameter + a
+// run-time constant.
+// ---------------------------------------------------------------------------
+
+const NVARS: usize = 4;
+
+#[derive(Clone, Debug)]
+enum Val {
+    Var(usize),
+    Param,
+    Rtc,
+    Lit(i32),
+}
+
+#[derive(Clone, Debug)]
+enum St {
+    /// `vK = a op b;` — op index into OPS (last entry divides, which
+    /// can fault with DivideByZero).
+    Assign(usize, usize, Val, Val),
+    /// `if (a < b) { .. } else { .. }`
+    If(Val, Val, Vec<St>, Vec<St>),
+    /// `for (k = 0; k < n; k++) { body }`
+    Loop(u8, Vec<St>),
+}
+
+const OPS: [&str; 6] = ["+", "-", "*", "^", "&", "/"];
+
+fn val_strategy() -> impl Strategy<Value = Val> {
+    prop_oneof![
+        (0..NVARS).prop_map(Val::Var),
+        Just(Val::Param),
+        Just(Val::Rtc),
+        (-20i32..20).prop_map(Val::Lit),
+    ]
+}
+
+fn st_strategy() -> impl Strategy<Value = St> {
+    let assign = (0..NVARS, 0..OPS.len(), val_strategy(), val_strategy())
+        .prop_map(|(d, op, a, b)| St::Assign(d, op, a, b));
+    assign.prop_recursive(3, 16, 4, |inner| {
+        prop_oneof![
+            3 => (0..NVARS, 0..OPS.len(), val_strategy(), val_strategy())
+                .prop_map(|(d, op, a, b)| St::Assign(d, op, a, b)),
+            1 => (
+                val_strategy(),
+                val_strategy(),
+                prop::collection::vec(inner.clone(), 0..3),
+                prop::collection::vec(inner.clone(), 0..3)
+            )
+                .prop_map(|(a, b, t, e)| St::If(a, b, t, e)),
+            1 => (1u8..6, prop::collection::vec(inner, 1..3))
+                .prop_map(|(n, body)| St::Loop(n, body)),
+        ]
+    })
+}
+
+fn val_c(v: &Val, dollar: bool) -> String {
+    match v {
+        Val::Var(i) => format!("v{i}"),
+        Val::Param => "p".into(),
+        Val::Rtc => {
+            if dollar {
+                "$r".into()
+            } else {
+                "r".into()
+            }
+        }
+        Val::Lit(c) => format!("({c})"),
+    }
+}
+
+fn st_c(s: &St, dollar: bool, depth: usize, counter: &mut usize) -> String {
+    let pad = "    ".repeat(depth + 1);
+    match s {
+        St::Assign(d, op, a, b) => format!(
+            "{pad}v{d} = {} {} {};\n",
+            val_c(a, dollar),
+            OPS[*op],
+            val_c(b, dollar)
+        ),
+        St::If(a, b, t, e) => {
+            let mut out = format!("{pad}if ({} < {}) {{\n", val_c(a, dollar), val_c(b, dollar));
+            for s in t {
+                out.push_str(&st_c(s, dollar, depth + 1, counter));
+            }
+            out.push_str(&format!("{pad}}} else {{\n"));
+            for s in e {
+                out.push_str(&st_c(s, dollar, depth + 1, counter));
+            }
+            out.push_str(&format!("{pad}}}\n"));
+            out
+        }
+        St::Loop(n, body) => {
+            let k = *counter;
+            *counter += 1;
+            let mut out = format!("{pad}for (k{k} = 0; k{k} < {n}; k{k}++) {{\n");
+            for s in body {
+                out.push_str(&st_c(s, dollar, depth + 1, counter));
+            }
+            out.push_str(&format!("{pad}}}\n"));
+            out
+        }
+    }
+}
+
+fn count_loops(sts: &[St]) -> usize {
+    sts.iter()
+        .map(|s| match s {
+            St::Assign(..) => 0,
+            St::If(_, _, t, e) => count_loops(t) + count_loops(e),
+            St::Loop(_, b) => 1 + count_loops(b),
+        })
+        .sum()
+}
+
+fn program_for(sts: &[St]) -> String {
+    let nloops = count_loops(sts);
+    let decl_ks = |prefix: &str| -> String {
+        (0..nloops)
+            .map(|k| format!("{prefix}int k{k};\n"))
+            .collect()
+    };
+    let decl_vs =
+        |prefix: &str| -> String { (0..NVARS).map(|i| format!("{prefix}int v{i};\n")).collect() };
+    let init_vs: String = (0..NVARS)
+        .map(|i| format!("    v{i} = {};\n", i as i32 + 1))
+        .collect();
+    let mut c0 = 0usize;
+    let static_body: String = sts.iter().map(|s| st_c(s, false, 0, &mut c0)).collect();
+    let mut c1 = 0usize;
+    let dyn_body: String = sts.iter().map(|s| st_c(s, true, 0, &mut c1)).collect();
+    let sum: String = (0..NVARS)
+        .map(|i| format!(" + v{i}"))
+        .collect::<String>()
+        .trim_start_matches(" + ")
+        .to_string();
+    format!(
+        r#"
+int static_f(int p, int r) {{
+{}{}
+{init_vs}{static_body}    return {sum};
+}}
+long dyn_compile(int r) {{
+    int vspec p = param(int, 0);
+    void cspec c = `{{
+{}{}
+{init_vs}{dyn_body}        return {sum};
+    }};
+    return (long)compile(c, int);
+}}
+int dyn_run(long fp, int p) {{
+    int (*g)(void) = (int (*)(void))fp;
+    return (*g)(p);
+}}
+"#,
+        decl_vs("    "),
+        decl_ks("    "),
+        decl_vs("        "),
+        decl_ks("        "),
+    )
+}
+
+// ---------------------------------------------------------------------------
+// The differential observation: everything an engine can affect.
+// ---------------------------------------------------------------------------
+
+fn vm_err(e: Error) -> VmError {
+    match e {
+        Error::Vm(v) => v,
+        Error::Front(f) => panic!("front-end error during execution: {f}"),
+    }
+}
+
+/// Full observable trace of one session run: per-call outcome plus
+/// final counters. Equality of this struct across engines IS the
+/// equivalence contract (an error at a different instruction shows up
+/// as a different cycle/insn count).
+#[derive(Debug, PartialEq)]
+struct Obs {
+    static_result: Result<u64, VmError>,
+    compile_result: Result<u64, VmError>,
+    dyn_result: Option<Result<u64, VmError>>,
+    cycles: u64,
+    insns: u64,
+    hcalls: u64,
+}
+
+fn observe(src: &str, backend: &Backend, engine: ExecEngine, fuel: Option<u64>, p: i64) -> Obs {
+    let mut s = Session::new(
+        src,
+        Config {
+            backend: backend.clone(),
+            ..Config::default()
+        },
+    )
+    .unwrap_or_else(|e| panic!("generated program rejected: {e}\n{src}"));
+    s.vm.set_engine(engine);
+    if let Some(f) = fuel {
+        s.vm.set_fuel(f);
+    }
+    let static_result = s.call("static_f", &[p as u64, 13]).map_err(vm_err);
+    let compile_result = s.call("dyn_compile", &[13]).map_err(vm_err);
+    let dyn_result = compile_result
+        .as_ref()
+        .ok()
+        .copied()
+        .map(|fp| s.call("dyn_run", &[fp, p as u64]).map_err(vm_err));
+    Obs {
+        static_result,
+        compile_result,
+        dyn_result,
+        cycles: s.cycles(),
+        insns: s.insns(),
+        hcalls: s.hcalls(),
+    }
+}
+
+fn check_differential(sts: &[St], p: i64) -> Result<(), TestCaseError> {
+    let src = program_for(sts);
+    for backend in [
+        Backend::Vcode { unchecked: false },
+        Backend::Icode {
+            strategy: Alloc::LinearScan,
+        },
+    ] {
+        // Unlimited fuel: results, counters, and any traps (e.g.
+        // DivideByZero) must agree.
+        let reference = observe(&src, &backend, ENGINES[0], None, p);
+        for &e in &ENGINES[1..] {
+            let got = observe(&src, &backend, e, None, p);
+            prop_assert_eq!(
+                &got,
+                &reference,
+                "{} diverges ({:?})\n{}",
+                engine_label(e),
+                backend,
+                src
+            );
+        }
+        // Swept fuel budgets: OutOfFuel must fire at the same
+        // instruction (identical cycles/insns at the stop point).
+        let total = reference.cycles;
+        for fuel in [total / 7, total / 3, total / 2, total.saturating_sub(1)] {
+            let reference = observe(&src, &backend, ENGINES[0], Some(fuel), p);
+            for &e in &ENGINES[1..] {
+                let got = observe(&src, &backend, e, Some(fuel), p);
+                prop_assert_eq!(
+                    &got,
+                    &reference,
+                    "{} diverges at fuel {} ({:?})\n{}",
+                    engine_label(e),
+                    fuel,
+                    backend,
+                    src
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn engines_agree_on_random_programs(
+        sts in prop::collection::vec(st_strategy(), 1..6),
+        p in -100i64..100,
+    ) {
+        check_differential(&sts, p)?;
+    }
+}
+
+#[test]
+fn fixed_differential_regressions() {
+    use St::*;
+    use Val::*;
+    let cases: Vec<Vec<St>> = vec![
+        // Tight loop: the fused compare+branch back edge.
+        vec![Loop(5, vec![Assign(0, 0, Var(0), Rtc)])],
+        // Division by a loop-carried value that reaches zero: the trap
+        // must fire at the same instruction on every engine.
+        vec![
+            Assign(1, 1, Var(1), Var(1)), // v1 = 0
+            Assign(0, 5, Param, Var(1)),  // v0 = p / 0
+        ],
+        // Nested loops with a branch in the middle of fusable pairs.
+        vec![Loop(
+            3,
+            vec![If(
+                Var(0),
+                Rtc,
+                vec![Assign(0, 0, Var(0), Lit(3))],
+                vec![Assign(2, 2, Var(2), Lit(2))],
+            )],
+        )],
+    ];
+    for sts in cases {
+        check_differential(&sts, 7).expect("agrees");
+        check_differential(&sts, -41).expect("agrees");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Stale-code composition: the translation cache must never outlive the
+// code it shadows.
+// ---------------------------------------------------------------------------
+
+/// Source whose `mk(n)` compiles a distinct closure per `n` (the
+/// `$`-bound seed changes the fingerprint), so a small code budget
+/// eventually forces LRU eviction of the earliest result.
+const EVICT_SRC: &str = r#"
+int seed = 0;
+long mk(int n) {
+    seed = n;
+    int cspec c = `(
+        $seed * 3 + $seed * 5 + $seed * 7 + $seed * 9 +
+        $seed * 11 + $seed * 13 + $seed * 17 + $seed * 19 +
+        $seed * 23 + $seed * 29 + $seed * 31 + $seed * 37);
+    return (long)compile(c, int);
+}
+int run(long fp) {
+    int (*g)(void) = (int (*)(void))fp;
+    return (*g)();
+}
+"#;
+
+#[test]
+fn evicted_code_faults_stale_with_warm_translation_cache() {
+    let mut s = Session::new(
+        EVICT_SRC,
+        Config {
+            code_budget: Some(256),
+            ..Config::default()
+        },
+    )
+    .expect("compiles");
+    assert!(matches!(s.vm.engine(), ExecEngine::Predecoded { .. }));
+    let fp1 = s.call("mk", &[1]).expect("first compile");
+    // Warm the translation cache on fp1 before evicting it.
+    let expect1: u64 = (3 + 5 + 7 + 9 + 11 + 13 + 17 + 19 + 23 + 29 + 31 + 37) as u64;
+    assert_eq!(s.call("run", &[fp1]).expect("first run"), expect1);
+    assert!(s.metrics().exec.translations >= 1, "fp1 was translated");
+    // Distinct closures until budget pressure evicts the LRU entry —
+    // which is fp1: inserted earliest, never looked up again (`run`
+    // executes it but does not touch the compile cache). Probe
+    // immediately, while its range is still on the free list; the
+    // warm translation must not mask the fault.
+    let mut n = 2u64;
+    while s.metrics().cache.evictions == 0 {
+        s.call("mk", &[n]).expect("later compile");
+        n += 1;
+        assert!(n < 1000, "budget never forced an eviction");
+    }
+    match s.call("run", &[fp1]) {
+        Err(Error::Vm(VmError::StaleCode(addr))) => assert_eq!(addr, fp1),
+        other => panic!("expected StaleCode({fp1:#x}), got {other:?}"),
+    }
+}
+
+#[test]
+fn placement_jitter_composes_with_predecoding() {
+    // Same program, jittered code layout: results and modeled cycles
+    // must not depend on where functions land.
+    let sts = vec![St::Loop(4, vec![St::Assign(0, 0, Val::Var(0), Val::Rtc)])];
+    let src = program_for(&sts);
+    let mut base = None;
+    for jitter in [None, Some(7), Some(1234)] {
+        let mut s = Session::new(
+            &src,
+            Config {
+                placement_jitter: jitter,
+                ..Config::default()
+            },
+        )
+        .expect("compiles");
+        let fp = s.call("dyn_compile", &[13]).expect("compiles dyn");
+        let got = s.call("dyn_run", &[fp, 5]).expect("runs");
+        let cycles = s.cycles();
+        match base {
+            None => base = Some((got, cycles)),
+            Some((g, _c)) => {
+                assert_eq!(got, g, "jitter {jitter:?} changed the result");
+            }
+        }
+        assert!(s.metrics().exec.fast_insns > 0, "predecoded path used");
+    }
+}
