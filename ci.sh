@@ -10,10 +10,14 @@
 #                         dynamic back ends must agree on the answer)
 #   6. cache smoke run   (the repeat-compile sweep with memoization on:
 #                         hit economics + pointer stability end-to-end)
-#   7. exec smoke run    (the three execution engines — decode-per-step,
-#                         predecoded, predecoded+fused — over the
-#                         loop-heavy kernels with the observational-
-#                         equivalence asserts live, release mode)
+#   7. exec smoke run    (the four execution engines — decode-per-step,
+#                         predecoded, predecoded+fused, direct-threaded
+#                         — over the loop-heavy kernels with the
+#                         observational-equivalence asserts live,
+#                         release mode)
+#   8. exec regression   (./run_benches.sh --check: full-rep exec bench
+#                         compared against baselines/BENCH_exec.json;
+#                         fails on a >30% drop in speedup_fused)
 #
 # Fails fast: the first failing step aborts with its exit code.
 set -eu
@@ -42,5 +46,8 @@ cargo run -p tcc-suite --bin suite --release -- cache
 
 echo "== suite exec --smoke (engines observationally identical) =="
 cargo run -p tcc-suite --bin suite --release -- exec --smoke
+
+echo "== exec regression gate (speedups vs baselines/) =="
+./run_benches.sh --check
 
 echo "CI_OK"

@@ -19,7 +19,7 @@ use crate::intervals::build_intervals;
 use crate::ir::IcodeBuf;
 use crate::linear_scan::linear_scan;
 use crate::liveness::Liveness;
-use crate::peephole::{dead_code, thread_jumps};
+use crate::peephole::{dead_code, schedule_for_fusion, thread_jumps};
 use crate::prune::TranslatorTable;
 use std::time::Instant;
 use tcc_vcode::FinishedFunc;
@@ -67,6 +67,11 @@ pub struct IcodeCompiler {
     pub strategy: Strategy,
     /// Whether to run the IR cleanup passes.
     pub run_peephole: bool,
+    /// Whether the peephole stage also runs the fusion-aware scheduler
+    /// (sinks pure defs onto branches/consumers so the VM's
+    /// superinstruction pairer finds more adjacencies). Independent
+    /// knob so the fused-pair gain is measurable.
+    pub schedule_fusion: bool,
     /// Allocatable register pools.
     pub pools: Pools,
     /// Translator table (full by default; prune for the ablation).
@@ -85,6 +90,7 @@ impl IcodeCompiler {
         IcodeCompiler {
             strategy,
             run_peephole: true,
+            schedule_fusion: true,
             pools: Pools::full(),
             table: TranslatorTable::full(),
         }
@@ -98,6 +104,9 @@ impl IcodeCompiler {
         if self.run_peephole {
             dead_code(&mut buf);
             thread_jumps(&mut buf);
+            if self.schedule_fusion {
+                schedule_for_fusion(&mut buf);
+            }
         }
         phases.peephole_ns = t.elapsed().as_nanos() as u64;
 

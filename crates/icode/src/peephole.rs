@@ -1,12 +1,15 @@
 //! IR-level cleanup passes run before register allocation.
 //!
 //! The paper's ICODE run-time "performs some peephole optimizations"
-//! besides register allocation (§5.2). Two cheap, linear passes live
+//! besides register allocation (§5.2). Three cheap, linear passes live
 //! here: dead-code elimination of unused side-effect-free definitions
-//! (composition of cspecs regularly produces values nobody consumes) and
-//! removal of jumps to the immediately following label.
+//! (composition of cspecs regularly produces values nobody consumes),
+//! jump threading with fall-through removal, and a fusion-aware
+//! scheduler that sinks pure definitions next to their consumers so the
+//! VM's superinstruction pairer sees more fusable adjacencies.
 
-use crate::ir::{IOp, IcodeBuf};
+use crate::ir::{IInsn, IOp, IcodeBuf, VReg};
+use tcc_vcode::ops::BinOp;
 
 /// Removes side-effect-free instructions whose results are never used.
 /// Iterates to a fixed point (a removed use can kill its operands'
@@ -43,9 +46,100 @@ pub fn dead_code(buf: &mut IcodeBuf) -> usize {
     }
 }
 
-/// Deletes `jmp L` instructions where `L` is bound immediately after
-/// (modulo other labels). Returns the number removed.
+/// True for IR entries that emit no machine code: scanning "what runs
+/// next after this label" may skip them.
+fn emits_nothing(op: IOp) -> bool {
+    matches!(op, IOp::Label | IOp::LoopBegin | IOp::LoopEnd)
+}
+
+/// If the first machine instruction after label position `p` is an
+/// unconditional `jmp`, returns its target label.
+fn jump_after_label(insns: &[IInsn], p: usize) -> Option<usize> {
+    let mut j = p + 1;
+    while j < insns.len() && emits_nothing(insns[j].op) {
+        j += 1;
+    }
+    match insns.get(j) {
+        Some(i) if i.op == IOp::Jmp => Some(i.imm as usize),
+        _ => None,
+    }
+}
+
+/// Jump threading. Two linear phases, returning the total number of
+/// instructions modified (retargeted + removed):
+///
+/// 1. **Chain threading.** Every control transfer (`jmp`, `br_cmp`,
+///    `br_true`, `br_false`) whose target label is bound immediately
+///    before an unconditional `jmp` is retargeted to where the chain
+///    ultimately lands — `jmp L1; ...; L1: jmp L2; ...; L2: jmp L3`
+///    threads straight to `L3`, so the intermediate hops never
+///    execute. Chain resolution memoizes per label and carries a
+///    visited set, so a chain that loops back on itself (an empty
+///    infinite loop) resolves to a member of its own cycle instead of
+///    spinning the compiler.
+/// 2. **Fall-through removal.** `jmp L` where `L` is bound immediately
+///    after (modulo labels and the no-op loop markers) is deleted.
 pub fn thread_jumps(buf: &mut IcodeBuf) -> usize {
+    let nlabels = buf.nlabels as usize;
+    // First binding position of each label (unbound labels keep MAX
+    // and resolve to themselves).
+    let mut pos = vec![usize::MAX; nlabels];
+    for (i, insn) in buf.insns.iter().enumerate() {
+        if insn.op == IOp::Label {
+            let l = insn.imm as usize;
+            if pos[l] == usize::MAX {
+                pos[l] = i;
+            }
+        }
+    }
+    // resolved[l] = the label the empty-jump chain starting at l
+    // finally reaches.
+    let mut resolved: Vec<Option<u32>> = vec![None; nlabels];
+    let mut path: Vec<usize> = Vec::new();
+    for l0 in 0..nlabels {
+        if resolved[l0].is_some() {
+            continue;
+        }
+        path.clear();
+        let mut cur = l0;
+        let fin = loop {
+            if let Some(f) = resolved[cur] {
+                break f;
+            }
+            if path.contains(&cur) {
+                // The chain re-entered itself: every hop is an empty
+                // jump, so any cycle member is an equivalent target.
+                break cur as u32;
+            }
+            path.push(cur);
+            match pos[cur] {
+                usize::MAX => break cur as u32,
+                p => match jump_after_label(&buf.insns, p) {
+                    Some(next) => cur = next,
+                    None => break cur as u32,
+                },
+            }
+        };
+        for &p in &path {
+            resolved[p] = Some(fin);
+        }
+    }
+    let mut changed = 0;
+    for insn in &mut buf.insns {
+        if !matches!(
+            insn.op,
+            IOp::Jmp | IOp::BrCmp(_) | IOp::BrTrue | IOp::BrFalse
+        ) {
+            continue;
+        }
+        let l = insn.imm as usize;
+        let f = i64::from(resolved[l].unwrap_or(l as u32));
+        if f != insn.imm {
+            insn.imm = f;
+            changed += 1;
+        }
+    }
+    // Fall-through removal over the retargeted buffer.
     let insns = &buf.insns;
     let mut drop = vec![false; insns.len()];
     for (i, insn) in insns.iter().enumerate() {
@@ -54,8 +148,8 @@ pub fn thread_jumps(buf: &mut IcodeBuf) -> usize {
         }
         let target = insn.imm;
         let mut j = i + 1;
-        while j < insns.len() && insns[j].op == IOp::Label {
-            if insns[j].imm == target {
+        while j < insns.len() && emits_nothing(insns[j].op) {
+            if insns[j].op == IOp::Label && insns[j].imm == target {
                 drop[i] = true;
                 break;
             }
@@ -69,14 +163,144 @@ pub fn thread_jumps(buf: &mut IcodeBuf) -> usize {
         idx += 1;
         keep
     });
-    before - buf.insns.len()
+    changed + (before - buf.insns.len())
+}
+
+/// True for pure, non-faulting, register-only instructions the
+/// fusion scheduler may reorder among themselves. Loads are excluded
+/// (they can fault and must not cross other memory operations), as are
+/// the faulting integer divide/remainder forms — moving a trap changes
+/// which address the VM reports.
+fn movable(insn: &IInsn) -> bool {
+    match insn.op {
+        IOp::Li | IOp::Lif | IOp::Un(_) | IOp::GetParam(_) | IOp::FrameAddr => true,
+        IOp::Bin(op) | IOp::BinImm(op) => {
+            !matches!(op, BinOp::Div | BinOp::DivU | BinOp::Rem | BinOp::RemU)
+        }
+        _ => false,
+    }
+}
+
+/// True when instruction `e` cannot be crossed by moving `m` later in
+/// program order: `e` reads or rewrites `m`'s result, or `e` writes one
+/// of `m`'s operands.
+fn conflicts(m: &IInsn, e: &IInsn) -> bool {
+    if let Some(d) = m.def() {
+        if e.def() == Some(d) {
+            return true;
+        }
+        if e.uses().into_iter().flatten().any(|u| u == d) {
+            return true;
+        }
+    }
+    if let Some(ed) = e.def() {
+        if m.uses().into_iter().flatten().any(|u| u == ed) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Sinks the pure definitions of the vregs used by `buf.insns[t]` so
+/// they sit immediately before position `t`, when every crossed
+/// instruction is movable and independent. Returns moves performed.
+fn sink_defs_before(buf: &mut IcodeBuf, t: usize) -> usize {
+    let mut moves = 0;
+    let used: Vec<VReg> = buf.insns[t].uses().into_iter().flatten().collect();
+    for c in used {
+        // Walk back through the contiguous movable window looking for
+        // the definition of `c`.
+        let mut d = None;
+        let mut j = t;
+        while j > 0 {
+            j -= 1;
+            if !movable(&buf.insns[j]) {
+                break;
+            }
+            if buf.insns[j].def() == Some(c) {
+                d = Some(j);
+                break;
+            }
+        }
+        let Some(d) = d else { continue };
+        if d + 1 == t {
+            continue; // already adjacent
+        }
+        let m = buf.insns[d];
+        if buf.insns[d + 1..t].iter().any(|e| conflicts(&m, e)) {
+            continue;
+        }
+        buf.insns[d..t].rotate_left(1);
+        moves += 1;
+    }
+    moves
+}
+
+/// Fusion-aware scheduling (ROADMAP item: fusion-aware peephole).
+///
+/// The VM's superinstruction pairer fuses *adjacent* scalar
+/// instructions where the first feeds the second (compare→branch,
+/// load→op, …). ICODE emission order frequently separates a condition's
+/// definition from its branch, or a load from its consumer, with
+/// unrelated pure code — the pairer then sees nothing to fuse. Two
+/// linear rewrites recover those adjacencies without changing observable
+/// behavior (modeled cycles, instruction counts, trap addresses):
+///
+/// 1. **Compare-then-branch.** For each `br_true`/`br_false`/`br_cmp`,
+///    the pure definition of each condition operand is sunk to sit
+///    immediately before the branch.
+/// 2. **Load-then-op.** Each `load` is sunk to sit immediately before
+///    its first consumer.
+///
+/// A move only happens when every crossed instruction is pure,
+/// non-faulting, and data-independent (`movable` + `conflicts`), so
+/// the permutation is semantics-preserving even for programs that trap
+/// or run out of fuel mid-block: faulting and memory-touching
+/// instructions are never reordered relative to each other.
+///
+/// Returns the number of instructions moved.
+pub fn schedule_for_fusion(buf: &mut IcodeBuf) -> usize {
+    let mut moves = 0;
+    // 1. Sink condition definitions onto their branches.
+    for t in 0..buf.insns.len() {
+        if matches!(buf.insns[t].op, IOp::BrTrue | IOp::BrFalse | IOp::BrCmp(_)) {
+            moves += sink_defs_before(buf, t);
+        }
+    }
+    // 2. Sink loads onto their first consumer.
+    let mut d = 0;
+    while d < buf.insns.len() {
+        if matches!(buf.insns[d].op, IOp::Load(_)) {
+            let m = buf.insns[d];
+            let mut u = d + 1;
+            let first_use = loop {
+                let Some(e) = buf.insns.get(u) else {
+                    break None;
+                };
+                if e.uses().into_iter().flatten().any(|x| Some(x) == m.def()) {
+                    break Some(u);
+                }
+                if !movable(e) || conflicts(&m, e) {
+                    break None;
+                }
+                u += 1;
+            };
+            if let Some(u) = first_use {
+                if u > d + 1 {
+                    buf.insns[d..u].rotate_left(1);
+                    moves += 1;
+                }
+            }
+        }
+        d += 1;
+    }
+    moves
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use tcc_rt::ValKind;
-    use tcc_vcode::ops::BinOp;
     use tcc_vcode::CodeSink;
 
     #[test]
@@ -131,5 +355,216 @@ mod tests {
         b.bind(l);
         b.ret_val(ValKind::W, x);
         assert_eq!(thread_jumps(&mut b), 0);
+    }
+
+    #[test]
+    fn jump_chain_threads_to_final_target() {
+        // jmp l1 (over code); l1: jmp l2 (over code); l2: ret — the
+        // first jump must retarget straight to l2.
+        let mut b = IcodeBuf::new();
+        let l1 = b.label();
+        let l2 = b.label();
+        let x = b.temp(ValKind::W);
+        b.jmp(l1);
+        b.li(x, 1);
+        b.bind(l1);
+        b.jmp(l2);
+        b.li(x, 2);
+        b.bind(l2);
+        b.ret_val(ValKind::W, x);
+        assert_eq!(thread_jumps(&mut b), 1, "one retarget");
+        let first_jmp = b.insns.iter().find(|i| i.op == IOp::Jmp).expect("jmp");
+        assert_eq!(first_jmp.imm, l2.0 as i64, "threaded past l1");
+    }
+
+    #[test]
+    fn threaded_jump_collapsing_to_fall_through_is_removed() {
+        // jmp l1 skips code; l1: jmp l2; l2: ret. After threading, the
+        // hop at l1 targets the immediately following l2 and dies.
+        let mut b = IcodeBuf::new();
+        let l1 = b.label();
+        let l2 = b.label();
+        let x = b.temp(ValKind::W);
+        b.li(x, 1);
+        b.jmp(l1);
+        b.li(x, 2);
+        b.bind(l1);
+        b.jmp(l2);
+        b.bind(l2);
+        b.ret_val(ValKind::W, x);
+        assert_eq!(thread_jumps(&mut b), 2, "one retarget + one removal");
+        let jmps: Vec<_> = b.insns.iter().filter(|i| i.op == IOp::Jmp).collect();
+        assert_eq!(jmps.len(), 1);
+        assert_eq!(jmps[0].imm, l2.0 as i64);
+    }
+
+    #[test]
+    fn conditional_branches_thread_through_chains() {
+        let mut b = IcodeBuf::new();
+        let l1 = b.label();
+        let l2 = b.label();
+        let x = b.temp(ValKind::W);
+        b.li(x, 1);
+        b.br_true(x, l1);
+        b.ret_val(ValKind::W, x);
+        b.bind(l1);
+        b.jmp(l2);
+        b.li(x, 3);
+        b.bind(l2);
+        b.ret_val(ValKind::W, x);
+        assert!(thread_jumps(&mut b) >= 1);
+        let br = b.insns.iter().find(|i| i.op == IOp::BrTrue).expect("br");
+        assert_eq!(br.imm, l2.0 as i64, "branch threaded past the hop");
+    }
+
+    #[test]
+    fn cyclic_jump_chain_terminates() {
+        // l1: jmp l2; l2: jmp l1 — an empty infinite loop. The pass
+        // must terminate and keep the loop a loop (targets stay inside
+        // the cycle).
+        let mut b = IcodeBuf::new();
+        let l1 = b.label();
+        let l2 = b.label();
+        b.bind(l1);
+        b.jmp(l2);
+        b.bind(l2);
+        b.jmp(l1);
+        b.ret_void();
+        thread_jumps(&mut b);
+        let cycle = [l1.0 as i64, l2.0 as i64];
+        let jmps: Vec<_> = b.insns.iter().filter(|i| i.op == IOp::Jmp).collect();
+        assert!(!jmps.is_empty(), "the loop must survive");
+        for j in &jmps {
+            assert!(cycle.contains(&j.imm), "target left the cycle: {j:?}");
+        }
+    }
+
+    #[test]
+    fn schedule_sinks_compare_onto_branch() {
+        // cmp; unrelated; unrelated; br_true  →  the compare must end
+        // up immediately before the branch.
+        let mut b = IcodeBuf::new();
+        let l = b.label();
+        let x = b.temp(ValKind::W);
+        let y = b.temp(ValKind::W);
+        let c = b.temp(ValKind::W);
+        b.li(x, 1);
+        b.bin(BinOp::Lt, ValKind::W, c, x, x);
+        b.li(y, 2);
+        b.bin(BinOp::Add, ValKind::W, y, y, x);
+        b.br_true(c, l);
+        b.bind(l);
+        b.ret_val(ValKind::W, y);
+        assert_eq!(schedule_for_fusion(&mut b), 1);
+        let br = b
+            .insns
+            .iter()
+            .position(|i| i.op == IOp::BrTrue)
+            .expect("br");
+        assert_eq!(b.insns[br - 1].op, IOp::Bin(BinOp::Lt), "cmp adjacent");
+    }
+
+    #[test]
+    fn schedule_sinks_load_onto_first_use() {
+        let mut b = IcodeBuf::new();
+        let p = b.temp(ValKind::P);
+        let v = b.temp(ValKind::W);
+        let y = b.temp(ValKind::W);
+        let z = b.temp(ValKind::W);
+        b.li(p, 0x2000);
+        b.load(tcc_vcode::ops::LoadKind::I32, v, p, 0);
+        b.li(y, 7);
+        b.bin(BinOp::Add, ValKind::W, z, v, y); // first use of v
+        b.ret_val(ValKind::W, z);
+        assert_eq!(schedule_for_fusion(&mut b), 1);
+        let use_at = b
+            .insns
+            .iter()
+            .position(|i| i.op == IOp::Bin(BinOp::Add))
+            .expect("add");
+        assert!(
+            matches!(b.insns[use_at - 1].op, IOp::Load(_)),
+            "load adjacent to its consumer"
+        );
+    }
+
+    #[test]
+    fn schedule_never_crosses_stores_calls_or_faulting_ops() {
+        // The compare is separated from its branch by a store, a call,
+        // and a division — none may be crossed.
+        let mut b = IcodeBuf::new();
+        let l = b.label();
+        let x = b.temp(ValKind::W);
+        let p = b.temp(ValKind::P);
+        let c = b.temp(ValKind::W);
+        b.li(x, 1);
+        b.li(p, 0x2000);
+        b.bin(BinOp::Lt, ValKind::W, c, x, x);
+        b.store(tcc_vcode::ops::StoreKind::I32, x, p, 0);
+        b.br_true(c, l);
+        let before = b.insns.clone();
+        assert_eq!(schedule_for_fusion(&mut b), 0, "store is a barrier");
+        assert_eq!(b.insns, before);
+
+        let mut b2 = IcodeBuf::new();
+        let l2 = b2.label();
+        let x2 = b2.temp(ValKind::W);
+        let c2 = b2.temp(ValKind::W);
+        let d2 = b2.temp(ValKind::W);
+        b2.li(x2, 1);
+        b2.bin(BinOp::Lt, ValKind::W, c2, x2, x2);
+        b2.bin(BinOp::Div, ValKind::W, d2, x2, x2); // may trap
+        b2.br_true(c2, l2);
+        b2.bind(l2);
+        b2.ret_val(ValKind::W, d2);
+        assert_eq!(schedule_for_fusion(&mut b2), 0, "div is a barrier");
+    }
+
+    #[test]
+    fn schedule_respects_data_dependences() {
+        // c's definition cannot sink past an instruction that reads c.
+        let mut b = IcodeBuf::new();
+        let l = b.label();
+        let x = b.temp(ValKind::W);
+        let c = b.temp(ValKind::W);
+        let y = b.temp(ValKind::W);
+        b.li(x, 1);
+        b.bin(BinOp::Lt, ValKind::W, c, x, x);
+        b.bin(BinOp::Add, ValKind::W, y, c, x); // reads c
+        b.br_true(c, l);
+        b.bind(l);
+        b.ret_val(ValKind::W, y);
+        assert_eq!(schedule_for_fusion(&mut b), 0);
+    }
+
+    #[test]
+    fn schedule_stops_at_block_boundaries() {
+        // A label between the compare and its branch blocks the sink:
+        // another block may jump in between.
+        let mut b = IcodeBuf::new();
+        let l = b.label();
+        let mid = b.label();
+        let x = b.temp(ValKind::W);
+        let c = b.temp(ValKind::W);
+        b.li(x, 1);
+        b.bin(BinOp::Lt, ValKind::W, c, x, x);
+        b.bind(mid);
+        b.li(x, 2);
+        b.br_true(c, l);
+        b.bind(l);
+        b.ret_val(ValKind::W, x);
+        assert_eq!(schedule_for_fusion(&mut b), 0);
+    }
+
+    #[test]
+    fn self_loop_jump_terminates_and_survives() {
+        let mut b = IcodeBuf::new();
+        let l = b.label();
+        b.bind(l);
+        b.jmp(l);
+        b.ret_void();
+        assert_eq!(thread_jumps(&mut b), 0);
+        let jmp = b.insns.iter().find(|i| i.op == IOp::Jmp).expect("jmp");
+        assert_eq!(jmp.imm, l.0 as i64);
     }
 }

@@ -280,9 +280,10 @@ impl CacheMetrics {
     }
 }
 
-/// Execution-engine counters reported by the VM's predecoded engine:
-/// how much code was translated into decoded buffers, how much fusion
-/// found, and which dispatch path retired instructions.
+/// Execution-engine counters reported by the VM's translated engines
+/// (predecoded and direct-threaded): how much code was translated, how
+/// much fusion found, how many scalar runs were fuel-batched, and
+/// which dispatch path retired instructions.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ExecMetrics {
     /// Functions translated into decoded buffers.
@@ -297,15 +298,24 @@ pub struct ExecMetrics {
     pub slow_insns: u64,
     /// Whole-cache invalidations (free / live patch / eviction).
     pub invalidations: u64,
+    /// Scalar runs fuel-charged in one batch by the threaded engine.
+    pub batched_blocks: u64,
+    /// Batched runs that exited early and un-charged their tail.
+    pub fuel_reconciliations: u64,
+    /// Direct-threaded handler-table size (0 until the threaded engine
+    /// has translated something).
+    pub handlers: u64,
 }
 
 impl ExecMetrics {
-    /// Fraction of retired instructions dispatched from decoded
-    /// buffers (1.0 when nothing has executed).
+    /// Fraction of retired instructions dispatched from translated
+    /// buffers. Reports `0.0` when nothing has executed — a session
+    /// that never ran code did not earn a perfect dispatch score
+    /// (matches [`CacheMetrics::hit_rate`]).
     pub fn hit_rate(&self) -> f64 {
         let total = self.fast_insns + self.slow_insns;
         if total == 0 {
-            1.0
+            0.0
         } else {
             self.fast_insns as f64 / total as f64
         }
@@ -320,6 +330,12 @@ impl ExecMetrics {
             ("fast_insns", Json::from(self.fast_insns)),
             ("slow_insns", Json::from(self.slow_insns)),
             ("invalidations", Json::from(self.invalidations)),
+            ("batched_blocks", Json::from(self.batched_blocks)),
+            (
+                "fuel_reconciliations",
+                Json::from(self.fuel_reconciliations),
+            ),
+            ("handlers", Json::from(self.handlers)),
             ("dispatch_hit_rate", Json::from(self.hit_rate())),
         ])
     }
@@ -430,14 +446,21 @@ mod tests {
 
     #[test]
     fn exec_hit_rate_guards_zero() {
+        // A session that never executed anything has no dispatch score
+        // to report — 0.0, not a vacuous 1.0 (same rule as
+        // CacheMetrics::hit_rate above).
         let m = ExecMetrics::default();
-        assert_eq!(m.hit_rate(), 1.0);
+        assert_eq!(m.hit_rate(), 0.0);
         let m = ExecMetrics {
             fast_insns: 3,
             slow_insns: 1,
             ..Default::default()
         };
         assert_eq!(m.hit_rate(), 0.75);
+        let text = m.to_json().to_string();
+        for key in ["batched_blocks", "fuel_reconciliations", "handlers"] {
+            assert!(text.contains(&format!("\"{key}\"")), "missing {key}");
+        }
     }
 
     #[test]

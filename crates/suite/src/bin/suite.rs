@@ -3,7 +3,7 @@
 //! Usage:
 //!
 //! ```text
-//! suite [all|table1|figure4|figure5|figure6|figure7|blur|sensitivity|smoke|cache|exec] [--small] [--smoke] [--json]
+//! suite [all|table1|figure4|figure5|figure6|figure7|blur|sensitivity|smoke|cache|exec|exec-check] [--small] [--smoke] [--json]
 //! ```
 //!
 //! With `--json`, each measured experiment also writes a machine-readable
@@ -11,15 +11,19 @@
 //! DESIGN.md for the schema). `smoke` runs one small benchmark through
 //! all five compilation paths (two static, three dynamic) and exits
 //! non-zero if any path disagrees — the CI gate. `exec` compares the
-//! three execution engines (decode-per-step, predecoded, predecoded +
-//! fused) on the loop-heavy kernels; `exec --smoke` runs the same
-//! comparison at a few reps with the equivalence asserts live.
+//! four execution engines (decode-per-step, predecoded, predecoded +
+//! fused, direct-threaded) on the loop-heavy kernels; `exec --smoke`
+//! runs the same comparison at a few reps with the equivalence asserts
+//! live. `exec-check [fresh [baseline]]` compares a freshly written
+//! `BENCH_exec.json` (default `./BENCH_exec.json`) against a committed
+//! baseline (default `baselines/BENCH_exec.json`) and exits non-zero
+//! when `speedup_fused` regresses more than 30% on any kernel.
 
 use tcc_obs::json::Json;
 use tcc_suite::{
-    benchmarks, cache_bench, cache_json, cache_report, exec_bench, exec_bench_smoke, exec_json,
-    exec_report, json_report, measure, ns_per_cycle, report, DynBackend, Measurement, BLUR_FULL,
-    BLUR_SMALL,
+    benchmarks, cache_bench, cache_json, cache_report, check_exec, exec_bench, exec_bench_smoke,
+    exec_json, exec_report, json_report, measure, ns_per_cycle, report, DynBackend, Measurement,
+    BLUR_FULL, BLUR_SMALL, DEFAULT_TOLERANCE,
 };
 
 fn write_json(name: &str, j: &Json) {
@@ -50,6 +54,7 @@ fn main() {
         "smoke",
         "cache",
         "exec",
+        "exec-check",
     ];
     if !known.contains(&what) {
         eprintln!("unknown experiment {what}; try {}", known.join("|"));
@@ -74,6 +79,38 @@ fn main() {
             m.dynamic[DynBackend::IcodeLinear as usize].run_cycles,
             m.dynamic[DynBackend::IcodeColor as usize].run_cycles,
         );
+        return;
+    }
+
+    if what == "exec-check" {
+        // Regression gate over the speedup ratios (wall-clock ns are
+        // machine-dependent; the ratios are not).
+        let positional: Vec<&String> = args
+            .iter()
+            .filter(|a| !a.starts_with("--") && a.as_str() != "exec-check")
+            .collect();
+        let fresh_path = positional
+            .first()
+            .map(|s| s.as_str())
+            .unwrap_or("BENCH_exec.json");
+        let base_path = positional
+            .get(1)
+            .map(|s| s.as_str())
+            .unwrap_or("baselines/BENCH_exec.json");
+        let read = |p: &str| {
+            std::fs::read_to_string(p).unwrap_or_else(|e| {
+                eprintln!("exec-check: cannot read {p}: {e}");
+                std::process::exit(2);
+            })
+        };
+        let (fresh, base) = (read(fresh_path), read(base_path));
+        match check_exec(&base, &fresh, DEFAULT_TOLERANCE) {
+            Ok(report) => print!("{report}"),
+            Err(report) => {
+                eprint!("{report}");
+                std::process::exit(1);
+            }
+        }
         return;
     }
 

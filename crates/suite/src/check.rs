@@ -1,0 +1,221 @@
+//! Benchmark regression gate: compare a freshly generated
+//! `BENCH_exec.json` against the committed baseline in `baselines/`.
+//!
+//! The gate reads only the files this suite itself writes
+//! ([`crate::exec_json`] serialized with `Json::pretty`), so a tiny
+//! line-oriented scanner suffices — one `"key": value` pair per line,
+//! rows delimited by their `"name"` keys. No general JSON parser is
+//! needed (and the workspace deliberately has no serde dependency).
+//!
+//! Wall-clock nanoseconds are machine- and load-dependent, so the gate
+//! compares *speedups* (ratios of engines run back-to-back on the same
+//! machine), which are stable. The CI contract: a fresh
+//! `speedup_fused` may not regress more than [`DEFAULT_TOLERANCE`]
+//! below the committed baseline for any kernel.
+
+use std::collections::BTreeMap;
+
+/// Maximum tolerated relative drop in `speedup_fused` (0.30 = fresh
+/// may be at worst 30% below baseline).
+pub const DEFAULT_TOLERANCE: f64 = 0.30;
+
+/// The per-kernel fields the gate reads from `BENCH_exec.json`.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CheckRow {
+    /// Kernel name.
+    pub name: String,
+    /// Predecoded+fused speedup over decode-per-step (the gated value).
+    pub speedup_fused: f64,
+    /// Direct-threaded speedup over decode-per-step (reported).
+    pub speedup_threaded: f64,
+    /// Threaded-over-fused ratio (reported).
+    pub speedup_threaded_vs_fused: f64,
+    /// ICODE fusion-aware scheduler pair gain (reported).
+    pub fused_pairs_icode_delta: i64,
+}
+
+/// Extracts one `"key": value` pair from a pretty-printed JSON line.
+/// Returns `None` for structural lines (braces, brackets).
+fn key_value(line: &str) -> Option<(&str, &str)> {
+    let line = line.trim().trim_end_matches(',');
+    let rest = line.strip_prefix('"')?;
+    let (key, rest) = rest.split_once('"')?;
+    let value = rest.strip_prefix(':')?.trim();
+    Some((key, value))
+}
+
+/// Scans the text of a `BENCH_exec.json` for its per-kernel rows.
+/// Unknown keys are ignored; a new row starts at each `"name"`.
+pub fn parse_exec_rows(text: &str) -> Vec<CheckRow> {
+    let mut rows: Vec<CheckRow> = Vec::new();
+    for line in text.lines() {
+        let Some((key, value)) = key_value(line) else {
+            continue;
+        };
+        if key == "name" {
+            let name = value.trim_matches('"').to_string();
+            // The top-level "experiment"/"description" strings never
+            // use the key "name", so every hit opens a kernel row.
+            rows.push(CheckRow {
+                name,
+                ..CheckRow::default()
+            });
+            continue;
+        }
+        let Some(row) = rows.last_mut() else { continue };
+        match key {
+            "speedup_fused" => row.speedup_fused = value.parse().unwrap_or(0.0),
+            "speedup_threaded" => row.speedup_threaded = value.parse().unwrap_or(0.0),
+            "speedup_threaded_vs_fused" => {
+                row.speedup_threaded_vs_fused = value.parse().unwrap_or(0.0);
+            }
+            "fused_pairs_icode_delta" => {
+                row.fused_pairs_icode_delta = value.parse().unwrap_or(0);
+            }
+            _ => {}
+        }
+    }
+    rows
+}
+
+/// Compares fresh exec-bench results against a baseline. Returns a
+/// human-readable report on success, or a description of every
+/// violated bound on failure. A kernel fails when its fresh
+/// `speedup_fused` drops more than `tolerance` (relative) below the
+/// baseline value; kernels present in the baseline but missing from
+/// the fresh run also fail. Fresh kernels without a baseline pass
+/// (they are new) and are noted in the report.
+///
+/// # Errors
+///
+/// A multi-line description of every regression found.
+pub fn check_exec(baseline: &str, fresh: &str, tolerance: f64) -> Result<String, String> {
+    let base: BTreeMap<String, CheckRow> = parse_exec_rows(baseline)
+        .into_iter()
+        .map(|r| (r.name.clone(), r))
+        .collect();
+    let fresh_rows = parse_exec_rows(fresh);
+    if fresh_rows.is_empty() {
+        return Err("fresh BENCH_exec.json has no kernel rows".into());
+    }
+    let fresh_names: Vec<&str> = fresh_rows.iter().map(|r| r.name.as_str()).collect();
+    let mut report = String::from(
+        "exec-check: fresh speedups vs committed baseline\n\
+         \n  bench     fused(base)  fused(fresh)   thread(fresh)  t/f     icodeD\n",
+    );
+    let mut failures = String::new();
+    for f in &fresh_rows {
+        let b = base.get(&f.name);
+        let base_fused = b.map_or(0.0, |b| b.speedup_fused);
+        report.push_str(&format!(
+            "  {:7}   {:9.2}x   {:10.2}x   {:11.2}x  {:5.2}x   {:+5}{}\n",
+            f.name,
+            base_fused,
+            f.speedup_fused,
+            f.speedup_threaded,
+            f.speedup_threaded_vs_fused,
+            f.fused_pairs_icode_delta,
+            if b.is_none() { "   (no baseline)" } else { "" },
+        ));
+        if let Some(b) = b {
+            let floor = b.speedup_fused * (1.0 - tolerance);
+            if f.speedup_fused < floor {
+                failures.push_str(&format!(
+                    "  {}: speedup_fused {:.2}x regressed below {:.2}x \
+                     (baseline {:.2}x - {:.0}% tolerance)\n",
+                    f.name,
+                    f.speedup_fused,
+                    floor,
+                    b.speedup_fused,
+                    tolerance * 100.0,
+                ));
+            }
+        }
+    }
+    for name in base.keys() {
+        if !fresh_names.contains(&name.as_str()) {
+            failures.push_str(&format!(
+                "  {name}: present in baseline, missing from fresh run\n"
+            ));
+        }
+    }
+    if failures.is_empty() {
+        Ok(report)
+    } else {
+        Err(format!("{report}\nREGRESSIONS:\n{failures}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec_bench::ExecBenchRow;
+    use crate::exec_json;
+
+    fn sample_row(name: &'static str, decode_ns: u64, fused_ns: u64) -> ExecBenchRow {
+        ExecBenchRow {
+            name,
+            reps: 10,
+            decode_ns,
+            predecoded_ns: fused_ns + 100,
+            fused_ns,
+            threaded_ns: fused_ns / 2,
+            cycles: 1000,
+            insns: 900,
+            fused_pairs: 12,
+            hit_rate: 1.0,
+            batched_blocks: 40,
+            fused_pairs_icode: 9,
+            fused_pairs_icode_unsched: 7,
+        }
+    }
+
+    #[test]
+    fn roundtrips_through_the_emitted_json() {
+        let rows = vec![sample_row("hash", 4000, 1000), sample_row("ms", 9000, 2000)];
+        let text = exec_json(&rows).pretty();
+        let parsed = parse_exec_rows(&text);
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].name, "hash");
+        assert!((parsed[0].speedup_fused - 4.0).abs() < 1e-9);
+        assert!((parsed[1].speedup_threaded - 9.0).abs() < 1e-9);
+        assert!((parsed[0].speedup_threaded_vs_fused - 2.0).abs() < 1e-9);
+        assert_eq!(parsed[0].fused_pairs_icode_delta, 2);
+    }
+
+    #[test]
+    fn passes_within_tolerance_and_reports() {
+        let base = exec_json(&[sample_row("hash", 4000, 1000)]).pretty();
+        // 4.0x baseline; fresh 3.2x is a 20% drop — inside 30%.
+        let fresh = exec_json(&[sample_row("hash", 3200, 1000)]).pretty();
+        let report = check_exec(&base, &fresh, DEFAULT_TOLERANCE).expect("within tolerance");
+        assert!(report.contains("hash"));
+    }
+
+    #[test]
+    fn fails_beyond_tolerance() {
+        let base = exec_json(&[sample_row("hash", 4000, 1000)]).pretty();
+        // Fresh 2.0x vs baseline 4.0x: a 50% drop.
+        let fresh = exec_json(&[sample_row("hash", 2000, 1000)]).pretty();
+        let err = check_exec(&base, &fresh, DEFAULT_TOLERANCE).expect_err("regression");
+        assert!(err.contains("REGRESSIONS"), "{err}");
+        assert!(err.contains("hash"), "{err}");
+    }
+
+    #[test]
+    fn fails_on_missing_kernel_and_tolerates_new_ones() {
+        let base = exec_json(&[sample_row("hash", 4000, 1000)]).pretty();
+        let fresh = exec_json(&[sample_row("ms", 4000, 1000)]).pretty();
+        let err = check_exec(&base, &fresh, DEFAULT_TOLERANCE).expect_err("missing kernel");
+        assert!(err.contains("missing from fresh run"), "{err}");
+        // A fresh-only kernel alone is fine when the baseline is empty.
+        let empty = exec_json(&[]).pretty();
+        assert!(check_exec(&empty, &fresh, DEFAULT_TOLERANCE).is_ok());
+    }
+
+    #[test]
+    fn empty_fresh_is_an_error() {
+        let base = exec_json(&[sample_row("hash", 4000, 1000)]).pretty();
+        assert!(check_exec(&base, "{}", DEFAULT_TOLERANCE).is_err());
+    }
+}

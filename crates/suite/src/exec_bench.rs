@@ -1,20 +1,25 @@
 //! Execution-engine benchmark: decode-per-step vs predecoded vs
-//! predecoded+fused.
+//! predecoded+fused vs direct-threaded.
 //!
 //! The paper's premise — pay translation cost once per code body, not
 //! per execution — applies to the VM itself: the reference interpreter
 //! re-fetches, bounds/liveness-checks, decodes, and cost-looks-up every
 //! executed instruction, while the predecoded engine does all of that
-//! once per sealed function. This experiment drives the loop-heavy
-//! suite kernels through all three engines, asserts they are
+//! once per sealed function, and the direct-threaded engine further
+//! replaces the per-slot `match` with a handler-pointer jump and
+//! charges fuel per basic block. This experiment drives the loop-heavy
+//! suite kernels through all four engines, asserts they are
 //! observationally identical (result checksum, modeled cycles, retired
 //! instructions — the differential contract), and reports wall-clock
-//! speedups. Emitted as `BENCH_exec.json` by the suite binary.
+//! speedups. It also measures the ICODE fusion-aware scheduler's
+//! effect: superinstruction pairs found in ICODE-generated code with
+//! the scheduler on vs off. Emitted as `BENCH_exec.json` by the suite
+//! binary.
 
 use std::time::Instant;
 
 use crate::programs::{benchmarks, BenchDef, BLUR_SMALL};
-use tcc::{Config, ExecEngine, Session};
+use tcc::{Backend, Config, ExecEngine, Session, Strategy};
 use tcc_obs::json::Json;
 
 /// The loop-heavy kernels measured (dispatch-bound inner loops).
@@ -29,6 +34,7 @@ enum Variant {
     Decode,
     Predecoded,
     Fused,
+    Threaded,
 }
 
 impl Variant {
@@ -37,6 +43,7 @@ impl Variant {
             Variant::Decode => ExecEngine::DecodePerStep,
             Variant::Predecoded => ExecEngine::Predecoded { fuse: false },
             Variant::Fused => ExecEngine::Predecoded { fuse: true },
+            Variant::Threaded => ExecEngine::Threaded,
         }
     }
 }
@@ -54,6 +61,8 @@ pub struct ExecBenchRow {
     pub predecoded_ns: u64,
     /// Wall-clock ns for the predecoded engine, fusion on.
     pub fused_ns: u64,
+    /// Wall-clock ns for the direct-threaded engine.
+    pub threaded_ns: u64,
     /// Modeled cycles over the timed reps — identical across engines by
     /// the equivalence contract (asserted).
     pub cycles: u64,
@@ -63,6 +72,15 @@ pub struct ExecBenchRow {
     pub fused_pairs: u64,
     /// Fused engine's dispatch hit rate (fast-path fraction).
     pub hit_rate: f64,
+    /// Basic blocks whose fuel was charged in one batch by the threaded
+    /// engine over the timed reps.
+    pub batched_blocks: u64,
+    /// Superinstruction pairs found in ICODE-backend translations with
+    /// the fusion-aware scheduler ON.
+    pub fused_pairs_icode: u64,
+    /// Same measurement with the scheduler OFF (the delta is the
+    /// scheduler's gain).
+    pub fused_pairs_icode_unsched: u64,
 }
 
 impl ExecBenchRow {
@@ -75,6 +93,23 @@ impl ExecBenchRow {
     pub fn speedup_fused(&self) -> f64 {
         self.decode_ns as f64 / self.fused_ns.max(1) as f64
     }
+
+    /// Wall-clock speedup of direct-threading over decode-per-step.
+    pub fn speedup_threaded(&self) -> f64 {
+        self.decode_ns as f64 / self.threaded_ns.max(1) as f64
+    }
+
+    /// Wall-clock speedup of direct-threading over the fused engine —
+    /// the tentpole claim (>= 1.2x on most kernels).
+    pub fn speedup_threaded_vs_fused(&self) -> f64 {
+        self.fused_ns as f64 / self.threaded_ns.max(1) as f64
+    }
+
+    /// Extra superinstruction pairs the ICODE fusion-aware scheduler
+    /// exposed (scheduler on minus off).
+    pub fn fused_pairs_icode_delta(&self) -> i64 {
+        self.fused_pairs_icode as i64 - self.fused_pairs_icode_unsched as i64
+    }
 }
 
 struct Timed {
@@ -84,6 +119,7 @@ struct Timed {
     checksum: u64,
     fused_pairs: u64,
     hit_rate: f64,
+    batched_blocks: u64,
 }
 
 fn make_session(b: &BenchDef, variant: Variant) -> Session {
@@ -115,7 +151,28 @@ fn drive(b: &BenchDef, variant: Variant, reps: u64) -> Timed {
         checksum,
         fused_pairs: exec.fused_pairs,
         hit_rate: exec.hit_rate(),
+        batched_blocks: exec.batched_blocks,
     }
+}
+
+/// Superinstruction pairs found when the kernel's dynamic code comes
+/// from the ICODE back end, with the fusion-aware scheduler on or off.
+/// Run under the fused engine (the pairer) for one execution — pair
+/// counts are a translation-time property, independent of rep count.
+fn icode_fused_pairs(b: &BenchDef, schedule: bool) -> u64 {
+    let config = Config {
+        backend: Backend::Icode {
+            strategy: Strategy::LinearScan,
+        },
+        icode_schedule: schedule,
+        ..Config::default()
+    };
+    let mut s = Session::new(b.src, config).expect("benchmark source compiles");
+    s.vm.set_engine(ExecEngine::Predecoded { fuse: true });
+    (b.setup)(&mut s);
+    let fp = (b.compile_dyn)(&mut s);
+    (b.run_dyn)(&mut s, fp);
+    s.metrics().exec.fused_pairs
 }
 
 /// Picks a rep count so the reference engine's timed region lands near
@@ -141,13 +198,18 @@ fn pick_reps(b: &BenchDef, target_ns: u64) -> u64 {
     }
 }
 
-/// Runs one benchmark through all three engines at `reps` repetitions,
+/// Runs one benchmark through all four engines at `reps` repetitions,
 /// asserting the observational-equivalence contract.
 fn compare(b: &BenchDef, reps: u64) -> ExecBenchRow {
     let decode = drive(b, Variant::Decode, reps);
     let predecoded = drive(b, Variant::Predecoded, reps);
     let fused = drive(b, Variant::Fused, reps);
-    for (label, t) in [("predecoded", &predecoded), ("fused", &fused)] {
+    let threaded = drive(b, Variant::Threaded, reps);
+    for (label, t) in [
+        ("predecoded", &predecoded),
+        ("fused", &fused),
+        ("threaded", &threaded),
+    ] {
         assert_eq!(
             (t.checksum, t.cycles, t.insns),
             (decode.checksum, decode.cycles, decode.insns),
@@ -161,10 +223,14 @@ fn compare(b: &BenchDef, reps: u64) -> ExecBenchRow {
         decode_ns: decode.ns,
         predecoded_ns: predecoded.ns,
         fused_ns: fused.ns,
+        threaded_ns: threaded.ns,
         cycles: decode.cycles,
         insns: decode.insns,
         fused_pairs: fused.fused_pairs,
         hit_rate: fused.hit_rate,
+        batched_blocks: threaded.batched_blocks,
+        fused_pairs_icode: icode_fused_pairs(b, true),
+        fused_pairs_icode_unsched: icode_fused_pairs(b, false),
     }
 }
 
@@ -193,7 +259,7 @@ pub fn exec_bench() -> Vec<ExecBenchRow> {
         .collect()
 }
 
-/// Smoke run: a few reps of every kernel through all three engines with
+/// Smoke run: a few reps of every kernel through all four engines with
 /// the equivalence asserts live — the CI differential gate. Timing
 /// numbers are not meaningful at this size.
 pub fn exec_bench_smoke() -> Vec<ExecBenchRow> {
@@ -211,12 +277,28 @@ pub fn exec_json(rows: &[ExecBenchRow]) -> Json {
                 ("decode_ns", Json::from(r.decode_ns)),
                 ("predecoded_ns", Json::from(r.predecoded_ns)),
                 ("fused_ns", Json::from(r.fused_ns)),
+                ("threaded_ns", Json::from(r.threaded_ns)),
                 ("cycles", Json::from(r.cycles)),
                 ("insns", Json::from(r.insns)),
                 ("fused_pairs", Json::from(r.fused_pairs)),
+                ("batched_blocks", Json::from(r.batched_blocks)),
+                ("fused_pairs_icode", Json::from(r.fused_pairs_icode)),
+                (
+                    "fused_pairs_icode_unsched",
+                    Json::from(r.fused_pairs_icode_unsched),
+                ),
+                (
+                    "fused_pairs_icode_delta",
+                    Json::from(r.fused_pairs_icode_delta()),
+                ),
                 ("dispatch_hit_rate", Json::from(r.hit_rate)),
                 ("speedup_predecoded", Json::from(r.speedup_predecoded())),
                 ("speedup_fused", Json::from(r.speedup_fused())),
+                ("speedup_threaded", Json::from(r.speedup_threaded())),
+                (
+                    "speedup_threaded_vs_fused",
+                    Json::from(r.speedup_threaded_vs_fused()),
+                ),
             ])
         })
         .collect();
@@ -226,7 +308,8 @@ pub fn exec_json(rows: &[ExecBenchRow]) -> Json {
             "description",
             Json::from(
                 "execution wall-clock: decode-per-step vs predecoded vs predecoded+fused \
-                 (identical modeled cycles/insns asserted)",
+                 vs direct-threaded (identical modeled cycles/insns asserted); \
+                 fused_pairs_icode_* measure the ICODE fusion-aware scheduler",
             ),
         ),
         ("rows", Json::Arr(rows)),
@@ -237,18 +320,23 @@ pub fn exec_json(rows: &[ExecBenchRow]) -> Json {
 pub fn exec_report(rows: &[ExecBenchRow]) -> String {
     let mut out = String::new();
     out.push_str("Execution engines: wall-clock per kernel (identical modeled cycles)\n\n");
-    out.push_str("  bench     reps   decode (ns)   predec (ns)   fused (ns)   predec   fused   pairs   hit\n");
+    out.push_str(
+        "  bench     reps   decode (ns)    fused (ns)   threaded (ns)   predec   fused   thread   t/f     pairs   icodeD   hit\n",
+    );
     for r in rows {
         out.push_str(&format!(
-            "  {:7} {:6}   {:11}   {:11}   {:10}   {:5.2}x  {:5.2}x   {:5}   {:4.2}\n",
+            "  {:7} {:6}   {:11}   {:11}   {:13}   {:5.2}x  {:5.2}x  {:5.2}x  {:5.2}x   {:5}   {:+6}   {:4.2}\n",
             r.name,
             r.reps,
             r.decode_ns,
-            r.predecoded_ns,
             r.fused_ns,
+            r.threaded_ns,
             r.speedup_predecoded(),
             r.speedup_fused(),
+            r.speedup_threaded(),
+            r.speedup_threaded_vs_fused(),
             r.fused_pairs,
+            r.fused_pairs_icode_delta(),
             r.hit_rate,
         ));
     }
@@ -269,6 +357,11 @@ mod tests {
         assert_eq!(row.reps, 3);
         assert!(row.fused_pairs > 0, "fusion found no pairs: {row:?}");
         assert!(row.hit_rate > 0.9, "dispatch mostly fast: {row:?}");
+        assert!(row.batched_blocks > 0, "threaded engine batched no blocks");
+        assert!(
+            row.fused_pairs_icode >= row.fused_pairs_icode_unsched,
+            "scheduler must never lose pairs: {row:?}"
+        );
     }
 
     #[test]
@@ -279,21 +372,34 @@ mod tests {
             decode_ns: 4000,
             predecoded_ns: 1500,
             fused_ns: 1000,
+            threaded_ns: 500,
             cycles: 77,
             insns: 42,
             fused_pairs: 5,
             hit_rate: 0.99,
+            batched_blocks: 12,
+            fused_pairs_icode: 9,
+            fused_pairs_icode_unsched: 7,
         }];
         let text = exec_json(&rows).to_string();
         for key in [
             "experiment",
             "decode_ns",
+            "threaded_ns",
+            "batched_blocks",
+            "fused_pairs_icode",
+            "fused_pairs_icode_delta",
             "speedup_predecoded",
             "speedup_fused",
+            "speedup_threaded",
+            "speedup_threaded_vs_fused",
             "dispatch_hit_rate",
         ] {
             assert!(text.contains(&format!("\"{key}\"")), "missing {key}");
         }
         assert!((rows[0].speedup_fused() - 4.0).abs() < 1e-12);
+        assert!((rows[0].speedup_threaded() - 8.0).abs() < 1e-12);
+        assert!((rows[0].speedup_threaded_vs_fused() - 2.0).abs() < 1e-12);
+        assert_eq!(rows[0].fused_pairs_icode_delta(), 2);
     }
 }

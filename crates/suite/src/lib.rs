@@ -18,6 +18,7 @@
 
 pub mod cache_bench;
 pub mod calibrate;
+pub mod check;
 pub mod exec_bench;
 pub mod json_report;
 pub mod measure;
@@ -27,6 +28,7 @@ pub mod report;
 
 pub use cache_bench::{cache_bench, cache_json, cache_report};
 pub use calibrate::ns_per_cycle;
+pub use check::{check_exec, parse_exec_rows, CheckRow, DEFAULT_TOLERANCE};
 pub use exec_bench::{exec_bench, exec_bench_smoke, exec_json, exec_report, ExecBenchRow};
 pub use measure::{measure, measure_with, DynBackend, Measurement};
 pub use programs::{benchmarks, BenchDef, BLUR_FULL, BLUR_SMALL};

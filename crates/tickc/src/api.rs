@@ -64,10 +64,20 @@ pub struct Config {
     /// Seed for random placement of dynamic code (the paper's §4.4
     /// cache-conscious jitter). `None` = deterministic layout.
     pub placement_jitter: Option<u64>,
-    /// Execute through the predecoded engine (per-function translation
-    /// cache with superinstruction fusion). Observationally identical
-    /// to decode-per-step; off = the reference interpreter.
+    /// Execute through a translated engine (per-function translation
+    /// cache). Observationally identical to decode-per-step; off = the
+    /// reference interpreter. The engine picked is [`ExecEngine`]'s
+    /// default — direct-threaded dispatch with basic-block fuel
+    /// batching — unless `engine` overrides it.
     pub predecode: bool,
+    /// Explicit execution-engine override; `None` defers to
+    /// `predecode`. Use this to pin the predecoded (fused/unfused)
+    /// engine for comparisons.
+    pub engine: Option<ExecEngine>,
+    /// Run the ICODE fusion-aware scheduler (sinks pure defs next to
+    /// branches/consumers so superinstruction pairing finds more
+    /// adjacencies). Ablation knob; on by default.
+    pub icode_schedule: bool,
 }
 
 impl Default for Config {
@@ -82,6 +92,8 @@ impl Default for Config {
             code_budget: None,
             placement_jitter: None,
             predecode: true,
+            engine: None,
+            icode_schedule: true,
         }
     }
 }
@@ -139,6 +151,7 @@ impl Session {
             config.backend,
         );
         rt.echo = config.echo;
+        rt.icode_schedule = config.icode_schedule;
         rt.cache = config
             .cache
             .then(|| tcc_cache::CodeCache::with_budget(config.code_budget));
@@ -148,11 +161,11 @@ impl Session {
         }
         let mut vm = Vm::from_parts(code, image.mem.clone(), rt);
         vm.set_cost_model(config.cost);
-        vm.set_engine(if config.predecode {
-            ExecEngine::Predecoded { fuse: true }
+        vm.set_engine(config.engine.unwrap_or(if config.predecode {
+            ExecEngine::default()
         } else {
             ExecEngine::DecodePerStep
-        });
+        }));
         Ok(Session {
             vm,
             image,
@@ -256,6 +269,9 @@ impl Session {
                     fast_insns: s.fast_insns,
                     slow_insns: s.slow_insns,
                     invalidations: s.invalidations,
+                    batched_blocks: s.batched_blocks,
+                    fuel_reconciliations: s.fuel_reconciliations,
+                    handlers: s.handlers,
                 }
             },
             cache: self

@@ -99,6 +99,7 @@ fn run_backend(
     table: Option<&TranslatorTable>,
     cspec_first: bool,
     enable_unroll: bool,
+    icode_schedule: bool,
     input: DynInput<'_>,
     mem: &mut Memory,
     code: &mut CodeSpace,
@@ -140,6 +141,7 @@ fn run_backend(
             let ir_insns = buf.emitted();
             let keys: Vec<OpKey> = buf.insns.iter().map(key_of).collect();
             let mut compiler = IcodeCompiler::new(*strategy);
+            compiler.schedule_fusion = icode_schedule;
             if let Some(table) = table {
                 compiler.table = table.clone();
             }
@@ -184,6 +186,9 @@ pub struct TccRuntime {
     pub cspec_first: bool,
     /// Dynamic loop unrolling (§4.4; ablation knob).
     pub enable_unroll: bool,
+    /// Run the ICODE fusion-aware scheduler (ablation knob for
+    /// measuring the superinstruction fused-pair gain).
+    pub icode_schedule: bool,
     /// Translator keys observed across ICODE compiles — feed to
     /// [`TranslatorTable::from_keys`] to build the pruned back end
     /// (the §5.2 "link-time" analysis, observed at run time here).
@@ -217,6 +222,7 @@ impl TccRuntime {
             echo: false,
             cspec_first: true,
             enable_unroll: true,
+            icode_schedule: true,
             observed_keys: std::collections::BTreeSet::new(),
             cache: Some(CodeCache::new()),
             tick_cacheable: HashMap::new(),
@@ -305,12 +311,14 @@ impl TccRuntime {
         let backend = &self.backend;
         let table = self.table.as_ref();
         let (cspec_first, enable_unroll) = (self.cspec_first, self.enable_unroll);
+        let icode_schedule = self.icode_schedule;
         let outcome = if depth <= INLINE_COMPOSE_DEPTH {
             run_backend(
                 backend,
                 table,
                 cspec_first,
                 enable_unroll,
+                icode_schedule,
                 input,
                 mem,
                 code,
@@ -330,6 +338,7 @@ impl TccRuntime {
                             table,
                             cspec_first,
                             enable_unroll,
+                            icode_schedule,
                             input,
                             mem,
                             code,

@@ -92,7 +92,7 @@ pub struct Vm<H = NoHost> {
     pub(crate) cost: CostModel,
     pub(crate) fuel: u64,
     pub(crate) engine: ExecEngine,
-    pub(crate) trans: TransCache,
+    pub(crate) trans: TransCache<H>,
 }
 
 impl Vm<NoHost> {
@@ -271,6 +271,7 @@ impl<H: HostCall> Vm<H> {
         match self.engine {
             ExecEngine::DecodePerStep => self.run_decode_per_step(pc),
             ExecEngine::Predecoded { fuse } => self.run_predecoded(pc, fuse),
+            ExecEngine::Threaded => self.run_threaded(pc),
         }
     }
 

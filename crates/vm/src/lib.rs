@@ -59,6 +59,7 @@ pub mod isa;
 pub mod mem;
 pub mod predecode;
 pub mod regs;
+pub mod threaded;
 
 pub use code::{CodeSpace, CodeStats, FuncHandle, CODE_BASE};
 pub use cost::CostModel;
@@ -68,3 +69,4 @@ pub use interp::{ExitStatus, Vm};
 pub use isa::{FReg, Insn, Op, Reg};
 pub use mem::Memory;
 pub use predecode::{ExecEngine, ExecStats};
+pub use threaded::{handler_table_sizes, HANDLER_TABLE_SIZE};

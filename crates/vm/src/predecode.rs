@@ -45,7 +45,7 @@ use crate::interp::{branch_taken, exec_scalar, ExitStatus, Step, Vm, RETURN_SENT
 use crate::isa::{Insn, Op};
 
 /// Which execution engine [`Vm::run`] dispatches through.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum ExecEngine {
     /// Fetch + bounds/liveness check + decode + cost lookup on every
     /// instruction. The reference semantics.
@@ -57,12 +57,10 @@ pub enum ExecEngine {
         /// Enable superinstruction fusion over the decoded buffer.
         fuse: bool,
     },
-}
-
-impl Default for ExecEngine {
-    fn default() -> Self {
-        ExecEngine::Predecoded { fuse: true }
-    }
+    /// Direct-threaded dispatch (a handler function pointer per slot)
+    /// with basic-block fuel batching. See [`crate::threaded`].
+    #[default]
+    Threaded,
 }
 
 /// Counters for the execution engine: how much was translated and how
@@ -83,36 +81,71 @@ pub struct ExecStats {
     pub slow_insns: u64,
     /// Whole-cache invalidations triggered by a live-epoch change.
     pub invalidations: u64,
+    /// Scalar runs whose whole cost was charged in one batch by the
+    /// threaded engine ([`crate::threaded`]).
+    pub batched_blocks: u64,
+    /// Batched runs that exited early (mid-run fault) and had their
+    /// unexecuted tail un-charged.
+    pub fuel_reconciliations: u64,
+    /// Size of the direct-threaded handler table; `0` until the
+    /// threaded engine has translated something.
+    pub handlers: u64,
 }
 
 impl ExecStats {
-    /// Fraction of retired instructions dispatched from decoded
-    /// buffers. `1.0` when nothing has executed yet (vacuously all
-    /// fast).
+    /// Fraction of retired instructions dispatched from translated
+    /// buffers. `0.0` when nothing has executed yet (matching
+    /// `CacheMetrics::hit_rate`: no traffic is not a perfect score).
     pub fn hit_rate(&self) -> f64 {
         let total = self.fast_insns + self.slow_insns;
         if total == 0 {
-            1.0
+            0.0
         } else {
             self.fast_insns as f64 / total as f64
         }
     }
 }
 
-/// Per-VM translation cache: decoded buffers indexed by code word,
-/// valid for a single [`CodeSpace::live_epoch`].
-#[derive(Debug, Default)]
-pub(crate) struct TransCache {
+/// Per-VM translation cache: decoded and threaded buffers indexed by
+/// code word, valid for a single [`CodeSpace::live_epoch`].
+///
+/// Generic over the host because the threaded buffers store handler
+/// function pointers typed over `Vm<H>`.
+pub(crate) struct TransCache<H> {
     /// The `live_epoch` the cached translations were made under.
-    epoch: u64,
-    /// Word index → translation covering that word (shared across the
-    /// function's whole range).
+    pub(crate) epoch: u64,
+    /// Word index → decoded translation covering that word (shared
+    /// across the function's whole range).
     map: Vec<Option<Arc<DecodedFn>>>,
+    /// Word index → direct-threaded translation covering that word.
+    pub(crate) tmap: Vec<Option<Arc<crate::threaded::ThreadedFn<H>>>>,
     pub(crate) stats: ExecStats,
 }
 
-impl TransCache {
-    pub(crate) fn with_epoch(epoch: u64) -> TransCache {
+impl<H> std::fmt::Debug for TransCache<H> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TransCache")
+            .field("epoch", &self.epoch)
+            .field("map", &self.map.len())
+            .field("tmap", &self.tmap.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl<H> Default for TransCache<H> {
+    fn default() -> Self {
+        TransCache {
+            epoch: 0,
+            map: Vec::new(),
+            tmap: Vec::new(),
+            stats: ExecStats::default(),
+        }
+    }
+}
+
+impl<H> TransCache<H> {
+    pub(crate) fn with_epoch(epoch: u64) -> TransCache<H> {
         TransCache {
             epoch,
             ..TransCache::default()
@@ -122,6 +155,9 @@ impl TransCache {
     /// Drops every cached translation (counters are kept).
     pub(crate) fn clear(&mut self) {
         for slot in &mut self.map {
+            *slot = None;
+        }
+        for slot in &mut self.tmap {
             *slot = None;
         }
     }
@@ -291,6 +327,13 @@ fn translate(
 /// and successor are fusable gets the fused form. Slots are never
 /// consumed — entry `i+1` stays valid for control transfers into it —
 /// so fused pairs may overlap; execution simply skips the middle slot.
+///
+/// Scalar+scalar always fuses. Scalar+branch fuses only when the
+/// scalar **feeds** the branch (its destination is one of the branch's
+/// compared registers) — the compare-and-branch idiom `FusedBr` is
+/// named for. The feed requirement is what makes the ICODE back end's
+/// fusion-aware scheduler measurable: sinking a condition's definition
+/// onto its branch turns a non-fusable adjacency into a fusable one.
 fn fuse_pairs(raw: &[DInsn], stats: &mut ExecStats) -> Vec<DInsn> {
     let mut out = Vec::with_capacity(raw.len());
     for i in 0..raw.len() {
@@ -306,7 +349,7 @@ fn fuse_pairs(raw: &[DInsn], stats: &mut ExecStats) -> Vec<DInsn> {
                     taken_cost,
                     target,
                 }),
-            ) => Some(DInsn::FusedBr {
+            ) if a.rd == rd || a.rd == rs1 => Some(DInsn::FusedBr {
                 a: *a,
                 op,
                 rd,
@@ -618,10 +661,11 @@ mod tests {
     use crate::interp::MachineState;
     use crate::regs::{A0, AT0, ZERO};
 
-    const ENGINES: [ExecEngine; 3] = [
+    const ENGINES: [ExecEngine; 4] = [
         ExecEngine::DecodePerStep,
         ExecEngine::Predecoded { fuse: false },
         ExecEngine::Predecoded { fuse: true },
+        ExecEngine::Threaded,
     ];
 
     /// sum(1..=n) by counted loop; exercises branch, ALU, and jump.
@@ -686,6 +730,7 @@ mod tests {
     fn fusion_actually_fuses_and_caches_are_reused() {
         let (cs, addr) = loop_code();
         let mut vm = Vm::new(cs, 1 << 20);
+        vm.set_engine(ExecEngine::Predecoded { fuse: true });
         vm.call(addr, &[10]).unwrap();
         let s1 = vm.exec_stats();
         assert_eq!(s1.translations, 1);

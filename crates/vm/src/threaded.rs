@@ -1,0 +1,804 @@
+//! The direct-threaded execution engine with basic-block fuel batching.
+//!
+//! The predecoded engine ([`crate::predecode`]) already hoists decode
+//! and cost lookup to translation time, but still pays a `match` over
+//! the decoded enum plus a fuel compare on every retired instruction.
+//! This engine removes both:
+//!
+//! * **Direct threading.** Translation stores a handler *function
+//!   pointer* in every slot (`TSlot::handler`), picked once per
+//!   instruction from a fixed handler table: one specialized executor
+//!   per scalar opcode (so `exec_scalar`'s 70-arm `match` constant-folds
+//!   away inside each), one handler per branch predicate, and one each
+//!   for jumps, calls, halt, host calls, and undecodable words. The run
+//!   loop is a tight `(slot.handler)(vm, tr, frame)` dispatch.
+//!
+//! * **Basic-block fuel batching.** Translation splits each function
+//!   into maximal straight-line scalar runs and stores, per slot, the
+//!   summed cycle cost of the run *suffix* starting there
+//!   (`TSlot::run_cost`) — so entering mid-run (branch targets,
+//!   return addresses) still sees a correct block summary. At run
+//!   entry, if the whole suffix fits in the remaining fuel it is
+//!   charged once and the constituent instructions execute with no
+//!   per-instruction fuel compare or counter update. Early exits
+//!   reconcile: a faulting instruction (bad address, division trap)
+//!   un-charges the unexecuted tail so observable `cycles`/`insns`
+//!   match the reference engine exactly, and a run whose cost does
+//!   *not* fit falls back to per-instruction charging so
+//!   [`VmError::OutOfFuel`] lands on the exact same instruction as
+//!   decode-per-step.
+//!
+//! # Equivalence contract
+//!
+//! Identical to the predecoded engine's: same results, same `cycles`,
+//! same `insns`, same exit status, same error at the same instruction,
+//! for every fuel budget. `tests/exec_differential.rs` sweeps fuel
+//! budgets across all engines to enforce this, including budgets that
+//! land exactly on block boundaries and mid-block.
+//!
+//! # Reconciliation rules
+//!
+//! With `run_cost` the summed cost of the scalar run suffix `[k0, n)`
+//! entered at slot `k0`:
+//!
+//! 1. `cycles + run_cost <= fuel`: charge `run_cost` up front
+//!    (`batched_blocks += 1`); no prefix of the run can exhaust fuel,
+//!    so constituents execute unchecked. If constituent `k` faults,
+//!    un-charge the suffix from `k` (the faulting instruction is
+//!    neither charged nor retired, as in the reference engine) and
+//!    count `fuel_reconciliations += 1`.
+//! 2. Otherwise: execute the run per-instruction in reference order
+//!    (execute, charge, retire, fuel-check) — exhaustion is exact.
+//! 3. Branches, jumps, calls, halt, and host calls always charge
+//!    individually; a host call flushes counters first (the host
+//!    observes and may mutate them) and re-checks the live epoch
+//!    after returning, exactly like the predecoded engine.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::code::{CodeSpace, CODE_BASE};
+use crate::cost::CostModel;
+use crate::error::VmError;
+use crate::host::HostCall;
+use crate::interp::{exec_scalar, ExitStatus, MachineState, Step, Vm, RETURN_SENTINEL};
+use crate::isa::{Insn, Op};
+
+/// Specialized scalar handlers (one per straight-line opcode).
+pub const SCALAR_HANDLERS: u64 = 70;
+/// Control handlers: the run-entry handler, ten branch predicates,
+/// jump/jal/jalr, halt, hcall, and the undecodable-word trap.
+pub const CONTROL_HANDLERS: u64 = 17;
+/// Total size of the direct-threaded handler table, reported in
+/// [`crate::predecode::ExecStats::handlers`] once the threaded engine
+/// has translated.
+pub const HANDLER_TABLE_SIZE: u64 = SCALAR_HANDLERS + CONTROL_HANDLERS;
+
+/// A scalar executor specialized to one opcode: `exec_scalar` with the
+/// `op` argument constant-folded away.
+type ScalarFn = fn(&mut MachineState, &SHalf) -> Result<(), VmError>;
+
+/// One instruction of a straight-line run: unpacked operands, the
+/// specialized executor, and the baked-in cycle cost.
+#[derive(Clone, Copy)]
+pub(crate) struct SHalf {
+    f: ScalarFn,
+    rd: u8,
+    rs1: u8,
+    rs2: u8,
+    imm: i32,
+    cost: u32,
+}
+
+/// Handler signature: executes the slot at `fr.i` (updating the frame
+/// in place) and says whether dispatch continues inside the buffer.
+type Handler<H> = fn(&mut Vm<H>, &ThreadedFn<H>, &mut Frame) -> Ctl;
+
+/// Handler outcome: keep threading, or leave the buffer with a result.
+enum Ctl {
+    Cont,
+    Exit(Result<Step, VmError>),
+}
+
+/// In-flight dispatch state, kept in locals (well, one struct of them)
+/// and flushed to [`MachineState`] on every exit edge.
+struct Frame {
+    /// Current buffer index.
+    i: usize,
+    /// Shadow of `state.cycles`.
+    cycles: u64,
+    /// Shadow of `state.insns`.
+    insns: u64,
+    /// `state.insns` as of the last flush (for fast_insns accounting).
+    entry_insns: u64,
+    /// The fuel budget (immutable during a run).
+    fuel: u64,
+}
+
+/// One translated slot: the handler pointer plus the operands it needs.
+/// Field meaning depends on the handler:
+///
+/// * scalar runs (`h_run`): `a`/`b` index the suffix `halves[a..a+b]`,
+///   `run_cost` is that suffix's summed cost;
+/// * branches: `rd`/`rs1` compared, `cost`/`taken_cost` charged,
+///   `target` is a pre-resolved buffer index;
+/// * `hcall`: `a` is the host-call number; traps: `a` is the opcode.
+pub(crate) struct TSlot<H> {
+    handler: Handler<H>,
+    a: u32,
+    b: u32,
+    cost: u32,
+    taken_cost: u32,
+    rd: u8,
+    rs1: u8,
+    target: i64,
+    run_cost: u64,
+}
+
+// Manual impls: `derive` would put an `H: Clone`/`H: Copy` bound on
+// them, but the slot only stores a *pointer* to a handler over `H`.
+impl<H> Clone for TSlot<H> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<H> Copy for TSlot<H> {}
+
+/// One function's direct-threaded form: one [`TSlot`] per code word
+/// (addressed by `(pc - base) / 4`) plus the dense scalar-run pool.
+pub(crate) struct ThreadedFn<H> {
+    /// Absolute address of slot index 0.
+    base: u64,
+    slots: Vec<TSlot<H>>,
+    /// All scalar instructions, in order; each run is a contiguous
+    /// range so batched execution iterates a plain slice.
+    halves: Vec<SHalf>,
+}
+
+impl<H> fmt::Debug for ThreadedFn<H> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ThreadedFn")
+            .field("base", &self.base)
+            .field("slots", &self.slots.len())
+            .field("halves", &self.halves.len())
+            .finish()
+    }
+}
+
+/// Returns the specialized executor for a scalar opcode. Each arm
+/// instantiates [`exec_scalar`] with a constant `Op`, so the inner
+/// dispatch `match` folds away and the handler body is just that
+/// opcode's semantics.
+fn scalar_fn(op: Op) -> ScalarFn {
+    macro_rules! h {
+        ($op:ident) => {{
+            fn go(st: &mut MachineState, s: &SHalf) -> Result<(), VmError> {
+                exec_scalar(st, Op::$op, s.rd, s.rs1, s.rs2, s.imm)
+            }
+            go
+        }};
+    }
+    match op {
+        Op::Nop => h!(Nop),
+        Op::Addw => h!(Addw),
+        Op::Subw => h!(Subw),
+        Op::Mulw => h!(Mulw),
+        Op::Divw => h!(Divw),
+        Op::Divuw => h!(Divuw),
+        Op::Remw => h!(Remw),
+        Op::Remuw => h!(Remuw),
+        Op::Addd => h!(Addd),
+        Op::Subd => h!(Subd),
+        Op::Muld => h!(Muld),
+        Op::Divd => h!(Divd),
+        Op::Divud => h!(Divud),
+        Op::Remd => h!(Remd),
+        Op::Remud => h!(Remud),
+        Op::And => h!(And),
+        Op::Or => h!(Or),
+        Op::Xor => h!(Xor),
+        Op::Sllw => h!(Sllw),
+        Op::Srlw => h!(Srlw),
+        Op::Sraw => h!(Sraw),
+        Op::Slld => h!(Slld),
+        Op::Srld => h!(Srld),
+        Op::Srad => h!(Srad),
+        Op::Seq => h!(Seq),
+        Op::Sne => h!(Sne),
+        Op::Sltw => h!(Sltw),
+        Op::Sltuw => h!(Sltuw),
+        Op::Sltd => h!(Sltd),
+        Op::Sltud => h!(Sltud),
+        Op::Addiw => h!(Addiw),
+        Op::Addid => h!(Addid),
+        Op::Andi => h!(Andi),
+        Op::Ori => h!(Ori),
+        Op::Xori => h!(Xori),
+        Op::Slliw => h!(Slliw),
+        Op::Srliw => h!(Srliw),
+        Op::Sraiw => h!(Sraiw),
+        Op::Sllid => h!(Sllid),
+        Op::Srlid => h!(Srlid),
+        Op::Sraid => h!(Sraid),
+        Op::Sethi => h!(Sethi),
+        Op::Lb => h!(Lb),
+        Op::Lbu => h!(Lbu),
+        Op::Lh => h!(Lh),
+        Op::Lhu => h!(Lhu),
+        Op::Lw => h!(Lw),
+        Op::Lwu => h!(Lwu),
+        Op::Ld => h!(Ld),
+        Op::Fld => h!(Fld),
+        Op::Sb => h!(Sb),
+        Op::Sh => h!(Sh),
+        Op::Sw => h!(Sw),
+        Op::Sd => h!(Sd),
+        Op::Fsd => h!(Fsd),
+        Op::Fadd => h!(Fadd),
+        Op::Fsub => h!(Fsub),
+        Op::Fmul => h!(Fmul),
+        Op::Fdiv => h!(Fdiv),
+        Op::Fneg => h!(Fneg),
+        Op::Fmov => h!(Fmov),
+        Op::Feq => h!(Feq),
+        Op::Flt => h!(Flt),
+        Op::Fle => h!(Fle),
+        Op::Cvtwd => h!(Cvtwd),
+        Op::Cvtdw => h!(Cvtdw),
+        Op::Cvtld => h!(Cvtld),
+        Op::Cvtdl => h!(Cvtdl),
+        Op::Fmvdx => h!(Fmvdx),
+        Op::Fmvxd => h!(Fmvxd),
+        // Control opcodes never reach here: translation routes them to
+        // their own handlers.
+        Op::Halt | Op::Hcall | Op::J | Op::Jal | Op::Jalr => unreachable!("control op {op:?}"),
+        op if op.is_branch() => unreachable!("branch op {op:?}"),
+        #[allow(unreachable_patterns)]
+        op => unreachable!("unrouted op {op:?}"),
+    }
+}
+
+/// Returns the handler for one branch predicate, with `branch_taken`'s
+/// dispatch constant-folded away.
+fn branch_fn<H: HostCall>(op: Op) -> Handler<H> {
+    macro_rules! b {
+        ($op:ident) => {{
+            fn go<H: HostCall>(vm: &mut Vm<H>, tr: &ThreadedFn<H>, fr: &mut Frame) -> Ctl {
+                let slot = &tr.slots[fr.i];
+                let x = vm.state.reg(slot.rd);
+                let y = vm.state.reg(slot.rs1);
+                let taken = crate::interp::branch_taken(Op::$op, x, y);
+                branch_common(vm, tr, fr, taken)
+            }
+            go::<H>
+        }};
+    }
+    match op {
+        Op::Beq => b!(Beq),
+        Op::Bne => b!(Bne),
+        Op::Bltw => b!(Bltw),
+        Op::Bgew => b!(Bgew),
+        Op::Bltuw => b!(Bltuw),
+        Op::Bgeuw => b!(Bgeuw),
+        Op::Bltd => b!(Bltd),
+        Op::Bged => b!(Bged),
+        Op::Bltud => b!(Bltud),
+        Op::Bgeud => b!(Bgeud),
+        op => unreachable!("not a branch: {op:?}"),
+    }
+}
+
+/// Writes the shadow counters back to machine state and accounts the
+/// retired instructions as fast-path. Idempotent.
+#[inline(always)]
+fn flush<H: HostCall>(vm: &mut Vm<H>, fr: &mut Frame) {
+    vm.state.cycles = fr.cycles;
+    vm.state.insns = fr.insns;
+    vm.trans.stats.fast_insns += fr.insns - fr.entry_insns;
+    fr.entry_insns = fr.insns;
+}
+
+/// Advances `n` slots, exiting at the pc past the end if the buffer is
+/// exhausted (mirrors the predecoded engine's `advance!`).
+#[inline(always)]
+fn advance<H: HostCall>(vm: &mut Vm<H>, tr: &ThreadedFn<H>, fr: &mut Frame, n: usize) -> Ctl {
+    fr.i += n;
+    if fr.i >= tr.slots.len() {
+        flush(vm, fr);
+        return Ctl::Exit(Ok(Step::At(tr.base.wrapping_add((fr.i as u64) * 4))));
+    }
+    Ctl::Cont
+}
+
+/// Transfers control to buffer index `t`: stays inside when it lands
+/// in-buffer, exits to the equivalent pc otherwise (negative indices
+/// wrap exactly like the reference engine's pc arithmetic).
+#[inline(always)]
+fn goto<H: HostCall>(vm: &mut Vm<H>, tr: &ThreadedFn<H>, fr: &mut Frame, t: i64) -> Ctl {
+    if (t as u64) < tr.slots.len() as u64 {
+        fr.i = t as usize;
+        Ctl::Cont
+    } else {
+        flush(vm, fr);
+        Ctl::Exit(Ok(Step::At(
+            tr.base.wrapping_add((t as u64).wrapping_mul(4)),
+        )))
+    }
+}
+
+/// Shared charge/retire/fuel-check/transfer tail of every branch
+/// handler.
+#[inline(always)]
+fn branch_common<H: HostCall>(
+    vm: &mut Vm<H>,
+    tr: &ThreadedFn<H>,
+    fr: &mut Frame,
+    taken: bool,
+) -> Ctl {
+    let slot = &tr.slots[fr.i];
+    fr.cycles += u64::from(if taken { slot.taken_cost } else { slot.cost });
+    fr.insns += 1;
+    if fr.cycles > fr.fuel {
+        flush(vm, fr);
+        return Ctl::Exit(Err(VmError::OutOfFuel));
+    }
+    if taken {
+        goto(vm, tr, fr, slot.target)
+    } else {
+        advance(vm, tr, fr, 1)
+    }
+}
+
+/// Scalar-run entry: the fuel-batching handler (reconciliation rules
+/// in the module docs).
+fn h_run<H: HostCall>(vm: &mut Vm<H>, tr: &ThreadedFn<H>, fr: &mut Frame) -> Ctl {
+    let slot = &tr.slots[fr.i];
+    let n = slot.b as usize;
+    let halves = &tr.halves[slot.a as usize..slot.a as usize + n];
+    if let Some(total) = fr.cycles.checked_add(slot.run_cost) {
+        if total <= fr.fuel {
+            vm.trans.stats.batched_blocks += 1;
+            fr.cycles = total;
+            for (k, s) in halves.iter().enumerate() {
+                if let Err(e) = (s.f)(&mut vm.state, s) {
+                    // Un-charge the unexecuted tail (the faulting
+                    // instruction included): observable counters must
+                    // match a reference engine that stopped here.
+                    let tail: u64 = halves[k..].iter().map(|h| u64::from(h.cost)).sum();
+                    fr.cycles -= tail;
+                    fr.insns += k as u64;
+                    vm.trans.stats.fuel_reconciliations += 1;
+                    flush(vm, fr);
+                    return Ctl::Exit(Err(e));
+                }
+            }
+            fr.insns += n as u64;
+            return advance(vm, tr, fr, n);
+        }
+    }
+    // The run does not fit (or the cycle counter would saturate):
+    // per-instruction reference order, so exhaustion is exact.
+    for s in halves {
+        if let Err(e) = (s.f)(&mut vm.state, s) {
+            flush(vm, fr);
+            return Ctl::Exit(Err(e));
+        }
+        fr.cycles += u64::from(s.cost);
+        fr.insns += 1;
+        if fr.cycles > fr.fuel {
+            flush(vm, fr);
+            return Ctl::Exit(Err(VmError::OutOfFuel));
+        }
+    }
+    advance(vm, tr, fr, n)
+}
+
+fn h_jump<H: HostCall>(vm: &mut Vm<H>, tr: &ThreadedFn<H>, fr: &mut Frame) -> Ctl {
+    let slot = &tr.slots[fr.i];
+    fr.cycles += u64::from(slot.cost);
+    fr.insns += 1;
+    if fr.cycles > fr.fuel {
+        flush(vm, fr);
+        return Ctl::Exit(Err(VmError::OutOfFuel));
+    }
+    goto(vm, tr, fr, slot.target)
+}
+
+fn h_jal<H: HostCall>(vm: &mut Vm<H>, tr: &ThreadedFn<H>, fr: &mut Frame) -> Ctl {
+    let slot = &tr.slots[fr.i];
+    vm.state
+        .set_reg(crate::regs::RA.0, tr.base + (fr.i as u64 + 1) * 4);
+    fr.cycles += u64::from(slot.cost);
+    fr.insns += 1;
+    if fr.cycles > fr.fuel {
+        flush(vm, fr);
+        return Ctl::Exit(Err(VmError::OutOfFuel));
+    }
+    goto(vm, tr, fr, slot.target)
+}
+
+fn h_jalr<H: HostCall>(vm: &mut Vm<H>, tr: &ThreadedFn<H>, fr: &mut Frame) -> Ctl {
+    let slot = &tr.slots[fr.i];
+    let target = vm.state.reg(slot.rs1);
+    vm.state.set_reg(slot.rd, tr.base + (fr.i as u64 + 1) * 4);
+    fr.cycles += u64::from(slot.cost);
+    fr.insns += 1;
+    if fr.cycles > fr.fuel {
+        flush(vm, fr);
+        return Ctl::Exit(Err(VmError::OutOfFuel));
+    }
+    // Stay in-buffer for indirect loops; liveness can only change via
+    // a host call, which revalidates.
+    let len = tr.slots.len() as u64;
+    if target >= tr.base && target < tr.base + len * 4 && (target - tr.base).is_multiple_of(4) {
+        fr.i = ((target - tr.base) / 4) as usize;
+        Ctl::Cont
+    } else {
+        flush(vm, fr);
+        Ctl::Exit(Ok(Step::At(target)))
+    }
+}
+
+fn h_halt<H: HostCall>(vm: &mut Vm<H>, tr: &ThreadedFn<H>, fr: &mut Frame) -> Ctl {
+    // Charged but never fuel-checked (the run is over) — reference
+    // engine behavior.
+    let slot = &tr.slots[fr.i];
+    fr.cycles += u64::from(slot.cost);
+    fr.insns += 1;
+    flush(vm, fr);
+    Ctl::Exit(Ok(Step::Done(ExitStatus::Halted)))
+}
+
+fn h_hcall<H: HostCall>(vm: &mut Vm<H>, tr: &ThreadedFn<H>, fr: &mut Frame) -> Ctl {
+    let slot = &tr.slots[fr.i];
+    let num = slot.a;
+    let cost = u64::from(slot.cost);
+    // The host observes counters as of before this instruction retires,
+    // and may mutate them (or the code space) arbitrarily.
+    flush(vm, fr);
+    vm.state.hcalls += 1;
+    if let Err(e) = vm.host.call(num, &mut vm.state) {
+        return Ctl::Exit(Err(e));
+    }
+    fr.cycles = vm.state.cycles;
+    fr.insns = vm.state.insns;
+    fr.entry_insns = fr.insns;
+    fr.cycles += cost;
+    fr.insns += 1;
+    if fr.cycles > fr.fuel {
+        flush(vm, fr);
+        return Ctl::Exit(Err(VmError::OutOfFuel));
+    }
+    if vm.state.code.live_epoch() != vm.trans.epoch {
+        // The host freed or patched code; leave the buffer so the
+        // outer loop revalidates.
+        fr.i += 1;
+        flush(vm, fr);
+        return Ctl::Exit(Ok(Step::At(tr.base.wrapping_add((fr.i as u64) * 4))));
+    }
+    advance(vm, tr, fr, 1)
+}
+
+fn h_trap<H: HostCall>(vm: &mut Vm<H>, tr: &ThreadedFn<H>, fr: &mut Frame) -> Ctl {
+    let slot = &tr.slots[fr.i];
+    flush(vm, fr);
+    Ctl::Exit(Err(VmError::BadOpcode(slot.a as u8)))
+}
+
+/// Buffer index a control transfer at index `i` with word offset `imm`
+/// lands on.
+fn rel_target(i: usize, imm: i32) -> i64 {
+    i as i64 + 1 + imm as i64
+}
+
+fn icost(c: u64) -> u32 {
+    u32::try_from(c).expect("per-insn cost fits u32")
+}
+
+/// Translates the sealed word range `[start, end)` into a
+/// direct-threaded buffer with per-slot run-suffix cost summaries.
+fn translate<H: HostCall>(
+    code: &CodeSpace,
+    start: usize,
+    end: usize,
+    cost: &CostModel,
+) -> ThreadedFn<H> {
+    let words = code.word_slice(start, end);
+    let mut slots: Vec<TSlot<H>> = Vec::with_capacity(words.len());
+    let mut halves: Vec<SHalf> = Vec::with_capacity(words.len());
+    let blank = |handler: Handler<H>| TSlot {
+        handler,
+        a: 0,
+        b: 0,
+        cost: 0,
+        taken_cost: 0,
+        rd: 0,
+        rs1: 0,
+        target: 0,
+        run_cost: 0,
+    };
+    for (i, &word) in words.iter().enumerate() {
+        let insn = match Insn::decode(word) {
+            Ok(insn) => insn,
+            Err(_) => {
+                let mut t = blank(h_trap::<H>);
+                t.a = u32::from((word >> 24) as u8);
+                slots.push(t);
+                continue;
+            }
+        };
+        let c = icost(cost.cost(insn.op));
+        let slot = match insn.op {
+            Op::Halt => {
+                let mut t = blank(h_halt::<H>);
+                t.cost = c;
+                t
+            }
+            Op::Hcall => {
+                let mut t = blank(h_hcall::<H>);
+                t.a = insn.imm as u32;
+                t.cost = c;
+                t
+            }
+            Op::J => {
+                let mut t = blank(h_jump::<H>);
+                t.cost = c;
+                t.target = rel_target(i, insn.imm);
+                t
+            }
+            Op::Jal => {
+                let mut t = blank(h_jal::<H>);
+                t.cost = c;
+                t.target = rel_target(i, insn.imm);
+                t
+            }
+            Op::Jalr => {
+                let mut t = blank(h_jalr::<H>);
+                t.rd = insn.rd;
+                t.rs1 = insn.rs1;
+                t.cost = c;
+                t
+            }
+            op if op.is_branch() => {
+                let mut t = blank(branch_fn::<H>(op));
+                t.rd = insn.rd;
+                t.rs1 = insn.rs1;
+                t.cost = c;
+                t.taken_cost = icost(cost.cost(op) + cost.branch_taken_extra);
+                t.target = rel_target(i, insn.imm);
+                t
+            }
+            op => {
+                let mut t = blank(h_run::<H>);
+                t.a = u32::try_from(halves.len()).expect("function fits u32 slots");
+                t.b = 1;
+                t.run_cost = u64::from(c);
+                halves.push(SHalf {
+                    f: scalar_fn(op),
+                    rd: insn.rd,
+                    rs1: insn.rs1,
+                    rs2: insn.rs2,
+                    imm: insn.imm,
+                    cost: c,
+                });
+                t
+            }
+        };
+        slots.push(slot);
+    }
+    // Backward pass: extend each scalar slot's run summary with its
+    // successor's, turning `b`/`run_cost` into suffix length and cost.
+    for i in (0..slots.len().saturating_sub(1)).rev() {
+        if slots[i].b > 0 && slots[i + 1].b > 0 {
+            slots[i].b += slots[i + 1].b;
+            slots[i].run_cost += slots[i + 1].run_cost;
+        }
+    }
+    ThreadedFn {
+        base: CODE_BASE + (start as u64) * 4,
+        slots,
+        halves,
+    }
+}
+
+impl<H: HostCall> Vm<H> {
+    /// The direct-threaded engine's run loop. Structure matches
+    /// `run_predecoded`: threaded dispatch where a translation exists,
+    /// reference-engine single steps where one doesn't, so every fault
+    /// is raised by the exact same code on both paths.
+    pub(crate) fn run_threaded(&mut self, mut pc: u64) -> Result<ExitStatus, VmError> {
+        loop {
+            if pc == RETURN_SENTINEL {
+                return Ok(ExitStatus::Returned);
+            }
+            let step = match self.threaded_at(pc) {
+                Some(tr) => self.dispatch_threaded(&tr, pc)?,
+                None => {
+                    let step = self.step_slow(pc)?;
+                    self.trans.stats.slow_insns += 1;
+                    step
+                }
+            };
+            match step {
+                Step::At(next) => pc = next,
+                Step::Done(status) => return Ok(status),
+            }
+        }
+    }
+
+    /// Looks up (or lazily builds) the threaded buffer covering `pc`,
+    /// validating the cache against the code space's live epoch first.
+    fn threaded_at(&mut self, pc: u64) -> Option<Arc<ThreadedFn<H>>> {
+        let epoch = self.state.code.live_epoch();
+        if epoch != self.trans.epoch {
+            self.trans.clear();
+            self.trans.epoch = epoch;
+            self.trans.stats.invalidations += 1;
+        }
+        if pc < CODE_BASE || !pc.is_multiple_of(4) {
+            return None;
+        }
+        let idx = ((pc - CODE_BASE) / 4) as usize;
+        if let Some(Some(tr)) = self.trans.tmap.get(idx) {
+            return Some(Arc::clone(tr));
+        }
+        let (start, end) = self.state.code.live_range_containing(idx)?;
+        let tr = Arc::new(translate::<H>(&self.state.code, start, end, &self.cost));
+        let need = self.state.code.next_index();
+        if self.trans.tmap.len() < need {
+            self.trans.tmap.resize(need, None);
+        }
+        for slot in self.trans.tmap[start..end].iter_mut() {
+            *slot = Some(Arc::clone(&tr));
+        }
+        self.trans.stats.translations += 1;
+        self.trans.stats.translated_words += (end - start) as u64;
+        self.trans.stats.handlers = HANDLER_TABLE_SIZE;
+        Some(tr)
+    }
+
+    /// The tight loop: call the current slot's handler until control
+    /// leaves the buffer, a run terminates, or an error is raised.
+    fn dispatch_threaded(&mut self, tr: &ThreadedFn<H>, pc: u64) -> Result<Step, VmError> {
+        let mut fr = Frame {
+            i: ((pc - tr.base) / 4) as usize,
+            cycles: self.state.cycles,
+            insns: self.state.insns,
+            entry_insns: self.state.insns,
+            fuel: self.fuel,
+        };
+        loop {
+            let handler = tr.slots[fr.i].handler;
+            match handler(self, tr, &mut fr) {
+                Ctl::Cont => {}
+                Ctl::Exit(r) => return r,
+            }
+        }
+    }
+}
+
+/// Exposed for [`crate::predecode::ExecStats::handlers`] consumers
+/// that want the split.
+pub fn handler_table_sizes() -> (u64, u64) {
+    (SCALAR_HANDLERS, CONTROL_HANDLERS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predecode::ExecEngine;
+    use crate::regs::{A0, AT0, ZERO};
+
+    /// sum(1..=n) by counted loop (same shape as predecode's tests).
+    fn loop_code() -> (CodeSpace, u64) {
+        let mut cs = CodeSpace::new();
+        let f = cs.begin_function("sum");
+        cs.push(Insn::i(Op::Addiw, AT0, ZERO, 0));
+        cs.push(Insn::i(Op::Beq, A0, ZERO, 3));
+        cs.push(Insn::r(Op::Addw, AT0, AT0, A0));
+        cs.push(Insn::i(Op::Addiw, A0, A0, -1));
+        cs.push(Insn::j(Op::J, -4));
+        cs.push(Insn::r(Op::Addw, A0, AT0, ZERO));
+        cs.push(Insn::ret());
+        let addr = cs.finish_function(f).unwrap();
+        (cs, addr)
+    }
+
+    fn threaded_vm(cs: &CodeSpace) -> Vm {
+        let mut vm = Vm::new(cs.clone(), 1 << 20);
+        vm.set_engine(ExecEngine::Threaded);
+        vm
+    }
+
+    #[test]
+    fn threaded_matches_reference_results_and_counters() {
+        let (cs, addr) = loop_code();
+        for n in [0u64, 1, 10, 500] {
+            let mut reference = Vm::new(cs.clone(), 1 << 20);
+            reference.set_engine(ExecEngine::DecodePerStep);
+            let want = reference.call(addr, &[n]);
+            let mut vm = threaded_vm(&cs);
+            assert_eq!(vm.call(addr, &[n]), want);
+            assert_eq!(vm.cycles(), reference.cycles());
+            assert_eq!(vm.insns(), reference.insns());
+        }
+    }
+
+    #[test]
+    fn fuel_exhaustion_identical_at_every_budget() {
+        let (cs, addr) = loop_code();
+        let mut full = threaded_vm(&cs);
+        full.call(addr, &[20]).unwrap();
+        let total = full.cycles();
+        for fuel in 0..total {
+            let mut reference = Vm::new(cs.clone(), 1 << 20);
+            reference.set_engine(ExecEngine::DecodePerStep);
+            reference.set_fuel(fuel);
+            let want = (
+                reference.call(addr, &[20]),
+                reference.cycles(),
+                reference.insns(),
+            );
+            assert_eq!(want.0, Err(VmError::OutOfFuel));
+            let mut vm = threaded_vm(&cs);
+            vm.set_fuel(fuel);
+            let got = (vm.call(addr, &[20]), vm.cycles(), vm.insns());
+            assert_eq!(got, want, "fuel {fuel}");
+        }
+    }
+
+    #[test]
+    fn blocks_are_batched_and_reported() {
+        let (cs, addr) = loop_code();
+        let mut vm = threaded_vm(&cs);
+        vm.call(addr, &[10]).unwrap();
+        let s = vm.exec_stats();
+        assert!(s.batched_blocks > 0, "{s:?}");
+        assert_eq!(s.fuel_reconciliations, 0);
+        assert_eq!(s.handlers, HANDLER_TABLE_SIZE);
+        assert_eq!(s.slow_insns, 0);
+        assert_eq!(s.fast_insns, vm.insns());
+        assert_eq!(s.translations, 1);
+        vm.call(addr, &[10]).unwrap();
+        assert_eq!(vm.exec_stats().translations, 1, "translation reused");
+    }
+
+    #[test]
+    fn mid_run_fault_reconciles_exactly() {
+        // addiw; divw (by zero: faults); addiw — the fault lands inside
+        // a batched 3-scalar run and must leave counters exactly as the
+        // reference engine does (prefix retired, fault uncharged).
+        let mut cs = CodeSpace::new();
+        let f = cs.begin_function("f");
+        cs.push(Insn::i(Op::Addiw, AT0, ZERO, 5));
+        cs.push(Insn::r(Op::Divw, A0, AT0, ZERO));
+        cs.push(Insn::i(Op::Addiw, A0, A0, 1));
+        cs.push(Insn::ret());
+        let addr = cs.finish_function(f).unwrap();
+
+        let mut reference = Vm::new(cs.clone(), 1 << 20);
+        reference.set_engine(ExecEngine::DecodePerStep);
+        let want = (
+            reference.call(addr, &[]),
+            reference.cycles(),
+            reference.insns(),
+        );
+        assert!(want.0.is_err(), "division by zero must fault");
+
+        let mut vm = threaded_vm(&cs);
+        let got = (vm.call(addr, &[]), vm.cycles(), vm.insns());
+        assert_eq!(got, want);
+        assert_eq!(vm.exec_stats().fuel_reconciliations, 1);
+    }
+
+    #[test]
+    fn tight_budget_falls_back_to_per_insn_charging() {
+        let (cs, addr) = loop_code();
+        // Pick a budget that exhausts mid-loop: batched entry must not
+        // overshoot, so the engine switches to per-instruction mode.
+        let mut vm = threaded_vm(&cs);
+        vm.set_fuel(3);
+        assert_eq!(vm.call(addr, &[100]), Err(VmError::OutOfFuel));
+        assert!(vm.cycles() <= 4, "never overshoots by more than one insn");
+    }
+}

@@ -10,19 +10,49 @@
 #                               only, with the exec experiment at smoke
 #                               rep counts (equivalence asserts live,
 #                               timings not meaningful)
+#   ./run_benches.sh --check    regression gate: run only the exec
+#                               experiment at full rep counts, then
+#                               compare the fresh BENCH_exec.json
+#                               speedups against baselines/ (fails on a
+#                               >30% drop in speedup_fused; one retry
+#                               absorbs machine noise)
 set -u
 cd /root/repo
 
 quick=0
+check=0
 for a in "$@"; do
   case "$a" in
     --quick) quick=1 ;;
-    *) echo "usage: $0 [--quick]" >&2; exit 2 ;;
+    --check) check=1 ;;
+    *) echo "usage: $0 [--quick|--check]" >&2; exit 2 ;;
   esac
 done
 
 : > bench_output.txt
 failed=""
+
+if [ "$check" -eq 1 ]; then
+  # Regression gate only: fresh full-rep exec run vs committed baseline.
+  # Wall-clock ratios are load-sensitive, so a failed comparison gets
+  # one re-measure before the gate fails for real.
+  echo "=== exec regression gate ===" >> bench_output.txt
+  for attempt in 1 2; do
+    cargo run -p tcc-suite --bin suite --release -- exec --json \
+      >> bench_output.txt 2>&1 || { echo "BENCH FAILED: exec" >&2; exit 1; }
+    if cargo run -p tcc-suite --bin suite --release -- exec-check \
+        BENCH_exec.json baselines/BENCH_exec.json \
+        >> bench_output.txt 2>&1; then
+      tail -n 12 bench_output.txt
+      echo BENCHES_DONE
+      exit 0
+    fi
+    echo "exec-check attempt $attempt failed" >> bench_output.txt
+  done
+  echo "BENCHES_FAILED: exec-check (see bench_output.txt)" >&2
+  tail -n 30 bench_output.txt >&2
+  exit 1
+fi
 
 if [ "$quick" -eq 0 ]; then
   for b in table1 figure4 figure5 figure6 figure7 blur codegen regalloc ablations; do

@@ -1,7 +1,7 @@
 //! Engine-differential fuzzing: randomized `C programs executed through
-//! the decode-per-step reference interpreter and the predecoded engine
-//! (with and without superinstruction fusion), asserting bit-identical
-//! observable behavior — result value, modeled `cycles`, retired
+//! the decode-per-step reference interpreter, the predecoded engine
+//! (with and without superinstruction fusion), and the direct-threaded
+//! fuel-batched engine, asserting bit-identical observable behavior — result value, modeled `cycles`, retired
 //! `insns`, exit status, and error, including `OutOfFuel` raised at the
 //! same instruction under swept fuel budgets. Also pins down the
 //! stale-code interactions: freed and cache-evicted functions must
@@ -11,10 +11,11 @@ use proptest::prelude::*;
 use tickc::tickc_core::{Backend, Config, Error, Session, Strategy as Alloc};
 use tickc::vm::{ExecEngine, VmError};
 
-const ENGINES: [ExecEngine; 3] = [
+const ENGINES: [ExecEngine; 4] = [
     ExecEngine::DecodePerStep,
     ExecEngine::Predecoded { fuse: false },
     ExecEngine::Predecoded { fuse: true },
+    ExecEngine::Threaded,
 ];
 
 fn engine_label(e: ExecEngine) -> &'static str {
@@ -22,6 +23,7 @@ fn engine_label(e: ExecEngine) -> &'static str {
         ExecEngine::DecodePerStep => "decode-per-step",
         ExecEngine::Predecoded { fuse: false } => "predecoded",
         ExecEngine::Predecoded { fuse: true } => "predecoded+fused",
+        ExecEngine::Threaded => "threaded",
     }
 }
 
@@ -330,6 +332,60 @@ fn fixed_differential_regressions() {
     }
 }
 
+/// Dense fuel sweep aimed at the batched engine's edges: budgets in
+/// windows around phase boundaries — the end of the static call, the
+/// `compile` host call (where the threaded engine must reconcile its
+/// counters across the host boundary), and the final cycle — plus the
+/// program's entry blocks. Within each window every single budget is
+/// tried, so exhaustion lands on block boundaries, mid-block, and
+/// host-call reconciliation points alike.
+#[test]
+fn fuel_sweep_covers_block_boundaries_and_hcall_reconciliation() {
+    let sts = vec![
+        St::Loop(3, vec![St::Assign(0, 0, Val::Var(0), Val::Rtc)]),
+        St::Assign(1, 5, Val::Param, Val::Var(0)),
+    ];
+    let src = program_for(&sts);
+    let backend = Backend::Vcode { unchecked: false };
+    // Phase-boundary cycle counts from an unlimited reference run.
+    let mut s = Session::new(
+        &src,
+        Config {
+            backend: backend.clone(),
+            ..Config::default()
+        },
+    )
+    .expect("compiles");
+    s.vm.set_engine(ENGINES[0]);
+    s.call("static_f", &[7, 13]).expect("static");
+    let after_static = s.cycles();
+    let fp = s.call("dyn_compile", &[13]).expect("compile");
+    let after_compile = s.cycles();
+    let _ = s.call("dyn_run", &[fp, 7]);
+    let total = s.cycles();
+    assert!(s.hcalls() > 0, "compile path must cross the host boundary");
+
+    let mut budgets: Vec<u64> = (0..40).collect();
+    for edge in [after_static, after_compile, total] {
+        budgets.extend(edge.saturating_sub(25)..edge + 25);
+    }
+    budgets.retain(|&f| f < total);
+    budgets.sort_unstable();
+    budgets.dedup();
+    for fuel in budgets {
+        let reference = observe(&src, &backend, ENGINES[0], Some(fuel), 7);
+        for &e in &ENGINES[1..] {
+            let got = observe(&src, &backend, e, Some(fuel), 7);
+            assert_eq!(
+                got,
+                reference,
+                "{} diverges at fuel {fuel}",
+                engine_label(e)
+            );
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Stale-code composition: the translation cache must never outlive the
 // code it shadows.
@@ -364,7 +420,7 @@ fn evicted_code_faults_stale_with_warm_translation_cache() {
         },
     )
     .expect("compiles");
-    assert!(matches!(s.vm.engine(), ExecEngine::Predecoded { .. }));
+    assert!(matches!(s.vm.engine(), ExecEngine::Threaded));
     let fp1 = s.call("mk", &[1]).expect("first compile");
     // Warm the translation cache on fp1 before evicting it.
     let expect1: u64 = (3 + 5 + 7 + 9 + 11 + 13 + 17 + 19 + 23 + 29 + 31 + 37) as u64;
