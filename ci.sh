@@ -10,14 +10,19 @@
 #                         dynamic back ends must agree on the answer)
 #   6. cache smoke run   (the repeat-compile sweep with memoization on:
 #                         hit economics + pointer stability end-to-end)
-#   7. exec smoke run    (the four execution engines — decode-per-step,
-#                         predecoded, predecoded+fused, direct-threaded
-#                         — over the loop-heavy kernels with the
-#                         observational-equivalence asserts live,
+#   7. exec smoke run    (the five execution engines — decode-per-step,
+#                         predecoded, predecoded+fused, direct-threaded,
+#                         adaptive — over the loop-heavy kernels with
+#                         the observational-equivalence asserts live,
 #                         release mode)
-#   8. exec regression   (./run_benches.sh --check: full-rep exec bench
+#   8. adaptive smoke    (the reuse sweep's cold-start cells with the
+#                         equivalence asserts live, release mode)
+#   9. adaptive tests    (the tier-promotion property suite, explicitly,
+#                         so a tiering regression names itself)
+#  10. exec regression   (./run_benches.sh --check: full-rep exec bench
 #                         compared against baselines/BENCH_exec.json;
-#                         fails on a >30% drop in speedup_fused)
+#                         fails on a >30% drop in any gated speedup
+#                         column — fused, threaded, or adaptive)
 #
 # Fails fast: the first failing step aborts with its exit code.
 set -eu
@@ -46,6 +51,12 @@ cargo run -p tcc-suite --bin suite --release -- cache
 
 echo "== suite exec --smoke (engines observationally identical) =="
 cargo run -p tcc-suite --bin suite --release -- exec --smoke
+
+echo "== suite adaptive --smoke (tiering observationally identical) =="
+cargo run -p tcc-suite --bin suite --release -- adaptive --smoke
+
+echo "== adaptive property tests =="
+cargo test -q --release --test adaptive
 
 echo "== exec regression gate (speedups vs baselines/) =="
 ./run_benches.sh --check

@@ -121,6 +121,10 @@ struct Entry {
     bytes: u64,
     /// LRU clock value of the most recent touch.
     last_use: u64,
+    /// Times this entry answered a `compile` call (insert + hits) — the
+    /// per-function reuse signal the adaptive engine's tier thresholds
+    /// are calibrated against.
+    uses: u64,
     /// Pin count; pinned entries are never evicted.
     pins: u32,
     /// What the original compilation cost, credited to `ns_saved` on
@@ -201,12 +205,23 @@ impl CodeCache {
         let clock = self.clock;
         if let Some(e) = self.entries.get_mut(fp) {
             e.last_use = clock;
+            e.uses += 1;
             self.metrics.hits += 1;
             self.metrics.ns_saved += e.compile_ns;
             Some(e.addr)
         } else {
             None
         }
+    }
+
+    /// Times the cached function at `addr` has answered a `compile`
+    /// call (its insert plus every hit since) — per-function reuse, the
+    /// compile-side counterpart of the adaptive engine's run counts.
+    /// `None` when `addr` is not a cached function (never cached, or
+    /// evicted: eviction forgets the count along with the code).
+    pub fn use_count(&self, addr: u64) -> Option<u64> {
+        let fp = self.by_addr.get(&addr)?;
+        self.entries.get(fp).map(|e| e.uses)
     }
 
     /// Records nanoseconds spent on the *hit path* (fingerprinting +
@@ -260,6 +275,7 @@ impl CodeCache {
                 handle,
                 bytes,
                 last_use: self.clock,
+                uses: 1,
                 pins: 0,
                 compile_ns,
             },
@@ -346,6 +362,24 @@ mod tests {
         code.push(Insn::ret());
         let addr = code.finish_function(f).expect("seals");
         (addr, f)
+    }
+
+    #[test]
+    fn use_counts_track_reuse_and_die_with_eviction() {
+        let mut code = CodeSpace::new();
+        let mut cache = CodeCache::with_budget(Some(64));
+        let (a, ha) = emit(&mut code, 4);
+        cache.insert(&mut code, fp(1), a, ha, 16, 100).unwrap();
+        assert_eq!(cache.use_count(a), Some(1), "insert is the first use");
+        assert_eq!(cache.lookup(&fp(1)), Some(a));
+        assert_eq!(cache.lookup(&fp(1)), Some(a));
+        assert_eq!(cache.use_count(a), Some(3));
+        assert_eq!(cache.use_count(a + 4), None, "not a handed-out address");
+        // Evicting forgets the count along with the code.
+        let (b, hb) = emit(&mut code, 16);
+        cache.insert(&mut code, fp(2), b, hb, 64, 100).unwrap();
+        assert_eq!(cache.use_count(a), None, "evicted");
+        assert_eq!(cache.use_count(b), Some(1));
     }
 
     #[test]

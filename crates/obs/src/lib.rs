@@ -341,6 +341,62 @@ impl ExecMetrics {
     }
 }
 
+/// Adaptive-engine tiering counters reported by the VM: where function
+/// runs executed (per tier), how functions moved between tiers, and
+/// what translation cost the tiering spent vs avoided.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AdaptiveMetrics {
+    /// Function entries executed, across all tiers. Equals
+    /// `runs_tier0 + runs_tier1 + runs_tier2` (a tested invariant).
+    pub total_runs: u64,
+    /// Entries executed on decode-per-step (tier 0).
+    pub runs_tier0: u64,
+    /// Entries executed on the predecoded+fused engine (tier 1).
+    pub runs_tier1: u64,
+    /// Entries executed on the direct-threaded engine (tier 2).
+    pub runs_tier2: u64,
+    /// Tier levels gained, cumulative. Always `>= demotions`.
+    pub promotions: u64,
+    /// Tier levels lost to epoch-bump demotions, cumulative.
+    pub demotions: u64,
+    /// Nanoseconds spent translating promoted functions.
+    pub translation_ns: u64,
+    /// Estimated nanoseconds of translation avoided for functions that
+    /// ran but were never promoted (priced at the session's observed
+    /// ns/word; 0 until something has been translated).
+    pub translation_ns_saved: u64,
+}
+
+impl AdaptiveMetrics {
+    /// Fraction of function entries that ran on a translated tier.
+    /// `0.0` when nothing has run (same rule as the other hit rates).
+    pub fn promoted_run_rate(&self) -> f64 {
+        if self.total_runs == 0 {
+            0.0
+        } else {
+            (self.runs_tier1 + self.runs_tier2) as f64 / self.total_runs as f64
+        }
+    }
+
+    /// JSON object form.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("total_runs", Json::from(self.total_runs)),
+            ("runs_tier0", Json::from(self.runs_tier0)),
+            ("runs_tier1", Json::from(self.runs_tier1)),
+            ("runs_tier2", Json::from(self.runs_tier2)),
+            ("promotions", Json::from(self.promotions)),
+            ("demotions", Json::from(self.demotions)),
+            ("translation_ns", Json::from(self.translation_ns)),
+            (
+                "translation_ns_saved",
+                Json::from(self.translation_ns_saved),
+            ),
+            ("promoted_run_rate", Json::from(self.promoted_run_rate())),
+        ])
+    }
+}
+
 /// The unified per-phase breakdown for one session: everything from
 /// source text to retired instructions.
 #[derive(Clone, Debug, Default)]
@@ -356,6 +412,8 @@ pub struct SessionMetrics {
     pub vm: VmMetrics,
     /// Execution-engine translation/dispatch counters.
     pub exec: ExecMetrics,
+    /// Adaptive-engine tiering counters.
+    pub adaptive: AdaptiveMetrics,
     /// Compile memoization and code lifecycle (`tcc-cache`).
     pub cache: CacheMetrics,
 }
@@ -370,6 +428,7 @@ impl SessionMetrics {
             ("dynamic", self.dynamic.to_json()),
             ("vm", self.vm.to_json()),
             ("exec", self.exec.to_json()),
+            ("adaptive", self.adaptive.to_json()),
             ("cache", self.cache.to_json()),
         ])
     }
@@ -464,6 +523,32 @@ mod tests {
     }
 
     #[test]
+    fn adaptive_promoted_run_rate_guards_zero() {
+        let m = AdaptiveMetrics::default();
+        assert_eq!(m.promoted_run_rate(), 0.0);
+        let m = AdaptiveMetrics {
+            total_runs: 4,
+            runs_tier0: 1,
+            runs_tier1: 1,
+            runs_tier2: 2,
+            ..Default::default()
+        };
+        assert_eq!(m.promoted_run_rate(), 0.75);
+        let text = m.to_json().to_string();
+        for key in [
+            "total_runs",
+            "runs_tier0",
+            "runs_tier2",
+            "promotions",
+            "demotions",
+            "translation_ns",
+            "translation_ns_saved",
+        ] {
+            assert!(text.contains(&format!("\"{key}\"")), "missing {key}");
+        }
+    }
+
+    #[test]
     fn crossover_math() {
         assert_eq!(crossover_runs(1000.0, 10.0), Some(100.0));
         assert_eq!(crossover_runs(1000.0, 0.0), None);
@@ -484,6 +569,9 @@ mod tests {
             "phases",
             "exec",
             "dispatch_hit_rate",
+            "adaptive",
+            "promotions",
+            "promoted_run_rate",
             "cache",
             "hit_rate",
         ] {

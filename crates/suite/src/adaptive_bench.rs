@@ -1,0 +1,586 @@
+//! Adaptive-tiering calibration: total (translate + run) wall-clock as
+//! a function of reuse count.
+//!
+//! The fixed engines bake in a bet: decode-per-step pays nothing up
+//! front and the most per instruction; the threaded engine pays a full
+//! translation before the first instruction retires. Which bet wins
+//! depends on how often the function runs — exactly the paper's
+//! break-even economics, applied to the VM's own translation layer.
+//! The adaptive engine is supposed to get (close to) the best of both
+//! by starting cold and climbing tiers per function as run counts
+//! cross its thresholds. This experiment sweeps the reuse count like
+//! `cache_bench` does: each timed region starts from a cold
+//! translation cache (`set_engine` drops translations and tier state)
+//! and executes the kernel `reuse` times, so the row captures the full
+//! cold-to-hot trajectory rather than steady state. Each cell also
+//! records the **warm** marginal ns/run per engine (translations and
+//! tier climbs long paid); the per-kernel [`warm_summary`] — the
+//! fastest warm observation per engine across the sweep — is the
+//! steady-state number the adaptive engine is accepted against
+//! (`warm_adaptive_vs_best`), while the cold columns price the climb
+//! itself. Emitted as `BENCH_adaptive.json` by the suite binary; the
+//! committed baseline under `baselines/` pins the calibration used to
+//! pick the default thresholds.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+use crate::programs::{benchmarks, BenchDef, BLUR_SMALL};
+use tcc::{Config, ExecEngine, Session};
+use tcc_obs::json::Json;
+
+/// Reuse counts swept (runs of the compiled kernel per cold start).
+pub const ADAPTIVE_REUSE_SWEEP: [u64; 5] = [1, 2, 4, 8, 32];
+
+/// Suite kernels included in the sweep (loop-heavy, dispatch-bound).
+const SUITE_KERNELS: [&str; 3] = ["hash", "binary", "dp"];
+
+/// Statement count of the synthetic straight-line kernel — long enough
+/// that translating it is real work compared to executing it once,
+/// which is where an up-front translation loses at reuse 1.
+const STRAIGHT_STMTS: usize = 400;
+
+/// Wall-clock target per (kernel, reuse, engine) cell, full mode.
+const TARGET_NS: u64 = 40_000_000;
+
+/// The engines compared per cell. The adaptive engine runs with its
+/// shipping defaults (`ExecEngine::default()`).
+const ENGINES: [(&str, ExecEngine); 4] = [
+    ("decode", ExecEngine::DecodePerStep),
+    ("fused", ExecEngine::Predecoded { fuse: true }),
+    ("threaded", ExecEngine::Threaded),
+    (
+        "adaptive",
+        ExecEngine::Adaptive {
+            fuse_after: tcc::DEFAULT_FUSE_AFTER,
+            thread_after: tcc::DEFAULT_THREAD_AFTER,
+        },
+    ),
+];
+
+/// One (kernel, reuse) cell: fastest observed cold-start wall-clock
+/// per engine (min over reps — the noise-robust estimator).
+#[derive(Clone, Copy, Debug)]
+pub struct AdaptiveBenchRow {
+    /// Kernel name.
+    pub kernel: &'static str,
+    /// Runs of the compiled kernel per cold start.
+    pub reuse: u64,
+    /// Cold-start repetitions measured (the fastest is kept).
+    pub reps: u64,
+    /// Fastest cold start, ns: decode-per-step.
+    pub decode_ns: u64,
+    /// Fastest cold start, ns: predecoded + fused.
+    pub fused_ns: u64,
+    /// Fastest cold start, ns: direct-threaded.
+    pub threaded_ns: u64,
+    /// Fastest cold start, ns: adaptive tiering, default thresholds.
+    pub adaptive_ns: u64,
+    /// Tier levels gained by the adaptive engine across all its reps.
+    pub promotions: u64,
+    /// Warm marginal ns per run (translations long paid): decode.
+    pub warm_decode_ns: u64,
+    /// Warm marginal ns per run: predecoded + fused.
+    pub warm_fused_ns: u64,
+    /// Warm marginal ns per run: direct-threaded.
+    pub warm_threaded_ns: u64,
+    /// Warm marginal ns per run: adaptive at its steady-state tier.
+    pub warm_adaptive_ns: u64,
+}
+
+impl AdaptiveBenchRow {
+    /// The cheapest fixed engine for this cell.
+    pub fn best_fixed_ns(&self) -> u64 {
+        self.decode_ns.min(self.fused_ns).min(self.threaded_ns)
+    }
+
+    /// Adaptive cost relative to the best fixed engine (1.0 = matched
+    /// it; the calibration target is <= 1.05 at reuse >= 8).
+    pub fn adaptive_vs_best(&self) -> f64 {
+        self.adaptive_ns as f64 / self.best_fixed_ns().max(1) as f64
+    }
+
+    /// Adaptive speedup over always-threaded (> 1.0 means the lazy
+    /// start won; expected at reuse 1 on straight-line code).
+    pub fn speedup_vs_threaded(&self) -> f64 {
+        self.threaded_ns as f64 / self.adaptive_ns.max(1) as f64
+    }
+
+    /// The cheapest fixed engine once everything is warm.
+    pub fn warm_best_fixed_ns(&self) -> u64 {
+        self.warm_decode_ns
+            .min(self.warm_fused_ns)
+            .min(self.warm_threaded_ns)
+    }
+
+    /// Warm marginal cost of the adaptive engine relative to the best
+    /// warm fixed engine for this cell. Per-cell this is noisy (two
+    /// independent measurements divided); the acceptance number is the
+    /// per-kernel [`warm_summary`] version.
+    pub fn warm_adaptive_vs_best(&self) -> f64 {
+        self.warm_adaptive_ns as f64 / self.warm_best_fixed_ns().max(1) as f64
+    }
+}
+
+/// Per-kernel steady-state summary: the fastest warm observation of
+/// each engine across the whole sweep. Warm marginal cost does not
+/// depend on the reuse count, so a kernel's five rows are five
+/// independent measurements of the same quantity — the min across
+/// them survives a scheduler stall poisoning any single cell, which
+/// no per-cell estimator can. `warm_adaptive_vs_best` here is the
+/// steady-state acceptance number (target <= 1.05).
+#[derive(Clone, Copy, Debug)]
+pub struct WarmSummary {
+    /// Kernel name.
+    pub kernel: &'static str,
+    /// Fastest warm ns/run observed: decode-per-step.
+    pub warm_decode_ns: u64,
+    /// Fastest warm ns/run observed: predecoded + fused.
+    pub warm_fused_ns: u64,
+    /// Fastest warm ns/run observed: direct-threaded.
+    pub warm_threaded_ns: u64,
+    /// Fastest warm ns/run observed: adaptive at its steady-state tier.
+    pub warm_adaptive_ns: u64,
+}
+
+impl WarmSummary {
+    /// The cheapest warm fixed engine for this kernel.
+    pub fn warm_best_fixed_ns(&self) -> u64 {
+        self.warm_decode_ns
+            .min(self.warm_fused_ns)
+            .min(self.warm_threaded_ns)
+    }
+
+    /// Steady-state cost of the adaptive engine over the best fixed
+    /// engine — the acceptance number (<= 1.05).
+    pub fn warm_adaptive_vs_best(&self) -> f64 {
+        self.warm_adaptive_ns as f64 / self.warm_best_fixed_ns().max(1) as f64
+    }
+}
+
+/// Folds the sweep into one [`WarmSummary`] per kernel, in order of
+/// first appearance.
+pub fn warm_summary(rows: &[AdaptiveBenchRow]) -> Vec<WarmSummary> {
+    let mut out: Vec<WarmSummary> = Vec::new();
+    for r in rows {
+        match out.iter_mut().find(|s| s.kernel == r.kernel) {
+            Some(s) => {
+                s.warm_decode_ns = s.warm_decode_ns.min(r.warm_decode_ns);
+                s.warm_fused_ns = s.warm_fused_ns.min(r.warm_fused_ns);
+                s.warm_threaded_ns = s.warm_threaded_ns.min(r.warm_threaded_ns);
+                s.warm_adaptive_ns = s.warm_adaptive_ns.min(r.warm_adaptive_ns);
+            }
+            None => out.push(WarmSummary {
+                kernel: r.kernel,
+                warm_decode_ns: r.warm_decode_ns,
+                warm_fused_ns: r.warm_fused_ns,
+                warm_threaded_ns: r.warm_threaded_ns,
+                warm_adaptive_ns: r.warm_adaptive_ns,
+            }),
+        }
+    }
+    out
+}
+
+fn straight_src() -> String {
+    let mut body = String::new();
+    for i in 0..STRAIGHT_STMTS {
+        let (d, s) = if i % 2 == 0 { ("a", "b") } else { ("b", "a") };
+        body.push_str(&format!("        {d} = {d} * 3 + {s} + {};\n", i % 7 + 1));
+    }
+    format!(
+        r#"
+int seed = 5;
+long mk(void) {{
+    void cspec c = `{{
+        int a;
+        int b;
+        a = $seed;
+        b = 2;
+{body}        return a + b;
+    }};
+    return (long)compile(c, int);
+}}
+int runit(long fp) {{
+    int (*g)(void) = (int (*)(void))fp;
+    return (*g)();
+}}
+"#
+    )
+}
+
+fn straight_setup(_s: &mut Session) {}
+
+fn straight_static(_s: &mut Session) -> u64 {
+    0
+}
+
+fn straight_compile(s: &mut Session) -> u64 {
+    s.call("mk", &[]).expect("straight kernel compiles")
+}
+
+fn straight_run(s: &mut Session, fp: u64) -> u64 {
+    s.call("runit", &[fp]).expect("straight kernel runs")
+}
+
+/// The synthetic straight-line kernel as a [`BenchDef`], so the drive
+/// loop treats it exactly like the suite kernels.
+fn straight_def() -> BenchDef {
+    static SRC: OnceLock<String> = OnceLock::new();
+    BenchDef {
+        name: "straight",
+        style: "synthetic straight-line chain (no loops)",
+        src: SRC.get_or_init(straight_src),
+        setup: straight_setup,
+        run_static: straight_static,
+        compile_dyn: straight_compile,
+        run_dyn: straight_run,
+        check: straight_static,
+    }
+}
+
+/// The kernels measured: three loop-heavy suite benchmarks plus the
+/// straight-line synthetic.
+fn defs() -> Vec<BenchDef> {
+    let all = benchmarks(BLUR_SMALL);
+    let mut out: Vec<BenchDef> = SUITE_KERNELS
+        .iter()
+        .map(|name| {
+            all.iter()
+                .find(|b| b.name == *name)
+                .unwrap_or_else(|| panic!("no bench named {name}"))
+                .clone()
+        })
+        .collect();
+    out.push(straight_def());
+    out
+}
+
+struct Timed {
+    ns: u64,
+    warm_ns: u64,
+    checksum: u64,
+    cycles: u64,
+    insns: u64,
+    promotions: u64,
+}
+
+/// Untimed runs after the cold reps that carry every function to its
+/// steady-state tier before the warm measurement.
+const WARM_WARMUP_RUNS: u64 = 16;
+
+/// Runs averaged per warm timing batch.
+const WARM_TIMED_RUNS: u64 = 64;
+
+/// Warm batches measured; the cell keeps the fastest batch. The min is
+/// the standard estimator for a fixed-work microbenchmark — every
+/// source of noise (preemption, interrupts, frequency steps) only adds
+/// time, so the fastest batch is the closest observation of the true
+/// marginal cost. Cold starts use the same estimator (fastest rep).
+const WARM_BATCHES: u64 = 32;
+
+/// Times `reps` cold starts of `reuse` runs each. `set_engine` before
+/// every timed region drops the translation cache *and* the adaptive
+/// tier state, so each rep pays the engine's full translate+run cost
+/// from scratch — the quantity the tiering thresholds trade off.
+fn drive(b: &BenchDef, engine: ExecEngine, reuse: u64, reps: u64) -> Timed {
+    let mut s = Session::new(b.src, Config::default()).expect("benchmark source compiles");
+    s.vm.set_engine(engine);
+    (b.setup)(&mut s);
+    let fp = (b.compile_dyn)(&mut s);
+    s.reset_counters();
+    let mut checksum = 0u64;
+    let mut best = u64::MAX;
+    for _ in 0..reps {
+        s.vm.set_engine(engine);
+        let t = Instant::now();
+        for _ in 0..reuse {
+            checksum = checksum.wrapping_add((b.run_dyn)(&mut s, fp));
+        }
+        best = best.min(t.elapsed().as_nanos() as u64);
+    }
+    // Warm marginal cost: no reset, translations and tiers long paid.
+    // Min over batches; a scheduler stall long enough to span every
+    // batch still poisons the cell, which is why the derived
+    // acceptance number is the per-kernel min across the sweep
+    // ([`warm_summary`]) rather than any single cell.
+    for _ in 0..WARM_WARMUP_RUNS {
+        checksum = checksum.wrapping_add((b.run_dyn)(&mut s, fp));
+    }
+    let mut warm_ns = u64::MAX;
+    for _ in 0..WARM_BATCHES {
+        let t = Instant::now();
+        for _ in 0..WARM_TIMED_RUNS {
+            checksum = checksum.wrapping_add((b.run_dyn)(&mut s, fp));
+        }
+        warm_ns = warm_ns.min(t.elapsed().as_nanos() as u64 / WARM_TIMED_RUNS);
+    }
+    Timed {
+        ns: best,
+        warm_ns,
+        checksum,
+        cycles: s.cycles(),
+        insns: s.insns(),
+        promotions: s.metrics().adaptive.promotions,
+    }
+}
+
+/// Picks a rep count so one cell's timed region lands near `target_ns`
+/// (probed on the decode engine, shared by every engine in the cell).
+fn pick_reps(b: &BenchDef, reuse: u64, target_ns: u64) -> u64 {
+    let probe = drive(b, ExecEngine::DecodePerStep, reuse, 1);
+    (target_ns / probe.ns.max(1)).clamp(3, 1 << 14)
+}
+
+/// Runs one (kernel, reuse) cell through all engines, asserting the
+/// observational-equivalence contract (checksums and modeled counters
+/// identical across engines).
+fn compare(b: &BenchDef, reuse: u64, reps: u64) -> AdaptiveBenchRow {
+    let cells: Vec<Timed> = ENGINES
+        .iter()
+        .map(|&(_, e)| drive(b, e, reuse, reps))
+        .collect();
+    let reference = &cells[0];
+    for ((label, _), t) in ENGINES.iter().zip(&cells).skip(1) {
+        assert_eq!(
+            (t.checksum, t.cycles, t.insns),
+            (reference.checksum, reference.cycles, reference.insns),
+            "{}: {label} engine diverges from decode-per-step at reuse {reuse}",
+            b.name
+        );
+    }
+    AdaptiveBenchRow {
+        kernel: b.name,
+        reuse,
+        reps,
+        decode_ns: cells[0].ns,
+        fused_ns: cells[1].ns,
+        threaded_ns: cells[2].ns,
+        adaptive_ns: cells[3].ns,
+        promotions: cells[3].promotions,
+        warm_decode_ns: cells[0].warm_ns,
+        warm_fused_ns: cells[1].warm_ns,
+        warm_threaded_ns: cells[2].warm_ns,
+        warm_adaptive_ns: cells[3].warm_ns,
+    }
+}
+
+/// Full run: the whole sweep at calibrated rep counts.
+pub fn adaptive_bench() -> Vec<AdaptiveBenchRow> {
+    let mut rows = Vec::new();
+    for b in defs() {
+        eprintln!("adaptive: measuring {}...", b.name);
+        for &reuse in &ADAPTIVE_REUSE_SWEEP {
+            let reps = pick_reps(&b, reuse, TARGET_NS);
+            rows.push(compare(&b, reuse, reps));
+        }
+    }
+    rows
+}
+
+/// Smoke run: every cell at a few reps with the equivalence asserts
+/// live — the CI gate. Timing numbers are not meaningful at this size.
+pub fn adaptive_bench_smoke() -> Vec<AdaptiveBenchRow> {
+    let mut rows = Vec::new();
+    for b in defs() {
+        for &reuse in &[1u64, 4] {
+            rows.push(compare(&b, reuse, 2));
+        }
+    }
+    rows
+}
+
+/// The sweep as JSON (`BENCH_adaptive.json`).
+pub fn adaptive_json(rows: &[AdaptiveBenchRow]) -> Json {
+    let summary: Vec<Json> = warm_summary(rows)
+        .iter()
+        .map(|s| {
+            Json::obj(vec![
+                ("kernel", Json::from(s.kernel)),
+                ("warm_decode_ns", Json::from(s.warm_decode_ns)),
+                ("warm_fused_ns", Json::from(s.warm_fused_ns)),
+                ("warm_threaded_ns", Json::from(s.warm_threaded_ns)),
+                ("warm_adaptive_ns", Json::from(s.warm_adaptive_ns)),
+                (
+                    "warm_adaptive_vs_best",
+                    Json::from(s.warm_adaptive_vs_best()),
+                ),
+            ])
+        })
+        .collect();
+    let rows: Vec<Json> = rows
+        .iter()
+        .map(|r| {
+            Json::obj(vec![
+                ("kernel", Json::from(r.kernel)),
+                ("reuse", Json::from(r.reuse)),
+                ("reps", Json::from(r.reps)),
+                ("decode_ns", Json::from(r.decode_ns)),
+                ("fused_ns", Json::from(r.fused_ns)),
+                ("threaded_ns", Json::from(r.threaded_ns)),
+                ("adaptive_ns", Json::from(r.adaptive_ns)),
+                ("promotions", Json::from(r.promotions)),
+                ("best_fixed_ns", Json::from(r.best_fixed_ns())),
+                ("adaptive_vs_best", Json::from(r.adaptive_vs_best())),
+                ("speedup_vs_threaded", Json::from(r.speedup_vs_threaded())),
+                ("warm_decode_ns", Json::from(r.warm_decode_ns)),
+                ("warm_fused_ns", Json::from(r.warm_fused_ns)),
+                ("warm_threaded_ns", Json::from(r.warm_threaded_ns)),
+                ("warm_adaptive_ns", Json::from(r.warm_adaptive_ns)),
+                (
+                    "warm_adaptive_vs_best",
+                    Json::from(r.warm_adaptive_vs_best()),
+                ),
+            ])
+        })
+        .collect();
+    Json::obj(vec![
+        ("experiment", Json::from("adaptive")),
+        (
+            "description",
+            Json::from(
+                "cold-start (translate + run) wall-clock vs reuse count per engine; \
+                 adaptive_vs_best is the adaptive engine's cost over the cheapest \
+                 fixed engine for that cell",
+            ),
+        ),
+        ("straight_stmts", Json::from(STRAIGHT_STMTS as u64)),
+        ("rows", Json::Arr(rows)),
+        ("warm_summary", Json::Arr(summary)),
+    ])
+}
+
+/// Human-readable sweep table.
+pub fn adaptive_report(rows: &[AdaptiveBenchRow]) -> String {
+    let mut out = String::new();
+    out.push_str("Adaptive tiering: cold-start translate+run cost vs reuse count\n");
+    out.push_str("(every timed region starts with an empty translation cache)\n\n");
+    out.push_str(
+        "  kernel    reuse   decode (ns)    fused (ns)   threaded (ns)   adaptive (ns)   vs-best   vs-thread   warm-adapt   warm-vs-best   promo\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "  {:8} {:6}   {:11}   {:11}   {:13}   {:13}   {:6.2}x   {:8.2}x   {:10}   {:11.2}x   {:5}\n",
+            r.kernel,
+            r.reuse,
+            r.decode_ns,
+            r.fused_ns,
+            r.threaded_ns,
+            r.adaptive_ns,
+            r.adaptive_vs_best(),
+            r.speedup_vs_threaded(),
+            r.warm_adaptive_ns,
+            r.warm_adaptive_vs_best(),
+            r.promotions,
+        ));
+    }
+    out.push_str(
+        "\nSteady state per kernel (fastest warm ns/run across the sweep):\n\n\
+         \x20 kernel      decode    fused   threaded   adaptive   adaptive-vs-best\n",
+    );
+    for s in warm_summary(rows) {
+        out.push_str(&format!(
+            "  {:8}  {:8} {:8}   {:8}   {:8}   {:15.2}x\n",
+            s.kernel,
+            s.warm_decode_ns,
+            s.warm_fused_ns,
+            s.warm_threaded_ns,
+            s.warm_adaptive_ns,
+            s.warm_adaptive_vs_best(),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engines_agree_and_adaptive_promotes_within_a_cell() {
+        // One cell end-to-end: compare() panics on any checksum or
+        // counter divergence. Four runs with default thresholds cross
+        // the fuse boundary, so the adaptive engine must promote.
+        let b = straight_def();
+        let row = compare(&b, 4, 2);
+        assert_eq!((row.kernel, row.reuse, row.reps), ("straight", 4, 2));
+        assert!(row.promotions > 0, "no promotions at reuse 4: {row:?}");
+    }
+
+    #[test]
+    fn suite_kernels_resolve_and_agree_at_reuse_one() {
+        let all = benchmarks(BLUR_SMALL);
+        let b = all.iter().find(|b| b.name == "binary").unwrap();
+        let row = compare(b, 1, 2);
+        assert_eq!(row.reuse, 1);
+    }
+
+    #[test]
+    fn json_has_rows_and_derived_columns() {
+        let rows = vec![AdaptiveBenchRow {
+            kernel: "straight",
+            reuse: 8,
+            reps: 10,
+            decode_ns: 4000,
+            fused_ns: 1500,
+            threaded_ns: 1000,
+            adaptive_ns: 1040,
+            promotions: 3,
+            warm_decode_ns: 400,
+            warm_fused_ns: 120,
+            warm_threaded_ns: 100,
+            warm_adaptive_ns: 103,
+        }];
+        let text = adaptive_json(&rows).to_string();
+        for key in [
+            "experiment",
+            "kernel",
+            "reuse",
+            "adaptive_ns",
+            "promotions",
+            "best_fixed_ns",
+            "adaptive_vs_best",
+            "speedup_vs_threaded",
+            "warm_adaptive_ns",
+            "warm_adaptive_vs_best",
+        ] {
+            assert!(text.contains(&format!("\"{key}\"")), "missing {key}");
+        }
+        assert_eq!(rows[0].best_fixed_ns(), 1000);
+        assert!((rows[0].adaptive_vs_best() - 1.04).abs() < 1e-12);
+        assert_eq!(rows[0].warm_best_fixed_ns(), 100);
+        assert!((rows[0].warm_adaptive_vs_best() - 1.03).abs() < 1e-12);
+        assert!(text.contains("\"warm_summary\""));
+    }
+
+    #[test]
+    fn warm_summary_takes_per_kernel_mins_across_the_sweep() {
+        let a = AdaptiveBenchRow {
+            kernel: "k",
+            reuse: 1,
+            reps: 1,
+            decode_ns: 1,
+            fused_ns: 1,
+            threaded_ns: 1,
+            adaptive_ns: 1,
+            promotions: 0,
+            warm_decode_ns: 400,
+            warm_fused_ns: 120,
+            warm_threaded_ns: 900, // this cell's threaded hit a stall
+            warm_adaptive_ns: 103,
+        };
+        let mut b = a;
+        b.reuse = 8;
+        b.warm_threaded_ns = 100;
+        b.warm_adaptive_ns = 950; // and this cell's adaptive did
+        let mut other = a;
+        other.kernel = "other";
+        let s = warm_summary(&[a, b, other]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0].kernel, "k");
+        assert_eq!(s[0].warm_threaded_ns, 100);
+        assert_eq!(s[0].warm_adaptive_ns, 103);
+        assert!((s[0].warm_adaptive_vs_best() - 1.03).abs() < 1e-12);
+        assert_eq!(s[1].kernel, "other");
+    }
+}

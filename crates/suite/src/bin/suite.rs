@@ -3,7 +3,7 @@
 //! Usage:
 //!
 //! ```text
-//! suite [all|table1|figure4|figure5|figure6|figure7|blur|sensitivity|smoke|cache|exec|exec-check] [--small] [--smoke] [--json]
+//! suite [all|table1|figure4|figure5|figure6|figure7|blur|sensitivity|smoke|cache|exec|adaptive|exec-check] [--small] [--smoke] [--json]
 //! ```
 //!
 //! With `--json`, each measured experiment also writes a machine-readable
@@ -14,16 +14,22 @@
 //! four execution engines (decode-per-step, predecoded, predecoded +
 //! fused, direct-threaded) on the loop-heavy kernels; `exec --smoke`
 //! runs the same comparison at a few reps with the equivalence asserts
-//! live. `exec-check [fresh [baseline]]` compares a freshly written
-//! `BENCH_exec.json` (default `./BENCH_exec.json`) against a committed
-//! baseline (default `baselines/BENCH_exec.json`) and exits non-zero
-//! when `speedup_fused` regresses more than 30% on any kernel.
+//! live. `adaptive` sweeps reuse counts through the fixed engines and
+//! the adaptive tiering engine, each timed region starting from a cold
+//! translation cache (`BENCH_adaptive.json`); `adaptive --smoke` runs
+//! a tiny sweep with the equivalence asserts live. `exec-check
+//! [fresh [baseline]]` compares a freshly written `BENCH_exec.json`
+//! (default `./BENCH_exec.json`) against a committed baseline (default
+//! `baselines/BENCH_exec.json`) and exits non-zero when any gated
+//! speedup column (fused, threaded, adaptive) regresses more than 30%
+//! on any kernel.
 
 use tcc_obs::json::Json;
 use tcc_suite::{
-    benchmarks, cache_bench, cache_json, cache_report, check_exec, exec_bench, exec_bench_smoke,
-    exec_json, exec_report, json_report, measure, ns_per_cycle, report, DynBackend, Measurement,
-    BLUR_FULL, BLUR_SMALL, DEFAULT_TOLERANCE,
+    adaptive_bench, adaptive_bench_smoke, adaptive_json, adaptive_report, benchmarks, cache_bench,
+    cache_json, cache_report, check_exec, exec_bench, exec_bench_smoke, exec_json, exec_report,
+    json_report, measure, ns_per_cycle, report, DynBackend, Measurement, BLUR_FULL, BLUR_SMALL,
+    DEFAULT_TOLERANCE,
 };
 
 fn write_json(name: &str, j: &Json) {
@@ -54,6 +60,7 @@ fn main() {
         "smoke",
         "cache",
         "exec",
+        "adaptive",
         "exec-check",
     ];
     if !known.contains(&what) {
@@ -111,6 +118,21 @@ fn main() {
                 std::process::exit(1);
             }
         }
+        return;
+    }
+
+    if what == "adaptive" {
+        // Reuse-count sweep: cold-start translate+run cost per engine,
+        // with the cross-engine equivalence asserts always live.
+        let rows = if smoke {
+            adaptive_bench_smoke()
+        } else {
+            adaptive_bench()
+        };
+        if json {
+            write_json("adaptive", &adaptive_json(&rows));
+        }
+        print!("{}", adaptive_report(&rows));
         return;
     }
 

@@ -9,25 +9,45 @@
 //!
 //! Wall-clock nanoseconds are machine- and load-dependent, so the gate
 //! compares *speedups* (ratios of engines run back-to-back on the same
-//! machine), which are stable. The CI contract: a fresh
-//! `speedup_fused` may not regress more than [`DEFAULT_TOLERANCE`]
-//! below the committed baseline for any kernel.
+//! machine), which are stable. The CI contract: for every kernel, none
+//! of the gated speedup columns ([`GATED_COLUMNS`]: fused, threaded,
+//! adaptive) may regress more than [`DEFAULT_TOLERANCE`] below the
+//! committed baseline. A baseline written before a column existed
+//! stores no value for it; such columns are reported as warnings and
+//! skipped rather than gated, so an old `BENCH_exec.json` never turns
+//! into a spurious CI failure.
 
 use std::collections::BTreeMap;
 
-/// Maximum tolerated relative drop in `speedup_fused` (0.30 = fresh
-/// may be at worst 30% below baseline).
+/// Maximum tolerated relative drop in a gated speedup column (0.30 =
+/// fresh may be at worst 30% below baseline).
 pub const DEFAULT_TOLERANCE: f64 = 0.30;
+
+/// One gated speedup column: its JSON key and row accessor.
+pub type GatedColumn = (&'static str, fn(&CheckRow) -> f64);
+
+/// The speedup columns the gate guards, as (key, accessor) pairs. Every
+/// column is held to the same relative tolerance; a baseline value of
+/// zero means the column predates the baseline and is warned about
+/// instead of gated.
+pub const GATED_COLUMNS: [GatedColumn; 3] = [
+    ("speedup_fused", |r| r.speedup_fused),
+    ("speedup_threaded", |r| r.speedup_threaded),
+    ("speedup_adaptive", |r| r.speedup_adaptive),
+];
 
 /// The per-kernel fields the gate reads from `BENCH_exec.json`.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct CheckRow {
     /// Kernel name.
     pub name: String,
-    /// Predecoded+fused speedup over decode-per-step (the gated value).
+    /// Predecoded+fused speedup over decode-per-step (gated).
     pub speedup_fused: f64,
-    /// Direct-threaded speedup over decode-per-step (reported).
+    /// Direct-threaded speedup over decode-per-step (gated).
     pub speedup_threaded: f64,
+    /// Adaptive-tiering speedup over decode-per-step (gated; 0.0 when
+    /// the file predates the adaptive engine).
+    pub speedup_adaptive: f64,
     /// Threaded-over-fused ratio (reported).
     pub speedup_threaded_vs_fused: f64,
     /// ICODE fusion-aware scheduler pair gain (reported).
@@ -66,6 +86,7 @@ pub fn parse_exec_rows(text: &str) -> Vec<CheckRow> {
         match key {
             "speedup_fused" => row.speedup_fused = value.parse().unwrap_or(0.0),
             "speedup_threaded" => row.speedup_threaded = value.parse().unwrap_or(0.0),
+            "speedup_adaptive" => row.speedup_adaptive = value.parse().unwrap_or(0.0),
             "speedup_threaded_vs_fused" => {
                 row.speedup_threaded_vs_fused = value.parse().unwrap_or(0.0);
             }
@@ -80,11 +101,14 @@ pub fn parse_exec_rows(text: &str) -> Vec<CheckRow> {
 
 /// Compares fresh exec-bench results against a baseline. Returns a
 /// human-readable report on success, or a description of every
-/// violated bound on failure. A kernel fails when its fresh
-/// `speedup_fused` drops more than `tolerance` (relative) below the
-/// baseline value; kernels present in the baseline but missing from
-/// the fresh run also fail. Fresh kernels without a baseline pass
-/// (they are new) and are noted in the report.
+/// violated bound on failure. A kernel fails when any gated speedup
+/// column ([`GATED_COLUMNS`]) drops more than `tolerance` (relative)
+/// below its baseline value; kernels present in the baseline but
+/// missing from the fresh run also fail. Fresh kernels without a
+/// baseline pass (they are new) and are noted in the report, as are
+/// gated columns the baseline does not carry yet (value 0.0 — e.g. a
+/// pre-adaptive `BENCH_exec.json`), which are warned about and
+/// skipped.
 ///
 /// # Errors
 ///
@@ -101,32 +125,43 @@ pub fn check_exec(baseline: &str, fresh: &str, tolerance: f64) -> Result<String,
     let fresh_names: Vec<&str> = fresh_rows.iter().map(|r| r.name.as_str()).collect();
     let mut report = String::from(
         "exec-check: fresh speedups vs committed baseline\n\
-         \n  bench     fused(base)  fused(fresh)   thread(fresh)  t/f     icodeD\n",
+         \n  bench     fused(base)  fused(fresh)   thread(fresh)  adapt(fresh)  t/f     icodeD\n",
     );
+    let mut warnings = String::new();
     let mut failures = String::new();
     for f in &fresh_rows {
         let b = base.get(&f.name);
         let base_fused = b.map_or(0.0, |b| b.speedup_fused);
         report.push_str(&format!(
-            "  {:7}   {:9.2}x   {:10.2}x   {:11.2}x  {:5.2}x   {:+5}{}\n",
+            "  {:7}   {:9.2}x   {:10.2}x   {:11.2}x  {:10.2}x  {:5.2}x   {:+5}{}\n",
             f.name,
             base_fused,
             f.speedup_fused,
             f.speedup_threaded,
+            f.speedup_adaptive,
             f.speedup_threaded_vs_fused,
             f.fused_pairs_icode_delta,
             if b.is_none() { "   (no baseline)" } else { "" },
         ));
-        if let Some(b) = b {
-            let floor = b.speedup_fused * (1.0 - tolerance);
-            if f.speedup_fused < floor {
+        let Some(b) = b else { continue };
+        for (key, column) in GATED_COLUMNS {
+            let base_value = column(b);
+            if base_value == 0.0 {
+                warnings.push_str(&format!(
+                    "  warning: baseline has no {key} for {} (pre-{key} file?) — not gated\n",
+                    f.name,
+                ));
+                continue;
+            }
+            let floor = base_value * (1.0 - tolerance);
+            if column(f) < floor {
                 failures.push_str(&format!(
-                    "  {}: speedup_fused {:.2}x regressed below {:.2}x \
+                    "  {}: {key} {:.2}x regressed below {:.2}x \
                      (baseline {:.2}x - {:.0}% tolerance)\n",
                     f.name,
-                    f.speedup_fused,
+                    column(f),
                     floor,
-                    b.speedup_fused,
+                    base_value,
                     tolerance * 100.0,
                 ));
             }
@@ -138,6 +173,9 @@ pub fn check_exec(baseline: &str, fresh: &str, tolerance: f64) -> Result<String,
                 "  {name}: present in baseline, missing from fresh run\n"
             ));
         }
+    }
+    if !warnings.is_empty() {
+        report.push_str(&format!("\n{warnings}"));
     }
     if failures.is_empty() {
         Ok(report)
@@ -153,13 +191,27 @@ mod tests {
     use crate::exec_json;
 
     fn sample_row(name: &'static str, decode_ns: u64, fused_ns: u64) -> ExecBenchRow {
+        engines_row(name, decode_ns, fused_ns, fused_ns / 2, fused_ns)
+    }
+
+    /// A row with every engine's wall-clock pinned independently, so
+    /// tests can regress one gated column at a time.
+    fn engines_row(
+        name: &'static str,
+        decode_ns: u64,
+        fused_ns: u64,
+        threaded_ns: u64,
+        adaptive_ns: u64,
+    ) -> ExecBenchRow {
         ExecBenchRow {
             name,
             reps: 10,
             decode_ns,
             predecoded_ns: fused_ns + 100,
             fused_ns,
-            threaded_ns: fused_ns / 2,
+            threaded_ns,
+            adaptive_ns,
+            promotions: 4,
             cycles: 1000,
             insns: 900,
             fused_pairs: 12,
@@ -211,6 +263,49 @@ mod tests {
         // A fresh-only kernel alone is fine when the baseline is empty.
         let empty = exec_json(&[]).pretty();
         assert!(check_exec(&empty, &fresh, DEFAULT_TOLERANCE).is_ok());
+    }
+
+    #[test]
+    fn fails_when_only_the_threaded_column_regresses() {
+        // fused and adaptive hold steady; threaded alone drops from
+        // 8.0x to 2.0x. The old single-column gate shipped this bug
+        // through silently.
+        let base = exec_json(&[engines_row("hash", 4000, 1000, 500, 1000)]).pretty();
+        let fresh = exec_json(&[engines_row("hash", 4000, 1000, 2000, 1000)]).pretty();
+        let err = check_exec(&base, &fresh, DEFAULT_TOLERANCE).expect_err("threaded regression");
+        assert!(err.contains("speedup_threaded"), "{err}");
+        assert!(!err.contains("speedup_fused 4"), "{err}");
+    }
+
+    #[test]
+    fn fails_when_only_the_adaptive_column_regresses() {
+        // adaptive alone drops from 4.0x to 1.0x (>30%).
+        let base = exec_json(&[engines_row("hash", 4000, 1000, 500, 1000)]).pretty();
+        let fresh = exec_json(&[engines_row("hash", 4000, 1000, 500, 4000)]).pretty();
+        let err = check_exec(&base, &fresh, DEFAULT_TOLERANCE).expect_err("adaptive regression");
+        assert!(err.contains("speedup_adaptive"), "{err}");
+    }
+
+    #[test]
+    fn baseline_without_adaptive_column_warns_instead_of_failing() {
+        // A pre-adaptive baseline: strip the adaptive lines from the
+        // emitted JSON, as if the file had been written before the
+        // column existed. Even a fresh adaptive value far below the
+        // others must pass — with a warning — because there is nothing
+        // to gate against.
+        let base: String = exec_json(&[engines_row("hash", 4000, 1000, 500, 1000)])
+            .pretty()
+            .lines()
+            .filter(|l| !l.contains("adaptive"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert!(!base.contains("speedup_adaptive"));
+        let fresh = exec_json(&[engines_row("hash", 4000, 1000, 500, 40000)]).pretty();
+        let report = check_exec(&base, &fresh, DEFAULT_TOLERANCE).expect("warns, not fails");
+        assert!(
+            report.contains("warning: baseline has no speedup_adaptive"),
+            "{report}"
+        );
     }
 
     #[test]

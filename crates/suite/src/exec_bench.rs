@@ -1,5 +1,5 @@
 //! Execution-engine benchmark: decode-per-step vs predecoded vs
-//! predecoded+fused vs direct-threaded.
+//! predecoded+fused vs direct-threaded vs adaptive tiering.
 //!
 //! The paper's premise — pay translation cost once per code body, not
 //! per execution — applies to the VM itself: the reference interpreter
@@ -7,8 +7,10 @@
 //! executed instruction, while the predecoded engine does all of that
 //! once per sealed function, and the direct-threaded engine further
 //! replaces the per-slot `match` with a handler-pointer jump and
-//! charges fuel per basic block. This experiment drives the loop-heavy
-//! suite kernels through all four engines, asserts they are
+//! charges fuel per basic block; the adaptive engine starts every
+//! function on decode-per-step and climbs those tiers per function as
+//! run counts cross its thresholds. This experiment drives the
+//! loop-heavy suite kernels through all five engines, asserts they are
 //! observationally identical (result checksum, modeled cycles, retired
 //! instructions — the differential contract), and reports wall-clock
 //! speedups. It also measures the ICODE fusion-aware scheduler's
@@ -35,6 +37,7 @@ enum Variant {
     Predecoded,
     Fused,
     Threaded,
+    Adaptive,
 }
 
 impl Variant {
@@ -44,6 +47,8 @@ impl Variant {
             Variant::Predecoded => ExecEngine::Predecoded { fuse: false },
             Variant::Fused => ExecEngine::Predecoded { fuse: true },
             Variant::Threaded => ExecEngine::Threaded,
+            // Shipping defaults (Config::default's engine).
+            Variant::Adaptive => ExecEngine::default(),
         }
     }
 }
@@ -63,6 +68,13 @@ pub struct ExecBenchRow {
     pub fused_ns: u64,
     /// Wall-clock ns for the direct-threaded engine.
     pub threaded_ns: u64,
+    /// Wall-clock ns for the adaptive tiering engine (default
+    /// thresholds; the timed region replays the cold-to-hot climb once
+    /// per session, then steady state).
+    pub adaptive_ns: u64,
+    /// Tier levels gained by the adaptive engine over the whole
+    /// session (warm-up plus timed reps).
+    pub promotions: u64,
     /// Modeled cycles over the timed reps — identical across engines by
     /// the equivalence contract (asserted).
     pub cycles: u64,
@@ -99,6 +111,11 @@ impl ExecBenchRow {
         self.decode_ns as f64 / self.threaded_ns.max(1) as f64
     }
 
+    /// Wall-clock speedup of adaptive tiering over decode-per-step.
+    pub fn speedup_adaptive(&self) -> f64 {
+        self.decode_ns as f64 / self.adaptive_ns.max(1) as f64
+    }
+
     /// Wall-clock speedup of direct-threading over the fused engine —
     /// the tentpole claim (>= 1.2x on most kernels).
     pub fn speedup_threaded_vs_fused(&self) -> f64 {
@@ -120,6 +137,7 @@ struct Timed {
     fused_pairs: u64,
     hit_rate: f64,
     batched_blocks: u64,
+    promotions: u64,
 }
 
 fn make_session(b: &BenchDef, variant: Variant) -> Session {
@@ -128,30 +146,72 @@ fn make_session(b: &BenchDef, variant: Variant) -> Session {
     s
 }
 
-/// Sets up the workload, compiles the dynamic function, and times
-/// `reps` executions of it (after one warm-up run that also populates
-/// the translation cache, so the timed region measures steady state).
-fn drive(b: &BenchDef, variant: Variant, reps: u64) -> Timed {
+/// Timing chunks per engine: the reported total is the fastest
+/// observed per-rep cost scaled by the rep count, so a scheduler stall
+/// has to span every chunk (not just land somewhere in one monolithic
+/// region) to poison the cell. The min is the standard estimator for a
+/// fixed-work microbenchmark — noise only ever adds time. Chunks are
+/// interleaved round-robin across the engines (see [`compare`]) so a
+/// stall long enough to span several chunks lands on every engine's
+/// measurement instead of wiping out one engine's whole cell; at
+/// multi-millisecond chunk sizes the cache disturbance from switching
+/// sessions at chunk boundaries is noise-level.
+const TIMING_CHUNKS: u64 = 16;
+
+/// One engine's in-flight measurement: its warmed session and the
+/// best per-rep cost observed so far.
+struct Prepared {
+    s: Session,
+    fp: u64,
+    checksum: u64,
+    done: u64,
+    best_per_rep: f64,
+}
+
+/// Sets up the workload, compiles the dynamic function, and runs it
+/// once untimed (populating the translation cache, so the timed chunks
+/// measure steady state).
+fn prepare(b: &BenchDef, variant: Variant) -> Prepared {
     let mut s = make_session(b, variant);
     (b.setup)(&mut s);
     let fp = (b.compile_dyn)(&mut s);
-    let mut checksum = (b.run_dyn)(&mut s, fp);
+    let checksum = (b.run_dyn)(&mut s, fp);
     s.reset_counters();
-    let t = Instant::now();
-    for _ in 0..reps {
-        checksum = checksum.wrapping_add((b.run_dyn)(&mut s, fp));
+    Prepared {
+        s,
+        fp,
+        checksum,
+        done: 0,
+        best_per_rep: f64::INFINITY,
     }
-    let ns = t.elapsed().as_nanos() as u64;
-    checksum = checksum.wrapping_add((b.check)(&mut s));
-    let exec = s.metrics().exec;
+}
+
+/// Times one chunk: the reps from `p.done` up to `until`.
+fn run_chunk(b: &BenchDef, p: &mut Prepared, until: u64) {
+    let n = until - p.done;
+    p.done = until;
+    let t = Instant::now();
+    for _ in 0..n {
+        p.checksum = p.checksum.wrapping_add((b.run_dyn)(&mut p.s, p.fp));
+    }
+    let per_rep = t.elapsed().as_nanos() as f64 / n.max(1) as f64;
+    p.best_per_rep = p.best_per_rep.min(per_rep);
+}
+
+/// Closes out one engine's measurement after every chunk has run.
+fn finish(b: &BenchDef, mut p: Prepared, reps: u64) -> Timed {
+    let ns = (p.best_per_rep * reps as f64) as u64;
+    let checksum = p.checksum.wrapping_add((b.check)(&mut p.s));
+    let m = p.s.metrics();
     Timed {
         ns,
-        cycles: s.cycles(),
-        insns: s.insns(),
+        cycles: p.s.cycles(),
+        insns: p.s.insns(),
         checksum,
-        fused_pairs: exec.fused_pairs,
-        hit_rate: exec.hit_rate(),
-        batched_blocks: exec.batched_blocks,
+        fused_pairs: m.exec.fused_pairs,
+        hit_rate: m.exec.hit_rate(),
+        batched_blocks: m.exec.batched_blocks,
+        promotions: m.adaptive.promotions,
     }
 }
 
@@ -198,17 +258,37 @@ fn pick_reps(b: &BenchDef, target_ns: u64) -> u64 {
     }
 }
 
-/// Runs one benchmark through all four engines at `reps` repetitions,
+/// Runs one benchmark through all five engines at `reps` repetitions,
 /// asserting the observational-equivalence contract.
 fn compare(b: &BenchDef, reps: u64) -> ExecBenchRow {
-    let decode = drive(b, Variant::Decode, reps);
-    let predecoded = drive(b, Variant::Predecoded, reps);
-    let fused = drive(b, Variant::Fused, reps);
-    let threaded = drive(b, Variant::Threaded, reps);
+    const VARIANTS: [Variant; 5] = [
+        Variant::Decode,
+        Variant::Predecoded,
+        Variant::Fused,
+        Variant::Threaded,
+        Variant::Adaptive,
+    ];
+    let mut prepared: Vec<Prepared> = VARIANTS.iter().map(|&v| prepare(b, v)).collect();
+    let chunks = reps.clamp(1, TIMING_CHUNKS);
+    for c in 0..chunks {
+        // Spread `reps` exactly across the chunks (sizes differ by at
+        // most one), so modeled counters stay identical across engines.
+        let until = reps * (c + 1) / chunks;
+        for p in prepared.iter_mut() {
+            run_chunk(b, p, until);
+        }
+    }
+    let mut timed = prepared.into_iter().map(|p| finish(b, p, reps));
+    let decode = timed.next().unwrap();
+    let predecoded = timed.next().unwrap();
+    let fused = timed.next().unwrap();
+    let threaded = timed.next().unwrap();
+    let adaptive = timed.next().unwrap();
     for (label, t) in [
         ("predecoded", &predecoded),
         ("fused", &fused),
         ("threaded", &threaded),
+        ("adaptive", &adaptive),
     ] {
         assert_eq!(
             (t.checksum, t.cycles, t.insns),
@@ -224,6 +304,8 @@ fn compare(b: &BenchDef, reps: u64) -> ExecBenchRow {
         predecoded_ns: predecoded.ns,
         fused_ns: fused.ns,
         threaded_ns: threaded.ns,
+        adaptive_ns: adaptive.ns,
+        promotions: adaptive.promotions,
         cycles: decode.cycles,
         insns: decode.insns,
         fused_pairs: fused.fused_pairs,
@@ -259,7 +341,7 @@ pub fn exec_bench() -> Vec<ExecBenchRow> {
         .collect()
 }
 
-/// Smoke run: a few reps of every kernel through all four engines with
+/// Smoke run: a few reps of every kernel through all five engines with
 /// the equivalence asserts live — the CI differential gate. Timing
 /// numbers are not meaningful at this size.
 pub fn exec_bench_smoke() -> Vec<ExecBenchRow> {
@@ -278,6 +360,8 @@ pub fn exec_json(rows: &[ExecBenchRow]) -> Json {
                 ("predecoded_ns", Json::from(r.predecoded_ns)),
                 ("fused_ns", Json::from(r.fused_ns)),
                 ("threaded_ns", Json::from(r.threaded_ns)),
+                ("adaptive_ns", Json::from(r.adaptive_ns)),
+                ("promotions", Json::from(r.promotions)),
                 ("cycles", Json::from(r.cycles)),
                 ("insns", Json::from(r.insns)),
                 ("fused_pairs", Json::from(r.fused_pairs)),
@@ -295,6 +379,7 @@ pub fn exec_json(rows: &[ExecBenchRow]) -> Json {
                 ("speedup_predecoded", Json::from(r.speedup_predecoded())),
                 ("speedup_fused", Json::from(r.speedup_fused())),
                 ("speedup_threaded", Json::from(r.speedup_threaded())),
+                ("speedup_adaptive", Json::from(r.speedup_adaptive())),
                 (
                     "speedup_threaded_vs_fused",
                     Json::from(r.speedup_threaded_vs_fused()),
@@ -308,8 +393,8 @@ pub fn exec_json(rows: &[ExecBenchRow]) -> Json {
             "description",
             Json::from(
                 "execution wall-clock: decode-per-step vs predecoded vs predecoded+fused \
-                 vs direct-threaded (identical modeled cycles/insns asserted); \
-                 fused_pairs_icode_* measure the ICODE fusion-aware scheduler",
+                 vs direct-threaded vs adaptive tiering (identical modeled cycles/insns \
+                 asserted); fused_pairs_icode_* measure the ICODE fusion-aware scheduler",
             ),
         ),
         ("rows", Json::Arr(rows)),
@@ -321,11 +406,11 @@ pub fn exec_report(rows: &[ExecBenchRow]) -> String {
     let mut out = String::new();
     out.push_str("Execution engines: wall-clock per kernel (identical modeled cycles)\n\n");
     out.push_str(
-        "  bench     reps   decode (ns)    fused (ns)   threaded (ns)   predec   fused   thread   t/f     pairs   icodeD   hit\n",
+        "  bench     reps   decode (ns)    fused (ns)   threaded (ns)   predec   fused   thread   adapt   t/f     promo   pairs   icodeD   hit\n",
     );
     for r in rows {
         out.push_str(&format!(
-            "  {:7} {:6}   {:11}   {:11}   {:13}   {:5.2}x  {:5.2}x  {:5.2}x  {:5.2}x   {:5}   {:+6}   {:4.2}\n",
+            "  {:7} {:6}   {:11}   {:11}   {:13}   {:5.2}x  {:5.2}x  {:5.2}x  {:5.2}x  {:5.2}x   {:5}   {:5}   {:+6}   {:4.2}\n",
             r.name,
             r.reps,
             r.decode_ns,
@@ -334,7 +419,9 @@ pub fn exec_report(rows: &[ExecBenchRow]) -> String {
             r.speedup_predecoded(),
             r.speedup_fused(),
             r.speedup_threaded(),
+            r.speedup_adaptive(),
             r.speedup_threaded_vs_fused(),
+            r.promotions,
             r.fused_pairs,
             r.fused_pairs_icode_delta(),
             r.hit_rate,
@@ -355,6 +442,10 @@ mod tests {
         let b = all.iter().find(|b| b.name == "binary").unwrap();
         let row = compare(b, 3);
         assert_eq!(row.reps, 3);
+        assert!(
+            row.promotions > 0,
+            "adaptive engine promoted nothing: {row:?}"
+        );
         assert!(row.fused_pairs > 0, "fusion found no pairs: {row:?}");
         assert!(row.hit_rate > 0.9, "dispatch mostly fast: {row:?}");
         assert!(row.batched_blocks > 0, "threaded engine batched no blocks");
@@ -373,6 +464,8 @@ mod tests {
             predecoded_ns: 1500,
             fused_ns: 1000,
             threaded_ns: 500,
+            adaptive_ns: 800,
+            promotions: 4,
             cycles: 77,
             insns: 42,
             fused_pairs: 5,
@@ -386,6 +479,9 @@ mod tests {
             "experiment",
             "decode_ns",
             "threaded_ns",
+            "adaptive_ns",
+            "promotions",
+            "speedup_adaptive",
             "batched_blocks",
             "fused_pairs_icode",
             "fused_pairs_icode_delta",
@@ -399,6 +495,7 @@ mod tests {
         }
         assert!((rows[0].speedup_fused() - 4.0).abs() < 1e-12);
         assert!((rows[0].speedup_threaded() - 8.0).abs() < 1e-12);
+        assert!((rows[0].speedup_adaptive() - 5.0).abs() < 1e-12);
         assert!((rows[0].speedup_threaded_vs_fused() - 2.0).abs() < 1e-12);
         assert_eq!(rows[0].fused_pairs_icode_delta(), 2);
     }

@@ -16,6 +16,7 @@
 //! or per experiment: `table1`, `figure4`, `figure5`, `figure6`,
 //! `figure7`, `blur`.
 
+pub mod adaptive_bench;
 pub mod cache_bench;
 pub mod calibrate;
 pub mod check;
@@ -26,9 +27,13 @@ pub mod micro;
 pub mod programs;
 pub mod report;
 
+pub use adaptive_bench::{
+    adaptive_bench, adaptive_bench_smoke, adaptive_json, adaptive_report, warm_summary,
+    AdaptiveBenchRow, WarmSummary, ADAPTIVE_REUSE_SWEEP,
+};
 pub use cache_bench::{cache_bench, cache_json, cache_report};
 pub use calibrate::ns_per_cycle;
-pub use check::{check_exec, parse_exec_rows, CheckRow, DEFAULT_TOLERANCE};
+pub use check::{check_exec, parse_exec_rows, CheckRow, DEFAULT_TOLERANCE, GATED_COLUMNS};
 pub use exec_bench::{exec_bench, exec_bench_smoke, exec_json, exec_report, ExecBenchRow};
 pub use measure::{measure, measure_with, DynBackend, Measurement};
 pub use programs::{benchmarks, BenchDef, BLUR_FULL, BLUR_SMALL};

@@ -7,7 +7,9 @@ use std::sync::Arc;
 use std::time::Instant;
 use tcc_front::{FrontError, Program};
 use tcc_mir::{build_image, Image, OptLevel};
-use tcc_obs::{ExecMetrics, FrontendMetrics, SessionMetrics, StaticMetrics, VmMetrics};
+use tcc_obs::{
+    AdaptiveMetrics, ExecMetrics, FrontendMetrics, SessionMetrics, StaticMetrics, VmMetrics,
+};
 use tcc_vm::{CostModel, ExecEngine, Vm, VmError};
 
 /// Any error from source to execution.
@@ -66,14 +68,21 @@ pub struct Config {
     pub placement_jitter: Option<u64>,
     /// Execute through a translated engine (per-function translation
     /// cache). Observationally identical to decode-per-step; off = the
-    /// reference interpreter. The engine picked is [`ExecEngine`]'s
-    /// default — direct-threaded dispatch with basic-block fuel
-    /// batching — unless `engine` overrides it.
+    /// reference interpreter. The engine picked is adaptive
+    /// per-function tiering ([`ExecEngine::Adaptive`] with the
+    /// `adaptive_*` thresholds below) unless `engine` overrides it.
     pub predecode: bool,
     /// Explicit execution-engine override; `None` defers to
-    /// `predecode`. Use this to pin the predecoded (fused/unfused)
-    /// engine for comparisons.
+    /// `predecode`. Use this to pin a fixed engine (decode-per-step,
+    /// predecoded fused/unfused, threaded) for comparisons.
     pub engine: Option<ExecEngine>,
+    /// Adaptive tiering: completed runs after which a function is
+    /// promoted to the predecoded+fused engine (tier 1). Calibrated by
+    /// the `suite adaptive` reuse sweep.
+    pub adaptive_fuse_after: u32,
+    /// Adaptive tiering: completed runs after which a function is
+    /// promoted to the direct-threaded engine (tier 2).
+    pub adaptive_thread_after: u32,
     /// Run the ICODE fusion-aware scheduler (sinks pure defs next to
     /// branches/consumers so superinstruction pairing finds more
     /// adjacencies). Ablation knob; on by default.
@@ -93,6 +102,8 @@ impl Default for Config {
             placement_jitter: None,
             predecode: true,
             engine: None,
+            adaptive_fuse_after: tcc_vm::DEFAULT_FUSE_AFTER,
+            adaptive_thread_after: tcc_vm::DEFAULT_THREAD_AFTER,
             icode_schedule: true,
         }
     }
@@ -162,7 +173,10 @@ impl Session {
         let mut vm = Vm::from_parts(code, image.mem.clone(), rt);
         vm.set_cost_model(config.cost);
         vm.set_engine(config.engine.unwrap_or(if config.predecode {
-            ExecEngine::default()
+            ExecEngine::Adaptive {
+                fuse_after: config.adaptive_fuse_after,
+                thread_after: config.adaptive_thread_after,
+            }
         } else {
             ExecEngine::DecodePerStep
         }));
@@ -272,6 +286,19 @@ impl Session {
                     batched_blocks: s.batched_blocks,
                     fuel_reconciliations: s.fuel_reconciliations,
                     handlers: s.handlers,
+                }
+            },
+            adaptive: {
+                let a = self.vm.adaptive_stats();
+                AdaptiveMetrics {
+                    total_runs: a.total_runs,
+                    runs_tier0: a.runs_tier0,
+                    runs_tier1: a.runs_tier1,
+                    runs_tier2: a.runs_tier2,
+                    promotions: a.promotions,
+                    demotions: a.demotions,
+                    translation_ns: a.translation_ns,
+                    translation_ns_saved: a.translation_ns_saved,
                 }
             },
             cache: self

@@ -51,7 +51,9 @@ pub use tcc_obs::{
     CodegenPhases, DynMetrics, ExecMetrics, FrontendMetrics, SessionMetrics, StaticMetrics,
     VmMetrics,
 };
-pub use tcc_vm::{ExecEngine, ExecStats};
+pub use tcc_vm::{
+    AdaptiveStats, ExecEngine, ExecStats, Tier, DEFAULT_FUSE_AFTER, DEFAULT_THREAD_AFTER,
+};
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,673 @@
+//! The adaptive execution engine: count-triggered per-function tiering.
+//!
+//! The fixed engines trade translation cost against dispatch speed: the
+//! reference interpreter ([`ExecEngine::DecodePerStep`]) pays nothing
+//! up front and the most per instruction, the predecoded+fused engine
+//! pays one decoding pass per function, and the direct-threaded engine
+//! pays the most translation (handler selection, block summaries) for
+//! the fastest dispatch. Which trade wins depends on how often a
+//! function runs — the paper's Figure 5 crossover, recreated at the
+//! execution layer. [`ExecEngine::Adaptive`] makes the choice per
+//! function at run time:
+//!
+//! ```text
+//!            runs >= fuse_after        runs >= thread_after
+//!   tier 0 ─────────────────▶ tier 1 ─────────────────▶ tier 2
+//!   decode-per-step          predecoded+fused          threaded
+//!      ▲                        │                         │
+//!      └────────────────────────┴─────────────────────────┘
+//!                 live-epoch bump (free / patch / eviction):
+//!                 demote to tier 0, drop translations + counts
+//! ```
+//!
+//! A "run" is one entry of control into the function's live range from
+//! outside it (the invocation counter of a classic tiered JIT): calls,
+//! returns into a caller, and cross-function jumps all count; internal
+//! loops do not. The promotion clock additionally earns one run per
+//! `BACKEDGES_PER_RUN_BITS`-weighted batch of backward transfers
+//! observed while single-stepping at tier 0 (the backedge counter of a
+//! classic tiered JIT), so a loop-heavy function promotes inside its
+//! first run instead of paying decode price for every iteration until
+//! its entry count catches up. Promotion is evaluated at entry (or at
+//! a backedge clock tick), against the number of *completed* prior
+//! entries, and is monotone per function — a function only moves up
+//! tiers until an epoch bump resets it.
+//!
+//! # Equivalence contract
+//!
+//! The adaptive engine composes the existing dispatchers and falls back
+//! to the same reference single-step path, so it inherits the
+//! observational-equivalence contract: identical result values,
+//! `cycles`, `insns`, exit status, and error at the same instruction
+//! (including [`VmError::OutOfFuel`] under any fuel budget), before,
+//! during, and after a promotion. `tests/exec_differential.rs` sweeps
+//! fuel budgets across promotion boundaries to enforce this.
+//!
+//! # Invalidation
+//!
+//! Tier state lives in the `TransCache` next to the translations it
+//! justified and is validated against [`CodeSpace::live_epoch`] on
+//! every outer-loop iteration (hence after every host call). On any
+//! epoch change — a function freed directly or by `tcc-cache` eviction,
+//! or a live word patched — every function demotes to tier 0, run
+//! counts reset, and stale translations are dropped; stale pcs then
+//! fault [`VmError::StaleCode`] / [`VmError::BadPc`] from the exact
+//! same reference path as every other engine.
+//!
+//! [`ExecEngine::DecodePerStep`]: crate::predecode::ExecEngine::DecodePerStep
+//! [`ExecEngine::Adaptive`]: crate::predecode::ExecEngine::Adaptive
+//! [`CodeSpace::live_epoch`]: crate::code::CodeSpace::live_epoch
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::code::CODE_BASE;
+use crate::error::VmError;
+use crate::host::HostCall;
+use crate::interp::{ExitStatus, Step, Vm, RETURN_SENTINEL};
+use crate::predecode::DecodedFn;
+use crate::threaded::ThreadedFn;
+
+/// Default promotion threshold to tier 1 (predecoded+fused): completed
+/// runs after which one decoding pass has paid for itself. Calibrated
+/// by the `suite adaptive` reuse sweep.
+pub const DEFAULT_FUSE_AFTER: u32 = 2;
+
+/// Default promotion threshold to tier 2 (direct-threaded): completed
+/// runs after which the heavier handler-table translation has paid for
+/// itself. Calibrated by the `suite adaptive` reuse sweep.
+pub const DEFAULT_THREAD_AFTER: u32 = 8;
+
+/// Execution tier of one function under the adaptive engine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Tier {
+    /// Decode-per-step: no translation cost.
+    Decode = 0,
+    /// Predecoded buffer with superinstruction fusion.
+    Fused = 1,
+    /// Direct-threaded dispatch with basic-block fuel batching.
+    Threaded = 2,
+}
+
+/// Sentinel in [`TransCache::tier_idx`]: no tier record covers this
+/// word yet.
+///
+/// [`TransCache::tier_idx`]: crate::predecode::TransCache::tier_idx
+pub(crate) const NO_TIER: u32 = u32::MAX;
+
+/// Backward branches observed while single-stepping that count as one
+/// extra completed run (`64`): a loop-heavy function proves its heat
+/// in loop iterations long before its entry count does, and every
+/// iteration spent at tier 0 costs full decode price. The weight is a
+/// power of two so the hot path tests promotion with a mask, and large
+/// enough that short loops (the unit-test kernels) never promote off
+/// their entry schedule.
+pub(crate) const BACKEDGES_PER_RUN_BITS: u32 = 6;
+
+/// Per-function adaptive state, indexed from `tier_idx` by any word of
+/// the function's live range.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct FnTier {
+    /// Start word of the function's live range.
+    pub(crate) start: usize,
+    /// Entries of control into this function's range — the promotion
+    /// clock. Monotone until an epoch bump drops the whole table.
+    pub(crate) runs: u64,
+    /// Backward branches taken inside the range while at tier 0 — the
+    /// hotspot clock, weighted down by [`BACKEDGES_PER_RUN_BITS`].
+    pub(crate) backedges: u64,
+    /// Current tier; only ever moves up between epoch bumps.
+    pub(crate) tier: Tier,
+    /// Words in the function, for the translation-cost-saved estimate.
+    pub(crate) words: u32,
+}
+
+impl FnTier {
+    /// The promotion clock: completed entries plus loop iterations
+    /// observed at tier 0, weighted so `2^BACKEDGES_PER_RUN_BITS`
+    /// backedges count as one run.
+    #[inline]
+    fn effective_runs(&self) -> u64 {
+        self.runs + (self.backedges >> BACKEDGES_PER_RUN_BITS)
+    }
+}
+
+/// Counters for the adaptive engine: where runs executed, how functions
+/// moved between tiers, and what translation cost was spent vs avoided.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AdaptiveStats {
+    /// Function entries executed, across all tiers. Always equals
+    /// `runs_tier0 + runs_tier1 + runs_tier2` (tested invariant).
+    pub total_runs: u64,
+    /// Function entries executed on decode-per-step (tier 0).
+    pub runs_tier0: u64,
+    /// Function entries executed on the predecoded+fused engine (tier 1).
+    pub runs_tier1: u64,
+    /// Function entries executed on the direct-threaded engine (tier 2).
+    pub runs_tier2: u64,
+    /// Tier levels gained, cumulative (a 0→2 jump counts 2). Always
+    /// `>= demotions` — a level can only be lost after it was gained.
+    pub promotions: u64,
+    /// Tier levels lost to epoch-bump demotions, cumulative.
+    pub demotions: u64,
+    /// Wall-clock nanoseconds spent translating promoted functions
+    /// (decoded and threaded buffers), under this engine only.
+    pub translation_ns: u64,
+    /// Estimated nanoseconds of translation *avoided* so far: words of
+    /// run-but-never-promoted functions, priced at this session's
+    /// observed translation cost per word. `0` until something has been
+    /// translated (no price signal yet).
+    pub translation_ns_saved: u64,
+    /// Code words translated under this engine (the price signal for
+    /// [`AdaptiveStats::translation_ns_saved`]).
+    pub translated_words: u64,
+}
+
+/// The translation handle an [`Active`] function dispatches through.
+/// `None` covers tier 0 and tiers whose translation was refused — both
+/// single-step on the reference path.
+enum ActiveTr<H> {
+    None,
+    Fused(Arc<DecodedFn>),
+    Threaded(Arc<ThreadedFn<H>>),
+}
+
+/// A function the adaptive run loop is attributed to (or just left):
+/// absolute bounds, its tier record, and the translation handle for its
+/// tier, all memoized in the loop so steady-state dispatch touches no
+/// cache at all. The fixed threaded engine pays one `tmap` probe and an
+/// `Arc` clone per call/return transition; keeping the two sides of the
+/// transition warm here is what lets adaptive match it (`suite
+/// adaptive` gates the gap).
+struct Active<H> {
+    /// Absolute address bounds of the function's live range.
+    lo: u64,
+    hi: u64,
+    /// Index into `TransCache::tier_fns`.
+    fi: u32,
+    /// Tier [`Active::tr`] was fetched for; refreshed on promotion.
+    tier: Tier,
+    tr: ActiveTr<H>,
+}
+
+impl<H> Active<H> {
+    /// Whether `pc` is a word inside this function's live range.
+    #[inline]
+    fn contains(&self, pc: u64) -> bool {
+        pc >= self.lo && pc < self.hi && pc.is_multiple_of(4)
+    }
+}
+
+impl<H: HostCall> Vm<H> {
+    /// The adaptive engine's run loop. Structure matches
+    /// `run_predecoded` / `run_threaded` — translated dispatch where the
+    /// function's tier has one, reference-engine single steps otherwise
+    /// — with tier selection at each function entry.
+    pub(crate) fn run_adaptive(
+        &mut self,
+        mut pc: u64,
+        fuse_after: u32,
+        thread_after: u32,
+    ) -> Result<ExitStatus, VmError> {
+        // The attributed function and the one control most recently
+        // left. Entries are counted only on range transitions, and the
+        // common transition shape — a call/return ping-pong between a
+        // caller and one callee — swaps the memoized pair without any
+        // range resolution or translation lookup.
+        let mut cur: Option<Active<H>> = None;
+        let mut prev: Option<Active<H>> = None;
+        loop {
+            if pc == RETURN_SENTINEL {
+                return Ok(ExitStatus::Returned);
+            }
+            let epoch = self.state.code.live_epoch();
+            if epoch != self.trans.epoch {
+                self.demote_all(epoch);
+                cur = None;
+                prev = None;
+            }
+            let in_cur = match cur {
+                Some(ref c) => c.contains(pc),
+                None => false,
+            };
+            if !in_cur {
+                let back = match prev {
+                    Some(ref p) => p.contains(pc),
+                    None => false,
+                };
+                if back {
+                    std::mem::swap(&mut cur, &mut prev);
+                    let c = cur.as_mut().expect("swapped from a hit");
+                    let tier = self.count_entry(c.fi, fuse_after, thread_after);
+                    if tier != c.tier {
+                        c.tier = tier;
+                        c.tr = self.fetch_translation(pc, tier);
+                    }
+                } else {
+                    prev = std::mem::replace(
+                        &mut cur,
+                        self.enter_function(pc, fuse_after, thread_after),
+                    );
+                }
+            }
+            // `cur` is a loop local, so dispatching through its memoized
+            // translation borrows nothing from `self`.
+            let step = if let Some(Active {
+                tr: ActiveTr::Threaded(ref tr),
+                ..
+            }) = cur
+            {
+                self.dispatch_threaded(tr, pc)?
+            } else if let Some(Active {
+                tr: ActiveTr::Fused(ref tr),
+                ..
+            }) = cur
+            {
+                self.dispatch(tr, pc)?
+            } else {
+                let step = self.step_adaptive_slow(pc)?;
+                // Hotspot clock: a backward transfer inside a tier-0
+                // function is a loop iteration paid at full decode
+                // price; enough of them promote the function mid-run,
+                // without waiting for its entry count to catch up.
+                if let (Some(a), &Step::At(next)) = (cur.as_mut(), &step) {
+                    if a.tier == Tier::Decode && next <= pc && a.contains(next) {
+                        self.note_backedge(a, next, fuse_after, thread_after);
+                    }
+                }
+                step
+            };
+            match step {
+                Step::At(next) => pc = next,
+                Step::Done(status) => return Ok(status),
+            }
+        }
+    }
+
+    /// One reference-engine step with slow-path accounting (identical
+    /// to the decode-per-step engine's loop body).
+    #[inline]
+    fn step_adaptive_slow(&mut self, pc: u64) -> Result<Step, VmError> {
+        let step = self.step_slow(pc)?;
+        self.trans.stats.slow_insns += 1;
+        Ok(step)
+    }
+
+    /// Records one entry of control into the live function containing
+    /// `pc`, promoting it first if its completed-run count has crossed a
+    /// threshold. Returns the memoized function state, or `None` when
+    /// `pc` is not inside live code (the slow path then raises the exact
+    /// reference fault).
+    fn enter_function(&mut self, pc: u64, fuse_after: u32, thread_after: u32) -> Option<Active<H>> {
+        if pc < CODE_BASE || !pc.is_multiple_of(4) {
+            return None;
+        }
+        let idx = ((pc - CODE_BASE) / 4) as usize;
+        let fi = match self.trans.tier_idx.get(idx).copied() {
+            Some(fi) if fi != NO_TIER => fi,
+            _ => {
+                // First entry since the last epoch bump: resolve the
+                // live range once and mirror it into the dense index so
+                // every later entry is a single array load.
+                let (start, end) = self.state.code.live_range_containing(idx)?;
+                let fi = u32::try_from(self.trans.tier_fns.len())
+                    .expect("fewer than 2^32 live functions per epoch");
+                self.trans.tier_fns.push(FnTier {
+                    start,
+                    runs: 0,
+                    backedges: 0,
+                    tier: Tier::Decode,
+                    words: (end - start) as u32,
+                });
+                if self.trans.tier_idx.len() < end {
+                    self.trans.tier_idx.resize(end, NO_TIER);
+                }
+                for slot in &mut self.trans.tier_idx[start..end] {
+                    *slot = fi;
+                }
+                fi
+            }
+        };
+        let tier = self.count_entry(fi, fuse_after, thread_after);
+        let f = &self.trans.tier_fns[fi as usize];
+        let lo = CODE_BASE + (f.start as u64) * 4;
+        let hi = lo + u64::from(f.words) * 4;
+        let tr = self.fetch_translation(pc, tier);
+        Some(Active {
+            lo,
+            hi,
+            fi,
+            tier,
+            tr,
+        })
+    }
+
+    /// Counts one entry of control into tier record `fi`, promoting the
+    /// function first if its completed-run count has crossed a
+    /// threshold. Returns the tier this entry executes at. This is the
+    /// whole per-transition cost once a function is memoized.
+    #[inline]
+    fn count_entry(&mut self, fi: u32, fuse_after: u32, thread_after: u32) -> Tier {
+        let entry = &mut self.trans.tier_fns[fi as usize];
+        let clock = entry.effective_runs();
+        let target = if clock >= u64::from(thread_after) {
+            Tier::Threaded
+        } else if clock >= u64::from(fuse_after) {
+            Tier::Fused
+        } else {
+            Tier::Decode
+        };
+        let promoted = if target > entry.tier {
+            let levels = target as u64 - entry.tier as u64;
+            entry.tier = target;
+            levels
+        } else {
+            0
+        };
+        entry.runs += 1;
+        let tier = entry.tier;
+        let astats = &mut self.trans.astats;
+        astats.promotions += promoted;
+        astats.total_runs += 1;
+        match tier {
+            Tier::Decode => astats.runs_tier0 += 1,
+            Tier::Fused => astats.runs_tier1 += 1,
+            Tier::Threaded => astats.runs_tier2 += 1,
+        }
+        tier
+    }
+
+    /// Counts one backward transfer inside the tier-0 function `a` and
+    /// promotes it in place once enough loop iterations have accrued
+    /// (re-evaluated only when the weighted clock ticks, so the common
+    /// case is one increment and one mask test).
+    #[inline]
+    fn note_backedge(&mut self, a: &mut Active<H>, pc: u64, fuse_after: u32, thread_after: u32) {
+        let entry = &mut self.trans.tier_fns[a.fi as usize];
+        entry.backedges += 1;
+        if entry.backedges & ((1 << BACKEDGES_PER_RUN_BITS) - 1) != 0 {
+            return;
+        }
+        let clock = entry.effective_runs();
+        let target = if clock >= u64::from(thread_after) {
+            Tier::Threaded
+        } else if clock >= u64::from(fuse_after) {
+            Tier::Fused
+        } else {
+            return;
+        };
+        if target > entry.tier {
+            let levels = target as u64 - entry.tier as u64;
+            entry.tier = target;
+            self.trans.astats.promotions += levels;
+            a.tier = target;
+            a.tr = self.fetch_translation(pc, target);
+        }
+    }
+
+    /// The translation handle for `tier` at `pc`, building (and timing)
+    /// it on first use.
+    fn fetch_translation(&mut self, pc: u64, tier: Tier) -> ActiveTr<H> {
+        match tier {
+            Tier::Threaded => match self.threaded_at_counted(pc) {
+                Some(tr) => ActiveTr::Threaded(tr),
+                None => ActiveTr::None,
+            },
+            Tier::Fused => match self.translation_at_counted(pc) {
+                Some(tr) => ActiveTr::Fused(tr),
+                None => ActiveTr::None,
+            },
+            Tier::Decode => ActiveTr::None,
+        }
+    }
+
+    /// Epoch bump observed: count the tier levels lost, drop every
+    /// translation and all tier state, and adopt the new epoch. The
+    /// next entry of any function starts over at tier 0 with a zero run
+    /// count.
+    fn demote_all(&mut self, epoch: u64) {
+        let lost: u64 = self.trans.tier_fns.iter().map(|t| t.tier as u64).sum();
+        self.trans.astats.demotions += lost;
+        self.trans.clear();
+        self.trans.epoch = epoch;
+        self.trans.stats.invalidations += 1;
+    }
+
+    /// `translation_at`, with the build (cache-miss) path timed into
+    /// [`AdaptiveStats::translation_ns`].
+    fn translation_at_counted(
+        &mut self,
+        pc: u64,
+    ) -> Option<std::sync::Arc<crate::predecode::DecodedFn>> {
+        let idx = ((pc - CODE_BASE) / 4) as usize;
+        if self.trans.decoded_cached(idx) {
+            return self.translation_at(pc, true);
+        }
+        let words_before = self.trans.stats.translated_words;
+        let t0 = Instant::now();
+        let tr = self.translation_at(pc, true);
+        let built = self.trans.stats.translated_words - words_before;
+        if built > 0 {
+            self.trans.astats.translation_ns += t0.elapsed().as_nanos() as u64;
+            self.trans.astats.translated_words += built;
+        }
+        tr
+    }
+
+    /// `threaded_at`, with the build (cache-miss) path timed into
+    /// [`AdaptiveStats::translation_ns`].
+    fn threaded_at_counted(
+        &mut self,
+        pc: u64,
+    ) -> Option<std::sync::Arc<crate::threaded::ThreadedFn<H>>> {
+        let idx = ((pc - CODE_BASE) / 4) as usize;
+        if self.trans.threaded_cached(idx) {
+            return self.threaded_at(pc);
+        }
+        let words_before = self.trans.stats.translated_words;
+        let t0 = Instant::now();
+        let tr = self.threaded_at(pc);
+        let built = self.trans.stats.translated_words - words_before;
+        if built > 0 {
+            self.trans.astats.translation_ns += t0.elapsed().as_nanos() as u64;
+            self.trans.astats.translated_words += built;
+        }
+        tr
+    }
+
+    /// Adaptive-engine counters, with the translation-cost-saved
+    /// estimate priced at this session's observed ns/word.
+    pub fn adaptive_stats(&self) -> AdaptiveStats {
+        let mut s = self.trans.astats;
+        if s.translated_words > 0 {
+            let per_word = s.translation_ns as f64 / s.translated_words as f64;
+            let cold_words: u64 = self
+                .trans
+                .tier_fns
+                .iter()
+                .filter(|t| t.tier == Tier::Decode && t.runs > 0)
+                .map(|t| u64::from(t.words))
+                .sum();
+            s.translation_ns_saved = (cold_words as f64 * per_word) as u64;
+        }
+        s
+    }
+
+    /// The adaptive tier and run count of the live function containing
+    /// `addr`: `None` when `addr` is not inside live code or the
+    /// function has not been entered since the last epoch bump.
+    /// Diagnostic surface for tests and tooling.
+    pub fn adaptive_tier(&self, addr: u64) -> Option<(Tier, u64)> {
+        if addr < CODE_BASE || !addr.is_multiple_of(4) {
+            return None;
+        }
+        // A pending (not-yet-observed) epoch bump means every record is
+        // due for demotion: report untracked rather than stale state.
+        if self.state.code.live_epoch() != self.trans.epoch {
+            return None;
+        }
+        let idx = ((addr - CODE_BASE) / 4) as usize;
+        let fi = self.trans.tier_idx.get(idx).copied()?;
+        if fi == NO_TIER {
+            return None;
+        }
+        let t = &self.trans.tier_fns[fi as usize];
+        Some((t.tier, t.runs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::code::CodeSpace;
+    use crate::isa::{Insn, Op};
+    use crate::predecode::ExecEngine;
+    use crate::regs::{A0, AT0, ZERO};
+
+    /// sum(1..=n) by counted loop (same shape as predecode's tests).
+    fn loop_code() -> (CodeSpace, u64, crate::code::FuncHandle) {
+        let mut cs = CodeSpace::new();
+        let f = cs.begin_function("sum");
+        cs.push(Insn::i(Op::Addiw, AT0, ZERO, 0));
+        cs.push(Insn::i(Op::Beq, A0, ZERO, 3));
+        cs.push(Insn::r(Op::Addw, AT0, AT0, A0));
+        cs.push(Insn::i(Op::Addiw, A0, A0, -1));
+        cs.push(Insn::j(Op::J, -4));
+        cs.push(Insn::r(Op::Addw, A0, AT0, ZERO));
+        cs.push(Insn::ret());
+        let addr = cs.finish_function(f).unwrap();
+        (cs, addr, f)
+    }
+
+    fn adaptive_vm(
+        fuse_after: u32,
+        thread_after: u32,
+    ) -> (Vm<crate::host::NoHost>, u64, crate::code::FuncHandle) {
+        let (cs, addr, f) = loop_code();
+        let mut vm = Vm::new(cs, 1 << 20);
+        vm.set_engine(ExecEngine::Adaptive {
+            fuse_after,
+            thread_after,
+        });
+        (vm, addr, f)
+    }
+
+    #[test]
+    fn functions_climb_tiers_at_the_configured_thresholds() {
+        let (mut vm, addr, _) = adaptive_vm(2, 4);
+        let expect = [
+            Tier::Decode,   // run 1: 0 completed runs
+            Tier::Decode,   // run 2: 1 completed
+            Tier::Fused,    // run 3: 2 completed >= fuse_after
+            Tier::Fused,    // run 4
+            Tier::Threaded, // run 5: 4 completed >= thread_after
+            Tier::Threaded, // run 6
+        ];
+        for (i, want) in expect.iter().enumerate() {
+            assert_eq!(vm.call(addr, &[5]).unwrap(), 15, "run {}", i + 1);
+            let (tier, runs) = vm.adaptive_tier(addr).expect("tracked");
+            assert_eq!(tier, *want, "run {}", i + 1);
+            assert_eq!(runs, i as u64 + 1);
+        }
+        let s = vm.adaptive_stats();
+        assert_eq!(s.promotions, 2);
+        assert_eq!(s.demotions, 0);
+        assert_eq!((s.runs_tier0, s.runs_tier1, s.runs_tier2), (2, 2, 2));
+        assert_eq!(s.total_runs, 6);
+        assert!(s.translation_ns > 0, "promoted tiers were translated");
+    }
+
+    #[test]
+    fn all_tiers_agree_with_reference_results() {
+        for n in [0u64, 1, 10, 100] {
+            let (mut vm, addr, _) = adaptive_vm(1, 2);
+            let want: u64 = (1..=n).sum();
+            for run in 0..5 {
+                assert_eq!(vm.call(addr, &[n]).unwrap(), want, "n={n} run={run}");
+            }
+        }
+    }
+
+    #[test]
+    fn hot_loop_promotes_mid_run_off_the_backedge_clock() {
+        // One entry, but hundreds of loop iterations: the backedge
+        // clock (64 iterations ≈ one run) must lift the function out of
+        // tier 0 during its first run, while the entry count is still 1.
+        let (mut vm, addr, _) = adaptive_vm(2, 100);
+        assert_eq!(vm.call(addr, &[300]).unwrap(), (1..=300).sum::<u64>());
+        let (tier, runs) = vm.adaptive_tier(addr).expect("tracked");
+        assert_eq!(runs, 1, "backedges are not entries");
+        assert_eq!(tier, Tier::Fused, "promoted inside the first run");
+        let s = vm.adaptive_stats();
+        assert_eq!(s.total_runs, 1);
+        assert_eq!(s.promotions, 1, "one level gained, mid-run");
+        assert_eq!(s.runs_tier0, 1, "the entry itself was counted at tier 0");
+        // A short-loop function stays on its entry schedule.
+        let (mut vm, addr, _) = adaptive_vm(2, 100);
+        assert_eq!(vm.call(addr, &[10]).unwrap(), 55);
+        assert_eq!(vm.adaptive_tier(addr).unwrap().0, Tier::Decode);
+    }
+
+    #[test]
+    fn epoch_bump_demotes_and_resets_run_counts() {
+        let (mut vm, addr, _) = adaptive_vm(1, 2);
+        for _ in 0..4 {
+            vm.call(addr, &[3]).unwrap();
+        }
+        assert_eq!(vm.adaptive_tier(addr).unwrap().0, Tier::Threaded);
+        // A live patch bumps the epoch without freeing anything.
+        vm.state_mut().code.patch(
+            ((addr - crate::code::CODE_BASE) / 4) as usize,
+            Insn::i(Op::Addiw, AT0, ZERO, 0),
+        );
+        assert_eq!(vm.call(addr, &[3]).unwrap(), 6);
+        let (tier, runs) = vm.adaptive_tier(addr).unwrap();
+        assert_eq!(tier, Tier::Decode, "demoted to tier 0");
+        assert_eq!(runs, 1, "run count restarted");
+        let s = vm.adaptive_stats();
+        assert_eq!(s.demotions, 2, "threaded function lost two levels");
+        assert!(s.promotions >= s.demotions);
+    }
+
+    #[test]
+    fn freed_hot_function_faults_stale_at_every_tier() {
+        for warm_runs in [0u64, 1, 3, 8] {
+            let (mut vm, addr, f) = adaptive_vm(1, 2);
+            for _ in 0..warm_runs {
+                vm.call(addr, &[2]).unwrap();
+            }
+            vm.state_mut().code.free_function(f).unwrap();
+            assert_eq!(
+                vm.call(addr, &[2]),
+                Err(crate::error::VmError::StaleCode(addr)),
+                "after {warm_runs} warm runs"
+            );
+            assert!(vm.adaptive_tier(addr).is_none(), "no live range remains");
+        }
+    }
+
+    #[test]
+    fn cold_functions_report_translation_saved_once_priced() {
+        let (mut cs, hot, _) = loop_code();
+        let g = cs.begin_function("once");
+        cs.push(Insn::i(Op::Addiw, A0, A0, 7));
+        cs.push(Insn::ret());
+        let cold = cs.finish_function(g).unwrap();
+        let mut vm = Vm::new(cs, 1 << 20);
+        vm.set_engine(ExecEngine::Adaptive {
+            fuse_after: 2,
+            thread_after: 100,
+        });
+        vm.call(cold, &[1]).unwrap();
+        assert_eq!(vm.adaptive_stats().translation_ns_saved, 0, "no price yet");
+        for _ in 0..4 {
+            vm.call(hot, &[4]).unwrap();
+        }
+        let s = vm.adaptive_stats();
+        assert!(s.translation_ns > 0);
+        assert!(
+            s.translation_ns_saved > 0,
+            "run-once function's avoided translation is priced: {s:?}"
+        );
+    }
+}

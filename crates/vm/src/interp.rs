@@ -138,9 +138,10 @@ impl<H: HostCall> Vm<H> {
         self.trans.clear();
     }
 
-    /// Selects the execution engine (decode-per-step vs predecoded).
-    /// Drops the translation cache: decoded buffers depend on the
-    /// engine's fusion setting.
+    /// Selects the execution engine (decode-per-step, predecoded,
+    /// threaded, or adaptive). Drops the translation cache and any
+    /// adaptive tier state: decoded buffers depend on the engine's
+    /// fusion setting, and tier clocks restart with the engine.
     pub fn set_engine(&mut self, engine: ExecEngine) {
         self.engine = engine;
         self.trans.clear();
@@ -272,6 +273,10 @@ impl<H: HostCall> Vm<H> {
             ExecEngine::DecodePerStep => self.run_decode_per_step(pc),
             ExecEngine::Predecoded { fuse } => self.run_predecoded(pc, fuse),
             ExecEngine::Threaded => self.run_threaded(pc),
+            ExecEngine::Adaptive {
+                fuse_after,
+                thread_after,
+            } => self.run_adaptive(pc, fuse_after, thread_after),
         }
     }
 

@@ -50,6 +50,7 @@
 //! # }
 //! ```
 
+pub mod adaptive;
 pub mod code;
 pub mod cost;
 pub mod error;
@@ -61,6 +62,7 @@ pub mod predecode;
 pub mod regs;
 pub mod threaded;
 
+pub use adaptive::{AdaptiveStats, Tier, DEFAULT_FUSE_AFTER, DEFAULT_THREAD_AFTER};
 pub use code::{CodeSpace, CodeStats, FuncHandle, CODE_BASE};
 pub use cost::CostModel;
 pub use error::VmError;

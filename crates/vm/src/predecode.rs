@@ -37,6 +37,7 @@
 
 use std::sync::Arc;
 
+use crate::adaptive::{AdaptiveStats, FnTier, DEFAULT_FUSE_AFTER, DEFAULT_THREAD_AFTER};
 use crate::code::{CodeSpace, CODE_BASE};
 use crate::cost::CostModel;
 use crate::error::VmError;
@@ -45,7 +46,7 @@ use crate::interp::{branch_taken, exec_scalar, ExitStatus, Step, Vm, RETURN_SENT
 use crate::isa::{Insn, Op};
 
 /// Which execution engine [`Vm::run`] dispatches through.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ExecEngine {
     /// Fetch + bounds/liveness check + decode + cost lookup on every
     /// instruction. The reference semantics.
@@ -59,8 +60,32 @@ pub enum ExecEngine {
     },
     /// Direct-threaded dispatch (a handler function pointer per slot)
     /// with basic-block fuel batching. See [`crate::threaded`].
-    #[default]
     Threaded,
+    /// Count-triggered per-function tiering: decode-per-step until a
+    /// function has been entered `fuse_after` times, predecoded+fused
+    /// until `thread_after`, direct-threaded after that. Run-once code
+    /// never pays translation; hot code ends up on the fastest engine.
+    /// See [`crate::adaptive`].
+    Adaptive {
+        /// Completed runs after which a function is promoted to the
+        /// predecoded+fused engine (tier 1).
+        fuse_after: u32,
+        /// Completed runs after which a function is promoted to the
+        /// direct-threaded engine (tier 2).
+        thread_after: u32,
+    },
+}
+
+impl Default for ExecEngine {
+    /// Adaptive tiering with the calibrated thresholds
+    /// ([`DEFAULT_FUSE_AFTER`] / [`DEFAULT_THREAD_AFTER`], from the
+    /// `suite adaptive` reuse sweep).
+    fn default() -> Self {
+        ExecEngine::Adaptive {
+            fuse_after: DEFAULT_FUSE_AFTER,
+            thread_after: DEFAULT_THREAD_AFTER,
+        }
+    }
 }
 
 /// Counters for the execution engine: how much was translated and how
@@ -119,7 +144,19 @@ pub(crate) struct TransCache<H> {
     map: Vec<Option<Arc<DecodedFn>>>,
     /// Word index → direct-threaded translation covering that word.
     pub(crate) tmap: Vec<Option<Arc<crate::threaded::ThreadedFn<H>>>>,
+    /// Word index → index into [`TransCache::tier_fns`] for the live
+    /// function covering that word, or [`NO_TIER`] when untracked. A
+    /// dense mirror of the live ranges so the adaptive engine resolves
+    /// a function entry with one array load instead of a binary search
+    /// plus hash probe per call/return transition.
+    pub(crate) tier_idx: Vec<u32>,
+    /// Adaptive tier state (run count, current tier) per entered
+    /// function, appended on first entry. Dropped together with the
+    /// translations it justifies.
+    pub(crate) tier_fns: Vec<FnTier>,
     pub(crate) stats: ExecStats,
+    /// Counters specific to the adaptive engine.
+    pub(crate) astats: AdaptiveStats,
 }
 
 impl<H> std::fmt::Debug for TransCache<H> {
@@ -139,7 +176,10 @@ impl<H> Default for TransCache<H> {
             epoch: 0,
             map: Vec::new(),
             tmap: Vec::new(),
+            tier_idx: Vec::new(),
+            tier_fns: Vec::new(),
             stats: ExecStats::default(),
+            astats: AdaptiveStats::default(),
         }
     }
 }
@@ -152,7 +192,8 @@ impl<H> TransCache<H> {
         }
     }
 
-    /// Drops every cached translation (counters are kept).
+    /// Drops every cached translation and the adaptive tier state that
+    /// justified it (counters are kept).
     pub(crate) fn clear(&mut self) {
         for slot in &mut self.map {
             *slot = None;
@@ -160,13 +201,27 @@ impl<H> TransCache<H> {
         for slot in &mut self.tmap {
             *slot = None;
         }
+        for slot in &mut self.tier_idx {
+            *slot = crate::adaptive::NO_TIER;
+        }
+        self.tier_fns.clear();
+    }
+
+    /// Whether a decoded buffer already covers word index `idx`.
+    pub(crate) fn decoded_cached(&self, idx: usize) -> bool {
+        matches!(self.map.get(idx), Some(Some(_)))
+    }
+
+    /// Whether a threaded buffer already covers word index `idx`.
+    pub(crate) fn threaded_cached(&self, idx: usize) -> bool {
+        matches!(self.tmap.get(idx), Some(Some(_)))
     }
 }
 
 /// One function's decoded form: a dense buffer with one entry per code
 /// word, addressed by `(pc - base) / 4`.
 #[derive(Debug)]
-struct DecodedFn {
+pub(crate) struct DecodedFn {
     /// Absolute address of buffer index 0.
     base: u64,
     insns: Vec<DInsn>,
@@ -403,7 +458,7 @@ impl<H: HostCall> Vm<H> {
     /// Looks up (or lazily builds) the decoded buffer covering `pc`.
     /// Validates the cache against the code space's live epoch first —
     /// this is where the per-instruction liveness check is hoisted to.
-    fn translation_at(&mut self, pc: u64, fuse: bool) -> Option<Arc<DecodedFn>> {
+    pub(crate) fn translation_at(&mut self, pc: u64, fuse: bool) -> Option<Arc<DecodedFn>> {
         let epoch = self.state.code.live_epoch();
         if epoch != self.trans.epoch {
             self.trans.clear();
@@ -443,7 +498,7 @@ impl<H: HostCall> Vm<H> {
     /// live in locals and are flushed to machine state on every exit
     /// and around host calls, so observable state always matches the
     /// reference engine exactly.
-    fn dispatch(&mut self, tr: &DecodedFn, pc: u64) -> Result<Step, VmError> {
+    pub(crate) fn dispatch(&mut self, tr: &DecodedFn, pc: u64) -> Result<Step, VmError> {
         let base = tr.base;
         let buf = &tr.insns[..];
         let len = buf.len();
@@ -661,11 +716,21 @@ mod tests {
     use crate::interp::MachineState;
     use crate::regs::{A0, AT0, ZERO};
 
-    const ENGINES: [ExecEngine; 4] = [
+    const ENGINES: [ExecEngine; 6] = [
         ExecEngine::DecodePerStep,
         ExecEngine::Predecoded { fuse: false },
         ExecEngine::Predecoded { fuse: true },
         ExecEngine::Threaded,
+        // Adaptive at both extremes: promoted straight to threaded on
+        // the first entry, and never leaving tier 0 within these tests.
+        ExecEngine::Adaptive {
+            fuse_after: 0,
+            thread_after: 0,
+        },
+        ExecEngine::Adaptive {
+            fuse_after: u32::MAX,
+            thread_after: u32::MAX,
+        },
     ];
 
     /// sum(1..=n) by counted loop; exercises branch, ALU, and jump.

@@ -628,7 +628,7 @@ impl<H: HostCall> Vm<H> {
 
     /// Looks up (or lazily builds) the threaded buffer covering `pc`,
     /// validating the cache against the code space's live epoch first.
-    fn threaded_at(&mut self, pc: u64) -> Option<Arc<ThreadedFn<H>>> {
+    pub(crate) fn threaded_at(&mut self, pc: u64) -> Option<Arc<ThreadedFn<H>>> {
         let epoch = self.state.code.live_epoch();
         if epoch != self.trans.epoch {
             self.trans.clear();
@@ -659,7 +659,11 @@ impl<H: HostCall> Vm<H> {
 
     /// The tight loop: call the current slot's handler until control
     /// leaves the buffer, a run terminates, or an error is raised.
-    fn dispatch_threaded(&mut self, tr: &ThreadedFn<H>, pc: u64) -> Result<Step, VmError> {
+    pub(crate) fn dispatch_threaded(
+        &mut self,
+        tr: &ThreadedFn<H>,
+        pc: u64,
+    ) -> Result<Step, VmError> {
         let mut fr = Frame {
             i: ((pc - tr.base) / 4) as usize,
             cycles: self.state.cycles,

@@ -7,14 +7,16 @@
 #
 #   ./run_benches.sh            full run (criterion + calibrated suite)
 #   ./run_benches.sh --quick    skip criterion; suite JSON emissions
-#                               only, with the exec experiment at smoke
-#                               rep counts (equivalence asserts live,
-#                               timings not meaningful)
+#                               only, with the exec and adaptive
+#                               experiments at smoke rep counts
+#                               (equivalence asserts live, timings not
+#                               meaningful)
 #   ./run_benches.sh --check    regression gate: run only the exec
 #                               experiment at full rep counts, then
 #                               compare the fresh BENCH_exec.json
 #                               speedups against baselines/ (fails on a
-#                               >30% drop in speedup_fused; one retry
+#                               >30% drop in any gated column — fused,
+#                               threaded, or adaptive; one retry
 #                               absorbs machine noise)
 set -u
 cd /root/repo
@@ -81,8 +83,10 @@ run_suite all all --small
 run_suite cache cache
 if [ "$quick" -eq 0 ]; then
   run_suite exec exec
+  run_suite adaptive adaptive
 else
   run_suite exec exec --smoke
+  run_suite adaptive adaptive --smoke
 fi
 
 if [ -n "$failed" ]; then

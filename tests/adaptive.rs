@@ -1,0 +1,239 @@
+//! Property tests for the adaptive tiering engine at the session level:
+//! per-function promotion sequences are monotone and keyed to the
+//! configured thresholds, epoch bumps (here: code-budget evictions)
+//! demote everything and reset run counts, freed-then-hot functions
+//! fault `StaleCode` no matter which tier they had reached, and the
+//! `AdaptiveMetrics` accounting invariants hold across arbitrary
+//! compile/run/evict interleavings.
+
+use proptest::prelude::*;
+use tickc::tickc_core::{Config, Error, Session};
+use tickc::vm::{ExecEngine, Tier, VmError, DEFAULT_FUSE_AFTER, DEFAULT_THREAD_AFTER};
+
+/// `mk(n)` compiles a distinct closure per `n` (the `$`-bound seed
+/// changes the fingerprint) so budget pressure eventually evicts the
+/// least-recently-used result; `run` executes one.
+const SRC: &str = r#"
+int seed = 0;
+long mk(int n) {
+    seed = n;
+    int cspec c = `(
+        $seed * 3 + $seed * 5 + $seed * 7 + $seed * 9 +
+        $seed * 11 + $seed * 13 + $seed * 17 + $seed * 19 +
+        $seed * 23 + $seed * 29 + $seed * 31 + $seed * 37);
+    return (long)compile(c, int);
+}
+int run(long fp) {
+    int (*g)(void) = (int (*)(void))fp;
+    return (*g)();
+}
+"#;
+
+/// n × (3+5+7+9+11+13+17+19+23+29+31+37).
+const PRIME_SUM: u64 = 204;
+
+fn session(fuse_after: u32, thread_after: u32, budget: Option<u64>) -> Session {
+    Session::new(
+        SRC,
+        Config {
+            code_budget: budget,
+            adaptive_fuse_after: fuse_after,
+            adaptive_thread_after: thread_after,
+            ..Config::default()
+        },
+    )
+    .expect("compiles")
+}
+
+/// The tier a function must occupy while executing its `k`-th run
+/// (1-indexed): the decision is made at entry against the `k - 1`
+/// completed prior runs.
+fn expected_tier(k: u64, fuse_after: u32, thread_after: u32) -> Tier {
+    let prior = k - 1;
+    if prior >= u64::from(thread_after) {
+        Tier::Threaded
+    } else if prior >= u64::from(fuse_after) {
+        Tier::Fused
+    } else {
+        Tier::Decode
+    }
+}
+
+/// Ordered thresholds: 1 <= fuse_after <= thread_after <= 8.
+fn thresholds() -> impl Strategy<Value = (u32, u32)> {
+    (1u32..5, 0u32..5).prop_map(|(f, extra)| (f, (f + extra).min(8)))
+}
+
+/// Compiles fresh closures until the code budget evicts at least one
+/// entry (an epoch bump), returning how many eviction rounds happened.
+fn force_eviction(s: &mut Session, start_seed: &mut u64) -> u64 {
+    let before = s.metrics().cache.evictions;
+    while s.metrics().cache.evictions == before {
+        s.call("mk", &[*start_seed]).expect("later compile");
+        *start_seed += 1;
+        assert!(*start_seed < 1000, "budget never forced an eviction");
+    }
+    s.metrics().cache.evictions - before
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// (a) Per-function tier sequences are monotone, track the
+    /// configured thresholds exactly, and reset to tier 0 with a fresh
+    /// run count after an epoch bump.
+    #[test]
+    fn promotion_sequences_are_monotone_and_reset_on_epoch_bump(
+        ft in thresholds(),
+        runs in 1u64..14,
+    ) {
+        let (fuse_after, thread_after) = ft;
+        let mut s = session(fuse_after, thread_after, Some(512));
+        let fp = s.call("mk", &[1]).expect("compile");
+        prop_assert!(s.pin_code(fp), "compiled closure is pinnable");
+        prop_assert_eq!(s.vm.adaptive_tier(fp), None, "never entered yet");
+        let mut last = Tier::Decode;
+        for k in 1..=runs {
+            prop_assert_eq!(s.call("run", &[fp]).expect("runs"), PRIME_SUM);
+            let (tier, count) = s.vm.adaptive_tier(fp).expect("tracked after a run");
+            prop_assert_eq!(count, k, "run counter advances by one per entry");
+            prop_assert!(tier >= last, "tier never moves down between runs");
+            prop_assert_eq!(
+                tier,
+                expected_tier(k, fuse_after, thread_after),
+                "tier at run {} under thresholds {}/{}",
+                k,
+                fuse_after,
+                thread_after
+            );
+            last = tier;
+        }
+        // Epoch bump: evicting any entry frees code, which must demote
+        // every function — even the pinned survivor — and restart its
+        // run count from scratch.
+        let mut seed = 2;
+        force_eviction(&mut s, &mut seed);
+        let demotions = s.metrics().adaptive.demotions;
+        if last > Tier::Decode {
+            prop_assert!(demotions >= last as u64, "the hot survivor was demoted");
+        }
+        prop_assert_eq!(s.call("run", &[fp]).expect("still pinned"), PRIME_SUM);
+        let (tier, count) = s.vm.adaptive_tier(fp).expect("re-tracked");
+        prop_assert_eq!(count, 1, "run count restarts after the bump");
+        prop_assert_eq!(tier, expected_tier(1, fuse_after, thread_after));
+    }
+
+    /// (b) A freed-then-called function faults `StaleCode` at its own
+    /// address regardless of the tier it had climbed to.
+    #[test]
+    fn freed_hot_function_faults_stale_at_every_tier(
+        ft in thresholds(),
+        warm_runs in 0u64..10,
+    ) {
+        let (fuse_after, thread_after) = ft;
+        let mut s = session(fuse_after, thread_after, Some(256));
+        let fp = s.call("mk", &[1]).expect("compile");
+        for _ in 0..warm_runs {
+            prop_assert_eq!(s.call("run", &[fp]).expect("warm run"), PRIME_SUM);
+        }
+        if warm_runs > 0 {
+            let (tier, _) = s.vm.adaptive_tier(fp).expect("tracked");
+            prop_assert_eq!(tier, expected_tier(warm_runs, fuse_after, thread_after));
+        }
+        // `run` never touches the compile cache, so `fp` stays LRU and
+        // is the first entry the budget reclaims.
+        let mut seed = 2;
+        force_eviction(&mut s, &mut seed);
+        match s.call("run", &[fp]) {
+            Err(Error::Vm(VmError::StaleCode(addr))) => prop_assert_eq!(addr, fp),
+            other => {
+                return Err(TestCaseError::fail(format!(
+                    "expected StaleCode({fp:#x}) after {warm_runs} warm runs, got {other:?}"
+                )))
+            }
+        }
+    }
+
+    /// (c) `AdaptiveMetrics` accounting invariants across arbitrary
+    /// compile/run/evict interleavings: tier run counts partition the
+    /// total, promotions never trail demotions, and both only grow.
+    #[test]
+    fn metrics_invariants_hold_across_interleavings(
+        ft in thresholds(),
+        script in prop::collection::vec((0u8..3, 1u64..6), 1..12),
+    ) {
+        let (fuse_after, thread_after) = ft;
+        let mut s = session(fuse_after, thread_after, Some(512));
+        let mut fps: Vec<u64> = Vec::new();
+        let mut seed = 1u64;
+        let (mut last_promotions, mut last_demotions) = (0u64, 0u64);
+        for (op, n) in script {
+            match op {
+                0 => {
+                    fps.push(s.call("mk", &[seed]).expect("compile"));
+                    seed += 1;
+                }
+                1 => {
+                    if let Some(&fp) = fps.last() {
+                        for _ in 0..n {
+                            // May be StaleCode if churn evicted it.
+                            let _ = s.call("run", &[fp]);
+                        }
+                    }
+                }
+                _ => {
+                    force_eviction(&mut s, &mut seed);
+                    fps.clear();
+                }
+            }
+            let a = s.metrics().adaptive;
+            prop_assert_eq!(
+                a.runs_tier0 + a.runs_tier1 + a.runs_tier2,
+                a.total_runs,
+                "tier run counts partition total_runs"
+            );
+            prop_assert!(a.promotions >= a.demotions, "cannot lose more levels than gained");
+            prop_assert!(a.promotions >= last_promotions, "promotions are monotone");
+            prop_assert!(a.demotions >= last_demotions, "demotions are monotone");
+            last_promotions = a.promotions;
+            last_demotions = a.demotions;
+        }
+    }
+}
+
+#[test]
+fn adaptive_is_the_default_engine_and_reports_metrics() {
+    let mut s = Session::with_defaults(SRC).expect("compiles");
+    assert!(
+        matches!(
+            s.vm.engine(),
+            ExecEngine::Adaptive { fuse_after, thread_after }
+                if fuse_after == DEFAULT_FUSE_AFTER && thread_after == DEFAULT_THREAD_AFTER
+        ),
+        "Config::default must select adaptive tiering, got {:?}",
+        s.vm.engine()
+    );
+    let fp = s.call("mk", &[1]).expect("compile");
+    for _ in 0..10 {
+        assert_eq!(s.call("run", &[fp]).expect("runs"), PRIME_SUM);
+    }
+    let m = s.metrics();
+    assert!(m.adaptive.total_runs > 0, "runs were counted");
+    assert!(
+        m.adaptive.promotions >= 2,
+        "ten repeat runs cross both default thresholds"
+    );
+    assert!(
+        m.adaptive.runs_tier2 > 0,
+        "steady state reached the threaded tier"
+    );
+    let json = m.to_json().pretty();
+    for key in [
+        "\"adaptive\"",
+        "\"promotions\"",
+        "\"demotions\"",
+        "\"promoted_run_rate\"",
+    ] {
+        assert!(json.contains(key), "session JSON missing {key}");
+    }
+}

@@ -1,9 +1,11 @@
 //! Engine-differential fuzzing: randomized `C programs executed through
 //! the decode-per-step reference interpreter, the predecoded engine
-//! (with and without superinstruction fusion), and the direct-threaded
-//! fuel-batched engine, asserting bit-identical observable behavior — result value, modeled `cycles`, retired
+//! (with and without superinstruction fusion), the direct-threaded
+//! fuel-batched engine, and the adaptive tiering engine, asserting
+//! bit-identical observable behavior — result value, modeled `cycles`, retired
 //! `insns`, exit status, and error, including `OutOfFuel` raised at the
-//! same instruction under swept fuel budgets. Also pins down the
+//! same instruction under swept fuel budgets (before, during, and after
+//! adaptive tier promotions). Also pins down the
 //! stale-code interactions: freed and cache-evicted functions must
 //! fault with `StaleCode` even when the translation cache is warm.
 
@@ -11,11 +13,22 @@ use proptest::prelude::*;
 use tickc::tickc_core::{Backend, Config, Error, Session, Strategy as Alloc};
 use tickc::vm::{ExecEngine, VmError};
 
-const ENGINES: [ExecEngine; 4] = [
+const ENGINES: [ExecEngine; 6] = [
     ExecEngine::DecodePerStep,
     ExecEngine::Predecoded { fuse: false },
     ExecEngine::Predecoded { fuse: true },
     ExecEngine::Threaded,
+    // Hair-trigger thresholds: functions climb to the threaded tier
+    // within a single observation, so promotions land inside the sweep.
+    ExecEngine::Adaptive {
+        fuse_after: 1,
+        thread_after: 2,
+    },
+    // Shipping defaults: most functions stay on the lower tiers.
+    ExecEngine::Adaptive {
+        fuse_after: 2,
+        thread_after: 8,
+    },
 ];
 
 fn engine_label(e: ExecEngine) -> &'static str {
@@ -24,6 +37,8 @@ fn engine_label(e: ExecEngine) -> &'static str {
         ExecEngine::Predecoded { fuse: false } => "predecoded",
         ExecEngine::Predecoded { fuse: true } => "predecoded+fused",
         ExecEngine::Threaded => "threaded",
+        ExecEngine::Adaptive { fuse_after: 1, .. } => "adaptive(hair-trigger)",
+        ExecEngine::Adaptive { .. } => "adaptive",
     }
 }
 
@@ -387,6 +402,158 @@ fn fuel_sweep_covers_block_boundaries_and_hcall_reconciliation() {
 }
 
 // ---------------------------------------------------------------------------
+// Promotion-boundary differentials: the adaptive engine re-tiers a
+// function between (and never during) runs, so a sequence of calls that
+// straddles the fuse/thread thresholds must stay bit-identical to the
+// reference run by run — including when fuel runs out mid-way through
+// the very run whose entry triggered a promotion, and when that run
+// faults.
+// ---------------------------------------------------------------------------
+
+/// One entry of the per-run trace: the call outcome plus the cumulative
+/// counters after it. `OutOfFuel` and traps at a different instruction
+/// surface as different cycle/insn counts.
+#[derive(Debug, PartialEq)]
+struct RunObs {
+    result: Result<u64, VmError>,
+    cycles: u64,
+    insns: u64,
+}
+
+/// Compiles `src` once, then calls `dyn_run` with each parameter in
+/// `ps`, recording every outcome. `fuel` is the session-wide budget, so
+/// exhaustion can land inside any run of the sequence. Returns the
+/// per-run trace plus the session's final promotion count (zero for
+/// non-adaptive engines).
+fn observe_run_sequence(
+    src: &str,
+    engine: ExecEngine,
+    fuel: Option<u64>,
+    ps: &[i64],
+) -> (Vec<RunObs>, u64) {
+    let mut s = Session::new(src, Config::default()).expect("compiles");
+    s.vm.set_engine(engine);
+    if let Some(f) = fuel {
+        s.vm.set_fuel(f);
+    }
+    let mut trace = Vec::new();
+    let compile = s.call("dyn_compile", &[13]).map_err(vm_err);
+    trace.push(RunObs {
+        result: compile.clone(),
+        cycles: s.cycles(),
+        insns: s.insns(),
+    });
+    if let Ok(fp) = compile {
+        for &p in ps {
+            let result = s.call("dyn_run", &[fp, p as u64]).map_err(vm_err);
+            trace.push(RunObs {
+                result,
+                cycles: s.cycles(),
+                insns: s.insns(),
+            });
+        }
+    }
+    (trace, s.metrics().adaptive.promotions)
+}
+
+/// Fuel budgets straddling every run boundary of the unlimited
+/// reference trace, so exhaustion lands before, during, and after each
+/// adaptive promotion.
+fn boundary_budgets(reference: &[RunObs]) -> Vec<u64> {
+    let mut budgets: Vec<u64> = (0..16).collect();
+    for obs in reference {
+        budgets.extend(obs.cycles.saturating_sub(8)..obs.cycles + 8);
+    }
+    let total = reference.last().expect("non-empty trace").cycles;
+    budgets.retain(|&f| f < total);
+    budgets.sort_unstable();
+    budgets.dedup();
+    budgets
+}
+
+#[test]
+fn adaptive_promotion_boundaries_match_reference_under_fuel_sweep() {
+    // A loopy kernel: enough work per run that fuel budgets can land
+    // mid-run, not just on call boundaries.
+    let sts = vec![
+        St::Loop(4, vec![St::Assign(0, 0, Val::Var(0), Val::Param)]),
+        St::Assign(1, 2, Val::Var(0), Val::Rtc),
+    ];
+    let src = program_for(&sts);
+    // Thresholds 2/4 inside a six-run sequence: runs 1-2 execute on
+    // tier 0, run 3 is the fuse-promotion run, run 5 the
+    // thread-promotion run, run 6 steady-state threaded.
+    let adaptive = ExecEngine::Adaptive {
+        fuse_after: 2,
+        thread_after: 4,
+    };
+    let ps: Vec<i64> = vec![7, -3, 11, 2, 9, -5];
+    let (reference, _) = observe_run_sequence(&src, ENGINES[0], None, &ps);
+    let (got, promotions) = observe_run_sequence(&src, adaptive, None, &ps);
+    assert_eq!(got, reference, "unlimited-fuel trace diverges");
+    assert!(
+        promotions >= 2,
+        "six runs must cross both tier boundaries, saw {promotions} promotions"
+    );
+    for fuel in boundary_budgets(&reference) {
+        let (reference, _) = observe_run_sequence(&src, ENGINES[0], Some(fuel), &ps);
+        let (got, _) = observe_run_sequence(&src, adaptive, Some(fuel), &ps);
+        assert_eq!(got, reference, "adaptive diverges at fuel {fuel}");
+    }
+}
+
+#[test]
+fn fault_during_promotion_triggering_run_matches_reference() {
+    // `v0 = r / p` traps with DivideByZero exactly when p == 0. With
+    // fuse_after == 2 the third run executes under the just-promoted
+    // fused tier; passing p == 0 there faults mid-way through that
+    // promotion-triggering run. Later runs re-enter the promoted
+    // function after the fault.
+    let sts = vec![
+        St::Loop(2, vec![St::Assign(1, 0, Val::Var(1), Val::Param)]),
+        St::Assign(0, 5, Val::Rtc, Val::Param),
+    ];
+    let src = program_for(&sts);
+    let ps: Vec<i64> = vec![7, 5, 0, 3, 0, 8, 6];
+    for engine in [
+        ExecEngine::Adaptive {
+            fuse_after: 2,
+            thread_after: 4,
+        },
+        // Same sequence with the fault on the thread-promotion run.
+        ExecEngine::Adaptive {
+            fuse_after: 1,
+            thread_after: 2,
+        },
+    ] {
+        let (reference, _) = observe_run_sequence(&src, ENGINES[0], None, &ps);
+        let (got, promotions) = observe_run_sequence(&src, engine, None, &ps);
+        assert!(
+            reference
+                .iter()
+                .filter(|o| o.result == Err(VmError::DivideByZero))
+                .count()
+                == 2,
+            "both p == 0 runs must trap"
+        );
+        assert_eq!(got, reference, "{} diverges", engine_label(engine));
+        assert!(promotions >= 1, "the trapping sequence still promotes");
+        // The trap must not wedge tiering: sweep fuel across the
+        // faulting trace too.
+        for fuel in boundary_budgets(&reference).into_iter().step_by(3) {
+            let (reference, _) = observe_run_sequence(&src, ENGINES[0], Some(fuel), &ps);
+            let (got, _) = observe_run_sequence(&src, engine, Some(fuel), &ps);
+            assert_eq!(
+                got,
+                reference,
+                "{} diverges at fuel {fuel}",
+                engine_label(engine)
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Stale-code composition: the translation cache must never outlive the
 // code it shadows.
 // ---------------------------------------------------------------------------
@@ -420,12 +587,20 @@ fn evicted_code_faults_stale_with_warm_translation_cache() {
         },
     )
     .expect("compiles");
-    assert!(matches!(s.vm.engine(), ExecEngine::Threaded));
+    assert!(matches!(s.vm.engine(), ExecEngine::Adaptive { .. }));
     let fp1 = s.call("mk", &[1]).expect("first compile");
-    // Warm the translation cache on fp1 before evicting it.
+    // Warm the translation cache on fp1 before evicting it: under the
+    // default adaptive thresholds a few repeat runs promote the helper
+    // past tier 0, which forces a translation.
     let expect1: u64 = (3 + 5 + 7 + 9 + 11 + 13 + 17 + 19 + 23 + 29 + 31 + 37) as u64;
-    assert_eq!(s.call("run", &[fp1]).expect("first run"), expect1);
+    for _ in 0..4 {
+        assert_eq!(s.call("run", &[fp1]).expect("warm run"), expect1);
+    }
     assert!(s.metrics().exec.translations >= 1, "fp1 was translated");
+    assert!(
+        s.metrics().adaptive.promotions >= 1,
+        "repeat runs promoted a function"
+    );
     // Distinct closures until budget pressure evicts the LRU entry —
     // which is fp1: inserted earliest, never looked up again (`run`
     // executes it but does not touch the compile cache). Probe
@@ -460,7 +635,12 @@ fn placement_jitter_composes_with_predecoding() {
         )
         .expect("compiles");
         let fp = s.call("dyn_compile", &[13]).expect("compiles dyn");
-        let got = s.call("dyn_run", &[fp, 5]).expect("runs");
+        // Repeat runs climb the adaptive tiers, so the predecoded fast
+        // path is exercised regardless of where the code landed.
+        let mut got = 0;
+        for _ in 0..3 {
+            got = s.call("dyn_run", &[fp, 5]).expect("runs");
+        }
         let cycles = s.cycles();
         match base {
             None => base = Some((got, cycles)),
