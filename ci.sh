@@ -15,14 +15,22 @@
 #                         adaptive — over the loop-heavy kernels with
 #                         the observational-equivalence asserts live,
 #                         release mode)
-#   8. adaptive smoke    (the reuse sweep's cold-start cells with the
+#   8. adaptive smoke    (the reuse sweep's cold-start cells — including
+#                         the background-worker engine — with the
 #                         equivalence asserts live, release mode)
 #   9. adaptive tests    (the tier-promotion property suite, explicitly,
 #                         so a tiering regression names itself)
-#  10. exec regression   (./run_benches.sh --check: full-rep exec bench
+#  10. worker tests      (the background-translation pipeline: async
+#                         promotion equivalence, stale-epoch discard,
+#                         worker shutdown — explicitly, so a pipeline
+#                         regression names itself)
+#  11. exec regression   (./run_benches.sh --check: full-rep exec bench
 #                         compared against baselines/BENCH_exec.json;
 #                         fails on a >30% drop in any gated speedup
-#                         column — fused, threaded, or adaptive)
+#                         column — fused, threaded, or adaptive — and
+#                         gates the tiering pipeline's
+#                         tail_p99_improvement column the same way when
+#                         both BENCH_adaptive.json files are present)
 #
 # Fails fast: the first failing step aborts with its exit code.
 set -eu
@@ -57,6 +65,10 @@ cargo run -p tcc-suite --bin suite --release -- adaptive --smoke
 
 echo "== adaptive property tests =="
 cargo test -q --release --test adaptive
+
+echo "== background translation worker tests =="
+cargo test -q --release -p tcc-vm -- background epoch_bump
+cargo test -q --release --test exec_differential -- adaptive fault_during
 
 echo "== exec regression gate (speedups vs baselines/) =="
 ./run_benches.sh --check

@@ -365,6 +365,15 @@ pub struct AdaptiveMetrics {
     /// ran but were never promoted (priced at the session's observed
     /// ns/word; 0 until something has been translated).
     pub translation_ns_saved: u64,
+    /// Translations built on the background worker and swapped in at a
+    /// function entry (`adaptive_background` mode only).
+    pub async_translations: u64,
+    /// Background translations discarded on receipt because the live
+    /// epoch moved between enqueue and completion.
+    pub discarded_stale: u64,
+    /// Total enqueue→swap-in nanoseconds across `async_translations`
+    /// (latency the worker absorbed off the run loop's critical path).
+    pub swap_latency_ns: u64,
 }
 
 impl AdaptiveMetrics {
@@ -392,6 +401,9 @@ impl AdaptiveMetrics {
                 "translation_ns_saved",
                 Json::from(self.translation_ns_saved),
             ),
+            ("async_translations", Json::from(self.async_translations)),
+            ("discarded_stale", Json::from(self.discarded_stale)),
+            ("swap_latency_ns", Json::from(self.swap_latency_ns)),
             ("promoted_run_rate", Json::from(self.promoted_run_rate())),
         ])
     }
@@ -470,6 +482,25 @@ mod tests {
     }
 
     #[test]
+    fn empty_session_ratios_are_zero_not_nan() {
+        // Every ratio-shaped metric must report 0.0 — not NaN, not a
+        // vacuous perfect score — for a session that never did the
+        // thing being rated.
+        assert_eq!(CodegenPhases::default().alloc_fraction(), 0.0);
+        assert_eq!(DynMetrics::default().ns_per_generated_insn(), 0.0);
+        assert_eq!(DynMetrics::default().cycles_per_generated_insn(2.0), 0.0);
+        assert_eq!(VmMetrics::default().cycles_per_insn(), 0.0);
+        assert_eq!(CacheMetrics::default().hit_rate(), 0.0);
+        assert_eq!(CacheMetrics::default().fragmentation, 0.0);
+        assert_eq!(ExecMetrics::default().hit_rate(), 0.0);
+        assert_eq!(AdaptiveMetrics::default().promoted_run_rate(), 0.0);
+        // The whole default-session JSON tree must be NaN-free (NaN
+        // would serialize as a bare `NaN`, which is not valid JSON).
+        let text = SessionMetrics::default().to_json().to_string();
+        assert!(!text.contains("NaN"), "NaN leaked into JSON: {text}");
+    }
+
+    #[test]
     fn dyn_metrics_per_insn_guards_zero() {
         let m = DynMetrics {
             total_ns: 1000,
@@ -543,6 +574,9 @@ mod tests {
             "demotions",
             "translation_ns",
             "translation_ns_saved",
+            "async_translations",
+            "discarded_stale",
+            "swap_latency_ns",
         ] {
             assert!(text.contains(&format!("\"{key}\"")), "missing {key}");
         }

@@ -44,8 +44,11 @@ const STRAIGHT_STMTS: usize = 400;
 const TARGET_NS: u64 = 40_000_000;
 
 /// The engines compared per cell. The adaptive engine runs with its
-/// shipping defaults (`ExecEngine::default()`).
-const ENGINES: [(&str, ExecEngine); 4] = [
+/// shipping defaults (`ExecEngine::default()`); `adaptive-bg` is the
+/// same thresholds with translation handed to the background worker,
+/// so its per-run tail (`run_p99_*`) prices what moving translation
+/// off the critical path buys at the promotion points.
+const ENGINES: [(&str, ExecEngine); 5] = [
     ("decode", ExecEngine::DecodePerStep),
     ("fused", ExecEngine::Predecoded { fuse: true }),
     ("threaded", ExecEngine::Threaded),
@@ -54,6 +57,15 @@ const ENGINES: [(&str, ExecEngine); 4] = [
         ExecEngine::Adaptive {
             fuse_after: tcc::DEFAULT_FUSE_AFTER,
             thread_after: tcc::DEFAULT_THREAD_AFTER,
+            background: false,
+        },
+    ),
+    (
+        "adaptive-bg",
+        ExecEngine::Adaptive {
+            fuse_after: tcc::DEFAULT_FUSE_AFTER,
+            thread_after: tcc::DEFAULT_THREAD_AFTER,
+            background: true,
         },
     ),
 ];
@@ -76,6 +88,8 @@ pub struct AdaptiveBenchRow {
     pub threaded_ns: u64,
     /// Fastest cold start, ns: adaptive tiering, default thresholds.
     pub adaptive_ns: u64,
+    /// Fastest cold start, ns: adaptive with the background worker.
+    pub adaptive_bg_ns: u64,
     /// Tier levels gained by the adaptive engine across all its reps.
     pub promotions: u64,
     /// Warm marginal ns per run (translations long paid): decode.
@@ -86,6 +100,18 @@ pub struct AdaptiveBenchRow {
     pub warm_threaded_ns: u64,
     /// Warm marginal ns per run: adaptive at its steady-state tier.
     pub warm_adaptive_ns: u64,
+    /// Warm marginal ns per run: adaptive with the background worker.
+    pub warm_adaptive_bg_ns: u64,
+    /// Slowest single cold run across all reps: synchronous adaptive.
+    /// The worst run eats a full translation at a promotion boundary.
+    pub run_max_adaptive_ns: u64,
+    /// 99th-percentile single cold run: synchronous adaptive.
+    pub run_p99_adaptive_ns: u64,
+    /// Slowest single cold run: adaptive with the background worker.
+    pub run_max_adaptive_bg_ns: u64,
+    /// 99th-percentile single cold run: background-worker adaptive —
+    /// the tail-latency number the tiering pipeline is accepted on.
+    pub run_p99_adaptive_bg_ns: u64,
 }
 
 impl AdaptiveBenchRow {
@@ -119,6 +145,29 @@ impl AdaptiveBenchRow {
     /// per-kernel [`warm_summary`] version.
     pub fn warm_adaptive_vs_best(&self) -> f64 {
         self.warm_adaptive_ns as f64 / self.warm_best_fixed_ns().max(1) as f64
+    }
+
+    /// Cold per-run p99 of the synchronous adaptive engine over the
+    /// background worker's (> 1.0 means the worker shortened the tail).
+    /// A ratio of back-to-back runs on the same machine, so it is
+    /// stable across machines the way the speedup columns are — this is
+    /// the number `exec-check` gates. 0.0 when either side has no
+    /// samples (a row predating the tail columns), which the gate
+    /// treats as warn-and-skip.
+    ///
+    /// Which side of 1.0 the ratio lands on is host-dependent: moving
+    /// translation off-thread only buys tail latency when translation
+    /// cost is a large fraction of a run (the `straight` kernel at low
+    /// reuse) or when a spare hardware thread can absorb the build. On
+    /// a single-CPU host the worker time-shares the core with the VM
+    /// and short loop kernels pay wakeup latency instead, pushing the
+    /// ratio below 1. The gate therefore checks the ratio against the
+    /// same-machine baseline rather than against 1.0.
+    pub fn tail_p99_improvement(&self) -> f64 {
+        if self.run_p99_adaptive_ns == 0 || self.run_p99_adaptive_bg_ns == 0 {
+            return 0.0;
+        }
+        self.run_p99_adaptive_ns as f64 / self.run_p99_adaptive_bg_ns as f64
     }
 }
 
@@ -259,10 +308,28 @@ fn defs() -> Vec<BenchDef> {
 struct Timed {
     ns: u64,
     warm_ns: u64,
+    /// Slowest single run across every cold rep.
+    run_max_ns: u64,
+    /// 99th-percentile single run across every cold rep.
+    run_p99_ns: u64,
     checksum: u64,
     cycles: u64,
     insns: u64,
     promotions: u64,
+}
+
+/// Max and p99 of a sample set (ns). p99 is the nearest-rank
+/// estimator: the sample at index `ceil(0.99 * n) - 1` after sorting,
+/// so small sample sets degrade toward the max rather than
+/// interpolating values that were never observed.
+fn tail(samples: &mut [u64]) -> (u64, u64) {
+    if samples.is_empty() {
+        return (0, 0);
+    }
+    samples.sort_unstable();
+    let n = samples.len();
+    let p99 = samples[(n * 99).div_ceil(100).max(1) - 1];
+    (samples[n - 1], p99)
 }
 
 /// Untimed runs after the cold reps that carry every function to its
@@ -291,14 +358,18 @@ fn drive(b: &BenchDef, engine: ExecEngine, reuse: u64, reps: u64) -> Timed {
     s.reset_counters();
     let mut checksum = 0u64;
     let mut best = u64::MAX;
+    let mut samples: Vec<u64> = Vec::with_capacity((reps * reuse) as usize);
     for _ in 0..reps {
         s.vm.set_engine(engine);
         let t = Instant::now();
         for _ in 0..reuse {
+            let r = Instant::now();
             checksum = checksum.wrapping_add((b.run_dyn)(&mut s, fp));
+            samples.push(r.elapsed().as_nanos() as u64);
         }
         best = best.min(t.elapsed().as_nanos() as u64);
     }
+    let (run_max_ns, run_p99_ns) = tail(&mut samples);
     // Warm marginal cost: no reset, translations and tiers long paid.
     // Min over batches; a scheduler stall long enough to span every
     // batch still poisons the cell, which is why the derived
@@ -307,6 +378,10 @@ fn drive(b: &BenchDef, engine: ExecEngine, reuse: u64, reps: u64) -> Timed {
     for _ in 0..WARM_WARMUP_RUNS {
         checksum = checksum.wrapping_add((b.run_dyn)(&mut s, fp));
     }
+    // Settle any in-flight background translations so the warm batches
+    // measure the steady-state tier, not a straggling swap (no-op for
+    // the synchronous engines: nothing is ever pending).
+    s.vm.drain_background_translations();
     let mut warm_ns = u64::MAX;
     for _ in 0..WARM_BATCHES {
         let t = Instant::now();
@@ -318,6 +393,8 @@ fn drive(b: &BenchDef, engine: ExecEngine, reuse: u64, reps: u64) -> Timed {
     Timed {
         ns: best,
         warm_ns,
+        run_max_ns,
+        run_p99_ns,
         checksum,
         cycles: s.cycles(),
         insns: s.insns(),
@@ -357,11 +434,17 @@ fn compare(b: &BenchDef, reuse: u64, reps: u64) -> AdaptiveBenchRow {
         fused_ns: cells[1].ns,
         threaded_ns: cells[2].ns,
         adaptive_ns: cells[3].ns,
+        adaptive_bg_ns: cells[4].ns,
         promotions: cells[3].promotions,
         warm_decode_ns: cells[0].warm_ns,
         warm_fused_ns: cells[1].warm_ns,
         warm_threaded_ns: cells[2].warm_ns,
         warm_adaptive_ns: cells[3].warm_ns,
+        warm_adaptive_bg_ns: cells[4].warm_ns,
+        run_max_adaptive_ns: cells[3].run_max_ns,
+        run_p99_adaptive_ns: cells[3].run_p99_ns,
+        run_max_adaptive_bg_ns: cells[4].run_max_ns,
+        run_p99_adaptive_bg_ns: cells[4].run_p99_ns,
     }
 }
 
@@ -419,6 +502,7 @@ pub fn adaptive_json(rows: &[AdaptiveBenchRow]) -> Json {
                 ("fused_ns", Json::from(r.fused_ns)),
                 ("threaded_ns", Json::from(r.threaded_ns)),
                 ("adaptive_ns", Json::from(r.adaptive_ns)),
+                ("adaptive_bg_ns", Json::from(r.adaptive_bg_ns)),
                 ("promotions", Json::from(r.promotions)),
                 ("best_fixed_ns", Json::from(r.best_fixed_ns())),
                 ("adaptive_vs_best", Json::from(r.adaptive_vs_best())),
@@ -427,6 +511,18 @@ pub fn adaptive_json(rows: &[AdaptiveBenchRow]) -> Json {
                 ("warm_fused_ns", Json::from(r.warm_fused_ns)),
                 ("warm_threaded_ns", Json::from(r.warm_threaded_ns)),
                 ("warm_adaptive_ns", Json::from(r.warm_adaptive_ns)),
+                ("warm_adaptive_bg_ns", Json::from(r.warm_adaptive_bg_ns)),
+                ("run_max_adaptive_ns", Json::from(r.run_max_adaptive_ns)),
+                ("run_p99_adaptive_ns", Json::from(r.run_p99_adaptive_ns)),
+                (
+                    "run_max_adaptive_bg_ns",
+                    Json::from(r.run_max_adaptive_bg_ns),
+                ),
+                (
+                    "run_p99_adaptive_bg_ns",
+                    Json::from(r.run_p99_adaptive_bg_ns),
+                ),
+                ("tail_p99_improvement", Json::from(r.tail_p99_improvement())),
                 (
                     "warm_adaptive_vs_best",
                     Json::from(r.warm_adaptive_vs_best()),
@@ -441,7 +537,9 @@ pub fn adaptive_json(rows: &[AdaptiveBenchRow]) -> Json {
             Json::from(
                 "cold-start (translate + run) wall-clock vs reuse count per engine; \
                  adaptive_vs_best is the adaptive engine's cost over the cheapest \
-                 fixed engine for that cell",
+                 fixed engine for that cell; run_max/run_p99 are per-run cold tail \
+                 latencies, with adaptive_bg moving translation to the background \
+                 worker",
             ),
         ),
         ("straight_stmts", Json::from(STRAIGHT_STMTS as u64)),
@@ -456,21 +554,24 @@ pub fn adaptive_report(rows: &[AdaptiveBenchRow]) -> String {
     out.push_str("Adaptive tiering: cold-start translate+run cost vs reuse count\n");
     out.push_str("(every timed region starts with an empty translation cache)\n\n");
     out.push_str(
-        "  kernel    reuse   decode (ns)    fused (ns)   threaded (ns)   adaptive (ns)   vs-best   vs-thread   warm-adapt   warm-vs-best   promo\n",
+        "  kernel    reuse   decode (ns)    fused (ns)   threaded (ns)   adaptive (ns)   adapt-bg (ns)   vs-best   vs-thread   warm-adapt   warm-vs-best   p99-run   p99-run-bg   promo\n",
     );
     for r in rows {
         out.push_str(&format!(
-            "  {:8} {:6}   {:11}   {:11}   {:13}   {:13}   {:6.2}x   {:8.2}x   {:10}   {:11.2}x   {:5}\n",
+            "  {:8} {:6}   {:11}   {:11}   {:13}   {:13}   {:13}   {:6.2}x   {:8.2}x   {:10}   {:11.2}x   {:7}   {:10}   {:5}\n",
             r.kernel,
             r.reuse,
             r.decode_ns,
             r.fused_ns,
             r.threaded_ns,
             r.adaptive_ns,
+            r.adaptive_bg_ns,
             r.adaptive_vs_best(),
             r.speedup_vs_threaded(),
             r.warm_adaptive_ns,
             r.warm_adaptive_vs_best(),
+            r.run_p99_adaptive_ns,
+            r.run_p99_adaptive_bg_ns,
             r.promotions,
         ));
     }
@@ -525,11 +626,17 @@ mod tests {
             fused_ns: 1500,
             threaded_ns: 1000,
             adaptive_ns: 1040,
+            adaptive_bg_ns: 1020,
             promotions: 3,
             warm_decode_ns: 400,
             warm_fused_ns: 120,
             warm_threaded_ns: 100,
             warm_adaptive_ns: 103,
+            warm_adaptive_bg_ns: 104,
+            run_max_adaptive_ns: 900,
+            run_p99_adaptive_ns: 800,
+            run_max_adaptive_bg_ns: 300,
+            run_p99_adaptive_bg_ns: 250,
         }];
         let text = adaptive_json(&rows).to_string();
         for key in [
@@ -537,11 +644,18 @@ mod tests {
             "kernel",
             "reuse",
             "adaptive_ns",
+            "adaptive_bg_ns",
             "promotions",
             "best_fixed_ns",
             "adaptive_vs_best",
             "speedup_vs_threaded",
             "warm_adaptive_ns",
+            "warm_adaptive_bg_ns",
+            "run_max_adaptive_ns",
+            "run_p99_adaptive_ns",
+            "run_max_adaptive_bg_ns",
+            "run_p99_adaptive_bg_ns",
+            "tail_p99_improvement",
             "warm_adaptive_vs_best",
         ] {
             assert!(text.contains(&format!("\"{key}\"")), "missing {key}");
@@ -550,7 +664,33 @@ mod tests {
         assert!((rows[0].adaptive_vs_best() - 1.04).abs() < 1e-12);
         assert_eq!(rows[0].warm_best_fixed_ns(), 100);
         assert!((rows[0].warm_adaptive_vs_best() - 1.03).abs() < 1e-12);
+        assert!((rows[0].tail_p99_improvement() - 3.2).abs() < 1e-12);
+        // Either tail side at 0 (a row predating the columns) yields
+        // 0.0, the gate's warn-and-skip sentinel — never NaN or inf.
+        let mut old = rows[0];
+        old.run_p99_adaptive_bg_ns = 0;
+        assert_eq!(old.tail_p99_improvement(), 0.0);
+        old.run_p99_adaptive_bg_ns = 250;
+        old.run_p99_adaptive_ns = 0;
+        assert_eq!(old.tail_p99_improvement(), 0.0);
         assert!(text.contains("\"warm_summary\""));
+    }
+
+    #[test]
+    fn tail_uses_nearest_rank_p99_and_true_max() {
+        let (max, p99) = tail(&mut []);
+        assert_eq!((max, p99), (0, 0));
+        // One sample: p99 degrades to the max, never to zero.
+        let (max, p99) = tail(&mut [7]);
+        assert_eq!((max, p99), (7, 7));
+        // 100 samples 1..=100: nearest-rank p99 is the 99th value.
+        let mut v: Vec<u64> = (1..=100).rev().collect();
+        let (max, p99) = tail(&mut v);
+        assert_eq!((max, p99), (100, 99));
+        // 200 samples: rank ceil(0.99 * 200) = 198.
+        let mut v: Vec<u64> = (1..=200).collect();
+        let (max, p99) = tail(&mut v);
+        assert_eq!((max, p99), (200, 198));
     }
 
     #[test]
@@ -563,11 +703,17 @@ mod tests {
             fused_ns: 1,
             threaded_ns: 1,
             adaptive_ns: 1,
+            adaptive_bg_ns: 1,
             promotions: 0,
             warm_decode_ns: 400,
             warm_fused_ns: 120,
             warm_threaded_ns: 900, // this cell's threaded hit a stall
             warm_adaptive_ns: 103,
+            warm_adaptive_bg_ns: 105,
+            run_max_adaptive_ns: 0,
+            run_p99_adaptive_ns: 0,
+            run_max_adaptive_bg_ns: 0,
+            run_p99_adaptive_bg_ns: 0,
         };
         let mut b = a;
         b.reuse = 8;

@@ -15,27 +15,54 @@
 //! fused, direct-threaded) on the loop-heavy kernels; `exec --smoke`
 //! runs the same comparison at a few reps with the equivalence asserts
 //! live. `adaptive` sweeps reuse counts through the fixed engines and
-//! the adaptive tiering engine, each timed region starting from a cold
-//! translation cache (`BENCH_adaptive.json`); `adaptive --smoke` runs
-//! a tiny sweep with the equivalence asserts live. `exec-check
-//! [fresh [baseline]]` compares a freshly written `BENCH_exec.json`
-//! (default `./BENCH_exec.json`) against a committed baseline (default
+//! the adaptive tiering engine — both synchronous and with the
+//! background translation worker — each timed region starting from a
+//! cold translation cache (`BENCH_adaptive.json`, including per-run
+//! cold max/p99 tail columns); `adaptive --smoke` runs a tiny sweep
+//! with the equivalence asserts live. `exec-check [fresh [baseline]]`
+//! compares a freshly written `BENCH_exec.json` (default
+//! `./BENCH_exec.json`) against a committed baseline (default
 //! `baselines/BENCH_exec.json`) and exits non-zero when any gated
 //! speedup column (fused, threaded, adaptive) regresses more than 30%
-//! on any kernel.
+//! on any kernel; when the sibling `BENCH_adaptive.json` files exist
+//! on both sides it also gates the tiering pipeline's
+//! `tail_p99_improvement` column, at the looser 50% tail tolerance
+//! (p99 ratios carry tail noise on both sides; missing files or a
+//! pre-tail baseline warn and skip). If any `--json` output file
+//! cannot be written the remaining files are still written and the
+//! run exits non-zero naming every failure.
 
 use tcc_obs::json::Json;
 use tcc_suite::{
     adaptive_bench, adaptive_bench_smoke, adaptive_json, adaptive_report, benchmarks, cache_bench,
-    cache_json, cache_report, check_exec, exec_bench, exec_bench_smoke, exec_json, exec_report,
-    json_report, measure, ns_per_cycle, report, DynBackend, Measurement, BLUR_FULL, BLUR_SMALL,
-    DEFAULT_TOLERANCE,
+    cache_json, cache_report, check_adaptive, check_exec, exec_bench, exec_bench_smoke, exec_json,
+    exec_report, json_report, measure, ns_per_cycle, report, DynBackend, Measurement, BLUR_FULL,
+    BLUR_SMALL, DEFAULT_TOLERANCE, TAIL_TOLERANCE,
 };
 
-fn write_json(name: &str, j: &Json) {
+/// Writes one `BENCH_<name>.json`. An unwritable path (read-only cwd,
+/// ENOSPC, …) is not a panic: the failure is recorded so the caller
+/// can finish writing the remaining files and exit non-zero naming
+/// everything that failed — measured results that *did* serialize are
+/// never thrown away because a sibling file could not be.
+fn write_json(name: &str, j: &Json, failed: &mut Vec<String>) {
     let path = format!("BENCH_{name}.json");
-    std::fs::write(&path, j.pretty()).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
-    eprintln!("wrote {path}");
+    match std::fs::write(&path, j.pretty()) {
+        Ok(()) => eprintln!("wrote {path}"),
+        Err(e) => {
+            eprintln!("error: cannot write {path}: {e}");
+            failed.push(path);
+        }
+    }
+}
+
+/// Exits non-zero listing every output file that failed to write; a
+/// no-op when all writes succeeded.
+fn exit_on_write_failures(failed: &[String]) {
+    if !failed.is_empty() {
+        eprintln!("error: failed to write: {}", failed.join(", "));
+        std::process::exit(1);
+    }
 }
 
 fn main() {
@@ -68,6 +95,7 @@ fn main() {
         std::process::exit(2);
     }
     let blur_dims = if small { BLUR_SMALL } else { BLUR_FULL };
+    let mut failed_writes: Vec<String> = Vec::new();
 
     if what == "smoke" {
         // One small benchmark, every compilation path; measure() panics
@@ -111,12 +139,45 @@ fn main() {
             })
         };
         let (fresh, base) = (read(fresh_path), read(base_path));
+        let mut failed = false;
         match check_exec(&base, &fresh, DEFAULT_TOLERANCE) {
             Ok(report) => print!("{report}"),
             Err(report) => {
                 eprint!("{report}");
-                std::process::exit(1);
+                failed = true;
             }
+        }
+        // Tail-latency gate over the tiering pipeline's sweep. The
+        // adaptive files live next to the exec ones under the same
+        // naming scheme; when either side is missing (a checkout
+        // predating the background worker, or a run that only
+        // regenerated BENCH_exec.json) the gate warns and skips
+        // rather than failing.
+        let fresh_adaptive = fresh_path.replace("exec", "adaptive");
+        let base_adaptive = base_path.replace("exec", "adaptive");
+        match (
+            std::fs::read_to_string(&fresh_adaptive),
+            std::fs::read_to_string(&base_adaptive),
+        ) {
+            (Ok(fresh), Ok(base)) => match check_adaptive(&base, &fresh, TAIL_TOLERANCE) {
+                Ok(report) => print!("\n{report}"),
+                Err(report) => {
+                    eprint!("\n{report}");
+                    failed = true;
+                }
+            },
+            (fresh, base) => {
+                for (path, r) in [(&fresh_adaptive, &fresh), (&base_adaptive, &base)] {
+                    if let Err(e) = r {
+                        eprintln!(
+                            "warning: exec-check: cannot read {path}: {e} — tail gate skipped"
+                        );
+                    }
+                }
+            }
+        }
+        if failed {
+            std::process::exit(1);
         }
         return;
     }
@@ -130,9 +191,10 @@ fn main() {
             adaptive_bench()
         };
         if json {
-            write_json("adaptive", &adaptive_json(&rows));
+            write_json("adaptive", &adaptive_json(&rows), &mut failed_writes);
         }
         print!("{}", adaptive_report(&rows));
+        exit_on_write_failures(&failed_writes);
         return;
     }
 
@@ -146,9 +208,10 @@ fn main() {
             exec_bench()
         };
         if json {
-            write_json("exec", &exec_json(&rows));
+            write_json("exec", &exec_json(&rows), &mut failed_writes);
         }
         print!("{}", exec_report(&rows));
+        exit_on_write_failures(&failed_writes);
         return;
     }
 
@@ -172,31 +235,51 @@ fn main() {
     match what {
         "table1" => {
             if json {
-                write_json("table1", &json_report::table1_json(nspc, 250, 100));
+                write_json(
+                    "table1",
+                    &json_report::table1_json(nspc, 250, 100),
+                    &mut failed_writes,
+                );
             }
             print!("{}", report::table1(nspc, 250, 100));
         }
         "figure4" => {
             if json {
-                write_json("figure4", &json_report::figure4_json(&ms));
+                write_json(
+                    "figure4",
+                    &json_report::figure4_json(&ms),
+                    &mut failed_writes,
+                );
             }
             print!("{}", report::figure4(&ms));
         }
         "figure5" => {
             if json {
-                write_json("figure5", &json_report::figure5_json(&ms, nspc));
+                write_json(
+                    "figure5",
+                    &json_report::figure5_json(&ms, nspc),
+                    &mut failed_writes,
+                );
             }
             print!("{}", report::figure5(&ms, nspc));
         }
         "figure6" => {
             if json {
-                write_json("figure6", &json_report::figure6_json(&ms, nspc));
+                write_json(
+                    "figure6",
+                    &json_report::figure6_json(&ms, nspc),
+                    &mut failed_writes,
+                );
             }
             print!("{}", report::figure6(&ms, nspc));
         }
         "figure7" => {
             if json {
-                write_json("figure7", &json_report::figure7_json(&ms, nspc));
+                write_json(
+                    "figure7",
+                    &json_report::figure7_json(&ms, nspc),
+                    &mut failed_writes,
+                );
             }
             print!("{}", report::figure7(&ms, nspc));
         }
@@ -206,7 +289,7 @@ fn main() {
         "cache" => {
             let rows = cache_bench();
             if json {
-                write_json("cache", &cache_json(&rows));
+                write_json("cache", &cache_json(&rows), &mut failed_writes);
             }
             print!("{}", cache_report(&rows));
         }
@@ -221,11 +304,31 @@ fn main() {
         }
         "all" => {
             if json {
-                write_json("table1", &json_report::table1_json(nspc, 250, 100));
-                write_json("figure4", &json_report::figure4_json(&ms));
-                write_json("figure5", &json_report::figure5_json(&ms, nspc));
-                write_json("figure6", &json_report::figure6_json(&ms, nspc));
-                write_json("figure7", &json_report::figure7_json(&ms, nspc));
+                write_json(
+                    "table1",
+                    &json_report::table1_json(nspc, 250, 100),
+                    &mut failed_writes,
+                );
+                write_json(
+                    "figure4",
+                    &json_report::figure4_json(&ms),
+                    &mut failed_writes,
+                );
+                write_json(
+                    "figure5",
+                    &json_report::figure5_json(&ms, nspc),
+                    &mut failed_writes,
+                );
+                write_json(
+                    "figure6",
+                    &json_report::figure6_json(&ms, nspc),
+                    &mut failed_writes,
+                );
+                write_json(
+                    "figure7",
+                    &json_report::figure7_json(&ms, nspc),
+                    &mut failed_writes,
+                );
             }
             println!("{}", report::table1(nspc, 250, 100));
             println!("{}", report::figure4(&ms));
@@ -240,4 +343,5 @@ fn main() {
         }
         _ => unreachable!("validated above"),
     }
+    exit_on_write_failures(&failed_writes);
 }

@@ -1,5 +1,6 @@
 //! Benchmark regression gate: compare a freshly generated
-//! `BENCH_exec.json` against the committed baseline in `baselines/`.
+//! `BENCH_exec.json` (and, when present, `BENCH_adaptive.json`)
+//! against the committed baselines in `baselines/`.
 //!
 //! The gate reads only the files this suite itself writes
 //! ([`crate::exec_json`] serialized with `Json::pretty`), so a tiny
@@ -16,12 +17,40 @@
 //! stores no value for it; such columns are reported as warnings and
 //! skipped rather than gated, so an old `BENCH_exec.json` never turns
 //! into a spurious CI failure.
+//!
+//! [`check_adaptive`] applies the same discipline to the tiering
+//! pipeline's tail-latency column: per (kernel, reuse) row, the fresh
+//! `tail_p99_improvement` (cold per-run p99 of the synchronous
+//! adaptive engine over the background worker's — another same-machine
+//! ratio) may not drop more than the tolerance below the baseline
+//! (callers pass the looser [`TAIL_TOLERANCE`] here — p99 ratios are
+//! noisier than min-estimator speedups), and a baseline value of 0.0
+//! (file predating the tail columns) is warned about and skipped.
+//!
+//! Note the gate checks the tail ratio for *consistency*, not for
+//! being above 1.0: whether the background worker actually beats the
+//! synchronous engine at a given (kernel, reuse) point depends on the
+//! host. On a single-CPU machine the worker time-shares the core with
+//! the VM and the ratio sits below 1 for short loop kernels; it
+//! crosses 1 where translation cost dominates run cost (the `straight`
+//! kernel at low reuse) or when a spare hardware thread exists. The
+//! committed baseline records this machine's measured ratios and the
+//! gate catches relative regressions either way.
 
 use std::collections::BTreeMap;
 
 /// Maximum tolerated relative drop in a gated speedup column (0.30 =
 /// fresh may be at worst 30% below baseline).
 pub const DEFAULT_TOLERANCE: f64 = 0.30;
+
+/// Tolerance for the adaptive tail gate. Looser than
+/// [`DEFAULT_TOLERANCE`]: the speedup columns divide min-estimator
+/// numbers (noise only ever adds time, so the min converges), but a
+/// p99-over-p99 ratio keeps the tail noise on both sides by
+/// construction, and single runs are microseconds long. The ratio is
+/// still same-machine-stable enough to catch a real pipeline
+/// regression (e.g. losing the mid-run swap point roughly halves it).
+pub const TAIL_TOLERANCE: f64 = 0.50;
 
 /// One gated speedup column: its JSON key and row accessor.
 pub type GatedColumn = (&'static str, fn(&CheckRow) -> f64);
@@ -184,11 +213,138 @@ pub fn check_exec(baseline: &str, fresh: &str, tolerance: f64) -> Result<String,
     }
 }
 
+/// The per-row fields the adaptive tail gate reads from
+/// `BENCH_adaptive.json`. Rows are keyed by (kernel, reuse) — each
+/// kernel appears once per reuse point in the sweep.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct AdaptiveCheckRow {
+    /// Kernel name.
+    pub kernel: String,
+    /// Reuse count of the sweep cell.
+    pub reuse: u64,
+    /// Sync-over-background cold per-run p99 ratio (gated; 0.0 when
+    /// the file predates the tail columns).
+    pub tail_p99_improvement: f64,
+}
+
+/// Scans the text of a `BENCH_adaptive.json` for its sweep rows. A new
+/// row starts at each `"kernel"` key; the top-level `warm_summary`
+/// entries also open on `"kernel"` but carry neither `reuse` nor
+/// `tail_p99_improvement`, so they parse as zero rows and are dropped.
+pub fn parse_adaptive_rows(text: &str) -> Vec<AdaptiveCheckRow> {
+    let mut rows: Vec<AdaptiveCheckRow> = Vec::new();
+    for line in text.lines() {
+        let Some((key, value)) = key_value(line) else {
+            continue;
+        };
+        if key == "kernel" {
+            rows.push(AdaptiveCheckRow {
+                kernel: value.trim_matches('"').to_string(),
+                ..AdaptiveCheckRow::default()
+            });
+            continue;
+        }
+        let Some(row) = rows.last_mut() else { continue };
+        match key {
+            "reuse" => row.reuse = value.parse().unwrap_or(0),
+            "tail_p99_improvement" => {
+                row.tail_p99_improvement = value.parse().unwrap_or(0.0);
+            }
+            _ => {}
+        }
+    }
+    // Drop the warm_summary echoes (no reuse key ⇒ not a sweep row).
+    rows.retain(|r| r.reuse > 0);
+    rows
+}
+
+/// Compares fresh adaptive-bench tail latencies against a baseline.
+/// Per (kernel, reuse) row, the fresh `tail_p99_improvement` may not
+/// drop more than `tolerance` (relative) below its baseline value.
+/// Rows whose baseline value is 0.0 — a `BENCH_adaptive.json` written
+/// before the tail columns existed — are warned about and skipped, as
+/// are fresh rows with no baseline counterpart; baseline rows missing
+/// from the fresh run fail, mirroring [`check_exec`].
+///
+/// # Errors
+///
+/// A multi-line description of every violated bound.
+pub fn check_adaptive(baseline: &str, fresh: &str, tolerance: f64) -> Result<String, String> {
+    let base: BTreeMap<(String, u64), AdaptiveCheckRow> = parse_adaptive_rows(baseline)
+        .into_iter()
+        .map(|r| ((r.kernel.clone(), r.reuse), r))
+        .collect();
+    let fresh_rows = parse_adaptive_rows(fresh);
+    if fresh_rows.is_empty() {
+        return Err("fresh BENCH_adaptive.json has no sweep rows".into());
+    }
+    let fresh_keys: Vec<(String, u64)> = fresh_rows
+        .iter()
+        .map(|r| (r.kernel.clone(), r.reuse))
+        .collect();
+    let mut report = String::from(
+        "exec-check: adaptive cold-run tail (p99 sync / p99 background) vs baseline\n\
+         \n  kernel    reuse   tail(base)   tail(fresh)\n",
+    );
+    let mut warnings = String::new();
+    let mut failures = String::new();
+    for f in &fresh_rows {
+        let b = base.get(&(f.kernel.clone(), f.reuse));
+        report.push_str(&format!(
+            "  {:8} {:6}   {:8.2}x   {:9.2}x{}\n",
+            f.kernel,
+            f.reuse,
+            b.map_or(0.0, |b| b.tail_p99_improvement),
+            f.tail_p99_improvement,
+            if b.is_none() { "   (no baseline)" } else { "" },
+        ));
+        let Some(b) = b else { continue };
+        if b.tail_p99_improvement == 0.0 {
+            warnings.push_str(&format!(
+                "  warning: baseline has no tail_p99_improvement for {}/{} \
+                 (pre-tail-column file?) — not gated\n",
+                f.kernel, f.reuse,
+            ));
+            continue;
+        }
+        let floor = b.tail_p99_improvement * (1.0 - tolerance);
+        if f.tail_p99_improvement < floor {
+            failures.push_str(&format!(
+                "  {}/{}: tail_p99_improvement {:.2}x regressed below {:.2}x \
+                 (baseline {:.2}x - {:.0}% tolerance)\n",
+                f.kernel,
+                f.reuse,
+                f.tail_p99_improvement,
+                floor,
+                b.tail_p99_improvement,
+                tolerance * 100.0,
+            ));
+        }
+    }
+    for key in base.keys() {
+        if !fresh_keys.contains(key) {
+            failures.push_str(&format!(
+                "  {}/{}: present in baseline, missing from fresh run\n",
+                key.0, key.1
+            ));
+        }
+    }
+    if !warnings.is_empty() {
+        report.push_str(&format!("\n{warnings}"));
+    }
+    if failures.is_empty() {
+        Ok(report)
+    } else {
+        Err(format!("{report}\nREGRESSIONS:\n{failures}"))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::adaptive_bench::AdaptiveBenchRow;
     use crate::exec_bench::ExecBenchRow;
-    use crate::exec_json;
+    use crate::{adaptive_json, exec_json};
 
     fn sample_row(name: &'static str, decode_ns: u64, fused_ns: u64) -> ExecBenchRow {
         engines_row(name, decode_ns, fused_ns, fused_ns / 2, fused_ns)
@@ -312,5 +468,80 @@ mod tests {
     fn empty_fresh_is_an_error() {
         let base = exec_json(&[sample_row("hash", 4000, 1000)]).pretty();
         assert!(check_exec(&base, "{}", DEFAULT_TOLERANCE).is_err());
+    }
+
+    /// A sweep row with the cold-run p99 tails pinned (sync, bg), so
+    /// tests can steer `tail_p99_improvement` directly.
+    fn tail_row(kernel: &'static str, reuse: u64, p99_sync: u64, p99_bg: u64) -> AdaptiveBenchRow {
+        AdaptiveBenchRow {
+            kernel,
+            reuse,
+            reps: 4,
+            decode_ns: 4000,
+            fused_ns: 1500,
+            threaded_ns: 1000,
+            adaptive_ns: 1040,
+            adaptive_bg_ns: 1020,
+            promotions: 3,
+            warm_decode_ns: 400,
+            warm_fused_ns: 120,
+            warm_threaded_ns: 100,
+            warm_adaptive_ns: 103,
+            warm_adaptive_bg_ns: 104,
+            run_max_adaptive_ns: p99_sync * 2,
+            run_p99_adaptive_ns: p99_sync,
+            run_max_adaptive_bg_ns: p99_bg * 2,
+            run_p99_adaptive_bg_ns: p99_bg,
+        }
+    }
+
+    #[test]
+    fn adaptive_rows_roundtrip_through_the_emitted_json() {
+        let rows = vec![tail_row("hash", 4, 800, 250), tail_row("hash", 8, 900, 300)];
+        let parsed = parse_adaptive_rows(&adaptive_json(&rows).pretty());
+        // The warm_summary block repeats "kernel" but has no reuse key,
+        // so only the two sweep rows survive.
+        assert_eq!(parsed.len(), 2);
+        assert_eq!((parsed[0].kernel.as_str(), parsed[0].reuse), ("hash", 4));
+        assert!((parsed[0].tail_p99_improvement - 3.2).abs() < 1e-9);
+        assert_eq!(parsed[1].reuse, 8);
+    }
+
+    #[test]
+    fn adaptive_tail_gate_passes_within_tolerance_and_fails_beyond() {
+        let base = adaptive_json(&[tail_row("hash", 4, 800, 250)]).pretty(); // 3.2x
+        let ok = adaptive_json(&[tail_row("hash", 4, 700, 280)]).pretty(); // 2.5x, -22%
+        let report = check_adaptive(&base, &ok, DEFAULT_TOLERANCE).expect("within tolerance");
+        assert!(report.contains("hash"), "{report}");
+        let bad = adaptive_json(&[tail_row("hash", 4, 500, 500)]).pretty(); // 1.0x, -69%
+        let err = check_adaptive(&base, &bad, DEFAULT_TOLERANCE).expect_err("regression");
+        assert!(err.contains("REGRESSIONS"), "{err}");
+        assert!(err.contains("tail_p99_improvement"), "{err}");
+    }
+
+    #[test]
+    fn adaptive_tail_gate_warns_and_skips_zero_baselines() {
+        // A baseline from before the tail columns: both p99 sides are
+        // zero, so tail_p99_improvement serializes as 0.0. Even a
+        // fresh collapse to 1.0x must pass with a warning.
+        let base = adaptive_json(&[tail_row("hash", 4, 0, 0)]).pretty();
+        let fresh = adaptive_json(&[tail_row("hash", 4, 500, 500)]).pretty();
+        let report = check_adaptive(&base, &fresh, DEFAULT_TOLERANCE).expect("warns, not fails");
+        assert!(
+            report.contains("warning: baseline has no tail_p99_improvement"),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn adaptive_tail_gate_handles_missing_and_new_rows() {
+        let base = adaptive_json(&[tail_row("hash", 4, 800, 250)]).pretty();
+        let fresh = adaptive_json(&[tail_row("hash", 8, 800, 250)]).pretty();
+        let err = check_adaptive(&base, &fresh, DEFAULT_TOLERANCE).expect_err("missing row");
+        assert!(err.contains("missing from fresh run"), "{err}");
+        // Fresh-only rows against an empty baseline pass (all new).
+        assert!(check_adaptive("{}", &fresh, DEFAULT_TOLERANCE).is_ok());
+        // An empty fresh file is always an error.
+        assert!(check_adaptive(&base, "{}", DEFAULT_TOLERANCE).is_err());
     }
 }

@@ -33,7 +33,10 @@ pub use adaptive_bench::{
 };
 pub use cache_bench::{cache_bench, cache_json, cache_report};
 pub use calibrate::ns_per_cycle;
-pub use check::{check_exec, parse_exec_rows, CheckRow, DEFAULT_TOLERANCE, GATED_COLUMNS};
+pub use check::{
+    check_adaptive, check_exec, parse_adaptive_rows, parse_exec_rows, AdaptiveCheckRow, CheckRow,
+    DEFAULT_TOLERANCE, GATED_COLUMNS, TAIL_TOLERANCE,
+};
 pub use exec_bench::{exec_bench, exec_bench_smoke, exec_json, exec_report, ExecBenchRow};
 pub use measure::{measure, measure_with, DynBackend, Measurement};
 pub use programs::{benchmarks, BenchDef, BLUR_FULL, BLUR_SMALL};

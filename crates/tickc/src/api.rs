@@ -83,6 +83,12 @@ pub struct Config {
     /// Adaptive tiering: completed runs after which a function is
     /// promoted to the direct-threaded engine (tier 2).
     pub adaptive_thread_after: u32,
+    /// Adaptive tiering: build promoted functions' translations on a
+    /// background worker thread instead of inline, swapping them in at
+    /// a later function entry (and discarding them if an epoch bump
+    /// landed first). Takes translation off the promoting run's
+    /// critical path; off by default.
+    pub adaptive_background: bool,
     /// Run the ICODE fusion-aware scheduler (sinks pure defs next to
     /// branches/consumers so superinstruction pairing finds more
     /// adjacencies). Ablation knob; on by default.
@@ -104,6 +110,7 @@ impl Default for Config {
             engine: None,
             adaptive_fuse_after: tcc_vm::DEFAULT_FUSE_AFTER,
             adaptive_thread_after: tcc_vm::DEFAULT_THREAD_AFTER,
+            adaptive_background: false,
             icode_schedule: true,
         }
     }
@@ -176,6 +183,7 @@ impl Session {
             ExecEngine::Adaptive {
                 fuse_after: config.adaptive_fuse_after,
                 thread_after: config.adaptive_thread_after,
+                background: config.adaptive_background,
             }
         } else {
             ExecEngine::DecodePerStep
@@ -299,6 +307,9 @@ impl Session {
                     demotions: a.demotions,
                     translation_ns: a.translation_ns,
                     translation_ns_saved: a.translation_ns_saved,
+                    async_translations: a.async_translations,
+                    discarded_stale: a.discarded_stale,
+                    swap_latency_ns: a.swap_latency_ns,
                 }
             },
             cache: self

@@ -54,19 +54,40 @@
 //! fault [`VmError::StaleCode`] / [`VmError::BadPc`] from the exact
 //! same reference path as every other engine.
 //!
+//! # Off-thread translation
+//!
+//! With `ExecEngine::Adaptive { background: true, .. }` a promotion no
+//! longer builds its translation inline — the promoting run would stall
+//! for exactly the latency the tiering exists to hide. Instead the
+//! engine snapshots the function's sealed words and enqueues a
+//! translation request (start index, target tier, the live epoch and
+//! cache generation at enqueue) to a background worker thread spawned
+//! lazily and owned by the translation cache. The run loop keeps executing
+//! at the function's current tier; finished translations are drained at
+//! function-entry points and swapped in — or **discarded** when
+//! [`CodeSpace::live_epoch`] moved since enqueue (the snapshot no
+//! longer describes live code) or the cache generation changed (the
+//! tier state the request belonged to was rebuilt). Discarding rather
+//! than installing keeps free/patch/eviction semantics and `StaleCode`
+//! faulting bit-identical to the synchronous engines; the differential
+//! harness sweeps the worker-backed variants too.
+//!
 //! [`ExecEngine::DecodePerStep`]: crate::predecode::ExecEngine::DecodePerStep
 //! [`ExecEngine::Adaptive`]: crate::predecode::ExecEngine::Adaptive
 //! [`CodeSpace::live_epoch`]: crate::code::CodeSpace::live_epoch
 
+use std::sync::mpsc;
 use std::sync::Arc;
+use std::thread;
 use std::time::Instant;
 
 use crate::code::CODE_BASE;
+use crate::cost::CostModel;
 use crate::error::VmError;
 use crate::host::HostCall;
 use crate::interp::{ExitStatus, Step, Vm, RETURN_SENTINEL};
-use crate::predecode::DecodedFn;
-use crate::threaded::ThreadedFn;
+use crate::predecode::{DecodedFn, ExecStats};
+use crate::threaded::{ThreadedFn, HANDLER_TABLE_SIZE};
 
 /// Default promotion threshold to tier 1 (predecoded+fused): completed
 /// runs after which one decoding pass has paid for itself. Calibrated
@@ -120,6 +141,11 @@ pub(crate) struct FnTier {
     pub(crate) tier: Tier,
     /// Words in the function, for the translation-cost-saved estimate.
     pub(crate) words: u32,
+    /// A tier-1 (decoded) translation request is in flight on the
+    /// background worker; suppresses duplicate enqueues.
+    pub(crate) pending_fused: bool,
+    /// A tier-2 (threaded) translation request is in flight.
+    pub(crate) pending_threaded: bool,
 }
 
 impl FnTier {
@@ -161,6 +187,161 @@ pub struct AdaptiveStats {
     /// Code words translated under this engine (the price signal for
     /// [`AdaptiveStats::translation_ns_saved`]).
     pub translated_words: u64,
+    /// Translations built on the background worker and swapped in
+    /// (`background: true` only; inline builds are not counted here).
+    pub async_translations: u64,
+    /// Background translations discarded on receipt because the live
+    /// epoch moved between enqueue and completion — the demotion-safe
+    /// path of the async pipeline.
+    pub discarded_stale: u64,
+    /// Total enqueue→swap-in wall-clock nanoseconds across
+    /// [`AdaptiveStats::async_translations`] (queue wait + build +
+    /// drain delay; the off-critical-path latency budget).
+    pub swap_latency_ns: u64,
+}
+
+/// A translation request handed to the background worker: everything a
+/// build needs, snapshotted at enqueue time so the worker never touches
+/// VM state. Host-independent — only the response is typed over `H`.
+pub(crate) struct TransRequest {
+    /// Start word index of the function's live range (positions the
+    /// buffer's base address).
+    start: usize,
+    /// Owned snapshot of the range's sealed words.
+    words: Vec<u32>,
+    /// The cost model in force at enqueue.
+    cost: CostModel,
+    /// Target tier ([`Tier::Fused`] or [`Tier::Threaded`]).
+    tier: Tier,
+    /// [`crate::code::CodeSpace::live_epoch`] at enqueue; the response
+    /// is discarded if the epoch moved before it was received.
+    epoch: u64,
+    /// Cache generation at enqueue; the response is dropped if the tier
+    /// state it belongs to was rebuilt (engine/cost-model change).
+    generation: u64,
+    /// Enqueue timestamp, for [`AdaptiveStats::swap_latency_ns`].
+    enqueued: Instant,
+}
+
+/// A finished background translation, stamped with the validity context
+/// it was built under.
+pub(crate) struct TransDone<H> {
+    start: usize,
+    end: usize,
+    tier: Tier,
+    epoch: u64,
+    generation: u64,
+    /// Wall-clock build time on the worker (goes into
+    /// [`AdaptiveStats::translation_ns`] when installed).
+    build_ns: u64,
+    /// Pairs fused during a tier-1 build (folded into `ExecStats`).
+    fused_pairs: u64,
+    enqueued: Instant,
+    payload: TransPayload<H>,
+}
+
+/// The built buffer itself.
+enum TransPayload<H> {
+    Fused(Arc<DecodedFn>),
+    Threaded(Arc<ThreadedFn<H>>),
+}
+
+/// The background translation worker: request/response channels plus
+/// the thread handle. Owned by the translation cache; dropping it
+/// closes the request channel, which shuts the thread down (joined so a
+/// VM drop never leaks a worker).
+pub(crate) struct TransWorker<H> {
+    tx: Option<mpsc::Sender<TransRequest>>,
+    rx: mpsc::Receiver<TransDone<H>>,
+    handle: Option<thread::JoinHandle<()>>,
+}
+
+impl<H: HostCall> TransWorker<H> {
+    /// Spawns the worker thread. Called lazily on the first background
+    /// promotion, so synchronous sessions never start a thread.
+    pub(crate) fn spawn() -> TransWorker<H> {
+        let (req_tx, req_rx) = mpsc::channel::<TransRequest>();
+        let (done_tx, done_rx) = mpsc::channel::<TransDone<H>>();
+        let handle = thread::Builder::new()
+            .name("tcc-translate".into())
+            .spawn(move || worker_loop::<H>(&req_rx, &done_tx))
+            .expect("spawn background translation worker");
+        TransWorker {
+            tx: Some(req_tx),
+            rx: done_rx,
+            handle: Some(handle),
+        }
+    }
+}
+
+impl<H> Drop for TransWorker<H> {
+    fn drop(&mut self) {
+        // Closing the request channel ends `worker_loop`'s recv loop.
+        drop(self.tx.take());
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// The worker thread body: translate each request over its word
+/// snapshot (timing the build) and send the result back. Exits when
+/// either channel closes.
+fn worker_loop<H: HostCall>(rx: &mpsc::Receiver<TransRequest>, tx: &mpsc::Sender<TransDone<H>>) {
+    while let Ok(req) = rx.recv() {
+        let end = req.start + req.words.len();
+        let t0 = Instant::now();
+        let (payload, fused_pairs) = match req.tier {
+            Tier::Fused => {
+                // The scratch stats capture `fused_pairs` for the build;
+                // they are folded into the VM's counters at install time.
+                let mut scratch = ExecStats::default();
+                let tr = crate::predecode::translate(
+                    &req.words,
+                    req.start,
+                    &req.cost,
+                    true,
+                    &mut scratch,
+                );
+                (TransPayload::Fused(Arc::new(tr)), scratch.fused_pairs)
+            }
+            Tier::Threaded => {
+                let tr = crate::threaded::translate::<H>(&req.words, req.start, &req.cost);
+                (TransPayload::Threaded(Arc::new(tr)), 0)
+            }
+            // Tier 0 needs no translation and is never enqueued.
+            Tier::Decode => continue,
+        };
+        let done = TransDone {
+            start: req.start,
+            end,
+            tier: req.tier,
+            epoch: req.epoch,
+            generation: req.generation,
+            build_ns: t0.elapsed().as_nanos() as u64,
+            fused_pairs,
+            enqueued: req.enqueued,
+            payload,
+        };
+        if tx.send(done).is_err() {
+            return;
+        }
+    }
+}
+
+/// Prices `cold_words` of never-translated code at the session's
+/// observed translation rate, entirely in integer arithmetic:
+/// `cold_words * translation_ns / translated_words`, computed in
+/// `u128` so the product cannot overflow and no f64 round-trip can
+/// corrupt large counters. With no price signal yet — nothing
+/// translated, or a cold sample whose measured duration was zero
+/// (`per_word == 0` on a coarse clock) — the estimate is `0`.
+pub(crate) fn saved_estimate(cold_words: u64, translation_ns: u64, translated_words: u64) -> u64 {
+    if translated_words == 0 || translation_ns == 0 {
+        return 0;
+    }
+    let scaled = u128::from(cold_words) * u128::from(translation_ns) / u128::from(translated_words);
+    u64::try_from(scaled).unwrap_or(u64::MAX)
 }
 
 /// The translation handle an [`Active`] function dispatches through.
@@ -188,6 +369,10 @@ struct Active<H> {
     /// Tier [`Active::tr`] was fetched for; refreshed on promotion.
     tier: Tier,
     tr: ActiveTr<H>,
+    /// Backward transfers observed while running below the granted
+    /// tier with a translation in flight (background mode only);
+    /// throttles the mid-run worker poll to the hotspot clock's tick.
+    poll_clock: u32,
 }
 
 impl<H> Active<H> {
@@ -196,6 +381,20 @@ impl<H> Active<H> {
     fn contains(&self, pc: u64) -> bool {
         pc >= self.lo && pc < self.hi && pc.is_multiple_of(4)
     }
+}
+
+/// Whether a memoized translation handle is the one `tier` dispatches
+/// through. In background mode a function can run *below* its granted
+/// tier while its translation is in flight; a mismatch at function
+/// entry re-probes the cache so a finished swap is picked up.
+#[inline]
+fn tr_matches<H>(tr: &ActiveTr<H>, tier: Tier) -> bool {
+    matches!(
+        (tr, tier),
+        (ActiveTr::None, Tier::Decode)
+            | (ActiveTr::Fused(_), Tier::Fused)
+            | (ActiveTr::Threaded(_), Tier::Threaded)
+    )
 }
 
 impl<H: HostCall> Vm<H> {
@@ -208,6 +407,7 @@ impl<H: HostCall> Vm<H> {
         mut pc: u64,
         fuse_after: u32,
         thread_after: u32,
+        background: bool,
     ) -> Result<ExitStatus, VmError> {
         // The attributed function and the one control most recently
         // left. Entries are counted only on range transitions, and the
@@ -231,6 +431,13 @@ impl<H: HostCall> Vm<H> {
                 None => false,
             };
             if !in_cur {
+                // Function entry: the swap point of the async pipeline.
+                // Finished background translations are installed here,
+                // before tier selection, so this entry can already
+                // dispatch through them.
+                if background && self.trans.pending > 0 {
+                    self.poll_background();
+                }
                 let back = match prev {
                     Some(ref p) => p.contains(pc),
                     None => false,
@@ -239,14 +446,14 @@ impl<H: HostCall> Vm<H> {
                     std::mem::swap(&mut cur, &mut prev);
                     let c = cur.as_mut().expect("swapped from a hit");
                     let tier = self.count_entry(c.fi, fuse_after, thread_after);
-                    if tier != c.tier {
+                    if tier != c.tier || (background && !tr_matches(&c.tr, tier)) {
                         c.tier = tier;
-                        c.tr = self.fetch_translation(pc, tier);
+                        c.tr = self.fetch_translation(pc, c.fi, tier, background);
                     }
                 } else {
                     prev = std::mem::replace(
                         &mut cur,
-                        self.enter_function(pc, fuse_after, thread_after),
+                        self.enter_function(pc, fuse_after, thread_after, background),
                     );
                 }
             }
@@ -271,8 +478,15 @@ impl<H: HostCall> Vm<H> {
                 // price; enough of them promote the function mid-run,
                 // without waiting for its entry count to catch up.
                 if let (Some(a), &Step::At(next)) = (cur.as_mut(), &step) {
-                    if a.tier == Tier::Decode && next <= pc && a.contains(next) {
-                        self.note_backedge(a, next, fuse_after, thread_after);
+                    if next <= pc && a.contains(next) {
+                        if a.tier == Tier::Decode {
+                            self.note_backedge(a, next, fuse_after, thread_after, background);
+                        } else if background && self.trans.pending > 0 {
+                            // Granted a tier whose translation is still
+                            // in flight: poll for it mid-loop so the
+                            // swap lands inside this run.
+                            self.poll_midrun(a, next);
+                        }
                     }
                 }
                 step
@@ -298,7 +512,13 @@ impl<H: HostCall> Vm<H> {
     /// threshold. Returns the memoized function state, or `None` when
     /// `pc` is not inside live code (the slow path then raises the exact
     /// reference fault).
-    fn enter_function(&mut self, pc: u64, fuse_after: u32, thread_after: u32) -> Option<Active<H>> {
+    fn enter_function(
+        &mut self,
+        pc: u64,
+        fuse_after: u32,
+        thread_after: u32,
+        background: bool,
+    ) -> Option<Active<H>> {
         if pc < CODE_BASE || !pc.is_multiple_of(4) {
             return None;
         }
@@ -318,6 +538,8 @@ impl<H: HostCall> Vm<H> {
                     backedges: 0,
                     tier: Tier::Decode,
                     words: (end - start) as u32,
+                    pending_fused: false,
+                    pending_threaded: false,
                 });
                 if self.trans.tier_idx.len() < end {
                     self.trans.tier_idx.resize(end, NO_TIER);
@@ -332,14 +554,35 @@ impl<H: HostCall> Vm<H> {
         let f = &self.trans.tier_fns[fi as usize];
         let lo = CODE_BASE + (f.start as u64) * 4;
         let hi = lo + u64::from(f.words) * 4;
-        let tr = self.fetch_translation(pc, tier);
+        let tr = self.fetch_translation(pc, fi, tier, background);
         Some(Active {
             lo,
             hi,
             fi,
             tier,
             tr,
+            poll_clock: 0,
         })
+    }
+
+    /// Mid-run swap point of the async pipeline: the function was
+    /// granted a tier whose translation is still being built, so it is
+    /// single-stepping at reference speed. Backward transfers poll the
+    /// worker on the same 64-iteration clock as the hotspot check and
+    /// swap a finished build in mid-loop — the synchronous engine
+    /// promotes mid-run at exactly this point, and without a matching
+    /// swap point the pipeline would forfeit the whole remaining run
+    /// to the cold tier, *growing* the cold-run tail it exists to cut.
+    #[inline]
+    fn poll_midrun(&mut self, a: &mut Active<H>, pc: u64) {
+        a.poll_clock = a.poll_clock.wrapping_add(1);
+        if a.poll_clock & ((1 << BACKEDGES_PER_RUN_BITS) - 1) != 0 {
+            return;
+        }
+        self.poll_background();
+        if !tr_matches(&a.tr, a.tier) {
+            a.tr = self.fetch_translation(pc, a.fi, a.tier, true);
+        }
     }
 
     /// Counts one entry of control into tier record `fi`, promoting the
@@ -382,7 +625,14 @@ impl<H: HostCall> Vm<H> {
     /// (re-evaluated only when the weighted clock ticks, so the common
     /// case is one increment and one mask test).
     #[inline]
-    fn note_backedge(&mut self, a: &mut Active<H>, pc: u64, fuse_after: u32, thread_after: u32) {
+    fn note_backedge(
+        &mut self,
+        a: &mut Active<H>,
+        pc: u64,
+        fuse_after: u32,
+        thread_after: u32,
+        background: bool,
+    ) {
         let entry = &mut self.trans.tier_fns[a.fi as usize];
         entry.backedges += 1;
         if entry.backedges & ((1 << BACKEDGES_PER_RUN_BITS) - 1) != 0 {
@@ -401,13 +651,20 @@ impl<H: HostCall> Vm<H> {
             entry.tier = target;
             self.trans.astats.promotions += levels;
             a.tier = target;
-            a.tr = self.fetch_translation(pc, target);
+            a.tr = self.fetch_translation(pc, a.fi, target, background);
         }
     }
 
-    /// The translation handle for `tier` at `pc`, building (and timing)
-    /// it on first use.
-    fn fetch_translation(&mut self, pc: u64, tier: Tier) -> ActiveTr<H> {
+    /// The translation handle for `tier` at `pc`. Synchronous mode
+    /// builds (and times) it inline on first use. Background mode never
+    /// builds on this thread: a cached buffer is returned directly, and
+    /// a miss enqueues a request to the worker and falls back to the
+    /// best already-cached lower tier, so the promoting run keeps
+    /// moving at its current speed.
+    fn fetch_translation(&mut self, pc: u64, fi: u32, tier: Tier, background: bool) -> ActiveTr<H> {
+        if background {
+            return self.fetch_translation_bg(pc, fi, tier);
+        }
         match tier {
             Tier::Threaded => match self.threaded_at_counted(pc) {
                 Some(tr) => ActiveTr::Threaded(tr),
@@ -419,6 +676,185 @@ impl<H: HostCall> Vm<H> {
             },
             Tier::Decode => ActiveTr::None,
         }
+    }
+
+    /// Background-mode fetch: cache hits resolve immediately, misses
+    /// enqueue and degrade to the next tier down (a threaded miss can
+    /// still dispatch through an installed decoded buffer).
+    fn fetch_translation_bg(&mut self, pc: u64, fi: u32, tier: Tier) -> ActiveTr<H> {
+        let idx = ((pc - CODE_BASE) / 4) as usize;
+        match tier {
+            Tier::Threaded => {
+                if self.trans.threaded_cached(idx) {
+                    return match self.threaded_at(pc) {
+                        Some(tr) => ActiveTr::Threaded(tr),
+                        None => ActiveTr::None,
+                    };
+                }
+                self.enqueue_translation(fi, Tier::Threaded);
+                if self.trans.decoded_cached(idx) {
+                    return match self.translation_at(pc, true) {
+                        Some(tr) => ActiveTr::Fused(tr),
+                        None => ActiveTr::None,
+                    };
+                }
+                ActiveTr::None
+            }
+            Tier::Fused => {
+                if self.trans.decoded_cached(idx) {
+                    return match self.translation_at(pc, true) {
+                        Some(tr) => ActiveTr::Fused(tr),
+                        None => ActiveTr::None,
+                    };
+                }
+                self.enqueue_translation(fi, Tier::Fused);
+                ActiveTr::None
+            }
+            Tier::Decode => ActiveTr::None,
+        }
+    }
+
+    /// Enqueues a translation request for tier record `fi` to the
+    /// background worker (spawning it on first use), snapshotting the
+    /// function's sealed words plus the epoch/generation the result
+    /// must still match to be installed. A request already in flight
+    /// for the same function and tier is not duplicated.
+    fn enqueue_translation(&mut self, fi: u32, tier: Tier) {
+        let (start, end) = {
+            let entry = &mut self.trans.tier_fns[fi as usize];
+            let pending = match tier {
+                Tier::Fused => &mut entry.pending_fused,
+                Tier::Threaded => &mut entry.pending_threaded,
+                Tier::Decode => return,
+            };
+            if *pending {
+                return;
+            }
+            *pending = true;
+            (entry.start, entry.start + entry.words as usize)
+        };
+        let req = TransRequest {
+            start,
+            words: self.state.code.word_slice(start, end).to_vec(),
+            cost: self.cost.clone(),
+            tier,
+            epoch: self.trans.epoch,
+            generation: self.trans.generation,
+            enqueued: Instant::now(),
+        };
+        let worker = self.trans.worker.get_or_insert_with(TransWorker::spawn);
+        let sent = match worker.tx.as_ref() {
+            Some(tx) => tx.send(req).is_ok(),
+            None => false,
+        };
+        if sent {
+            self.trans.pending += 1;
+        } else {
+            // Worker unavailable (died mid-session): clear the flag so
+            // a later promotion can retry; execution stays correct at
+            // the current tier either way.
+            let entry = &mut self.trans.tier_fns[fi as usize];
+            match tier {
+                Tier::Fused => entry.pending_fused = false,
+                Tier::Threaded => entry.pending_threaded = false,
+                Tier::Decode => {}
+            }
+        }
+    }
+
+    /// Drains every already-finished background translation without
+    /// blocking, installing or discarding each.
+    fn poll_background(&mut self) {
+        while self.trans.pending > 0 {
+            let done = {
+                match self.trans.worker.as_ref() {
+                    Some(w) => match w.rx.try_recv() {
+                        Ok(done) => done,
+                        Err(_) => break,
+                    },
+                    None => break,
+                }
+            };
+            self.trans.pending -= 1;
+            self.install_translation(done);
+        }
+    }
+
+    /// Blocks until every in-flight background translation has been
+    /// received (each is then installed or discarded by the usual
+    /// epoch/generation checks). Test and benchmark hook: makes the
+    /// asynchronous pipeline deterministic at a chosen point without
+    /// changing its semantics.
+    pub fn drain_background_translations(&mut self) {
+        while self.trans.pending > 0 {
+            let done = {
+                match self.trans.worker.as_ref() {
+                    Some(w) => match w.rx.recv() {
+                        Ok(done) => done,
+                        Err(_) => break,
+                    },
+                    None => break,
+                }
+            };
+            self.trans.pending -= 1;
+            self.install_translation(done);
+        }
+    }
+
+    /// Swap-or-discard: the receive side of the async pipeline. A
+    /// result built against an older live epoch describes code that has
+    /// since been freed or patched and is discarded (the demotion-safe
+    /// path); one from an older cache generation belongs to tier state
+    /// that no longer exists and is dropped silently. Everything else
+    /// is installed exactly as an inline build would have been.
+    fn install_translation(&mut self, done: TransDone<H>) {
+        if done.epoch != self.state.code.live_epoch() {
+            self.trans.astats.discarded_stale += 1;
+            return;
+        }
+        if done.generation != self.trans.generation {
+            return;
+        }
+        // Same generation ⇒ the tier record that requested this is
+        // still alive; clear its in-flight flag.
+        if let Some(&fi) = self.trans.tier_idx.get(done.start) {
+            if fi != NO_TIER {
+                let entry = &mut self.trans.tier_fns[fi as usize];
+                match done.tier {
+                    Tier::Fused => entry.pending_fused = false,
+                    Tier::Threaded => entry.pending_threaded = false,
+                    Tier::Decode => {}
+                }
+            }
+        }
+        let need = self.state.code.next_index();
+        match done.payload {
+            TransPayload::Fused(tr) => {
+                if self.trans.map.len() < need {
+                    self.trans.map.resize(need, None);
+                }
+                for slot in self.trans.map[done.start..done.end].iter_mut() {
+                    *slot = Some(Arc::clone(&tr));
+                }
+                self.trans.stats.fused_pairs += done.fused_pairs;
+            }
+            TransPayload::Threaded(tr) => {
+                if self.trans.tmap.len() < need {
+                    self.trans.tmap.resize(need, None);
+                }
+                for slot in self.trans.tmap[done.start..done.end].iter_mut() {
+                    *slot = Some(Arc::clone(&tr));
+                }
+                self.trans.stats.handlers = HANDLER_TABLE_SIZE;
+            }
+        }
+        self.trans.stats.translations += 1;
+        self.trans.stats.translated_words += (done.end - done.start) as u64;
+        let astats = &mut self.trans.astats;
+        astats.translation_ns += done.build_ns;
+        astats.translated_words += (done.end - done.start) as u64;
+        astats.async_translations += 1;
+        astats.swap_latency_ns += done.enqueued.elapsed().as_nanos() as u64;
     }
 
     /// Epoch bump observed: count the tier levels lost, drop every
@@ -479,17 +915,14 @@ impl<H: HostCall> Vm<H> {
     /// estimate priced at this session's observed ns/word.
     pub fn adaptive_stats(&self) -> AdaptiveStats {
         let mut s = self.trans.astats;
-        if s.translated_words > 0 {
-            let per_word = s.translation_ns as f64 / s.translated_words as f64;
-            let cold_words: u64 = self
-                .trans
-                .tier_fns
-                .iter()
-                .filter(|t| t.tier == Tier::Decode && t.runs > 0)
-                .map(|t| u64::from(t.words))
-                .sum();
-            s.translation_ns_saved = (cold_words as f64 * per_word) as u64;
-        }
+        let cold_words: u64 = self
+            .trans
+            .tier_fns
+            .iter()
+            .filter(|t| t.tier == Tier::Decode && t.runs > 0)
+            .map(|t| u64::from(t.words))
+            .sum();
+        s.translation_ns_saved = saved_estimate(cold_words, s.translation_ns, s.translated_words);
         s
     }
 
@@ -548,6 +981,21 @@ mod tests {
         vm.set_engine(ExecEngine::Adaptive {
             fuse_after,
             thread_after,
+            background: false,
+        });
+        (vm, addr, f)
+    }
+
+    fn adaptive_vm_bg(
+        fuse_after: u32,
+        thread_after: u32,
+    ) -> (Vm<crate::host::NoHost>, u64, crate::code::FuncHandle) {
+        let (cs, addr, f) = loop_code();
+        let mut vm = Vm::new(cs, 1 << 20);
+        vm.set_engine(ExecEngine::Adaptive {
+            fuse_after,
+            thread_after,
+            background: true,
         });
         (vm, addr, f)
     }
@@ -657,6 +1105,7 @@ mod tests {
         vm.set_engine(ExecEngine::Adaptive {
             fuse_after: 2,
             thread_after: 100,
+            background: false,
         });
         vm.call(cold, &[1]).unwrap();
         assert_eq!(vm.adaptive_stats().translation_ns_saved, 0, "no price yet");
@@ -669,5 +1118,99 @@ mod tests {
             s.translation_ns_saved > 0,
             "run-once function's avoided translation is priced: {s:?}"
         );
+    }
+
+    #[test]
+    fn saved_estimate_is_exact_integer_arithmetic() {
+        // 1000 ns over 4 words prices 10 cold words at 2500 ns.
+        assert_eq!(saved_estimate(10, 1000, 4), 2500);
+        // Sub-ns-per-word rates keep precision the f64 round-trip lost:
+        // 3 ns over 4 words prices 10 cold words at 30/4 = 7 ns.
+        assert_eq!(saved_estimate(10, 3, 4), 7);
+        // No price signal: nothing translated, or a zero-duration cold
+        // sample on a coarse clock.
+        assert_eq!(saved_estimate(10, 0, 4), 0);
+        assert_eq!(saved_estimate(10, 1000, 0), 0);
+        assert_eq!(saved_estimate(0, 1000, 4), 0);
+        // Counters too large for f64's 53-bit mantissa stay exact.
+        let big = (1u64 << 60) + 1;
+        assert_eq!(saved_estimate(big, 7, 7), big);
+        // The u128 product cannot overflow; a result past u64 saturates.
+        assert_eq!(saved_estimate(u64::MAX, u64::MAX, 1), u64::MAX);
+    }
+
+    #[test]
+    fn background_promotion_matches_reference_results() {
+        let (mut vm, addr, _) = adaptive_vm_bg(1, 2);
+        for run in 0..8 {
+            assert_eq!(vm.call(addr, &[10]).unwrap(), 55, "run {run}");
+        }
+        vm.drain_background_translations();
+        assert_eq!(vm.call(addr, &[10]).unwrap(), 55, "post-drain run");
+        let s = vm.adaptive_stats();
+        assert!(
+            s.async_translations >= 1,
+            "worker-built translations were swapped in: {s:?}"
+        );
+        assert_eq!(s.discarded_stale, 0);
+        assert!(s.swap_latency_ns > 0, "swap latency was accounted");
+        assert!(
+            s.translation_ns > 0,
+            "worker build time lands in translation_ns"
+        );
+        let (tier, _) = vm.adaptive_tier(addr).expect("tracked");
+        assert_eq!(tier, Tier::Threaded, "climbed to the top tier");
+    }
+
+    #[test]
+    fn epoch_bump_between_enqueue_and_completion_discards_translation() {
+        use crate::isa::{Insn, Op};
+        let (mut vm, addr, _) = adaptive_vm_bg(1, 100);
+        // Two entries: the second crosses `fuse_after` and enqueues a
+        // tier-1 build on the worker.
+        assert_eq!(vm.call(addr, &[3]).unwrap(), 6);
+        assert_eq!(vm.call(addr, &[3]).unwrap(), 6);
+        let (tier, _) = vm.adaptive_tier(addr).expect("tracked");
+        assert_eq!(tier, Tier::Fused, "promotion granted at entry 2");
+        // The epoch bump lands between enqueue and receipt: patch a
+        // live word (same instruction, so results are unchanged) before
+        // draining the worker.
+        vm.state_mut().code.patch(
+            ((addr - crate::code::CODE_BASE) / 4) as usize,
+            Insn::i(Op::Addiw, AT0, ZERO, 0),
+        );
+        vm.drain_background_translations();
+        let s = vm.adaptive_stats();
+        assert_eq!(
+            s.discarded_stale, 1,
+            "the stale translation was discarded, not installed: {s:?}"
+        );
+        assert_eq!(s.async_translations, 0, "nothing was swapped in");
+        assert_eq!(vm.exec_stats().translations, 0, "no buffer was installed");
+        // The function re-promotes cleanly from tier 0: the next run
+        // observes the bump and demotes, then the climb restarts.
+        assert_eq!(vm.call(addr, &[3]).unwrap(), 6);
+        let (tier, runs) = vm.adaptive_tier(addr).expect("re-tracked");
+        assert_eq!((tier, runs), (Tier::Decode, 1), "restarted at tier 0");
+        assert_eq!(vm.call(addr, &[3]).unwrap(), 6);
+        vm.drain_background_translations();
+        assert_eq!(vm.call(addr, &[3]).unwrap(), 6);
+        let (tier, _) = vm.adaptive_tier(addr).expect("tracked");
+        assert_eq!(tier, Tier::Fused, "re-promoted after the bump");
+        let s = vm.adaptive_stats();
+        assert_eq!(s.async_translations, 1, "the re-built translation landed");
+        assert_eq!(s.discarded_stale, 1);
+    }
+
+    #[test]
+    fn background_worker_shuts_down_on_drop() {
+        let (mut vm, addr, _) = adaptive_vm_bg(1, 2);
+        for _ in 0..4 {
+            vm.call(addr, &[5]).unwrap();
+        }
+        // Dropping the VM drops the cache, closes the request channel,
+        // and joins the worker — this must not hang or panic even with
+        // requests possibly still in flight.
+        drop(vm);
     }
 }

@@ -15,7 +15,12 @@ use crate::interp::MachineState;
 /// `fa0`). The handler may freely mutate machine state, including
 /// appending new functions to the code space — that is exactly what
 /// `compile` does.
-pub trait HostCall {
+///
+/// Hosts are `'static` (they own their state rather than borrowing it)
+/// so the adaptive engine's background translation worker, whose
+/// channel types are parameterized over the host, can outlive any
+/// particular borrow of the VM.
+pub trait HostCall: 'static {
     /// Handles host call number `num`.
     ///
     /// # Errors
@@ -38,7 +43,7 @@ impl HostCall for NoHost {
 
 impl<F> HostCall for F
 where
-    F: FnMut(u32, &mut MachineState) -> Result<(), VmError>,
+    F: FnMut(u32, &mut MachineState) -> Result<(), VmError> + 'static,
 {
     fn call(&mut self, num: u32, state: &mut MachineState) -> Result<(), VmError> {
         self(num, state)

@@ -276,7 +276,8 @@ impl<H: HostCall> Vm<H> {
             ExecEngine::Adaptive {
                 fuse_after,
                 thread_after,
-            } => self.run_adaptive(pc, fuse_after, thread_after),
+                background,
+            } => self.run_adaptive(pc, fuse_after, thread_after, background),
         }
     }
 

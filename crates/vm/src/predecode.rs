@@ -25,7 +25,8 @@
 //!
 //! # Invalidation
 //!
-//! Decoded buffers are keyed by [`CodeSpace::live_epoch`], which bumps
+//! Decoded buffers are keyed by
+//! [`CodeSpace::live_epoch`](crate::code::CodeSpace::live_epoch), which bumps
 //! whenever previously-live code stops meaning what it did: a function
 //! is freed (directly or by `tcc-cache` eviction) or a live word is
 //! patched. On any epoch change the whole cache is dropped and stale
@@ -38,7 +39,7 @@
 use std::sync::Arc;
 
 use crate::adaptive::{AdaptiveStats, FnTier, DEFAULT_FUSE_AFTER, DEFAULT_THREAD_AFTER};
-use crate::code::{CodeSpace, CODE_BASE};
+use crate::code::CODE_BASE;
 use crate::cost::CostModel;
 use crate::error::VmError;
 use crate::host::HostCall;
@@ -73,6 +74,12 @@ pub enum ExecEngine {
         /// Completed runs after which a function is promoted to the
         /// direct-threaded engine (tier 2).
         thread_after: u32,
+        /// Translate promoted functions on a background worker thread
+        /// instead of inline: the promoting run keeps executing at its
+        /// current tier and the finished translation is swapped in at a
+        /// later function entry (discarded if the live epoch moved
+        /// first). `false` keeps PR 5's synchronous promotion.
+        background: bool,
     },
 }
 
@@ -84,6 +91,7 @@ impl Default for ExecEngine {
         ExecEngine::Adaptive {
             fuse_after: DEFAULT_FUSE_AFTER,
             thread_after: DEFAULT_THREAD_AFTER,
+            background: false,
         }
     }
 }
@@ -132,7 +140,7 @@ impl ExecStats {
 }
 
 /// Per-VM translation cache: decoded and threaded buffers indexed by
-/// code word, valid for a single [`CodeSpace::live_epoch`].
+/// code word, valid for a single `CodeSpace::live_epoch`.
 ///
 /// Generic over the host because the threaded buffers store handler
 /// function pointers typed over `Vm<H>`.
@@ -141,7 +149,7 @@ pub(crate) struct TransCache<H> {
     pub(crate) epoch: u64,
     /// Word index → decoded translation covering that word (shared
     /// across the function's whole range).
-    map: Vec<Option<Arc<DecodedFn>>>,
+    pub(crate) map: Vec<Option<Arc<DecodedFn>>>,
     /// Word index → direct-threaded translation covering that word.
     pub(crate) tmap: Vec<Option<Arc<crate::threaded::ThreadedFn<H>>>>,
     /// Word index → index into [`TransCache::tier_fns`] for the live
@@ -157,6 +165,17 @@ pub(crate) struct TransCache<H> {
     pub(crate) stats: ExecStats,
     /// Counters specific to the adaptive engine.
     pub(crate) astats: AdaptiveStats,
+    /// The background translation worker, spawned lazily on the first
+    /// asynchronous promotion and kept for the VM's lifetime.
+    pub(crate) worker: Option<crate::adaptive::TransWorker<H>>,
+    /// Cache generation, bumped by [`TransCache::clear`]: worker
+    /// responses stamped with an older generation are dropped without
+    /// being installed (their tier state is gone).
+    pub(crate) generation: u64,
+    /// Requests enqueued to the worker whose responses have not been
+    /// received yet (received responses count down even when the result
+    /// is discarded).
+    pub(crate) pending: u32,
 }
 
 impl<H> std::fmt::Debug for TransCache<H> {
@@ -166,6 +185,8 @@ impl<H> std::fmt::Debug for TransCache<H> {
             .field("map", &self.map.len())
             .field("tmap", &self.tmap.len())
             .field("stats", &self.stats)
+            .field("generation", &self.generation)
+            .field("pending", &self.pending)
             .finish()
     }
 }
@@ -180,6 +201,9 @@ impl<H> Default for TransCache<H> {
             tier_fns: Vec::new(),
             stats: ExecStats::default(),
             astats: AdaptiveStats::default(),
+            worker: None,
+            generation: 0,
+            pending: 0,
         }
     }
 }
@@ -193,8 +217,11 @@ impl<H> TransCache<H> {
     }
 
     /// Drops every cached translation and the adaptive tier state that
-    /// justified it (counters are kept).
+    /// justified it (counters are kept). Bumps the cache generation so
+    /// in-flight background translations enqueued against the old tier
+    /// state are dropped on receipt instead of installed.
     pub(crate) fn clear(&mut self) {
+        self.generation += 1;
         for slot in &mut self.map {
             *slot = None;
         }
@@ -311,17 +338,20 @@ fn rel_target(i: usize, imm: i32) -> i64 {
     i as i64 + 1 + imm as i64
 }
 
-/// Translates the sealed word range `[start, end)` into a decoded
-/// buffer, baking in the cost model and (optionally) fusing pairs.
-fn translate(
-    code: &CodeSpace,
+/// Translates the sealed words of the range starting at word index
+/// `start` into a decoded buffer, baking in the cost model and
+/// (optionally) fusing pairs.
+///
+/// Takes the raw words (not the `CodeSpace`) so the adaptive engine's
+/// background worker can run it over a snapshot without holding any
+/// borrow of the VM; `start` only positions [`DecodedFn::base`].
+pub(crate) fn translate(
+    words: &[u32],
     start: usize,
-    end: usize,
     cost: &CostModel,
     fuse: bool,
     stats: &mut ExecStats,
 ) -> DecodedFn {
-    let words = code.word_slice(start, end);
     let mut raw: Vec<DInsn> = Vec::with_capacity(words.len());
     for (i, &word) in words.iter().enumerate() {
         let insn = match Insn::decode(word) {
@@ -474,9 +504,8 @@ impl<H: HostCall> Vm<H> {
         }
         let (start, end) = self.state.code.live_range_containing(idx)?;
         let tr = Arc::new(translate(
-            &self.state.code,
+            self.state.code.word_slice(start, end),
             start,
-            end,
             &self.cost,
             fuse,
             &mut self.trans.stats,
@@ -713,6 +742,7 @@ impl<H: HostCall> Vm<H> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::code::CodeSpace;
     use crate::interp::MachineState;
     use crate::regs::{A0, AT0, ZERO};
 
@@ -726,10 +756,12 @@ mod tests {
         ExecEngine::Adaptive {
             fuse_after: 0,
             thread_after: 0,
+            background: false,
         },
         ExecEngine::Adaptive {
             fuse_after: u32::MAX,
             thread_after: u32::MAX,
+            background: false,
         },
     ];
 

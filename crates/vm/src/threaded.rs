@@ -57,7 +57,7 @@
 use std::fmt;
 use std::sync::Arc;
 
-use crate::code::{CodeSpace, CODE_BASE};
+use crate::code::CODE_BASE;
 use crate::cost::CostModel;
 use crate::error::VmError;
 use crate::host::HostCall;
@@ -495,15 +495,18 @@ fn icost(c: u64) -> u32 {
     u32::try_from(c).expect("per-insn cost fits u32")
 }
 
-/// Translates the sealed word range `[start, end)` into a
-/// direct-threaded buffer with per-slot run-suffix cost summaries.
-fn translate<H: HostCall>(
-    code: &CodeSpace,
+/// Translates the sealed words of the range starting at word index
+/// `start` into a direct-threaded buffer with per-slot run-suffix cost
+/// summaries.
+///
+/// Takes the raw words (not the `CodeSpace`) so the adaptive engine's
+/// background worker can run it over a snapshot without holding any
+/// borrow of the VM; `start` only positions the buffer's base address.
+pub(crate) fn translate<H: HostCall>(
+    words: &[u32],
     start: usize,
-    end: usize,
     cost: &CostModel,
 ) -> ThreadedFn<H> {
-    let words = code.word_slice(start, end);
     let mut slots: Vec<TSlot<H>> = Vec::with_capacity(words.len());
     let mut halves: Vec<SHalf> = Vec::with_capacity(words.len());
     let blank = |handler: Handler<H>| TSlot {
@@ -643,7 +646,11 @@ impl<H: HostCall> Vm<H> {
             return Some(Arc::clone(tr));
         }
         let (start, end) = self.state.code.live_range_containing(idx)?;
-        let tr = Arc::new(translate::<H>(&self.state.code, start, end, &self.cost));
+        let tr = Arc::new(translate::<H>(
+            self.state.code.word_slice(start, end),
+            start,
+            &self.cost,
+        ));
         let need = self.state.code.next_index();
         if self.trans.tmap.len() < need {
             self.trans.tmap.resize(need, None);
@@ -690,6 +697,7 @@ pub fn handler_table_sizes() -> (u64, u64) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::code::CodeSpace;
     use crate::predecode::ExecEngine;
     use crate::regs::{A0, AT0, ZERO};
 

@@ -11,12 +11,16 @@
 #                               experiments at smoke rep counts
 #                               (equivalence asserts live, timings not
 #                               meaningful)
-#   ./run_benches.sh --check    regression gate: run only the exec
-#                               experiment at full rep counts, then
-#                               compare the fresh BENCH_exec.json
-#                               speedups against baselines/ (fails on a
-#                               >30% drop in any gated column — fused,
-#                               threaded, or adaptive; one retry
+#   ./run_benches.sh --check    regression gate: run the exec and
+#                               adaptive experiments at full rep
+#                               counts, then compare the fresh
+#                               BENCH_exec.json speedups (and the
+#                               fresh BENCH_adaptive.json tail
+#                               ratios) against baselines/ (fails on
+#                               a >30% drop in any gated speedup
+#                               column — fused, threaded, adaptive —
+#                               or a >50% drop in
+#                               tail_p99_improvement; one retry
 #                               absorbs machine noise)
 set -u
 cd /root/repo
@@ -42,6 +46,8 @@ if [ "$check" -eq 1 ]; then
   for attempt in 1 2; do
     cargo run -p tcc-suite --bin suite --release -- exec --json \
       >> bench_output.txt 2>&1 || { echo "BENCH FAILED: exec" >&2; exit 1; }
+    cargo run -p tcc-suite --bin suite --release -- adaptive --json \
+      >> bench_output.txt 2>&1 || { echo "BENCH FAILED: adaptive" >&2; exit 1; }
     if cargo run -p tcc-suite --bin suite --release -- exec-check \
         BENCH_exec.json baselines/BENCH_exec.json \
         >> bench_output.txt 2>&1; then

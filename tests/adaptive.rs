@@ -207,8 +207,10 @@ fn adaptive_is_the_default_engine_and_reports_metrics() {
     assert!(
         matches!(
             s.vm.engine(),
-            ExecEngine::Adaptive { fuse_after, thread_after }
-                if fuse_after == DEFAULT_FUSE_AFTER && thread_after == DEFAULT_THREAD_AFTER
+            ExecEngine::Adaptive { fuse_after, thread_after, background }
+                if fuse_after == DEFAULT_FUSE_AFTER
+                    && thread_after == DEFAULT_THREAD_AFTER
+                    && !background
         ),
         "Config::default must select adaptive tiering, got {:?}",
         s.vm.engine()

@@ -13,7 +13,7 @@ use proptest::prelude::*;
 use tickc::tickc_core::{Backend, Config, Error, Session, Strategy as Alloc};
 use tickc::vm::{ExecEngine, VmError};
 
-const ENGINES: [ExecEngine; 6] = [
+const ENGINES: [ExecEngine; 8] = [
     ExecEngine::DecodePerStep,
     ExecEngine::Predecoded { fuse: false },
     ExecEngine::Predecoded { fuse: true },
@@ -23,11 +23,29 @@ const ENGINES: [ExecEngine; 6] = [
     ExecEngine::Adaptive {
         fuse_after: 1,
         thread_after: 2,
+        background: false,
     },
     // Shipping defaults: most functions stay on the lower tiers.
     ExecEngine::Adaptive {
         fuse_after: 2,
         thread_after: 8,
+        background: false,
+    },
+    // The same two threshold configs with translation on the background
+    // worker: whether a given run dispatches through the swapped-in
+    // buffer or is still single-stepping depends on worker timing, but
+    // the observables (results, modeled cycles/insns, faults) must be
+    // bit-identical either way — that timing-independence IS the async
+    // pipeline's contract.
+    ExecEngine::Adaptive {
+        fuse_after: 1,
+        thread_after: 2,
+        background: true,
+    },
+    ExecEngine::Adaptive {
+        fuse_after: 2,
+        thread_after: 8,
+        background: true,
     },
 ];
 
@@ -37,7 +55,19 @@ fn engine_label(e: ExecEngine) -> &'static str {
         ExecEngine::Predecoded { fuse: false } => "predecoded",
         ExecEngine::Predecoded { fuse: true } => "predecoded+fused",
         ExecEngine::Threaded => "threaded",
-        ExecEngine::Adaptive { fuse_after: 1, .. } => "adaptive(hair-trigger)",
+        ExecEngine::Adaptive {
+            fuse_after: 1,
+            background: false,
+            ..
+        } => "adaptive(hair-trigger)",
+        ExecEngine::Adaptive {
+            fuse_after: 1,
+            background: true,
+            ..
+        } => "adaptive(hair-trigger,bg)",
+        ExecEngine::Adaptive {
+            background: true, ..
+        } => "adaptive(bg)",
         ExecEngine::Adaptive { .. } => "adaptive",
     }
 }
@@ -482,23 +512,34 @@ fn adaptive_promotion_boundaries_match_reference_under_fuel_sweep() {
     let src = program_for(&sts);
     // Thresholds 2/4 inside a six-run sequence: runs 1-2 execute on
     // tier 0, run 3 is the fuse-promotion run, run 5 the
-    // thread-promotion run, run 6 steady-state threaded.
-    let adaptive = ExecEngine::Adaptive {
-        fuse_after: 2,
-        thread_after: 4,
-    };
+    // thread-promotion run, run 6 steady-state threaded. Swept both
+    // synchronously and with the background worker, where the fuel
+    // budgets additionally straddle in-flight translation swaps.
     let ps: Vec<i64> = vec![7, -3, 11, 2, 9, -5];
-    let (reference, _) = observe_run_sequence(&src, ENGINES[0], None, &ps);
-    let (got, promotions) = observe_run_sequence(&src, adaptive, None, &ps);
-    assert_eq!(got, reference, "unlimited-fuel trace diverges");
-    assert!(
-        promotions >= 2,
-        "six runs must cross both tier boundaries, saw {promotions} promotions"
-    );
-    for fuel in boundary_budgets(&reference) {
-        let (reference, _) = observe_run_sequence(&src, ENGINES[0], Some(fuel), &ps);
-        let (got, _) = observe_run_sequence(&src, adaptive, Some(fuel), &ps);
-        assert_eq!(got, reference, "adaptive diverges at fuel {fuel}");
+    for background in [false, true] {
+        let adaptive = ExecEngine::Adaptive {
+            fuse_after: 2,
+            thread_after: 4,
+            background,
+        };
+        let (reference, _) = observe_run_sequence(&src, ENGINES[0], None, &ps);
+        let (got, promotions) = observe_run_sequence(&src, adaptive, None, &ps);
+        assert_eq!(
+            got, reference,
+            "unlimited-fuel trace diverges (background: {background})"
+        );
+        assert!(
+            promotions >= 2,
+            "six runs must cross both tier boundaries, saw {promotions} promotions"
+        );
+        for fuel in boundary_budgets(&reference) {
+            let (reference, _) = observe_run_sequence(&src, ENGINES[0], Some(fuel), &ps);
+            let (got, _) = observe_run_sequence(&src, adaptive, Some(fuel), &ps);
+            assert_eq!(
+                got, reference,
+                "adaptive (background: {background}) diverges at fuel {fuel}"
+            );
+        }
     }
 }
 
@@ -519,11 +560,26 @@ fn fault_during_promotion_triggering_run_matches_reference() {
         ExecEngine::Adaptive {
             fuse_after: 2,
             thread_after: 4,
+            background: false,
         },
         // Same sequence with the fault on the thread-promotion run.
         ExecEngine::Adaptive {
             fuse_after: 1,
             thread_after: 2,
+            background: false,
+        },
+        // Both again with the background worker: a fault mid-way
+        // through the promotion-triggering run can land while that
+        // run's translation is still in flight.
+        ExecEngine::Adaptive {
+            fuse_after: 2,
+            thread_after: 4,
+            background: true,
+        },
+        ExecEngine::Adaptive {
+            fuse_after: 1,
+            thread_after: 2,
+            background: true,
         },
     ] {
         let (reference, _) = observe_run_sequence(&src, ENGINES[0], None, &ps);
