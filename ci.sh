@@ -24,13 +24,26 @@
 #                         promotion equivalence, stale-epoch discard,
 #                         worker shutdown — explicitly, so a pipeline
 #                         regression names itself)
-#  11. exec regression   (./run_benches.sh --check: full-rep exec bench
+#  11. serve smoke       (the multi-tenant pool: Zipfian replay over
+#                         1/2/4 worker sessions sharing one artifact
+#                         cache, with the cross-pool bit-identical
+#                         digest and per-request differential asserts
+#                         live, release mode)
+#  12. serve tests       (the concurrency suite, explicitly and in
+#                         release: shared-compile dedup, cross-thread
+#                         StaleCode faulting, eviction under budget,
+#                         in-flight-slot interleavings — so a
+#                         concurrency regression names itself)
+#  13. exec regression   (./run_benches.sh --check: full-rep exec bench
 #                         compared against baselines/BENCH_exec.json;
 #                         fails on a >30% drop in any gated speedup
 #                         column — fused, threaded, or adaptive — and
 #                         gates the tiering pipeline's
 #                         tail_p99_improvement column the same way when
-#                         both BENCH_adaptive.json files are present)
+#                         both BENCH_adaptive.json files are present,
+#                         and serve throughput/p99 plus the largest
+#                         pool's hit-rate/compiles-per-unique bounds
+#                         when both BENCH_serve.json files are present)
 #
 # Fails fast: the first failing step aborts with its exit code.
 set -eu
@@ -69,6 +82,14 @@ cargo test -q --release --test adaptive
 echo "== background translation worker tests =="
 cargo test -q --release -p tcc-vm -- background epoch_bump
 cargo test -q --release --test exec_differential -- adaptive fault_during
+
+echo "== suite serve --smoke (pool replay bit-identical across sizes) =="
+cargo run -p tcc-suite --bin suite --release -- serve --smoke
+
+echo "== serve concurrency tests =="
+cargo test -q --release -p tcc-serve
+cargo test -q --release -p tcc --test shared_serve
+cargo test -q --release -p tcc-cache shared
 
 echo "== exec regression gate (speedups vs baselines/) =="
 ./run_benches.sh --check

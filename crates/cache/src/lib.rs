@@ -38,6 +38,10 @@ use std::collections::HashMap;
 use tcc_obs::CacheMetrics;
 use tcc_vm::{CodeSpace, FuncHandle, VmError};
 
+pub mod shared;
+
+pub use shared::{Acquire, Artifact, CompileClaim, SharedArtifacts, SlotState};
+
 /// A structural, injective key for a dynamic closure.
 ///
 /// Built with [`FingerprintBuilder`]; equality of fingerprints implies

@@ -1,0 +1,744 @@
+//! Multi-tenant shared artifact cache: the compile-once layer behind
+//! `tcc-serve`.
+//!
+//! A single process running N worker sessions should pay for one
+//! compile per unique closure, not N. [`SharedArtifacts`] is a
+//! process-wide, thread-safe map from [`Fingerprint`] to an immutable
+//! `Arc`'d [`Artifact`] — the sealed function's words plus (when the
+//! function is position-independent) its shared decoded translation.
+//! Sessions install an artifact's words into their own `CodeSpace`
+//! (`install_function` rebases external calls), so the artifact itself
+//! never aliases mutable VM state and is safe to hand to any thread.
+//!
+//! Three design points, in the order they matter:
+//!
+//! * **Sharding** — the map is split over `N` mutex shards selected by
+//!   hashing the fingerprint, so concurrent sessions touching different
+//!   closures never contend on one lock. Shard locks are held only for
+//!   map operations, never across a compile or a wait.
+//! * **In-flight slots** — the first requester of an absent fingerprint
+//!   *claims* it ([`Acquire::Miss`]) and compiles; concurrent
+//!   requesters find the in-flight slot and block on its condvar
+//!   instead of duplicating the compile. A claim dropped without
+//!   publishing (compile failed) aborts the slot and wakes waiters to
+//!   retry, so a crash cannot wedge a fingerprint forever.
+//! * **LRU under a global byte budget** — publishing past the budget
+//!   evicts globally least-recently-used artifacts. Every eviction or
+//!   explicit invalidation bumps a [`SharedArtifacts::generation`]
+//!   stamp; sessions that installed copies of dropped artifacts observe
+//!   the bump, free their local copies (`free_function` → epoch bump),
+//!   and stale addresses fault `VmError::StaleCode` exactly as in the
+//!   single-threaded lifecycle.
+//!
+//! Counters surface through [`tcc_obs::SharedCacheMetrics`]; the
+//! `suite serve` harness gates the resulting hit rate and
+//! compiles-per-unique-fingerprint.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+use tcc_obs::SharedCacheMetrics;
+use tcc_vm::SharedTranslation;
+
+use crate::Fingerprint;
+
+/// Default shard count: enough to make cross-thread contention on
+/// distinct fingerprints unlikely at the pool sizes `suite serve`
+/// drives (N ≤ 4 threads), small enough that the global LRU scan stays
+/// cheap.
+pub const DEFAULT_SHARDS: usize = 16;
+
+/// Passes [`SharedArtifacts::enforce_budget`] will attempt before
+/// giving up (each pass evicts at most one artifact; a pass can also
+/// lose a race and evict nothing). Purely a runaway backstop.
+const MAX_EVICT_PASSES: usize = 4096;
+
+/// One compiled closure, immutable and shareable across threads.
+///
+/// Everything a session needs to *install* the function into its own
+/// `CodeSpace` and pre-seed its decoded translation — no addresses, no
+/// handles, no references into any VM.
+#[derive(Clone, Debug)]
+pub struct Artifact {
+    /// Function name (diagnostics; install reuses it).
+    pub name: String,
+    /// Start word index the words were sealed at in the compiling
+    /// session's code space; `install_function` rebases external
+    /// control transfers relative to this.
+    pub orig_start: usize,
+    /// The sealed function's encoded words.
+    pub words: Vec<u32>,
+    /// Code size in bytes (`words.len() * 4`), the budget unit.
+    pub bytes: u64,
+    /// What the original compilation cost (hit-side savings signal).
+    pub compile_ns: u64,
+    /// Shared decoded translation, present when the function is
+    /// position-independent (see `SharedTranslation::build`).
+    pub translation: Option<SharedTranslation>,
+}
+
+/// What a fingerprint request resolved to.
+pub enum Acquire {
+    /// An artifact was already published (or became published while we
+    /// waited on the in-flight compile).
+    Hit {
+        /// The shared artifact.
+        artifact: Arc<Artifact>,
+        /// Whether this request blocked on another requester's
+        /// in-flight compile rather than finding the artifact ready.
+        waited: bool,
+    },
+    /// This requester claimed the fingerprint: it must compile and
+    /// [`CompileClaim::publish`] (or drop the claim to abort).
+    Miss(CompileClaim),
+}
+
+/// Nonblocking view of a fingerprint's slot, for deterministic
+/// interleaving tests and diagnostics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SlotState {
+    /// No slot: the next requester will claim it.
+    Absent,
+    /// A compile is in flight; requesters block on it.
+    InFlight,
+    /// A published artifact is resident.
+    Ready,
+}
+
+/// The exclusive right (and obligation) to compile one fingerprint.
+/// Returned by [`SharedArtifacts::get_or_begin`] on a miss. Publishing
+/// stores the artifact and wakes waiters; dropping without publishing
+/// aborts the slot and wakes waiters to retry.
+pub struct CompileClaim {
+    owner: Arc<SharedArtifacts>,
+    fp: Fingerprint,
+    slot: Arc<InFlight>,
+    done: bool,
+}
+
+struct InFlight {
+    state: Mutex<FlightState>,
+    cv: Condvar,
+}
+
+enum FlightState {
+    Pending,
+    Done(Arc<Artifact>),
+    Aborted,
+}
+
+enum Slot {
+    Ready {
+        artifact: Arc<Artifact>,
+        last_use: u64,
+    },
+    InFlight(Arc<InFlight>),
+}
+
+#[derive(Default)]
+struct Shard {
+    entries: HashMap<Fingerprint, Slot>,
+}
+
+/// Recovers the guard from a poisoned mutex: every critical section in
+/// this module is a handful of map operations that leave the shard
+/// consistent, so a panic elsewhere must not wedge the whole cache.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// The sharded, fingerprint-keyed shared artifact cache. Construct
+/// with [`SharedArtifacts::new`] (always behind an `Arc`; claims keep
+/// the cache alive through it).
+pub struct SharedArtifacts {
+    shards: Vec<Mutex<Shard>>,
+    /// Global byte budget over all published artifacts; `None` =
+    /// unbounded.
+    budget: Option<u64>,
+    /// Bytes held by published artifacts.
+    bytes_live: AtomicU64,
+    /// Published artifacts resident.
+    entries: AtomicU64,
+    /// Monotonic LRU clock (global: eviction compares across shards).
+    clock: AtomicU64,
+    /// Bumped on every eviction or invalidation. Sessions compare
+    /// against the value they last synced at and free local installs
+    /// of artifacts that are no longer resident.
+    generation: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    waits: AtomicU64,
+    published: AtomicU64,
+    evictions: AtomicU64,
+    invalidations: AtomicU64,
+    uncacheable: AtomicU64,
+}
+
+impl std::fmt::Debug for SharedArtifacts {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedArtifacts")
+            .field("shards", &self.shards.len())
+            .field("budget", &self.budget)
+            .field("entries", &self.entries.load(Ordering::Relaxed))
+            .field("bytes_live", &self.bytes_live.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl SharedArtifacts {
+    /// A cache with `shards` mutex shards (min 1) and an optional
+    /// global byte budget.
+    pub fn new(shards: usize, budget: Option<u64>) -> Arc<SharedArtifacts> {
+        let n = shards.max(1);
+        Arc::new(SharedArtifacts {
+            shards: (0..n).map(|_| Mutex::new(Shard::default())).collect(),
+            budget,
+            bytes_live: AtomicU64::new(0),
+            entries: AtomicU64::new(0),
+            clock: AtomicU64::new(0),
+            generation: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            waits: AtomicU64::new(0),
+            published: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
+            uncacheable: AtomicU64::new(0),
+        })
+    }
+
+    /// An unbounded cache with [`DEFAULT_SHARDS`] shards.
+    pub fn unbounded() -> Arc<SharedArtifacts> {
+        Self::new(DEFAULT_SHARDS, None)
+    }
+
+    /// A budget-bounded cache with [`DEFAULT_SHARDS`] shards.
+    pub fn with_budget(budget: u64) -> Arc<SharedArtifacts> {
+        Self::new(DEFAULT_SHARDS, Some(budget))
+    }
+
+    /// The configured global byte budget, if any.
+    pub fn budget(&self) -> Option<u64> {
+        self.budget
+    }
+
+    /// Published artifacts currently resident.
+    pub fn len(&self) -> usize {
+        self.entries.load(Ordering::Relaxed) as usize
+    }
+
+    /// True when nothing is published.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn shard_for(&self, fp: &Fingerprint) -> &Mutex<Shard> {
+        let mut h = DefaultHasher::new();
+        fp.hash(&mut h);
+        &self.shards[(h.finish() as usize) % self.shards.len()]
+    }
+
+    fn next_use(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Resolves `fp`: a published artifact is a [`Acquire::Hit`]; an
+    /// in-flight compile blocks until it publishes or aborts (abort
+    /// retries from the top, so exactly one requester ends up
+    /// compiling); an absent fingerprint is claimed and returned as
+    /// [`Acquire::Miss`] — the caller must compile and publish (or
+    /// drop the claim).
+    ///
+    /// Shard locks are never held while waiting; the wait is on the
+    /// in-flight slot's own condvar.
+    pub fn get_or_begin(self: &Arc<Self>, fp: &Fingerprint) -> Acquire {
+        loop {
+            let inflight = {
+                let mut shard = lock(self.shard_for(fp));
+                match shard.entries.get_mut(fp) {
+                    Some(Slot::Ready { artifact, last_use }) => {
+                        *last_use = self.next_use();
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        return Acquire::Hit {
+                            artifact: Arc::clone(artifact),
+                            waited: false,
+                        };
+                    }
+                    Some(Slot::InFlight(slot)) => Arc::clone(slot),
+                    None => {
+                        let slot = Arc::new(InFlight {
+                            state: Mutex::new(FlightState::Pending),
+                            cv: Condvar::new(),
+                        });
+                        shard
+                            .entries
+                            .insert(fp.clone(), Slot::InFlight(Arc::clone(&slot)));
+                        self.misses.fetch_add(1, Ordering::Relaxed);
+                        return Acquire::Miss(CompileClaim {
+                            owner: Arc::clone(self),
+                            fp: fp.clone(),
+                            slot,
+                            done: false,
+                        });
+                    }
+                }
+            };
+            // Found someone else's in-flight compile: wait it out.
+            self.waits.fetch_add(1, Ordering::Relaxed);
+            let mut st = lock(&inflight.state);
+            loop {
+                match &*st {
+                    FlightState::Pending => {
+                        st = inflight.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+                    }
+                    FlightState::Done(artifact) => {
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        return Acquire::Hit {
+                            artifact: Arc::clone(artifact),
+                            waited: true,
+                        };
+                    }
+                    // The compiler aborted: race for the claim again.
+                    FlightState::Aborted => break,
+                }
+            }
+        }
+    }
+
+    /// Nonblocking slot inspection (deterministic interleaving tests).
+    pub fn poll(&self, fp: &Fingerprint) -> SlotState {
+        match lock(self.shard_for(fp)).entries.get(fp) {
+            None => SlotState::Absent,
+            Some(Slot::InFlight(_)) => SlotState::InFlight,
+            Some(Slot::Ready { .. }) => SlotState::Ready,
+        }
+    }
+
+    /// Whether a published artifact is resident for `fp`.
+    pub fn contains(&self, fp: &Fingerprint) -> bool {
+        matches!(
+            lock(self.shard_for(fp)).entries.get(fp),
+            Some(Slot::Ready { .. })
+        )
+    }
+
+    /// Counts a request served from a session's locally *installed*
+    /// copy of a shared artifact (a shared-cache hit that needed no
+    /// shard probe beyond refreshing the LRU clock). Returns whether
+    /// the artifact is still resident; a `false` tells the session its
+    /// install is due to be dropped at the next generation sync.
+    pub fn touch(&self, fp: &Fingerprint) -> bool {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        let mut shard = lock(self.shard_for(fp));
+        if let Some(Slot::Ready { last_use, .. }) = shard.entries.get_mut(fp) {
+            *last_use = self.next_use();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Drops the published artifact for `fp` (rule-set churn). Bumps
+    /// the generation so sessions free their installed copies. An
+    /// in-flight compile is left alone — it will publish normally.
+    pub fn invalidate(&self, fp: &Fingerprint) -> bool {
+        let mut shard = lock(self.shard_for(fp));
+        if !matches!(shard.entries.get(fp), Some(Slot::Ready { .. })) {
+            return false;
+        }
+        let Some(Slot::Ready { artifact, .. }) = shard.entries.remove(fp) else {
+            unreachable!("checked Ready above");
+        };
+        self.bytes_live.fetch_sub(artifact.bytes, Ordering::Relaxed);
+        self.entries.fetch_sub(1, Ordering::Relaxed);
+        self.invalidations.fetch_add(1, Ordering::Relaxed);
+        self.generation.fetch_add(1, Ordering::AcqRel);
+        true
+    }
+
+    /// The eviction/invalidation stamp. Sessions cache the value they
+    /// last synced at; a change means some artifact they may have
+    /// installed is gone and local copies must be revalidated.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// A deterministic pick among the resident fingerprints (`k`-th in
+    /// encoding order, mod count), for the serve harness's churn
+    /// injector. `None` when nothing is published.
+    pub fn sample_fingerprint(&self, k: u64) -> Option<Fingerprint> {
+        let mut all: Vec<Fingerprint> = Vec::new();
+        for shard in &self.shards {
+            let shard = lock(shard);
+            for (fp, slot) in &shard.entries {
+                if matches!(slot, Slot::Ready { .. }) {
+                    all.push(fp.clone());
+                }
+            }
+        }
+        if all.is_empty() {
+            return None;
+        }
+        all.sort_by(|a, b| a.0.cmp(&b.0));
+        Some(all[(k as usize) % all.len()].clone())
+    }
+
+    /// Snapshot of the counters.
+    pub fn metrics(&self) -> SharedCacheMetrics {
+        SharedCacheMetrics {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            waits: self.waits.load(Ordering::Relaxed),
+            published: self.published.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+            uncacheable: self.uncacheable.load(Ordering::Relaxed),
+            bytes_live: self.bytes_live.load(Ordering::Relaxed),
+            entries: self.entries.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Evicts globally least-recently-used artifacts until live bytes
+    /// fit the budget. The scan takes each shard lock briefly (never
+    /// two at once) and re-checks the victim's recency before removing
+    /// it, so a concurrent touch can save an entry the scan chose.
+    fn enforce_budget(&self) {
+        let Some(budget) = self.budget else {
+            return;
+        };
+        for _ in 0..MAX_EVICT_PASSES {
+            if self.bytes_live.load(Ordering::Relaxed) <= budget {
+                return;
+            }
+            let mut victim: Option<(usize, Fingerprint, u64)> = None;
+            for (si, shard) in self.shards.iter().enumerate() {
+                let shard = lock(shard);
+                for (fp, slot) in &shard.entries {
+                    if let Slot::Ready { last_use, .. } = slot {
+                        if victim.as_ref().is_none_or(|(_, _, lu)| last_use < lu) {
+                            victim = Some((si, fp.clone(), *last_use));
+                        }
+                    }
+                }
+            }
+            let Some((si, fp, lu)) = victim else {
+                // Everything evictable is gone (all in-flight): live
+                // with being over budget rather than spinning.
+                return;
+            };
+            let mut shard = lock(&self.shards[si]);
+            let still_lru = matches!(
+                shard.entries.get(&fp),
+                Some(Slot::Ready { last_use, .. }) if *last_use == lu
+            );
+            if still_lru {
+                if let Some(Slot::Ready { artifact, .. }) = shard.entries.remove(&fp) {
+                    self.bytes_live.fetch_sub(artifact.bytes, Ordering::Relaxed);
+                    self.entries.fetch_sub(1, Ordering::Relaxed);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                    self.generation.fetch_add(1, Ordering::AcqRel);
+                }
+            }
+            // A lost race (entry touched or removed since the scan)
+            // just rescans on the next pass.
+        }
+    }
+}
+
+impl CompileClaim {
+    /// The fingerprint this claim owns.
+    pub fn fingerprint(&self) -> &Fingerprint {
+        &self.fp
+    }
+
+    /// Publishes the compiled artifact: stores it (evicting under the
+    /// budget), wakes every waiter with the `Arc`, and returns it. An
+    /// artifact larger than the whole budget is *not* retained
+    /// (counted `uncacheable`) — but waiters still receive it, so
+    /// nobody recompiles what this claim already built.
+    pub fn publish(mut self, artifact: Artifact) -> Arc<Artifact> {
+        let artifact = Arc::new(artifact);
+        let owner = Arc::clone(&self.owner);
+        let retain = owner.budget.is_none_or(|b| artifact.bytes <= b);
+        {
+            let mut shard = lock(owner.shard_for(&self.fp));
+            // Only replace the slot if it is still ours (an invalidate
+            // cannot remove an in-flight slot today, but stay robust).
+            let ours = matches!(
+                shard.entries.get(&self.fp),
+                Some(Slot::InFlight(s)) if Arc::ptr_eq(s, &self.slot)
+            );
+            if ours {
+                if retain {
+                    let last_use = owner.next_use();
+                    shard.entries.insert(
+                        self.fp.clone(),
+                        Slot::Ready {
+                            artifact: Arc::clone(&artifact),
+                            last_use,
+                        },
+                    );
+                    owner
+                        .bytes_live
+                        .fetch_add(artifact.bytes, Ordering::Relaxed);
+                    owner.entries.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    shard.entries.remove(&self.fp);
+                    owner.uncacheable.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        owner.published.fetch_add(1, Ordering::Relaxed);
+        {
+            let mut st = lock(&self.slot.state);
+            *st = FlightState::Done(Arc::clone(&artifact));
+            self.slot.cv.notify_all();
+        }
+        self.done = true;
+        if retain {
+            owner.enforce_budget();
+        }
+        artifact
+    }
+}
+
+impl Drop for CompileClaim {
+    fn drop(&mut self) {
+        if self.done {
+            return;
+        }
+        // Compile failed or was abandoned: free the fingerprint and
+        // wake waiters so one of them claims it next.
+        {
+            let mut shard = lock(self.owner.shard_for(&self.fp));
+            let ours = matches!(
+                shard.entries.get(&self.fp),
+                Some(Slot::InFlight(s)) if Arc::ptr_eq(s, &self.slot)
+            );
+            if ours {
+                shard.entries.remove(&self.fp);
+            }
+        }
+        let mut st = lock(&self.slot.state);
+        *st = FlightState::Aborted;
+        self.slot.cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FingerprintBuilder;
+    use std::sync::Barrier;
+    use std::thread;
+
+    fn fp(n: u64) -> Fingerprint {
+        let mut b = FingerprintBuilder::new();
+        b.push_tag(9);
+        b.push_u64(n);
+        b.build()
+    }
+
+    fn art(n: u64, words: usize) -> Artifact {
+        Artifact {
+            name: format!("f{n}"),
+            orig_start: 0,
+            words: vec![0; words],
+            bytes: (words * 4) as u64,
+            compile_ns: 100,
+            translation: None,
+        }
+    }
+
+    #[test]
+    fn first_compiler_wins_and_waiters_share_the_artifact() {
+        let cache = SharedArtifacts::unbounded();
+        let threads = 4;
+        let barrier = Arc::new(Barrier::new(threads));
+        let mut handles = Vec::new();
+        for _ in 0..threads {
+            let cache = Arc::clone(&cache);
+            let barrier = Arc::clone(&barrier);
+            handles.push(thread::spawn(move || {
+                barrier.wait();
+                match cache.get_or_begin(&fp(1)) {
+                    Acquire::Miss(claim) => {
+                        // Give the other threads time to pile onto the
+                        // in-flight slot before publishing.
+                        thread::sleep(std::time::Duration::from_millis(20));
+                        (true, claim.publish(art(1, 8)))
+                    }
+                    Acquire::Hit { artifact, .. } => (false, artifact),
+                }
+            }));
+        }
+        let results: Vec<(bool, Arc<Artifact>)> =
+            handles.into_iter().map(|h| h.join().unwrap()).collect();
+        let compilers = results.iter().filter(|(compiled, _)| *compiled).count();
+        assert_eq!(compilers, 1, "exactly one thread compiled");
+        for (_, a) in &results {
+            assert!(Arc::ptr_eq(a, &results[0].1), "all threads share one Arc");
+        }
+        let m = cache.metrics();
+        assert_eq!(m.published, 1);
+        assert_eq!(m.misses, 1);
+        assert_eq!(m.hits, (threads - 1) as u64);
+        assert!(m.waits >= 1, "someone blocked on the in-flight slot");
+        assert_eq!(m.entries, 1);
+        assert_eq!(m.bytes_live, 32);
+    }
+
+    #[test]
+    fn inflight_slot_interleavings_are_deterministic() {
+        // A single-threaded script through every slot state — the
+        // deterministic (loom-style) check that each observable
+        // interleaving point behaves as specified, with no timing.
+        let cache = SharedArtifacts::unbounded();
+        assert_eq!(cache.poll(&fp(1)), SlotState::Absent);
+
+        // Claim → in flight.
+        let Acquire::Miss(claim) = cache.get_or_begin(&fp(1)) else {
+            panic!("first requester must claim");
+        };
+        assert_eq!(cache.poll(&fp(1)), SlotState::InFlight);
+        assert!(!cache.contains(&fp(1)));
+
+        // Abort (drop without publish) → absent again, claimable.
+        drop(claim);
+        assert_eq!(cache.poll(&fp(1)), SlotState::Absent);
+
+        // Re-claim → publish → ready; later requesters hit.
+        let Acquire::Miss(claim) = cache.get_or_begin(&fp(1)) else {
+            panic!("aborted fingerprint must be claimable again");
+        };
+        let published = claim.publish(art(1, 4));
+        assert_eq!(cache.poll(&fp(1)), SlotState::Ready);
+        match cache.get_or_begin(&fp(1)) {
+            Acquire::Hit { artifact, waited } => {
+                assert!(Arc::ptr_eq(&artifact, &published));
+                assert!(!waited, "ready artifacts do not block");
+            }
+            Acquire::Miss(_) => panic!("published artifact must hit"),
+        }
+        let m = cache.metrics();
+        assert_eq!((m.misses, m.hits, m.published), (2, 1, 1));
+        assert_eq!(m.waits, 0, "nothing blocked in this script");
+    }
+
+    #[test]
+    fn aborted_compile_wakes_waiters_to_retry() {
+        let cache = SharedArtifacts::unbounded();
+        let Acquire::Miss(claim) = cache.get_or_begin(&fp(7)) else {
+            panic!("claims");
+        };
+        let waiter = {
+            let cache = Arc::clone(&cache);
+            thread::spawn(move || match cache.get_or_begin(&fp(7)) {
+                // After the abort the waiter retries and wins the claim.
+                Acquire::Miss(c) => {
+                    c.publish(art(7, 4));
+                    true
+                }
+                Acquire::Hit { .. } => false,
+            })
+        };
+        // Let the waiter reach the in-flight slot, then abort.
+        while cache.metrics().waits == 0 {
+            thread::yield_now();
+        }
+        drop(claim);
+        assert!(waiter.join().unwrap(), "waiter retried and compiled");
+        assert!(cache.contains(&fp(7)));
+        assert_eq!(cache.metrics().published, 1);
+    }
+
+    #[test]
+    fn lru_eviction_under_budget_bumps_generation() {
+        // Budget fits two 40-byte artifacts.
+        let cache = SharedArtifacts::new(4, Some(80));
+        for n in [1, 2] {
+            let Acquire::Miss(c) = cache.get_or_begin(&fp(n)) else {
+                panic!("miss");
+            };
+            c.publish(art(n, 10));
+        }
+        assert_eq!(cache.generation(), 0);
+        // Touch 1 so 2 is the global LRU, then publish 3.
+        assert!(matches!(cache.get_or_begin(&fp(1)), Acquire::Hit { .. }));
+        let Acquire::Miss(c) = cache.get_or_begin(&fp(3)) else {
+            panic!("miss");
+        };
+        c.publish(art(3, 10));
+        assert!(cache.contains(&fp(1)), "recently used survives");
+        assert!(!cache.contains(&fp(2)), "LRU evicted");
+        assert!(cache.contains(&fp(3)));
+        let m = cache.metrics();
+        assert_eq!(m.evictions, 1);
+        assert_eq!(m.bytes_live, 80);
+        assert_eq!(m.entries, 2);
+        assert_eq!(cache.generation(), 1, "eviction bumped the stamp");
+        // Explicit invalidation also bumps it.
+        assert!(cache.invalidate(&fp(3)));
+        assert!(!cache.invalidate(&fp(3)), "already gone");
+        assert_eq!(cache.generation(), 2);
+        assert_eq!(cache.metrics().invalidations, 1);
+        assert_eq!(cache.metrics().bytes_live, 40);
+    }
+
+    #[test]
+    fn oversized_artifact_serves_waiters_but_is_not_retained() {
+        let cache = SharedArtifacts::new(2, Some(16));
+        let Acquire::Miss(c) = cache.get_or_begin(&fp(1)) else {
+            panic!("miss");
+        };
+        let a = c.publish(art(1, 100)); // 400 bytes > 16-byte budget
+        assert_eq!(a.bytes, 400, "the caller still got the artifact");
+        assert!(!cache.contains(&fp(1)), "not retained");
+        let m = cache.metrics();
+        assert_eq!(m.uncacheable, 1);
+        assert_eq!(m.published, 1);
+        assert_eq!(m.bytes_live, 0);
+        assert_eq!(m.entries, 0);
+        assert_eq!(cache.generation(), 0, "nothing resident was dropped");
+    }
+
+    #[test]
+    fn sample_fingerprint_is_deterministic_over_residents() {
+        let cache = SharedArtifacts::unbounded();
+        assert_eq!(cache.sample_fingerprint(0), None);
+        for n in [5, 1, 9] {
+            let Acquire::Miss(c) = cache.get_or_begin(&fp(n)) else {
+                panic!("miss");
+            };
+            c.publish(art(n, 4));
+        }
+        let picks: Vec<_> = (0..6)
+            .map(|k| cache.sample_fingerprint(k).unwrap())
+            .collect();
+        // Encoding order, cycling: the same k always picks the same fp.
+        assert_eq!(picks[0], picks[3]);
+        assert_eq!(picks[1], picks[4]);
+        assert_eq!(picks[2], picks[5]);
+        let mut distinct = picks[..3].to_vec();
+        distinct.dedup();
+        assert_eq!(distinct.len(), 3, "three residents, three picks");
+    }
+
+    #[test]
+    fn hit_rate_counts_touches_and_waiting() {
+        let cache = SharedArtifacts::unbounded();
+        let Acquire::Miss(c) = cache.get_or_begin(&fp(1)) else {
+            panic!("miss");
+        };
+        c.publish(art(1, 4));
+        assert!(cache.touch(&fp(1)), "resident");
+        assert!(!cache.touch(&fp(2)), "absent");
+        let m = cache.metrics();
+        // 1 miss, 2 touches-as-hits.
+        assert_eq!((m.hits, m.misses), (2, 1));
+        assert!((m.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+}

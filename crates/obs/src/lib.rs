@@ -280,6 +280,66 @@ impl CacheMetrics {
     }
 }
 
+/// Counters for the multi-tenant shared artifact cache (`tcc-cache`'s
+/// `SharedArtifacts`): how often sessions on any thread found a
+/// compiled artifact already published, how much duplicated compile
+/// work the in-flight slots absorbed, and what eviction under the byte
+/// budget cost.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SharedCacheMetrics {
+    /// Requests answered with an already-published artifact (including
+    /// requests that waited on an in-flight compile).
+    pub hits: u64,
+    /// Requests that claimed the fingerprint and compiled it.
+    pub misses: u64,
+    /// Hits that blocked on another thread's in-flight compile instead
+    /// of duplicating it.
+    pub waits: u64,
+    /// Artifacts published (completed first compiles). With no churn
+    /// this equals the number of unique fingerprints requested.
+    pub published: u64,
+    /// Artifacts evicted (global LRU) to stay under the byte budget.
+    pub evictions: u64,
+    /// Artifacts dropped by explicit invalidation (rule-set churn).
+    pub invalidations: u64,
+    /// Compiles whose artifact could not be retained (larger than the
+    /// whole budget); waiters still received the one-shot result.
+    pub uncacheable: u64,
+    /// Bytes of compiled code currently held by published artifacts.
+    pub bytes_live: u64,
+    /// Published artifacts currently resident.
+    pub entries: u64,
+}
+
+impl SharedCacheMetrics {
+    /// Hit rate over all artifact requests (0.0 when none — matches
+    /// [`CacheMetrics::hit_rate`]).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// JSON object form.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("hits", Json::from(self.hits)),
+            ("misses", Json::from(self.misses)),
+            ("waits", Json::from(self.waits)),
+            ("published", Json::from(self.published)),
+            ("evictions", Json::from(self.evictions)),
+            ("invalidations", Json::from(self.invalidations)),
+            ("uncacheable", Json::from(self.uncacheable)),
+            ("bytes_live", Json::from(self.bytes_live)),
+            ("entries", Json::from(self.entries)),
+            ("hit_rate", Json::from(self.hit_rate())),
+        ])
+    }
+}
+
 /// Execution-engine counters reported by the VM's translated engines
 /// (predecoded and direct-threaded): how much code was translated, how
 /// much fusion found, how many scalar runs were fuel-batched, and
@@ -493,6 +553,7 @@ mod tests {
         assert_eq!(CacheMetrics::default().hit_rate(), 0.0);
         assert_eq!(CacheMetrics::default().fragmentation, 0.0);
         assert_eq!(ExecMetrics::default().hit_rate(), 0.0);
+        assert_eq!(SharedCacheMetrics::default().hit_rate(), 0.0);
         assert_eq!(AdaptiveMetrics::default().promoted_run_rate(), 0.0);
         // The whole default-session JSON tree must be NaN-free (NaN
         // would serialize as a bare `NaN`, which is not valid JSON).
@@ -530,6 +591,34 @@ mod tests {
         assert_eq!(m.hit_rate(), 0.75);
         let text = m.to_json().to_string();
         for key in ["hits", "evictions", "bytes_live", "ns_saved", "hit_ns"] {
+            assert!(text.contains(&format!("\"{key}\"")), "missing {key}");
+        }
+    }
+
+    #[test]
+    fn shared_cache_hit_rate_guards_zero() {
+        let m = SharedCacheMetrics::default();
+        assert_eq!(m.hit_rate(), 0.0);
+        let m = SharedCacheMetrics {
+            hits: 9,
+            misses: 1,
+            waits: 2,
+            ..Default::default()
+        };
+        assert_eq!(m.hit_rate(), 0.9);
+        let text = m.to_json().to_string();
+        for key in [
+            "hits",
+            "misses",
+            "waits",
+            "published",
+            "evictions",
+            "invalidations",
+            "uncacheable",
+            "bytes_live",
+            "entries",
+            "hit_rate",
+        ] {
             assert!(text.contains(&format!("\"{key}\"")), "missing {key}");
         }
     }

@@ -1,0 +1,78 @@
+//! Pool-level concurrency properties: bit-identical replay across pool
+//! sizes, compile-once behavior without churn, and recovery metrics
+//! with churn. The per-request differential (same cell → same result,
+//! instruction count, cycle count on every thread) asserts inside
+//! `run_serve` itself; these tests drive it across configurations.
+
+use tcc_serve::{run_serve, ServeOptions};
+
+#[test]
+fn replay_is_bit_identical_across_pool_sizes() {
+    let opts = ServeOptions::smoke();
+    let reports: Vec<_> = [1, 2, 4].iter().map(|&n| run_serve(n, &opts)).collect();
+    for r in &reports {
+        assert_eq!(r.requests, opts.requests as u64);
+    }
+    // Same checksum ⇒ every (cell, result, insns, cycles) tuple agreed
+    // no matter which thread compiled or executed it.
+    assert_eq!(reports[0].checksum, reports[1].checksum);
+    assert_eq!(reports[0].checksum, reports[2].checksum);
+    // The workload itself is replayed identically, so the dedup'd
+    // working set is too.
+    assert_eq!(
+        reports[0].unique_fingerprints,
+        reports[2].unique_fingerprints
+    );
+}
+
+#[test]
+fn without_churn_each_unique_fingerprint_compiles_exactly_once() {
+    let opts = ServeOptions {
+        churn_every: None,
+        ..ServeOptions::smoke()
+    };
+    let r = run_serve(4, &opts);
+    assert_eq!(
+        r.compiles, r.unique_fingerprints,
+        "first compiler wins; nobody duplicates"
+    );
+    assert!((r.compiles_per_unique - 1.0).abs() < 1e-9);
+    assert_eq!(r.metrics.evictions + r.metrics.invalidations, 0);
+    assert_eq!(r.stale_faults, 0, "nothing went stale without churn");
+}
+
+#[test]
+fn churning_pool_recovers_and_stays_hot() {
+    let r = run_serve(4, &ServeOptions::smoke());
+    assert!(
+        r.metrics.hit_rate() >= 0.9,
+        "hot Zipf set must hit ≥ 0.9, got {:.3}",
+        r.metrics.hit_rate()
+    );
+    assert!(
+        r.compiles_per_unique <= 1.0 + 1e-9,
+        "churn recompiles never exceed one per invalidation/eviction"
+    );
+    assert!(
+        r.compiles >= r.unique_fingerprints,
+        "every unique cell compiled at least once"
+    );
+    assert!(r.metrics.invalidations > 0, "churn actually invalidated");
+}
+
+#[test]
+fn byte_budget_evictions_surface_in_the_report() {
+    // A budget far below the working set forces evictions; the pool
+    // must still replay identically (stale installs fault and retry).
+    let tight = ServeOptions {
+        budget: Some(256),
+        churn_every: None,
+        ..ServeOptions::smoke()
+    };
+    let r = run_serve(2, &tight);
+    assert_eq!(run_serve(1, &tight).checksum, r.checksum);
+    assert!(
+        r.metrics.evictions > 0 || r.metrics.uncacheable > 0,
+        "a 256-byte budget cannot hold the working set"
+    );
+}

@@ -3,7 +3,7 @@
 //! Usage:
 //!
 //! ```text
-//! suite [all|table1|figure4|figure5|figure6|figure7|blur|sensitivity|smoke|cache|exec|adaptive|exec-check] [--small] [--smoke] [--json]
+//! suite [all|table1|figure4|figure5|figure6|figure7|blur|sensitivity|smoke|cache|exec|adaptive|serve|exec-check] [--small] [--smoke] [--json]
 //! ```
 //!
 //! With `--json`, each measured experiment also writes a machine-readable
@@ -19,7 +19,13 @@
 //! background translation worker — each timed region starting from a
 //! cold translation cache (`BENCH_adaptive.json`, including per-run
 //! cold max/p99 tail columns); `adaptive --smoke` runs a tiny sweep
-//! with the equivalence asserts live. `exec-check [fresh [baseline]]`
+//! with the equivalence asserts live. `serve` replays a seeded Zipfian
+//! compile/execute stream over pools of 1, 2, and 4 worker sessions
+//! sharing one artifact cache, reporting throughput, p50/p99/p999
+//! latency, hit rate, and compiles-per-unique (`BENCH_serve.json`);
+//! the cross-pool replay digest is asserted bit-identical, and `serve
+//! --smoke` runs a short replay with the same asserts — the CI
+//! concurrency gate. `exec-check [fresh [baseline]]`
 //! compares a freshly written `BENCH_exec.json` (default
 //! `./BENCH_exec.json`) against a committed baseline (default
 //! `baselines/BENCH_exec.json`) and exits non-zero when any gated
@@ -28,15 +34,21 @@
 //! on both sides it also gates the tiering pipeline's
 //! `tail_p99_improvement` column, at the looser 50% tail tolerance
 //! (p99 ratios carry tail noise on both sides; missing files or a
-//! pre-tail baseline warn and skip). If any `--json` output file
+//! pre-tail baseline warn and skip), and when the sibling
+//! `BENCH_serve.json` files exist it gates serve throughput the same
+//! way, serve p99 at its own wider 75% tolerance (the replay tail is
+//! bimodal — see `SERVE_TAIL_TOLERANCE`), plus the service's absolute
+//! bounds (largest-pool hit rate and compiles-per-unique). If any
+//! `--json` output file
 //! cannot be written the remaining files are still written and the
 //! run exits non-zero naming every failure.
 
 use tcc_obs::json::Json;
 use tcc_suite::{
     adaptive_bench, adaptive_bench_smoke, adaptive_json, adaptive_report, benchmarks, cache_bench,
-    cache_json, cache_report, check_adaptive, check_exec, exec_bench, exec_bench_smoke, exec_json,
-    exec_report, json_report, measure, ns_per_cycle, report, DynBackend, Measurement, BLUR_FULL,
+    cache_json, cache_report, check_adaptive, check_exec, check_serve, exec_bench,
+    exec_bench_smoke, exec_json, exec_report, json_report, measure, ns_per_cycle, report,
+    serve_bench, serve_bench_smoke, serve_json, serve_report, DynBackend, Measurement, BLUR_FULL,
     BLUR_SMALL, DEFAULT_TOLERANCE, TAIL_TOLERANCE,
 };
 
@@ -88,6 +100,7 @@ fn main() {
         "cache",
         "exec",
         "adaptive",
+        "serve",
         "exec-check",
     ];
     if !known.contains(&what) {
@@ -176,9 +189,52 @@ fn main() {
                 }
             }
         }
+        // Serve-pool gate: same sibling naming scheme as the adaptive
+        // files; missing on either side (a checkout predating the
+        // serve subsystem) warns and skips.
+        let fresh_serve = fresh_path.replace("exec", "serve");
+        let base_serve = base_path.replace("exec", "serve");
+        match (
+            std::fs::read_to_string(&fresh_serve),
+            std::fs::read_to_string(&base_serve),
+        ) {
+            (Ok(fresh), Ok(base)) => match check_serve(&base, &fresh, TAIL_TOLERANCE) {
+                Ok(report) => print!("\n{report}"),
+                Err(report) => {
+                    eprint!("\n{report}");
+                    failed = true;
+                }
+            },
+            (fresh, base) => {
+                for (path, r) in [(&fresh_serve, &fresh), (&base_serve, &base)] {
+                    if let Err(e) = r {
+                        eprintln!(
+                            "warning: exec-check: cannot read {path}: {e} — serve gate skipped"
+                        );
+                    }
+                }
+            }
+        }
         if failed {
             std::process::exit(1);
         }
+        return;
+    }
+
+    if what == "serve" {
+        // Multi-tenant pool replay. The cross-pool differential (same
+        // replay digest at every pool size) asserts inside the bench;
+        // --smoke keeps the stream short for CI.
+        let rows = if smoke {
+            serve_bench_smoke()
+        } else {
+            serve_bench()
+        };
+        if json {
+            write_json("serve", &serve_json(&rows), &mut failed_writes);
+        }
+        print!("{}", serve_report(&rows));
+        exit_on_write_failures(&failed_writes);
         return;
     }
 

@@ -52,6 +52,42 @@ pub const DEFAULT_TOLERANCE: f64 = 0.30;
 /// regression (e.g. losing the mid-run swap point roughly halves it).
 pub const TAIL_TOLERANCE: f64 = 0.50;
 
+/// Floor the serve gate holds the largest pool's shared-cache hit
+/// rate to, regardless of baseline: a hot Zipfian working set that
+/// stops hitting means artifact sharing itself broke.
+pub const SERVE_MIN_HIT_RATE: f64 = 0.90;
+
+/// Tolerance for the serve p99 gate, looser still than
+/// [`TAIL_TOLERANCE`]. The serve replay's p99 is bimodal by
+/// construction: a few percent of requests carry a compile (cache
+/// misses plus churn recompiles), so the 1% boundary lands on the
+/// compile-latency cliff and shifts by 3–4x between idle and loaded
+/// runs of identical code. A 75% tolerance (fresh p99 up to 4x the
+/// baseline) still catches a real tail pathology — a lost in-flight
+/// wait or a lock held across compilation inflates the tail by an
+/// order of magnitude — without tripping on scheduler noise.
+pub const SERVE_TAIL_TOLERANCE: f64 = 0.75;
+
+/// The unified gate-failure diagnostic: one line naming the row (the
+/// kernel, sweep cell, or pool), the gated column, the observed value,
+/// the floor it fell below, the baseline, and the tolerance that
+/// produced the floor. Every gate in this module (exec speedups,
+/// adaptive tails, serve ratios) reports violations through this one
+/// formatter, so CI logs stay uniformly grep-able.
+pub fn gate_failure_line(row: &str, key: &str, observed: f64, base: f64, tolerance: f64) -> String {
+    let floor = base * (1.0 - tolerance);
+    format!(
+        "  {row}: {key} {observed:.2}x regressed below {floor:.2}x \
+         (baseline {base:.2}x - {:.0}% tolerance)\n",
+        tolerance * 100.0,
+    )
+}
+
+/// Companion diagnostic for rows that vanished from the fresh run.
+pub fn missing_row_line(row: &str) -> String {
+    format!("  {row}: present in baseline, missing from fresh run\n")
+}
+
 /// One gated speedup column: its JSON key and row accessor.
 pub type GatedColumn = (&'static str, fn(&CheckRow) -> f64);
 
@@ -182,25 +218,20 @@ pub fn check_exec(baseline: &str, fresh: &str, tolerance: f64) -> Result<String,
                 ));
                 continue;
             }
-            let floor = base_value * (1.0 - tolerance);
-            if column(f) < floor {
-                failures.push_str(&format!(
-                    "  {}: {key} {:.2}x regressed below {:.2}x \
-                     (baseline {:.2}x - {:.0}% tolerance)\n",
-                    f.name,
+            if column(f) < base_value * (1.0 - tolerance) {
+                failures.push_str(&gate_failure_line(
+                    &f.name,
+                    key,
                     column(f),
-                    floor,
                     base_value,
-                    tolerance * 100.0,
+                    tolerance,
                 ));
             }
         }
     }
     for name in base.keys() {
         if !fresh_names.contains(&name.as_str()) {
-            failures.push_str(&format!(
-                "  {name}: present in baseline, missing from fresh run\n"
-            ));
+            failures.push_str(&missing_row_line(name));
         }
     }
     if !warnings.is_empty() {
@@ -307,26 +338,189 @@ pub fn check_adaptive(baseline: &str, fresh: &str, tolerance: f64) -> Result<Str
             ));
             continue;
         }
-        let floor = b.tail_p99_improvement * (1.0 - tolerance);
-        if f.tail_p99_improvement < floor {
-            failures.push_str(&format!(
-                "  {}/{}: tail_p99_improvement {:.2}x regressed below {:.2}x \
-                 (baseline {:.2}x - {:.0}% tolerance)\n",
-                f.kernel,
-                f.reuse,
+        if f.tail_p99_improvement < b.tail_p99_improvement * (1.0 - tolerance) {
+            failures.push_str(&gate_failure_line(
+                &format!("{}/{}", f.kernel, f.reuse),
+                "tail_p99_improvement",
                 f.tail_p99_improvement,
-                floor,
                 b.tail_p99_improvement,
-                tolerance * 100.0,
+                tolerance,
             ));
         }
     }
     for key in base.keys() {
         if !fresh_keys.contains(key) {
-            failures.push_str(&format!(
-                "  {}/{}: present in baseline, missing from fresh run\n",
-                key.0, key.1
-            ));
+            failures.push_str(&missing_row_line(&format!("{}/{}", key.0, key.1)));
+        }
+    }
+    if !warnings.is_empty() {
+        report.push_str(&format!("\n{warnings}"));
+    }
+    if failures.is_empty() {
+        Ok(report)
+    } else {
+        Err(format!("{report}\nREGRESSIONS:\n{failures}"))
+    }
+}
+
+/// The per-pool fields the serve gate reads from `BENCH_serve.json`.
+/// Rows are keyed by thread count — each pool size appears once.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ServeCheckRow {
+    /// Worker threads in the pool.
+    pub threads: u64,
+    /// Requests per second over the replay wall clock (gated as a
+    /// fresh/baseline ratio).
+    pub throughput_rps: f64,
+    /// 99th-percentile per-request latency (gated as a
+    /// baseline/fresh ratio — bigger fresh tail ⇒ smaller ratio).
+    pub p99_ns: f64,
+    /// Shared-cache hit rate (absolute floor on the largest pool).
+    pub hit_rate: f64,
+    /// Compiles per compile-worthy event (absolute ceiling of 1 on the
+    /// largest pool — above 1 means workers duplicated compiles).
+    pub compiles_per_unique: f64,
+}
+
+/// Scans the text of a `BENCH_serve.json` for its per-pool rows. A new
+/// row starts at each `"threads"` key.
+pub fn parse_serve_rows(text: &str) -> Vec<ServeCheckRow> {
+    let mut rows: Vec<ServeCheckRow> = Vec::new();
+    for line in text.lines() {
+        let Some((key, value)) = key_value(line) else {
+            continue;
+        };
+        if key == "threads" {
+            rows.push(ServeCheckRow {
+                threads: value.parse().unwrap_or(0),
+                ..ServeCheckRow::default()
+            });
+            continue;
+        }
+        let Some(row) = rows.last_mut() else { continue };
+        match key {
+            "throughput_rps" => row.throughput_rps = value.parse().unwrap_or(0.0),
+            "p99_ns" => row.p99_ns = value.parse().unwrap_or(0.0),
+            "hit_rate" => row.hit_rate = value.parse().unwrap_or(0.0),
+            "compiles_per_unique" => {
+                row.compiles_per_unique = value.parse().unwrap_or(0.0);
+            }
+            _ => {}
+        }
+    }
+    rows
+}
+
+/// Compares a fresh serve sweep against a baseline. Per pool size, the
+/// fresh throughput may not drop more than `tolerance` (relative)
+/// below the baseline (callers pass [`TAIL_TOLERANCE`]: wall-clock on
+/// a loaded CI box is far noisier than the same-machine engine ratios
+/// of [`check_exec`]), and the fresh p99 tail may not grow so much
+/// that `baseline_p99 / fresh_p99` falls below
+/// `1 - max(tolerance, `[`SERVE_TAIL_TOLERANCE`]`)` — the p99 gets its
+/// own, wider floor because the replay's tail is bimodal (see the
+/// constant's docs). On top of the relative gates, the largest fresh
+/// pool is held to two absolute bounds from the service's contract:
+/// shared-cache hit rate at least [`SERVE_MIN_HIT_RATE`], and
+/// compiles-per-unique at most 1 (the first-compiler-wins invariant —
+/// above 1 means concurrent workers duplicated a compile). Baseline
+/// rows with a zero value warn and skip; baseline pool sizes missing
+/// from the fresh run fail, mirroring [`check_exec`].
+///
+/// # Errors
+///
+/// A multi-line description of every violated bound.
+pub fn check_serve(baseline: &str, fresh: &str, tolerance: f64) -> Result<String, String> {
+    let base: BTreeMap<u64, ServeCheckRow> = parse_serve_rows(baseline)
+        .into_iter()
+        .map(|r| (r.threads, r))
+        .collect();
+    let fresh_rows = parse_serve_rows(fresh);
+    if fresh_rows.is_empty() {
+        return Err("fresh BENCH_serve.json has no pool rows".into());
+    }
+    let fresh_threads: Vec<u64> = fresh_rows.iter().map(|r| r.threads).collect();
+    let max_threads = *fresh_threads.iter().max().expect("non-empty");
+    let mut report = String::from(
+        "exec-check: serve throughput/p99 vs committed baseline\n\
+         \n  threads    rps(base)    rps(fresh)    p99(base)    p99(fresh)   hit     c/u\n",
+    );
+    let mut warnings = String::new();
+    let mut failures = String::new();
+    for f in &fresh_rows {
+        let b = base.get(&f.threads);
+        report.push_str(&format!(
+            "  {:7}   {:10.0}   {:11.0}   {:10.0}   {:11.0}   {:4.2}   {:5.2}{}\n",
+            f.threads,
+            b.map_or(0.0, |b| b.throughput_rps),
+            f.throughput_rps,
+            b.map_or(0.0, |b| b.p99_ns),
+            f.p99_ns,
+            f.hit_rate,
+            f.compiles_per_unique,
+            if b.is_none() { "   (no baseline)" } else { "" },
+        ));
+        if let Some(b) = b {
+            if b.throughput_rps <= 0.0 {
+                warnings.push_str(&format!(
+                    "  warning: baseline has no throughput_rps for serve/{} — not gated\n",
+                    f.threads,
+                ));
+            } else {
+                let ratio = f.throughput_rps / b.throughput_rps;
+                if ratio < 1.0 - tolerance {
+                    failures.push_str(&gate_failure_line(
+                        &format!("serve/{}", f.threads),
+                        "throughput_ratio",
+                        ratio,
+                        1.0,
+                        tolerance,
+                    ));
+                }
+            }
+            if b.p99_ns <= 0.0 {
+                warnings.push_str(&format!(
+                    "  warning: baseline has no p99_ns for serve/{} — not gated\n",
+                    f.threads,
+                ));
+            } else {
+                let tail_tolerance = tolerance.max(SERVE_TAIL_TOLERANCE);
+                let ratio = b.p99_ns / f.p99_ns.max(1.0);
+                if ratio < 1.0 - tail_tolerance {
+                    failures.push_str(&gate_failure_line(
+                        &format!("serve/{}", f.threads),
+                        "tail_p99_ratio",
+                        ratio,
+                        1.0,
+                        tail_tolerance,
+                    ));
+                }
+            }
+        }
+        // The service's structural contract, gated absolutely on the
+        // largest pool (the configuration the acceptance bar names).
+        if f.threads == max_threads {
+            if f.hit_rate < SERVE_MIN_HIT_RATE {
+                failures.push_str(&gate_failure_line(
+                    &format!("serve/{}", f.threads),
+                    "hit_rate",
+                    f.hit_rate,
+                    SERVE_MIN_HIT_RATE,
+                    0.0,
+                ));
+            }
+            if f.compiles_per_unique > 1.0 + 1e-9 {
+                failures.push_str(&format!(
+                    "  serve/{}: compiles_per_unique {:.2} exceeded 1.00 — \
+                     concurrent workers duplicated a compile\n",
+                    f.threads, f.compiles_per_unique,
+                ));
+            }
+        }
+    }
+    for threads in base.keys() {
+        if !fresh_threads.contains(threads) {
+            failures.push_str(&missing_row_line(&format!("serve/{threads}")));
         }
     }
     if !warnings.is_empty() {
@@ -344,7 +538,8 @@ mod tests {
     use super::*;
     use crate::adaptive_bench::AdaptiveBenchRow;
     use crate::exec_bench::ExecBenchRow;
-    use crate::{adaptive_json, exec_json};
+    use crate::serve_bench::ServeBenchRow;
+    use crate::{adaptive_json, exec_json, serve_json};
 
     fn sample_row(name: &'static str, decode_ns: u64, fused_ns: u64) -> ExecBenchRow {
         engines_row(name, decode_ns, fused_ns, fused_ns / 2, fused_ns)
@@ -543,5 +738,142 @@ mod tests {
         assert!(check_adaptive("{}", &fresh, DEFAULT_TOLERANCE).is_ok());
         // An empty fresh file is always an error.
         assert!(check_adaptive(&base, "{}", DEFAULT_TOLERANCE).is_err());
+    }
+
+    #[test]
+    fn gate_failure_line_names_every_component() {
+        let line = gate_failure_line("serve/4", "throughput_ratio", 0.40, 1.0, 0.50);
+        assert_eq!(
+            line,
+            "  serve/4: throughput_ratio 0.40x regressed below 0.50x \
+             (baseline 1.00x - 50% tolerance)\n"
+        );
+        assert_eq!(
+            missing_row_line("hash/4"),
+            "  hash/4: present in baseline, missing from fresh run\n"
+        );
+    }
+
+    /// A serve pool row with throughput, tail, and the structural
+    /// columns pinned, serialized through the real emitter.
+    fn serve_row(threads: u64, rps: f64, p99: u64, hit: f64, cpu: f64) -> ServeBenchRow {
+        ServeBenchRow {
+            threads,
+            requests: 2000,
+            elapsed_ns: 20_000_000,
+            throughput_rps: rps,
+            p50_ns: p99 / 10,
+            p99_ns: p99,
+            p999_ns: p99 * 3,
+            hit_rate: hit,
+            hits: 1900,
+            misses: 70,
+            waits: 3,
+            evictions: 0,
+            invalidations: 30,
+            unique_fingerprints: 40,
+            compiles: 69,
+            compiles_per_unique: cpu,
+            stale_faults: 2,
+            checksum: 0xc840_4492_d610_a568,
+        }
+    }
+
+    #[test]
+    fn serve_rows_roundtrip_through_the_emitted_json() {
+        let rows = vec![
+            serve_row(1, 80_000.0, 50_000, 0.91, 0.93),
+            serve_row(4, 100_000.0, 60_000, 0.96, 0.99),
+        ];
+        let parsed = parse_serve_rows(&serve_json(&rows).pretty());
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].threads, 1);
+        assert_eq!(parsed[1].threads, 4);
+        assert!((parsed[1].throughput_rps - 100_000.0).abs() < 1e-6);
+        assert!((parsed[1].p99_ns - 60_000.0).abs() < 1e-6);
+        assert!((parsed[1].hit_rate - 0.96).abs() < 1e-9);
+        assert!((parsed[1].compiles_per_unique - 0.99).abs() < 1e-9);
+    }
+
+    #[test]
+    fn serve_gate_passes_within_tolerance_and_fails_on_throughput() {
+        let base = serve_json(&[serve_row(4, 100_000.0, 60_000, 0.96, 0.99)]).pretty();
+        // 40% below baseline throughput: inside the 50% tail tolerance.
+        let ok = serve_json(&[serve_row(4, 60_000.0, 60_000, 0.96, 0.99)]).pretty();
+        let report = check_serve(&base, &ok, TAIL_TOLERANCE).expect("within tolerance");
+        assert!(report.contains("serve"), "{report}");
+        // 60% below: past the tolerance.
+        let bad = serve_json(&[serve_row(4, 40_000.0, 60_000, 0.96, 0.99)]).pretty();
+        let err = check_serve(&base, &bad, TAIL_TOLERANCE).expect_err("regression");
+        assert!(err.contains("REGRESSIONS"), "{err}");
+        assert!(err.contains("throughput_ratio"), "{err}");
+    }
+
+    #[test]
+    fn serve_gate_fails_when_the_tail_blows_up() {
+        let base = serve_json(&[serve_row(4, 100_000.0, 60_000, 0.96, 0.99)]).pretty();
+        // p99 tripled: base/fresh = 0.33 — bimodal-tail noise the serve
+        // gate's own wider tolerance absorbs.
+        let noisy = serve_json(&[serve_row(4, 100_000.0, 180_000, 0.96, 0.99)]).pretty();
+        check_serve(&base, &noisy, TAIL_TOLERANCE).expect("within SERVE_TAIL_TOLERANCE");
+        // p99 6x: base/fresh = 0.17, below 1 - SERVE_TAIL_TOLERANCE.
+        let bad = serve_json(&[serve_row(4, 100_000.0, 360_000, 0.96, 0.99)]).pretty();
+        let err = check_serve(&base, &bad, TAIL_TOLERANCE).expect_err("tail regression");
+        assert!(err.contains("tail_p99_ratio"), "{err}");
+        assert!(err.contains("75% tolerance"), "{err}");
+    }
+
+    #[test]
+    fn serve_gate_holds_the_largest_pool_to_absolute_bounds() {
+        let base = serve_json(&[
+            serve_row(1, 80_000.0, 50_000, 0.50, 0.93),
+            serve_row(4, 100_000.0, 60_000, 0.96, 0.99),
+        ])
+        .pretty();
+        // A cold small pool is fine; the 4-thread pool falling under
+        // the hit-rate floor is not, even with healthy throughput.
+        let bad_hit = serve_json(&[
+            serve_row(1, 80_000.0, 50_000, 0.50, 0.93),
+            serve_row(4, 100_000.0, 60_000, 0.80, 0.99),
+        ])
+        .pretty();
+        let err = check_serve(&base, &bad_hit, TAIL_TOLERANCE).expect_err("hit-rate floor");
+        assert!(err.contains("hit_rate"), "{err}");
+        // Duplicated compiles (c/u above 1) on the largest pool fail.
+        let dup = serve_json(&[serve_row(4, 100_000.0, 60_000, 0.96, 1.40)]).pretty();
+        let err = check_serve(&base, &dup, TAIL_TOLERANCE).expect_err("duplicate compiles");
+        assert!(err.contains("compiles_per_unique"), "{err}");
+        assert!(err.contains("duplicated a compile"), "{err}");
+    }
+
+    #[test]
+    fn serve_gate_warns_on_zero_baselines_and_handles_missing_rows() {
+        let fresh = serve_json(&[serve_row(4, 100_000.0, 60_000, 0.96, 0.99)]).pretty();
+        // Baseline with zeroed throughput/p99: warn and skip, not fail.
+        let zeroed = serve_json(&[serve_row(4, 0.0, 0, 0.96, 0.99)]).pretty();
+        let report = check_serve(&zeroed, &fresh, TAIL_TOLERANCE).expect("warns, not fails");
+        assert!(
+            report.contains("warning: baseline has no throughput_rps"),
+            "{report}"
+        );
+        assert!(
+            report.contains("warning: baseline has no p99_ns"),
+            "{report}"
+        );
+        // A baseline pool size the fresh run dropped is a failure.
+        let base = serve_json(&[
+            serve_row(2, 90_000.0, 55_000, 0.95, 0.98),
+            serve_row(4, 100_000.0, 60_000, 0.96, 0.99),
+        ])
+        .pretty();
+        let err = check_serve(&base, &fresh, TAIL_TOLERANCE).expect_err("missing pool");
+        assert!(
+            err.contains("serve/2: present in baseline, missing"),
+            "{err}"
+        );
+        // Fresh-only pools against an empty baseline pass (all new),
+        // as long as the absolute bounds hold; empty fresh errors.
+        assert!(check_serve("{}", &fresh, TAIL_TOLERANCE).is_ok());
+        assert!(check_serve(&base, "{}", TAIL_TOLERANCE).is_err());
     }
 }

@@ -26,6 +26,7 @@ pub mod measure;
 pub mod micro;
 pub mod programs;
 pub mod report;
+pub mod serve_bench;
 
 pub use adaptive_bench::{
     adaptive_bench, adaptive_bench_smoke, adaptive_json, adaptive_report, warm_summary,
@@ -34,12 +35,17 @@ pub use adaptive_bench::{
 pub use cache_bench::{cache_bench, cache_json, cache_report};
 pub use calibrate::ns_per_cycle;
 pub use check::{
-    check_adaptive, check_exec, parse_adaptive_rows, parse_exec_rows, AdaptiveCheckRow, CheckRow,
-    DEFAULT_TOLERANCE, GATED_COLUMNS, TAIL_TOLERANCE,
+    check_adaptive, check_exec, check_serve, gate_failure_line, missing_row_line,
+    parse_adaptive_rows, parse_exec_rows, parse_serve_rows, AdaptiveCheckRow, CheckRow,
+    ServeCheckRow, DEFAULT_TOLERANCE, GATED_COLUMNS, SERVE_MIN_HIT_RATE, SERVE_TAIL_TOLERANCE,
+    TAIL_TOLERANCE,
 };
 pub use exec_bench::{exec_bench, exec_bench_smoke, exec_json, exec_report, ExecBenchRow};
 pub use measure::{measure, measure_with, DynBackend, Measurement};
 pub use programs::{benchmarks, BenchDef, BLUR_FULL, BLUR_SMALL};
+pub use serve_bench::{
+    serve_bench, serve_bench_smoke, serve_json, serve_report, ServeBenchRow, SERVE_THREADS,
+};
 
 #[cfg(test)]
 mod tests {
@@ -120,11 +126,21 @@ mod tests {
             .map(|b| (b.name, b))
             .collect();
         for name in ["query", "cmp", "pow"] {
-            let m = measure(&by_name[name]);
-            let v = &m.dynamic[DynBackend::Vcode as usize];
-            let i = &m.dynamic[DynBackend::IcodeLinear as usize];
-            let v_per = v.codegen_ns / v.insns.max(1.0);
-            let i_per = i.codegen_ns / i.insns.max(1.0);
+            // Min over a few attempts on both sides: codegen time is a
+            // cost measurement, so scheduler noise only ever inflates
+            // it, and one preempted vcode sample must not flip the
+            // comparison on a loaded box.
+            let (mut v_per, mut i_per) = (f64::INFINITY, f64::INFINITY);
+            for _ in 0..3 {
+                let m = measure(&by_name[name]);
+                let v = &m.dynamic[DynBackend::Vcode as usize];
+                let i = &m.dynamic[DynBackend::IcodeLinear as usize];
+                v_per = v_per.min(v.codegen_ns / v.insns.max(1.0));
+                i_per = i_per.min(i.codegen_ns / i.insns.max(1.0));
+                if i_per > v_per {
+                    break;
+                }
+            }
             assert!(
                 i_per > v_per,
                 "{name}: icode ({i_per:.0} ns/insn) should cost more than vcode ({v_per:.0})"

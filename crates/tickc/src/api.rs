@@ -5,12 +5,13 @@ use crate::runtime::{Backend, DynStats, TccRuntime};
 use std::fmt;
 use std::sync::Arc;
 use std::time::Instant;
+use tcc_cache::SharedArtifacts;
 use tcc_front::{FrontError, Program};
 use tcc_mir::{build_image, Image, OptLevel};
 use tcc_obs::{
     AdaptiveMetrics, ExecMetrics, FrontendMetrics, SessionMetrics, StaticMetrics, VmMetrics,
 };
-use tcc_vm::{CostModel, ExecEngine, Vm, VmError};
+use tcc_vm::{CostModel, ExecEngine, TransHub, Vm, VmError};
 
 /// Any error from source to execution.
 #[derive(Debug)]
@@ -93,6 +94,20 @@ pub struct Config {
     /// branches/consumers so superinstruction pairing finds more
     /// adjacencies). Ablation knob; on by default.
     pub icode_schedule: bool,
+    /// Process-wide shared artifact cache (`tcc-serve` multi-tenant
+    /// mode). Sessions constructed with clones of one
+    /// [`SharedArtifacts`] compile each unique closure once between
+    /// them: the first compiler publishes, concurrent requesters block
+    /// on the in-flight slot, and later requesters install the
+    /// published words into their own code space. Setting this
+    /// disables the per-session `cache` memo (the installed-copy memo
+    /// plays its role, and keeps the shared hit rate measurable).
+    pub shared: Option<Arc<SharedArtifacts>>,
+    /// Shared background translation worker: one `tcc-translate`
+    /// thread serving every session's adaptive tier promotions instead
+    /// of a worker thread per VM. Only meaningful with an adaptive
+    /// engine and `adaptive_background`.
+    pub translation_hub: Option<TransHub<TccRuntime>>,
 }
 
 impl Default for Config {
@@ -112,6 +127,8 @@ impl Default for Config {
             adaptive_thread_after: tcc_vm::DEFAULT_THREAD_AFTER,
             adaptive_background: false,
             icode_schedule: true,
+            shared: None,
+            translation_hub: None,
         }
     }
 }
@@ -170,9 +187,10 @@ impl Session {
         );
         rt.echo = config.echo;
         rt.icode_schedule = config.icode_schedule;
-        rt.cache = config
-            .cache
+        rt.cache = (config.cache && config.shared.is_none())
             .then(|| tcc_cache::CodeCache::with_budget(config.code_budget));
+        rt.shared = config.shared;
+        rt.shared_cost = config.cost.clone();
         let mut code = image.code.clone();
         if let Some(seed) = config.placement_jitter {
             code.set_placement_jitter(seed);
@@ -188,6 +206,9 @@ impl Session {
         } else {
             ExecEngine::DecodePerStep
         }));
+        if let Some(hub) = config.translation_hub {
+            vm.set_translation_hub(hub);
+        }
         Ok(Session {
             vm,
             image,
@@ -207,6 +228,32 @@ impl Session {
         Session::new(src, Config::default())
     }
 
+    /// Reconciles with the shared artifact cache (no-op outside shared
+    /// mode): frees local installs of artifacts another session's
+    /// churn evicted or invalidated, so their stale addresses fault
+    /// `VmError::StaleCode` instead of running dropped code.
+    fn sync_shared(&mut self) {
+        let stale = self.vm.host_mut().collect_stale_installs();
+        for handle in stale {
+            // free_function bumps the code space's live epoch; a
+            // failure (already freed) is impossible for handles the
+            // install memo owned, but harmless to ignore.
+            let _ = self.vm.state_mut().code.free_function(handle);
+        }
+    }
+
+    /// Seeds translations carried by shared artifacts installed during
+    /// the last call into the VM's per-function translation cache, so
+    /// promoted functions skip the local decode pass.
+    fn drain_preseeds(&mut self) {
+        let pending = self.vm.host_mut().take_pending_preseeds();
+        for (addr, tr) in pending {
+            // A refusal (engine/cost mismatch, already translated)
+            // just leaves the lazy path in charge.
+            self.vm.preseed_translation(addr, &tr);
+        }
+    }
+
     /// Calls function `name` with integer arguments.
     ///
     /// # Errors
@@ -217,7 +264,7 @@ impl Session {
             .image
             .addr_of(name)
             .ok_or_else(|| Error::Vm(VmError::Host(format!("no function {name}"))))?;
-        Ok(self.vm.call(addr, args)?)
+        self.call_addr(addr, args)
     }
 
     /// Calls function `name`, returning the floating point result.
@@ -230,7 +277,10 @@ impl Session {
             .image
             .addr_of(name)
             .ok_or_else(|| Error::Vm(VmError::Host(format!("no function {name}"))))?;
-        Ok(self.vm.call_f(addr, args, fargs)?)
+        self.sync_shared();
+        let r = self.vm.call_f(addr, args, fargs);
+        self.drain_preseeds();
+        Ok(r?)
     }
 
     /// Calls a function by address (e.g. a pointer returned from `C
@@ -240,7 +290,10 @@ impl Session {
     ///
     /// Machine fault.
     pub fn call_addr(&mut self, addr: u64, args: &[u64]) -> Result<u64, Error> {
-        Ok(self.vm.call(addr, args)?)
+        self.sync_shared();
+        let r = self.vm.call(addr, args);
+        self.drain_preseeds();
+        Ok(r?)
     }
 
     /// Cycles consumed since the last [`Session::reset_counters`].

@@ -45,14 +45,17 @@ pub mod runtime;
 pub use api::{Config, Error, Session};
 pub use dyncomp::{DynCompiler, DynInput, WalkStats};
 pub use runtime::{Backend, DynStats, TccRuntime};
+pub use tcc_cache::SharedArtifacts;
 pub use tcc_icode::Strategy;
 pub use tcc_mir::OptLevel;
+pub use tcc_obs::SharedCacheMetrics;
 pub use tcc_obs::{
     CodegenPhases, DynMetrics, ExecMetrics, FrontendMetrics, SessionMetrics, StaticMetrics,
     VmMetrics,
 };
 pub use tcc_vm::{
-    AdaptiveStats, ExecEngine, ExecStats, Tier, DEFAULT_FUSE_AFTER, DEFAULT_THREAD_AFTER,
+    AdaptiveStats, ExecEngine, ExecStats, Tier, TransHub, VmError, DEFAULT_FUSE_AFTER,
+    DEFAULT_THREAD_AFTER,
 };
 
 #[cfg(test)]

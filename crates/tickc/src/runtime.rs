@@ -13,7 +13,7 @@ use crate::fingerprint::{fingerprint_closure, tick_reads_memory};
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
-use tcc_cache::{CodeCache, FingerprintBuilder};
+use tcc_cache::{Acquire, Artifact, CodeCache, Fingerprint, FingerprintBuilder, SharedArtifacts};
 use tcc_front::Program;
 use tcc_icode::prune::{key_of, OpKey};
 use tcc_icode::{IcodeBuf, IcodeCompiler, Strategy, TranslatorTable};
@@ -22,7 +22,7 @@ use tcc_rt::{
 };
 use tcc_vcode::{CodeSink, Vcode};
 use tcc_vm::interp::MachineState;
-use tcc_vm::{CodeSpace, HostCall, Memory, VmError};
+use tcc_vm::{CodeSpace, CostModel, HostCall, Memory, SharedTranslation, VmError};
 
 /// Dynamic back-end selection — the paper's central knob: "tcc allows
 /// the user to select the dynamic back end".
@@ -161,6 +161,14 @@ fn run_backend(
     }
 }
 
+/// This session's locally installed copy of a shared artifact: the
+/// address handed back to program code and the handle to free when the
+/// shared cache drops the artifact.
+struct InstalledShared {
+    addr: u64,
+    handle: tcc_vm::FuncHandle,
+}
+
 /// The runtime: implements [`HostCall`] for a loaded `C program.
 pub struct TccRuntime {
     /// The analyzed program (tick table for CGFs).
@@ -195,6 +203,25 @@ pub struct TccRuntime {
     pub observed_keys: std::collections::BTreeSet<OpKey>,
     /// Compile memoization + code lifecycle (`None` = caching disabled).
     pub cache: Option<CodeCache>,
+    /// Process-wide shared artifact cache (`tcc-serve` multi-tenant
+    /// mode): compile each unique fingerprint once across sessions.
+    /// `None` = this session compiles only for itself.
+    pub shared: Option<Arc<SharedArtifacts>>,
+    /// Fingerprint → this session's installed copy of a shared
+    /// artifact (the per-session memo in shared mode).
+    installed: HashMap<Fingerprint, InstalledShared>,
+    /// Shared-cache generation this session last synced against; a
+    /// change means installs may be stale (see
+    /// [`TccRuntime::collect_stale_installs`]).
+    shared_gen_seen: u64,
+    /// Translations carried by installed artifacts, to be pre-seeded
+    /// into the VM's per-function translation cache once the current
+    /// call unwinds (the host cannot reach the engine from inside a
+    /// host call; `Session` drains this after each `call`).
+    pub(crate) pending_preseeds: Vec<(u64, SharedTranslation)>,
+    /// Cost model shared translations are built against — must match
+    /// the executing VM's for `preseed_translation` to accept them.
+    pub shared_cost: CostModel,
     /// Per-tick cacheability memo (tick id → body is memory-free).
     tick_cacheable: HashMap<usize, bool>,
     arena: Option<VmArena>,
@@ -225,6 +252,11 @@ impl TccRuntime {
             icode_schedule: true,
             observed_keys: std::collections::BTreeSet::new(),
             cache: Some(CodeCache::new()),
+            shared: None,
+            installed: HashMap::new(),
+            shared_gen_seen: 0,
+            pending_preseeds: Vec::new(),
+            shared_cost: CostModel::default(),
             tick_cacheable: HashMap::new(),
             arena: None,
             vspec_seq: 0,
@@ -235,6 +267,40 @@ impl TccRuntime {
     /// The captured output as UTF-8 (lossy).
     pub fn output(&self) -> String {
         String::from_utf8_lossy(&self.out).into_owned()
+    }
+
+    /// Reconciles this session's installed copies of shared artifacts
+    /// with the shared cache after an eviction/invalidation elsewhere:
+    /// when the generation stamp moved, drops every install whose
+    /// artifact is no longer resident and returns its handle. The
+    /// caller must `free_function` each handle in its `CodeSpace` —
+    /// that bumps the live epoch, so executing a dropped address faults
+    /// `VmError::StaleCode` exactly as in the single-session lifecycle.
+    pub fn collect_stale_installs(&mut self) -> Vec<tcc_vm::FuncHandle> {
+        let Some(shared) = &self.shared else {
+            return Vec::new();
+        };
+        let generation = shared.generation();
+        if generation == self.shared_gen_seen {
+            return Vec::new();
+        }
+        self.shared_gen_seen = generation;
+        let mut dropped = Vec::new();
+        self.installed.retain(|fp, inst| {
+            if shared.contains(fp) {
+                true
+            } else {
+                dropped.push(inst.handle);
+                false
+            }
+        });
+        dropped
+    }
+
+    /// Takes the translations queued by installed artifacts, to be fed
+    /// to `Vm::preseed_translation` between calls.
+    pub(crate) fn take_pending_preseeds(&mut self) -> Vec<(u64, SharedTranslation)> {
+        std::mem::take(&mut self.pending_preseeds)
     }
 
     fn compile(&mut self, st: &mut MachineState) -> Result<(), VmError> {
@@ -265,49 +331,84 @@ impl TccRuntime {
         // function instead of walking the CGF again. A pruned translator
         // table changes codegen behind the fingerprint's back, so its
         // (ablation-only) presence bypasses the cache.
-        let fp = match &mut self.cache {
-            Some(cache) if self.table.is_none() => {
-                let t_fp = Instant::now();
-                let mut b = FingerprintBuilder::new();
-                match &self.backend {
-                    Backend::Vcode { unchecked } => {
-                        b.push_tag(0);
-                        b.push_tag(*unchecked as u8);
-                    }
-                    Backend::Icode { strategy } => {
-                        b.push_tag(1);
-                        b.push_tag(matches!(strategy, Strategy::GraphColor) as u8);
-                    }
+        let want_fp = (self.cache.is_some() || self.shared.is_some()) && self.table.is_none();
+        let fp = if want_fp {
+            let t_fp = Instant::now();
+            let mut b = FingerprintBuilder::new();
+            match &self.backend {
+                Backend::Vcode { unchecked } => {
+                    b.push_tag(0);
+                    b.push_tag(*unchecked as u8);
                 }
-                b.push_tag(self.cspec_first as u8);
-                b.push_tag(self.enable_unroll as u8);
-                b.push_tag(ret_kind.map_or(255, ValKind::code));
-                let prog = &self.prog;
-                let memo = &mut self.tick_cacheable;
-                let mut cacheable = |id: usize| {
-                    *memo
-                        .entry(id)
-                        .or_insert_with(|| !tick_reads_memory(prog, id))
-                };
-                if fingerprint_closure(mem, prog, closure, &mut cacheable, &mut b)? {
-                    let fp = b.build();
+                Backend::Icode { strategy } => {
+                    b.push_tag(1);
+                    b.push_tag(matches!(strategy, Strategy::GraphColor) as u8);
+                }
+            }
+            b.push_tag(self.cspec_first as u8);
+            b.push_tag(self.enable_unroll as u8);
+            b.push_tag(ret_kind.map_or(255, ValKind::code));
+            let prog = &self.prog;
+            let memo = &mut self.tick_cacheable;
+            let mut cacheable = |id: usize| {
+                *memo
+                    .entry(id)
+                    .or_insert_with(|| !tick_reads_memory(prog, id))
+            };
+            if fingerprint_closure(mem, prog, closure, &mut cacheable, &mut b)? {
+                let fp = b.build();
+                if let Some(cache) = &mut self.cache {
                     if let Some(addr) = cache.lookup(&fp) {
                         cache.note_hit_ns(t_fp.elapsed().as_nanos() as u64);
                         st.set_ret(addr);
                         return Ok(());
                     }
-                    Some(fp)
-                } else {
-                    cache.note_uncacheable();
-                    None
                 }
-            }
-            Some(cache) => {
-                cache.note_uncacheable();
+                Some(fp)
+            } else {
+                if let Some(cache) = &mut self.cache {
+                    cache.note_uncacheable();
+                }
                 None
             }
-            None => None,
+        } else {
+            if let Some(cache) = &mut self.cache {
+                cache.note_uncacheable();
+            }
+            None
         };
+        // Shared multi-tenant path: serve from this session's installed
+        // copy, then from the shared cache (installing its words into
+        // our own code space), and only then compile — holding the
+        // in-flight claim so concurrent sessions block on this compile
+        // instead of duplicating it.
+        let mut claim = None;
+        if let (Some(fp_ref), Some(shared)) = (&fp, self.shared.clone()) {
+            if let Some(inst) = self.installed.get(fp_ref) {
+                shared.touch(fp_ref);
+                st.set_ret(inst.addr);
+                return Ok(());
+            }
+            match shared.get_or_begin(fp_ref) {
+                Acquire::Hit { artifact, .. } => {
+                    // A failed install (e.g. a rebased jump out of
+                    // range) falls through to a private compile,
+                    // without a claim.
+                    if let Ok((addr, handle)) =
+                        code.install_function(&artifact.name, &artifact.words, artifact.orig_start)
+                    {
+                        if let Some(tr) = &artifact.translation {
+                            self.pending_preseeds.push((addr, tr.clone()));
+                        }
+                        self.installed
+                            .insert(fp_ref.clone(), InstalledShared { addr, handle });
+                        st.set_ret(addr);
+                        return Ok(());
+                    }
+                }
+                Acquire::Miss(c) => claim = Some(c),
+            }
+        }
         let backend = &self.backend;
         let table = self.table.as_ref();
         let (cspec_first, enable_unroll) = (self.cspec_first, self.enable_unroll);
@@ -364,11 +465,32 @@ impl TccRuntime {
         self.stats.generated_insns += outcome.insns;
         if let Some(fp) = fp {
             let compile_ns = t0.elapsed().as_nanos() as u64;
-            let bytes = code.size_of(outcome.handle)?;
-            self.cache
-                .as_mut()
-                .expect("fingerprint implies cache")
-                .insert(code, fp, outcome.addr, outcome.handle, bytes, compile_ns)?;
+            if let Some(claim) = claim {
+                // Publish for other sessions; every waiter wakes with
+                // the Arc'd artifact instead of recompiling.
+                let (orig_start, words) = code.function_words(outcome.handle)?;
+                let bytes = (words.len() * 4) as u64;
+                let translation = SharedTranslation::build(&words, &self.shared_cost);
+                claim.publish(Artifact {
+                    name: name.clone(),
+                    orig_start,
+                    words,
+                    bytes,
+                    compile_ns,
+                    translation,
+                });
+                self.installed.insert(
+                    fp.clone(),
+                    InstalledShared {
+                        addr: outcome.addr,
+                        handle: outcome.handle,
+                    },
+                );
+            }
+            if let Some(cache) = self.cache.as_mut() {
+                let bytes = code.size_of(outcome.handle)?;
+                cache.insert(code, fp, outcome.addr, outcome.handle, bytes, compile_ns)?;
+            }
         }
         st.set_ret(outcome.addr);
         Ok(())

@@ -1,0 +1,125 @@
+//! Multi-tenant shared-artifact integration: sessions built around one
+//! [`SharedArtifacts`] compile each unique closure once, install the
+//! published words everywhere else, and observe another thread's churn
+//! as `VmError::StaleCode` faults — never as silently stale execution.
+
+use std::sync::Arc;
+use tcc::{Config, Error, Session, SharedArtifacts, VmError};
+
+const SRC: &str = r#"
+    long mk(int m) {
+        int vspec x = param(int, 0);
+        int cspec c = `(x * $m + $m);
+        return (long)compile(c, int);
+    }
+"#;
+
+fn shared_session(shared: &Arc<SharedArtifacts>) -> Session {
+    Session::new(
+        SRC,
+        Config {
+            shared: Some(Arc::clone(shared)),
+            ..Config::default()
+        },
+    )
+    .expect("compiles")
+}
+
+#[test]
+fn session_and_config_are_send() {
+    // The serve pool moves whole sessions onto worker threads; this is
+    // the compile-time audit that everything a `Session` owns (VM
+    // state, runtime, shared-cache handles, hub channels) crosses.
+    fn assert_send<T: Send>() {}
+    assert_send::<Session>();
+    assert_send::<Config>();
+}
+
+#[test]
+fn sessions_share_one_compile_across_the_cache() {
+    let shared = SharedArtifacts::unbounded();
+    let mut a = shared_session(&shared);
+    let mut b = shared_session(&shared);
+
+    let fa = a.call("mk", &[9]).expect("compiles");
+    assert_eq!(a.call_addr(fa, &[5]).unwrap(), 5 * 9 + 9);
+    let m = shared.metrics();
+    assert_eq!((m.misses, m.published), (1, 1));
+    assert_eq!(a.dyn_stats().compiles, 1);
+
+    // The second session installs the published artifact: a shared
+    // hit, zero compiles of its own.
+    let fb = b.call("mk", &[9]).expect("installs");
+    assert_eq!(b.call_addr(fb, &[5]).unwrap(), 5 * 9 + 9);
+    let m = shared.metrics();
+    assert_eq!(m.published, 1, "second session must not recompile");
+    assert_eq!(m.hits, 1);
+    assert_eq!(b.dyn_stats().compiles, 0);
+
+    // Differential: the installed copy is word-identical, so the
+    // execution cost is bit-identical to the compiling session's.
+    let (i0, c0) = (a.insns(), a.cycles());
+    assert_eq!(a.call_addr(fa, &[123]).unwrap(), 123 * 9 + 9);
+    let (da_i, da_c) = (a.insns() - i0, a.cycles() - c0);
+    let (i0, c0) = (b.insns(), b.cycles());
+    assert_eq!(b.call_addr(fb, &[123]).unwrap(), 123 * 9 + 9);
+    assert_eq!((b.insns() - i0, b.cycles() - c0), (da_i, da_c));
+
+    // Re-requesting in the compiling session hits its installed memo.
+    let fa2 = a.call("mk", &[9]).expect("memo");
+    assert_eq!(fa2, fa);
+    assert_eq!(shared.metrics().hits, 2);
+
+    // A different `$`-constant is a different fingerprint.
+    let f3 = a.call("mk", &[3]).expect("fresh compile");
+    assert_eq!(a.call_addr(f3, &[5]).unwrap(), 5 * 3 + 3);
+    assert_eq!(shared.metrics().published, 2);
+}
+
+#[test]
+fn cross_thread_invalidation_faults_stale_code() {
+    let shared = SharedArtifacts::unbounded();
+    let mut s = shared_session(&shared);
+    let addr = s.call("mk", &[9]).expect("compiles");
+    assert_eq!(s.call_addr(addr, &[1]).unwrap(), 18);
+
+    // Another thread churns the rule set out from under the executor.
+    let churner = Arc::clone(&shared);
+    std::thread::spawn(move || {
+        let fp = churner.sample_fingerprint(0).expect("one resident");
+        assert!(churner.invalidate(&fp));
+    })
+    .join()
+    .unwrap();
+
+    // The executor's next call syncs the generation bump, frees its
+    // installed copy, and the stale address faults — never UB.
+    match s.call_addr(addr, &[1]) {
+        Err(Error::Vm(VmError::StaleCode(at))) => assert_eq!(at, addr),
+        other => panic!("expected StaleCode fault, got {other:?}"),
+    }
+
+    // Recompiling republishes and the function is callable again.
+    let addr2 = s.call("mk", &[9]).expect("recompiles");
+    assert_eq!(s.call_addr(addr2, &[1]).unwrap(), 18);
+    assert_eq!(shared.metrics().published, 2);
+}
+
+#[test]
+fn eviction_under_budget_faults_like_invalidation() {
+    // A budget small enough that the second artifact evicts the first:
+    // the session that installed the first sees StaleCode, not stale
+    // bytes.
+    let shared = SharedArtifacts::with_budget(64);
+    let mut s = shared_session(&shared);
+    let a1 = s.call("mk", &[9]).expect("compiles");
+    assert_eq!(s.call_addr(a1, &[2]).unwrap(), 2 * 9 + 9);
+    let a2 = s.call("mk", &[3]).expect("compiles");
+    assert_eq!(s.call_addr(a2, &[2]).unwrap(), 2 * 3 + 3);
+    if shared.metrics().evictions > 0 {
+        match s.call_addr(a1, &[2]) {
+            Err(Error::Vm(VmError::StaleCode(_))) => {}
+            other => panic!("expected StaleCode after eviction, got {other:?}"),
+        }
+    }
+}

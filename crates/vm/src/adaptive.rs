@@ -77,9 +77,9 @@
 //! [`CodeSpace::live_epoch`]: crate::code::CodeSpace::live_epoch
 
 use std::sync::mpsc;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use crate::code::CODE_BASE;
 use crate::cost::CostModel;
@@ -284,49 +284,157 @@ impl<H> Drop for TransWorker<H> {
     }
 }
 
+/// Builds the translation a request asks for, over its word snapshot,
+/// timing the build. The single build path shared by the per-VM worker
+/// and the multi-tenant [`TransHub`]. Returns `None` for tier 0 (no
+/// translation exists; never legitimately enqueued).
+fn build_translation<H: HostCall>(req: TransRequest) -> Option<TransDone<H>> {
+    let end = req.start + req.words.len();
+    let t0 = Instant::now();
+    let (payload, fused_pairs) = match req.tier {
+        Tier::Fused => {
+            // The scratch stats capture `fused_pairs` for the build;
+            // they are folded into the VM's counters at install time.
+            let mut scratch = ExecStats::default();
+            let tr =
+                crate::predecode::translate(&req.words, req.start, &req.cost, true, &mut scratch);
+            (TransPayload::Fused(Arc::new(tr)), scratch.fused_pairs)
+        }
+        Tier::Threaded => {
+            let tr = crate::threaded::translate::<H>(&req.words, req.start, &req.cost);
+            (TransPayload::Threaded(Arc::new(tr)), 0)
+        }
+        Tier::Decode => return None,
+    };
+    Some(TransDone {
+        start: req.start,
+        end,
+        tier: req.tier,
+        epoch: req.epoch,
+        generation: req.generation,
+        build_ns: t0.elapsed().as_nanos() as u64,
+        fused_pairs,
+        enqueued: req.enqueued,
+        payload,
+    })
+}
+
 /// The worker thread body: translate each request over its word
 /// snapshot (timing the build) and send the result back. Exits when
 /// either channel closes.
 fn worker_loop<H: HostCall>(rx: &mpsc::Receiver<TransRequest>, tx: &mpsc::Sender<TransDone<H>>) {
     while let Ok(req) = rx.recv() {
-        let end = req.start + req.words.len();
-        let t0 = Instant::now();
-        let (payload, fused_pairs) = match req.tier {
-            Tier::Fused => {
-                // The scratch stats capture `fused_pairs` for the build;
-                // they are folded into the VM's counters at install time.
-                let mut scratch = ExecStats::default();
-                let tr = crate::predecode::translate(
-                    &req.words,
-                    req.start,
-                    &req.cost,
-                    true,
-                    &mut scratch,
-                );
-                (TransPayload::Fused(Arc::new(tr)), scratch.fused_pairs)
-            }
-            Tier::Threaded => {
-                let tr = crate::threaded::translate::<H>(&req.words, req.start, &req.cost);
-                (TransPayload::Threaded(Arc::new(tr)), 0)
-            }
-            // Tier 0 needs no translation and is never enqueued.
-            Tier::Decode => continue,
-        };
-        let done = TransDone {
-            start: req.start,
-            end,
-            tier: req.tier,
-            epoch: req.epoch,
-            generation: req.generation,
-            build_ns: t0.elapsed().as_nanos() as u64,
-            fused_pairs,
-            enqueued: req.enqueued,
-            payload,
+        let Some(done) = build_translation::<H>(req) else {
+            continue;
         };
         if tx.send(done).is_err() {
             return;
         }
     }
+}
+
+/// A shared background translation service: **one** `tcc-translate`
+/// thread serving any number of VMs. Each request carries its own reply
+/// channel, so completions route back to the requesting VM and go
+/// through that VM's usual epoch/generation install checks — sharing
+/// the thread changes where builds run, not what gets installed.
+///
+/// Cloning shares the service (`Arc` inside); the thread shuts down
+/// when the last clone drops (request channel closes, thread joined).
+/// A pool of worker sessions clones one hub so a single spare hardware
+/// thread absorbs every session's translation load, instead of N
+/// per-VM workers time-sharing it.
+pub struct TransHub<H> {
+    inner: Arc<HubInner<H>>,
+}
+
+impl<H> Clone for TransHub<H> {
+    fn clone(&self) -> Self {
+        TransHub {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<H> std::fmt::Debug for TransHub<H> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TransHub").finish_non_exhaustive()
+    }
+}
+
+struct HubInner<H> {
+    tx: Mutex<Option<mpsc::Sender<HubJob<H>>>>,
+    handle: Mutex<Option<thread::JoinHandle<()>>>,
+}
+
+/// One queued hub build: the request plus the requester's completion
+/// channel.
+struct HubJob<H> {
+    req: TransRequest,
+    reply: mpsc::Sender<TransDone<H>>,
+}
+
+impl<H: HostCall> TransHub<H> {
+    /// Spawns the shared translation thread.
+    pub fn spawn() -> TransHub<H> {
+        let (tx, rx) = mpsc::channel::<HubJob<H>>();
+        let handle = thread::Builder::new()
+            .name("tcc-translate".into())
+            .spawn(move || hub_loop::<H>(&rx))
+            .expect("spawn shared translation hub");
+        TransHub {
+            inner: Arc::new(HubInner {
+                tx: Mutex::new(Some(tx)),
+                handle: Mutex::new(Some(handle)),
+            }),
+        }
+    }
+
+    /// Queues a build; the completion lands on `reply`. `false` when
+    /// the hub thread is gone (the caller falls back or retries later;
+    /// execution is correct at the current tier either way).
+    pub(crate) fn submit(&self, req: TransRequest, reply: mpsc::Sender<TransDone<H>>) -> bool {
+        let guard = self.inner.tx.lock().unwrap_or_else(|e| e.into_inner());
+        match guard.as_ref() {
+            Some(tx) => tx.send(HubJob { req, reply }).is_ok(),
+            None => false,
+        }
+    }
+}
+
+impl<H> Drop for HubInner<H> {
+    fn drop(&mut self) {
+        // Closing the request channel ends `hub_loop`'s recv loop.
+        drop(self.tx.get_mut().unwrap_or_else(|e| e.into_inner()).take());
+        if let Some(h) = self
+            .handle
+            .get_mut()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
+        {
+            let _ = h.join();
+        }
+    }
+}
+
+/// The hub thread body: build each job and reply to its requester. A
+/// requester that died just drops its receiver — the send fails and the
+/// hub keeps serving everyone else.
+fn hub_loop<H: HostCall>(rx: &mpsc::Receiver<HubJob<H>>) {
+    while let Ok(job) = rx.recv() {
+        if let Some(done) = build_translation::<H>(job.req) {
+            let _ = job.reply.send(done);
+        }
+    }
+}
+
+/// A VM's subscription to a shared [`TransHub`]: the hub handle plus
+/// this VM's private completion channel (the `done_tx` clone travels
+/// with each request).
+pub(crate) struct HubClient<H> {
+    hub: TransHub<H>,
+    done_tx: mpsc::Sender<TransDone<H>>,
+    done_rx: mpsc::Receiver<TransDone<H>>,
 }
 
 /// Prices `cold_words` of never-translated code at the session's
@@ -742,10 +850,16 @@ impl<H: HostCall> Vm<H> {
             generation: self.trans.generation,
             enqueued: Instant::now(),
         };
-        let worker = self.trans.worker.get_or_insert_with(TransWorker::spawn);
-        let sent = match worker.tx.as_ref() {
-            Some(tx) => tx.send(req).is_ok(),
-            None => false,
+        // A shared hub subscription routes builds to the multi-tenant
+        // thread; otherwise a per-VM worker is spawned lazily.
+        let sent = if let Some(client) = self.trans.hub.as_ref() {
+            client.hub.submit(req, client.done_tx.clone())
+        } else {
+            let worker = self.trans.worker.get_or_insert_with(TransWorker::spawn);
+            match worker.tx.as_ref() {
+                Some(tx) => tx.send(req).is_ok(),
+                None => false,
+            }
         };
         if sent {
             self.trans.pending += 1;
@@ -762,11 +876,30 @@ impl<H: HostCall> Vm<H> {
         }
     }
 
+    /// Subscribes this VM to a shared [`TransHub`]: every later
+    /// background promotion is built on the hub's thread instead of a
+    /// per-VM worker, and completions come back on a private channel
+    /// created here. Install semantics (epoch/generation checks,
+    /// discard-on-stale) are unchanged.
+    pub fn set_translation_hub(&mut self, hub: TransHub<H>) {
+        let (done_tx, done_rx) = mpsc::channel();
+        self.trans.hub = Some(HubClient {
+            hub,
+            done_tx,
+            done_rx,
+        });
+    }
+
     /// Drains every already-finished background translation without
     /// blocking, installing or discarding each.
     fn poll_background(&mut self) {
         while self.trans.pending > 0 {
-            let done = {
+            let done = if let Some(client) = self.trans.hub.as_ref() {
+                match client.done_rx.try_recv() {
+                    Ok(done) => done,
+                    Err(_) => break,
+                }
+            } else {
                 match self.trans.worker.as_ref() {
                     Some(w) => match w.rx.try_recv() {
                         Ok(done) => done,
@@ -787,7 +920,15 @@ impl<H: HostCall> Vm<H> {
     /// changing its semantics.
     pub fn drain_background_translations(&mut self) {
         while self.trans.pending > 0 {
-            let done = {
+            let done = if let Some(client) = self.trans.hub.as_ref() {
+                // This VM holds its own `done_tx`, so the channel never
+                // reports disconnected — a timeout bounds the wait if
+                // the hub thread is gone mid-build.
+                match client.done_rx.recv_timeout(Duration::from_secs(1)) {
+                    Ok(done) => done,
+                    Err(_) => break,
+                }
+            } else {
                 match self.trans.worker.as_ref() {
                     Some(w) => match w.rx.recv() {
                         Ok(done) => done,
@@ -1200,6 +1341,57 @@ mod tests {
         let s = vm.adaptive_stats();
         assert_eq!(s.async_translations, 1, "the re-built translation landed");
         assert_eq!(s.discarded_stale, 1);
+    }
+
+    #[test]
+    fn shared_hub_serves_multiple_vms_without_local_workers() {
+        let hub = TransHub::spawn();
+        let mut vms = Vec::new();
+        for _ in 0..2 {
+            let (mut vm, addr, _) = adaptive_vm_bg(1, 2);
+            vm.set_translation_hub(hub.clone());
+            vms.push((vm, addr));
+        }
+        for (vm, addr) in &mut vms {
+            for run in 0..6 {
+                assert_eq!(vm.call(*addr, &[10]).unwrap(), 55, "run {run}");
+            }
+            vm.drain_background_translations();
+            assert_eq!(vm.call(*addr, &[10]).unwrap(), 55, "post-drain run");
+            let s = vm.adaptive_stats();
+            assert!(
+                s.async_translations >= 1,
+                "hub-built translations landed: {s:?}"
+            );
+            assert!(vm.trans.worker.is_none(), "no per-VM worker was spawned");
+            let (tier, _) = vm.adaptive_tier(*addr).expect("tracked");
+            assert_eq!(tier, Tier::Threaded, "climbed to the top tier");
+        }
+        // Dropping VMs before the hub, then the hub itself, must not
+        // hang or panic (requests possibly still queued).
+        drop(vms);
+        drop(hub);
+    }
+
+    #[test]
+    fn hub_is_shareable_across_threads() {
+        let hub = TransHub::<crate::host::NoHost>::spawn();
+        let mut handles = Vec::new();
+        for t in 0..2 {
+            let hub = hub.clone();
+            handles.push(thread::spawn(move || {
+                let (mut vm, addr, _) = adaptive_vm_bg(1, 2);
+                vm.set_translation_hub(hub);
+                for run in 0..6 {
+                    assert_eq!(vm.call(addr, &[10]).unwrap(), 55, "t{t} run {run}");
+                }
+                vm.drain_background_translations();
+                assert_eq!(vm.call(addr, &[10]).unwrap(), 55, "t{t} post-drain");
+                vm.adaptive_stats().async_translations
+            }));
+        }
+        let total: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert!(total >= 2, "each thread's builds came back: {total}");
     }
 
     #[test]

@@ -541,6 +541,103 @@ impl CodeSpace {
             .map(|w| Insn::decode(*w))
             .collect()
     }
+
+    /// Snapshot of a sealed function as a shareable artifact: its start
+    /// word index (the coordinate system of any cross-function `j`/`jal`
+    /// displacements inside it) plus its encoded words. The pair is what
+    /// [`CodeSpace::install_function`] needs to replant the function in
+    /// *another* code space.
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::CodeLifecycle`] unless the function is sealed.
+    pub fn function_words(&self, handle: FuncHandle) -> Result<(usize, Vec<u32>), VmError> {
+        let info = &self.funcs[handle.0];
+        if info.state != FuncState::Sealed {
+            return Err(VmError::CodeLifecycle(format!(
+                "words of non-sealed function {}",
+                info.name
+            )));
+        }
+        Ok((
+            info.start_word,
+            self.words[info.start_word..info.end_word].to_vec(),
+        ))
+    }
+
+    /// Installs a function exported from another code space (via
+    /// [`CodeSpace::function_words`]) and seals it, returning its address
+    /// and handle here. `orig_start` is the start word index the words
+    /// were sealed at in the *source* space: external `j`/`jal`
+    /// displacements are rebased by the placement delta, exactly as
+    /// relocation does (and composing with it if the function then lands
+    /// in a free-list hole). Both spaces must lay out their statically
+    /// compiled functions identically, or the rebased calls target the
+    /// wrong code — the caller (the shared artifact cache) guarantees
+    /// this by keying artifacts on a fingerprint that covers the source
+    /// program and its configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::CodeLifecycle`] if a word cannot be proven installable
+    /// (undecodable data word, cross-function branch, or a rebased
+    /// displacement out of `j`/`jal` range); the space is left exactly as
+    /// it was, so the caller can fall back to a fresh compile.
+    pub fn install_function(
+        &mut self,
+        name: &str,
+        words: &[u32],
+        orig_start: usize,
+    ) -> Result<(u64, FuncHandle), VmError> {
+        let handle = self.begin_function(name);
+        let new_start = self.funcs[handle.0].start_word;
+        let delta = orig_start as i64 - new_start as i64;
+        let len = words.len();
+        for (i, &word) in words.iter().enumerate() {
+            let fail = |cs: &mut CodeSpace, why: &str| {
+                cs.abort_install(handle);
+                Err(VmError::CodeLifecycle(format!(
+                    "artifact {name} not installable: {why} at word {i}"
+                )))
+            };
+            let Ok(mut insn) = Insn::decode(word) else {
+                return fail(self, "undecodable word");
+            };
+            let target = (orig_start + i) as i64 + 1 + insn.imm as i64;
+            let internal = target >= orig_start as i64 && target < (orig_start + len) as i64;
+            match insn.op {
+                Op::J | Op::Jal if !internal => {
+                    let imm = insn.imm as i64 + delta;
+                    if !(IMM24_MIN..=IMM24_MAX).contains(&imm) {
+                        return fail(self, "rebased jump out of range");
+                    }
+                    insn.imm = imm as i32;
+                    self.push(insn);
+                }
+                op if op.is_branch() && !internal => {
+                    return fail(self, "cross-function branch");
+                }
+                _ => {
+                    self.push_word(word);
+                }
+            }
+        }
+        let addr = self.finish_function(handle)?;
+        Ok((addr, handle))
+    }
+
+    /// Rolls back a function begun by [`CodeSpace::install_function`]:
+    /// the emission tail (including jitter padding) is truncated and the
+    /// registry entry removed. Only valid while the function is the
+    /// still-building last entry.
+    fn abort_install(&mut self, handle: FuncHandle) {
+        debug_assert_eq!(handle.0 + 1, self.funcs.len());
+        debug_assert_eq!(self.funcs[handle.0].state, FuncState::Building);
+        let alloc_start = self.funcs[handle.0].alloc_start;
+        self.words.truncate(alloc_start);
+        self.live.truncate(alloc_start);
+        self.funcs.pop();
+    }
 }
 
 #[cfg(test)]
@@ -850,6 +947,107 @@ mod tests {
         assert_eq!(cs.live_range_containing(2), None, "past the end");
         cs.free_function(f).unwrap();
         assert_eq!(cs.live_range_containing(0), None, "freed");
+    }
+
+    #[test]
+    fn install_function_rebases_external_calls() {
+        // Source space: callee then caller; export caller and install it
+        // into a target space whose identical callee sits at the same
+        // word index but whose tail is longer, so the placement delta is
+        // nonzero and the external jal must be rebased.
+        let build_callee = |cs: &mut CodeSpace| {
+            let f = cs.begin_function("callee");
+            cs.push(Insn::i(Op::Addiw, A0, A0, 5));
+            cs.push(Insn::ret());
+            cs.finish_function(f).unwrap()
+        };
+        let mut src = CodeSpace::new();
+        let callee_addr = build_callee(&mut src);
+        let caller = src.begin_function("caller");
+        let at = src.next_index() as i64;
+        let callee_word = ((callee_addr - CODE_BASE) / 4) as i64;
+        src.push(Insn::j(Op::Jal, (callee_word - (at + 1)) as i32));
+        src.push(Insn::ret());
+        src.finish_function(caller).unwrap();
+        let (orig_start, words) = src.function_words(caller).unwrap();
+
+        let mut dst = CodeSpace::new();
+        build_callee(&mut dst);
+        // Extra padding so the install lands at a different word index.
+        let pad = dst.begin_function("pad");
+        for _ in 0..5 {
+            dst.push(Insn::nop());
+        }
+        dst.push(Insn::ret());
+        dst.finish_function(pad).unwrap();
+        let (addr, h) = dst.install_function("caller", &words, orig_start).unwrap();
+        assert_ne!(addr, CODE_BASE + (orig_start as u64) * 4);
+        let jal = Insn::decode(dst.fetch_exec(addr).unwrap()).unwrap();
+        let target = ((addr - CODE_BASE) / 4) as i64 + 1 + jal.imm as i64;
+        assert_eq!(target, callee_word, "external jal rebased to callee");
+        assert_eq!(dst.function_at(addr), Some("caller"));
+        assert!(dst.size_of(h).is_ok());
+    }
+
+    #[test]
+    fn install_function_reuses_free_holes() {
+        // Install composes with relocation: the installed function lands
+        // in a fitting hole, and internal branches survive both moves.
+        let mut src = CodeSpace::new();
+        let f = src.begin_function("f");
+        src.push(Insn::i(Op::Addiw, A0, A0, 1));
+        src.push(Insn::i(Op::Addiw, A0, A0, 2));
+        src.push(Insn::ret());
+        src.finish_function(f).unwrap();
+        let (orig_start, words) = src.function_words(f).unwrap();
+
+        let mut dst = CodeSpace::new();
+        let a = dst.begin_function("a");
+        for _ in 0..2 {
+            dst.push(Insn::nop());
+        }
+        dst.push(Insn::ret());
+        let addr_a = dst.finish_function(a).unwrap();
+        let b = dst.begin_function("b");
+        dst.push(Insn::ret());
+        dst.finish_function(b).unwrap();
+        dst.free_function(a).unwrap();
+        let (addr, _) = dst.install_function("f", &words, orig_start).unwrap();
+        assert_eq!(addr, addr_a, "installed function reuses the hole");
+    }
+
+    #[test]
+    fn install_function_rejects_uninstallable_words_and_rolls_back() {
+        let mut dst = CodeSpace::new();
+        let before = dst.stats();
+        // An undecodable raw word cannot be proven installable.
+        let err = dst.install_function("junk", &[0xFFFF_FFFF], 0);
+        assert!(matches!(err, Err(VmError::CodeLifecycle(_))));
+        assert_eq!(dst.stats(), before, "failed install must roll back");
+        // The space still works afterwards.
+        let g = dst.begin_function("g");
+        dst.push(Insn::ret());
+        assert!(dst.finish_function(g).is_ok());
+    }
+
+    #[test]
+    fn function_words_requires_sealed() {
+        let mut cs = CodeSpace::new();
+        let f = cs.begin_function("f");
+        cs.push(Insn::ret());
+        assert!(matches!(
+            cs.function_words(f),
+            Err(VmError::CodeLifecycle(_))
+        ));
+        cs.finish_function(f).unwrap();
+        let (start, words) = cs.function_words(f).unwrap();
+        assert_eq!(start, 0);
+        assert_eq!(words.len(), 1);
+        cs.free_function(f).unwrap();
+        assert!(matches!(
+            cs.function_words(f),
+            Err(VmError::CodeLifecycle(_))
+        ));
     }
 
     #[test]

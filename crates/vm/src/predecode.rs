@@ -168,6 +168,9 @@ pub(crate) struct TransCache<H> {
     /// The background translation worker, spawned lazily on the first
     /// asynchronous promotion and kept for the VM's lifetime.
     pub(crate) worker: Option<crate::adaptive::TransWorker<H>>,
+    /// Subscription to a shared multi-tenant translation hub; when set,
+    /// background builds go there instead of a per-VM worker.
+    pub(crate) hub: Option<crate::adaptive::HubClient<H>>,
     /// Cache generation, bumped by [`TransCache::clear`]: worker
     /// responses stamped with an older generation are dropped without
     /// being installed (their tier state is gone).
@@ -202,6 +205,7 @@ impl<H> Default for TransCache<H> {
             stats: ExecStats::default(),
             astats: AdaptiveStats::default(),
             worker: None,
+            hub: None,
             generation: 0,
             pending: 0,
         }
@@ -456,7 +460,142 @@ fn fuse_pairs(raw: &[DInsn], stats: &mut ExecStats) -> Vec<DInsn> {
     out
 }
 
+/// A decoded translation detached from any particular placement, safe
+/// to share across VMs and threads (the payload behind the shared
+/// artifact cache's `Arc`'d artifacts).
+///
+/// Decoded buffers are position-relative: control-transfer targets are
+/// buffer indices, and only `DecodedFn::base` is positional. A buffer
+/// whose every *static* target lands inside the buffer is therefore
+/// position-independent — [`SharedTranslation::build`] refuses anything
+/// else (a cross-function jump would exit to a pc computed from the
+/// original placement). Consumers stamp a placement on at preseed time
+/// via [`Vm::preseed_translation`], which also revalidates the cost
+/// model and engine mode: a shared translation never overrides either.
+#[derive(Clone, Debug)]
+pub struct SharedTranslation {
+    inner: Arc<SharedTransInner>,
+}
+
+#[derive(Debug)]
+struct SharedTransInner {
+    /// Fused decoded entries, targets all internal.
+    insns: Vec<DInsn>,
+    /// The cost model baked into the per-entry cycle costs.
+    cost: CostModel,
+    /// Pairs fused while building (stat preseeding).
+    fused_pairs: u64,
+}
+
+impl SharedTranslation {
+    /// Translates `words` (a sealed function's encoded words, fusion on)
+    /// into a shareable buffer. Returns `None` if the function is not
+    /// position-independent: any decodable jump, call, or branch whose
+    /// pre-resolved target falls outside the buffer.
+    pub fn build(words: &[u32], cost: &CostModel) -> Option<SharedTranslation> {
+        let mut stats = ExecStats::default();
+        let tr = translate(words, 0, cost, true, &mut stats);
+        let len = tr.insns.len() as i64;
+        for d in &tr.insns {
+            let target = match *d {
+                DInsn::Jump { target, .. }
+                | DInsn::Jal { target, .. }
+                | DInsn::Branch { target, .. }
+                | DInsn::FusedBr { target, .. } => target,
+                _ => continue,
+            };
+            if !(0..len).contains(&target) {
+                return None;
+            }
+        }
+        Some(SharedTranslation {
+            inner: Arc::new(SharedTransInner {
+                insns: tr.insns,
+                cost: cost.clone(),
+                fused_pairs: stats.fused_pairs,
+            }),
+        })
+    }
+
+    /// The cost model the buffer's cycle charges were computed under.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.inner.cost
+    }
+
+    /// Buffer length in code words.
+    pub fn len(&self) -> usize {
+        self.inner.insns.len()
+    }
+
+    /// True for a zero-length buffer.
+    pub fn is_empty(&self) -> bool {
+        self.inner.insns.is_empty()
+    }
+
+    /// Superinstruction pairs fused into the buffer.
+    pub fn fused_pairs(&self) -> u64 {
+        self.inner.fused_pairs
+    }
+
+    /// Stamps a placement onto the shared buffer.
+    fn instantiate(&self, addr: u64) -> DecodedFn {
+        DecodedFn {
+            base: addr,
+            insns: self.inner.insns.clone(),
+        }
+    }
+}
+
 impl<H: HostCall> Vm<H> {
+    /// Installs a [`SharedTranslation`] for the live sealed function at
+    /// `addr`, so the first promoted run starts from the shared decoded
+    /// buffer instead of re-translating. Returns whether the translation
+    /// was (or already is) installed; `false` means the VM's engine
+    /// does not dispatch fused decoded buffers, the cost model differs,
+    /// or `addr` is not the start of a live range of matching length —
+    /// all cases where the VM silently keeps its own lazy translation
+    /// path, never a correctness hazard.
+    pub fn preseed_translation(&mut self, addr: u64, tr: &SharedTranslation) -> bool {
+        let fuse_compatible = matches!(
+            self.engine,
+            ExecEngine::Adaptive { .. } | ExecEngine::Predecoded { fuse: true }
+        );
+        if !fuse_compatible || *tr.cost_model() != self.cost {
+            return false;
+        }
+        let epoch = self.state.code.live_epoch();
+        if epoch != self.trans.epoch {
+            self.trans.clear();
+            self.trans.epoch = epoch;
+            self.trans.stats.invalidations += 1;
+        }
+        if addr < CODE_BASE || !addr.is_multiple_of(4) {
+            return false;
+        }
+        let idx = ((addr - CODE_BASE) / 4) as usize;
+        let Some((start, end)) = self.state.code.live_range_containing(idx) else {
+            return false;
+        };
+        if start != idx || end - start != tr.len() {
+            return false;
+        }
+        if self.trans.decoded_cached(idx) {
+            return true;
+        }
+        let decoded = Arc::new(tr.instantiate(addr));
+        let need = self.state.code.next_index();
+        if self.trans.map.len() < need {
+            self.trans.map.resize(need, None);
+        }
+        for slot in self.trans.map[start..end].iter_mut() {
+            *slot = Some(Arc::clone(&decoded));
+        }
+        self.trans.stats.translations += 1;
+        self.trans.stats.translated_words += (end - start) as u64;
+        self.trans.stats.fused_pairs += tr.fused_pairs();
+        true
+    }
+
     /// The predecoded engine's run loop: execute from decoded buffers
     /// where a translation exists, fall back to single reference-engine
     /// steps where one doesn't (stale, unaligned, or out-of-range pcs),
@@ -894,6 +1033,71 @@ mod tests {
         vm.set_engine(ExecEngine::Predecoded { fuse: false });
         vm.call(addr, &[3]).unwrap();
         assert_eq!(vm.exec_stats().fused_pairs, 0);
+    }
+
+    #[test]
+    fn shared_translation_preseeds_identically_to_lazy_translation() {
+        let (cs, addr) = loop_code();
+        let start = ((addr - CODE_BASE) / 4) as usize;
+        let words = cs.word_slice(start, start + 7).to_vec();
+        let mut reference = Vm::new(cs.clone(), 1 << 20);
+        reference.set_engine(ExecEngine::Predecoded { fuse: true });
+        let want = reference.call(addr, &[10]).unwrap();
+        let (want_cycles, want_insns) = (reference.cycles(), reference.insns());
+
+        let tr = SharedTranslation::build(&words, &CostModel::default()).expect("self-contained");
+        assert_eq!(tr.len(), 7);
+        assert!(tr.fused_pairs() > 0, "the loop body fuses");
+        let mut vm = Vm::new(cs, 1 << 20);
+        vm.set_engine(ExecEngine::Predecoded { fuse: true });
+        assert!(vm.preseed_translation(addr, &tr));
+        assert_eq!(vm.exec_stats().translations, 1, "preseed counted");
+        assert_eq!(vm.call(addr, &[10]).unwrap(), want);
+        assert_eq!((vm.cycles(), vm.insns()), (want_cycles, want_insns));
+        let s = vm.exec_stats();
+        assert_eq!(s.translations, 1, "no re-translation happened");
+        assert_eq!(s.slow_insns, 0, "whole run came from the shared buffer");
+        // Preseeding again is an idempotent hit.
+        assert!(vm.preseed_translation(addr, &tr));
+        assert_eq!(vm.exec_stats().translations, 1);
+    }
+
+    #[test]
+    fn shared_translation_refuses_external_targets_and_mismatches() {
+        // A backward jump out of the function's own range is not
+        // position-independent: build refuses it.
+        let mut cs = CodeSpace::new();
+        let f = cs.begin_function("escape");
+        cs.push(Insn::j(Op::J, -100));
+        cs.push(Insn::ret());
+        cs.finish_function(f).unwrap();
+        let (_, words) = cs.function_words(f).unwrap();
+        assert!(SharedTranslation::build(&words, &CostModel::default()).is_none());
+
+        // Preseed revalidates everything about the receiving VM.
+        let (cs, addr) = loop_code();
+        let start = ((addr - CODE_BASE) / 4) as usize;
+        let words = cs.word_slice(start, start + 7).to_vec();
+        let tr = SharedTranslation::build(&words, &CostModel::default()).unwrap();
+        let mut vm = Vm::new(cs.clone(), 1 << 20);
+        vm.set_engine(ExecEngine::DecodePerStep);
+        assert!(
+            !vm.preseed_translation(addr, &tr),
+            "engine without fused decoded dispatch"
+        );
+        let mut vm = Vm::new(cs, 1 << 20);
+        vm.set_engine(ExecEngine::Predecoded { fuse: true });
+        assert!(!vm.preseed_translation(addr + 4, &tr), "not a range start");
+        assert!(!vm.preseed_translation(addr + 1, &tr), "unaligned");
+        let mut costly = CostModel::default();
+        costly.branch_taken_extra += 1;
+        let tr2 = SharedTranslation::build(&words, &costly).unwrap();
+        assert!(
+            !vm.preseed_translation(addr, &tr2),
+            "cost model must match the VM's"
+        );
+        assert_eq!(vm.exec_stats().translations, 0, "nothing was installed");
+        assert_eq!(vm.call(addr, &[3]).unwrap(), 6, "VM unaffected");
     }
 
     #[test]

@@ -7,21 +7,28 @@
 #
 #   ./run_benches.sh            full run (criterion + calibrated suite)
 #   ./run_benches.sh --quick    skip criterion; suite JSON emissions
-#                               only, with the exec and adaptive
-#                               experiments at smoke rep counts
+#                               only, with the exec, adaptive, and
+#                               serve experiments at smoke rep counts
 #                               (equivalence asserts live, timings not
 #                               meaningful)
-#   ./run_benches.sh --check    regression gate: run the exec and
-#                               adaptive experiments at full rep
-#                               counts, then compare the fresh
-#                               BENCH_exec.json speedups (and the
+#   ./run_benches.sh --check    regression gate: run the exec,
+#                               adaptive, and serve experiments at
+#                               full rep counts, then compare the
+#                               fresh BENCH_exec.json speedups, the
 #                               fresh BENCH_adaptive.json tail
-#                               ratios) against baselines/ (fails on
-#                               a >30% drop in any gated speedup
-#                               column — fused, threaded, adaptive —
-#                               or a >50% drop in
-#                               tail_p99_improvement; one retry
-#                               absorbs machine noise)
+#                               ratios, and the fresh
+#                               BENCH_serve.json throughput/p99
+#                               against baselines/ (fails on a >30%
+#                               drop in any gated speedup column —
+#                               fused, threaded, adaptive — a >50%
+#                               drop in tail_p99_improvement or the
+#                               serve throughput ratio, a >75% drop
+#                               in the serve p99 ratio (the serve
+#                               tail is bimodal and load-swung), a
+#                               largest-pool serve hit rate below
+#                               0.9, or serve compiles-per-unique
+#                               above 1; one retry absorbs machine
+#                               noise)
 set -u
 cd /root/repo
 
@@ -48,6 +55,8 @@ if [ "$check" -eq 1 ]; then
       >> bench_output.txt 2>&1 || { echo "BENCH FAILED: exec" >&2; exit 1; }
     cargo run -p tcc-suite --bin suite --release -- adaptive --json \
       >> bench_output.txt 2>&1 || { echo "BENCH FAILED: adaptive" >&2; exit 1; }
+    cargo run -p tcc-suite --bin suite --release -- serve --json \
+      >> bench_output.txt 2>&1 || { echo "BENCH FAILED: serve" >&2; exit 1; }
     if cargo run -p tcc-suite --bin suite --release -- exec-check \
         BENCH_exec.json baselines/BENCH_exec.json \
         >> bench_output.txt 2>&1; then
@@ -90,9 +99,11 @@ run_suite cache cache
 if [ "$quick" -eq 0 ]; then
   run_suite exec exec
   run_suite adaptive adaptive
+  run_suite serve serve
 else
   run_suite exec exec --smoke
   run_suite adaptive adaptive --smoke
+  run_suite serve serve --smoke
 fi
 
 if [ -n "$failed" ]; then

@@ -85,6 +85,102 @@ impl Rng for StdRng {
     }
 }
 
+pub mod distributions {
+    //! Seeded non-uniform samplers (the subset of `rand_distr` the
+    //! workspace uses). Deterministic per seed: the same `StdRng` seed
+    //! yields the same sample stream on every platform.
+
+    use super::Rng;
+
+    /// A distribution that can be sampled with any [`Rng`].
+    pub trait Distribution<T> {
+        /// Draws one value.
+        fn sample<R: Rng>(&self, rng: &mut R) -> T;
+    }
+
+    /// Uniform f64 in `[0, 1)` from one raw word (53 mantissa bits).
+    fn unit<R: Rng>(rng: &mut R) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Discrete distribution over indices `0..weights.len()`, each
+    /// drawn with probability proportional to its (non-negative)
+    /// weight. Sampling is a binary search over the cumulative table.
+    #[derive(Clone, Debug)]
+    pub struct WeightedIndex {
+        cum: Vec<f64>,
+    }
+
+    impl WeightedIndex {
+        /// Builds from weights. Fails on an empty list, a negative or
+        /// non-finite weight, or an all-zero total.
+        pub fn new(weights: &[f64]) -> Result<WeightedIndex, &'static str> {
+            if weights.is_empty() {
+                return Err("WeightedIndex: empty weights");
+            }
+            let mut cum = Vec::with_capacity(weights.len());
+            let mut total = 0.0;
+            for &w in weights {
+                if !w.is_finite() || w < 0.0 {
+                    return Err("WeightedIndex: weight must be finite and >= 0");
+                }
+                total += w;
+                cum.push(total);
+            }
+            if total <= 0.0 {
+                return Err("WeightedIndex: total weight is zero");
+            }
+            for c in &mut cum {
+                *c /= total;
+            }
+            // Guard against rounding: the last bucket must cover 1.0.
+            *cum.last_mut().expect("non-empty") = 1.0;
+            Ok(WeightedIndex { cum })
+        }
+    }
+
+    impl Distribution<usize> for WeightedIndex {
+        fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+            let u = unit(rng);
+            // First index whose cumulative probability exceeds u.
+            self.cum
+                .partition_point(|&c| c <= u)
+                .min(self.cum.len() - 1)
+        }
+    }
+
+    /// Zipfian distribution over ranks `1..=n`: rank `k` is drawn with
+    /// probability proportional to `1 / k^s`. `s = 0` degenerates to
+    /// uniform; larger `s` concentrates mass on the low ranks (the
+    /// classic hot-working-set shape).
+    #[derive(Clone, Debug)]
+    pub struct Zipf {
+        inner: WeightedIndex,
+    }
+
+    impl Zipf {
+        /// Builds the distribution for `n` ranks with exponent `s`.
+        pub fn new(n: u64, s: f64) -> Result<Zipf, &'static str> {
+            if n == 0 {
+                return Err("Zipf: n must be >= 1");
+            }
+            if !s.is_finite() || s < 0.0 {
+                return Err("Zipf: exponent must be finite and >= 0");
+            }
+            let weights: Vec<f64> = (1..=n).map(|k| (k as f64).powf(-s)).collect();
+            Ok(Zipf {
+                inner: WeightedIndex::new(&weights)?,
+            })
+        }
+    }
+
+    impl Distribution<u64> for Zipf {
+        fn sample<R: Rng>(&self, rng: &mut R) -> u64 {
+            self.inner.sample(rng) as u64 + 1
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -104,5 +200,54 @@ mod tests {
             let v: i32 = c.gen_range(-5..5);
             assert!((-5..5).contains(&v));
         }
+    }
+
+    #[test]
+    fn zipf_is_deterministic_per_seed() {
+        use distributions::{Distribution, Zipf};
+        let z = Zipf::new(40, 1.1).unwrap();
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let xs: Vec<u64> = (0..200).map(|_| z.sample(&mut a)).collect();
+        let ys: Vec<u64> = (0..200).map(|_| z.sample(&mut b)).collect();
+        assert_eq!(xs, ys);
+        assert!(xs.iter().all(|&r| (1..=40).contains(&r)));
+        // A different seed produces a different stream.
+        let mut c = StdRng::seed_from_u64(8);
+        let zs: Vec<u64> = (0..200).map(|_| z.sample(&mut c)).collect();
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn zipf_skews_toward_low_ranks() {
+        use distributions::{Distribution, Zipf};
+        let z = Zipf::new(10, 1.2).unwrap();
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut counts = [0u32; 11];
+        for _ in 0..5000 {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        assert!(counts[1] > counts[5], "rank 1 should dominate rank 5");
+        assert!(counts[1] > counts[10], "rank 1 should dominate rank 10");
+        // Every rank is reachable at this size.
+        assert!(counts[1..].iter().all(|&c| c > 0));
+    }
+
+    #[test]
+    fn weighted_index_respects_weights_and_rejects_bad_input() {
+        use distributions::{Distribution, WeightedIndex};
+        let w = WeightedIndex::new(&[0.0, 3.0, 1.0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut counts = [0u32; 3];
+        for _ in 0..4000 {
+            counts[w.sample(&mut rng)] += 1;
+        }
+        assert_eq!(counts[0], 0, "zero-weight bucket must never be drawn");
+        assert!(counts[1] > counts[2] * 2, "3:1 weights, got {counts:?}");
+        assert!(WeightedIndex::new(&[]).is_err());
+        assert!(WeightedIndex::new(&[-1.0]).is_err());
+        assert!(WeightedIndex::new(&[0.0, 0.0]).is_err());
+        assert!(WeightedIndex::new(&[f64::NAN]).is_err());
+        assert!(distributions::Zipf::new(0, 1.0).is_err());
     }
 }
