@@ -24,20 +24,27 @@
 #                         promotion equivalence, stale-epoch discard,
 #                         worker shutdown — explicitly, so a pipeline
 #                         regression names itself)
-#  11. serve smoke       (the multi-tenant pool: Zipfian replay over
+#  11. superinstruction/scheduler tests (release: the threaded
+#                         engine's combined-handler suite, the
+#                         mid-group fuel sweeps in the differential
+#                         harness, and the DAG-scheduler preservation
+#                         proptests — so a fusion regression names
+#                         itself)
+#  12. serve smoke       (the multi-tenant pool: Zipfian replay over
 #                         1/2/4 worker sessions sharing one artifact
 #                         cache, with the cross-pool bit-identical
 #                         digest and per-request differential asserts
 #                         live, release mode)
-#  12. serve tests       (the concurrency suite, explicitly and in
+#  13. serve tests       (the concurrency suite, explicitly and in
 #                         release: shared-compile dedup, cross-thread
 #                         StaleCode faulting, eviction under budget,
 #                         in-flight-slot interleavings — so a
 #                         concurrency regression names itself)
-#  13. exec regression   (./run_benches.sh --check: full-rep exec bench
+#  14. exec regression   (./run_benches.sh --check: full-rep exec bench
 #                         compared against baselines/BENCH_exec.json;
 #                         fails on a >30% drop in any gated speedup
-#                         column — fused, threaded, or adaptive — and
+#                         column — fused, threaded, adaptive, or the
+#                         threaded engine's dispatch_reduction — and
 #                         gates the tiering pipeline's
 #                         tail_p99_improvement column the same way when
 #                         both BENCH_adaptive.json files are present,
@@ -82,6 +89,11 @@ cargo test -q --release --test adaptive
 echo "== background translation worker tests =="
 cargo test -q --release -p tcc-vm -- background epoch_bump
 cargo test -q --release --test exec_differential -- adaptive fault_during
+
+echo "== superinstruction + DAG-scheduler tests =="
+cargo test -q --release -p tcc-vm -- superinstruction
+cargo test -q --release --test exec_differential -- mid_group
+cargo test -q --release --test peephole_preserve
 
 echo "== suite serve --smoke (pool replay bit-identical across sizes) =="
 cargo run -p tcc-suite --bin suite --release -- serve --smoke

@@ -8,7 +8,7 @@
 //! scheduler that sinks pure definitions next to their consumers so the
 //! VM's superinstruction pairer sees more fusable adjacencies.
 
-use crate::ir::{IInsn, IOp, IcodeBuf, VReg};
+use crate::ir::{IInsn, IOp, IcodeBuf};
 use tcc_vcode::ops::BinOp;
 
 /// Removes side-effect-free instructions whose results are never used.
@@ -167,10 +167,10 @@ pub fn thread_jumps(buf: &mut IcodeBuf) -> usize {
 }
 
 /// True for pure, non-faulting, register-only instructions the
-/// fusion scheduler may reorder among themselves. Loads are excluded
-/// (they can fault and must not cross other memory operations), as are
-/// the faulting integer divide/remainder forms — moving a trap changes
-/// which address the VM reports.
+/// fusion scheduler may place anywhere the virtual-register dependences
+/// allow — including across loads, stores, and the faulting
+/// divide/remainder forms. Everything else is order-pinned (see
+/// [`NodeClass`]).
 fn movable(insn: &IInsn) -> bool {
     match insn.op {
         IOp::Li | IOp::Lif | IOp::Un(_) | IOp::GetParam(_) | IOp::FrameAddr => true,
@@ -181,118 +181,194 @@ fn movable(insn: &IInsn) -> bool {
     }
 }
 
-/// True when instruction `e` cannot be crossed by moving `m` later in
-/// program order: `e` reads or rewrites `m`'s result, or `e` writes one
-/// of `m`'s operands.
-fn conflicts(m: &IInsn, e: &IInsn) -> bool {
-    if let Some(d) = m.def() {
-        if e.def() == Some(d) {
-            return true;
-        }
-        if e.uses().into_iter().flatten().any(|u| u == d) {
-            return true;
-        }
-    }
-    if let Some(ed) = e.def() {
-        if m.uses().into_iter().flatten().any(|u| u == ed) {
-            return true;
-        }
-    }
-    false
+/// How the dependence-DAG scheduler may treat a block node.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum NodeClass {
+    /// Pure, non-faulting, register-only: ordered by vreg dependences
+    /// alone.
+    Pure,
+    /// Memory-touching or faulting (loads, stores, the trapping
+    /// divide/remainder forms) plus terminators: serialized among
+    /// themselves by conservative chain edges, so the relative order of
+    /// every observable side effect and trap is preserved — but pure
+    /// code may cross them.
+    Pinned,
+    /// Calls, host calls, and their argument setup: a full barrier.
+    /// Nothing crosses in either direction (the argument/call cluster
+    /// stays intact and a host call may observe or mutate anything).
+    Barrier,
 }
 
-/// Sinks the pure definitions of the vregs used by `buf.insns[t]` so
-/// they sit immediately before position `t`, when every crossed
-/// instruction is movable and independent. Returns moves performed.
-fn sink_defs_before(buf: &mut IcodeBuf, t: usize) -> usize {
-    let mut moves = 0;
-    let used: Vec<VReg> = buf.insns[t].uses().into_iter().flatten().collect();
-    for c in used {
-        // Walk back through the contiguous movable window looking for
-        // the definition of `c`.
-        let mut d = None;
-        let mut j = t;
-        while j > 0 {
-            j -= 1;
-            if !movable(&buf.insns[j]) {
-                break;
-            }
-            if buf.insns[j].def() == Some(c) {
-                d = Some(j);
-                break;
-            }
-        }
-        let Some(d) = d else { continue };
-        if d + 1 == t {
-            continue; // already adjacent
-        }
-        let m = buf.insns[d];
-        if buf.insns[d + 1..t].iter().any(|e| conflicts(&m, e)) {
-            continue;
-        }
-        buf.insns[d..t].rotate_left(1);
-        moves += 1;
+fn class_of(insn: &IInsn) -> NodeClass {
+    if movable(insn) {
+        NodeClass::Pure
+    } else if matches!(
+        insn.op,
+        IOp::Arg(_) | IOp::CallAddr | IOp::CallInd | IOp::Hcall
+    ) {
+        NodeClass::Barrier
+    } else {
+        NodeClass::Pinned
     }
-    moves
 }
 
-/// Fusion-aware scheduling (ROADMAP item: fusion-aware peephole).
+/// Blocks larger than this are left unscheduled (the dependence build
+/// is quadratic; dynamic code generators don't emit blocks this big).
+const MAX_BLOCK: usize = 768;
+
+/// List-schedules one basic block (`insns` holds no labels; the last
+/// entry may be the block terminator) over its dependence DAG. Returns
+/// the number of instructions whose position changed.
 ///
-/// The VM's superinstruction pairer fuses *adjacent* scalar
-/// instructions where the first feeds the second (compare→branch,
-/// load→op, …). ICODE emission order frequently separates a condition's
-/// definition from its branch, or a load from its consumer, with
-/// unrelated pure code — the pairer then sees nothing to fuse. Two
-/// linear rewrites recover those adjacencies without changing observable
-/// behavior (modeled cycles, instruction counts, trap addresses):
+/// Edges: true/anti/output dependences on vregs; conservative chain
+/// edges between every pair of pinned nodes (memory order and trap
+/// order are never permuted); barrier nodes connect to everything on
+/// both sides; the terminator succeeds every other node.
 ///
-/// 1. **Compare-then-branch.** For each `br_true`/`br_false`/`br_cmp`,
-///    the pure definition of each condition operand is sunk to sit
-///    immediately before the branch.
-/// 2. **Load-then-op.** Each `load` is sunk to sit immediately before
-///    its first consumer.
+/// Selection runs *backward* (pick a node only when everything that
+/// depends on it is already placed), preferring the producer of the
+/// just-placed node's operands — loads first, then the textually
+/// closest definition. That greedy rule is what sinks a condition's
+/// definition onto its branch and a load onto its first consumer, so
+/// the VM's superinstruction pairer sees fusable adjacencies. With no
+/// producer available the highest-index ready node is taken, which
+/// reproduces the original order exactly (stability: a block with no
+/// fusion opportunity is left untouched).
+fn schedule_block(insns: &mut [IInsn]) -> usize {
+    let n = insns.len();
+    if !(3..=MAX_BLOCK).contains(&n) {
+        return 0;
+    }
+    let is_term = insns[n - 1].is_terminator();
+    let classes: Vec<NodeClass> = insns.iter().map(class_of).collect();
+    // y (later) depends on x (earlier) through a virtual register:
+    // true (y reads x's def), output (same def), or anti (y rewrites
+    // one of x's operands).
+    let vreg_dep = |x: &IInsn, y: &IInsn| -> bool {
+        if let Some(d) = x.def() {
+            if y.uses().into_iter().flatten().any(|u| u == d) || y.def() == Some(d) {
+                return true;
+            }
+        }
+        if let Some(yd) = y.def() {
+            if x.uses().into_iter().flatten().any(|u| u == yd) {
+                return true;
+            }
+        }
+        false
+    };
+    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for i in 0..n {
+        for j in i + 1..n {
+            let edge = vreg_dep(&insns[i], &insns[j])
+                || (classes[i] != NodeClass::Pure && classes[j] != NodeClass::Pure)
+                || classes[i] == NodeClass::Barrier
+                || classes[j] == NodeClass::Barrier
+                || (is_term && j == n - 1);
+            if edge {
+                succs[i].push(j);
+                preds[j].push(i);
+            }
+        }
+    }
+    let mut unplaced_succs: Vec<usize> = succs.iter().map(Vec::len).collect();
+    let mut placed = vec![false; n];
+    let mut order_rev: Vec<usize> = Vec::with_capacity(n);
+    let mut last: Option<usize> = None;
+    for _ in 0..n {
+        // Prefer a ready producer of the just-placed node: the
+        // definition reaching `last`'s operands (the latest earlier
+        // def; output/anti edges make that the only def that can
+        // legally sit adjacent).
+        let mut pick = None;
+        if let Some(l) = last {
+            let mut best: Option<usize> = None;
+            for u in insns[l].uses().into_iter().flatten() {
+                let d = (0..l)
+                    .rev()
+                    .find(|&d| !placed[d] && insns[d].def() == Some(u));
+                let Some(d) = d else { continue };
+                if unplaced_succs[d] != 0 {
+                    continue;
+                }
+                let better = match best {
+                    None => true,
+                    Some(b) => {
+                        let load = |k: usize| matches!(insns[k].op, IOp::Load(_));
+                        (load(d), d) > (load(b), b)
+                    }
+                };
+                if better {
+                    best = Some(d);
+                }
+            }
+            pick = best;
+        }
+        let c = pick.unwrap_or_else(|| {
+            (0..n)
+                .rev()
+                .find(|&i| !placed[i] && unplaced_succs[i] == 0)
+                .expect("DAG is acyclic")
+        });
+        placed[c] = true;
+        order_rev.push(c);
+        for &p in &preds[c] {
+            unplaced_succs[p] -= 1;
+        }
+        last = Some(c);
+    }
+    let orig: Vec<IInsn> = insns.to_vec();
+    for (k, &idx) in order_rev.iter().rev().enumerate() {
+        insns[k] = orig[idx];
+    }
+    // Moves compare by value, so identical instructions swapping places
+    // do not count as observable motion.
+    insns.iter().zip(&orig).filter(|(a, b)| a != b).count()
+}
+
+/// Fusion-aware scheduling (ROADMAP item: dependence-DAG list
+/// scheduler).
 ///
-/// A move only happens when every crossed instruction is pure,
-/// non-faulting, and data-independent (`movable` + `conflicts`), so
-/// the permutation is semantics-preserving even for programs that trap
-/// or run out of fuel mid-block: faulting and memory-touching
-/// instructions are never reordered relative to each other.
+/// The VM's superinstruction pairer fuses *adjacent* instructions where
+/// the first feeds the second (compare→branch, load→op, …), and the
+/// threaded engine compiles run+branch groups under the same feed gate.
+/// ICODE emission order frequently separates a condition's definition
+/// from its branch, or a load from its consumer, with unrelated code —
+/// the pairer then sees nothing to fuse. This pass rebuilds each basic
+/// block's order from its dependence DAG (`schedule_block`): pure
+/// definitions sink next to their consumers (even across independent
+/// loads, stores, and faulting divides, which the old single-def
+/// sinking window could never cross), while every pair of
+/// memory-touching or faulting instructions keeps its relative order
+/// and call/host-call clusters are never entered.
 ///
-/// Returns the number of instructions moved.
+/// Observable contract: on completed runs the results, modeled
+/// `cycles`, and `insns` are exactly those of the unscheduled program
+/// (the block retires the same multiset of instructions); traps and
+/// side effects happen in the same order with the same values. Blocks
+/// are delimited by labels, loop markers, and terminators, so no
+/// instruction ever crosses a control-flow join.
+///
+/// Returns the number of instructions whose position changed.
 pub fn schedule_for_fusion(buf: &mut IcodeBuf) -> usize {
     let mut moves = 0;
-    // 1. Sink condition definitions onto their branches.
-    for t in 0..buf.insns.len() {
-        if matches!(buf.insns[t].op, IOp::BrTrue | IOp::BrFalse | IOp::BrCmp(_)) {
-            moves += sink_defs_before(buf, t);
+    let n = buf.insns.len();
+    let mut i = 0;
+    while i < n {
+        if matches!(buf.insns[i].op, IOp::Label | IOp::LoopBegin | IOp::LoopEnd) {
+            i += 1;
+            continue;
         }
-    }
-    // 2. Sink loads onto their first consumer.
-    let mut d = 0;
-    while d < buf.insns.len() {
-        if matches!(buf.insns[d].op, IOp::Load(_)) {
-            let m = buf.insns[d];
-            let mut u = d + 1;
-            let first_use = loop {
-                let Some(e) = buf.insns.get(u) else {
-                    break None;
-                };
-                if e.uses().into_iter().flatten().any(|x| Some(x) == m.def()) {
-                    break Some(u);
-                }
-                if !movable(e) || conflicts(&m, e) {
-                    break None;
-                }
-                u += 1;
-            };
-            if let Some(u) = first_use {
-                if u > d + 1 {
-                    buf.insns[d..u].rotate_left(1);
-                    moves += 1;
-                }
+        let start = i;
+        while i < n && !matches!(buf.insns[i].op, IOp::Label | IOp::LoopBegin | IOp::LoopEnd) {
+            let terminates = buf.insns[i].is_terminator();
+            i += 1;
+            if terminates {
+                break;
             }
         }
-        d += 1;
+        moves += schedule_block(&mut buf.insns[start..i]);
     }
     moves
 }
@@ -455,7 +531,7 @@ mod tests {
         b.br_true(c, l);
         b.bind(l);
         b.ret_val(ValKind::W, y);
-        assert_eq!(schedule_for_fusion(&mut b), 1);
+        assert!(schedule_for_fusion(&mut b) >= 1);
         let br = b
             .insns
             .iter()
@@ -476,7 +552,7 @@ mod tests {
         b.li(y, 7);
         b.bin(BinOp::Add, ValKind::W, z, v, y); // first use of v
         b.ret_val(ValKind::W, z);
-        assert_eq!(schedule_for_fusion(&mut b), 1);
+        assert!(schedule_for_fusion(&mut b) >= 1);
         let use_at = b
             .insns
             .iter()
@@ -489,9 +565,12 @@ mod tests {
     }
 
     #[test]
-    fn schedule_never_crosses_stores_calls_or_faulting_ops() {
-        // The compare is separated from its branch by a store, a call,
-        // and a division — none may be crossed.
+    fn schedule_crosses_independent_pinned_ops_but_keeps_their_order() {
+        // The compare is separated from its branch by an independent
+        // store. The DAG scheduler may move the pure compare across the
+        // store (the old single-def sinking window could not), but the
+        // store keeps its position relative to every other pinned
+        // instruction and to its operand definitions.
         let mut b = IcodeBuf::new();
         let l = b.label();
         let x = b.temp(ValKind::W);
@@ -502,9 +581,21 @@ mod tests {
         b.bin(BinOp::Lt, ValKind::W, c, x, x);
         b.store(tcc_vcode::ops::StoreKind::I32, x, p, 0);
         b.br_true(c, l);
-        let before = b.insns.clone();
-        assert_eq!(schedule_for_fusion(&mut b), 0, "store is a barrier");
-        assert_eq!(b.insns, before);
+        assert!(schedule_for_fusion(&mut b) >= 1);
+        let br = b
+            .insns
+            .iter()
+            .position(|i| i.op == IOp::BrTrue)
+            .expect("br");
+        assert_eq!(b.insns[br - 1].op, IOp::Bin(BinOp::Lt), "cmp adjacent");
+        let st = b
+            .insns
+            .iter()
+            .position(|i| matches!(i.op, IOp::Store(_)))
+            .expect("store");
+        assert!(st < br, "store stays before the branch");
+        let defs_before = b.insns[..st].iter().filter(|i| i.op == IOp::Li).count();
+        assert_eq!(defs_before, 2, "store's operand defs stay above it");
 
         let mut b2 = IcodeBuf::new();
         let l2 = b2.label();
@@ -517,7 +608,70 @@ mod tests {
         b2.br_true(c2, l2);
         b2.bind(l2);
         b2.ret_val(ValKind::W, d2);
-        assert_eq!(schedule_for_fusion(&mut b2), 0, "div is a barrier");
+        assert!(schedule_for_fusion(&mut b2) >= 1);
+        let br2 = b2
+            .insns
+            .iter()
+            .position(|i| i.op == IOp::BrTrue)
+            .expect("br");
+        assert_eq!(
+            b2.insns[br2 - 1].op,
+            IOp::Bin(BinOp::Lt),
+            "cmp crossed the faulting div onto its branch"
+        );
+        let dv = b2
+            .insns
+            .iter()
+            .position(|i| i.op == IOp::Bin(BinOp::Div))
+            .expect("div");
+        assert!(dv < br2, "div stays before the branch");
+    }
+
+    #[test]
+    fn schedule_preserves_relative_order_of_pinned_ops() {
+        // load / store / div form a pinned chain: an unrelated compare
+        // may sink past all of them, but their mutual order is fixed.
+        let mut b = IcodeBuf::new();
+        let l = b.label();
+        let p = b.temp(ValKind::P);
+        let v = b.temp(ValKind::W);
+        let x = b.temp(ValKind::W);
+        let c = b.temp(ValKind::W);
+        let d = b.temp(ValKind::W);
+        b.li(p, 0x2000);
+        b.li(x, 3);
+        b.bin(BinOp::Lt, ValKind::W, c, x, x);
+        b.load(tcc_vcode::ops::LoadKind::I32, v, p, 0);
+        b.store(tcc_vcode::ops::StoreKind::I32, x, p, 8);
+        b.bin(BinOp::Div, ValKind::W, d, v, x);
+        b.br_true(c, l);
+        b.bind(l);
+        b.ret_val(ValKind::W, d);
+        schedule_for_fusion(&mut b);
+        let pos = |pred: &dyn Fn(&IInsn) -> bool| b.insns.iter().position(pred).expect("pinned op");
+        let ld = pos(&|i| matches!(i.op, IOp::Load(_)));
+        let st = pos(&|i| matches!(i.op, IOp::Store(_)));
+        let dv = pos(&|i| i.op == IOp::Bin(BinOp::Div));
+        assert!(ld < st && st < dv, "pinned chain order preserved");
+    }
+
+    #[test]
+    fn schedule_never_enters_call_clusters() {
+        // A call between the compare and its branch is a full barrier:
+        // nothing moves across it in either direction.
+        let mut b = IcodeBuf::new();
+        let l = b.label();
+        let x = b.temp(ValKind::W);
+        let c = b.temp(ValKind::W);
+        b.li(x, 1);
+        b.bin(BinOp::Lt, ValKind::W, c, x, x);
+        b.call_addr(0x8000_0000, &[], None);
+        b.br_true(c, l);
+        b.bind(l);
+        b.ret_val(ValKind::W, x);
+        let before = b.insns.clone();
+        assert_eq!(schedule_for_fusion(&mut b), 0, "call is a full barrier");
+        assert_eq!(b.insns, before);
     }
 
     #[test]

@@ -39,7 +39,7 @@ pub mod linker;
 pub mod lower;
 pub mod opt;
 
-pub use linker::{build_image, Image};
+pub use linker::{build_image, build_image_scheduled, Image};
 pub use lower::{lower_function, LinkEnv, OptLevel};
 pub use opt::optimize;
 

@@ -81,7 +81,8 @@ impl LinkEnv for Env {
     }
 }
 
-/// Builds an image from an analyzed program.
+/// Builds an image from an analyzed program with the fusion-aware
+/// scheduler on (the default configuration).
 ///
 /// # Errors
 ///
@@ -91,6 +92,29 @@ impl LinkEnv for Env {
 ///
 /// Panics on lowering bugs (malformed programs are rejected by sema).
 pub fn build_image(prog: &Program, opt: OptLevel, mem_size: usize) -> Result<Image, VmError> {
+    build_image_scheduled(prog, opt, mem_size, true)
+}
+
+/// [`build_image`] with an explicit fusion-scheduler toggle. The
+/// `icode_schedule` ablation knob must cover static code too: the
+/// suite's `fused_pairs_icode_*` comparison translates every function a
+/// kernel executes (setup, drivers, and the dynamic function alike), so
+/// an unscheduled measurement that still schedules the static image
+/// would understate what the scheduler contributes.
+///
+/// # Errors
+///
+/// Fails if the data memory cannot hold the globals.
+///
+/// # Panics
+///
+/// Panics on lowering bugs (malformed programs are rejected by sema).
+pub fn build_image_scheduled(
+    prog: &Program,
+    opt: OptLevel,
+    mem_size: usize,
+    schedule: bool,
+) -> Result<Image, VmError> {
     let mut mem = Memory::new(mem_size);
     // Globals.
     let mut global_addrs = Vec::new();
@@ -120,6 +144,7 @@ pub fn build_image(prog: &Program, opt: OptLevel, mem_size: usize) -> Result<Ima
     let mut code = CodeSpace::new();
     let mut compiler = IcodeCompiler::new(Strategy::LinearScan);
     compiler.run_peephole = true;
+    compiler.schedule_fusion = schedule;
     let mut func_addrs = Vec::new();
     let mut func_names = Vec::new();
     let mut static_insns = 0;

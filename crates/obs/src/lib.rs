@@ -365,6 +365,15 @@ pub struct ExecMetrics {
     /// Direct-threaded handler-table size (0 until the threaded engine
     /// has translated something).
     pub handlers: u64,
+    /// Superinstruction groups compiled by the threaded translator
+    /// (run+jump, run+branch, pair, triple).
+    pub superinstructions: u64,
+    /// Dispatch-loop iterations executed by the threaded engine. Each
+    /// superinstruction group retires with one dispatch, so this falls
+    /// below `fast_insns` as fusion takes hold.
+    pub dispatches: u64,
+    /// Dispatches that entered a fused (superinstruction) handler.
+    pub fused_dispatches: u64,
 }
 
 impl ExecMetrics {
@@ -378,6 +387,30 @@ impl ExecMetrics {
             0.0
         } else {
             self.fast_insns as f64 / total as f64
+        }
+    }
+
+    /// Fraction of threaded dispatches that entered a fused
+    /// (superinstruction) handler. `0.0` when nothing has dispatched —
+    /// same zero-denominator rule as [`ExecMetrics::hit_rate`].
+    pub fn fused_dispatch_rate(&self) -> f64 {
+        if self.dispatches == 0 {
+            0.0
+        } else {
+            self.fused_dispatches as f64 / self.dispatches as f64
+        }
+    }
+
+    /// Threaded dispatch-loop iterations per fast-path retired
+    /// instruction: `1.0` means one dispatch per instruction (no
+    /// batching or fusion), lower is better. `0.0` when nothing retired
+    /// from translated buffers — a session that never ran earns no
+    /// score.
+    pub fn dispatches_per_insn(&self) -> f64 {
+        if self.fast_insns == 0 {
+            0.0
+        } else {
+            self.dispatches as f64 / self.fast_insns as f64
         }
     }
 
@@ -396,7 +429,18 @@ impl ExecMetrics {
                 Json::from(self.fuel_reconciliations),
             ),
             ("handlers", Json::from(self.handlers)),
+            ("superinstructions", Json::from(self.superinstructions)),
+            ("dispatches", Json::from(self.dispatches)),
+            ("fused_dispatches", Json::from(self.fused_dispatches)),
             ("dispatch_hit_rate", Json::from(self.hit_rate())),
+            (
+                "fused_dispatch_rate",
+                Json::from(self.fused_dispatch_rate()),
+            ),
+            (
+                "dispatches_per_insn",
+                Json::from(self.dispatches_per_insn()),
+            ),
         ])
     }
 }
@@ -637,9 +681,46 @@ mod tests {
         };
         assert_eq!(m.hit_rate(), 0.75);
         let text = m.to_json().to_string();
-        for key in ["batched_blocks", "fuel_reconciliations", "handlers"] {
+        for key in [
+            "batched_blocks",
+            "fuel_reconciliations",
+            "handlers",
+            "superinstructions",
+            "dispatches",
+            "fused_dispatches",
+            "fused_dispatch_rate",
+            "dispatches_per_insn",
+        ] {
             assert!(text.contains(&format!("\"{key}\"")), "missing {key}");
         }
+    }
+
+    #[test]
+    fn superinstruction_ratios_guard_zero() {
+        // Zero denominators report 0.0, never NaN (PR 6 obs
+        // convention): a session that never dispatched has no fused
+        // share, and one that never retired fast-path instructions has
+        // no dispatch density.
+        let m = ExecMetrics::default();
+        assert_eq!(m.fused_dispatch_rate(), 0.0);
+        assert_eq!(m.dispatches_per_insn(), 0.0);
+        // fused_dispatches set but dispatches == 0 (can only happen on
+        // a hand-built value, but the guard must still hold).
+        let m = ExecMetrics {
+            fused_dispatches: 5,
+            ..Default::default()
+        };
+        assert_eq!(m.fused_dispatch_rate(), 0.0);
+        let m = ExecMetrics {
+            dispatches: 8,
+            fused_dispatches: 2,
+            fast_insns: 16,
+            ..Default::default()
+        };
+        assert_eq!(m.fused_dispatch_rate(), 0.25);
+        assert_eq!(m.dispatches_per_insn(), 0.5);
+        let text = m.to_json().to_string();
+        assert!(!text.contains("NaN"), "NaN leaked into JSON: {text}");
     }
 
     #[test]

@@ -95,10 +95,20 @@ pub type GatedColumn = (&'static str, fn(&CheckRow) -> f64);
 /// column is held to the same relative tolerance; a baseline value of
 /// zero means the column predates the baseline and is warned about
 /// instead of gated.
-pub const GATED_COLUMNS: [GatedColumn; 3] = [
+///
+/// `dispatch_reduction` is the superinstruction gate: the reciprocal of
+/// the threaded engine's dispatches-per-insn ratio (instructions
+/// retired per dispatch-loop iteration), so "higher is better" holds
+/// like the speedup columns and the same relative-drop floor applies.
+/// Losing superinstruction or run-batching coverage raises
+/// dispatches-per-insn toward 1.0 and drops this column. A baseline
+/// written before the column existed parses as 0.0 and is warned about
+/// and skipped, like every other gated column.
+pub const GATED_COLUMNS: [GatedColumn; 4] = [
     ("speedup_fused", |r| r.speedup_fused),
     ("speedup_threaded", |r| r.speedup_threaded),
     ("speedup_adaptive", |r| r.speedup_adaptive),
+    ("dispatch_reduction", CheckRow::dispatch_reduction),
 ];
 
 /// The per-kernel fields the gate reads from `BENCH_exec.json`.
@@ -117,6 +127,25 @@ pub struct CheckRow {
     pub speedup_threaded_vs_fused: f64,
     /// ICODE fusion-aware scheduler pair gain (reported).
     pub fused_pairs_icode_delta: i64,
+    /// Threaded dispatch-loop iterations per retired instruction
+    /// (gated through [`CheckRow::dispatch_reduction`]; 0.0 when the
+    /// file predates the superinstruction columns).
+    pub dispatches_per_insn: f64,
+}
+
+impl CheckRow {
+    /// Instructions retired per threaded dispatch — the reciprocal of
+    /// `dispatches_per_insn`, so that bigger means more dispatch
+    /// reduction and the standard "may not drop below baseline ×
+    /// (1 − tolerance)" gate applies. 0.0 (warn-and-skip) when the
+    /// column is absent.
+    pub fn dispatch_reduction(&self) -> f64 {
+        if self.dispatches_per_insn <= 0.0 {
+            0.0
+        } else {
+            1.0 / self.dispatches_per_insn
+        }
+    }
 }
 
 /// Extracts one `"key": value` pair from a pretty-printed JSON line.
@@ -158,6 +187,9 @@ pub fn parse_exec_rows(text: &str) -> Vec<CheckRow> {
             "fused_pairs_icode_delta" => {
                 row.fused_pairs_icode_delta = value.parse().unwrap_or(0);
             }
+            "dispatches_per_insn" => {
+                row.dispatches_per_insn = value.parse().unwrap_or(0.0);
+            }
             _ => {}
         }
     }
@@ -190,7 +222,7 @@ pub fn check_exec(baseline: &str, fresh: &str, tolerance: f64) -> Result<String,
     let fresh_names: Vec<&str> = fresh_rows.iter().map(|r| r.name.as_str()).collect();
     let mut report = String::from(
         "exec-check: fresh speedups vs committed baseline\n\
-         \n  bench     fused(base)  fused(fresh)   thread(fresh)  adapt(fresh)  t/f     icodeD\n",
+         \n  bench     fused(base)  fused(fresh)   thread(fresh)  adapt(fresh)  t/f     icodeD   d/i\n",
     );
     let mut warnings = String::new();
     let mut failures = String::new();
@@ -198,7 +230,7 @@ pub fn check_exec(baseline: &str, fresh: &str, tolerance: f64) -> Result<String,
         let b = base.get(&f.name);
         let base_fused = b.map_or(0.0, |b| b.speedup_fused);
         report.push_str(&format!(
-            "  {:7}   {:9.2}x   {:10.2}x   {:11.2}x  {:10.2}x  {:5.2}x   {:+5}{}\n",
+            "  {:7}   {:9.2}x   {:10.2}x   {:11.2}x  {:10.2}x  {:5.2}x   {:+5}   {:4.2}{}\n",
             f.name,
             base_fused,
             f.speedup_fused,
@@ -206,6 +238,7 @@ pub fn check_exec(baseline: &str, fresh: &str, tolerance: f64) -> Result<String,
             f.speedup_adaptive,
             f.speedup_threaded_vs_fused,
             f.fused_pairs_icode_delta,
+            f.dispatches_per_insn,
             if b.is_none() { "   (no baseline)" } else { "" },
         ));
         let Some(b) = b else { continue };
@@ -570,6 +603,10 @@ mod tests {
             batched_blocks: 40,
             fused_pairs_icode: 9,
             fused_pairs_icode_unsched: 7,
+            superinstructions: 6,
+            fused_dispatch_rate: 0.4,
+            dispatches_per_insn: 0.5,
+            pair_histogram: vec![("addiw+bne".into(), 20)],
         }
     }
 
@@ -626,6 +663,47 @@ mod tests {
         let err = check_exec(&base, &fresh, DEFAULT_TOLERANCE).expect_err("threaded regression");
         assert!(err.contains("speedup_threaded"), "{err}");
         assert!(!err.contains("speedup_fused 4"), "{err}");
+    }
+
+    #[test]
+    fn fails_when_only_the_dispatch_reduction_regresses() {
+        // Every wall-clock speedup holds; the threaded engine merely
+        // dispatches more per instruction (0.5 → 0.9 dispatches/insn,
+        // i.e. dispatch_reduction 2.0x → 1.11x, a 44% drop): losing the
+        // superinstruction coverage must fail on its own.
+        let base = exec_json(&[engines_row("hash", 4000, 1000, 500, 1000)]).pretty();
+        let regressed = ExecBenchRow {
+            dispatches_per_insn: 0.9,
+            ..engines_row("hash", 4000, 1000, 500, 1000)
+        };
+        let fresh = exec_json(&[regressed]).pretty();
+        let err = check_exec(&base, &fresh, DEFAULT_TOLERANCE).expect_err("dispatch regression");
+        assert!(err.contains("dispatch_reduction"), "{err}");
+        assert!(!err.contains("speedup_threaded 8"), "{err}");
+    }
+
+    #[test]
+    fn baseline_without_dispatch_column_warns_instead_of_failing() {
+        // A pre-superinstruction baseline has no dispatches_per_insn
+        // key: the reciprocal parses to 0.0 and the column is skipped
+        // with a warning, never gated.
+        let base: String = exec_json(&[engines_row("hash", 4000, 1000, 500, 1000)])
+            .pretty()
+            .lines()
+            .filter(|l| !l.contains("dispatches_per_insn"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert!(!base.contains("dispatches_per_insn"));
+        let fresh = exec_json(&[ExecBenchRow {
+            dispatches_per_insn: 0.99,
+            ..engines_row("hash", 4000, 1000, 500, 1000)
+        }])
+        .pretty();
+        let report = check_exec(&base, &fresh, DEFAULT_TOLERANCE).expect("warns, not fails");
+        assert!(
+            report.contains("warning: baseline has no dispatch_reduction"),
+            "{report}"
+        );
     }
 
     #[test]

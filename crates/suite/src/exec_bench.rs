@@ -24,8 +24,14 @@ use crate::programs::{benchmarks, BenchDef, BLUR_SMALL};
 use tcc::{Backend, Config, ExecEngine, Session, Strategy};
 use tcc_obs::json::Json;
 
-/// The loop-heavy kernels measured (dispatch-bound inner loops).
-pub const EXEC_BENCHES: [&str; 7] = ["hash", "ms", "cmp", "query", "binary", "dp", "blur"];
+/// The loop-heavy kernels measured (dispatch-bound inner loops). The
+/// original seven come first; `heap`, `filter`, and `demux` joined when
+/// the fusion-aware scheduler became measurable — their composed loops
+/// carry assignments between a condition's producer and its branch,
+/// which is exactly the adjacency the DAG scheduler recovers.
+pub const EXEC_BENCHES: [&str; 10] = [
+    "hash", "ms", "cmp", "query", "binary", "dp", "blur", "heap", "filter", "demux",
+];
 
 /// Wall-clock target for each engine's timed region, full mode.
 const TARGET_NS: u64 = 80_000_000;
@@ -54,7 +60,7 @@ impl Variant {
 }
 
 /// One benchmark's engine comparison.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ExecBenchRow {
     /// Benchmark name.
     pub name: &'static str,
@@ -93,7 +99,25 @@ pub struct ExecBenchRow {
     /// Same measurement with the scheduler OFF (the delta is the
     /// scheduler's gain).
     pub fused_pairs_icode_unsched: u64,
+    /// Superinstruction groups compiled by the threaded translator
+    /// (run+jump, run+branch, pair, triple).
+    pub superinstructions: u64,
+    /// Fraction of the threaded engine's dispatches that entered a
+    /// fused (superinstruction) handler — the superinstruction hit
+    /// rate.
+    pub fused_dispatch_rate: f64,
+    /// Threaded dispatch-loop iterations per retired instruction
+    /// (1.0 = one dispatch per instruction; lower is better; gated
+    /// against the baseline by `exec-check`).
+    pub dispatches_per_insn: f64,
+    /// Top fused shapes (mnemonic groups like `"addiw+bne"`) and their
+    /// translation-time counts from the threaded session, capped at
+    /// [`PAIR_HISTOGRAM_TOP`].
+    pub pair_histogram: Vec<(String, u64)>,
 }
+
+/// Shapes kept in each row's `pair_histogram`.
+pub const PAIR_HISTOGRAM_TOP: usize = 16;
 
 impl ExecBenchRow {
     /// Wall-clock speedup of predecoding alone over decode-per-step.
@@ -138,6 +162,10 @@ struct Timed {
     hit_rate: f64,
     batched_blocks: u64,
     promotions: u64,
+    superinstructions: u64,
+    fused_dispatch_rate: f64,
+    dispatches_per_insn: f64,
+    shapes: Vec<(String, u64)>,
 }
 
 fn make_session(b: &BenchDef, variant: Variant) -> Session {
@@ -212,6 +240,10 @@ fn finish(b: &BenchDef, mut p: Prepared, reps: u64) -> Timed {
         hit_rate: m.exec.hit_rate(),
         batched_blocks: m.exec.batched_blocks,
         promotions: m.adaptive.promotions,
+        superinstructions: m.exec.superinstructions,
+        fused_dispatch_rate: m.exec.fused_dispatch_rate(),
+        dispatches_per_insn: m.exec.dispatches_per_insn(),
+        shapes: p.s.fused_shape_histogram(),
     }
 }
 
@@ -313,6 +345,14 @@ fn compare(b: &BenchDef, reps: u64) -> ExecBenchRow {
         batched_blocks: threaded.batched_blocks,
         fused_pairs_icode: icode_fused_pairs(b, true),
         fused_pairs_icode_unsched: icode_fused_pairs(b, false),
+        superinstructions: threaded.superinstructions,
+        fused_dispatch_rate: threaded.fused_dispatch_rate,
+        dispatches_per_insn: threaded.dispatches_per_insn,
+        pair_histogram: {
+            let mut shapes = threaded.shapes;
+            shapes.truncate(PAIR_HISTOGRAM_TOP);
+            shapes
+        },
     }
 }
 
@@ -343,9 +383,38 @@ pub fn exec_bench() -> Vec<ExecBenchRow> {
 
 /// Smoke run: a few reps of every kernel through all five engines with
 /// the equivalence asserts live — the CI differential gate. Timing
-/// numbers are not meaningful at this size.
+/// numbers are not meaningful at this size. Additionally asserts the
+/// superinstruction compiler is alive on every loop kernel: at least
+/// one group compiled and at least one fused dispatch executed.
 pub fn exec_bench_smoke() -> Vec<ExecBenchRow> {
-    defs().iter().map(|b| compare(b, 3)).collect()
+    defs()
+        .iter()
+        .map(|b| {
+            let row = compare(b, 3);
+            assert!(
+                row.superinstructions >= 1,
+                "{}: threaded translator compiled no superinstructions",
+                b.name
+            );
+            assert!(
+                row.fused_dispatch_rate > 0.0,
+                "{}: no dispatch entered a fused handler",
+                b.name
+            );
+            assert!(
+                row.dispatches_per_insn > 0.0 && row.dispatches_per_insn < 1.0,
+                "{}: dispatch-per-insn ratio not reduced ({})",
+                b.name,
+                row.dispatches_per_insn
+            );
+            assert!(
+                !row.pair_histogram.is_empty(),
+                "{}: empty superinstruction shape histogram",
+                b.name
+            );
+            row
+        })
+        .collect()
 }
 
 /// The comparison as JSON (`BENCH_exec.json`).
@@ -374,6 +443,23 @@ pub fn exec_json(rows: &[ExecBenchRow]) -> Json {
                 (
                     "fused_pairs_icode_delta",
                     Json::from(r.fused_pairs_icode_delta()),
+                ),
+                ("superinstructions", Json::from(r.superinstructions)),
+                ("fused_dispatch_rate", Json::from(r.fused_dispatch_rate)),
+                ("dispatches_per_insn", Json::from(r.dispatches_per_insn)),
+                (
+                    "pair_histogram",
+                    Json::Arr(
+                        r.pair_histogram
+                            .iter()
+                            .map(|(shape, count)| {
+                                Json::obj(vec![
+                                    ("shape", Json::from(shape.as_str())),
+                                    ("count", Json::from(*count)),
+                                ])
+                            })
+                            .collect(),
+                    ),
                 ),
                 ("dispatch_hit_rate", Json::from(r.hit_rate)),
                 ("speedup_predecoded", Json::from(r.speedup_predecoded())),
@@ -406,11 +492,11 @@ pub fn exec_report(rows: &[ExecBenchRow]) -> String {
     let mut out = String::new();
     out.push_str("Execution engines: wall-clock per kernel (identical modeled cycles)\n\n");
     out.push_str(
-        "  bench     reps   decode (ns)    fused (ns)   threaded (ns)   predec   fused   thread   adapt   t/f     promo   pairs   icodeD   hit\n",
+        "  bench     reps   decode (ns)    fused (ns)   threaded (ns)   predec   fused   thread   adapt   t/f     promo   pairs   icodeD   hit    super   srate   d/i\n",
     );
     for r in rows {
         out.push_str(&format!(
-            "  {:7} {:6}   {:11}   {:11}   {:13}   {:5.2}x  {:5.2}x  {:5.2}x  {:5.2}x  {:5.2}x   {:5}   {:5}   {:+6}   {:4.2}\n",
+            "  {:7} {:6}   {:11}   {:11}   {:13}   {:5.2}x  {:5.2}x  {:5.2}x  {:5.2}x  {:5.2}x   {:5}   {:5}   {:+6}   {:4.2}   {:5}   {:5.2}   {:5.2}\n",
             r.name,
             r.reps,
             r.decode_ns,
@@ -425,6 +511,9 @@ pub fn exec_report(rows: &[ExecBenchRow]) -> String {
             r.fused_pairs,
             r.fused_pairs_icode_delta(),
             r.hit_rate,
+            r.superinstructions,
+            r.fused_dispatch_rate,
+            r.dispatches_per_insn,
         ));
     }
     out
@@ -453,6 +542,19 @@ mod tests {
             row.fused_pairs_icode >= row.fused_pairs_icode_unsched,
             "scheduler must never lose pairs: {row:?}"
         );
+        assert!(
+            row.superinstructions > 0,
+            "threaded translator compiled no superinstructions: {row:?}"
+        );
+        assert!(
+            row.fused_dispatch_rate > 0.0 && row.fused_dispatch_rate <= 1.0,
+            "fused dispatch rate out of range: {row:?}"
+        );
+        assert!(
+            row.dispatches_per_insn > 0.0 && row.dispatches_per_insn < 1.0,
+            "superinstructions must cut dispatches below one per insn: {row:?}"
+        );
+        assert!(!row.pair_histogram.is_empty(), "empty histogram: {row:?}");
     }
 
     #[test]
@@ -473,6 +575,10 @@ mod tests {
             batched_blocks: 12,
             fused_pairs_icode: 9,
             fused_pairs_icode_unsched: 7,
+            superinstructions: 6,
+            fused_dispatch_rate: 0.4,
+            dispatches_per_insn: 0.6,
+            pair_histogram: vec![("addiw+bne".into(), 30), ("addw+j".into(), 10)],
         }];
         let text = exec_json(&rows).to_string();
         for key in [
@@ -490,9 +596,15 @@ mod tests {
             "speedup_threaded",
             "speedup_threaded_vs_fused",
             "dispatch_hit_rate",
+            "superinstructions",
+            "fused_dispatch_rate",
+            "dispatches_per_insn",
+            "pair_histogram",
+            "shape",
         ] {
             assert!(text.contains(&format!("\"{key}\"")), "missing {key}");
         }
+        assert!(text.contains("addiw+bne"), "histogram shapes serialized");
         assert!((rows[0].speedup_fused() - 4.0).abs() < 1e-12);
         assert!((rows[0].speedup_threaded() - 8.0).abs() < 1e-12);
         assert!((rows[0].speedup_adaptive() - 5.0).abs() < 1e-12);

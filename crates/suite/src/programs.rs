@@ -762,6 +762,209 @@ long blur_check(void) {
 }
 "#;
 
+// ---------------------------------------------------------------------------
+// filter — BPF-style packet filter: compile a rule set, scan a stream
+// ---------------------------------------------------------------------------
+
+// The static version interprets the rule table per packet (the classic
+// in-kernel BPF interpreter); the `C version compiles the rule set
+// into branchless xor-or match masks (the DPF idiom: a field matches
+// when `field ^ value` is zero, a rule matches when the OR of its
+// field residues is zero), binds each rule's residue, advances the
+// stream cursor, then dispatches first-match-wins.
+const FILTER_SRC: &str = r#"
+int fpkt[2048];
+int fnp = 2048;
+int fproto[3];
+int fport[3];
+int fcnt[3];
+
+void filter_setup(void) {
+    int i;
+    int seed = 424242;
+    for (i = 0; i < fnp; i++) {
+        seed = seed * 1103515245 + 12345;
+        fpkt[i] = (seed >> 15) & 63;
+    }
+    fproto[0] = 1; fport[0] = 5;
+    fproto[1] = 2; fport[1] = 9;
+    fproto[2] = 3; fport[2] = 12;
+    for (i = 0; i < 3; i++) fcnt[i] = 0;
+}
+
+int filter_static(void) {
+    int i;
+    int acc = 0;
+    for (i = 0; i < fnp; i++) {
+        int w = fpkt[i];
+        int proto = (w >> 4) & 3;
+        int port = w & 15;
+        int r;
+        for (r = 0; r < 3; r++) {
+            if (fproto[r] == proto && fport[r] == port) {
+                fcnt[r] = fcnt[r] + 1;
+                acc = acc + 1;
+                break;
+            }
+        }
+    }
+    return acc;
+}
+
+long filter_compile(void) {
+    int p0 = fproto[0]; int q0 = fport[0];
+    int p1 = fproto[1]; int q1 = fport[1];
+    int p2 = fproto[2]; int q2 = fport[2];
+    int vspec w = local(int);
+    int vspec proto = local(int);
+    int vspec port = local(int);
+    int vspec t0 = local(int);
+    int vspec t1 = local(int);
+    int vspec t2 = local(int);
+    int vspec i = local(int);
+    int vspec acc = local(int);
+    int cspec m0 = `((proto ^ $p0) | (port ^ $q0));
+    int cspec m1 = `((proto ^ $p1) | (port ^ $q1));
+    int cspec m2 = `((proto ^ $p2) | (port ^ $q2));
+    void cspec c = `{
+        acc = 0;
+        i = 0;
+        while (i < $fnp) {
+            w = fpkt[i];
+            proto = (w >> 4) & 3;
+            port = w & 15;
+            t0 = m0;
+            t1 = m1;
+            t2 = m2;
+            i = i + 1;
+            if (t0 == 0) { fcnt[0] = fcnt[0] + 1; acc = acc + 1; }
+            else if (t1 == 0) { fcnt[1] = fcnt[1] + 1; acc = acc + 1; }
+            else if (t2 == 0) { fcnt[2] = fcnt[2] + 1; acc = acc + 1; }
+        }
+        return acc;
+    };
+    return (long)compile(c, int);
+}
+
+int filter_dyn(long fp) {
+    int (*f)(void) = (int (*)(void))fp;
+    return (*f)();
+}
+
+long filter_check(void) {
+    return (long)fcnt[0] * 1000000 + fcnt[1] * 1000 + fcnt[2];
+}
+"#;
+
+// ---------------------------------------------------------------------------
+// demux — packet demultiplexer: four compiled rules feed ring queues
+// ---------------------------------------------------------------------------
+
+// Extends filter to the demultiplexing scenario: each rule may wildcard
+// part of the port via a mask (`(port & mask) ^ value`), and a match
+// appends the packet to that rule's ring queue instead of just
+// counting. The static version interprets the (proto, mask, value)
+// table per packet.
+const DEMUX_SRC: &str = r#"
+int dpkt[2048];
+int dnp = 2048;
+int dproto[4];
+int dmask[4];
+int dval[4];
+int dq[1024];
+int dqn[4];
+int ddrop;
+
+void demux_setup(void) {
+    int i;
+    int seed = 77777;
+    for (i = 0; i < dnp; i++) {
+        seed = seed * 1103515245 + 12345;
+        dpkt[i] = (seed >> 12) & 63;
+    }
+    dproto[0] = 0; dmask[0] = 12; dval[0] = 4;
+    dproto[1] = 1; dmask[1] = 8;  dval[1] = 8;
+    dproto[2] = 2; dmask[2] = 15; dval[2] = 3;
+    dproto[3] = 3; dmask[3] = 0;  dval[3] = 0;
+    for (i = 0; i < 1024; i++) dq[i] = 0;
+    for (i = 0; i < 4; i++) dqn[i] = 0;
+    ddrop = 0;
+}
+
+int demux_static(void) {
+    int i;
+    for (i = 0; i < dnp; i++) {
+        int w = dpkt[i];
+        int proto = (w >> 4) & 3;
+        int port = w & 15;
+        int r;
+        int hit = 0;
+        for (r = 0; r < 4; r++) {
+            if (dproto[r] == proto && (port & dmask[r]) == dval[r]) {
+                dq[r * 256 + (dqn[r] & 255)] = w;
+                dqn[r] = dqn[r] + 1;
+                hit = 1;
+                break;
+            }
+        }
+        if (hit == 0) ddrop = ddrop + 1;
+    }
+    return ddrop;
+}
+
+long demux_compile(void) {
+    int p0 = dproto[0]; int k0 = dmask[0]; int v0 = dval[0];
+    int p1 = dproto[1]; int k1 = dmask[1]; int v1 = dval[1];
+    int p2 = dproto[2]; int k2 = dmask[2]; int v2 = dval[2];
+    int p3 = dproto[3]; int k3 = dmask[3]; int v3 = dval[3];
+    int vspec w = local(int);
+    int vspec proto = local(int);
+    int vspec port = local(int);
+    int vspec t0 = local(int);
+    int vspec t1 = local(int);
+    int vspec t2 = local(int);
+    int vspec t3 = local(int);
+    int vspec i = local(int);
+    int cspec m0 = `((proto ^ $p0) | ((port & $k0) ^ $v0));
+    int cspec m1 = `((proto ^ $p1) | ((port & $k1) ^ $v1));
+    int cspec m2 = `((proto ^ $p2) | ((port & $k2) ^ $v2));
+    int cspec m3 = `((proto ^ $p3) | ((port & $k3) ^ $v3));
+    void cspec c = `{
+        i = 0;
+        while (i < $dnp) {
+            w = dpkt[i];
+            proto = (w >> 4) & 3;
+            port = w & 15;
+            t0 = m0;
+            t1 = m1;
+            t2 = m2;
+            t3 = m3;
+            i = i + 1;
+            if (t0 == 0) { dq[dqn[0] & 255] = w; dqn[0] = dqn[0] + 1; }
+            else if (t1 == 0) { dq[256 + (dqn[1] & 255)] = w; dqn[1] = dqn[1] + 1; }
+            else if (t2 == 0) { dq[512 + (dqn[2] & 255)] = w; dqn[2] = dqn[2] + 1; }
+            else if (t3 == 0) { dq[768 + (dqn[3] & 255)] = w; dqn[3] = dqn[3] + 1; }
+            else ddrop = ddrop + 1;
+        }
+        return ddrop;
+    };
+    return (long)compile(c, int);
+}
+
+int demux_dyn(long fp) {
+    int (*f)(void) = (int (*)(void))fp;
+    return (*f)();
+}
+
+long demux_check(void) {
+    long s = 0;
+    int i;
+    for (i = 0; i < 1024; i++) s = s * 131 + dq[i];
+    for (i = 0; i < 4; i++) s = s * 131 + dqn[i];
+    return s * 131 + ddrop;
+}
+"#;
+
 /// Blur dimensions used by the full benchmark (the paper's 640×480).
 pub const BLUR_FULL: (u64, u64) = (640, 480);
 /// Reduced dimensions for fast test runs.
@@ -933,6 +1136,30 @@ pub fn benchmarks(blur_dims: (u64, u64)) -> Vec<BenchDef> {
                 0
             },
             check: |s| call(s, "blur_check", &[]),
+        },
+        BenchDef {
+            name: "filter",
+            style: "systems demux (ROADMAP expansion)",
+            src: FILTER_SRC,
+            setup: |s| {
+                call(s, "filter_setup", &[]);
+            },
+            run_static: |s| call(s, "filter_static", &[]),
+            compile_dyn: |s| call(s, "filter_compile", &[]),
+            run_dyn: |s, fp| call(s, "filter_dyn", &[fp]),
+            check: |s| call(s, "filter_check", &[]),
+        },
+        BenchDef {
+            name: "demux",
+            style: "systems demux (ROADMAP expansion)",
+            src: DEMUX_SRC,
+            setup: |s| {
+                call(s, "demux_setup", &[]);
+            },
+            run_static: |s| call(s, "demux_static", &[]),
+            compile_dyn: |s| call(s, "demux_compile", &[]),
+            run_dyn: |s, fp| call(s, "demux_dyn", &[fp]),
+            check: |s| call(s, "demux_check", &[]),
         },
     ]
     .into_iter()

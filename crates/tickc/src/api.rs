@@ -7,7 +7,7 @@ use std::sync::Arc;
 use std::time::Instant;
 use tcc_cache::SharedArtifacts;
 use tcc_front::{FrontError, Program};
-use tcc_mir::{build_image, Image, OptLevel};
+use tcc_mir::{build_image_scheduled, Image, OptLevel};
 use tcc_obs::{
     AdaptiveMetrics, ExecMetrics, FrontendMetrics, SessionMetrics, StaticMetrics, VmMetrics,
 };
@@ -174,7 +174,12 @@ impl Session {
             source_bytes: src.len() as u64,
         };
         let t1 = Instant::now();
-        let image = build_image(&prog, config.static_opt, config.mem_size)?;
+        let image = build_image_scheduled(
+            &prog,
+            config.static_opt,
+            config.mem_size,
+            config.icode_schedule,
+        )?;
         let static_compile = StaticMetrics {
             lower_ns: t1.elapsed().as_nanos() as u64,
             static_insns: image.code.next_index() as u64,
@@ -321,6 +326,15 @@ impl Session {
         self.vm.hcalls()
     }
 
+    /// Fused superinstruction shapes compiled by the threaded
+    /// translator this session (mnemonic groups like `"addiw+bne"` or
+    /// `"addw+j"`), sorted by count descending then name. Empty until
+    /// the threaded tier has translated something. Cumulative across
+    /// translations, like the exec counters.
+    pub fn fused_shape_histogram(&self) -> Vec<(String, u64)> {
+        self.vm.fused_shape_histogram()
+    }
+
     /// The unified per-phase metrics breakdown for this session:
     /// front-end parse/sema time, static lowering, accumulated dynamic
     /// compilation (walk time, per-phase codegen, instruction counts),
@@ -347,6 +361,9 @@ impl Session {
                     batched_blocks: s.batched_blocks,
                     fuel_reconciliations: s.fuel_reconciliations,
                     handlers: s.handlers,
+                    superinstructions: s.superinstructions,
+                    dispatches: s.dispatches,
+                    fused_dispatches: s.fused_dispatches,
                 }
             },
             adaptive: {

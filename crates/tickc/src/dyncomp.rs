@@ -1553,6 +1553,49 @@ impl<'a, 'p, S: CodeSink> DynCompiler<'a, 'p, S> {
                 } else {
                     ta.clone()
                 };
+                // `x == 0` / `x != 0` folds to a truthiness branch on
+                // `x` alone (BrTrue/BrFalse compare against the
+                // hardwired zero register): the static back end never
+                // materializes a zero operand and the dynamic path
+                // shouldn't either. Floats keep the generic compare
+                // (0.0 is not a bit-pattern test: -0.0 == 0.0).
+                let zero_lit = |e: &Expr| matches!(e.kind, ExprKind::IntLit(0));
+                if matches!(op, BinaryOp::Eq | BinaryOp::Ne)
+                    && common.kind() != ValKind::F
+                    && (zero_lit(a) || zero_lit(b))
+                {
+                    let (nz, tnz) = if zero_lit(b) { (a, &ta) } else { (b, &tb) };
+                    let v = self.expr(nz, frame)?;
+                    let v = self.coerce(v, tnz, &common);
+                    let on_eq = matches!(op, BinaryOp::Eq);
+                    match (ltrue, lfalse) {
+                        (Some(lt), None) => {
+                            if on_eq {
+                                self.sink.br_false(v.val, lt);
+                            } else {
+                                self.sink.br_true(v.val, lt);
+                            }
+                        }
+                        (None, Some(lf)) => {
+                            if on_eq {
+                                self.sink.br_true(v.val, lf);
+                            } else {
+                                self.sink.br_false(v.val, lf);
+                            }
+                        }
+                        (Some(lt), Some(lf)) => {
+                            if on_eq {
+                                self.sink.br_false(v.val, lt);
+                            } else {
+                                self.sink.br_true(v.val, lt);
+                            }
+                            self.sink.jmp(lf);
+                        }
+                        (None, None) => {}
+                    }
+                    self.release(v);
+                    return Ok(());
+                }
                 let va = self.expr(a, frame)?;
                 let va = self.coerce(va, &ta, &common);
                 let vb = self.expr(b, frame)?;

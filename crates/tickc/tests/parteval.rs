@@ -302,3 +302,69 @@ fn body_that_writes_the_condition_variable_stays_a_loop() {
     };
     assert_eq!(s.call_addr(fp, &[]).unwrap() as i64, expect as i64);
 }
+
+#[test]
+fn zero_compare_branches_use_the_zero_register() {
+    // `x != 0` / `x == 0` in branch position fold to a truthiness
+    // branch on x alone (bne/beq against the hardwired r0), exactly
+    // like the static back end — no materialized zero operand.
+    let src = r#"
+        long mk(void) {
+            int vspec x = param(int, 0);
+            void cspec c = `{
+                int k; int s; k = x; s = 5;
+                while (k != 0) { s = s + k; k = k - 1; }
+                if (s == 0) return -1;
+                return s;
+            };
+            return (long)compile(c, int);
+        }
+    "#;
+    for b in [
+        vcode(),
+        Backend::Icode {
+            strategy: Strategy::LinearScan,
+        },
+    ] {
+        let mut s = session(src, b);
+        let fp = s.call("mk", &[]).unwrap();
+        assert_eq!(
+            s.call_addr(fp, &[10]).unwrap() as i64,
+            5 + (1..=10).sum::<i64>()
+        );
+        let d = s.disassemble_addr(fp).expect("disassembles");
+        assert!(
+            d.contains(", r0, "),
+            "expected a branch against the zero register:\n{d}"
+        );
+        assert!(
+            !d.contains("addid") || !d.contains(", r0, 0"),
+            "zero operand was materialized:\n{d}"
+        );
+    }
+}
+
+#[test]
+fn float_zero_compares_keep_the_real_comparison() {
+    // The fold is integer-only: -0.0 == 0.0 must stay true, which a
+    // bit-pattern test against the zero register would get wrong.
+    let src = r#"
+        long mk(void) {
+            double vspec x = param(double, 0);
+            void cspec c = `{
+                if (x == 0) return 1;
+                return 0;
+            };
+            return (long)compile(c, int);
+        }
+        double drive(long fp, double v) {
+            int (*g)(double) = (int (*)(double))fp;
+            return (double)g(v);
+        }
+    "#;
+    let mut s = session(src, vcode());
+    let fp = s.call("mk", &[]).unwrap();
+    assert_eq!(s.call_f("drive", &[fp], &[-0.0]).unwrap(), 1.0);
+    assert_eq!(s.call_f("drive", &[fp], &[0.0]).unwrap(), 1.0);
+    assert_eq!(s.call_f("drive", &[fp], &[1.5]).unwrap(), 0.0);
+}

@@ -987,6 +987,10 @@ impl<H: HostCall> Vm<H> {
                     *slot = Some(Arc::clone(&tr));
                 }
                 self.trans.stats.handlers = HANDLER_TABLE_SIZE;
+                self.trans.stats.superinstructions += tr.superinstructions;
+                for (shape, count) in &tr.shapes {
+                    *self.trans.shapes.entry(shape.clone()).or_insert(0) += count;
+                }
             }
         }
         self.trans.stats.translations += 1;

@@ -71,4 +71,4 @@ pub use interp::{ExitStatus, Vm};
 pub use isa::{FReg, Insn, Op, Reg};
 pub use mem::Memory;
 pub use predecode::{ExecEngine, ExecStats, SharedTranslation};
-pub use threaded::{handler_table_sizes, HANDLER_TABLE_SIZE};
+pub use threaded::{handler_table_sizes, HANDLER_TABLE_SIZE, SUPER_HANDLERS};

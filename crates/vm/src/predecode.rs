@@ -123,6 +123,16 @@ pub struct ExecStats {
     /// Size of the direct-threaded handler table; `0` until the
     /// threaded engine has translated something.
     pub handlers: u64,
+    /// Superinstruction groups compiled by the threaded engine's
+    /// translation (fused run+jump, run+branch, pair, and triple slots;
+    /// cumulative over translations).
+    pub superinstructions: u64,
+    /// Handler dispatches executed by the threaded engine (one per
+    /// dispatch-loop iteration inside translated buffers).
+    pub dispatches: u64,
+    /// Threaded-engine dispatches that went through a superinstruction
+    /// handler (a whole fused group per dispatch).
+    pub fused_dispatches: u64,
 }
 
 impl ExecStats {
@@ -135,6 +145,29 @@ impl ExecStats {
             0.0
         } else {
             self.fast_insns as f64 / total as f64
+        }
+    }
+
+    /// Fraction of threaded-engine dispatches that executed a whole
+    /// superinstruction group. `0.0` before anything has dispatched
+    /// (the PR 6 obs convention: zero denominators never produce NaN).
+    pub fn fused_dispatch_rate(&self) -> f64 {
+        if self.dispatches == 0 {
+            0.0
+        } else {
+            self.fused_dispatches as f64 / self.dispatches as f64
+        }
+    }
+
+    /// Threaded-engine dispatches per fast-path retired instruction —
+    /// the superinstruction win in one number (lower is better; `1.0`
+    /// would mean one indirect dispatch per instruction). `0.0` when
+    /// nothing has retired from translated buffers yet.
+    pub fn dispatches_per_insn(&self) -> f64 {
+        if self.fast_insns == 0 {
+            0.0
+        } else {
+            self.dispatches as f64 / self.fast_insns as f64
         }
     }
 }
@@ -179,6 +212,11 @@ pub(crate) struct TransCache<H> {
     /// received yet (received responses count down even when the result
     /// is discarded).
     pub(crate) pending: u32,
+    /// Superinstruction shape frequencies from threaded translations
+    /// ("addw+beq" → count), cumulative over translations like
+    /// [`ExecStats::superinstructions`]. Feeds the suite's
+    /// `pair_histogram` so future handler selection is data-driven.
+    pub(crate) shapes: std::collections::HashMap<String, u64>,
 }
 
 impl<H> std::fmt::Debug for TransCache<H> {
@@ -208,6 +246,7 @@ impl<H> Default for TransCache<H> {
             hub: None,
             generation: 0,
             pending: 0,
+            shapes: std::collections::HashMap::new(),
         }
     }
 }

@@ -53,6 +53,34 @@
 //!    individually; a host call flushes counters first (the host
 //!    observes and may mutate them) and re-checks the live epoch
 //!    after returning, exactly like the predecoded engine.
+//!
+//! # Superinstructions
+//!
+//! A fusion pass over the translated slots compiles the hottest fused
+//! shapes the predecoded engine's table identifies into combined
+//! handlers that execute the whole group with **one** dispatch:
+//!
+//! * **run+jump** — a scalar run whose suffix falls into an
+//!   unconditional `j` (the back edge of every counted loop);
+//! * **run+branch** — a scalar run whose *last* constituent feeds the
+//!   following branch (`last.rd` is one of the compared registers),
+//!   the same feed gate as the predecoded engine's `FusedBr`, so the
+//!   ICODE fusion-aware scheduler is measurable on this engine too;
+//! * **pair**/**triple** — straight-line runs of exactly two or three
+//!   scalars, executed by monomorphized handlers with a compile-time
+//!   trip count.
+//!
+//! Fusion is slot-preserving: a fused handler lives in the *first*
+//! constituent's slot and every other slot keeps its unfused entry, so
+//! control transfers landing mid-group dispatch normally and the
+//! trap/OutOfFuel reconciliation rules above apply bit-identically.
+//! The scalar part of a fused group charges by the run rules (1)/(2);
+//! the trailing jump/branch charges individually per rule (3) by
+//! delegating to the *control slot's own* fields — observables cannot
+//! diverge from unfused execution. Translation counts the groups in
+//! [`crate::predecode::ExecStats::superinstructions`]; each fused
+//! dispatch counts in `fused_dispatches`, and every dispatch-loop
+//! iteration in `dispatches`.
 
 use std::fmt;
 use std::sync::Arc;
@@ -69,23 +97,32 @@ pub const SCALAR_HANDLERS: u64 = 70;
 /// Control handlers: the run-entry handler, ten branch predicates,
 /// jump/jal/jalr, halt, hcall, and the undecodable-word trap.
 pub const CONTROL_HANDLERS: u64 = 17;
+/// Superinstruction handlers: the fused run+jump handler, ten fused
+/// run+branch handlers (one per predicate, feed-gated like the
+/// predecoded engine's `FusedBr`), and the monomorphized straight-line
+/// pair and triple handlers.
+pub const SUPER_HANDLERS: u64 = 13;
 /// Total size of the direct-threaded handler table, reported in
 /// [`crate::predecode::ExecStats::handlers`] once the threaded engine
 /// has translated.
-pub const HANDLER_TABLE_SIZE: u64 = SCALAR_HANDLERS + CONTROL_HANDLERS;
+pub const HANDLER_TABLE_SIZE: u64 = SCALAR_HANDLERS + CONTROL_HANDLERS + SUPER_HANDLERS;
 
 /// A scalar executor specialized to one opcode: `exec_scalar` with the
 /// `op` argument constant-folded away.
 type ScalarFn = fn(&mut MachineState, &SHalf) -> Result<(), VmError>;
 
 /// One instruction of a straight-line run: unpacked operands, the
-/// specialized executor, and the baked-in cycle cost.
+/// specialized executor, and the baked-in cycle cost. `op` rides along
+/// (in what was padding) so the batched run loop can inline the
+/// hottest non-faulting opcodes and skip the indirect call entirely
+/// (see [`exec_half`]).
 #[derive(Clone, Copy)]
 pub(crate) struct SHalf {
     f: ScalarFn,
     rd: u8,
     rs1: u8,
     rs2: u8,
+    op: Op,
     imm: i32,
     cost: u32,
 }
@@ -113,6 +150,8 @@ struct Frame {
     entry_insns: u64,
     /// The fuel budget (immutable during a run).
     fuel: u64,
+    /// Dispatch-loop iterations since the last flush.
+    dispatches: u64,
 }
 
 /// One translated slot: the handler pointer plus the operands it needs.
@@ -153,6 +192,13 @@ pub(crate) struct ThreadedFn<H> {
     /// All scalar instructions, in order; each run is a contiguous
     /// range so batched execution iterates a plain slice.
     halves: Vec<SHalf>,
+    /// Superinstruction groups compiled into the buffer (stat
+    /// preseeding, merged on install like `SharedTranslation`'s
+    /// `fused_pairs`).
+    pub(crate) superinstructions: u64,
+    /// Shape → count for those groups ("addw+beq", "addiw+j", ...),
+    /// merged into the cache-wide histogram on install.
+    pub(crate) shapes: Vec<(String, u64)>,
 }
 
 impl<H> fmt::Debug for ThreadedFn<H> {
@@ -161,6 +207,7 @@ impl<H> fmt::Debug for ThreadedFn<H> {
             .field("base", &self.base)
             .field("slots", &self.slots.len())
             .field("halves", &self.halves.len())
+            .field("superinstructions", &self.superinstructions)
             .finish()
     }
 }
@@ -296,6 +343,8 @@ fn flush<H: HostCall>(vm: &mut Vm<H>, fr: &mut Frame) {
     vm.state.insns = fr.insns;
     vm.trans.stats.fast_insns += fr.insns - fr.entry_insns;
     fr.entry_insns = fr.insns;
+    vm.trans.stats.dispatches += fr.dispatches;
+    fr.dispatches = 0;
 }
 
 /// Advances `n` slots, exiting at the pc past the end if the buffer is
@@ -349,18 +398,78 @@ fn branch_common<H: HostCall>(
     }
 }
 
-/// Scalar-run entry: the fuel-batching handler (reconciliation rules
-/// in the module docs).
-fn h_run<H: HostCall>(vm: &mut Vm<H>, tr: &ThreadedFn<H>, fr: &mut Frame) -> Ctl {
-    let slot = &tr.slots[fr.i];
-    let n = slot.b as usize;
-    let halves = &tr.halves[slot.a as usize..slot.a as usize + n];
-    if let Some(total) = fr.cycles.checked_add(slot.run_cost) {
+/// Executes one constituent of a scalar run. The hottest opcodes are
+/// dispatched inline — each arm calls [`exec_scalar`] with a
+/// *constant* `Op`, so the semantics are literally the shared
+/// interpreter's with its 70-arm `match` folded away, and the run
+/// loop pays a predictable jump instead of an indirect call (the
+/// call's register spills were the last per-instruction tax). Cold
+/// opcodes fall back to the slot's specialized function pointer,
+/// which executes identically.
+#[inline(always)]
+fn exec_half(st: &mut MachineState, s: &SHalf) -> Result<(), VmError> {
+    macro_rules! i {
+        ($op:ident) => {
+            exec_scalar(st, Op::$op, s.rd, s.rs1, s.rs2, s.imm)
+        };
+    }
+    match s.op {
+        Op::Addw => i!(Addw),
+        Op::Subw => i!(Subw),
+        Op::Mulw => i!(Mulw),
+        Op::Addd => i!(Addd),
+        Op::And => i!(And),
+        Op::Or => i!(Or),
+        Op::Xor => i!(Xor),
+        Op::Sllw => i!(Sllw),
+        Op::Srlw => i!(Srlw),
+        Op::Sraw => i!(Sraw),
+        Op::Seq => i!(Seq),
+        Op::Sne => i!(Sne),
+        Op::Sltw => i!(Sltw),
+        Op::Sltd => i!(Sltd),
+        Op::Addiw => i!(Addiw),
+        Op::Addid => i!(Addid),
+        Op::Andi => i!(Andi),
+        Op::Ori => i!(Ori),
+        Op::Xori => i!(Xori),
+        Op::Slliw => i!(Slliw),
+        Op::Srliw => i!(Srliw),
+        Op::Sraiw => i!(Sraiw),
+        Op::Sllid => i!(Sllid),
+        Op::Srlid => i!(Srlid),
+        Op::Sraid => i!(Sraid),
+        Op::Sethi => i!(Sethi),
+        Op::Lw => i!(Lw),
+        Op::Ld => i!(Ld),
+        Op::Sw => i!(Sw),
+        Op::Sd => i!(Sd),
+        _ => (s.f)(st, s),
+    }
+}
+
+/// Executes one scalar run (`halves`, summed suffix cost `run_cost`)
+/// under the fuel-batching reconciliation rules, leaving `fr.i`
+/// untouched. Returns `Some(exit)` when the run faulted or exhausted
+/// fuel (counters already flushed), `None` when every constituent
+/// retired. `#[inline(always)]` so each caller — the generic run
+/// handler and every superinstruction handler — monomorphizes its own
+/// copy (with a compile-time trip count when the slice length is
+/// statically known).
+#[inline(always)]
+fn exec_run<H: HostCall>(
+    vm: &mut Vm<H>,
+    fr: &mut Frame,
+    halves: &[SHalf],
+    run_cost: u64,
+) -> Option<Ctl> {
+    let n = halves.len();
+    if let Some(total) = fr.cycles.checked_add(run_cost) {
         if total <= fr.fuel {
             vm.trans.stats.batched_blocks += 1;
             fr.cycles = total;
             for (k, s) in halves.iter().enumerate() {
-                if let Err(e) = (s.f)(&mut vm.state, s) {
+                if let Err(e) = exec_half(&mut vm.state, s) {
                     // Un-charge the unexecuted tail (the faulting
                     // instruction included): observable counters must
                     // match a reference engine that stopped here.
@@ -369,28 +478,124 @@ fn h_run<H: HostCall>(vm: &mut Vm<H>, tr: &ThreadedFn<H>, fr: &mut Frame) -> Ctl
                     fr.insns += k as u64;
                     vm.trans.stats.fuel_reconciliations += 1;
                     flush(vm, fr);
-                    return Ctl::Exit(Err(e));
+                    return Some(Ctl::Exit(Err(e)));
                 }
             }
             fr.insns += n as u64;
-            return advance(vm, tr, fr, n);
+            return None;
         }
     }
     // The run does not fit (or the cycle counter would saturate):
     // per-instruction reference order, so exhaustion is exact.
     for s in halves {
-        if let Err(e) = (s.f)(&mut vm.state, s) {
+        if let Err(e) = exec_half(&mut vm.state, s) {
             flush(vm, fr);
-            return Ctl::Exit(Err(e));
+            return Some(Ctl::Exit(Err(e)));
         }
         fr.cycles += u64::from(s.cost);
         fr.insns += 1;
         if fr.cycles > fr.fuel {
             flush(vm, fr);
-            return Ctl::Exit(Err(VmError::OutOfFuel));
+            return Some(Ctl::Exit(Err(VmError::OutOfFuel)));
         }
     }
+    None
+}
+
+/// Scalar-run entry: the fuel-batching handler (reconciliation rules
+/// in the module docs).
+fn h_run<H: HostCall>(vm: &mut Vm<H>, tr: &ThreadedFn<H>, fr: &mut Frame) -> Ctl {
+    let slot = &tr.slots[fr.i];
+    let n = slot.b as usize;
+    let halves = &tr.halves[slot.a as usize..slot.a as usize + n];
+    if let Some(exit) = exec_run(vm, fr, halves, slot.run_cost) {
+        return exit;
+    }
     advance(vm, tr, fr, n)
+}
+
+/// Superinstruction: scalar run + unconditional jump, one dispatch.
+/// The run part follows the batching rules; the jump then charges
+/// individually off its *own* slot (rule 3), exactly as if dispatched.
+fn h_run_j<H: HostCall>(vm: &mut Vm<H>, tr: &ThreadedFn<H>, fr: &mut Frame) -> Ctl {
+    vm.trans.stats.fused_dispatches += 1;
+    let slot = &tr.slots[fr.i];
+    let n = slot.b as usize;
+    let halves = &tr.halves[slot.a as usize..slot.a as usize + n];
+    if let Some(exit) = exec_run(vm, fr, halves, slot.run_cost) {
+        return exit;
+    }
+    fr.i += n;
+    h_jump(vm, tr, fr)
+}
+
+/// Superinstruction: straight-line pair, one dispatch with a
+/// compile-time trip count of 2.
+fn h_pair<H: HostCall>(vm: &mut Vm<H>, tr: &ThreadedFn<H>, fr: &mut Frame) -> Ctl {
+    vm.trans.stats.fused_dispatches += 1;
+    let slot = &tr.slots[fr.i];
+    let a = slot.a as usize;
+    let halves: &[SHalf; 2] = tr.halves[a..a + 2].try_into().expect("pair slot covers 2");
+    if let Some(exit) = exec_run(vm, fr, halves, slot.run_cost) {
+        return exit;
+    }
+    advance(vm, tr, fr, 2)
+}
+
+/// Superinstruction: straight-line triple, one dispatch with a
+/// compile-time trip count of 3.
+fn h_triple<H: HostCall>(vm: &mut Vm<H>, tr: &ThreadedFn<H>, fr: &mut Frame) -> Ctl {
+    vm.trans.stats.fused_dispatches += 1;
+    let slot = &tr.slots[fr.i];
+    let a = slot.a as usize;
+    let halves: &[SHalf; 3] = tr.halves[a..a + 3]
+        .try_into()
+        .expect("triple slot covers 3");
+    if let Some(exit) = exec_run(vm, fr, halves, slot.run_cost) {
+        return exit;
+    }
+    advance(vm, tr, fr, 3)
+}
+
+/// Returns the superinstruction handler fusing a scalar run with the
+/// branch predicate `op`, with `branch_taken`'s dispatch
+/// constant-folded away. After the run retires, `fr.i` steps onto the
+/// branch's own slot, so the predicate reads and charges exactly the
+/// fields an unfused dispatch would.
+fn run_branch_fn<H: HostCall>(op: Op) -> Handler<H> {
+    macro_rules! rb {
+        ($op:ident) => {{
+            fn go<H: HostCall>(vm: &mut Vm<H>, tr: &ThreadedFn<H>, fr: &mut Frame) -> Ctl {
+                vm.trans.stats.fused_dispatches += 1;
+                let slot = &tr.slots[fr.i];
+                let n = slot.b as usize;
+                let halves = &tr.halves[slot.a as usize..slot.a as usize + n];
+                if let Some(exit) = exec_run(vm, fr, halves, slot.run_cost) {
+                    return exit;
+                }
+                fr.i += n;
+                let bslot = &tr.slots[fr.i];
+                let x = vm.state.reg(bslot.rd);
+                let y = vm.state.reg(bslot.rs1);
+                let taken = crate::interp::branch_taken(Op::$op, x, y);
+                branch_common(vm, tr, fr, taken)
+            }
+            go::<H>
+        }};
+    }
+    match op {
+        Op::Beq => rb!(Beq),
+        Op::Bne => rb!(Bne),
+        Op::Bltw => rb!(Bltw),
+        Op::Bgew => rb!(Bgew),
+        Op::Bltuw => rb!(Bltuw),
+        Op::Bgeuw => rb!(Bgeuw),
+        Op::Bltd => rb!(Bltd),
+        Op::Bged => rb!(Bged),
+        Op::Bltud => rb!(Bltud),
+        Op::Bgeud => rb!(Bgeud),
+        op => unreachable!("not a branch: {op:?}"),
+    }
 }
 
 fn h_jump<H: HostCall>(vm: &mut Vm<H>, tr: &ThreadedFn<H>, fr: &mut Frame) -> Ctl {
@@ -507,8 +712,18 @@ pub(crate) fn translate<H: HostCall>(
     start: usize,
     cost: &CostModel,
 ) -> ThreadedFn<H> {
+    /// What kind of slot translation produced — consumed by the
+    /// superinstruction fusion pass below.
+    enum CtlKind {
+        Scalar,
+        Jump,
+        Branch(Op),
+        Other,
+    }
     let mut slots: Vec<TSlot<H>> = Vec::with_capacity(words.len());
     let mut halves: Vec<SHalf> = Vec::with_capacity(words.len());
+    let mut half_ops: Vec<Op> = Vec::with_capacity(words.len());
+    let mut kinds: Vec<CtlKind> = Vec::with_capacity(words.len());
     let blank = |handler: Handler<H>| TSlot {
         handler,
         a: 0,
@@ -527,6 +742,7 @@ pub(crate) fn translate<H: HostCall>(
                 let mut t = blank(h_trap::<H>);
                 t.a = u32::from((word >> 24) as u8);
                 slots.push(t);
+                kinds.push(CtlKind::Other);
                 continue;
             }
         };
@@ -581,13 +797,21 @@ pub(crate) fn translate<H: HostCall>(
                     rd: insn.rd,
                     rs1: insn.rs1,
                     rs2: insn.rs2,
+                    op,
                     imm: insn.imm,
                     cost: c,
                 });
+                half_ops.push(op);
                 t
             }
         };
         slots.push(slot);
+        kinds.push(match insn.op {
+            Op::J => CtlKind::Jump,
+            Op::Halt | Op::Hcall | Op::Jal | Op::Jalr => CtlKind::Other,
+            op if op.is_branch() => CtlKind::Branch(op),
+            _ => CtlKind::Scalar,
+        });
     }
     // Backward pass: extend each scalar slot's run summary with its
     // successor's, turning `b`/`run_cost` into suffix length and cost.
@@ -597,10 +821,57 @@ pub(crate) fn translate<H: HostCall>(
             slots[i].run_cost += slots[i + 1].run_cost;
         }
     }
+    // Superinstruction fusion pass (slot-preserving: only the group's
+    // first slot changes handler, so mid-group control transfers still
+    // dispatch the unfused entries). Control fusion wins over the
+    // straight-line pair/triple forms — it saves a dispatch per loop
+    // iteration rather than per straight-line entry.
+    let mut superinstructions = 0u64;
+    let mut shape_counts: std::collections::HashMap<String, u64> = std::collections::HashMap::new();
+    for i in 0..slots.len() {
+        let n = slots[i].b as usize;
+        if n == 0 {
+            continue; // not a scalar slot
+        }
+        let last = slots[i].a as usize + n - 1;
+        let j = i + n;
+        let shape = match kinds.get(j) {
+            Some(CtlKind::Jump) => {
+                slots[i].handler = h_run_j::<H>;
+                format!("{}+j", half_ops[last].mnemonic())
+            }
+            Some(&CtlKind::Branch(bop))
+                if halves[last].rd == slots[j].rd || halves[last].rd == slots[j].rs1 =>
+            {
+                slots[i].handler = run_branch_fn::<H>(bop);
+                format!("{}+{}", half_ops[last].mnemonic(), bop.mnemonic())
+            }
+            _ if n == 2 => {
+                slots[i].handler = h_pair::<H>;
+                let a = slots[i].a as usize;
+                format!("{}+{}", half_ops[a].mnemonic(), half_ops[a + 1].mnemonic())
+            }
+            _ if n == 3 => {
+                slots[i].handler = h_triple::<H>;
+                let a = slots[i].a as usize;
+                format!(
+                    "{}+{}+{}",
+                    half_ops[a].mnemonic(),
+                    half_ops[a + 1].mnemonic(),
+                    half_ops[a + 2].mnemonic()
+                )
+            }
+            _ => continue,
+        };
+        superinstructions += 1;
+        *shape_counts.entry(shape).or_insert(0) += 1;
+    }
     ThreadedFn {
         base: CODE_BASE + (start as u64) * 4,
         slots,
         halves,
+        superinstructions,
+        shapes: shape_counts.into_iter().collect(),
     }
 }
 
@@ -661,6 +932,10 @@ impl<H: HostCall> Vm<H> {
         self.trans.stats.translations += 1;
         self.trans.stats.translated_words += (end - start) as u64;
         self.trans.stats.handlers = HANDLER_TABLE_SIZE;
+        self.trans.stats.superinstructions += tr.superinstructions;
+        for (shape, count) in &tr.shapes {
+            *self.trans.shapes.entry(shape.clone()).or_insert(0) += count;
+        }
         Some(tr)
     }
 
@@ -677,8 +952,10 @@ impl<H: HostCall> Vm<H> {
             insns: self.state.insns,
             entry_insns: self.state.insns,
             fuel: self.fuel,
+            dispatches: 0,
         };
         loop {
+            fr.dispatches += 1;
             let handler = tr.slots[fr.i].handler;
             match handler(self, tr, &mut fr) {
                 Ctl::Cont => {}
@@ -686,12 +963,26 @@ impl<H: HostCall> Vm<H> {
             }
         }
     }
+
+    /// Superinstruction shape frequencies accumulated over this VM's
+    /// threaded translations, sorted by descending count (ties by
+    /// name). Each entry is `("addw+beq", groups_compiled)`.
+    pub fn fused_shape_histogram(&self) -> Vec<(String, u64)> {
+        let mut v: Vec<(String, u64)> = self
+            .trans
+            .shapes
+            .iter()
+            .map(|(s, &c)| (s.clone(), c))
+            .collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        v
+    }
 }
 
 /// Exposed for [`crate::predecode::ExecStats::handlers`] consumers
 /// that want the split.
-pub fn handler_table_sizes() -> (u64, u64) {
-    (SCALAR_HANDLERS, CONTROL_HANDLERS)
+pub fn handler_table_sizes() -> (u64, u64, u64) {
+    (SCALAR_HANDLERS, CONTROL_HANDLERS, SUPER_HANDLERS)
 }
 
 #[cfg(test)]
@@ -773,6 +1064,102 @@ mod tests {
         assert_eq!(s.translations, 1);
         vm.call(addr, &[10]).unwrap();
         assert_eq!(vm.exec_stats().translations, 1, "translation reused");
+    }
+
+    /// Countdown loop whose decrement feeds the backward branch: the
+    /// `addiw a0, a0, -1; bne a0, zero` tail compiles to a run+branch
+    /// superinstruction, and the loop back edge dispatches once per
+    /// iteration instead of twice.
+    fn feeding_loop_code() -> (CodeSpace, u64) {
+        let mut cs = CodeSpace::new();
+        let f = cs.begin_function("sum_feed");
+        cs.push(Insn::i(Op::Addiw, AT0, ZERO, 0));
+        cs.push(Insn::r(Op::Addw, AT0, AT0, A0)); // loop head (index 1)
+        cs.push(Insn::i(Op::Addiw, A0, A0, -1));
+        cs.push(Insn::i(Op::Bne, A0, ZERO, -3)); // back to index 1
+        cs.push(Insn::r(Op::Addw, A0, AT0, ZERO));
+        cs.push(Insn::ret());
+        let addr = cs.finish_function(f).unwrap();
+        (cs, addr)
+    }
+
+    #[test]
+    fn superinstructions_compiled_and_dispatched() {
+        let (cs, addr) = loop_code();
+        let mut vm = threaded_vm(&cs);
+        vm.call(addr, &[10]).unwrap();
+        let s = vm.exec_stats();
+        // The loop body (addw; addiw) + back-edge `j` fuses.
+        assert!(s.superinstructions > 0, "{s:?}");
+        assert!(s.fused_dispatches > 0, "{s:?}");
+        assert!(s.dispatches >= s.fused_dispatches, "{s:?}");
+        assert!(s.fused_dispatch_rate() > 0.0 && s.fused_dispatch_rate() <= 1.0);
+        // Batching + fusion: far fewer dispatches than instructions.
+        assert!(
+            s.dispatches_per_insn() < 1.0,
+            "dispatches_per_insn {} (stats {s:?})",
+            s.dispatches_per_insn()
+        );
+        let shapes = vm.fused_shape_histogram();
+        assert!(
+            shapes.iter().any(|(name, c)| name == "addiw+j" && *c > 0),
+            "{shapes:?}"
+        );
+    }
+
+    #[test]
+    fn run_branch_superinstruction_matches_reference_at_every_budget() {
+        let (cs, addr) = feeding_loop_code();
+        let mut vm = threaded_vm(&cs);
+        vm.call(addr, &[12]).unwrap();
+        let shapes = vm.fused_shape_histogram();
+        assert!(
+            shapes.iter().any(|(name, _)| name == "addiw+bne"),
+            "feed-gated run+branch must fuse: {shapes:?}"
+        );
+        let total = vm.cycles();
+        // Sweep every budget, straddling each superinstruction group
+        // boundary mid-group: results, counters, and the exhaustion
+        // point must be bit-identical to the reference engine.
+        for fuel in 0..=total {
+            let mut reference = Vm::new(cs.clone(), 1 << 20);
+            reference.set_engine(ExecEngine::DecodePerStep);
+            reference.set_fuel(fuel);
+            let want = (
+                reference.call(addr, &[12]),
+                reference.cycles(),
+                reference.insns(),
+            );
+            let mut vm = threaded_vm(&cs);
+            vm.set_fuel(fuel);
+            let got = (vm.call(addr, &[12]), vm.cycles(), vm.insns());
+            assert_eq!(got, want, "fuel {fuel}");
+        }
+    }
+
+    #[test]
+    fn mid_group_entry_dispatches_unfused_slots_identically() {
+        // Jump into the *middle* of a fused scalar group: the landing
+        // slot keeps its own (fused-suffix or plain) entry, so the
+        // observables match the reference engine exactly.
+        let mut cs = CodeSpace::new();
+        let f = cs.begin_function("mid");
+        cs.push(Insn::j(Op::J, 1)); // skip the first scalar
+        cs.push(Insn::i(Op::Addiw, AT0, ZERO, 100)); // group head
+        cs.push(Insn::i(Op::Addiw, A0, A0, 1)); // mid-group landing pad
+        cs.push(Insn::r(Op::Addw, A0, A0, A0));
+        cs.push(Insn::ret());
+        let addr = cs.finish_function(f).unwrap();
+        let mut reference = Vm::new(cs.clone(), 1 << 20);
+        reference.set_engine(ExecEngine::DecodePerStep);
+        let want = (
+            reference.call(addr, &[5]),
+            reference.cycles(),
+            reference.insns(),
+        );
+        let mut vm = threaded_vm(&cs);
+        let got = (vm.call(addr, &[5]), vm.cycles(), vm.insns());
+        assert_eq!(got, want);
     }
 
     #[test]

@@ -431,6 +431,89 @@ fn fuel_sweep_covers_block_boundaries_and_hcall_reconciliation() {
     }
 }
 
+/// Fuel budgets that exhaust INSIDE threaded superinstruction groups.
+/// The kernel's loop bodies compile into run+branch and run+jump
+/// groups (multi-instruction scalar runs ending in control flow), so a
+/// per-cycle sweep across the dynamic function's whole execution lands
+/// budgets mid-run inside fused handlers — exercising the batched
+/// charge / un-charge reconciliation from within a single dispatch.
+/// Every engine must stop at the identical instruction.
+#[test]
+fn fuel_sweep_straddles_superinstruction_groups_mid_group() {
+    let sts = vec![
+        St::Loop(
+            4,
+            vec![
+                St::Assign(0, 0, Val::Var(0), Val::Param),  // v0 = v0 + p
+                St::Assign(1, 1, Val::Var(1), Val::Lit(3)), // v1 = v1 - 3
+            ],
+        ),
+        St::Assign(2, 2, Val::Var(2), Val::Var(1)),
+    ];
+    let src = program_for(&sts);
+    for backend in [
+        Backend::Vcode { unchecked: false },
+        Backend::Icode {
+            strategy: Alloc::LinearScan,
+        },
+    ] {
+        // Confirm the threaded engine actually compiles and dispatches
+        // superinstructions on this kernel — otherwise the sweep below
+        // would vacuously pass without touching the fused handlers.
+        let mut s = Session::new(
+            &src,
+            Config {
+                backend: backend.clone(),
+                ..Config::default()
+            },
+        )
+        .expect("compiles");
+        s.vm.set_engine(ExecEngine::Threaded);
+        s.call("static_f", &[7, 13]).expect("static");
+        let after_compile;
+        {
+            let fp = s.call("dyn_compile", &[13]).expect("compile");
+            after_compile = s.cycles();
+            s.call("dyn_run", &[fp, 7]).expect("dyn run");
+        }
+        let total = s.cycles();
+        let exec = s.metrics().exec;
+        assert!(
+            exec.superinstructions > 0,
+            "kernel must compile superinstructions ({backend:?})"
+        );
+        assert!(
+            exec.fused_dispatches > 0,
+            "kernel must dispatch through fused handlers ({backend:?})"
+        );
+        assert!(
+            !s.fused_shape_histogram().is_empty(),
+            "shape histogram populated ({backend:?})"
+        );
+
+        // Per-cycle sweep across the dynamic run (where the loop — and
+        // so every superinstruction group — lives), plus the entry
+        // window.
+        let mut budgets: Vec<u64> = (0..24).collect();
+        budgets.extend(after_compile.saturating_sub(8)..total);
+        budgets.retain(|&f| f < total);
+        budgets.dedup();
+        for fuel in budgets {
+            let reference = observe(&src, &backend, ENGINES[0], Some(fuel), 7);
+            for &e in &ENGINES[1..] {
+                let got = observe(&src, &backend, e, Some(fuel), 7);
+                assert_eq!(
+                    got,
+                    reference,
+                    "{} diverges at fuel {fuel} ({:?})",
+                    engine_label(e),
+                    backend
+                );
+            }
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Promotion-boundary differentials: the adaptive engine re-tiers a
 // function between (and never during) runs, so a sequence of calls that

@@ -9,7 +9,7 @@
 //! engine to tie the property back to the differential contract.
 
 use proptest::prelude::*;
-use tcc_icode::{IcodeBuf, IcodeCompiler, Strategy as Alloc};
+use tcc_icode::{IInsn, IOp, IcodeBuf, IcodeCompiler, Strategy as Alloc};
 use tcc_rt::ValKind;
 use tcc_vcode::ops::BinOp;
 use tcc_vcode::CodeSink;
@@ -178,6 +178,115 @@ fn compile_and_run(
     (out, vm.cycles(), vm.insns())
 }
 
+/// Builds the same program shape as [`build`] but interleaves pinned
+/// instructions — loads, stores, faulting divides, and a host call —
+/// between the pure steps, so the structural property test exercises
+/// the scheduler's ordering constraints densely. The result is only
+/// inspected, never executed, so the memory addresses and divisors
+/// need not be meaningful.
+fn build_structural(b: &mut IcodeBuf, steps: &[Step], seed: i32) {
+    use tcc_vcode::ops::{LoadKind, StoreKind};
+    let p = b.temp_saved(ValKind::P);
+    b.li(p, 0x2000);
+    let p0 = b.param(0, ValKind::W);
+    let p1 = b.param(1, ValKind::W);
+    let mut vals = vec![p0, p1];
+    for (k, step) in steps.iter().enumerate() {
+        match step {
+            Step::Const(c) => {
+                let d = b.temp_saved(ValKind::W);
+                b.li(d, *c as i64);
+                vals.push(d);
+            }
+            Step::Bin(op, a, x) => {
+                let (a, x) = (vals[*a % vals.len()], vals[*x % vals.len()]);
+                let d = b.temp_saved(ValKind::W);
+                b.bin(*op, ValKind::W, d, a, x);
+                vals.push(d);
+            }
+            Step::CondAdd(c, init, op, a) => {
+                let cond = vals[*c % vals.len()];
+                let arg = vals[*a % vals.len()];
+                let acc = b.temp_saved(ValKind::W);
+                let skip = b.label();
+                b.li(acc, *init as i64);
+                b.br_false(cond, skip);
+                b.bin(*op, ValKind::W, acc, acc, arg);
+                b.bind(skip);
+                vals.push(acc);
+            }
+            Step::JmpChain(_) => {}
+        }
+        let x = vals[(k + seed as usize % 7) % vals.len()];
+        match k % 4 {
+            0 => b.store(StoreKind::I32, x, p, (k as i32 * 8).into()),
+            1 => {
+                let v = b.temp_saved(ValKind::W);
+                b.load(LoadKind::I32, v, p, (k as i32 * 8).into());
+                vals.push(v);
+            }
+            2 => {
+                let d = b.temp_saved(ValKind::W);
+                b.bin(BinOp::Div, ValKind::W, d, x, x);
+                vals.push(d);
+            }
+            _ => b.hcall(1, &[(ValKind::W, x)], None),
+        }
+    }
+    let acc = b.temp(ValKind::W);
+    b.li(acc, 0);
+    for &v in &vals {
+        b.bin(BinOp::Add, ValKind::W, acc, acc, v);
+    }
+    b.ret_val(ValKind::W, acc);
+}
+
+/// Memory-touching, faulting, or call-related: the scheduler must keep
+/// these in their original relative order.
+fn is_pinned(i: &IInsn) -> bool {
+    match i.op {
+        IOp::Load(_) | IOp::Store(_) | IOp::Hcall | IOp::CallAddr | IOp::CallInd | IOp::Arg(_) => {
+            true
+        }
+        IOp::Bin(op) | IOp::BinImm(op) => {
+            matches!(op, BinOp::Div | BinOp::DivU | BinOp::Rem | BinOp::RemU)
+        }
+        _ => false,
+    }
+}
+
+/// True/anti/output dependence between an earlier `x` and a later `y`.
+fn vreg_dep(x: &IInsn, y: &IInsn) -> bool {
+    if let Some(d) = x.def() {
+        if y.uses().into_iter().flatten().any(|u| u == d) || y.def() == Some(d) {
+            return true;
+        }
+    }
+    if let Some(yd) = y.def() {
+        if x.uses().into_iter().flatten().any(|u| u == yd) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Maps each original position to its position in the scheduled order,
+/// matching duplicate (identical) instructions first-come first-served.
+fn match_permutation(orig: &[IInsn], new: &[IInsn]) -> Vec<usize> {
+    let mut taken = vec![false; new.len()];
+    orig.iter()
+        .map(|o| {
+            let k = new
+                .iter()
+                .enumerate()
+                .position(|(k, n)| !taken[k] && n == o)
+                .expect("permutation: every instruction survives");
+            taken[k] = true;
+            k
+        })
+        .collect()
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -201,13 +310,77 @@ proptest! {
             "threaded and reference engines disagree on cycles/insns"
         );
         // The fusion-aware scheduler alone (same DCE + jump threading,
-        // reordering on vs off) may not change observable execution:
-        // same result, same modeled cycles, same retired instructions.
+        // reordering on vs off) may not change the result. Exact
+        // machine-level cycles/insns are NOT compared across that
+        // toggle: register allocation runs after scheduling, so a
+        // shortened live range can legitimately drop a spill (the
+        // scheduler making the program cheaper). Cycle/insn exactness
+        // is pinned where it is sound — between engines on the same
+        // compiled program (above) and structurally on the ICODE
+        // permutation (`dag_schedule_is_dependence_respecting`).
         let unsched = compile_and_run(&steps, true, false, ExecEngine::Threaded, p0, p1);
         prop_assert_eq!(
-            cleaned,
-            unsched,
-            "schedule_for_fusion changed observable execution"
+            cleaned.0,
+            unsched.0,
+            "schedule_for_fusion changed the program result"
         );
+    }
+
+    /// The DAG scheduler's output is a dependence-respecting
+    /// permutation of each basic block: block boundaries stay put, the
+    /// instruction multiset is unchanged, memory-touching / faulting /
+    /// call instructions keep their exact relative order, and every
+    /// pair of data-dependent instructions keeps its orientation.
+    #[test]
+    fn dag_schedule_is_dependence_respecting(
+        steps in steps(),
+        p0 in -1000i32..1000,
+    ) {
+        let mut buf = IcodeBuf::new();
+        build_structural(&mut buf, &steps, p0);
+        let orig = buf.insns.clone();
+        tcc_icode::peephole::schedule_for_fusion(&mut buf);
+        let new = &buf.insns;
+        prop_assert_eq!(new.len(), orig.len(), "scheduler dropped or duplicated code");
+
+        // Boundaries (labels, loop markers) and terminators never move.
+        for (k, o) in orig.iter().enumerate() {
+            let fixed = matches!(o.op, IOp::Label | IOp::LoopBegin | IOp::LoopEnd)
+                || o.is_terminator();
+            if fixed {
+                prop_assert_eq!(&new[k], o, "boundary or terminator moved");
+            }
+        }
+
+        // Same multiset of instructions.
+        let key = |i: &IInsn| format!("{i:?}");
+        let mut a: Vec<String> = orig.iter().map(key).collect();
+        let mut b: Vec<String> = new.iter().map(key).collect();
+        a.sort();
+        b.sort();
+        prop_assert_eq!(a, b, "scheduled block is not a permutation");
+
+        // Pinned instructions (memory, faulting div/rem, calls, host
+        // calls, argument setup) keep their exact relative order.
+        let pinned: Vec<&IInsn> = orig.iter().filter(|i| is_pinned(i)).collect();
+        let pinned_new: Vec<&IInsn> = new.iter().filter(|i| is_pinned(i)).collect();
+        prop_assert_eq!(pinned, pinned_new, "pinned instructions reordered");
+
+        // Every data-dependent pair keeps its orientation. Duplicate
+        // instructions are matched in order, which is sound because
+        // equal instructions are interchangeable.
+        let perm = match_permutation(&orig, new);
+        for i in 0..orig.len() {
+            for j in i + 1..orig.len() {
+                if vreg_dep(&orig[i], &orig[j]) {
+                    prop_assert!(
+                        perm[i] < perm[j],
+                        "dependence inverted: {:?} must stay before {:?}",
+                        orig[i],
+                        orig[j]
+                    );
+                }
+            }
+        }
     }
 }
