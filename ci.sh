@@ -40,7 +40,18 @@
 #                         StaleCode faulting, eviction under budget,
 #                         in-flight-slot interleavings — so a
 #                         concurrency regression names itself)
-#  14. exec regression   (./run_benches.sh --check: full-rep exec bench
+#  14. persist smoke     (the persistent on-disk code cache: a cold
+#                         process compiles a cell sweep, exits, and a
+#                         warm process answers the identical sweep
+#                         from disk with zero recompiles and
+#                         bit-identical results, release mode)
+#  15. persist tests     (the durability suite, explicitly and in
+#                         release: store round-trips, corruption /
+#                         truncation / version-salt rejection,
+#                         single-writer locking, warm-start e2e and
+#                         post-load StaleCode faulting — so a
+#                         durability regression names itself)
+#  16. exec regression   (./run_benches.sh --check: full-rep exec bench
 #                         compared against baselines/BENCH_exec.json;
 #                         fails on a >30% drop in any gated speedup
 #                         column — fused, threaded, adaptive, or the
@@ -48,9 +59,13 @@
 #                         gates the tiering pipeline's
 #                         tail_p99_improvement column the same way when
 #                         both BENCH_adaptive.json files are present,
-#                         and serve throughput/p99 plus the largest
+#                         serve throughput/p99 plus the largest
 #                         pool's hit-rate/compiles-per-unique bounds
-#                         when both BENCH_serve.json files are present)
+#                         when both BENCH_serve.json files are present,
+#                         and persist warm-start speedups — relative
+#                         to baseline and against the absolute 5x
+#                         floor — when both BENCH_persist.json files
+#                         are present)
 #
 # Fails fast: the first failing step aborts with its exit code.
 set -eu
@@ -102,6 +117,13 @@ echo "== serve concurrency tests =="
 cargo test -q --release -p tcc-serve
 cargo test -q --release -p tcc --test shared_serve
 cargo test -q --release -p tcc-cache shared
+
+echo "== suite persist --smoke (warm restart answers from disk) =="
+cargo run -p tcc-suite --bin suite --release -- persist --smoke
+
+echo "== persist durability tests =="
+cargo test -q --release -p tcc-cache persist
+cargo test -q --release --test persist
 
 echo "== exec regression gate (speedups vs baselines/) =="
 ./run_benches.sh --check

@@ -38,8 +38,10 @@ use std::collections::HashMap;
 use tcc_obs::CacheMetrics;
 use tcc_vm::{CodeSpace, FuncHandle, VmError};
 
+pub mod persist;
 pub mod shared;
 
+pub use persist::{PersistentStore, StoredArtifact, FORMAT_VERSION};
 pub use shared::{Acquire, Artifact, CompileClaim, SharedArtifacts, SlotState};
 
 /// A structural, injective key for a dynamic closure.
@@ -131,8 +133,11 @@ struct Entry {
     uses: u64,
     /// Pin count; pinned entries are never evicted.
     pins: u32,
-    /// What the original compilation cost, credited to `ns_saved` on
-    /// every subsequent hit.
+    /// Per-hit `ns_saved` credit. For a freshly compiled entry this is
+    /// what the original compilation cost; for an entry installed from
+    /// the persistent store it is `compile_ns − load_ns` (saturating) —
+    /// a disk hit only saved the *difference*, so crediting the full
+    /// compile time would overstate warm-start savings.
     compile_ns: u64,
 }
 
@@ -282,6 +287,55 @@ impl CodeCache {
                 uses: 1,
                 pins: 0,
                 compile_ns,
+            },
+        );
+        Ok(InsertOutcome::Cached)
+    }
+
+    /// Inserts a function loaded from the persistent store: like
+    /// [`CodeCache::insert`] but the compile was *answered from disk*,
+    /// so it is not counted as a miss, and every credit — the
+    /// immediate one for this event and the per-hit credit for future
+    /// lookups — is `compile_ns − load_ns` (saturating): the disk hit
+    /// saved the compile minus what the load itself cost.
+    #[allow(clippy::too_many_arguments)]
+    pub fn insert_loaded(
+        &mut self,
+        code: &mut CodeSpace,
+        fp: Fingerprint,
+        addr: u64,
+        handle: FuncHandle,
+        bytes: u64,
+        compile_ns: u64,
+        load_ns: u64,
+    ) -> Result<InsertOutcome, VmError> {
+        let credit = compile_ns.saturating_sub(load_ns);
+        if let Some(budget) = self.budget {
+            if bytes > budget {
+                self.metrics.uncacheable += 1;
+                return Ok(InsertOutcome::TooLarge);
+            }
+            while self.bytes_live + bytes > budget {
+                if !self.evict_lru(code)? {
+                    break; // everything left is pinned: go over budget
+                }
+            }
+        }
+        self.clock += 1;
+        self.metrics.hits += 1;
+        self.metrics.ns_saved += credit;
+        self.bytes_live += bytes;
+        self.by_addr.insert(addr, fp.clone());
+        self.entries.insert(
+            fp,
+            Entry {
+                addr,
+                handle,
+                bytes,
+                last_use: self.clock,
+                uses: 1,
+                pins: 0,
+                compile_ns: credit,
             },
         );
         Ok(InsertOutcome::Cached)
@@ -511,5 +565,30 @@ mod tests {
         let mut cache = CodeCache::new();
         assert!(!cache.pin(0x8000_0000));
         assert!(!cache.unpin(0x8000_0000));
+    }
+
+    #[test]
+    fn disk_loaded_entries_credit_compile_minus_load() {
+        let mut code = CodeSpace::new();
+        let mut cache = CodeCache::new();
+        let (addr, h) = emit(&mut code, 4);
+        // A disk hit that cost 300 ns against a 1000 ns compile saved
+        // 700 ns — now, and on every future hit.
+        cache
+            .insert_loaded(&mut code, fp(1), addr, h, 16, 1000, 300)
+            .expect("inserts");
+        let m = cache.metrics(&code);
+        assert_eq!(m.misses, 0, "a disk hit is not a compile miss");
+        assert_eq!(m.hits, 1, "the disk hit counts as a hit");
+        assert_eq!(m.ns_saved, 700);
+        assert_eq!(cache.lookup(&fp(1)), Some(addr));
+        assert_eq!(cache.metrics(&code).ns_saved, 1400);
+        // A load slower than the compile saturates to zero credit —
+        // never an underflow panic.
+        let (b, hb) = emit(&mut code, 4);
+        cache
+            .insert_loaded(&mut code, fp(2), b, hb, 16, 100, 500)
+            .expect("inserts");
+        assert_eq!(cache.metrics(&code).ns_saved, 1400);
     }
 }

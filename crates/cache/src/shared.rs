@@ -40,9 +40,10 @@ use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
-use tcc_obs::SharedCacheMetrics;
+use tcc_obs::{PersistMetrics, SharedCacheMetrics};
 use tcc_vm::SharedTranslation;
 
+use crate::persist::{PersistentStore, StoredArtifact};
 use crate::Fingerprint;
 
 /// Default shard count: enough to make cross-thread contention on
@@ -175,6 +176,13 @@ pub struct SharedArtifacts {
     evictions: AtomicU64,
     invalidations: AtomicU64,
     uncacheable: AtomicU64,
+    /// Optional on-disk persistence: attached once per process
+    /// ([`SharedArtifacts::attach_persist`]); disk fills answer misses
+    /// before an in-flight compile slot is claimed, publishes are
+    /// recorded, and invalidations tombstone. Lock order: shard lock →
+    /// persist lock (the persist mutex is a leaf — it never takes a
+    /// shard lock while held).
+    persist: Mutex<Option<PersistentStore>>,
 }
 
 impl std::fmt::Debug for SharedArtifacts {
@@ -207,7 +215,42 @@ impl SharedArtifacts {
             evictions: AtomicU64::new(0),
             invalidations: AtomicU64::new(0),
             uncacheable: AtomicU64::new(0),
+            persist: Mutex::new(None),
         })
+    }
+
+    /// Attaches a persistent store (first attach wins; later calls
+    /// return false and drop their store). From here on, misses
+    /// consult the store before claiming a compile slot, publishes
+    /// are recorded, and invalidations tombstone on the next flush.
+    pub fn attach_persist(&self, store: PersistentStore) -> bool {
+        let mut p = lock(&self.persist);
+        if p.is_some() {
+            return false;
+        }
+        *p = Some(store);
+        true
+    }
+
+    /// Whether a persistent store is attached.
+    pub fn has_persist(&self) -> bool {
+        lock(&self.persist).is_some()
+    }
+
+    /// Flushes the attached store (atomic temp-file + rename). A
+    /// no-op `Ok` when no store is attached; an error when the store
+    /// is read-only (another process holds the writer lock) or the
+    /// write fails.
+    pub fn flush_persist(&self) -> std::io::Result<()> {
+        match lock(&self.persist).as_mut() {
+            Some(store) => store.flush(),
+            None => Ok(()),
+        }
+    }
+
+    /// Counters of the attached store, if any.
+    pub fn persist_metrics(&self) -> Option<PersistMetrics> {
+        lock(&self.persist).as_ref().map(|s| s.metrics())
     }
 
     /// An unbounded cache with [`DEFAULT_SHARDS`] shards.
@@ -269,6 +312,21 @@ impl SharedArtifacts {
                     }
                     Some(Slot::InFlight(slot)) => Arc::clone(slot),
                     None => {
+                        // Disk fill: a persisted artifact answers the
+                        // miss before an in-flight slot is claimed, so
+                        // a warm-started process never recompiles what
+                        // a previous process published. The shard
+                        // guard must drop before `enforce_budget`
+                        // (which takes shard locks itself).
+                        if let Some(artifact) = self.persist_fill(fp, &mut shard) {
+                            self.hits.fetch_add(1, Ordering::Relaxed);
+                            drop(shard);
+                            self.enforce_budget();
+                            return Acquire::Hit {
+                                artifact,
+                                waited: false,
+                            };
+                        }
                         let slot = Arc::new(InFlight {
                             state: Mutex::new(FlightState::Pending),
                             cv: Condvar::new(),
@@ -308,6 +366,35 @@ impl SharedArtifacts {
         }
     }
 
+    /// Consults the attached persistent store for `fp` and, on a disk
+    /// hit, publishes the loaded artifact into the (already locked)
+    /// shard as `Ready`. The caller still holds the shard lock — it
+    /// must drop it before calling `enforce_budget`. Translations are
+    /// not persisted; sessions rebuild them lazily from the words.
+    fn persist_fill(&self, fp: &Fingerprint, shard: &mut Shard) -> Option<Arc<Artifact>> {
+        let loaded = lock(&self.persist).as_mut()?.load(fp);
+        let (stored, _load_ns) = loaded?;
+        let artifact = Arc::new(Artifact {
+            name: stored.name,
+            orig_start: stored.orig_start,
+            bytes: (stored.words.len() * 4) as u64,
+            words: stored.words,
+            compile_ns: stored.compile_ns,
+            translation: None,
+        });
+        let last_use = self.next_use();
+        shard.entries.insert(
+            fp.clone(),
+            Slot::Ready {
+                artifact: Arc::clone(&artifact),
+                last_use,
+            },
+        );
+        self.bytes_live.fetch_add(artifact.bytes, Ordering::Relaxed);
+        self.entries.fetch_add(1, Ordering::Relaxed);
+        Some(artifact)
+    }
+
     /// Nonblocking slot inspection (deterministic interleaving tests).
     pub fn poll(&self, fp: &Fingerprint) -> SlotState {
         match lock(self.shard_for(fp)).entries.get(fp) {
@@ -342,20 +429,28 @@ impl SharedArtifacts {
     }
 
     /// Drops the published artifact for `fp` (rule-set churn). Bumps
-    /// the generation so sessions free their installed copies. An
-    /// in-flight compile is left alone — it will publish normally.
+    /// the generation so sessions free their installed copies, and
+    /// tombstones the fingerprint in the persistent store so the next
+    /// flush omits it — churned-out rules must not resurrect at the
+    /// next warm start. An in-flight compile is left alone — it will
+    /// publish normally.
     pub fn invalidate(&self, fp: &Fingerprint) -> bool {
-        let mut shard = lock(self.shard_for(fp));
-        if !matches!(shard.entries.get(fp), Some(Slot::Ready { .. })) {
-            return false;
+        {
+            let mut shard = lock(self.shard_for(fp));
+            if !matches!(shard.entries.get(fp), Some(Slot::Ready { .. })) {
+                return false;
+            }
+            let Some(Slot::Ready { artifact, .. }) = shard.entries.remove(fp) else {
+                unreachable!("checked Ready above");
+            };
+            self.bytes_live.fetch_sub(artifact.bytes, Ordering::Relaxed);
+            self.entries.fetch_sub(1, Ordering::Relaxed);
+            self.invalidations.fetch_add(1, Ordering::Relaxed);
+            self.generation.fetch_add(1, Ordering::AcqRel);
         }
-        let Some(Slot::Ready { artifact, .. }) = shard.entries.remove(fp) else {
-            unreachable!("checked Ready above");
-        };
-        self.bytes_live.fetch_sub(artifact.bytes, Ordering::Relaxed);
-        self.entries.fetch_sub(1, Ordering::Relaxed);
-        self.invalidations.fetch_add(1, Ordering::Relaxed);
-        self.generation.fetch_add(1, Ordering::AcqRel);
+        if let Some(store) = lock(&self.persist).as_mut() {
+            store.tombstone(fp);
+        }
         true
     }
 
@@ -405,6 +500,9 @@ impl SharedArtifacts {
     /// fit the budget. The scan takes each shard lock briefly (never
     /// two at once) and re-checks the victim's recency before removing
     /// it, so a concurrent touch can save an entry the scan chose.
+    /// Eviction does *not* tombstone the persistent store: it is a
+    /// memory-budget decision, and the disk copy stays valuable for
+    /// the next warm start (only explicit invalidation tombstones).
     fn enforce_budget(&self) {
         let Some(budget) = self.budget else {
             return;
@@ -490,6 +588,21 @@ impl CompileClaim {
                     owner.uncacheable.fetch_add(1, Ordering::Relaxed);
                 }
             }
+        }
+        // Record to the persistent store (memory-budget decisions do
+        // not apply to disk: even an uncacheable-in-memory artifact is
+        // worth a warm start). The translation is intentionally not
+        // serialized — it is rebuilt lazily from the words.
+        if let Some(store) = lock(&owner.persist).as_mut() {
+            store.record(
+                self.fp.clone(),
+                StoredArtifact {
+                    name: artifact.name.clone(),
+                    orig_start: artifact.orig_start,
+                    words: artifact.words.clone(),
+                    compile_ns: artifact.compile_ns,
+                },
+            );
         }
         owner.published.fetch_add(1, Ordering::Relaxed);
         {
@@ -725,6 +838,57 @@ mod tests {
         let mut distinct = picks[..3].to_vec();
         distinct.dedup();
         assert_eq!(distinct.len(), 3, "three residents, three picks");
+    }
+
+    #[test]
+    fn persist_fill_answers_misses_and_invalidate_tombstones() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("tcc_shared_persist_{}.store", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(format!("{}.lock", path.display()));
+        // Process 1: compile, publish, invalidate one, flush on drop.
+        {
+            let cache = SharedArtifacts::unbounded();
+            assert!(cache.attach_persist(PersistentStore::open(&path, 77)));
+            assert!(
+                !cache.attach_persist(PersistentStore::open(&path, 77)),
+                "second attach loses"
+            );
+            for n in [1, 2] {
+                let Acquire::Miss(c) = cache.get_or_begin(&fp(n)) else {
+                    panic!("cold process must miss");
+                };
+                c.publish(art(n, 8));
+            }
+            assert!(cache.invalidate(&fp(2)), "churned out before shutdown");
+            cache.flush_persist().expect("writer flushes");
+            let pm = cache.persist_metrics().expect("attached");
+            assert_eq!(pm.tombstones, 1);
+            assert!(pm.flushes >= 1);
+        }
+        // Process 2: the published artifact disk-fills (no compile
+        // slot claimed); the invalidated one is cold.
+        {
+            let cache = SharedArtifacts::unbounded();
+            assert!(cache.attach_persist(PersistentStore::open(&path, 77)));
+            match cache.get_or_begin(&fp(1)) {
+                Acquire::Hit { artifact, waited } => {
+                    assert!(!waited);
+                    assert_eq!(artifact.words, art(1, 8).words);
+                    assert_eq!(artifact.orig_start, art(1, 8).orig_start);
+                    assert!(artifact.translation.is_none(), "rebuilt lazily");
+                }
+                Acquire::Miss(_) => panic!("persisted artifact must disk-fill"),
+            }
+            assert!(cache.contains(&fp(1)), "disk fill published into memory");
+            assert!(matches!(cache.get_or_begin(&fp(2)), Acquire::Miss(_)));
+            let pm = cache.persist_metrics().expect("attached");
+            assert_eq!((pm.disk_hits, pm.disk_misses), (1, 1));
+            assert_eq!(pm.entries_loaded, 1);
+            let m = cache.metrics();
+            assert_eq!((m.hits, m.misses), (1, 1));
+        }
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

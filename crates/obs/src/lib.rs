@@ -340,6 +340,67 @@ impl SharedCacheMetrics {
     }
 }
 
+/// Counters for the on-disk persistent artifact store (`tcc-cache`'s
+/// `PersistentStore`): how many compiles were answered from disk
+/// across a process restart, how much the zero-trust loader rejected,
+/// and what flushing cost.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PersistMetrics {
+    /// Compile requests answered by deserializing a stored artifact.
+    pub disk_hits: u64,
+    /// Compile requests that consulted the store and found nothing
+    /// usable (absent, tombstoned, or rejected below).
+    pub disk_misses: u64,
+    /// Store entries rejected by the zero-trust loader: short reads,
+    /// CRC mismatches, or implausible lengths. Each rejection degrades
+    /// to a cold miss; valid entries elsewhere in the file still load.
+    pub corrupt_rejected: u64,
+    /// Whole stores rejected because the header's format version or
+    /// ABI salt did not match this build (different opcode table, cost
+    /// model, fingerprint scheme, or static image layout).
+    pub version_rejected: u64,
+    /// Entries successfully parsed from the store at open.
+    pub entries_loaded: u64,
+    /// Entries invalidated in memory and omitted from the next flush.
+    pub tombstones: u64,
+    /// Atomic flushes (temp file + rename) completed.
+    pub flushes: u64,
+    /// Bytes written across all flushes.
+    pub bytes_flushed: u64,
+    /// Nanoseconds spent loading artifacts from disk (charged against
+    /// `ns_saved` so warm-start savings are not overstated).
+    pub load_ns: u64,
+}
+
+impl PersistMetrics {
+    /// Disk hit rate over all store consultations (0.0 when none —
+    /// matches [`CacheMetrics::hit_rate`]).
+    pub fn disk_hit_rate(&self) -> f64 {
+        let total = self.disk_hits + self.disk_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.disk_hits as f64 / total as f64
+        }
+    }
+
+    /// JSON object form.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("disk_hits", Json::from(self.disk_hits)),
+            ("disk_misses", Json::from(self.disk_misses)),
+            ("corrupt_rejected", Json::from(self.corrupt_rejected)),
+            ("version_rejected", Json::from(self.version_rejected)),
+            ("entries_loaded", Json::from(self.entries_loaded)),
+            ("tombstones", Json::from(self.tombstones)),
+            ("flushes", Json::from(self.flushes)),
+            ("bytes_flushed", Json::from(self.bytes_flushed)),
+            ("load_ns", Json::from(self.load_ns)),
+            ("disk_hit_rate", Json::from(self.disk_hit_rate())),
+        ])
+    }
+}
+
 /// Execution-engine counters reported by the VM's translated engines
 /// (predecoded and direct-threaded): how much code was translated, how
 /// much fusion found, how many scalar runs were fuel-batched, and
@@ -532,6 +593,8 @@ pub struct SessionMetrics {
     pub adaptive: AdaptiveMetrics,
     /// Compile memoization and code lifecycle (`tcc-cache`).
     pub cache: CacheMetrics,
+    /// On-disk persistent artifact store (`tcc-cache` persist layer).
+    pub persist: PersistMetrics,
 }
 
 impl SessionMetrics {
@@ -546,6 +609,7 @@ impl SessionMetrics {
             ("exec", self.exec.to_json()),
             ("adaptive", self.adaptive.to_json()),
             ("cache", self.cache.to_json()),
+            ("persist", self.persist.to_json()),
         ])
     }
 }
@@ -598,6 +662,7 @@ mod tests {
         assert_eq!(CacheMetrics::default().fragmentation, 0.0);
         assert_eq!(ExecMetrics::default().hit_rate(), 0.0);
         assert_eq!(SharedCacheMetrics::default().hit_rate(), 0.0);
+        assert_eq!(PersistMetrics::default().disk_hit_rate(), 0.0);
         assert_eq!(AdaptiveMetrics::default().promoted_run_rate(), 0.0);
         // The whole default-session JSON tree must be NaN-free (NaN
         // would serialize as a bare `NaN`, which is not valid JSON).
@@ -778,11 +843,41 @@ mod tests {
             "promoted_run_rate",
             "cache",
             "hit_rate",
+            "persist",
+            "disk_hit_rate",
         ] {
             assert!(
                 text.contains(&format!("\"{key}\"")),
                 "missing {key} in {text}"
             );
         }
+    }
+
+    #[test]
+    fn persist_metrics_guard_zero() {
+        let m = PersistMetrics::default();
+        assert_eq!(m.disk_hit_rate(), 0.0);
+        let m = PersistMetrics {
+            disk_hits: 3,
+            disk_misses: 1,
+            ..Default::default()
+        };
+        assert_eq!(m.disk_hit_rate(), 0.75);
+        let text = m.to_json().to_string();
+        for key in [
+            "disk_hits",
+            "disk_misses",
+            "corrupt_rejected",
+            "version_rejected",
+            "entries_loaded",
+            "tombstones",
+            "flushes",
+            "bytes_flushed",
+            "load_ns",
+            "disk_hit_rate",
+        ] {
+            assert!(text.contains(&format!("\"{key}\"")), "missing {key}");
+        }
+        assert!(!text.contains("NaN"), "NaN leaked into JSON: {text}");
     }
 }

@@ -96,6 +96,10 @@ pub struct ServeOptions {
     pub budget: Option<u64>,
     /// Build promoted translations on the shared background hub.
     pub background: bool,
+    /// On-disk persistent artifact store shared by the pool (`None` =
+    /// in-memory only). The first session attaches the store to the
+    /// pool's [`SharedArtifacts`]; later sessions reuse it.
+    pub persist_path: Option<std::path::PathBuf>,
 }
 
 impl ServeOptions {
@@ -109,6 +113,7 @@ impl ServeOptions {
             churn_every: Some(64),
             budget: None,
             background: true,
+            persist_path: None,
         }
     }
 
@@ -122,6 +127,7 @@ impl ServeOptions {
             churn_every: Some(32),
             budget: None,
             background: true,
+            persist_path: None,
         }
     }
 
@@ -236,6 +242,7 @@ fn serve_session(
             shared: Some(Arc::clone(shared)),
             translation_hub: Some(hub.clone()),
             adaptive_background: opts.background,
+            persist_path: opts.persist_path.clone(),
             mem_size: 8 << 20,
             ..Config::default()
         },

@@ -3,7 +3,7 @@
 //! Usage:
 //!
 //! ```text
-//! suite [all|table1|figure4|figure5|figure6|figure7|blur|sensitivity|smoke|cache|exec|adaptive|serve|exec-check] [--small] [--smoke] [--json]
+//! suite [all|table1|figure4|figure5|figure6|figure7|blur|sensitivity|smoke|cache|exec|adaptive|serve|persist|exec-check] [--small] [--smoke] [--json]
 //! ```
 //!
 //! With `--json`, each measured experiment also writes a machine-readable
@@ -25,7 +25,14 @@
 //! latency, hit rate, and compiles-per-unique (`BENCH_serve.json`);
 //! the cross-pool replay digest is asserted bit-identical, and `serve
 //! --smoke` runs a short replay with the same asserts — the CI
-//! concurrency gate. `exec-check [fresh [baseline]]`
+//! concurrency gate. `persist` measures the warm-start economics of
+//! the persistent on-disk code cache: per kernel, a cold process
+//! compiles a cell sweep against a fresh store and exits, then a warm
+//! process on the same store path answers the identical sweep from
+//! disk (`BENCH_persist.json`); the bench asserts the warm process
+//! recompiled nothing and produced bit-identical results, and
+//! `persist --smoke` runs a two-cell sweep with the same asserts — the
+//! CI durability gate. `exec-check [fresh [baseline]]`
 //! compares a freshly written `BENCH_exec.json` (default
 //! `./BENCH_exec.json`) against a committed baseline (default
 //! `baselines/BENCH_exec.json`) and exits non-zero when any gated
@@ -38,7 +45,10 @@
 //! `BENCH_serve.json` files exist it gates serve throughput the same
 //! way, serve p99 at its own wider 75% tolerance (the replay tail is
 //! bimodal — see `SERVE_TAIL_TOLERANCE`), plus the service's absolute
-//! bounds (largest-pool hit rate and compiles-per-unique). If any
+//! bounds (largest-pool hit rate and compiles-per-unique); and when
+//! the sibling `BENCH_persist.json` files exist it gates each
+//! kernel's warm-start speedup, relatively at the 50% tail tolerance
+//! and absolutely against the 5x floor (`PERSIST_MIN_SPEEDUP`). If any
 //! `--json` output file
 //! cannot be written the remaining files are still written and the
 //! run exits non-zero naming every failure.
@@ -46,10 +56,11 @@
 use tcc_obs::json::Json;
 use tcc_suite::{
     adaptive_bench, adaptive_bench_smoke, adaptive_json, adaptive_report, benchmarks, cache_bench,
-    cache_json, cache_report, check_adaptive, check_exec, check_serve, exec_bench,
-    exec_bench_smoke, exec_json, exec_report, json_report, measure, ns_per_cycle, report,
-    serve_bench, serve_bench_smoke, serve_json, serve_report, DynBackend, Measurement, BLUR_FULL,
-    BLUR_SMALL, DEFAULT_TOLERANCE, TAIL_TOLERANCE,
+    cache_json, cache_report, check_adaptive, check_exec, check_persist, check_serve, exec_bench,
+    exec_bench_smoke, exec_json, exec_report, json_report, measure, ns_per_cycle, persist_bench,
+    persist_json, persist_report, report, serve_bench, serve_bench_smoke, serve_json, serve_report,
+    DynBackend, Measurement, PersistBenchOptions, BLUR_FULL, BLUR_SMALL, DEFAULT_TOLERANCE,
+    TAIL_TOLERANCE,
 };
 
 /// Writes one `BENCH_<name>.json`. An unwritable path (read-only cwd,
@@ -101,6 +112,7 @@ fn main() {
         "exec",
         "adaptive",
         "serve",
+        "persist",
         "exec-check",
     ];
     if !known.contains(&what) {
@@ -215,9 +227,54 @@ fn main() {
                 }
             }
         }
+        // Persist gate: same sibling naming scheme; missing on either
+        // side (a checkout predating the persistent store) warns and
+        // skips.
+        let fresh_persist = fresh_path.replace("exec", "persist");
+        let base_persist = base_path.replace("exec", "persist");
+        match (
+            std::fs::read_to_string(&fresh_persist),
+            std::fs::read_to_string(&base_persist),
+        ) {
+            (Ok(fresh), Ok(base)) => match check_persist(&base, &fresh, TAIL_TOLERANCE) {
+                Ok(report) => print!("\n{report}"),
+                Err(report) => {
+                    eprint!("\n{report}");
+                    failed = true;
+                }
+            },
+            (fresh, base) => {
+                for (path, r) in [(&fresh_persist, &fresh), (&base_persist, &base)] {
+                    if let Err(e) = r {
+                        eprintln!(
+                            "warning: exec-check: cannot read {path}: {e} — persist gate skipped"
+                        );
+                    }
+                }
+            }
+        }
         if failed {
             std::process::exit(1);
         }
+        return;
+    }
+
+    if what == "persist" {
+        // Cold-vs-warm restart economics of the on-disk store. The
+        // warm process's structural asserts (all disk hits, zero
+        // recompiles, bit-identical results) are live at both sizes;
+        // --smoke keeps the sweep to two cells per kernel for CI.
+        let opts = if smoke {
+            PersistBenchOptions::smoke()
+        } else {
+            PersistBenchOptions::full()
+        };
+        let rows = persist_bench(&opts);
+        if json {
+            write_json("persist", &persist_json(&rows), &mut failed_writes);
+        }
+        print!("{}", persist_report(&rows));
+        exit_on_write_failures(&failed_writes);
         return;
     }
 

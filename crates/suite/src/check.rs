@@ -68,6 +68,14 @@ pub const SERVE_MIN_HIT_RATE: f64 = 0.90;
 /// order of magnitude — without tripping on scheduler noise.
 pub const SERVE_TAIL_TOLERANCE: f64 = 0.75;
 
+/// Absolute floor the persist gate holds every kernel's warm-start
+/// speedup to, regardless of baseline: the issue's acceptance bar is
+/// that a warm restart's compile path (disk load + install) costs at
+/// least 5x less than re-running the CGF. Falling below this means
+/// either the store stopped answering (disk misses recompile) or loads
+/// became as expensive as compiles.
+pub const PERSIST_MIN_SPEEDUP: f64 = 5.0;
+
 /// The unified gate-failure diagnostic: one line naming the row (the
 /// kernel, sweep cell, or pool), the gated column, the observed value,
 /// the floor it fell below, the baseline, and the tolerance that
@@ -566,13 +574,146 @@ pub fn check_serve(baseline: &str, fresh: &str, tolerance: f64) -> Result<String
     }
 }
 
+/// The per-kernel fields the persist gate reads from
+/// `BENCH_persist.json`. Rows are keyed by kernel name.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PersistCheckRow {
+    /// Kernel name.
+    pub kernel: String,
+    /// Distinct closures the process pair compiled/loaded.
+    pub cells: f64,
+    /// Warm-process disk hits (structural: must cover every cell).
+    pub disk_hits: f64,
+    /// Cold compile-path cost over warm restart cost (gated: relative
+    /// vs baseline *and* absolute vs [`PERSIST_MIN_SPEEDUP`]).
+    pub warm_speedup: f64,
+}
+
+/// Scans the text of a `BENCH_persist.json` for its per-kernel rows.
+/// A new row starts at each `"kernel"` key.
+pub fn parse_persist_rows(text: &str) -> Vec<PersistCheckRow> {
+    let mut rows: Vec<PersistCheckRow> = Vec::new();
+    for line in text.lines() {
+        let Some((key, value)) = key_value(line) else {
+            continue;
+        };
+        if key == "kernel" {
+            rows.push(PersistCheckRow {
+                kernel: value.trim_matches('"').to_string(),
+                ..PersistCheckRow::default()
+            });
+            continue;
+        }
+        let Some(row) = rows.last_mut() else { continue };
+        match key {
+            "cells" => row.cells = value.parse().unwrap_or(0.0),
+            "disk_hits" => row.disk_hits = value.parse().unwrap_or(0.0),
+            "warm_speedup" => row.warm_speedup = value.parse().unwrap_or(0.0),
+            _ => {}
+        }
+    }
+    rows
+}
+
+/// Compares a fresh persist sweep against a baseline. Per kernel, the
+/// fresh warm-start speedup may not drop more than `tolerance`
+/// (relative) below the baseline (callers pass [`TAIL_TOLERANCE`]:
+/// cold/warm divides wall-clock sums, noisier than the exec engine
+/// ratios), and — absolutely, baseline or not — may not fall below
+/// [`PERSIST_MIN_SPEEDUP`], the acceptance bar for the store being
+/// worth opening at all. Each fresh row must also show `disk_hits ==
+/// cells` (the warm process answered everything from disk; the bench
+/// asserts this at run time, so a violation here means the JSON was
+/// produced some other way). Baseline rows with a zero speedup warn
+/// and skip the relative gate; baseline kernels missing from the fresh
+/// run fail, mirroring [`check_exec`].
+///
+/// # Errors
+///
+/// A multi-line description of every violated bound.
+pub fn check_persist(baseline: &str, fresh: &str, tolerance: f64) -> Result<String, String> {
+    let base: BTreeMap<String, PersistCheckRow> = parse_persist_rows(baseline)
+        .into_iter()
+        .map(|r| (r.kernel.clone(), r))
+        .collect();
+    let fresh_rows = parse_persist_rows(fresh);
+    if fresh_rows.is_empty() {
+        return Err("fresh BENCH_persist.json has no kernel rows".into());
+    }
+    let fresh_names: Vec<&str> = fresh_rows.iter().map(|r| r.kernel.as_str()).collect();
+    let mut report = String::from(
+        "exec-check: persist warm-start speedup vs committed baseline\n\
+         \n  kernel     cells   hits   warm(base)   warm(fresh)\n",
+    );
+    let mut warnings = String::new();
+    let mut failures = String::new();
+    for f in &fresh_rows {
+        let b = base.get(&f.kernel);
+        report.push_str(&format!(
+            "  {:8}   {:5.0}   {:4.0}   {:9.1}x   {:10.1}x{}\n",
+            f.kernel,
+            f.cells,
+            f.disk_hits,
+            b.map_or(0.0, |b| b.warm_speedup),
+            f.warm_speedup,
+            if b.is_none() { "   (no baseline)" } else { "" },
+        ));
+        if f.warm_speedup < PERSIST_MIN_SPEEDUP {
+            failures.push_str(&gate_failure_line(
+                &format!("persist/{}", f.kernel),
+                "warm_speedup",
+                f.warm_speedup,
+                PERSIST_MIN_SPEEDUP,
+                0.0,
+            ));
+        }
+        if f.disk_hits < f.cells {
+            failures.push_str(&format!(
+                "  persist/{}: warm process hit disk {:.0} times for {:.0} cells — \
+                 the store failed to answer every request\n",
+                f.kernel, f.disk_hits, f.cells,
+            ));
+        }
+        if let Some(b) = b {
+            if b.warm_speedup <= 0.0 {
+                warnings.push_str(&format!(
+                    "  warning: baseline has no warm_speedup for persist/{} — not gated\n",
+                    f.kernel,
+                ));
+            } else if f.warm_speedup < b.warm_speedup * (1.0 - tolerance) {
+                failures.push_str(&gate_failure_line(
+                    &format!("persist/{}", f.kernel),
+                    "warm_speedup",
+                    f.warm_speedup,
+                    b.warm_speedup,
+                    tolerance,
+                ));
+            }
+        }
+    }
+    for kernel in base.keys() {
+        if !fresh_names.contains(&kernel.as_str()) {
+            failures.push_str(&missing_row_line(&format!("persist/{kernel}")));
+        }
+    }
+    if !warnings.is_empty() {
+        report.push_str(&format!("\n{warnings}"));
+    }
+    if failures.is_empty() {
+        Ok(report)
+    } else {
+        Err(format!("{report}\nREGRESSIONS:\n{failures}"))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::adaptive_bench::AdaptiveBenchRow;
     use crate::exec_bench::ExecBenchRow;
+    use crate::persist_bench::PersistBenchRow;
     use crate::serve_bench::ServeBenchRow;
-    use crate::{adaptive_json, exec_json, serve_json};
+    use crate::{adaptive_json, exec_json, persist_json, serve_json};
 
     fn sample_row(name: &'static str, decode_ns: u64, fused_ns: u64) -> ExecBenchRow {
         engines_row(name, decode_ns, fused_ns, fused_ns / 2, fused_ns)
@@ -953,5 +1094,86 @@ mod tests {
         // as long as the absolute bounds hold; empty fresh errors.
         assert!(check_serve("{}", &fresh, TAIL_TOLERANCE).is_ok());
         assert!(check_serve(&base, "{}", TAIL_TOLERANCE).is_err());
+    }
+
+    /// A persist kernel row serialized through the real emitter.
+    fn persist_row(kernel: &str, cold_ns: u64, warm_ns: u64, disk_hits: u64) -> PersistBenchRow {
+        PersistBenchRow {
+            kernel: kernel.to_string(),
+            cells: 6,
+            cold_ns,
+            warm_ns,
+            disk_hits,
+            load_ns: warm_ns / 3,
+        }
+    }
+
+    #[test]
+    fn persist_rows_roundtrip_through_the_emitted_json() {
+        let rows = vec![
+            persist_row("pk_pow", 120_000, 6_000, 6),
+            persist_row("pk_dot", 90_000, 9_000, 6),
+        ];
+        let parsed = parse_persist_rows(&persist_json(&rows).pretty());
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].kernel, "pk_pow");
+        assert!((parsed[0].warm_speedup - 20.0).abs() < 1e-9);
+        assert!((parsed[0].cells - 6.0).abs() < 1e-9);
+        assert!((parsed[1].disk_hits - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn persist_gate_passes_within_tolerance_and_fails_beyond() {
+        let base = persist_json(&[persist_row("pk_pow", 120_000, 6_000, 6)]).pretty(); // 20x
+                                                                                       // 12x: 40% below baseline, inside the 50% tail tolerance and
+                                                                                       // above the absolute floor.
+        let ok = persist_json(&[persist_row("pk_pow", 120_000, 10_000, 6)]).pretty();
+        let report = check_persist(&base, &ok, TAIL_TOLERANCE).expect("within tolerance");
+        assert!(report.contains("pk_pow"), "{report}");
+        // 8x: still over the absolute 5x floor but 60% below baseline.
+        let bad = persist_json(&[persist_row("pk_pow", 120_000, 15_000, 6)]).pretty();
+        let err = check_persist(&base, &bad, TAIL_TOLERANCE).expect_err("regression");
+        assert!(err.contains("REGRESSIONS"), "{err}");
+        assert!(err.contains("warm_speedup"), "{err}");
+    }
+
+    #[test]
+    fn persist_gate_holds_the_absolute_speedup_floor() {
+        // 3x warm speedup: within any relative tolerance of its own
+        // baseline, but below PERSIST_MIN_SPEEDUP — fails regardless.
+        let row = persist_json(&[persist_row("pk_pow", 30_000, 10_000, 6)]).pretty();
+        let err = check_persist(&row, &row, TAIL_TOLERANCE).expect_err("absolute floor");
+        assert!(err.contains("warm_speedup"), "{err}");
+        assert!(err.contains("5.00x"), "{err}");
+        // And a warm process that missed disk fails structurally.
+        let base = persist_json(&[persist_row("pk_pow", 120_000, 6_000, 6)]).pretty();
+        let cold_hits = persist_json(&[persist_row("pk_pow", 120_000, 6_000, 4)]).pretty();
+        let err = check_persist(&base, &cold_hits, TAIL_TOLERANCE).expect_err("missed disk");
+        assert!(err.contains("failed to answer"), "{err}");
+    }
+
+    #[test]
+    fn persist_gate_warns_on_zero_baselines_and_handles_missing_rows() {
+        let fresh = persist_json(&[persist_row("pk_pow", 120_000, 6_000, 6)]).pretty();
+        let zeroed = persist_json(&[persist_row("pk_pow", 0, 6_000, 6)]).pretty();
+        let report = check_persist(&zeroed, &fresh, TAIL_TOLERANCE).expect("warns, not fails");
+        assert!(
+            report.contains("warning: baseline has no warm_speedup"),
+            "{report}"
+        );
+        let base = persist_json(&[
+            persist_row("pk_pow", 120_000, 6_000, 6),
+            persist_row("pk_dot", 90_000, 9_000, 6),
+        ])
+        .pretty();
+        let err = check_persist(&base, &fresh, TAIL_TOLERANCE).expect_err("missing kernel");
+        assert!(
+            err.contains("persist/pk_dot: present in baseline, missing"),
+            "{err}"
+        );
+        // Fresh-only kernels against an empty baseline pass (all new),
+        // as long as the absolute floor holds; empty fresh errors.
+        assert!(check_persist("{}", &fresh, TAIL_TOLERANCE).is_ok());
+        assert!(check_persist(&base, "{}", TAIL_TOLERANCE).is_err());
     }
 }

@@ -3,9 +3,10 @@
 
 use crate::runtime::{Backend, DynStats, TccRuntime};
 use std::fmt;
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Instant;
-use tcc_cache::SharedArtifacts;
+use tcc_cache::{PersistentStore, SharedArtifacts};
 use tcc_front::{FrontError, Program};
 use tcc_mir::{build_image_scheduled, Image, OptLevel};
 use tcc_obs::{
@@ -108,6 +109,20 @@ pub struct Config {
     /// of a worker thread per VM. Only meaningful with an adaptive
     /// engine and `adaptive_background`.
     pub translation_hub: Option<TransHub<TccRuntime>>,
+    /// On-disk persistent artifact store: compiled closures are
+    /// serialized fingerprint-keyed to this path, so a *new process*
+    /// compiling the same source warm-starts at hit cost
+    /// (`PersistMetrics` reports the disk hits). The store is opened
+    /// under an ABI salt derived from the fingerprint scheme version,
+    /// opcode table, cost model, and static image layout
+    /// ([`persist_abi_salt`]) — a store written by an incompatible
+    /// build or a different source program is rejected whole as
+    /// `version_rejected`, never served. With `shared` set, the store
+    /// attaches to the [`SharedArtifacts`] (first session in the pool
+    /// wins; disk fills answer misses before compile-slot claims);
+    /// otherwise it backs the private `cache`. `None` = in-memory
+    /// caching only.
+    pub persist_path: Option<PathBuf>,
 }
 
 impl Default for Config {
@@ -129,8 +144,42 @@ impl Default for Config {
             icode_schedule: true,
             shared: None,
             translation_hub: None,
+            persist_path: None,
         }
     }
+}
+
+/// The ABI salt persistent stores are opened under: an
+/// order-sensitive fold of the fingerprint scheme version, the opcode
+/// table signature, the cost model digest, and the static image's
+/// function/global layout. Fingerprints deliberately do not cover the
+/// static program (it is fixed for a session), but generated code
+/// bakes static call addresses in — so a store written for one source
+/// program, or by a build with a different ISA, cost model, or
+/// fingerprint encoding, must not be served to another. Exposed so
+/// tests can open stores the way [`Session::new`] does.
+pub fn persist_abi_salt(image: &Image, cost: &CostModel) -> u64 {
+    // splitmix64-style mixer: cheap, and every input bit diffuses.
+    fn mix(a: u64, b: u64) -> u64 {
+        let mut x = a ^ b.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        x ^ (x >> 31)
+    }
+    let mut h = mix(
+        crate::fingerprint::SCHEME_VERSION as u64,
+        tcc_vm::isa::op_table_signature(),
+    );
+    h = mix(h, cost.digest());
+    h = mix(h, image.func_addrs.len() as u64);
+    for &a in &image.func_addrs {
+        h = mix(h, a);
+    }
+    h = mix(h, image.global_addrs.len() as u64);
+    for &a in &image.global_addrs {
+        h = mix(h, a);
+    }
+    h
 }
 
 /// A compiled, loaded, runnable `C program.
@@ -194,6 +243,23 @@ impl Session {
         rt.icode_schedule = config.icode_schedule;
         rt.cache = (config.cache && config.shared.is_none())
             .then(|| tcc_cache::CodeCache::with_budget(config.code_budget));
+        if let Some(path) = &config.persist_path {
+            let salt = persist_abi_salt(&image, &config.cost);
+            match &config.shared {
+                // Pool mode: the store serves every session through the
+                // shared cache. First attach wins — later pool members
+                // open read-only stores that are dropped here.
+                Some(shared) if !shared.has_persist() => {
+                    shared.attach_persist(PersistentStore::open(path, salt));
+                }
+                Some(_) => {}
+                // Private mode: the store backs this session's cache.
+                None if rt.cache.is_some() => {
+                    rt.persist = Some(PersistentStore::open(path, salt));
+                }
+                None => {}
+            }
+        }
         rt.shared = config.shared;
         rt.shared_cost = config.cost.clone();
         let mut code = image.code.clone();
@@ -389,7 +455,41 @@ impl Session {
                 .as_ref()
                 .map(|c| c.metrics(&self.vm.state().code))
                 .unwrap_or_default(),
+            persist: self
+                .vm
+                .host()
+                .persist
+                .as_ref()
+                .map(|s| s.metrics())
+                .or_else(|| {
+                    self.vm
+                        .host()
+                        .shared
+                        .as_ref()
+                        .and_then(|s| s.persist_metrics())
+                })
+                .unwrap_or_default(),
         }
+    }
+
+    /// Flushes the persistent artifact store (atomic temp-file +
+    /// rename), whether it backs this session's private cache or the
+    /// pool's shared cache. A no-op `Ok` without a store; an error
+    /// when this process is not the store's writer or the write
+    /// fails. Unflushed writer state also flushes on session drop.
+    ///
+    /// # Errors
+    ///
+    /// Read-only store (another process holds the writer lock) or I/O
+    /// failure writing the file.
+    pub fn flush_persist(&mut self) -> std::io::Result<()> {
+        if let Some(store) = self.vm.host_mut().persist.as_mut() {
+            return store.flush();
+        }
+        if let Some(shared) = &self.vm.host().shared {
+            return shared.flush_persist();
+        }
+        Ok(())
     }
 
     /// Pins the cached dynamic function at `addr` so the code budget can

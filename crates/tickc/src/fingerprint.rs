@@ -36,6 +36,14 @@ use tcc_front::Program;
 use tcc_rt::{ClosureRef, VspecObj, VspecTag, ARGLIST_MARKER, LABEL_MARKER};
 use tcc_vm::{Memory, VmError};
 
+/// Version of the fingerprint encoding scheme — folded into the
+/// persistent store's ABI salt so a store written under a different
+/// encoding (different tags, capture walk, or α-normalization) is
+/// rejected whole as `version_rejected` instead of mis-keying loads.
+/// Bump on any change to the encoding below or to
+/// [`fingerprint_closure`]'s traversal.
+pub const SCHEME_VERSION: u32 = 1;
+
 /// Structural tags for the fingerprint encoding (arbitrary but fixed).
 mod tag {
     pub const CLOSURE: u8 = 1;

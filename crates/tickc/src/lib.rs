@@ -42,7 +42,7 @@ pub mod fingerprint;
 pub mod lower_shim;
 pub mod runtime;
 
-pub use api::{Config, Error, Session};
+pub use api::{persist_abi_salt, Config, Error, Session};
 pub use dyncomp::{DynCompiler, DynInput, WalkStats};
 pub use runtime::{Backend, DynStats, TccRuntime};
 pub use tcc_cache::SharedArtifacts;
@@ -50,8 +50,8 @@ pub use tcc_icode::Strategy;
 pub use tcc_mir::OptLevel;
 pub use tcc_obs::SharedCacheMetrics;
 pub use tcc_obs::{
-    CodegenPhases, DynMetrics, ExecMetrics, FrontendMetrics, SessionMetrics, StaticMetrics,
-    VmMetrics,
+    CodegenPhases, DynMetrics, ExecMetrics, FrontendMetrics, PersistMetrics, SessionMetrics,
+    StaticMetrics, VmMetrics,
 };
 pub use tcc_vm::{
     AdaptiveStats, ExecEngine, ExecStats, Tier, TransHub, VmError, DEFAULT_FUSE_AFTER,

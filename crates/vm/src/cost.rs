@@ -90,6 +90,36 @@ impl CostModel {
         }
     }
 
+    /// Order-sensitive fold of every field — part of the persistent
+    /// store's ABI salt. Two models that would cost any instruction
+    /// differently digest differently, so artifacts (and their
+    /// prebuilt translations) compiled under one model are never
+    /// served to a session running another.
+    pub fn digest(&self) -> u64 {
+        let fields = [
+            self.alu,
+            self.mul,
+            self.div,
+            self.fadd,
+            self.fmul,
+            self.fdiv,
+            self.load,
+            self.store,
+            self.branch,
+            self.branch_taken_extra,
+            self.jump,
+            self.call,
+            self.hcall,
+            self.nop,
+        ];
+        let mut h: u64 = 0x9e37_79b9_7f4a_7c15;
+        for f in fields {
+            h ^= f.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            h = h.rotate_left(27).wrapping_mul(0x94d0_49bb_1331_11eb);
+        }
+        h
+    }
+
     /// Base cycle cost of an opcode (before the taken-branch penalty).
     pub fn cost(&self, op: Op) -> u64 {
         match op.cost_class() {

@@ -293,6 +293,25 @@ impl Op {
     }
 }
 
+/// Order-sensitive fold of the opcode table (count, discriminants,
+/// mnemonics) — part of the persistent store's ABI salt. Any edit to
+/// the `Op` enum (adding, removing, reordering, or renaming an opcode)
+/// changes this signature, so sealed words serialized under one table
+/// are never decoded under another.
+pub fn op_table_signature() -> u64 {
+    let mut h: u64 = Op::ALL.len() as u64;
+    for &op in Op::ALL {
+        h = h
+            .rotate_left(13)
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(op as u64);
+        for b in op.mnemonic().bytes() {
+            h = h.rotate_left(7).wrapping_add(b as u64);
+        }
+    }
+    h
+}
+
 /// Range of a signed 14-bit immediate: `-8192..=8191`.
 pub const IMM14_MIN: i32 = -(1 << 13);
 /// Maximum of a signed 14-bit immediate.

@@ -7,28 +7,32 @@
 #
 #   ./run_benches.sh            full run (criterion + calibrated suite)
 #   ./run_benches.sh --quick    skip criterion; suite JSON emissions
-#                               only, with the exec, adaptive, and
-#                               serve experiments at smoke rep counts
-#                               (equivalence asserts live, timings not
-#                               meaningful)
+#                               only, with the exec, adaptive, serve,
+#                               and persist experiments at smoke rep
+#                               counts (equivalence asserts live,
+#                               timings not meaningful)
 #   ./run_benches.sh --check    regression gate: run the exec,
-#                               adaptive, and serve experiments at
-#                               full rep counts, then compare the
-#                               fresh BENCH_exec.json speedups, the
-#                               fresh BENCH_adaptive.json tail
-#                               ratios, and the fresh
-#                               BENCH_serve.json throughput/p99
-#                               against baselines/ (fails on a >30%
-#                               drop in any gated speedup column —
-#                               fused, threaded, adaptive — a >50%
-#                               drop in tail_p99_improvement or the
-#                               serve throughput ratio, a >75% drop
-#                               in the serve p99 ratio (the serve
-#                               tail is bimodal and load-swung), a
-#                               largest-pool serve hit rate below
-#                               0.9, or serve compiles-per-unique
-#                               above 1; one retry absorbs machine
-#                               noise)
+#                               adaptive, serve, and persist
+#                               experiments at full rep counts, then
+#                               compare the fresh BENCH_exec.json
+#                               speedups, the fresh
+#                               BENCH_adaptive.json tail ratios, the
+#                               fresh BENCH_serve.json throughput/p99,
+#                               and the fresh BENCH_persist.json
+#                               warm-start speedups against baselines/
+#                               (fails on a >30% drop in any gated
+#                               speedup column — fused, threaded,
+#                               adaptive — a >50% drop in
+#                               tail_p99_improvement, the serve
+#                               throughput ratio, or a persist
+#                               warm_speedup, a >75% drop in the serve
+#                               p99 ratio (the serve tail is bimodal
+#                               and load-swung), a largest-pool serve
+#                               hit rate below 0.9, serve
+#                               compiles-per-unique above 1, or any
+#                               persist warm_speedup below the
+#                               absolute 5x floor; one retry absorbs
+#                               machine noise)
 set -u
 cd /root/repo
 
@@ -57,6 +61,8 @@ if [ "$check" -eq 1 ]; then
       >> bench_output.txt 2>&1 || { echo "BENCH FAILED: adaptive" >&2; exit 1; }
     cargo run -p tcc-suite --bin suite --release -- serve --json \
       >> bench_output.txt 2>&1 || { echo "BENCH FAILED: serve" >&2; exit 1; }
+    cargo run -p tcc-suite --bin suite --release -- persist --json \
+      >> bench_output.txt 2>&1 || { echo "BENCH FAILED: persist" >&2; exit 1; }
     if cargo run -p tcc-suite --bin suite --release -- exec-check \
         BENCH_exec.json baselines/BENCH_exec.json \
         >> bench_output.txt 2>&1; then
@@ -100,10 +106,12 @@ if [ "$quick" -eq 0 ]; then
   run_suite exec exec
   run_suite adaptive adaptive
   run_suite serve serve
+  run_suite persist persist
 else
   run_suite exec exec --smoke
   run_suite adaptive adaptive --smoke
   run_suite serve serve --smoke
+  run_suite persist persist --smoke
 fi
 
 if [ -n "$failed" ]; then
